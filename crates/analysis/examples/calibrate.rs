@@ -1,0 +1,22 @@
+//! Scratch calibration: print Fig2/Fig5 for a moderate sample.
+use geoserp_analysis::*;
+use geoserp_crawler::{Crawler, ExperimentPlan};
+use geoserp_geo::Seed;
+
+fn main() {
+    let plan = ExperimentPlan {
+        days: 3,
+        queries_per_category: Some(12),
+        locations_per_granularity: Some(10),
+        ..ExperimentPlan::quick()
+    };
+    let crawler = Crawler::new(Seed::new(2015));
+    let ds = crawler.run(&plan);
+    let idx = ObsIndex::new(&ds);
+    println!("== fig2 noise ==");
+    println!("{}", geoserp_analysis::noise::render_fig2(&fig2_noise(&idx)));
+    println!("== fig5 personalization ==");
+    println!("{}", geoserp_analysis::personalization::render_fig5(&fig5_personalization(&idx)));
+    println!("== fig7 ==");
+    println!("{}", geoserp_analysis::attribution::render_fig7(&fig7_personalization_by_type(&idx)));
+}

@@ -1,0 +1,266 @@
+//! Result-type attribution (Figures 4 and 7).
+//!
+//! "We suspect that Maps and News results may be more heavily impacted by
+//! location-based personalization, so we calculate the amount of noise that
+//! can be attributed to search results of these types separately" (§3.1) —
+//! and the same decomposition over treatment pairs yields Figure 7.
+
+use crate::index::ObsIndex;
+use crate::render::{f2, table};
+use geoserp_corpus::QueryCategory;
+use geoserp_crawler::Observation;
+use geoserp_geo::Granularity;
+use geoserp_metrics::attribution as type_attribution;
+use geoserp_serp::ResultType;
+use serde::Serialize;
+
+/// One Figure-4 row: per-term noise decomposed by result type.
+#[derive(Debug, Clone, Serialize)]
+pub struct TypeNoiseRow {
+    /// The term.
+    pub term: String,
+    /// Mean overall edit distance.
+    pub all: f64,
+    /// Mean edit distance among Maps links only.
+    pub maps: f64,
+    /// Mean edit distance among News links only.
+    pub news: f64,
+}
+
+/// One Figure-7 bar: mean edit distance decomposed into Maps / News / other
+/// for a (granularity, category) cell.
+#[derive(Debug, Clone, Serialize)]
+pub struct TypeBreakdownRow {
+    /// The granularity.
+    pub granularity: Granularity,
+    /// The category.
+    pub category: QueryCategory,
+    /// The total.
+    pub total: f64,
+    /// The maps.
+    pub maps: f64,
+    /// The news.
+    pub news: f64,
+    /// The other.
+    pub other: f64,
+    /// Comparison count behind the means.
+    pub pairs: usize,
+}
+
+impl TypeBreakdownRow {
+    /// Fraction of all changes attributable to Maps.
+    pub fn maps_fraction(&self) -> f64 {
+        if self.total == 0.0 {
+            0.0
+        } else {
+            self.maps / self.total
+        }
+    }
+
+    /// Fraction of all changes attributable to News.
+    pub fn news_fraction(&self) -> f64 {
+        if self.total == 0.0 {
+            0.0
+        } else {
+            self.news / self.total
+        }
+    }
+}
+
+fn decompose(idx: &ObsIndex<'_>, a: &Observation, b: &Observation) -> (usize, usize, usize, usize) {
+    let ta = idx.typed(a);
+    let tb = idx.typed(b);
+    let t = type_attribution(&ta, &tb, &ResultType::Maps, &ResultType::News);
+    (t.total, t.maps, t.news, t.other)
+}
+
+/// Figure 4: noise per local term decomposed by result type, at one
+/// granularity (the paper shows County), sorted ascending by overall noise.
+pub fn fig4_noise_by_type(
+    idx: &ObsIndex<'_>,
+    category: QueryCategory,
+    granularity: Granularity,
+) -> Vec<TypeNoiseRow> {
+    let mut out = Vec::new();
+    for &term in idx.terms(category) {
+        let mut all = Vec::new();
+        let mut maps = Vec::new();
+        let mut news = Vec::new();
+        for day in idx.days(granularity) {
+            for &loc in idx.locations(granularity) {
+                if let (Some(t), Some(c)) = (
+                    idx.get(day, granularity, loc, term, geoserp_crawler::Role::Treatment),
+                    idx.get(day, granularity, loc, term, geoserp_crawler::Role::Control),
+                ) {
+                    let (a, m, n, _) = decompose(idx, t, c);
+                    all.push(a as f64);
+                    maps.push(m as f64);
+                    news.push(n as f64);
+                }
+            }
+        }
+        let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len().max(1) as f64;
+        out.push(TypeNoiseRow {
+            term: term.to_string(),
+            all: mean(&all),
+            maps: mean(&maps),
+            news: mean(&news),
+        });
+    }
+    out.sort_by(|a, b| a.all.partial_cmp(&b.all).unwrap().then(a.term.cmp(&b.term)));
+    out
+}
+
+/// Figure 7: personalization edit distance decomposed into News / Maps /
+/// other per query type and granularity.
+pub fn fig7_personalization_by_type(idx: &ObsIndex<'_>) -> Vec<TypeBreakdownRow> {
+    let mut out = Vec::new();
+    for category in idx.categories() {
+        for gran in idx.granularities() {
+            let mut total = 0usize;
+            let mut maps = 0usize;
+            let mut news = 0usize;
+            let mut other = 0usize;
+            let mut pairs = 0usize;
+            idx.for_each_treatment_pair(gran, category, |a, b| {
+                let (t, m, n, o) = decompose(idx, a, b);
+                total += t;
+                maps += m;
+                news += n;
+                other += o;
+                pairs += 1;
+            });
+            let pairs_f = pairs.max(1) as f64;
+            out.push(TypeBreakdownRow {
+                granularity: gran,
+                category,
+                total: total as f64 / pairs_f,
+                maps: maps as f64 / pairs_f,
+                news: news as f64 / pairs_f,
+                other: other as f64 / pairs_f,
+                pairs,
+            });
+        }
+    }
+    out
+}
+
+/// Render Figure 4 as a text table.
+pub fn render_fig4(rows: &[TypeNoiseRow]) -> String {
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.term.clone(),
+                f2(r.all),
+                f2(r.maps),
+                f2(r.news),
+            ]
+        })
+        .collect();
+    table(&["term", "all edit", "maps edit", "news edit"], &body)
+}
+
+/// Render Figure 7 as a text table.
+pub fn render_fig7(rows: &[TypeBreakdownRow]) -> String {
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.category.label().to_string(),
+                r.granularity.label().to_string(),
+                f2(r.total),
+                f2(r.maps),
+                f2(r.news),
+                f2(r.other),
+                format!("{:.0}%", 100.0 * r.maps_fraction()),
+                format!("{:.0}%", 100.0 * r.news_fraction()),
+            ]
+        })
+        .collect();
+    table(
+        &["category", "granularity", "total", "maps", "news", "other", "maps%", "news%"],
+        &body,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geoserp_crawler::{Crawler, Dataset, ExperimentPlan};
+    use geoserp_geo::Seed;
+
+    fn dataset() -> Dataset {
+        let plan = ExperimentPlan {
+            days: 2,
+            queries_per_category: Some(4),
+            locations_per_granularity: Some(5),
+            ..ExperimentPlan::quick()
+        };
+        Crawler::new(Seed::new(2015)).run(&plan)
+    }
+
+    #[test]
+    fn fig4_rows_are_sorted_and_bounded() {
+        let ds = dataset();
+        let idx = ObsIndex::new(&ds);
+        let rows = fig4_noise_by_type(&idx, QueryCategory::Local, Granularity::County);
+        assert_eq!(rows.len(), 4);
+        for w in rows.windows(2) {
+            assert!(w[0].all <= w[1].all);
+        }
+        for r in &rows {
+            assert!(r.maps <= r.all + 1e-9, "{}: maps {} > all {}", r.term, r.maps, r.all);
+            assert!(r.news >= 0.0);
+        }
+    }
+
+    #[test]
+    fn fig7_decomposition_is_consistent() {
+        let ds = dataset();
+        let idx = ObsIndex::new(&ds);
+        let rows = fig7_personalization_by_type(&idx);
+        assert_eq!(rows.len(), 9);
+        for r in &rows {
+            assert!(r.pairs > 0);
+            // other = total - maps - news is clamped per-pair, so summed
+            // means obey total >= other and fractions stay in [0,1].
+            let mf = r.maps_fraction();
+            let nf = r.news_fraction();
+            assert!((0.0..=1.0 + 1e9_f64.recip()).contains(&mf));
+            assert!((0.0..=1.0).contains(&nf) || r.total == 0.0);
+        }
+    }
+
+    #[test]
+    fn maps_changes_hit_local_not_controversial() {
+        let ds = dataset();
+        let idx = ObsIndex::new(&ds);
+        let rows = fig7_personalization_by_type(&idx);
+        let get = |cat: QueryCategory, g: Granularity| {
+            rows.iter()
+                .find(|r| r.category == cat && r.granularity == g)
+                .unwrap()
+        };
+        let local = get(QueryCategory::Local, Granularity::State);
+        let controversial = get(QueryCategory::Controversial, Granularity::State);
+        assert!(
+            local.maps >= controversial.maps,
+            "local maps {} vs controversial maps {}",
+            local.maps,
+            controversial.maps
+        );
+        // Controversial differences, if any, come from News rather than Maps.
+        assert!(controversial.maps <= 0.5, "{}", controversial.maps);
+    }
+
+    #[test]
+    fn renders_work() {
+        let ds = dataset();
+        let idx = ObsIndex::new(&ds);
+        let t4 = render_fig4(&fig4_noise_by_type(&idx, QueryCategory::Local, Granularity::County));
+        assert!(t4.contains("maps edit"));
+        let t7 = render_fig7(&fig7_personalization_by_type(&idx));
+        assert!(t7.contains("maps%"));
+    }
+}

@@ -1,0 +1,202 @@
+//! Consistency over time (Figure 8).
+//!
+//! One location per granularity serves as the baseline; each day, the
+//! baseline's treatment page is compared against (a) its own control — the
+//! red noise-floor line — and (b) every other location's treatment — the
+//! black per-location lines. Stable lines mean personalization is stable
+//! over time; clustered lines mean some locations receive near-identical
+//! results (the clustering §3.2's demographics analysis then fails to
+//! explain).
+
+use crate::index::ObsIndex;
+use crate::render::{f2, table};
+use geoserp_corpus::QueryCategory;
+use geoserp_crawler::Role;
+use geoserp_geo::{Granularity, LocationId};
+use geoserp_metrics::edit_distance;
+use serde::Serialize;
+
+/// One Figure-8 panel (one granularity).
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig8Panel {
+    /// The granularity.
+    pub granularity: Granularity,
+    /// The baseline.
+    pub baseline: LocationId,
+    /// The baseline name.
+    pub baseline_name: String,
+    /// Block-days plotted, ascending.
+    pub days: Vec<u32>,
+    /// The red line: baseline treatment vs baseline control per day.
+    pub noise_floor: Vec<f64>,
+    /// The black lines: `(location, name, per-day mean edit distance vs the
+    /// baseline)`.
+    pub locations: Vec<(LocationId, String, Vec<f64>)>,
+}
+
+impl Fig8Panel {
+    /// Mean over days of a location's line (used to find clusters).
+    pub fn location_mean(&self, loc: LocationId) -> Option<f64> {
+        self.locations
+            .iter()
+            .find(|(id, _, _)| *id == loc)
+            .map(|(_, _, series)| series.iter().sum::<f64>() / series.len().max(1) as f64)
+    }
+}
+
+/// Figure 8: one panel per granularity, over one query category (the paper
+/// uses Local, "since they are most heavily personalized").
+pub fn fig8_consistency(idx: &ObsIndex<'_>, category: QueryCategory) -> Vec<Fig8Panel> {
+    let mut panels = Vec::new();
+    for gran in idx.granularities() {
+        let locs = idx.locations(gran);
+        if locs.is_empty() {
+            continue;
+        }
+        let baseline = locs[0];
+        let days = idx.days(gran);
+        let terms = idx.terms(category);
+
+        let mean_over_terms = |day: u32, other: LocationId, other_role: Role| -> f64 {
+            let mut vals = Vec::new();
+            for &term in terms {
+                if let (Some(a), Some(b)) = (
+                    idx.get(day, gran, baseline, term, Role::Treatment),
+                    idx.get(day, gran, other, term, other_role),
+                ) {
+                    vals.push(edit_distance(&idx.urls(a), &idx.urls(b)) as f64);
+                }
+            }
+            vals.iter().sum::<f64>() / vals.len().max(1) as f64
+        };
+
+        let noise_floor: Vec<f64> = days
+            .iter()
+            .map(|&d| mean_over_terms(d, baseline, Role::Control))
+            .collect();
+        let locations: Vec<(LocationId, String, Vec<f64>)> = locs[1..]
+            .iter()
+            .map(|&loc| {
+                let series = days
+                    .iter()
+                    .map(|&d| mean_over_terms(d, loc, Role::Treatment))
+                    .collect();
+                let name = idx
+                    .dataset()
+                    .location(loc)
+                    .map(|l| l.region.name.clone())
+                    .unwrap_or_else(|| loc.to_string());
+                (loc, name, series)
+            })
+            .collect();
+
+        let baseline_name = idx
+            .dataset()
+            .location(baseline)
+            .map(|l| l.region.name.clone())
+            .unwrap_or_else(|| baseline.to_string());
+
+        panels.push(Fig8Panel {
+            granularity: gran,
+            baseline,
+            baseline_name,
+            days,
+            noise_floor,
+            locations,
+        });
+    }
+    panels
+}
+
+/// Render one panel as a text table (days across, locations down).
+pub fn render_fig8(panel: &Fig8Panel) -> String {
+    let mut headers: Vec<String> = vec!["location (vs baseline)".to_string()];
+    headers.extend(panel.days.iter().map(|d| format!("day {}", d + 1)));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+
+    let mut rows = Vec::new();
+    let mut noise_row = vec![format!("[noise floor @ {}]", panel.baseline_name)];
+    noise_row.extend(panel.noise_floor.iter().map(|v| f2(*v)));
+    rows.push(noise_row);
+    for (_, name, series) in &panel.locations {
+        let mut row = vec![name.clone()];
+        row.extend(series.iter().map(|v| f2(*v)));
+        rows.push(row);
+    }
+    table(&header_refs, &rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geoserp_crawler::{Crawler, Dataset, ExperimentPlan};
+    use geoserp_geo::Seed;
+
+    fn dataset() -> Dataset {
+        let plan = ExperimentPlan {
+            days: 3,
+            queries_per_category: Some(3),
+            locations_per_granularity: Some(4),
+            ..ExperimentPlan::quick()
+        };
+        Crawler::new(Seed::new(2015)).run(&plan)
+    }
+
+    #[test]
+    fn panels_have_expected_shape() {
+        let ds = dataset();
+        let idx = ObsIndex::new(&ds);
+        let panels = fig8_consistency(&idx, QueryCategory::Local);
+        assert_eq!(panels.len(), 3);
+        for p in &panels {
+            assert_eq!(p.days, vec![0, 1, 2]);
+            assert_eq!(p.noise_floor.len(), 3);
+            assert_eq!(p.locations.len(), 3, "baseline excluded");
+            for (_, _, series) in &p.locations {
+                assert_eq!(series.len(), 3);
+            }
+        }
+    }
+
+    #[test]
+    fn distant_locations_sit_above_the_noise_floor() {
+        let ds = dataset();
+        let idx = ObsIndex::new(&ds);
+        let panels = fig8_consistency(&idx, QueryCategory::Local);
+        let national = panels
+            .iter()
+            .find(|p| p.granularity == Granularity::National)
+            .unwrap();
+        let mean_floor: f64 =
+            national.noise_floor.iter().sum::<f64>() / national.noise_floor.len() as f64;
+        for (_, name, series) in &national.locations {
+            let mean: f64 = series.iter().sum::<f64>() / series.len() as f64;
+            assert!(
+                mean >= mean_floor,
+                "{name} ({mean}) below the noise floor ({mean_floor})"
+            );
+        }
+    }
+
+    #[test]
+    fn location_mean_lookup() {
+        let ds = dataset();
+        let idx = ObsIndex::new(&ds);
+        let panels = fig8_consistency(&idx, QueryCategory::Local);
+        let p = &panels[0];
+        let (loc, _, series) = &p.locations[0];
+        let expected = series.iter().sum::<f64>() / series.len() as f64;
+        assert_eq!(p.location_mean(*loc), Some(expected));
+        assert_eq!(p.location_mean(LocationId(55_555)), None);
+    }
+
+    #[test]
+    fn render_contains_noise_floor_row() {
+        let ds = dataset();
+        let idx = ObsIndex::new(&ds);
+        let panels = fig8_consistency(&idx, QueryCategory::Local);
+        let text = render_fig8(&panels[0]);
+        assert!(text.contains("noise floor"));
+        assert!(text.contains("day 1"));
+    }
+}

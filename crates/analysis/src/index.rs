@@ -1,0 +1,249 @@
+//! Fast lookup structures over a dataset.
+
+use geoserp_corpus::QueryCategory;
+use geoserp_crawler::{Dataset, Observation, Role};
+use geoserp_geo::{Granularity, LocationId};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Cell key: one (day-in-block, granularity, location, term, role) slot.
+type CellKey<'a> = (u32, Granularity, LocationId, &'a str, Role);
+
+/// Index over a dataset's observations.
+pub struct ObsIndex<'a> {
+    ds: &'a Dataset,
+    by_cell: HashMap<CellKey<'a>, &'a Observation>,
+    terms_by_category: BTreeMap<QueryCategory, Vec<&'a str>>,
+    days_by_granularity: BTreeMap<Granularity, BTreeSet<u32>>,
+    locations_by_granularity: BTreeMap<Granularity, Vec<LocationId>>,
+}
+
+impl<'a> ObsIndex<'a> {
+    /// Build the index (one pass over the observations).
+    pub fn new(ds: &'a Dataset) -> Self {
+        let mut by_cell = HashMap::new();
+        let mut terms_by_category: BTreeMap<QueryCategory, Vec<&'a str>> = BTreeMap::new();
+        let mut days_by_granularity: BTreeMap<Granularity, BTreeSet<u32>> = BTreeMap::new();
+        let mut locations_by_granularity: BTreeMap<Granularity, Vec<LocationId>> = BTreeMap::new();
+
+        for obs in ds.observations() {
+            by_cell.insert(
+                (
+                    obs.block_day,
+                    obs.granularity,
+                    obs.location,
+                    obs.term.as_str(),
+                    obs.role,
+                ),
+                obs,
+            );
+            let terms = terms_by_category.entry(obs.category).or_default();
+            if !terms.contains(&obs.term.as_str()) {
+                terms.push(obs.term.as_str());
+            }
+            days_by_granularity
+                .entry(obs.granularity)
+                .or_default()
+                .insert(obs.block_day);
+            let locs = locations_by_granularity
+                .entry(obs.granularity)
+                .or_default();
+            if !locs.contains(&obs.location) {
+                locs.push(obs.location);
+            }
+        }
+
+        ObsIndex {
+            ds,
+            by_cell,
+            terms_by_category,
+            days_by_granularity,
+            locations_by_granularity,
+        }
+    }
+
+    /// The underlying dataset.
+    pub fn dataset(&self) -> &'a Dataset {
+        self.ds
+    }
+
+    /// One observation, if collected.
+    pub fn get(
+        &self,
+        day: u32,
+        gran: Granularity,
+        loc: LocationId,
+        term: &str,
+        role: Role,
+    ) -> Option<&'a Observation> {
+        self.by_cell.get(&(day, gran, loc, term, role)).copied()
+    }
+
+    /// The categories present in the dataset.
+    pub fn categories(&self) -> Vec<QueryCategory> {
+        self.terms_by_category.keys().copied().collect()
+    }
+
+    /// Terms of one category, in crawl order.
+    pub fn terms(&self, category: QueryCategory) -> &[&'a str] {
+        self.terms_by_category
+            .get(&category)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Granularities present.
+    pub fn granularities(&self) -> Vec<Granularity> {
+        self.locations_by_granularity.keys().copied().collect()
+    }
+
+    /// Block-days present for a granularity, ascending.
+    pub fn days(&self, gran: Granularity) -> Vec<u32> {
+        self.days_by_granularity
+            .get(&gran)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Locations crawled at a granularity, in crawl order.
+    pub fn locations(&self, gran: Granularity) -> &[LocationId] {
+        self.locations_by_granularity
+            .get(&gran)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Ordered URL list of an observation.
+    pub fn urls(&self, obs: &Observation) -> Vec<&'a str> {
+        obs.results.iter().map(|(id, _)| self.ds.url(*id)).collect()
+    }
+
+    /// Ordered `(url, type)` list of an observation.
+    pub fn typed(&self, obs: &Observation) -> Vec<(&'a str, geoserp_serp::ResultType)> {
+        obs.results
+            .iter()
+            .map(|(id, t)| (self.ds.url(*id), *t))
+            .collect()
+    }
+
+    /// Visit every (treatment, control) pair: the *noise* comparisons.
+    pub fn for_each_noise_pair(
+        &self,
+        gran: Granularity,
+        category: QueryCategory,
+        mut f: impl FnMut(&'a Observation, &'a Observation),
+    ) {
+        for &term in self.terms(category) {
+            for day in self.days(gran) {
+                for &loc in self.locations(gran) {
+                    if let (Some(t), Some(c)) = (
+                        self.get(day, gran, loc, term, Role::Treatment),
+                        self.get(day, gran, loc, term, Role::Control),
+                    ) {
+                        f(t, c);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Visit every pair of treatments at *different* locations: the
+    /// *personalization* comparisons.
+    pub fn for_each_treatment_pair(
+        &self,
+        gran: Granularity,
+        category: QueryCategory,
+        mut f: impl FnMut(&'a Observation, &'a Observation),
+    ) {
+        for &term in self.terms(category) {
+            for day in self.days(gran) {
+                let locs = self.locations(gran);
+                for i in 0..locs.len() {
+                    for j in (i + 1)..locs.len() {
+                        if let (Some(a), Some(b)) = (
+                            self.get(day, gran, locs[i], term, Role::Treatment),
+                            self.get(day, gran, locs[j], term, Role::Treatment),
+                        ) {
+                            f(a, b);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geoserp_crawler::{Crawler, ExperimentPlan};
+    use geoserp_geo::Seed;
+
+    fn dataset() -> Dataset {
+        let plan = ExperimentPlan {
+            days: 2,
+            queries_per_category: Some(2),
+            locations_per_granularity: Some(3),
+            ..ExperimentPlan::quick()
+        };
+        Crawler::new(Seed::new(2015)).run(&plan)
+    }
+
+    #[test]
+    fn index_reflects_plan_shape() {
+        let ds = dataset();
+        let idx = ObsIndex::new(&ds);
+        assert_eq!(idx.categories().len(), 3);
+        assert_eq!(idx.terms(QueryCategory::Local).len(), 2);
+        assert_eq!(idx.granularities().len(), 3);
+        for gran in idx.granularities() {
+            assert_eq!(idx.days(gran), vec![0, 1]);
+            assert_eq!(idx.locations(gran).len(), 3);
+        }
+    }
+
+    #[test]
+    fn noise_pairs_count() {
+        let ds = dataset();
+        let idx = ObsIndex::new(&ds);
+        let mut n = 0;
+        idx.for_each_noise_pair(Granularity::County, QueryCategory::Local, |_, _| n += 1);
+        // 2 terms × 2 days × 3 locations.
+        assert_eq!(n, 12);
+    }
+
+    #[test]
+    fn treatment_pairs_count() {
+        let ds = dataset();
+        let idx = ObsIndex::new(&ds);
+        let mut n = 0;
+        idx.for_each_treatment_pair(Granularity::State, QueryCategory::Controversial, |_, _| {
+            n += 1
+        });
+        // 2 terms × 2 days × C(3,2)=3 location pairs.
+        assert_eq!(n, 12);
+    }
+
+    #[test]
+    fn noise_pairs_share_cell_but_not_role() {
+        let ds = dataset();
+        let idx = ObsIndex::new(&ds);
+        idx.for_each_noise_pair(Granularity::County, QueryCategory::Local, |t, c| {
+            assert_eq!(t.term, c.term);
+            assert_eq!(t.location, c.location);
+            assert_eq!(t.block_day, c.block_day);
+            assert_eq!(t.role, Role::Treatment);
+            assert_eq!(c.role, Role::Control);
+        });
+    }
+
+    #[test]
+    fn treatment_pairs_differ_in_location_only() {
+        let ds = dataset();
+        let idx = ObsIndex::new(&ds);
+        idx.for_each_treatment_pair(Granularity::County, QueryCategory::Local, |a, b| {
+            assert_eq!(a.term, b.term);
+            assert_ne!(a.location, b.location);
+            assert_eq!(a.block_day, b.block_day);
+        });
+    }
+}

@@ -1,0 +1,53 @@
+#![warn(missing_docs)]
+//! # geoserp-analysis — the paper's §3 analyses
+//!
+//! Turns a collected [`geoserp_crawler::Dataset`] into every table and
+//! figure of the evaluation:
+//!
+//! | Paper artifact | Function |
+//! |---|---|
+//! | Fig. 2 — noise by query type × granularity | [`noise::fig2_noise`] |
+//! | Fig. 3 — noise per local term | [`noise::fig3_noise_per_term`] |
+//! | Fig. 4 — noise attributed to Maps/News | [`attribution::fig4_noise_by_type`] |
+//! | Fig. 5 — personalization by type × granularity vs noise floor | [`personalization::fig5_personalization`] |
+//! | Fig. 6 — personalization per local term | [`personalization::fig6_personalization_per_term`] |
+//! | Fig. 7 — personalization decomposed by result type | [`attribution::fig7_personalization_by_type`] |
+//! | Fig. 8 — consistency over days vs a baseline location | [`consistency::fig8_consistency`] |
+//! | §3.2 — demographic correlations (the null result) | [`demographics::demographic_correlations`] |
+//! | §3.2 — "difficult to claim" made quantitative | [`significance::personalization_significance`] |
+//! | §3.2 — county-level location clustering | [`significance::fig8_clusters`] |
+//!
+//! Two comparison disciplines, exactly as in §3:
+//!
+//! * **noise** — every observation against its *simultaneous control* (same
+//!   term, location, instant; different machine);
+//! * **personalization** — every *pair of treatments* at different locations
+//!   (same term, same instant).
+//!
+//! All functions return plain serializable structs; [`render`] turns them
+//! into the aligned text tables the bench binaries print.
+
+pub mod attribution;
+pub mod consistency;
+pub mod demographics;
+pub mod index;
+pub mod markdown;
+pub mod noise;
+pub mod paper;
+pub mod personalization;
+pub mod plot;
+pub mod render;
+pub mod significance;
+
+pub use attribution::{fig4_noise_by_type, fig7_personalization_by_type, TypeBreakdownRow, TypeNoiseRow};
+pub use consistency::{fig8_consistency, Fig8Panel};
+pub use demographics::{demographic_correlations, DemographicsReport, FeatureCorrelation};
+pub use index::ObsIndex;
+pub use noise::{fig2_noise, fig3_noise_per_term, CategoryStat, TermSeries};
+pub use markdown::{compare_with_paper, Comparison, ShapeCheck};
+pub use personalization::{
+    fig5_personalization, fig6_personalization_per_term, most_personalized_terms, Fig5Row,
+};
+pub use significance::{
+    fig8_clusters, personalization_significance, LocationCluster, SignificanceRow,
+};

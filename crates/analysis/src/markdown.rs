@@ -1,0 +1,237 @@
+//! Automated paper-vs-measured markdown report.
+//!
+//! Produces an EXPERIMENTS.md-style comparison for a dataset: every Figure
+//! 2/5 cell side by side with the paper's reference values ([`crate::paper`])
+//! and a per-row verdict on whether the *shape* holds (orderings and
+//! factors, not absolute numbers).
+
+use crate::attribution::fig7_personalization_by_type;
+use crate::index::ObsIndex;
+use crate::noise::fig2_noise;
+use crate::paper::{self, facts};
+use crate::personalization::{fig5_personalization, fig6_personalization_per_term};
+use geoserp_corpus::QueryCategory;
+use geoserp_crawler::Dataset;
+use geoserp_geo::Granularity;
+use std::fmt::Write as _;
+
+/// One shape check's outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeCheck {
+    /// The name.
+    pub name: String,
+    /// The holds.
+    pub holds: bool,
+    /// The detail.
+    pub detail: String,
+}
+
+/// The assembled comparison.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// The markdown.
+    pub markdown: String,
+    /// The checks.
+    pub checks: Vec<ShapeCheck>,
+}
+
+impl Comparison {
+    /// True when every tracked shape holds.
+    pub fn all_shapes_hold(&self) -> bool {
+        self.checks.iter().all(|c| c.holds)
+    }
+}
+
+fn verdict(holds: bool) -> &'static str {
+    if holds {
+        "✓"
+    } else {
+        "✗"
+    }
+}
+
+/// Build the paper-vs-measured markdown comparison for a dataset.
+pub fn compare_with_paper(dataset: &Dataset) -> Comparison {
+    let idx = ObsIndex::new(dataset);
+    let noise = fig2_noise(&idx);
+    let pers = fig5_personalization(&idx);
+    let breakdown = fig7_personalization_by_type(&idx);
+    let mut checks = Vec::new();
+    let mut md = String::new();
+
+    let _ = writeln!(md, "# geoserp: paper vs. measured\n");
+    let _ = writeln!(
+        md,
+        "{} observations, seed {}.\n",
+        dataset.observations().len(),
+        dataset.meta.seed
+    );
+
+    // ---- Figure 2 ----------------------------------------------------------
+    let _ = writeln!(md, "## Figure 2 — noise\n");
+    let _ = writeln!(md, "| granularity | category | paper jacc | measured | paper edit | measured |");
+    let _ = writeln!(md, "|---|---|---|---|---|---|");
+    for s in &noise {
+        if let Some(r) = paper::fig2_reference(s.granularity, s.category) {
+            let _ = writeln!(
+                md,
+                "| {} | {} | ~{:.2} | {:.2} | ~{:.1} | {:.2} |",
+                s.granularity.label(),
+                s.category.label(),
+                r.jaccard,
+                s.jaccard.mean,
+                r.edit,
+                s.edit_distance.mean
+            );
+        }
+    }
+    let mean_edit = |cat: QueryCategory| -> f64 {
+        let v: Vec<f64> = noise
+            .iter()
+            .filter(|s| s.category == cat)
+            .map(|s| s.edit_distance.mean)
+            .collect();
+        v.iter().sum::<f64>() / v.len().max(1) as f64
+    };
+    let local_noisier = mean_edit(QueryCategory::Local) > mean_edit(QueryCategory::Controversial)
+        && mean_edit(QueryCategory::Local) > mean_edit(QueryCategory::Politician);
+    checks.push(ShapeCheck {
+        name: "fig2: local queries are the noisy ones".into(),
+        holds: local_noisier,
+        detail: format!(
+            "local {:.2} vs controversial {:.2} vs politicians {:.2}",
+            mean_edit(QueryCategory::Local),
+            mean_edit(QueryCategory::Controversial),
+            mean_edit(QueryCategory::Politician)
+        ),
+    });
+
+    // ---- Figure 5 ----------------------------------------------------------
+    let _ = writeln!(md, "\n## Figure 5 — personalization\n");
+    let _ = writeln!(md, "| granularity | category | paper edit | measured | > noise floor |");
+    let _ = writeln!(md, "|---|---|---|---|---|");
+    for row in &pers {
+        if let Some(r) = paper::fig5_reference(row.granularity, row.category) {
+            let _ = writeln!(
+                md,
+                "| {} | {} | ~{:.1} | {:.2} | {:+.2} |",
+                row.granularity.label(),
+                row.category.label(),
+                r.edit,
+                row.edit_distance.mean,
+                row.edit_distance.mean - row.noise_edit_mean
+            );
+        }
+    }
+    let local = |g: Granularity| {
+        pers.iter()
+            .find(|r| r.granularity == g && r.category == QueryCategory::Local)
+            .map(|r| r.edit_distance.mean)
+            .unwrap_or(0.0)
+    };
+    let growth = local(Granularity::State) > local(Granularity::County) + 1.0;
+    checks.push(ShapeCheck {
+        name: "fig5: the big jump is county → state".into(),
+        holds: growth,
+        detail: format!(
+            "county {:.2} → state {:.2} → national {:.2}",
+            local(Granularity::County),
+            local(Granularity::State),
+            local(Granularity::National)
+        ),
+    });
+
+    // ---- Figures 6/7 facts --------------------------------------------------
+    let _ = writeln!(md, "\n## Prose facts\n");
+    let series = fig6_personalization_per_term(&idx, QueryCategory::Local);
+    let max_term = series
+        .iter()
+        .filter_map(|s| s.edit_by_granularity.get(&Granularity::National))
+        .cloned()
+        .fold(0.0, f64::max);
+    let _ = writeln!(
+        md,
+        "* per-term local personalization spans up to {:.1} changed results \
+         (paper: {:.0}–{:.0})",
+        max_term, facts::LOCAL_PER_TERM_RANGE.0, facts::LOCAL_PER_TERM_RANGE.1
+    );
+    let local_maps: f64 = breakdown
+        .iter()
+        .filter(|r| r.category == QueryCategory::Local)
+        .map(|r| r.maps_fraction())
+        .sum::<f64>()
+        / 3.0;
+    let _ = writeln!(
+        md,
+        "* Maps share of local personalization: {:.0}% (paper: {:.0}–{:.0}%)",
+        100.0 * local_maps,
+        100.0 * facts::LOCAL_PERS_MAPS_SHARE.0,
+        100.0 * facts::LOCAL_PERS_MAPS_SHARE.1
+    );
+    checks.push(ShapeCheck {
+        name: "fig7: Maps explains a real minority of local differences".into(),
+        holds: local_maps > 0.05 && local_maps < 0.6,
+        detail: format!("{:.0}%", 100.0 * local_maps),
+    });
+    let other_dominates = breakdown
+        .iter()
+        .filter(|r| r.category == QueryCategory::Local)
+        .all(|r| r.other >= r.maps);
+    checks.push(ShapeCheck {
+        name: "fig7: most changes hit 'typical' results".into(),
+        holds: other_dominates,
+        detail: "other ≥ maps in every local cell".into(),
+    });
+
+    // ---- Verdicts -----------------------------------------------------------
+    let _ = writeln!(md, "\n## Shape checks\n");
+    for c in &checks {
+        let _ = writeln!(md, "* {} {} — {}", verdict(c.holds), c.name, c.detail);
+    }
+
+    Comparison { markdown: md, checks }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geoserp_crawler::{Crawler, ExperimentPlan};
+    use geoserp_geo::Seed;
+
+    fn dataset() -> Dataset {
+        let plan = ExperimentPlan {
+            days: 2,
+            queries_per_category: Some(10),
+            locations_per_granularity: Some(8),
+            ..ExperimentPlan::paper_full()
+        };
+        Crawler::new(Seed::new(2015)).run(&plan)
+    }
+
+    #[test]
+    fn comparison_holds_on_a_paper_configured_world() {
+        let ds = dataset();
+        let cmp = compare_with_paper(&ds);
+        assert!(
+            cmp.all_shapes_hold(),
+            "failing checks: {:?}",
+            cmp.checks.iter().filter(|c| !c.holds).collect::<Vec<_>>()
+        );
+        assert!(cmp.markdown.contains("## Figure 2"));
+        assert!(cmp.markdown.contains("## Figure 5"));
+        assert!(cmp.markdown.contains("✓"));
+    }
+
+    #[test]
+    fn markdown_tables_are_complete() {
+        let ds = dataset();
+        let cmp = compare_with_paper(&ds);
+        // 9 rows per figure table plus headers.
+        let fig2_rows = cmp
+            .markdown
+            .lines()
+            .filter(|l| l.starts_with("| ") && l.contains("County (Cuyahoga)"))
+            .count();
+        assert!(fig2_rows >= 6, "{fig2_rows}");
+    }
+}

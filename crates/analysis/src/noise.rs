@@ -1,0 +1,274 @@
+//! §3.1 noise analysis (Figures 2 and 3).
+//!
+//! Noise is measured by comparing every treatment with its simultaneous
+//! control: "two browsers that are running the same queries at the same time
+//! from the same locations".
+
+use crate::index::ObsIndex;
+use crate::render::{f2, table};
+use geoserp_corpus::QueryCategory;
+use geoserp_geo::Granularity;
+use geoserp_metrics::{edit_distance, jaccard, Summary};
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// One Figure-2 bar group: a (granularity, category) cell.
+#[derive(Debug, Clone, Serialize)]
+pub struct CategoryStat {
+    /// The granularity.
+    pub granularity: Granularity,
+    /// The category.
+    pub category: QueryCategory,
+    /// Jaccard index summary over all treatment/control pairs (queries ×
+    /// days × locations).
+    pub jaccard: Summary,
+    /// Edit-distance summary over the same pairs.
+    pub edit_distance: Summary,
+}
+
+/// Figure 2: average noise per query type and granularity.
+pub fn fig2_noise(idx: &ObsIndex<'_>) -> Vec<CategoryStat> {
+    let mut out = Vec::new();
+    for gran in idx.granularities() {
+        for category in idx.categories() {
+            let mut jaccards = Vec::new();
+            let mut edits = Vec::new();
+            idx.for_each_noise_pair(gran, category, |t, c| {
+                let a = idx.urls(t);
+                let b = idx.urls(c);
+                jaccards.push(jaccard(&a, &b));
+                edits.push(edit_distance(&a, &b) as f64);
+            });
+            out.push(CategoryStat {
+                granularity: gran,
+                category,
+                jaccard: Summary::of(&jaccards),
+                edit_distance: Summary::of(&edits),
+            });
+        }
+    }
+    out
+}
+
+/// Per-term series across granularities (Figures 3 and 6 share this shape).
+#[derive(Debug, Clone, Serialize)]
+pub struct TermSeries {
+    /// The term.
+    pub term: String,
+    /// Mean edit distance at each granularity.
+    pub edit_by_granularity: BTreeMap<Granularity, f64>,
+    /// Mean Jaccard at each granularity.
+    pub jaccard_by_granularity: BTreeMap<Granularity, f64>,
+}
+
+/// Figure 3: per-term noise for one category (the paper plots Local),
+/// sorted ascending by the national-granularity edit distance (the paper's
+/// x-axis ordering).
+pub fn fig3_noise_per_term(idx: &ObsIndex<'_>, category: QueryCategory) -> Vec<TermSeries> {
+    per_term_series(idx, category, false)
+}
+
+/// Shared implementation for Figures 3 (noise) and 6 (personalization).
+pub(crate) fn per_term_series(
+    idx: &ObsIndex<'_>,
+    category: QueryCategory,
+    personalization: bool,
+) -> Vec<TermSeries> {
+    let mut out: Vec<TermSeries> = idx
+        .terms(category)
+        .iter()
+        .map(|t| TermSeries {
+            term: t.to_string(),
+            edit_by_granularity: BTreeMap::new(),
+            jaccard_by_granularity: BTreeMap::new(),
+        })
+        .collect();
+
+    for gran in idx.granularities() {
+        for &term in idx.terms(category) {
+            let mut e = Vec::new();
+            let mut j = Vec::new();
+            let days = idx.days(gran);
+            let locs = idx.locations(gran);
+            if personalization {
+                for &day in &days {
+                    for i in 0..locs.len() {
+                        for k in (i + 1)..locs.len() {
+                            if let (Some(a), Some(b)) = (
+                                idx.get(day, gran, locs[i], term, geoserp_crawler::Role::Treatment),
+                                idx.get(day, gran, locs[k], term, geoserp_crawler::Role::Treatment),
+                            ) {
+                                let ua = idx.urls(a);
+                                let ub = idx.urls(b);
+                                e.push(edit_distance(&ua, &ub) as f64);
+                                j.push(jaccard(&ua, &ub));
+                            }
+                        }
+                    }
+                }
+            } else {
+                for &day in &days {
+                    for &loc in locs {
+                        if let (Some(t), Some(c)) = (
+                            idx.get(day, gran, loc, term, geoserp_crawler::Role::Treatment),
+                            idx.get(day, gran, loc, term, geoserp_crawler::Role::Control),
+                        ) {
+                            let ua = idx.urls(t);
+                            let ub = idx.urls(c);
+                            e.push(edit_distance(&ua, &ub) as f64);
+                            j.push(jaccard(&ua, &ub));
+                        }
+                    }
+                }
+            }
+            let entry = out.iter_mut().find(|s| s.term == term).expect("term row");
+            entry
+                .edit_by_granularity
+                .insert(gran, Summary::of(&e).mean);
+            entry
+                .jaccard_by_granularity
+                .insert(gran, Summary::of(&j).mean);
+        }
+    }
+
+    // Paper ordering: ascending by the national values.
+    out.sort_by(|a, b| {
+        let av = a
+            .edit_by_granularity
+            .get(&Granularity::National)
+            .copied()
+            .unwrap_or(0.0);
+        let bv = b
+            .edit_by_granularity
+            .get(&Granularity::National)
+            .copied()
+            .unwrap_or(0.0);
+        av.partial_cmp(&bv).unwrap().then(a.term.cmp(&b.term))
+    });
+    out
+}
+
+/// Render Figure 2 as a text table.
+pub fn render_fig2(stats: &[CategoryStat]) -> String {
+    let rows: Vec<Vec<String>> = stats
+        .iter()
+        .map(|s| {
+            vec![
+                s.granularity.label().to_string(),
+                s.category.label().to_string(),
+                format!("{} ± {}", f2(s.jaccard.mean), f2(s.jaccard.stddev)),
+                format!("{} ± {}", f2(s.edit_distance.mean), f2(s.edit_distance.stddev)),
+                s.jaccard.n.to_string(),
+            ]
+        })
+        .collect();
+    table(
+        &["granularity", "category", "avg jaccard", "avg edit dist", "pairs"],
+        &rows,
+    )
+}
+
+/// Render a per-term series table (Figures 3 and 6).
+pub fn render_term_series(series: &[TermSeries]) -> String {
+    let grans = [Granularity::County, Granularity::State, Granularity::National];
+    let rows: Vec<Vec<String>> = series
+        .iter()
+        .map(|s| {
+            let mut row = vec![s.term.clone()];
+            for g in grans {
+                row.push(
+                    s.edit_by_granularity
+                        .get(&g)
+                        .map(|v| f2(*v))
+                        .unwrap_or_else(|| "-".into()),
+                );
+            }
+            row
+        })
+        .collect();
+    table(
+        &["term", "county edit", "state edit", "national edit"],
+        &rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geoserp_crawler::{Crawler, Dataset, ExperimentPlan};
+    use geoserp_geo::Seed;
+
+    fn dataset() -> Dataset {
+        let plan = ExperimentPlan {
+            days: 2,
+            queries_per_category: Some(3),
+            locations_per_granularity: Some(4),
+            ..ExperimentPlan::quick()
+        };
+        Crawler::new(Seed::new(2015)).run(&plan)
+    }
+
+    #[test]
+    fn fig2_covers_all_cells() {
+        let ds = dataset();
+        let idx = ObsIndex::new(&ds);
+        let stats = fig2_noise(&idx);
+        assert_eq!(stats.len(), 9, "3 granularities × 3 categories");
+        for s in &stats {
+            assert!(s.jaccard.n > 0, "{:?}/{:?} empty", s.granularity, s.category);
+            assert!((0.0..=1.0).contains(&s.jaccard.mean));
+            assert!(s.edit_distance.mean >= 0.0);
+        }
+    }
+
+    #[test]
+    fn local_noise_exceeds_politician_noise() {
+        // The paper's headline Figure-2 shape.
+        let ds = dataset();
+        let idx = ObsIndex::new(&ds);
+        let stats = fig2_noise(&idx);
+        let mean_edit = |cat: QueryCategory| -> f64 {
+            let xs: Vec<f64> = stats
+                .iter()
+                .filter(|s| s.category == cat)
+                .map(|s| s.edit_distance.mean)
+                .collect();
+            xs.iter().sum::<f64>() / xs.len() as f64
+        };
+        assert!(
+            mean_edit(QueryCategory::Local) >= mean_edit(QueryCategory::Politician),
+            "local {} vs politician {}",
+            mean_edit(QueryCategory::Local),
+            mean_edit(QueryCategory::Politician)
+        );
+    }
+
+    #[test]
+    fn fig3_sorted_by_national_and_complete() {
+        let ds = dataset();
+        let idx = ObsIndex::new(&ds);
+        let series = fig3_noise_per_term(&idx, QueryCategory::Local);
+        assert_eq!(series.len(), 3);
+        let nationals: Vec<f64> = series
+            .iter()
+            .map(|s| s.edit_by_granularity[&Granularity::National])
+            .collect();
+        for w in nationals.windows(2) {
+            assert!(w[0] <= w[1], "not sorted: {nationals:?}");
+        }
+        for s in &series {
+            assert_eq!(s.edit_by_granularity.len(), 3);
+            assert_eq!(s.jaccard_by_granularity.len(), 3);
+        }
+    }
+
+    #[test]
+    fn renders_are_nonempty() {
+        let ds = dataset();
+        let idx = ObsIndex::new(&ds);
+        let f2t = render_fig2(&fig2_noise(&idx));
+        assert!(f2t.contains("County (Cuyahoga)"));
+        let f3t = render_term_series(&fig3_noise_per_term(&idx, QueryCategory::Local));
+        assert!(f3t.contains("national edit"));
+    }
+}

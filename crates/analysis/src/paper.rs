@@ -1,0 +1,113 @@
+//! The paper's published values, as machine-readable reference data.
+//!
+//! Approximate values read off the IMC 2015 figures (the paper publishes no
+//! numeric tables beyond Table 1), used by the markdown comparison report
+//! and by the shape-acceptance checks: a reproduction is judged on *shape*
+//! (orderings, factors, crossovers), not on matching a 2015 crawl of live
+//! Google digit-for-digit.
+
+use geoserp_corpus::QueryCategory;
+use geoserp_geo::Granularity;
+
+/// A (granularity, category) reference cell from Figures 2 and 5.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReferenceCell {
+    /// The granularity.
+    pub granularity: Granularity,
+    /// The category.
+    pub category: QueryCategory,
+    /// Approximate mean Jaccard read off the figure.
+    pub jaccard: f64,
+    /// Approximate mean edit distance read off the figure.
+    pub edit: f64,
+}
+
+/// Figure 2 (noise), as read off the paper's bars.
+pub const FIG2_NOISE: [ReferenceCell; 9] = [
+    ReferenceCell { granularity: Granularity::County, category: QueryCategory::Politician, jaccard: 0.95, edit: 0.9 },
+    ReferenceCell { granularity: Granularity::County, category: QueryCategory::Controversial, jaccard: 0.96, edit: 0.7 },
+    ReferenceCell { granularity: Granularity::County, category: QueryCategory::Local, jaccard: 0.85, edit: 2.5 },
+    ReferenceCell { granularity: Granularity::State, category: QueryCategory::Politician, jaccard: 0.95, edit: 0.9 },
+    ReferenceCell { granularity: Granularity::State, category: QueryCategory::Controversial, jaccard: 0.96, edit: 0.7 },
+    ReferenceCell { granularity: Granularity::State, category: QueryCategory::Local, jaccard: 0.82, edit: 3.1 },
+    ReferenceCell { granularity: Granularity::National, category: QueryCategory::Politician, jaccard: 0.95, edit: 0.9 },
+    ReferenceCell { granularity: Granularity::National, category: QueryCategory::Controversial, jaccard: 0.96, edit: 0.7 },
+    ReferenceCell { granularity: Granularity::National, category: QueryCategory::Local, jaccard: 0.83, edit: 2.8 },
+];
+
+/// Figure 5 (personalization), as read off the paper's bars.
+pub const FIG5_PERSONALIZATION: [ReferenceCell; 9] = [
+    ReferenceCell { granularity: Granularity::County, category: QueryCategory::Politician, jaccard: 0.94, edit: 1.1 },
+    ReferenceCell { granularity: Granularity::County, category: QueryCategory::Controversial, jaccard: 0.95, edit: 0.9 },
+    ReferenceCell { granularity: Granularity::County, category: QueryCategory::Local, jaccard: 0.82, edit: 6.3 },
+    ReferenceCell { granularity: Granularity::State, category: QueryCategory::Politician, jaccard: 0.93, edit: 1.2 },
+    ReferenceCell { granularity: Granularity::State, category: QueryCategory::Controversial, jaccard: 0.94, edit: 1.0 },
+    ReferenceCell { granularity: Granularity::State, category: QueryCategory::Local, jaccard: 0.71, edit: 10.5 },
+    ReferenceCell { granularity: Granularity::National, category: QueryCategory::Politician, jaccard: 0.93, edit: 1.2 },
+    ReferenceCell { granularity: Granularity::National, category: QueryCategory::Controversial, jaccard: 0.94, edit: 1.1 },
+    ReferenceCell { granularity: Granularity::National, category: QueryCategory::Local, jaccard: 0.66, edit: 11.5 },
+];
+
+/// Scalar reference facts quoted in the paper's prose.
+pub mod facts {
+    /// §2.2: "94% of the search results received by the machines are
+    /// identical" (validation, shared GPS).
+    pub const VALIDATION_GPS_AGREEMENT: f64 = 0.94;
+    /// §3.1: Maps responsible for ≈ 25 % of local-query noise.
+    pub const LOCAL_NOISE_MAPS_SHARE: f64 = 0.25;
+    /// §3.2: Maps explain 18–27 % of local personalization.
+    pub const LOCAL_PERS_MAPS_SHARE: (f64, f64) = (0.18, 0.27);
+    /// §3.2: News explains 6–18 % of controversial personalization.
+    pub const CONTRO_PERS_NEWS_SHARE: (f64, f64) = (0.06, 0.18);
+    /// §3.2: per-term local personalization spans 5–17 changed results.
+    pub const LOCAL_PER_TERM_RANGE: (f64, f64) = (5.0, 17.0);
+    /// Abstract: local queries receive "4-5 different results per page".
+    pub const LOCAL_DIFFERENT_RESULTS: (f64, f64) = (4.0, 5.0);
+}
+
+/// Reference lookup.
+pub fn fig2_reference(g: Granularity, c: QueryCategory) -> Option<&'static ReferenceCell> {
+    FIG2_NOISE.iter().find(|r| r.granularity == g && r.category == c)
+}
+
+/// Reference lookup.
+pub fn fig5_reference(g: Granularity, c: QueryCategory) -> Option<&'static ReferenceCell> {
+    FIG5_PERSONALIZATION
+        .iter()
+        .find(|r| r.granularity == g && r.category == c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn references_cover_every_cell() {
+        for g in [Granularity::County, Granularity::State, Granularity::National] {
+            for c in [
+                QueryCategory::Local,
+                QueryCategory::Controversial,
+                QueryCategory::Politician,
+            ] {
+                assert!(fig2_reference(g, c).is_some(), "{g:?}/{c:?}");
+                assert!(fig5_reference(g, c).is_some(), "{g:?}/{c:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn references_encode_the_papers_shape() {
+        // Local noise above the others at every granularity…
+        for g in [Granularity::County, Granularity::State, Granularity::National] {
+            let local = fig2_reference(g, QueryCategory::Local).unwrap();
+            let contro = fig2_reference(g, QueryCategory::Controversial).unwrap();
+            assert!(local.edit > contro.edit);
+            assert!(local.jaccard < contro.jaccard);
+        }
+        // …and local personalization grows with distance.
+        let county = fig5_reference(Granularity::County, QueryCategory::Local).unwrap();
+        let state = fig5_reference(Granularity::State, QueryCategory::Local).unwrap();
+        let national = fig5_reference(Granularity::National, QueryCategory::Local).unwrap();
+        assert!(county.edit < state.edit && state.edit < national.edit);
+    }
+}

@@ -1,0 +1,305 @@
+//! §3.2 personalization analysis (Figures 5 and 6).
+//!
+//! Personalization is measured by comparing *all pairs of treatments* —
+//! same term, same instant, different locations — and judged against the
+//! noise floor from §3.1.
+
+use crate::index::ObsIndex;
+use crate::noise::{fig2_noise, per_term_series, TermSeries};
+use crate::render::{f2, table};
+use geoserp_corpus::QueryCategory;
+use geoserp_geo::Granularity;
+use geoserp_metrics::{edit_distance, jaccard, Summary};
+use serde::Serialize;
+
+/// One Figure-5 bar group with its Figure-2 noise floor attached.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig5Row {
+    /// The granularity.
+    pub granularity: Granularity,
+    /// The category.
+    pub category: QueryCategory,
+    /// Jaccard over all location pairs.
+    pub jaccard: Summary,
+    /// Edit distance over all location pairs.
+    pub edit_distance: Summary,
+    /// The matching noise floor (mean over treatment/control pairs).
+    pub noise_jaccard_mean: f64,
+    /// The noise edit mean.
+    pub noise_edit_mean: f64,
+}
+
+impl Fig5Row {
+    /// Personalization beyond noise, in edit-distance units (floored at 0).
+    pub fn edit_above_noise(&self) -> f64 {
+        (self.edit_distance.mean - self.noise_edit_mean).max(0.0)
+    }
+
+    /// True when the measured differences are distinguishable from noise —
+    /// the paper requires the signal to clear the noise floor before
+    /// claiming personalization.
+    pub fn exceeds_noise(&self) -> bool {
+        self.edit_distance.mean > self.noise_edit_mean
+            && self.jaccard.mean < self.noise_jaccard_mean
+    }
+}
+
+/// Figure 5: average personalization per query type and granularity, with
+/// the noise floor from Figure 2.
+pub fn fig5_personalization(idx: &ObsIndex<'_>) -> Vec<Fig5Row> {
+    let noise = fig2_noise(idx);
+    let mut out = Vec::new();
+    for gran in idx.granularities() {
+        for category in idx.categories() {
+            let mut jaccards = Vec::new();
+            let mut edits = Vec::new();
+            idx.for_each_treatment_pair(gran, category, |a, b| {
+                let ua = idx.urls(a);
+                let ub = idx.urls(b);
+                jaccards.push(jaccard(&ua, &ub));
+                edits.push(edit_distance(&ua, &ub) as f64);
+            });
+            let floor = noise
+                .iter()
+                .find(|n| n.granularity == gran && n.category == category)
+                .expect("fig2 covers every cell");
+            out.push(Fig5Row {
+                granularity: gran,
+                category,
+                jaccard: Summary::of(&jaccards),
+                edit_distance: Summary::of(&edits),
+                noise_jaccard_mean: floor.jaccard.mean,
+                noise_edit_mean: floor.edit_distance.mean,
+            });
+        }
+    }
+    out
+}
+
+/// Figure 6: per-term personalization for one category (the paper plots
+/// Local), sorted ascending by the national values.
+pub fn fig6_personalization_per_term(
+    idx: &ObsIndex<'_>,
+    category: QueryCategory,
+) -> Vec<TermSeries> {
+    per_term_series(idx, category, true)
+}
+
+/// §3.2's "exceptional search terms": the terms of a category most
+/// personalized at a granularity, descending. The paper calls out common
+/// politician names ("Bill Johnson", "Tim Ryan" — ambiguity) and the
+/// controversial terms "health", "republican party", "politics".
+pub fn most_personalized_terms(
+    idx: &ObsIndex<'_>,
+    category: QueryCategory,
+    granularity: Granularity,
+    top_k: usize,
+) -> Vec<(String, f64)> {
+    let mut rows: Vec<(String, f64)> = per_term_series(idx, category, true)
+        .into_iter()
+        .map(|s| {
+            let v = s
+                .edit_by_granularity
+                .get(&granularity)
+                .copied()
+                .unwrap_or(0.0);
+            (s.term, v)
+        })
+        .collect();
+    rows.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    rows.truncate(top_k);
+    rows
+}
+
+/// Render Figure 5 as a text table.
+pub fn render_fig5(rows: &[Fig5Row]) -> String {
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.granularity.label().to_string(),
+                r.category.label().to_string(),
+                format!("{} ± {}", f2(r.jaccard.mean), f2(r.jaccard.stddev)),
+                format!("{} ± {}", f2(r.edit_distance.mean), f2(r.edit_distance.stddev)),
+                f2(r.noise_jaccard_mean),
+                f2(r.noise_edit_mean),
+                f2(r.edit_above_noise()),
+            ]
+        })
+        .collect();
+    table(
+        &[
+            "granularity",
+            "category",
+            "avg jaccard",
+            "avg edit dist",
+            "noise jacc",
+            "noise edit",
+            "edit>noise",
+        ],
+        &body,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geoserp_crawler::{Crawler, Dataset, ExperimentPlan};
+    use geoserp_geo::Seed;
+
+    fn dataset() -> Dataset {
+        let plan = ExperimentPlan {
+            days: 2,
+            queries_per_category: Some(3),
+            locations_per_granularity: Some(5),
+            ..ExperimentPlan::quick()
+        };
+        Crawler::new(Seed::new(2015)).run(&plan)
+    }
+
+    #[test]
+    fn fig5_covers_all_cells_with_floors() {
+        let ds = dataset();
+        let idx = ObsIndex::new(&ds);
+        let rows = fig5_personalization(&idx);
+        assert_eq!(rows.len(), 9);
+        for r in &rows {
+            assert!(r.jaccard.n > 0);
+            assert!(r.noise_edit_mean >= 0.0);
+        }
+    }
+
+    #[test]
+    fn local_personalization_clears_noise_floor() {
+        // The paper's core claim: local queries are personalized beyond
+        // noise, and the effect grows with distance.
+        let ds = dataset();
+        let idx = ObsIndex::new(&ds);
+        let rows = fig5_personalization(&idx);
+        let local = |g: Granularity| -> &Fig5Row {
+            rows.iter()
+                .find(|r| r.granularity == g && r.category == QueryCategory::Local)
+                .unwrap()
+        };
+        let state = local(Granularity::State);
+        let national = local(Granularity::National);
+        assert!(
+            state.exceeds_noise(),
+            "state-level local personalization {:?} must clear noise {:?}",
+            state.edit_distance.mean,
+            state.noise_edit_mean
+        );
+        assert!(national.exceeds_noise());
+        // Growth with distance (county ≤ state ≤ national, allowing slack
+        // at the small quick-plan scale for the county level).
+        assert!(
+            national.edit_distance.mean >= local(Granularity::County).edit_distance.mean,
+            "national {} < county {}",
+            national.edit_distance.mean,
+            local(Granularity::County).edit_distance.mean
+        );
+    }
+
+    #[test]
+    fn politicians_stay_near_noise() {
+        let ds = dataset();
+        let idx = ObsIndex::new(&ds);
+        let rows = fig5_personalization(&idx);
+        for r in rows
+            .iter()
+            .filter(|r| r.category == QueryCategory::Politician)
+        {
+            assert!(
+                r.edit_above_noise() < 4.0,
+                "politician personalization too strong at {:?}: {} above noise {}",
+                r.granularity,
+                r.edit_distance.mean,
+                r.noise_edit_mean
+            );
+        }
+    }
+
+    #[test]
+    fn fig6_shape() {
+        let ds = dataset();
+        let idx = ObsIndex::new(&ds);
+        let series = fig6_personalization_per_term(&idx, QueryCategory::Local);
+        assert_eq!(series.len(), 3);
+        for s in &series {
+            assert_eq!(s.edit_by_granularity.len(), 3);
+        }
+    }
+
+    #[test]
+    fn exceptional_terms_match_the_papers_callouts() {
+        // Full category lists (no subsampling) so the named terms are in
+        // the crawl; 2 days × 6 locations keeps this test fast.
+        let plan = ExperimentPlan {
+            days: 2,
+            queries_per_category: None,
+            locations_per_granularity: Some(6),
+            ..ExperimentPlan::paper_full()
+        };
+        let ds = Crawler::new(Seed::new(2015)).run(&plan);
+        let idx = ObsIndex::new(&ds);
+
+        // §3.2: "In the case of politicians, these exceptions are common
+        // names such as 'Bill Johnson' or 'Tim Ryan'". Ambiguously named
+        // politicians must personalize more than the rest on average, and
+        // at least one must appear among the most-personalized terms.
+        let all_pol = most_personalized_terms(
+            &idx,
+            QueryCategory::Politician,
+            Granularity::National,
+            usize::MAX,
+        );
+        let commons = ["Bill Johnson", "Tim Ryan", "Mike Smith", "John Brown", "Dave Miller", "Jim Jones"];
+        let (mut common_vals, mut other_vals) = (Vec::new(), Vec::new());
+        for (term, v) in &all_pol {
+            if commons.contains(&term.as_str()) {
+                common_vals.push(*v);
+            } else {
+                other_vals.push(*v);
+            }
+        }
+        let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len().max(1) as f64;
+        assert!(
+            mean(&common_vals) > mean(&other_vals),
+            "ambiguous names must out-personalize the pack: {:.2} vs {:.2}",
+            mean(&common_vals),
+            mean(&other_vals)
+        );
+        let top12: Vec<&str> = all_pol.iter().take(12).map(|(t, _)| t.as_str()).collect();
+        assert!(
+            commons.iter().any(|c| top12.contains(c)),
+            "no common name among the most personalized: {top12:?}"
+        );
+
+        // §3.2: "the most personalized [controversial] queries are 'health',
+        // 'republican party', and 'politics'".
+        let top_contro = most_personalized_terms(
+            &idx,
+            QueryCategory::Controversial,
+            Granularity::National,
+            8,
+        );
+        let terms: Vec<&str> = top_contro.iter().map(|(t, _)| t.as_str()).collect();
+        let special_hits = ["Health", "Republican Party", "Politics"]
+            .iter()
+            .filter(|t| terms.contains(*t))
+            .count();
+        assert!(
+            special_hits >= 2,
+            "the §3.2 terms should top the controversial list, got {terms:?}"
+        );
+    }
+
+    #[test]
+    fn render_contains_floors() {
+        let ds = dataset();
+        let idx = ObsIndex::new(&ds);
+        let text = render_fig5(&fig5_personalization(&idx));
+        assert!(text.contains("noise edit"));
+        assert!(text.contains("Local"));
+    }
+}

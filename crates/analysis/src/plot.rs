@@ -1,0 +1,166 @@
+//! Terminal plots for the figure regenerators.
+//!
+//! The paper's figures are bar charts and per-day line plots; the bench
+//! binaries print these as ASCII so a full-scale run is readable in a
+//! terminal or CI log without a plotting stack.
+
+/// A horizontal bar chart: one labelled bar per row, scaled to `width`
+pub fn hbar(title: &str, rows: &[(String, f64)], width: usize) -> String {
+    assert!(width >= 8, "width must fit a readable bar");
+    let max = rows
+        .iter()
+        .map(|(_, v)| *v)
+        .fold(0.0_f64, f64::max)
+        .max(f64::MIN_POSITIVE);
+    let label_w = rows
+        .iter()
+        .map(|(l, _)| l.chars().count())
+        .max()
+        .unwrap_or(0);
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    for (label, value) in rows {
+        assert!(*value >= 0.0, "bars are for non-negative values");
+        let filled = ((value / max) * width as f64).round() as usize;
+        out.push_str(&format!(
+            "{label:<label_w$} |{}{} {value:.2}\n",
+            "#".repeat(filled),
+            " ".repeat(width - filled.min(width)),
+        ));
+    }
+    out
+}
+
+/// Grouped bars: each row carries one value per group (e.g. a value per
+/// granularity), rendered as stacked sub-rows with group tags.
+pub fn grouped_hbar(
+    title: &str,
+    groups: &[&str],
+    rows: &[(String, Vec<f64>)],
+    width: usize,
+) -> String {
+    let max = rows
+        .iter()
+        .flat_map(|(_, vs)| vs.iter().copied())
+        .fold(0.0_f64, f64::max)
+        .max(f64::MIN_POSITIVE);
+    let label_w = rows
+        .iter()
+        .map(|(l, _)| l.chars().count())
+        .max()
+        .unwrap_or(0);
+    let tag_w = groups.iter().map(|g| g.chars().count()).max().unwrap_or(0);
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    for (label, values) in rows {
+        assert_eq!(values.len(), groups.len(), "one value per group");
+        for (tag, value) in groups.iter().zip(values) {
+            let filled = ((value / max) * width as f64).round() as usize;
+            out.push_str(&format!(
+                "{label:<label_w$} {tag:<tag_w$} |{} {value:.2}\n",
+                "#".repeat(filled.min(width)),
+            ));
+        }
+    }
+    out
+}
+
+/// A per-day series table with a unicode sparkline per row — the Figure-8
+/// "lines over days" view.
+pub fn series_sparklines(title: &str, days: &[u32], rows: &[(String, Vec<f64>)]) -> String {
+    const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let max = rows
+        .iter()
+        .flat_map(|(_, vs)| vs.iter().copied())
+        .fold(0.0_f64, f64::max)
+        .max(f64::MIN_POSITIVE);
+    let label_w = rows
+        .iter()
+        .map(|(l, _)| l.chars().count())
+        .max()
+        .unwrap_or(0);
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    for (label, values) in rows {
+        assert_eq!(values.len(), days.len(), "one value per day");
+        let spark: String = values
+            .iter()
+            .map(|v| {
+                let idx = ((v / max) * (LEVELS.len() - 1) as f64).round() as usize;
+                LEVELS[idx.min(LEVELS.len() - 1)]
+            })
+            .collect();
+        let mean = values.iter().sum::<f64>() / values.len().max(1) as f64;
+        out.push_str(&format!("{label:<label_w$} {spark}  mean {mean:.2}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hbar_scales_to_max() {
+        let chart = hbar(
+            "noise",
+            &[("Local".into(), 4.0), ("Politicians".into(), 1.0)],
+            20,
+        );
+        let lines: Vec<&str> = chart.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[1].matches('#').count(), 20, "max fills the width");
+        assert_eq!(lines[2].matches('#').count(), 5, "quarter value, quarter bar");
+        assert!(lines[1].contains("4.00"));
+    }
+
+    #[test]
+    fn hbar_handles_all_zero() {
+        let chart = hbar("empty", &[("a".into(), 0.0)], 10);
+        assert!(chart.contains("0.00"));
+        assert_eq!(chart.lines().nth(1).unwrap().matches('#').count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn hbar_rejects_negatives() {
+        hbar("bad", &[("a".into(), -1.0)], 10);
+    }
+
+    #[test]
+    fn grouped_hbar_emits_one_row_per_group() {
+        let chart = grouped_hbar(
+            "personalization",
+            &["county", "state"],
+            &[("School".into(), vec![2.0, 4.0])],
+            10,
+        );
+        assert_eq!(chart.lines().count(), 3);
+        assert!(chart.contains("county"));
+        assert!(chart.contains("state"));
+    }
+
+    #[test]
+    #[should_panic(expected = "one value per group")]
+    fn grouped_hbar_checks_arity() {
+        grouped_hbar("x", &["a", "b"], &[("r".into(), vec![1.0])], 10);
+    }
+
+    #[test]
+    fn sparklines_span_levels() {
+        let chart = series_sparklines(
+            "fig8",
+            &[0, 1, 2],
+            &[
+                ("baseline".into(), vec![0.5, 0.5, 0.5]),
+                ("far away".into(), vec![8.0, 8.0, 8.0]),
+            ],
+        );
+        assert!(chart.contains('█'), "max value gets the full block");
+        assert!(chart.contains("mean 8.00"));
+        assert!(chart.contains("mean 0.50"));
+    }
+}

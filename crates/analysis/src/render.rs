@@ -1,0 +1,82 @@
+//! Plain-text rendering of figure data (what the bench binaries print).
+
+/// Format a float with two decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Format a float with three decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Render an aligned text table.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    for (i, r) in rows.iter().enumerate() {
+        assert_eq!(r.len(), cols, "row {i} has {} cells, want {cols}", r.len());
+    }
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.chars().count()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.chars().count());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:<w$}", w = w))
+            .collect::<Vec<_>>()
+            .join("  ")
+            .trim_end()
+            .to_string()
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = table(
+            &["term", "edit"],
+            &[
+                vec!["Starbucks".into(), "0.51".into()],
+                vec!["Middle School".into(), "3.20".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("term"));
+        assert!(lines[2].starts_with("Starbucks"));
+        // The numeric column starts at the same offset in both data rows.
+        let off2 = lines[2].find("0.51").unwrap();
+        let off3 = lines[3].find("3.20").unwrap();
+        assert_eq!(off2, off3);
+    }
+
+    #[test]
+    #[should_panic(expected = "cells")]
+    fn table_checks_arity() {
+        table(&["a", "b"], &[vec!["only-one".into()]]);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f2(1.0 / 3.0), "0.33");
+        assert_eq!(f3(2.0 / 3.0), "0.667");
+    }
+}

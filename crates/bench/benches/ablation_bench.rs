@@ -1,0 +1,65 @@
+//! Criterion benches for the DESIGN.md ablation axes that have a *runtime*
+//! dimension: how expensive is each engine variant per query? (The
+//! result-shape ablations live in the `ablations` binary.)
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use geoserp_core::corpus::WebCorpus;
+use geoserp_core::engine::config::{DecayKernel, MapsPolicy};
+use geoserp_core::engine::{EngineConfig, SearchContext, SearchEngine};
+use geoserp_core::geo::{Seed, UsGeography};
+use std::sync::Arc;
+
+fn bench_ablations(c: &mut Criterion) {
+    let geo = UsGeography::generate(Seed::new(2015));
+    let corpus = Arc::new(WebCorpus::generate(&geo, Seed::new(2015).derive("corpus")));
+    let metro = geoserp_core::geo::us::CUYAHOGA_CENTROID;
+
+    let variants: Vec<(&str, EngineConfig)> = vec![
+        ("paper", EngineConfig::paper_defaults()),
+        ("noiseless", EngineConfig::noiseless()),
+        (
+            "kernel-step",
+            EngineConfig {
+                decay_kernel: DecayKernel::Step,
+                ..EngineConfig::paper_defaults()
+            },
+        ),
+        (
+            "maps-never",
+            EngineConfig {
+                maps_policy: MapsPolicy::Never,
+                ..EngineConfig::paper_defaults()
+            },
+        ),
+        (
+            "maps-always",
+            EngineConfig {
+                maps_policy: MapsPolicy::Always,
+                ..EngineConfig::paper_defaults()
+            },
+        ),
+    ];
+
+    for (label, cfg) in variants {
+        let engine = SearchEngine::new(Arc::clone(&corpus), &geo, cfg, Seed::new(2015));
+        let mut seq = 0u64;
+        c.bench_function(&format!("search/School under {label}"), |b| {
+            b.iter(|| {
+                seq += 1;
+                engine.search(black_box(&SearchContext {
+                    query: "School".into(),
+                    gps: Some(metro),
+                    src: "10.0.0.1".parse().unwrap(),
+                    datacenter: 0,
+                    seq,
+                    at_ms: 20 * 86_400_000,
+                    session: None,
+                    page: 0,
+                }))
+            })
+        });
+    }
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion bench for end-to-end crawl throughput: one lock-step round
+//! (every location × treatment+control over the network, parsed and
+//! committed) and a whole miniature study.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use geoserp_core::prelude::*;
+
+fn bench_crawl(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crawl");
+    group.sample_size(10);
+    group.bench_function("crawler world construction", |b| {
+        b.iter(|| Crawler::new(Seed::new(2015)))
+    });
+
+    let crawler = Crawler::new(Seed::new(2015));
+    let round_plan = ExperimentPlan {
+        days: 1,
+        queries_per_category: Some(1),
+        locations_per_granularity: Some(15),
+        batches: vec![vec![QueryCategory::Local]],
+        granularities: vec![Granularity::County],
+        ..ExperimentPlan::paper_full()
+    };
+    group.bench_function("one lock-step round (15 locations x T+C)", |b| {
+        b.iter_batched(
+            || round_plan.clone(),
+            |plan| crawler.run(&plan),
+            BatchSize::SmallInput,
+        )
+    });
+
+    let mini = ExperimentPlan {
+        days: 1,
+        queries_per_category: Some(4),
+        locations_per_granularity: Some(6),
+        ..ExperimentPlan::paper_full()
+    };
+    group.bench_function("miniature full study (12 terms x 3 grans x 6 locs)", |b| {
+        b.iter_batched(
+            || mini.clone(),
+            |plan| crawler.run(&plan),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_crawl);
+criterion_main!(benches);

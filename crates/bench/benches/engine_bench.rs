@@ -1,0 +1,66 @@
+//! Criterion benches for the simulated engine: index construction and
+//! per-query-category search latency (one SERP end to end, no network).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use geoserp_core::corpus::WebCorpus;
+use geoserp_core::engine::{EngineConfig, SearchContext, SearchEngine};
+use geoserp_core::geo::{Seed, UsGeography};
+use std::sync::Arc;
+
+fn bench_engine(c: &mut Criterion) {
+    let geo = UsGeography::generate(Seed::new(2015));
+    let corpus = Arc::new(WebCorpus::generate(&geo, Seed::new(2015).derive("corpus")));
+
+    // Construction benches are seconds-long; keep the sample count low.
+    let mut heavy = c.benchmark_group("construction");
+    heavy.sample_size(10);
+    heavy.bench_function("corpus generation", |b| {
+        b.iter(|| WebCorpus::generate(black_box(&geo), Seed::new(7)))
+    });
+    heavy.bench_function("engine build (index + place index)", |b| {
+        b.iter(|| {
+            SearchEngine::new(
+                Arc::clone(&corpus),
+                &geo,
+                EngineConfig::paper_defaults(),
+                Seed::new(7),
+            )
+        })
+    });
+    heavy.finish();
+
+    let engine = SearchEngine::new(
+        Arc::clone(&corpus),
+        &geo,
+        EngineConfig::paper_defaults(),
+        Seed::new(2015),
+    );
+    let metro = geoserp_core::geo::us::CUYAHOGA_CENTROID;
+    let mk_ctx = |q: &str, seq: u64| SearchContext {
+        query: q.to_string(),
+        gps: Some(metro),
+        src: "10.0.0.1".parse().unwrap(),
+        datacenter: 0,
+        seq,
+        at_ms: 20 * 86_400_000,
+        session: None,
+        page: 0,
+    };
+    for (label, q) in [
+        ("search/local-generic (School)", "School"),
+        ("search/local-brand (Starbucks)", "Starbucks"),
+        ("search/controversial (Gay Marriage)", "Gay Marriage"),
+        ("search/politician (Barack Obama)", "Barack Obama"),
+    ] {
+        let mut seq = 0u64;
+        c.bench_function(label, |b| {
+            b.iter(|| {
+                seq += 1;
+                engine.search(black_box(&mk_ctx(q, seq)))
+            })
+        });
+    }
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion benches for the §2.3 comparison metrics on realistic page
+//! sizes (the paper's pages carry 12–22 URLs).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use geoserp_core::metrics::{attribution, edit_distance, jaccard, levenshtein};
+
+fn page(n: usize, offset: usize) -> Vec<String> {
+    (0..n)
+        .map(|i| format!("https://site-{}.example.com/page", i + offset))
+        .collect()
+}
+
+fn bench_metrics(c: &mut Criterion) {
+    // Two pages sharing ~2/3 of their URLs with some reordering.
+    let a = page(18, 0);
+    let mut b = page(18, 6);
+    b.swap(2, 3);
+    b.swap(8, 10);
+
+    c.bench_function("jaccard/18-url pages", |bench| {
+        bench.iter(|| jaccard(black_box(&a), black_box(&b)))
+    });
+    c.bench_function("edit_distance(OSA)/18-url pages", |bench| {
+        bench.iter(|| edit_distance(black_box(&a), black_box(&b)))
+    });
+    c.bench_function("levenshtein/18-url pages", |bench| {
+        bench.iter(|| levenshtein(black_box(&a), black_box(&b)))
+    });
+
+    #[derive(PartialEq, Eq, Clone, Copy)]
+    enum T {
+        O,
+        M,
+        N,
+    }
+    let ta: Vec<(String, T)> = a
+        .iter()
+        .enumerate()
+        .map(|(i, u)| (u.clone(), if i < 3 { T::M } else if i < 5 { T::N } else { T::O }))
+        .collect();
+    let tb: Vec<(String, T)> = b
+        .iter()
+        .enumerate()
+        .map(|(i, u)| (u.clone(), if i < 3 { T::M } else if i < 5 { T::N } else { T::O }))
+        .collect();
+    c.bench_function("attribution/18-url pages", |bench| {
+        bench.iter(|| attribution(black_box(&ta), black_box(&tb), &T::M, &T::N))
+    });
+}
+
+criterion_group!(benches, bench_metrics);
+criterion_main!(benches);

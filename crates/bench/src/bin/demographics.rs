@@ -1,0 +1,26 @@
+//! §3.2: correlations between demographic features and SERP similarity —
+//! the paper's null result.
+
+use geoserp_bench::standard_dataset;
+use geoserp_core::analysis::{demographics, ObsIndex};
+use geoserp_core::corpus::QueryCategory;
+use geoserp_core::geo::Granularity;
+
+fn main() {
+    let (_study, dataset) = standard_dataset("demographics");
+    let idx = ObsIndex::new(&dataset);
+    for gran in [Granularity::County, Granularity::State] {
+        let r = demographics::demographic_correlations(&idx, QueryCategory::Local, gran);
+        println!(
+            "§3.2 correlations at {} ({} location pairs):\n",
+            gran.label(),
+            r.pairs
+        );
+        println!("{}", demographics::render_demographics(&r));
+        println!(
+            "max |pearson r| over the 25 demographic features: {:.3}\n",
+            r.max_abs_feature_pearson()
+        );
+    }
+    println!("expected: at county granularity nothing explains the clustering\n(the paper's null result); at state granularity only raw distance\ncorrelates (the personalization mechanism itself).");
+}

@@ -1,0 +1,44 @@
+//! Figure 1: an example mobile SERP — rendered wire markup and the parsed
+//! card view, for one local query issued from Cleveland.
+
+use geoserp_bench::seed_from_env;
+use geoserp_core::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    let study = Study::builder().seed(seed_from_env()).build();
+    let crawler = study.crawler();
+    let loc = crawler.vantage().baseline(Granularity::County).clone();
+    let mut browser = geoserp_core::browser::Browser::new(
+        Arc::clone(crawler.net()),
+        geoserp_core::net::ip("198.51.100.9"),
+    );
+    let fetch = browser
+        .run_search_job(geoserp_core::engine::SEARCH_HOST, "Elementary School", loc.coord)
+        .expect("search succeeds");
+
+    println!("== raw wire markup (what the crawler scrapes) ==\n");
+    println!("{}", fetch.body);
+
+    let page = geoserp_core::serp::parse(&fetch.body).expect("parses");
+    println!("== parsed card view (Figure 1's structure) ==\n");
+    for card in &page.cards {
+        match card.ctype {
+            geoserp_core::serp::CardType::Organic => {
+                let (url, title) = &card.entries[0];
+                println!("[card] {title}\n       {url}");
+            }
+            other => {
+                println!("[{:?} card]", other);
+                for (url, title) in &card.entries {
+                    println!("       {title} — {url}");
+                }
+            }
+        }
+    }
+    println!(
+        "\nfooter: reported location = {:?}   ({} extracted results)",
+        page.reported_location,
+        page.result_count()
+    );
+}

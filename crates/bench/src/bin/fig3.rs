@@ -1,0 +1,16 @@
+//! Figure 3: noise levels for each local query across granularities.
+
+use geoserp_bench::standard_dataset;
+use geoserp_core::analysis::{noise, ObsIndex};
+use geoserp_core::corpus::QueryCategory;
+
+fn main() {
+    let (_study, dataset) = standard_dataset("fig3");
+    let idx = ObsIndex::new(&dataset);
+    println!("Figure 3: per-term noise for local queries (sorted by national values).\n");
+    println!(
+        "{}",
+        noise::render_term_series(&noise::fig3_noise_per_term(&idx, QueryCategory::Local))
+    );
+    println!("expected shape: brand names (Starbucks, KFC, …) low; generic terms\n(school, hospital, …) high.");
+}

@@ -1,0 +1,30 @@
+//! Figure 6: personalization of each local search term across granularities.
+
+use geoserp_bench::standard_dataset;
+use geoserp_core::analysis::{noise, personalization, ObsIndex};
+use geoserp_core::corpus::QueryCategory;
+use geoserp_core::geo::Granularity;
+
+fn main() {
+    let (_study, dataset) = standard_dataset("fig6");
+    let idx = ObsIndex::new(&dataset);
+    println!("Figure 6: per-term personalization for local queries.\n");
+    println!(
+        "{}",
+        noise::render_term_series(&personalization::fig6_personalization_per_term(
+            &idx,
+            QueryCategory::Local
+        ))
+    );
+    println!("expected shape: 5–17 results changed; brands lowest, generic\nestablishment terms highest; county values well below state/national.\n");
+    // §3.2's "exceptional search terms" for the other two categories.
+    for cat in [QueryCategory::Politician, QueryCategory::Controversial] {
+        let top = personalization::most_personalized_terms(&idx, cat, Granularity::National, 6);
+        let rendered: Vec<String> = top
+            .iter()
+            .map(|(t, v)| format!("{t} ({v:.1})"))
+            .collect();
+        println!("most personalized {cat}: {}", rendered.join(", "));
+    }
+    println!("expected: ambiguous politician names (Bill Johnson, Tim Ryan, …)\nand Health / Republican Party / Politics among the exceptions.");
+}

@@ -1,0 +1,20 @@
+//! Table 1: example controversial search terms.
+//!
+//! The paper's table lists 18 examples from the 87-term category; we print
+//! those 18 (stored verbatim) plus the category size.
+
+use geoserp_core::corpus::CONTROVERSIAL_TERMS;
+
+fn main() {
+    println!("Table 1: Example controversial search terms.");
+    println!("{}", "-".repeat(44));
+    for term in &CONTROVERSIAL_TERMS[..18] {
+        println!("{term}");
+    }
+    println!("{}", "-".repeat(44));
+    println!(
+        "({} of {} controversial terms; the remainder are generated in the same register)",
+        18,
+        CONTROVERSIAL_TERMS.len()
+    );
+}

@@ -1,0 +1,31 @@
+//! §2.2 validation: identical queries + identical GPS from 50 scattered
+//! machines — how much do the results agree?
+
+use geoserp_bench::seed_from_env;
+use geoserp_core::prelude::*;
+
+fn main() {
+    let study = Study::builder().seed(seed_from_env()).build();
+    let queries = match std::env::var("GEOSERP_SCALE").as_deref() {
+        Ok("quick") => 5,
+        Ok("full") => 87,
+        _ => 20,
+    };
+    eprintln!("[geoserp-bench] validation: 50 machines × {queries} controversial queries…\n");
+    let r = study.validate(50, queries);
+    println!("§2.2 validation experiment (paper: \"94% of the search results\nreceived by the machines are identical\"):\n");
+    println!("condition            mean pairwise jaccard   identical pages   footer agreement");
+    println!("{}", "-".repeat(80));
+    println!(
+        "shared spoofed GPS   {:>20.1}%   {:>14.1}%   {:>15.0}%",
+        100.0 * r.gps_mean_pairwise_jaccard,
+        100.0 * r.gps_identical_pair_fraction,
+        100.0 * r.gps_reported_location_agreement
+    );
+    println!(
+        "IP fallback (no GPS) {:>20.1}%   {:>14.1}%   {:>15}",
+        100.0 * r.ip_mean_pairwise_jaccard,
+        100.0 * r.ip_identical_pair_fraction,
+        "n/a"
+    );
+}

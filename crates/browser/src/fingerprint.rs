@@ -1,0 +1,184 @@
+//! Browser identity: fingerprint, cookies, geolocation override.
+
+use geoserp_geo::Coord;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The attributes a server can observe about a browser.
+///
+/// Treatments must present *identical* fingerprints (§2.2); equality of two
+/// `Fingerprint`s therefore implies equality of the emitted header list,
+/// including order.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Fingerprint {
+    /// The user agent.
+    pub user_agent: String,
+    /// The accept language.
+    pub accept_language: String,
+    /// The platform.
+    pub platform: String,
+    /// Screen size in CSS pixels (part of a mobile fingerprint).
+    pub screen: (u32, u32),
+}
+
+impl Fingerprint {
+    /// The paper's treatment identity: Safari 8 on iOS.
+    pub fn iphone_safari8() -> Self {
+        Fingerprint {
+            user_agent:
+                "Mozilla/5.0 (iPhone; CPU iPhone OS 8_0 like Mac OS X) AppleWebKit/600.1.4 \
+                 (KHTML, like Gecko) Version/8.0 Mobile/12A365 Safari/600.1.4"
+                    .to_string(),
+            accept_language: "en-US,en;q=0.8".to_string(),
+            platform: "iPhone".to_string(),
+            screen: (375, 667),
+        }
+    }
+
+    /// Fingerprint headers, in the deterministic order they are emitted.
+    pub fn headers(&self) -> Vec<(String, String)> {
+        vec![
+            ("User-Agent".to_string(), self.user_agent.clone()),
+            ("Accept-Language".to_string(), self.accept_language.clone()),
+            ("X-Platform".to_string(), self.platform.clone()),
+            (
+                "X-Screen".to_string(),
+                format!("{}x{}", self.screen.0, self.screen.1),
+            ),
+        ]
+    }
+}
+
+/// Cookie storage. Ordered map so the emitted `Cookie` header is
+/// deterministic regardless of insertion order.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CookieJar {
+    cookies: BTreeMap<String, String>,
+}
+
+impl CookieJar {
+    /// See the type-level docs: `new`.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set a cookie.
+    pub fn set(&mut self, name: impl Into<String>, value: impl Into<String>) {
+        self.cookies.insert(name.into(), value.into());
+    }
+
+    /// Read a cookie.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.cookies.get(name).map(String::as_str)
+    }
+
+    /// Drop everything (the paper's post-query hygiene).
+    pub fn clear(&mut self) {
+        self.cookies.clear();
+    }
+
+    /// True when no cookies are stored.
+    pub fn is_empty(&self) -> bool {
+        self.cookies.is_empty()
+    }
+
+    /// The `Cookie` header value, or `None` when the jar is empty.
+    pub fn header_value(&self) -> Option<String> {
+        if self.cookies.is_empty() {
+            return None;
+        }
+        Some(
+            self.cookies
+                .iter()
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect::<Vec<_>>()
+                .join("; "),
+        )
+    }
+}
+
+/// The spoofed Geolocation-API fix.
+///
+/// `None` models a user who denied the geolocation permission prompt — the
+/// engine then falls back to IP geolocation, which is how the paper's
+/// validation experiment separates the two signals.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct GeolocationOverride(pub Option<Coord>);
+
+impl GeolocationOverride {
+    /// Spoof the given coordinate.
+    pub fn at(coord: Coord) -> Self {
+        GeolocationOverride(Some(coord))
+    }
+
+    /// Deny geolocation.
+    pub fn denied() -> Self {
+        GeolocationOverride(None)
+    }
+
+    /// Header value forwarded to the engine, if any.
+    pub fn header_value(&self) -> Option<String> {
+        self.0.map(|c| c.to_gps_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_fingerprint_is_stable_and_identical() {
+        let a = Fingerprint::iphone_safari8();
+        let b = Fingerprint::iphone_safari8();
+        assert_eq!(a, b);
+        assert_eq!(a.headers(), b.headers());
+        assert!(a.user_agent.contains("iPhone"));
+        assert!(a.user_agent.contains("Version/8.0"));
+    }
+
+    #[test]
+    fn header_order_is_deterministic() {
+        let keys: Vec<String> = Fingerprint::iphone_safari8()
+            .headers()
+            .into_iter()
+            .map(|(k, _)| k)
+            .collect();
+        assert_eq!(
+            keys,
+            vec!["User-Agent", "Accept-Language", "X-Platform", "X-Screen"]
+        );
+    }
+
+    #[test]
+    fn cookie_jar_roundtrip_and_clear() {
+        let mut jar = CookieJar::new();
+        assert!(jar.is_empty());
+        assert_eq!(jar.header_value(), None);
+        jar.set("sid", "abc");
+        jar.set("pref", "x");
+        assert_eq!(jar.get("sid"), Some("abc"));
+        assert_eq!(jar.header_value().unwrap(), "pref=x; sid=abc");
+        jar.clear();
+        assert!(jar.is_empty());
+        assert_eq!(jar.get("sid"), None);
+    }
+
+    #[test]
+    fn cookie_header_order_independent_of_insertion() {
+        let mut a = CookieJar::new();
+        a.set("b", "2");
+        a.set("a", "1");
+        let mut b = CookieJar::new();
+        b.set("a", "1");
+        b.set("b", "2");
+        assert_eq!(a.header_value(), b.header_value());
+    }
+
+    #[test]
+    fn geolocation_override_header() {
+        let c = Coord::new(41.499312, -81.694361);
+        let g = GeolocationOverride::at(c);
+        assert_eq!(g.header_value().unwrap(), "41.499312,-81.694361");
+        assert_eq!(GeolocationOverride::denied().header_value(), None);
+    }
+}

@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+//! # geoserp-browser — the headless browser
+//!
+//! The paper gathers data with PhantomJS, "a full implementation of a WebKit
+//! browser", driving the mobile Google SERP with a JavaScript shim that
+//! overrides the Geolocation API (§2.2). This crate is that browser for the
+//! simulated world:
+//!
+//! * [`Fingerprint`] — the browser identity presented to the server. The
+//!   paper controls for fingerprint effects by making every treatment
+//!   identical ("The script presented the User-Agent for Safari 8 on iOS,
+//!   and all other browser attributes were the same across treatments");
+//!   [`Fingerprint::iphone_safari8`] is that shared identity, and the header
+//!   *order* it emits is deterministic;
+//! * [`CookieJar`] — cookie state; the methodology clears it after every
+//!   query ("we cleared all cookies after each query, which mitigates
+//!   personalization effects due to search history, and prevents Google from
+//!   'remembering' a treatment's prior location");
+//! * [`GeolocationOverride`] — the spoofed GPS fix, forwarded to the engine
+//!   as the `X-Geolocation` header exactly as the JS shim fed coordinates to
+//!   the Geolocation API;
+//! * [`Browser`] — ties the pieces to a [`geoserp_net::SimNet`] client IP
+//!   and runs the PhantomJS-script equivalent: [`Browser::run_search_job`]
+//!   loads the search homepage, issues the query, and returns the raw SERP
+//!   body (parsing belongs to the crawler, as scraping did in the paper).
+
+pub mod client;
+pub mod fingerprint;
+
+pub use client::{Browser, BrowserError, SerpFetch};
+pub use fingerprint::{CookieJar, Fingerprint, GeolocationOverride};

@@ -1,0 +1,180 @@
+//! A small, dependency-free argument parser for the `geoserp` binary.
+//!
+//! Grammar: `geoserp <command> [--flag value]... [--switch]... [positional]`.
+//! Flags may appear in any order after the command; unknown flags are an
+//! error (not silently ignored — a typo'd `--seeed` must not run a default
+//! study).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedArgs {
+    pub command: String,
+    pub positional: Vec<String>,
+    flags: BTreeMap<String, String>,
+    switches: Vec<String>,
+}
+
+/// Why parsing failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgError {
+    MissingCommand,
+    MissingValue(String),
+    UnknownFlag(String),
+    BadValue { flag: String, value: String, expected: &'static str },
+}
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgError::MissingCommand => write!(f, "no command given (try `geoserp help`)"),
+            ArgError::MissingValue(flag) => write!(f, "--{flag} needs a value"),
+            ArgError::UnknownFlag(flag) => write!(f, "unknown flag --{flag}"),
+            ArgError::BadValue { flag, value, expected } => {
+                write!(f, "--{flag} {value}: expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// Parse `argv[1..]` against the sets of value-taking flags and boolean
+/// switches allowed for the command.
+pub fn parse(
+    args: &[String],
+    value_flags: &[&str],
+    switch_flags: &[&str],
+) -> Result<ParsedArgs, ArgError> {
+    let mut iter = args.iter();
+    let command = iter.next().ok_or(ArgError::MissingCommand)?.clone();
+    let mut parsed = ParsedArgs {
+        command,
+        positional: Vec::new(),
+        flags: BTreeMap::new(),
+        switches: Vec::new(),
+    };
+    while let Some(arg) = iter.next() {
+        if let Some(name) = arg.strip_prefix("--") {
+            if switch_flags.contains(&name) {
+                parsed.switches.push(name.to_string());
+            } else if value_flags.contains(&name) {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| ArgError::MissingValue(name.to_string()))?;
+                parsed.flags.insert(name.to_string(), value.clone());
+            } else {
+                return Err(ArgError::UnknownFlag(name.to_string()));
+            }
+        } else {
+            parsed.positional.push(arg.clone());
+        }
+    }
+    Ok(parsed)
+}
+
+impl ParsedArgs {
+    /// A flag's raw value.
+    pub fn get(&self, flag: &str) -> Option<&str> {
+        self.flags.get(flag).map(String::as_str)
+    }
+
+    /// True if a boolean switch was given.
+    pub fn has(&self, switch: &str) -> bool {
+        self.switches.iter().any(|s| s == switch)
+    }
+
+    /// Parse a flag as `u64`, with a default.
+    pub fn get_u64(&self, flag: &str, default: u64) -> Result<u64, ArgError> {
+        match self.get(flag) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ArgError::BadValue {
+                flag: flag.to_string(),
+                value: v.to_string(),
+                expected: "an unsigned integer",
+            }),
+        }
+    }
+
+    /// Parse a flag as `usize`, with a default.
+    pub fn get_usize(&self, flag: &str, default: usize) -> Result<usize, ArgError> {
+        self.get_u64(flag, default as u64).map(|v| v as usize)
+    }
+
+    /// Parse a flag as `f64`, with a default.
+    pub fn get_f64(&self, flag: &str, default: f64) -> Result<f64, ArgError> {
+        match self.get(flag) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ArgError::BadValue {
+                flag: flag.to_string(),
+                value: v.to_string(),
+                expected: "a number",
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn parses_command_flags_switches_positionals() {
+        let p = parse(
+            &argv("run --seed 7 --scale full --parallel extra"),
+            &["seed", "scale"],
+            &["parallel"],
+        )
+        .unwrap();
+        assert_eq!(p.command, "run");
+        assert_eq!(p.get("seed"), Some("7"));
+        assert_eq!(p.get("scale"), Some("full"));
+        assert!(p.has("parallel"));
+        assert!(!p.has("quiet"));
+        assert_eq!(p.positional, vec!["extra"]);
+    }
+
+    #[test]
+    fn missing_command_and_value_errors() {
+        assert_eq!(parse(&[], &[], &[]), Err(ArgError::MissingCommand));
+        assert_eq!(
+            parse(&argv("run --seed"), &["seed"], &[]),
+            Err(ArgError::MissingValue("seed".into()))
+        );
+    }
+
+    #[test]
+    fn unknown_flag_is_rejected() {
+        assert_eq!(
+            parse(&argv("run --seeed 7"), &["seed"], &[]),
+            Err(ArgError::UnknownFlag("seeed".into()))
+        );
+    }
+
+    #[test]
+    fn typed_getters_validate() {
+        let p = parse(&argv("x --seed 42 --lat 41.5"), &["seed", "lat"], &[]).unwrap();
+        assert_eq!(p.get_u64("seed", 0).unwrap(), 42);
+        assert_eq!(p.get_u64("missing", 9).unwrap(), 9);
+        assert!((p.get_f64("lat", 0.0).unwrap() - 41.5).abs() < 1e-12);
+        let bad = parse(&argv("x --seed abc"), &["seed"], &[]).unwrap();
+        assert!(matches!(
+            bad.get_u64("seed", 0),
+            Err(ArgError::BadValue { .. })
+        ));
+    }
+
+    #[test]
+    fn error_messages_are_helpful() {
+        assert!(ArgError::UnknownFlag("zap".into())
+            .to_string()
+            .contains("--zap"));
+        assert!(ArgError::MissingCommand.to_string().contains("help"));
+    }
+}

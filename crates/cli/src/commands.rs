@@ -1,0 +1,374 @@
+//! Implementation of the `geoserp` subcommands. Each returns its output as
+//! a `String` so the logic is unit-testable without capturing stdout.
+
+use crate::args::{ArgError, ParsedArgs};
+use geoserp_core::analysis::ObsIndex;
+use geoserp_core::crawler::{observations_csv, results_csv, to_jsonl};
+use geoserp_core::prelude::*;
+use std::fmt;
+use std::path::Path;
+
+/// Top-level CLI failure.
+#[derive(Debug)]
+pub enum CliError {
+    Args(ArgError),
+    UnknownCommand(String),
+    Io(std::io::Error),
+    Invalid(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Args(e) => write!(f, "{e}"),
+            CliError::UnknownCommand(c) => {
+                write!(f, "unknown command {c:?} (try `geoserp help`)")
+            }
+            CliError::Io(e) => write!(f, "io error: {e}"),
+            CliError::Invalid(msg) => f.write_str(msg),
+        }
+    }
+}
+
+impl From<ArgError> for CliError {
+    fn from(e: ArgError) -> Self {
+        CliError::Args(e)
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+/// The help text.
+pub const HELP: &str = "\
+geoserp — location-based search-personalization measurement framework
+(reproduction of Kliman-Silver et al., IMC 2015)
+
+USAGE:
+    geoserp <command> [options]
+
+COMMANDS:
+    run          run a study and print the full per-figure report
+                   --seed N        world seed            [2015]
+                   --scale S       quick|medium|full     [medium]
+                   --export DIR    also write dataset exports into DIR
+                   --save FILE     also save the dataset as JSON
+    analyze      rerun every figure over a saved dataset
+                   <file>          dataset JSON from `run --save`
+    compare      run a study and print the paper-vs-measured markdown
+                 comparison with shape verdicts
+                   --seed N / --scale S as above
+    probe        issue one query and print the parsed SERP
+                   <term>          the query (positional, required)
+                   --lat X --lon Y spoofed GPS fix       [Cleveland]
+                   --seed N        world seed            [2015]
+                   --trace         print the network trace afterwards
+    validate     run the §2.2 GPS-vs-IP validation experiment
+                   --machines N    PlanetLab-style machines [50]
+                   --queries N     controversial queries    [20]
+                   --seed N        world seed               [2015]
+    export       run a study and write observations.csv / results.csv /
+                 dataset.jsonl into a directory
+                   --out DIR       output directory (required)
+                   --seed N / --scale S as above
+    help         this text
+
+Scales: quick (seconds, sanity only), medium (default), full (the paper's
+complete 240×59×2×5 plan).
+";
+
+fn plan_for(scale: &str) -> Result<ExperimentPlan, CliError> {
+    match scale {
+        "quick" => Ok(ExperimentPlan {
+            days: 2,
+            queries_per_category: Some(6),
+            locations_per_granularity: Some(6),
+            ..ExperimentPlan::paper_full()
+        }),
+        "medium" => Ok(ExperimentPlan {
+            days: 3,
+            queries_per_category: Some(16),
+            locations_per_granularity: Some(12),
+            ..ExperimentPlan::paper_full()
+        }),
+        "full" => Ok(ExperimentPlan::paper_full()),
+        other => Err(CliError::Invalid(format!(
+            "--scale {other}: expected quick|medium|full"
+        ))),
+    }
+}
+
+fn study_from(args: &ParsedArgs) -> Result<Study, CliError> {
+    let seed = args.get_u64("seed", 2015)?;
+    let plan = plan_for(args.get("scale").unwrap_or("medium"))?;
+    Ok(Study::builder().seed(seed).plan(plan).build())
+}
+
+/// `geoserp run`
+pub fn cmd_run(args: &ParsedArgs) -> Result<String, CliError> {
+    let study = study_from(args)?;
+    let dataset = study.run();
+    let mut out = study.report(&dataset);
+    if let Some(dir) = args.get("export") {
+        write_exports(&dataset, Path::new(dir))?;
+        out.push_str(&format!("\n(dataset exports written to {dir})\n"));
+    }
+    if let Some(file) = args.get("save") {
+        std::fs::write(file, dataset.to_json())?;
+        out.push_str(&format!("(dataset saved to {file}; re-analyze with `geoserp analyze {file}`)\n"));
+    }
+    Ok(out)
+}
+
+/// `geoserp analyze <dataset.json>` — rerun every figure over a previously
+/// saved dataset, decoupling collection from analysis.
+pub fn cmd_analyze(args: &ParsedArgs) -> Result<String, CliError> {
+    let file = args
+        .positional
+        .first()
+        .ok_or_else(|| CliError::Invalid("analyze needs a dataset file".into()))?;
+    let json = std::fs::read_to_string(file)?;
+    let dataset = Dataset::from_json(&json)
+        .map_err(|e| CliError::Invalid(format!("{file}: not a geoserp dataset: {e}")))?;
+    Ok(geoserp_core::report::full_report(&dataset))
+}
+
+/// `geoserp compare` — run a study and emit the paper-vs-measured markdown
+/// comparison with shape verdicts.
+pub fn cmd_compare(args: &ParsedArgs) -> Result<String, CliError> {
+    let study = study_from(args)?;
+    let dataset = study.run();
+    let cmp = geoserp_core::analysis::compare_with_paper(&dataset);
+    let mut out = cmp.markdown.clone();
+    out.push_str(&format!(
+        "\noverall: {}\n",
+        if cmp.all_shapes_hold() {
+            "every tracked shape from the paper HOLDS"
+        } else {
+            "one or more tracked shapes FAIL — see above"
+        }
+    ));
+    Ok(out)
+}
+
+/// `geoserp probe <term>`
+pub fn cmd_probe(args: &ParsedArgs) -> Result<String, CliError> {
+    let term = args
+        .positional
+        .first()
+        .ok_or_else(|| CliError::Invalid("probe needs a query term".into()))?;
+    let seed = args.get_u64("seed", 2015)?;
+    let lat = args.get_f64("lat", geoserp_core::geo::us::CUYAHOGA_CENTROID.lat_deg)?;
+    let lon = args.get_f64("lon", geoserp_core::geo::us::CUYAHOGA_CENTROID.lon_deg)?;
+    let coord = Coord::new(lat, lon);
+
+    let study = Study::builder().seed(seed).build();
+    let crawler = study.crawler();
+    let mut browser = geoserp_core::browser::Browser::new(
+        std::sync::Arc::clone(crawler.net()),
+        geoserp_core::net::ip("198.51.100.99"),
+    );
+    let fetch = browser
+        .run_search_job(geoserp_core::engine::SEARCH_HOST, term, coord)
+        .map_err(|e| CliError::Invalid(format!("search failed: {e}")))?;
+    let page = geoserp_core::serp::parse(&fetch.body)
+        .map_err(|e| CliError::Invalid(format!("SERP did not parse: {e}")))?;
+
+    let mut out = format!(
+        "query: {:?}   gps: {}   served by: {}   reported location: {}\n\n",
+        page.query,
+        coord.to_gps_string(),
+        fetch.datacenter.as_deref().unwrap_or("?"),
+        page.reported_location
+    );
+    for r in page.extract_results() {
+        out.push_str(&format!("{:>2}. [{:^7}] {}\n", r.rank + 1, r.rtype.to_string(), r.url));
+    }
+    if args.has("trace") {
+        out.push_str("\nnetwork trace:\n");
+        out.push_str(&crawler.net().log().to_text());
+    }
+    Ok(out)
+}
+
+/// `geoserp validate`
+pub fn cmd_validate(args: &ParsedArgs) -> Result<String, CliError> {
+    let seed = args.get_u64("seed", 2015)?;
+    let machines = args.get_usize("machines", 50)?;
+    let queries = args.get_usize("queries", 20)?;
+    if machines == 0 || queries == 0 {
+        return Err(CliError::Invalid(
+            "--machines and --queries must be positive".into(),
+        ));
+    }
+    let study = Study::builder().seed(seed).build();
+    let r = study.validate(machines, queries);
+    Ok(format!(
+        "validation: {} machines × {} controversial queries\n\
+         shared GPS : pairwise overlap {:.1}%  identical pages {:.1}%  footer agreement {:.0}%\n\
+         IP fallback: pairwise overlap {:.1}%  identical pages {:.1}%\n\
+         (paper: \"94% of the search results received by the machines are identical\")\n",
+        r.machines,
+        r.queries,
+        100.0 * r.gps_mean_pairwise_jaccard,
+        100.0 * r.gps_identical_pair_fraction,
+        100.0 * r.gps_reported_location_agreement,
+        100.0 * r.ip_mean_pairwise_jaccard,
+        100.0 * r.ip_identical_pair_fraction,
+    ))
+}
+
+fn write_exports(dataset: &Dataset, dir: &Path) -> Result<(), CliError> {
+    std::fs::create_dir_all(dir)?;
+    std::fs::write(dir.join("observations.csv"), observations_csv(dataset))?;
+    std::fs::write(dir.join("results.csv"), results_csv(dataset))?;
+    std::fs::write(dir.join("dataset.jsonl"), to_jsonl(dataset))?;
+    Ok(())
+}
+
+/// `geoserp export`
+pub fn cmd_export(args: &ParsedArgs) -> Result<String, CliError> {
+    let dir = args
+        .get("out")
+        .ok_or_else(|| CliError::Invalid("export needs --out DIR".into()))?
+        .to_string();
+    let study = study_from(args)?;
+    let dataset = study.run();
+    write_exports(&dataset, Path::new(&dir))?;
+    // A quick integrity line so scripts can assert on it.
+    let idx = ObsIndex::new(&dataset);
+    Ok(format!(
+        "wrote observations.csv, results.csv, dataset.jsonl to {dir}\n\
+         {} observations, {} distinct URLs, {} categories\n",
+        dataset.observations().len(),
+        dataset.distinct_urls(),
+        idx.categories().len(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn probe_prints_a_parsed_serp() {
+        let p = parse(&argv("probe Hospital --seed 3"), &["seed", "lat", "lon"], &["trace"]).unwrap();
+        let out = cmd_probe(&p).unwrap();
+        assert!(out.contains("reported location: Cleveland, OH"), "{out}");
+        assert!(out.contains("[organic ]") || out.contains("organic"));
+        assert!(out.lines().count() > 10);
+    }
+
+    #[test]
+    fn probe_with_custom_coordinates_and_trace() {
+        let p = parse(
+            &argv("probe Bank --lat 34.2 --lon -111.6 --trace"),
+            &["seed", "lat", "lon"],
+            &["trace"],
+        )
+        .unwrap();
+        let out = cmd_probe(&p).unwrap();
+        assert!(out.contains("Arizona, USA"), "{out}");
+        assert!(out.contains("GET search.example.com"), "trace missing: {out}");
+    }
+
+    #[test]
+    fn probe_requires_a_term() {
+        let p = parse(&argv("probe"), &[], &[]).unwrap();
+        assert!(matches!(cmd_probe(&p), Err(CliError::Invalid(_))));
+    }
+
+    #[test]
+    fn validate_runs_small() {
+        let p = parse(
+            &argv("validate --machines 5 --queries 2 --seed 4"),
+            &["machines", "queries", "seed"],
+            &[],
+        )
+        .unwrap();
+        let out = cmd_validate(&p).unwrap();
+        assert!(out.contains("5 machines × 2 controversial queries"));
+        assert!(out.contains("shared GPS"));
+    }
+
+    #[test]
+    fn validate_rejects_zero() {
+        let p = parse(&argv("validate --machines 0"), &["machines"], &[]).unwrap();
+        assert!(matches!(cmd_validate(&p), Err(CliError::Invalid(_))));
+    }
+
+    #[test]
+    fn bad_scale_is_reported() {
+        let p = parse(&argv("run --scale enormous"), &["scale", "seed"], &[]).unwrap();
+        let err = cmd_run(&p).unwrap_err();
+        assert!(err.to_string().contains("enormous"));
+    }
+
+    #[test]
+    fn save_then_analyze_roundtrip() {
+        let file = std::env::temp_dir().join(format!("geoserp-ds-{}.json", std::process::id()));
+        let files = file.to_string_lossy().to_string();
+        let p = parse(
+            &argv(&format!("run --scale quick --seed 6 --save {files}")),
+            &["scale", "seed", "save", "export"],
+            &[],
+        )
+        .unwrap();
+        let out = cmd_run(&p).unwrap();
+        assert!(out.contains("dataset saved"));
+        let p = parse(&argv(&format!("analyze {files}")), &[], &[]).unwrap();
+        let report = cmd_analyze(&p).unwrap();
+        assert!(report.contains("Fig. 5"), "analysis over the saved file");
+        std::fs::remove_file(&file).ok();
+    }
+
+    #[test]
+    fn analyze_rejects_garbage_files() {
+        let file = std::env::temp_dir().join(format!("geoserp-bad-{}.json", std::process::id()));
+        std::fs::write(&file, "not json at all").unwrap();
+        let p = parse(
+            &argv(&format!("analyze {}", file.to_string_lossy())),
+            &[],
+            &[],
+        )
+        .unwrap();
+        assert!(matches!(cmd_analyze(&p), Err(CliError::Invalid(_))));
+        std::fs::remove_file(&file).ok();
+    }
+
+    #[test]
+    fn compare_reports_shape_verdicts() {
+        let p = parse(&argv("compare --scale quick --seed 2015"), &["scale", "seed"], &[]).unwrap();
+        let out = cmd_compare(&p).unwrap();
+        assert!(out.contains("## Figure 2"));
+        assert!(out.contains("overall:"));
+    }
+
+    #[test]
+    fn export_writes_files() {
+        let dir = std::env::temp_dir().join(format!("geoserp-cli-test-{}", std::process::id()));
+        let dirs = dir.to_string_lossy().to_string();
+        let p = parse(
+            &argv(&format!("export --out {dirs} --scale quick --seed 5")),
+            &["out", "scale", "seed"],
+            &[],
+        )
+        .unwrap();
+        let out = cmd_export(&p).unwrap();
+        assert!(out.contains("observations.csv"));
+        for f in ["observations.csv", "results.csv", "dataset.jsonl"] {
+            let path = dir.join(f);
+            assert!(path.exists(), "{path:?} missing");
+            assert!(std::fs::metadata(&path).unwrap().len() > 100);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

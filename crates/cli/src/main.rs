@@ -1,0 +1,80 @@
+//! `geoserp` — the command-line front end.
+//!
+//! See [`commands::HELP`] (or run `geoserp help`) for usage. All state is
+//! simulated; every command is deterministic in `--seed`.
+
+mod args;
+mod commands;
+
+use commands::{cmd_analyze, cmd_compare, cmd_export, cmd_probe, cmd_run, cmd_validate, CliError, HELP};
+
+fn dispatch(argv: &[String]) -> Result<String, CliError> {
+    // Peek at the command to choose the flag grammar.
+    let command = argv.first().map(String::as_str).unwrap_or("");
+    match command {
+        "run" => {
+            let p = args::parse(argv, &["seed", "scale", "export", "save"], &[])?;
+            cmd_run(&p)
+        }
+        "analyze" => {
+            let p = args::parse(argv, &[], &[])?;
+            cmd_analyze(&p)
+        }
+        "compare" => {
+            let p = args::parse(argv, &["seed", "scale"], &[])?;
+            cmd_compare(&p)
+        }
+        "probe" => {
+            let p = args::parse(argv, &["seed", "lat", "lon"], &["trace"])?;
+            cmd_probe(&p)
+        }
+        "validate" => {
+            let p = args::parse(argv, &["seed", "machines", "queries"], &[])?;
+            cmd_validate(&p)
+        }
+        "export" => {
+            let p = args::parse(argv, &["seed", "scale", "out"], &[])?;
+            cmd_export(&p)
+        }
+        "help" | "--help" | "-h" | "" => Ok(HELP.to_string()),
+        other => Err(CliError::UnknownCommand(other.to_string())),
+    }
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match dispatch(&argv) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("geoserp: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn help_paths() {
+        assert!(dispatch(&argv("help")).unwrap().contains("USAGE"));
+        assert!(dispatch(&[]).unwrap().contains("USAGE"));
+    }
+
+    #[test]
+    fn unknown_command_fails() {
+        let err = dispatch(&argv("frobnicate")).unwrap_err();
+        assert!(err.to_string().contains("frobnicate"));
+    }
+
+    #[test]
+    fn unknown_flag_fails_fast() {
+        let err = dispatch(&argv("probe Coffee --seeed 1")).unwrap_err();
+        assert!(err.to_string().contains("--seeed"));
+    }
+}

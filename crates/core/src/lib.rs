@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+//! # geoserp-core — high-level facade
+//!
+//! One import for the whole framework: build a [`Study`], run it, analyze
+//! it. The subsystem crates remain available under short module names
+//! ([`geo`], [`corpus`], [`net`], [`engine`], [`browser`], [`serp`],
+//! [`metrics`], [`crawler`], [`analysis`]).
+//!
+//! ```
+//! use geoserp_core::prelude::*;
+//!
+//! // A small but complete end-to-end study (seconds, not hours):
+//! let study = Study::builder().seed(2015).quick().build();
+//! let dataset = study.run();
+//! let report = study.report(&dataset);
+//! assert!(report.contains("Fig. 5"));
+//! ```
+
+pub use geoserp_analysis as analysis;
+pub use geoserp_browser as browser;
+pub use geoserp_corpus as corpus;
+pub use geoserp_crawler as crawler;
+pub use geoserp_engine as engine;
+pub use geoserp_geo as geo;
+pub use geoserp_metrics as metrics;
+pub use geoserp_net as net;
+pub use geoserp_serp as serp;
+
+pub mod report;
+pub mod study;
+
+pub use study::{Study, StudyBuilder};
+
+/// Everything a typical user needs.
+pub mod prelude {
+    pub use crate::study::{Study, StudyBuilder};
+    pub use geoserp_analysis::ObsIndex;
+    pub use geoserp_corpus::{Query, QueryCategory, WebCorpus};
+    pub use geoserp_crawler::{Crawler, Dataset, ExperimentPlan, Role, ValidationReport};
+    pub use geoserp_engine::{EngineConfig, SearchEngine};
+    pub use geoserp_geo::{Coord, Granularity, Location, Seed, UsGeography, VantagePoints};
+    pub use geoserp_serp::{ResultType, SerpPage};
+}

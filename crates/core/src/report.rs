@@ -1,0 +1,132 @@
+//! One-call rendering of every figure in the paper's evaluation.
+
+use geoserp_analysis::{
+    attribution, consistency, demographics, noise, personalization, significance, ObsIndex,
+};
+use geoserp_corpus::QueryCategory;
+use geoserp_crawler::Dataset;
+use geoserp_geo::Granularity;
+
+/// Render all of §3's figures for a dataset into one plain-text report.
+pub fn full_report(dataset: &Dataset) -> String {
+    let idx = ObsIndex::new(dataset);
+    let mut out = String::new();
+
+    out.push_str("================ geoserp study report ================\n");
+    out.push_str(&format!(
+        "observations: {}   distinct URLs: {}   failed jobs: {}\n\n",
+        dataset.observations().len(),
+        dataset.distinct_urls(),
+        dataset.meta.failed_jobs
+    ));
+
+    out.push_str("---- Fig. 2: noise by query type and granularity ----\n");
+    out.push_str(&noise::render_fig2(&noise::fig2_noise(&idx)));
+    out.push('\n');
+
+    out.push_str("---- Fig. 3: noise per local term ----\n");
+    out.push_str(&noise::render_term_series(&noise::fig3_noise_per_term(
+        &idx,
+        QueryCategory::Local,
+    )));
+    out.push('\n');
+
+    out.push_str("---- Fig. 4: noise by result type (local, county) ----\n");
+    out.push_str(&attribution::render_fig4(&attribution::fig4_noise_by_type(
+        &idx,
+        QueryCategory::Local,
+        Granularity::County,
+    )));
+    out.push('\n');
+
+    out.push_str("---- Fig. 5: personalization vs noise floor ----\n");
+    out.push_str(&personalization::render_fig5(
+        &personalization::fig5_personalization(&idx),
+    ));
+    out.push('\n');
+
+    out.push_str("---- Fig. 6: personalization per local term ----\n");
+    out.push_str(&noise::render_term_series(
+        &personalization::fig6_personalization_per_term(&idx, QueryCategory::Local),
+    ));
+    out.push('\n');
+
+    out.push_str("---- Fig. 7: personalization by result type ----\n");
+    out.push_str(&attribution::render_fig7(
+        &attribution::fig7_personalization_by_type(&idx),
+    ));
+    out.push('\n');
+
+    out.push_str("---- Fig. 8: consistency over days (local queries) ----\n");
+    for panel in consistency::fig8_consistency(&idx, QueryCategory::Local) {
+        out.push_str(&format!("[{}]\n", panel.granularity.label()));
+        out.push_str(&consistency::render_fig8(&panel));
+        out.push('\n');
+    }
+
+    out.push_str("---- significance: personalization vs noise (permutation tests) ----\n");
+    let sig = significance::personalization_significance(
+        &idx,
+        1_000,
+        geoserp_geo::Seed::new(dataset.meta.seed).derive("report-significance"),
+    );
+    out.push_str(&significance::render_significance(&sig));
+    out.push('\n');
+
+    out.push_str("---- county-level location clusters (gap > 0.75 edit) ----\n");
+    if let Some(panel) = consistency::fig8_consistency(&idx, QueryCategory::Local)
+        .into_iter()
+        .find(|p| p.granularity == Granularity::County)
+    {
+        for (i, cluster) in significance::fig8_clusters(&panel, 0.75).iter().enumerate() {
+            let names: Vec<String> = cluster
+                .members
+                .iter()
+                .map(|(_, n, m)| format!("{n} ({m:.1})"))
+                .collect();
+            out.push_str(&format!("cluster {}: {}\n", i + 1, names.join(", ")));
+        }
+    }
+    out.push('\n');
+
+    out.push_str("---- §3.2: demographic correlations (county granularity) ----\n");
+    let demo = demographics::demographic_correlations(
+        &idx,
+        QueryCategory::Local,
+        Granularity::County,
+    );
+    out.push_str(&demographics::render_demographics(&demo));
+    out.push_str(&format!(
+        "max |pearson r| over demographic features: {:.3}\n",
+        demo.max_abs_feature_pearson()
+    ));
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::study::Study;
+    use geoserp_crawler::ExperimentPlan;
+
+    #[test]
+    fn report_mentions_every_figure() {
+        let plan = ExperimentPlan {
+            days: 2,
+            queries_per_category: Some(3),
+            locations_per_granularity: Some(3),
+            ..ExperimentPlan::quick()
+        };
+        let study = Study::builder().seed(1).plan(plan).build();
+        let ds = study.run();
+        let report = study.report(&ds);
+        for needle in [
+            "Fig. 2", "Fig. 3", "Fig. 4", "Fig. 5", "Fig. 6", "Fig. 7", "Fig. 8",
+            "demographic correlations",
+            "County (Cuyahoga)",
+            "noise floor",
+        ] {
+            assert!(report.contains(needle), "report missing {needle:?}");
+        }
+    }
+}

@@ -1,0 +1,543 @@
+//! Local establishments: chain-store outlets and generic facilities.
+//!
+//! Every local query term from the paper's Figure 3 must have candidate
+//! results whose ranking depends on where the searcher stands. This module
+//! synthesizes those candidates:
+//!
+//! * **brand outlets** (the 9 chains among the local terms) — each chain has
+//!   one dominant national domain (navigational target) plus outlets near
+//!   population centers;
+//! * **generic facilities** (20 establishment types covering the remaining
+//!   24 local terms) — schools, hospitals, banks, stations, … with one or
+//!   more instances per locality and a denser cluster inside the Cuyahoga
+//!   metro (where the county-granularity vantage points sit ~1 mile apart).
+//!
+//! Each establishment yields a [`Place`] record (consumed by the engine's
+//! Maps vertical, ranked by distance × prominence) and an organic [`Page`]
+//! (its website or directory listing, geo-scoped to its coordinate).
+
+use crate::page::{GeoScope, Page, PageId, PageKind};
+use crate::text::{slugify, tokenize};
+use geoserp_geo::{Coord, DetRng, Seed, UsGeography};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Stable identifier of a place within one corpus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PlaceId(pub u32);
+
+impl fmt::Display for PlaceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pl{}", self.0)
+    }
+}
+
+/// A physical establishment: what the Maps vertical indexes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Place {
+    /// The id.
+    pub id: PlaceId,
+    /// Display name, e.g. `"Starbucks – Lakeview"`, `"Lincoln High School"`.
+    pub name: String,
+    /// Category key, e.g. `"starbucks"`, `"school_high"`.
+    pub category_key: String,
+    /// Tokens the Maps vertical matches queries against.
+    pub tokens: Vec<String>,
+    /// The coord.
+    pub coord: Coord,
+    /// URL surfaced in the Maps card (the establishment's page).
+    pub url: String,
+    /// The organic page for this establishment.
+    pub page_id: PageId,
+    /// Query-independent prominence in `[0, 1]` (review volume stand-in).
+    pub prominence: f64,
+}
+
+/// How instance names are formed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NameStyle {
+    /// `"{Brand} – {Locality}"` (chains).
+    Brand,
+    /// `"{PoolName} {Suffix}"`, e.g. `"Lincoln Elementary School"`.
+    NamedFacility,
+    /// `"{Locality} {Suffix}"`, e.g. `"Cuyahoga Airport"`.
+    LocalityFacility,
+}
+
+/// Static definition of an establishment category.
+#[derive(Debug, Clone, Copy)]
+pub struct CategoryDef {
+    /// Stable key.
+    pub key: &'static str,
+    /// Display base (brand name or facility suffix).
+    pub display: &'static str,
+    /// True for the 9 chains.
+    pub brand: bool,
+    /// The name style.
+    pub name_style: NameStyle,
+    /// Extra tokens every instance carries (beyond its name tokens).
+    pub extra_tokens: &'static [&'static str],
+    /// Expected instances per state/county locality (Poisson-ish, capped 0–3).
+    pub per_locality: f64,
+    /// Instances placed inside the Cuyahoga metro cluster.
+    pub metro_count: usize,
+    /// TLD of standalone instance domains.
+    pub tld: &'static str,
+}
+
+/// The nine chain brands among the paper's local terms.
+pub const BRAND_CATEGORIES: [CategoryDef; 9] = [
+    CategoryDef { key: "chipotle", display: "Chipotle", brand: true, name_style: NameStyle::Brand, extra_tokens: &["mexican", "restaurant", "fast", "food"], per_locality: 0.8, metro_count: 4, tld: "com" },
+    CategoryDef { key: "starbucks", display: "Starbucks", brand: true, name_style: NameStyle::Brand, extra_tokens: &["coffee", "cafe"], per_locality: 1.0, metro_count: 5, tld: "com" },
+    CategoryDef { key: "dairy-queen", display: "Dairy Queen", brand: true, name_style: NameStyle::Brand, extra_tokens: &["ice", "cream", "fast", "food"], per_locality: 0.7, metro_count: 3, tld: "com" },
+    CategoryDef { key: "mcdonalds", display: "Mcdonalds", brand: true, name_style: NameStyle::Brand, extra_tokens: &["burger", "fast", "food", "restaurant"], per_locality: 1.0, metro_count: 5, tld: "com" },
+    CategoryDef { key: "subway", display: "Subway", brand: true, name_style: NameStyle::Brand, extra_tokens: &["sandwich", "fast", "food", "restaurant"], per_locality: 1.0, metro_count: 5, tld: "com" },
+    CategoryDef { key: "burger-king", display: "Burger King", brand: true, name_style: NameStyle::Brand, extra_tokens: &["burger", "fast", "food", "restaurant"], per_locality: 0.9, metro_count: 4, tld: "com" },
+    CategoryDef { key: "kfc", display: "KFC", brand: true, name_style: NameStyle::Brand, extra_tokens: &["chicken", "fast", "food"], per_locality: 0.8, metro_count: 3, tld: "com" },
+    CategoryDef { key: "wendys", display: "Wendy's", brand: true, name_style: NameStyle::Brand, extra_tokens: &["burger", "fast", "food"], per_locality: 0.9, metro_count: 4, tld: "com" },
+    CategoryDef { key: "chick-fil-a", display: "Chick-fil-a", brand: true, name_style: NameStyle::Brand, extra_tokens: &["chicken", "fast", "food"], per_locality: 0.6, metro_count: 3, tld: "com" },
+];
+
+/// Twenty generic facility types covering the non-brand local terms
+/// (including, via shared tokens, the umbrella terms "School", "Station",
+/// "Rail", "Fast Food", "Burger", "Coffee").
+pub const GENERIC_CATEGORIES: [CategoryDef; 20] = [
+    CategoryDef { key: "post-office", display: "Post Office", brand: false, name_style: NameStyle::LocalityFacility, extra_tokens: &["post", "office", "mail"], per_locality: 1.0, metro_count: 7, tld: "gov" },
+    CategoryDef { key: "polling-place", display: "Polling Place", brand: false, name_style: NameStyle::LocalityFacility, extra_tokens: &["polling", "place", "vote", "election"], per_locality: 1.0, metro_count: 9, tld: "gov" },
+    CategoryDef { key: "train-station", display: "Train Station", brand: false, name_style: NameStyle::LocalityFacility, extra_tokens: &["train", "station", "rail", "transit"], per_locality: 0.5, metro_count: 5, tld: "org" },
+    CategoryDef { key: "bus-station", display: "Bus Station", brand: false, name_style: NameStyle::LocalityFacility, extra_tokens: &["bus", "station", "transit"], per_locality: 0.8, metro_count: 8, tld: "org" },
+    CategoryDef { key: "university", display: "University", brand: false, name_style: NameStyle::NamedFacility, extra_tokens: &["university", "campus", "education"], per_locality: 0.4, metro_count: 3, tld: "edu" },
+    CategoryDef { key: "college", display: "Community College", brand: false, name_style: NameStyle::NamedFacility, extra_tokens: &["college", "campus", "education"], per_locality: 0.5, metro_count: 4, tld: "edu" },
+    CategoryDef { key: "sushi", display: "Sushi Bar", brand: false, name_style: NameStyle::NamedFacility, extra_tokens: &["sushi", "japanese", "restaurant"], per_locality: 0.5, metro_count: 6, tld: "com" },
+    CategoryDef { key: "football", display: "Football Stadium", brand: false, name_style: NameStyle::NamedFacility, extra_tokens: &["football", "stadium", "sports"], per_locality: 0.4, metro_count: 4, tld: "com" },
+    CategoryDef { key: "bank", display: "Bank", brand: false, name_style: NameStyle::NamedFacility, extra_tokens: &["bank", "branch", "finance"], per_locality: 1.0, metro_count: 8, tld: "com" },
+    CategoryDef { key: "burger-joint", display: "Burger Joint", brand: false, name_style: NameStyle::NamedFacility, extra_tokens: &["burger", "restaurant", "fast", "food"], per_locality: 0.7, metro_count: 6, tld: "com" },
+    CategoryDef { key: "coffee-house", display: "Coffee House", brand: false, name_style: NameStyle::NamedFacility, extra_tokens: &["coffee", "cafe", "espresso"], per_locality: 0.8, metro_count: 7, tld: "com" },
+    CategoryDef { key: "restaurant", display: "Restaurant", brand: false, name_style: NameStyle::NamedFacility, extra_tokens: &["restaurant", "dining"], per_locality: 1.0, metro_count: 9, tld: "com" },
+    CategoryDef { key: "park", display: "Park", brand: false, name_style: NameStyle::NamedFacility, extra_tokens: &["park", "recreation", "trail"], per_locality: 1.0, metro_count: 8, tld: "org" },
+    CategoryDef { key: "police-station", display: "Police Station", brand: false, name_style: NameStyle::LocalityFacility, extra_tokens: &["police", "station", "department"], per_locality: 1.0, metro_count: 6, tld: "gov" },
+    CategoryDef { key: "fire-station", display: "Fire Station", brand: false, name_style: NameStyle::LocalityFacility, extra_tokens: &["fire", "station", "department"], per_locality: 1.0, metro_count: 7, tld: "gov" },
+    CategoryDef { key: "school-elementary", display: "Elementary School", brand: false, name_style: NameStyle::NamedFacility, extra_tokens: &["elementary", "school", "education"], per_locality: 1.2, metro_count: 10, tld: "edu" },
+    CategoryDef { key: "school-middle", display: "Middle School", brand: false, name_style: NameStyle::NamedFacility, extra_tokens: &["middle", "school", "education"], per_locality: 1.0, metro_count: 9, tld: "edu" },
+    CategoryDef { key: "school-high", display: "High School", brand: false, name_style: NameStyle::NamedFacility, extra_tokens: &["high", "school", "education"], per_locality: 1.0, metro_count: 9, tld: "edu" },
+    CategoryDef { key: "airport", display: "Airport", brand: false, name_style: NameStyle::LocalityFacility, extra_tokens: &["airport", "flights", "terminal"], per_locality: 0.4, metro_count: 2, tld: "com" },
+    CategoryDef { key: "hospital", display: "Hospital", brand: false, name_style: NameStyle::LocalityFacility, extra_tokens: &["hospital", "medical", "emergency"], per_locality: 0.9, metro_count: 6, tld: "org" },
+];
+
+/// Name pool for `NamedFacility` instances.
+const FACILITY_NAMES: [&str; 24] = [
+    "Lincoln", "Washington", "Jefferson", "Roosevelt", "Franklin", "Madison", "Monroe",
+    "Oakwood", "Maplewood", "Riverside", "Lakeview", "Hillcrest", "Fairview", "Brookside",
+    "Sunnyside", "Westgate", "Eastwood", "Northfield", "Southgate", "Pleasant Valley",
+    "Cedar Grove", "Willow Creek", "Stonebrook", "Meadowlark",
+];
+
+/// Radius (km) around a locality centroid where its establishments land.
+const LOCALITY_RADIUS_KM: f64 = 12.0;
+/// Radius (km) of the dense Cuyahoga metro cluster.
+const METRO_RADIUS_KM: f64 = 6.0;
+
+/// Result of establishment generation.
+#[derive(Debug, Clone)]
+pub struct EstablishmentSet {
+    /// The places.
+    pub places: Vec<Place>,
+    /// The pages.
+    pub pages: Vec<Page>,
+}
+
+/// Generate all establishments for a geography.
+///
+/// `next_page_id` is the corpus-wide page-id allocator; it is advanced for
+/// every page created here.
+pub fn generate(geo: &UsGeography, seed: Seed, next_page_id: &mut u32) -> EstablishmentSet {
+    let mut places = Vec::new();
+    let mut pages = Vec::new();
+    let mut next_place = 0u32;
+
+    let alloc_page = |next_page_id: &mut u32| {
+        let id = PageId(*next_page_id);
+        *next_page_id += 1;
+        id
+    };
+
+    // Brand national domains: the navigational anchors.
+    for cat in BRAND_CATEGORIES {
+        let id = alloc_page(next_page_id);
+        let domain = format!("{}.example.com", cat.key);
+        let mut tokens = tokenize(cat.display);
+        tokens.extend(cat.extra_tokens.iter().map(|t| t.to_string()));
+        tokens.extend(tokenize("official site menu locations"));
+        pages.push(Page::new(
+            id,
+            format!("https://www.{domain}/"),
+            domain,
+            format!("{} — Official Site", cat.display),
+            tokens,
+            0.95,
+            GeoScope::Global,
+            PageKind::Web,
+        ));
+    }
+
+    // Third-party coverage per brand (encyclopedia, reviews, menus, jobs…):
+    // the stable, globally scoped organic tail of a brand SERP. Without
+    // these a brand query would only ever surface the brand's own domain.
+    for cat in BRAND_CATEGORIES {
+        let mut brand_rng = seed.derive("brand-coverage").derive(cat.key).rng();
+        let third_party: [(&str, &str, &str); 8] = [
+            ("encyclopedia.example.org", "wiki", "Encyclopedia"),
+            ("finder.example.com", "find", "Store Finder"),
+            ("menuprices.example.com", "menu", "Menu & Prices"),
+            ("tastereviews.example.com", "reviews", "Reviews"),
+            ("jobboard.example.com", "careers", "Careers"),
+            ("couponclip.example.com", "deals", "Coupons & Deals"),
+            ("foodblog.example.com", "story", "The Story Of"),
+            ("bizwire.example.com", "company", "Company News"),
+        ];
+        for (site, path, label) in third_party {
+            let id = alloc_page(next_page_id);
+            let mut tokens = tokenize(cat.display);
+            tokens.extend(cat.extra_tokens.iter().map(|t| t.to_string()));
+            tokens.extend(tokenize(label));
+            pages.push(Page::new(
+                id,
+                format!("https://{site}/{path}/{}", cat.key),
+                site.to_string(),
+                format!("{} — {label}", cat.display),
+                tokens,
+                brand_rng.range_f64(0.45, 0.80),
+                GeoScope::Global,
+                PageKind::Web,
+            ));
+        }
+    }
+
+    // Per-state directories for every generic category ("Ohio Hospital
+    // Directory"): state-scoped pages that make two searchers in different
+    // states diverge even where establishment coverage is thin.
+    for cat in GENERIC_CATEGORIES {
+        for state in &geo.states {
+            let id = alloc_page(next_page_id);
+            let abbrev = state.region.state_abbrev.clone().unwrap_or_default();
+            let sslug = slugify(&state.region.name);
+            let mut tokens = tokenize(cat.display);
+            tokens.extend(cat.extra_tokens.iter().map(|t| t.to_string()));
+            tokens.extend(tokenize(&state.region.name));
+            tokens.push("directory".to_string());
+            pages.push(Page::new(
+                id,
+                format!("https://{sslug}.example.gov/directory/{}", cat.key),
+                format!("{sslug}.example.gov"),
+                format!("{} {} Directory", state.region.name, cat.display),
+                tokens,
+                0.62,
+                GeoScope::State(abbrev),
+                PageKind::Web,
+            ));
+        }
+    }
+
+    // National info pages per generic category (encyclopedia / directory):
+    // the stable global filler that appears in every locality's SERP.
+    for cat in GENERIC_CATEGORIES {
+        for (i, (site, auth)) in [
+            ("encyclopedia.example.org", 0.90),
+            ("finder.example.com", 0.72),
+            ("national-directory.example.org", 0.66),
+        ]
+        .iter()
+        .enumerate()
+        {
+            let id = alloc_page(next_page_id);
+            let mut tokens = tokenize(cat.display);
+            tokens.extend(cat.extra_tokens.iter().map(|t| t.to_string()));
+            tokens.extend(tokenize("guide directory information list"));
+            pages.push(Page::new(
+                id,
+                format!("https://{site}/{}/{}", ["wiki", "find", "browse"][i], cat.key),
+                (*site).to_string(),
+                format!("{} — {}", cat.display, ["Encyclopedia", "Finder", "Directory"][i]),
+                tokens,
+                *auth,
+                GeoScope::Global,
+                PageKind::Web,
+            ));
+        }
+    }
+
+    let mut emit_instance = |cat: &CategoryDef,
+                             locality: &str,
+                             state_abbrev: &str,
+                             coord: Coord,
+                             rng: &mut DetRng,
+                             next_page_id: &mut u32,
+                             places: &mut Vec<Place>,
+                             pages: &mut Vec<Page>| {
+        let serial = next_place;
+        let name = match cat.name_style {
+            NameStyle::Brand => format!("{} – {}", cat.display, locality),
+            NameStyle::NamedFacility => {
+                format!("{} {}", rng.pick(&FACILITY_NAMES), cat.display)
+            }
+            NameStyle::LocalityFacility => format!("{} {}", locality, cat.display),
+        };
+        let mut tokens = tokenize(&name);
+        tokens.extend(cat.extra_tokens.iter().map(|t| t.to_string()));
+        tokens.extend(tokenize(locality));
+
+        let (url, domain) = if cat.brand {
+            let domain = format!("{}.example.com", cat.key);
+            (format!("https://www.{domain}/store/{serial}"), domain)
+        } else {
+            let domain = format!("{}-{}.example.{}", slugify(&name), serial, cat.tld);
+            (format!("https://{domain}/"), domain)
+        };
+        let page_id = PageId(*next_page_id);
+        *next_page_id += 1;
+        let authority = if cat.brand {
+            rng.range_f64(0.30, 0.45)
+        } else {
+            rng.range_f64(0.20, 0.50)
+        };
+        pages.push(Page::new(
+            page_id,
+            url.clone(),
+            domain,
+            name.clone(),
+            tokens.clone(),
+            authority,
+            GeoScope::Local(coord),
+            PageKind::Place,
+        ));
+        let prominence = if cat.brand {
+            rng.range_f64(0.60, 0.90)
+        } else {
+            rng.range_f64(0.30, 0.70)
+        };
+        places.push(Place {
+            id: PlaceId(serial),
+            name,
+            category_key: cat.key.to_string(),
+            tokens,
+            coord,
+            url,
+            page_id,
+            prominence,
+        });
+        next_place += 1;
+        let _ = state_abbrev;
+    };
+
+    let brands = BRAND_CATEGORIES;
+    let generics = GENERIC_CATEGORIES;
+    for cat in brands.iter().chain(generics.iter()) {
+        let cat_seed = seed.derive("establishments").derive(cat.key);
+
+        // Per-locality instances: states and Ohio counties.
+        let localities: Vec<(&str, &str, Coord)> = geo
+            .states
+            .iter()
+            .map(|l| {
+                (
+                    l.region.name.as_str(),
+                    l.region.state_abbrev.as_deref().unwrap_or(""),
+                    l.coord,
+                )
+            })
+            .chain(geo.ohio_counties.iter().map(|l| {
+                (
+                    l.region.name.as_str(),
+                    l.region.state_abbrev.as_deref().unwrap_or(""),
+                    l.coord,
+                )
+            }))
+            .collect();
+
+        let state_count = geo.states.len();
+        for (i, (name, st, center)) in localities.iter().enumerate() {
+            let mut rng = cat_seed.derive_idx("locality", i as u64).rng();
+            // Draw the instance count: floor(per_locality) guaranteed, plus a
+            // Bernoulli fractional part. States are whole metros, not county
+            // seats, so they carry ~3× the instances over a wider radius —
+            // this density is what makes national-granularity vantage points
+            // differ *more* than state-granularity ones (paper Fig. 5).
+            let is_state = i < state_count;
+            let expected = if is_state { cat.per_locality * 4.0 } else { cat.per_locality };
+            let base = expected.floor() as usize;
+            let extra = usize::from(rng.chance(expected - base as f64));
+            let cap = if is_state { 8 } else { 3 };
+            let count = (base + extra).min(cap);
+            let radius = if is_state { 25.0 } else { LOCALITY_RADIUS_KM };
+            for _ in 0..count {
+                let coord = center.destination(
+                    rng.range_f64(0.0, 360.0),
+                    rng.range_f64(0.5, radius),
+                );
+                emit_instance(
+                    cat,
+                    name,
+                    st,
+                    coord,
+                    &mut rng,
+                    next_page_id,
+                    &mut places,
+                    &mut pages,
+                );
+            }
+        }
+
+        // Dense Cuyahoga metro cluster (around the county-granularity
+        // vantage points).
+        let metro_center = geoserp_geo::us::CUYAHOGA_CENTROID;
+        let mut rng = cat_seed.derive("metro").rng();
+        for _ in 0..cat.metro_count {
+            let coord = metro_center.destination(
+                rng.range_f64(0.0, 360.0),
+                rng.range_f64(0.2, METRO_RADIUS_KM),
+            );
+            emit_instance(
+                cat,
+                "Cleveland",
+                "OH",
+                coord,
+                &mut rng,
+                next_page_id,
+                &mut places,
+                &mut pages,
+            );
+        }
+    }
+
+    EstablishmentSet { places, pages }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geoserp_geo::us::CUYAHOGA_CENTROID;
+
+    fn set() -> EstablishmentSet {
+        let geo = UsGeography::generate(Seed::new(2015));
+        let mut next = 0;
+        generate(&geo, Seed::new(2015), &mut next)
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let geo = UsGeography::generate(Seed::new(8));
+        let mut n1 = 0;
+        let a = generate(&geo, Seed::new(8), &mut n1);
+        let mut n2 = 0;
+        let b = generate(&geo, Seed::new(8), &mut n2);
+        assert_eq!(a.places, b.places);
+        assert_eq!(a.pages, b.pages);
+        assert_eq!(n1, n2);
+    }
+
+    #[test]
+    fn page_ids_are_dense_and_unique() {
+        let s = set();
+        let mut ids: Vec<u32> = s.pages.iter().map(|p| p.id.0).collect();
+        let n = ids.len();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), n);
+    }
+
+    #[test]
+    fn urls_are_unique() {
+        let s = set();
+        let mut urls: Vec<&str> = s.pages.iter().map(|p| p.url.as_str()).collect();
+        let n = urls.len();
+        urls.sort_unstable();
+        urls.dedup();
+        assert_eq!(urls.len(), n, "duplicate establishment URLs");
+    }
+
+    #[test]
+    fn every_place_points_at_a_place_page() {
+        let s = set();
+        let by_id: std::collections::HashMap<u32, &Page> =
+            s.pages.iter().map(|p| (p.id.0, p)).collect();
+        for pl in &s.places {
+            let page = by_id.get(&pl.page_id.0).expect("page exists");
+            assert_eq!(page.kind, PageKind::Place);
+            assert_eq!(page.url, pl.url);
+        }
+    }
+
+    #[test]
+    fn brand_outlets_live_on_brand_domain() {
+        let s = set();
+        let starbucks: Vec<&Place> = s
+            .places
+            .iter()
+            .filter(|p| p.category_key == "starbucks")
+            .collect();
+        assert!(!starbucks.is_empty());
+        for p in starbucks {
+            assert!(p.url.contains("starbucks.example.com"), "{}", p.url);
+        }
+    }
+
+    #[test]
+    fn metro_cluster_is_dense_near_cuyahoga() {
+        let s = set();
+        for cat in GENERIC_CATEGORIES {
+            let nearby = s
+                .places
+                .iter()
+                .filter(|p| p.category_key == cat.key)
+                .filter(|p| p.coord.haversine_km(CUYAHOGA_CENTROID) < METRO_RADIUS_KM + 1.0)
+                .count();
+            assert!(
+                nearby >= cat.metro_count,
+                "{}: only {nearby} near metro (want ≥ {})",
+                cat.key,
+                cat.metro_count
+            );
+        }
+    }
+
+    #[test]
+    fn umbrella_terms_have_token_coverage() {
+        // "School", "Station", "Rail", "Fast Food", "Burger", "Coffee" have
+        // no dedicated category but must match instances by token.
+        let s = set();
+        for term in ["school", "station", "rail", "fast", "burger", "coffee"] {
+            let hits = s
+                .places
+                .iter()
+                .filter(|p| p.tokens.iter().any(|t| t == term))
+                .count();
+            assert!(hits > 10, "term '{term}' matches only {hits} places");
+        }
+    }
+
+    #[test]
+    fn national_brand_pages_are_navigational() {
+        let s = set();
+        let nav: Vec<&Page> = s
+            .pages
+            .iter()
+            .filter(|p| p.kind == PageKind::Web && p.authority > 0.9)
+            .collect();
+        // 9 brand homepages + 20 encyclopedia pages at 0.90 are ties; require
+        // at least the 9 brand pages strictly above 0.9.
+        assert!(nav.len() >= 9, "{}", nav.len());
+        assert!(nav.iter().any(|p| p.title.contains("Starbucks")));
+    }
+
+    #[test]
+    fn place_count_is_reasonable() {
+        let s = set();
+        // 29 categories over ~139 localities plus metro clusters: expect a
+        // few thousand places but not an explosion.
+        assert!(
+            (2_000..40_000).contains(&s.places.len()),
+            "places = {}",
+            s.places.len()
+        );
+    }
+}

@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+//! # geoserp-corpus — the synthetic web and query corpus
+//!
+//! The paper measures a live search engine against the live web. This crate
+//! supplies the deterministic synthetic equivalents of both inputs:
+//!
+//! * a **web corpus** ([`WebCorpus`]) of pages — chain-store outlets and
+//!   generic local establishments (schools, hospitals, banks, …), politician
+//!   pages at four levels of office, controversial-topic pages, and news
+//!   articles — each with a URL, indexable tokens, a static authority score,
+//!   and a geographic scope;
+//! * the paper's **query corpus** ([`QueryCorpus`], §2.1): 33 local queries,
+//!   87 controversial queries, and 120 politician-name queries (240 total).
+//!
+//! Both are generated from a [`geoserp_geo::Seed`] so that an entire study is
+//! reproducible from one `u64`.
+//!
+//! The corpus is shaped so that the *mechanisms* the paper observed exist in
+//! the synthetic world:
+//!
+//! * brand terms (Starbucks, KFC, …) have a dominant navigational domain and
+//!   comparatively few near-duplicate local candidates;
+//! * generic establishment terms (school, hospital, …) have many near-equal
+//!   geo-scoped candidates everywhere, so ranking is distance- and
+//!   tie-break-sensitive;
+//! * politicians are covered by globally scoped pages (encyclopedia,
+//!   official sites) plus home-region news; a few share deliberately common
+//!   names with unrelated people (§3.2's "Bill Johnson" ambiguity);
+//! * controversial topics are globally scoped with an attached pool of news
+//!   articles.
+
+pub mod establishments;
+pub mod page;
+pub mod politicians;
+pub mod queries;
+pub mod text;
+pub mod topics;
+pub mod web;
+
+pub use establishments::{CategoryDef, NameStyle, Place, PlaceId, BRAND_CATEGORIES, GENERIC_CATEGORIES};
+pub use page::{GeoScope, Page, PageId, PageKind};
+pub use politicians::{OfficeLevel, Politician, Roster};
+pub use queries::{Query, QueryCategory, QueryCorpus, CONTROVERSIAL_TERMS, LOCAL_TERMS};
+pub use text::{slugify, tokenize};
+pub use topics::{Topic, TopicSet, NEWS_WINDOW_DAYS, STATE_INSTITUTION_TERMS};
+pub use web::WebCorpus;

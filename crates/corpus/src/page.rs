@@ -1,0 +1,178 @@
+//! The unit of the synthetic web: a [`Page`] with URL, tokens, authority, a
+//! geographic scope, and a kind (web / place / news).
+//!
+//! The engine's organic index ranks `Web` and `Place` pages; the News
+//! vertical draws from `News` pages; the Maps vertical draws from
+//! [`crate::Place`] records (which point back at a `Place` page's URL).
+
+use geoserp_geo::Coord;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Stable page identifier within one corpus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PageId(pub u32);
+
+impl fmt::Display for PageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// What part of the SERP a page can appear in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PageKind {
+    /// Ordinary web page: organic results.
+    Web,
+    /// A local establishment's page: organic results and Maps-card links.
+    Place,
+    /// A news article: organic results and News-card links.
+    News,
+}
+
+/// Geographic relevance scope of a page.
+///
+/// The geo-aware ranker boosts pages whose scope contains / is near the
+/// searching user; `Global` pages score identically everywhere.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum GeoScope {
+    /// Relevant everywhere (encyclopedias, national sites, most news).
+    Global,
+    /// Relevant within one US state (state government, state news).
+    State(String),
+    /// Relevant within one county of a state: `(state_abbrev, county_name)`.
+    County(String, String),
+    /// Relevant near a physical point (an establishment's site).
+    Local(Coord),
+}
+
+impl GeoScope {
+    /// True if this scope has any geographic restriction at all.
+    pub fn is_geographic(&self) -> bool {
+        !matches!(self, GeoScope::Global)
+    }
+}
+
+/// One page of the synthetic web.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Page {
+    /// The id.
+    pub id: PageId,
+    /// Full URL; unique within a corpus. The SERP metrics compare URLs.
+    pub url: String,
+    /// Registered domain, e.g. `starbucks.com` (used for navigational boost
+    /// and per-domain result diversity).
+    pub domain: String,
+    /// Display title (what a SERP card shows).
+    pub title: String,
+    /// Indexable tokens: title + body keywords, already tokenized.
+    pub tokens: Vec<String>,
+    /// Query-independent authority in `[0, 1]` (PageRank stand-in).
+    pub authority: f64,
+    /// Geographic scope.
+    pub geo: GeoScope,
+    /// SERP role.
+    pub kind: PageKind,
+    /// Publication day for `News` pages (simulation day index), `None`
+    /// otherwise. The News vertical prefers fresh articles.
+    pub published_day: Option<u32>,
+}
+
+impl Page {
+    /// Construct a page; callers must ensure URL uniqueness at corpus level.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        id: PageId,
+        url: impl Into<String>,
+        domain: impl Into<String>,
+        title: impl Into<String>,
+        tokens: Vec<String>,
+        authority: f64,
+        geo: GeoScope,
+        kind: PageKind,
+    ) -> Self {
+        let authority = authority.clamp(0.0, 1.0);
+        Page {
+            id,
+            url: url.into(),
+            domain: domain.into(),
+            title: title.into(),
+            tokens,
+            authority,
+            geo,
+            kind,
+            published_day: None,
+        }
+    }
+
+    /// Mark as a news article published on the given simulation day.
+    pub fn with_published_day(mut self, day: u32) -> Self {
+        self.published_day = Some(day);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::text::tokenize;
+
+    fn page() -> Page {
+        Page::new(
+            PageId(1),
+            "https://example.org/x",
+            "example.org",
+            "Example",
+            tokenize("Example page about schools"),
+            0.5,
+            GeoScope::Global,
+            PageKind::Web,
+        )
+    }
+
+    #[test]
+    fn authority_is_clamped() {
+        let p = Page::new(
+            PageId(0),
+            "u",
+            "d",
+            "t",
+            vec![],
+            7.0,
+            GeoScope::Global,
+            PageKind::Web,
+        );
+        assert_eq!(p.authority, 1.0);
+        let p = Page::new(
+            PageId(0),
+            "u",
+            "d",
+            "t",
+            vec![],
+            -1.0,
+            GeoScope::Global,
+            PageKind::Web,
+        );
+        assert_eq!(p.authority, 0.0);
+    }
+
+    #[test]
+    fn geo_scope_classification() {
+        assert!(!GeoScope::Global.is_geographic());
+        assert!(GeoScope::State("OH".into()).is_geographic());
+        assert!(GeoScope::County("OH".into(), "Cuyahoga".into()).is_geographic());
+        assert!(GeoScope::Local(Coord::new(41.0, -81.0)).is_geographic());
+    }
+
+    #[test]
+    fn published_day_builder() {
+        let p = page().with_published_day(3);
+        assert_eq!(p.published_day, Some(3));
+        assert_eq!(page().published_day, None);
+    }
+
+    #[test]
+    fn page_id_display() {
+        assert_eq!(PageId(7).to_string(), "p7");
+    }
+}

@@ -1,0 +1,380 @@
+//! Politician roster generation (§2.1).
+//!
+//! The paper's 120 politician queries: "11 members of the Cuyahoga County
+//! Board, 53 random members of the Ohio House and Senate, all 18 members of
+//! the US Senate and House from Ohio, 36 random members of the US House and
+//! Senate not from Ohio, Joe Biden, and Barack Obama."
+//!
+//! Names are generated from seeded pools, except two Ohio congressional
+//! members who are deliberately assigned the common names "Bill Johnson" and
+//! "Tim Ryan" — the two names §3.2 identifies as ambiguity-driven outliers —
+//! plus a seeded handful of other common names. The web corpus later creates
+//! *unrelated* pages (a football coach, a company founder, …) for every
+//! common-named politician so that their queries are genuinely ambiguous.
+
+use geoserp_geo::Seed;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The level of office a politician holds; determines the geographic scope of
+/// their coverage on the synthetic web.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OfficeLevel {
+    /// Cuyahoga County Board member — county-scoped coverage.
+    CountyBoard,
+    /// Ohio House / Senate member — state-scoped coverage.
+    StateLegislature,
+    /// US House / Senate member from Ohio.
+    UsCongressOhio,
+    /// US House / Senate member from another state.
+    UsCongressOther,
+    /// National figure (Biden, Obama) — globally scoped coverage only.
+    National,
+}
+
+impl OfficeLevel {
+    /// Roster size for this level in the paper's corpus.
+    pub fn paper_count(self) -> usize {
+        match self {
+            OfficeLevel::CountyBoard => 11,
+            OfficeLevel::StateLegislature => 53,
+            OfficeLevel::UsCongressOhio => 18,
+            OfficeLevel::UsCongressOther => 36,
+            OfficeLevel::National => 2,
+        }
+    }
+
+    /// All levels.
+    pub const ALL: [OfficeLevel; 5] = [
+        OfficeLevel::CountyBoard,
+        OfficeLevel::StateLegislature,
+        OfficeLevel::UsCongressOhio,
+        OfficeLevel::UsCongressOther,
+        OfficeLevel::National,
+    ];
+}
+
+impl fmt::Display for OfficeLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OfficeLevel::CountyBoard => "Cuyahoga County Board",
+            OfficeLevel::StateLegislature => "Ohio General Assembly",
+            OfficeLevel::UsCongressOhio => "US Congress (Ohio)",
+            OfficeLevel::UsCongressOther => "US Congress (other state)",
+            OfficeLevel::National => "National figure",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One politician in the roster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Politician {
+    /// Full name, also the query term.
+    pub name: String,
+    /// The level.
+    pub level: OfficeLevel,
+    /// Home state abbreviation.
+    pub state_abbrev: String,
+    /// Home county (for county-board and state-legislature members).
+    pub home_county: Option<String>,
+    /// True if this name was drawn from the common-name pool; the web corpus
+    /// attaches unrelated same-named entities to these.
+    pub common_name: bool,
+    /// Party label, generated for flavour (the engine ignores it).
+    pub party: Party,
+}
+
+/// Party affiliation (cosmetic; the engine must not read it, mirroring the
+/// paper's finding that demographics/politics do not drive personalization).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Party {
+    /// Democratic.
+    Democratic,
+    /// Republican.
+    Republican,
+    /// Independent.
+    Independent,
+}
+
+const FIRST_NAMES: [&str; 40] = [
+    "James", "Mary", "Robert", "Patricia", "John", "Jennifer", "Michael", "Linda", "David",
+    "Elizabeth", "William", "Barbara", "Richard", "Susan", "Joseph", "Jessica", "Thomas", "Karen",
+    "Charles", "Sarah", "Christopher", "Nancy", "Daniel", "Margaret", "Matthew", "Lisa",
+    "Anthony", "Betty", "Marcus", "Dorothy", "Donald", "Sandra", "Steven", "Ashley", "Paul",
+    "Kimberly", "Andrea", "Donna", "Kenneth", "Carol",
+];
+
+const LAST_NAMES: [&str; 44] = [
+    "Abernathy", "Bergstrom", "Castellano", "Delacroix", "Eisenberg", "Fairbanks", "Galloway",
+    "Hathaway", "Ingersoll", "Jankowski", "Kowalczyk", "Lindqvist", "Montgomery", "Novakovic",
+    "Okonkwo", "Pellegrini", "Quarterman", "Rasmussen", "Szymanski", "Thibodeaux", "Underwood",
+    "Vanderbilt", "Wadsworth", "Xenakis", "Yarborough", "Zablocki", "Ashford", "Blackwood",
+    "Carrington", "Dunmore", "Ellsworth", "Fitzwilliam", "Greenfield", "Holloway", "Ironside",
+    "Jefferson", "Kingsley", "Lockhart", "Merriweather", "Northcott", "Oakhurst", "Pemberton",
+    "Ravenscroft", "Stonebridge",
+];
+
+/// Names deliberately shared with unrelated non-politicians on the synthetic
+/// web. "Bill Johnson" and "Tim Ryan" are the paper's own examples.
+pub const COMMON_NAMES: [&str; 6] = [
+    "Bill Johnson",
+    "Tim Ryan",
+    "Mike Smith",
+    "John Brown",
+    "Dave Miller",
+    "Jim Jones",
+];
+
+/// The generated roster of 120 politicians.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Roster {
+    politicians: Vec<Politician>,
+}
+
+impl Roster {
+    /// Generate the paper's roster from a seed, deterministically.
+    ///
+    /// Uniqueness of names is guaranteed (each name is also a query term).
+    pub fn generate(seed: Seed) -> Self {
+        let mut rng = seed.derive("roster").rng();
+        let mut used: std::collections::HashSet<String> = std::collections::HashSet::new();
+        let mut politicians = Vec::with_capacity(120);
+
+        // Which common names go where: 2 are pinned to Ohio US Congress,
+        // the rest sprinkled over the state legislature.
+        let mut common_pool: Vec<&str> = COMMON_NAMES[2..].to_vec();
+        rng.shuffle(&mut common_pool);
+
+        let fresh_name = |rng: &mut geoserp_geo::DetRng,
+                              used: &mut std::collections::HashSet<String>| {
+            loop {
+                let name = format!("{} {}", rng.pick(&FIRST_NAMES), rng.pick(&LAST_NAMES));
+                if used.insert(name.clone()) {
+                    return name;
+                }
+            }
+        };
+        let party = |rng: &mut geoserp_geo::DetRng| {
+            if rng.chance(0.48) {
+                Party::Democratic
+            } else if rng.chance(0.96) {
+                Party::Republican
+            } else {
+                Party::Independent
+            }
+        };
+
+        // 11 Cuyahoga County Board members.
+        for _ in 0..11 {
+            let name = fresh_name(&mut rng, &mut used);
+            let p = party(&mut rng);
+            politicians.push(Politician {
+                name,
+                level: OfficeLevel::CountyBoard,
+                state_abbrev: "OH".into(),
+                home_county: Some("Cuyahoga".into()),
+                common_name: false,
+                party: p,
+            });
+        }
+
+        // 53 Ohio General Assembly members; up to 2 get common names.
+        let common_in_assembly = 2.min(common_pool.len());
+        for i in 0..53 {
+            let (name, common) = if i < common_in_assembly {
+                let n = common_pool[i].to_string();
+                used.insert(n.clone());
+                (n, true)
+            } else {
+                (fresh_name(&mut rng, &mut used), false)
+            };
+            let county =
+                geoserp_geo::us::OHIO_COUNTIES[rng.below(geoserp_geo::us::OHIO_COUNTIES.len())];
+            let p = party(&mut rng);
+            politicians.push(Politician {
+                name,
+                level: OfficeLevel::StateLegislature,
+                state_abbrev: "OH".into(),
+                home_county: Some(county.to_string()),
+                common_name: common,
+                party: p,
+            });
+        }
+
+        // 18 Ohio members of the US Congress; two are the paper's ambiguous
+        // names.
+        for i in 0..18 {
+            let (name, common) = match i {
+                0 => ("Bill Johnson".to_string(), true),
+                1 => ("Tim Ryan".to_string(), true),
+                _ => (fresh_name(&mut rng, &mut used), false),
+            };
+            used.insert(name.clone());
+            let county =
+                geoserp_geo::us::OHIO_COUNTIES[rng.below(geoserp_geo::us::OHIO_COUNTIES.len())];
+            let p = party(&mut rng);
+            politicians.push(Politician {
+                name,
+                level: OfficeLevel::UsCongressOhio,
+                state_abbrev: "OH".into(),
+                home_county: Some(county.to_string()),
+                common_name: common,
+                party: p,
+            });
+        }
+
+        // 36 non-Ohio members of the US Congress.
+        for i in 0..36 {
+            let (name, common) = if i < common_pool.len().saturating_sub(common_in_assembly) {
+                let n = common_pool[common_in_assembly + i].to_string();
+                used.insert(n.clone());
+                (n, true)
+            } else {
+                (fresh_name(&mut rng, &mut used), false)
+            };
+            // A non-Ohio state.
+            let state = loop {
+                let (_, abbrev, _, _) =
+                    geoserp_geo::us::STATES[rng.below(geoserp_geo::us::STATES.len())];
+                if abbrev != "OH" {
+                    break abbrev;
+                }
+            };
+            let p = party(&mut rng);
+            politicians.push(Politician {
+                name,
+                level: OfficeLevel::UsCongressOther,
+                state_abbrev: state.to_string(),
+                home_county: None,
+                common_name: common,
+                party: p,
+            });
+        }
+
+        // Biden and Obama.
+        politicians.push(Politician {
+            name: "Joe Biden".into(),
+            level: OfficeLevel::National,
+            state_abbrev: "DE".into(),
+            home_county: None,
+            common_name: false,
+            party: Party::Democratic,
+        });
+        politicians.push(Politician {
+            name: "Barack Obama".into(),
+            level: OfficeLevel::National,
+            state_abbrev: "IL".into(),
+            home_county: None,
+            common_name: false,
+            party: Party::Democratic,
+        });
+
+        Roster { politicians }
+    }
+
+    /// All 120 politicians in roster order.
+    pub fn all(&self) -> &[Politician] {
+        &self.politicians
+    }
+
+    /// Politicians at one office level.
+    pub fn at_level(&self, level: OfficeLevel) -> impl Iterator<Item = &Politician> {
+        self.politicians.iter().filter(move |p| p.level == level)
+    }
+
+    /// Look up a politician by exact name.
+    pub fn by_name(&self, name: &str) -> Option<&Politician> {
+        self.politicians.iter().find(|p| p.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roster() -> Roster {
+        Roster::generate(Seed::new(2015))
+    }
+
+    #[test]
+    fn roster_size_and_level_counts() {
+        let r = roster();
+        assert_eq!(r.all().len(), 120);
+        for level in OfficeLevel::ALL {
+            assert_eq!(
+                r.at_level(level).count(),
+                level.paper_count(),
+                "level {level}"
+            );
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let r = roster();
+        let mut names: Vec<&str> = r.all().iter().map(|p| p.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 120);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Roster::generate(Seed::new(3));
+        let b = Roster::generate(Seed::new(3));
+        assert_eq!(a.all(), b.all());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Roster::generate(Seed::new(3));
+        let b = Roster::generate(Seed::new(4));
+        assert_ne!(a.all(), b.all());
+    }
+
+    #[test]
+    fn papers_ambiguous_names_are_in_ohio_congress() {
+        let r = roster();
+        let bj = r.by_name("Bill Johnson").expect("Bill Johnson exists");
+        assert_eq!(bj.level, OfficeLevel::UsCongressOhio);
+        assert!(bj.common_name);
+        let tr = r.by_name("Tim Ryan").expect("Tim Ryan exists");
+        assert_eq!(tr.level, OfficeLevel::UsCongressOhio);
+        assert!(tr.common_name);
+    }
+
+    #[test]
+    fn biden_and_obama_present() {
+        let r = roster();
+        assert_eq!(r.by_name("Joe Biden").unwrap().level, OfficeLevel::National);
+        assert_eq!(
+            r.by_name("Barack Obama").unwrap().level,
+            OfficeLevel::National
+        );
+    }
+
+    #[test]
+    fn county_board_members_live_in_cuyahoga() {
+        let r = roster();
+        for p in r.at_level(OfficeLevel::CountyBoard) {
+            assert_eq!(p.home_county.as_deref(), Some("Cuyahoga"));
+            assert_eq!(p.state_abbrev, "OH");
+        }
+    }
+
+    #[test]
+    fn non_ohio_congress_is_non_ohio() {
+        let r = roster();
+        for p in r.at_level(OfficeLevel::UsCongressOther) {
+            assert_ne!(p.state_abbrev, "OH", "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn several_common_names_exist() {
+        let r = roster();
+        let commons = r.all().iter().filter(|p| p.common_name).count();
+        assert!(commons >= 4, "only {commons} common names");
+    }
+}

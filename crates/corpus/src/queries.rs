@@ -1,0 +1,350 @@
+//! The paper's query corpus (§2.1): 240 queries in three categories —
+//! 33 *local*, 87 *controversial*, 120 *politicians*.
+//!
+//! The 33 local terms are read directly off the paper's Figures 3/4/6 (they
+//! plot every local query by name). The controversial list contains the 18
+//! examples of Table 1, the three terms §3.2 singles out as most personalized
+//! ("health", "republican party", "politics"), and 66 further news/politics
+//! issue terms in the same style, for the stated total of 87. Politician
+//! queries are the names of a generated [`crate::Roster`].
+
+use crate::politicians::Roster;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Query category, the paper's primary query-side dimension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum QueryCategory {
+    /// Physical establishments, restaurants, public services.
+    Local,
+    /// News/politics issue terms (Table 1).
+    Controversial,
+    /// Politician names.
+    Politician,
+}
+
+impl QueryCategory {
+    /// All categories in the paper's figure order.
+    pub const ALL: [QueryCategory; 3] = [
+        QueryCategory::Politician,
+        QueryCategory::Controversial,
+        QueryCategory::Local,
+    ];
+
+    /// Figure label.
+    pub fn label(self) -> &'static str {
+        match self {
+            QueryCategory::Local => "Local",
+            QueryCategory::Controversial => "Controversial",
+            QueryCategory::Politician => "Politicians",
+        }
+    }
+}
+
+impl fmt::Display for QueryCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A single search query.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Query {
+    /// The term.
+    pub term: String,
+    /// The category.
+    pub category: QueryCategory,
+}
+
+impl Query {
+    /// See the type-level docs: `new`.
+    pub fn new(term: impl Into<String>, category: QueryCategory) -> Self {
+        Query {
+            term: term.into(),
+            category,
+        }
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.category, self.term)
+    }
+}
+
+/// The 33 local query terms, exactly as plotted in the paper's Figure 3.
+pub const LOCAL_TERMS: [&str; 33] = [
+    "Chipotle",
+    "Starbucks",
+    "Dairy Queen",
+    "Mcdonalds",
+    "Subway",
+    "Burger King",
+    "Post Office",
+    "Polling Place",
+    "KFC",
+    "Wendy's",
+    "Chick-fil-a",
+    "Train",
+    "University",
+    "Sushi",
+    "Football",
+    "Bank",
+    "Burger",
+    "Rail",
+    "Coffee",
+    "Restaurant",
+    "Park",
+    "Fast Food",
+    "Police Station",
+    "Bus",
+    "School",
+    "Fire Station",
+    "Airport",
+    "Hospital",
+    "College",
+    "Station",
+    "High School",
+    "Elementary School",
+    "Middle School",
+];
+
+/// The subset of [`LOCAL_TERMS`] that are brand names (chains). The paper
+/// finds these less noisy and less personalized than generic terms because
+/// they resolve navigationally and "searches for specific brands typically do
+/// not yield Maps results".
+pub const BRAND_TERMS: [&str; 9] = [
+    "Chipotle",
+    "Starbucks",
+    "Dairy Queen",
+    "Mcdonalds",
+    "Subway",
+    "Burger King",
+    "KFC",
+    "Wendy's",
+    "Chick-fil-a",
+];
+
+/// The 87 controversial query terms: Table 1's 18 examples first, then the
+/// three terms called out in §3.2, then 66 more in the same register.
+pub const CONTROVERSIAL_TERMS: [&str; 87] = [
+    // Table 1 (verbatim).
+    "Progressive Tax",
+    "Impose A Flat Tax",
+    "End Medicaid",
+    "Affordable Health And Care Act",
+    "Fluoridate Water",
+    "Stem Cell Research",
+    "Andrew Wakefield Vindicated",
+    "Autism Caused By Vaccines",
+    "US Government Loses AAA Bond Rate",
+    "Is Global Warming Real",
+    "Man Made Global Warming Hoax",
+    "Nuclear Power Plants",
+    "Offshore Drilling",
+    "Genetically Modified Organisms",
+    "Late Term Abortion",
+    "Barack Obama Birth Certificate",
+    "Impeach Barack Obama",
+    "Gay Marriage",
+    // §3.2's most-personalized controversial queries.
+    "Health",
+    "Republican Party",
+    "Politics",
+    // Remaining terms in the same news/politics register.
+    "Gun Control",
+    "Minimum Wage Increase",
+    "Immigration Reform",
+    "Death Penalty",
+    "Climate Change",
+    "Obamacare Repeal",
+    "Marijuana Legalization",
+    "School Vouchers",
+    "Social Security Reform",
+    "Voter ID Laws",
+    "Affirmative Action",
+    "Common Core Standards",
+    "Fracking",
+    "Keystone Pipeline",
+    "Net Neutrality",
+    "NSA Surveillance",
+    "Drone Strikes",
+    "Guantanamo Bay",
+    "Defense Spending",
+    "Welfare Reform",
+    "Food Stamps",
+    "Charter Schools",
+    "Teacher Tenure",
+    "Student Loan Debt",
+    "Free College Tuition",
+    "Single Payer Healthcare",
+    "Medicare Privatization",
+    "Tax Loopholes",
+    "Estate Tax",
+    "Capital Gains Tax",
+    "Corporate Tax Rate",
+    "Carbon Tax",
+    "Renewable Energy Subsidies",
+    "Coal Industry Regulations",
+    "Clean Air Act",
+    "Endangered Species Act",
+    "Public Lands Drilling",
+    "Water Rights",
+    "Right To Work Laws",
+    "Union Dues",
+    "Outsourcing Jobs",
+    "Free Trade Agreements",
+    "Currency Manipulation",
+    "Federal Reserve Audit",
+    "Balanced Budget Amendment",
+    "Debt Ceiling",
+    "Government Shutdown",
+    "Term Limits",
+    "Gerrymandering",
+    "Campaign Finance Reform",
+    "Super PACs",
+    "Electoral College",
+    "Statehood For Puerto Rico",
+    "Flag Burning Amendment",
+    "School Prayer",
+    "Creationism In Schools",
+    "Sex Education",
+    "Contraception Mandate",
+    "Religious Freedom Laws",
+    "Transgender Rights",
+    "Police Body Cameras",
+    "Mandatory Minimum Sentences",
+    "Private Prisons",
+    "Felon Voting Rights",
+    "Sanctuary Cities",
+    "Police Militarization",
+];
+
+/// The full query corpus: 240 queries.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QueryCorpus {
+    local: Vec<Query>,
+    controversial: Vec<Query>,
+    politicians: Vec<Query>,
+}
+
+impl QueryCorpus {
+    /// Build the paper's corpus. Politician queries come from the roster's
+    /// 120 names.
+    pub fn paper_defaults(roster: &Roster) -> Self {
+        let local = LOCAL_TERMS
+            .iter()
+            .map(|t| Query::new(*t, QueryCategory::Local))
+            .collect();
+        let controversial = CONTROVERSIAL_TERMS
+            .iter()
+            .map(|t| Query::new(*t, QueryCategory::Controversial))
+            .collect();
+        let politicians = roster
+            .all()
+            .iter()
+            .map(|p| Query::new(p.name.clone(), QueryCategory::Politician))
+            .collect();
+        QueryCorpus {
+            local,
+            controversial,
+            politicians,
+        }
+    }
+
+    /// Queries of one category.
+    pub fn of(&self, category: QueryCategory) -> &[Query] {
+        match category {
+            QueryCategory::Local => &self.local,
+            QueryCategory::Controversial => &self.controversial,
+            QueryCategory::Politician => &self.politicians,
+        }
+    }
+
+    /// All 240 queries: politicians, controversial, local (figure order).
+    pub fn all(&self) -> Vec<&Query> {
+        QueryCategory::ALL
+            .iter()
+            .flat_map(|&c| self.of(c).iter())
+            .collect()
+    }
+
+    /// Total query count.
+    pub fn len(&self) -> usize {
+        self.local.len() + self.controversial.len() + self.politicians.len()
+    }
+
+    /// True when the corpus is empty (never for paper defaults).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True if `term` is one of the nine brand-name local terms.
+    pub fn is_brand_term(term: &str) -> bool {
+        BRAND_TERMS.iter().any(|b| b.eq_ignore_ascii_case(term))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geoserp_geo::Seed;
+
+    #[test]
+    fn term_list_sizes_match_paper() {
+        assert_eq!(LOCAL_TERMS.len(), 33);
+        assert_eq!(CONTROVERSIAL_TERMS.len(), 87);
+        assert_eq!(BRAND_TERMS.len(), 9);
+    }
+
+    #[test]
+    fn no_duplicate_terms() {
+        let mut all: Vec<String> = LOCAL_TERMS
+            .iter()
+            .chain(CONTROVERSIAL_TERMS.iter())
+            .map(|s| s.to_lowercase())
+            .collect();
+        let n = all.len();
+        all.sort();
+        all.dedup();
+        assert_eq!(all.len(), n);
+    }
+
+    #[test]
+    fn brands_are_subset_of_local() {
+        for b in BRAND_TERMS {
+            assert!(LOCAL_TERMS.contains(&b), "{b} not in LOCAL_TERMS");
+        }
+    }
+
+    #[test]
+    fn table1_terms_present() {
+        for t in [
+            "Progressive Tax",
+            "Gay Marriage",
+            "Impeach Barack Obama",
+            "Fluoridate Water",
+        ] {
+            assert!(CONTROVERSIAL_TERMS.contains(&t));
+        }
+    }
+
+    #[test]
+    fn corpus_totals_240() {
+        let roster = Roster::generate(Seed::new(1));
+        let corpus = QueryCorpus::paper_defaults(&roster);
+        assert_eq!(corpus.of(QueryCategory::Local).len(), 33);
+        assert_eq!(corpus.of(QueryCategory::Controversial).len(), 87);
+        assert_eq!(corpus.of(QueryCategory::Politician).len(), 120);
+        assert_eq!(corpus.len(), 240);
+        assert_eq!(corpus.all().len(), 240);
+        assert!(!corpus.is_empty());
+    }
+
+    #[test]
+    fn brand_term_detection() {
+        assert!(QueryCorpus::is_brand_term("Starbucks"));
+        assert!(QueryCorpus::is_brand_term("starbucks"));
+        assert!(!QueryCorpus::is_brand_term("School"));
+    }
+}

@@ -1,0 +1,101 @@
+//! Tokenization and slug helpers shared by corpus generation and the engine.
+//!
+//! The engine's lexical matching and the corpus's page text use one
+//! tokenizer so that relevance comparisons are consistent: lowercase
+//! alphanumeric runs, with apostrophes and hyphens treated as joiners that
+//! get dropped ("Wendy's" → `wendys`, "Chick-fil-a" → `chickfila`). This
+//! mirrors how the paper's query terms (which include both punctuation
+//! styles) must match page titles.
+
+/// Split text into lowercase tokens. Apostrophes and hyphens join their
+/// neighbours; every other non-alphanumeric character separates tokens.
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut current = String::new();
+    for ch in text.chars() {
+        if ch.is_alphanumeric() {
+            for lc in ch.to_lowercase() {
+                current.push(lc);
+            }
+        } else if ch == '\'' || ch == '-' || ch == '\u{2019}' {
+            // joiner: skip, keep accumulating
+        } else if !current.is_empty() {
+            tokens.push(std::mem::take(&mut current));
+        }
+    }
+    if !current.is_empty() {
+        tokens.push(current);
+    }
+    tokens
+}
+
+/// URL-safe slug: tokens joined by `-`.
+pub fn slugify(text: &str) -> String {
+    tokenize(text).join("-")
+}
+
+/// Jaccard similarity between two token multiset *supports* (sets).
+/// Used by corpus tests and the engine's duplicate suppression.
+pub fn token_set_overlap(a: &[String], b: &[String]) -> f64 {
+    use std::collections::HashSet;
+    let sa: HashSet<&String> = a.iter().collect();
+    let sb: HashSet<&String> = b.iter().collect();
+    if sa.is_empty() && sb.is_empty() {
+        return 1.0;
+    }
+    let inter = sa.intersection(&sb).count() as f64;
+    let union = sa.union(&sb).count() as f64;
+    inter / union
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_tokenization() {
+        assert_eq!(tokenize("Coffee Shop"), vec!["coffee", "shop"]);
+        assert_eq!(tokenize("  multiple   spaces "), vec!["multiple", "spaces"]);
+    }
+
+    #[test]
+    fn apostrophes_and_hyphens_join() {
+        assert_eq!(tokenize("Wendy's"), vec!["wendys"]);
+        assert_eq!(tokenize("Chick-fil-a"), vec!["chickfila"]);
+        assert_eq!(tokenize("O'Brien-Smith"), vec!["obriensmith"]);
+    }
+
+    #[test]
+    fn punctuation_separates() {
+        assert_eq!(tokenize("a,b.c/d"), vec!["a", "b", "c", "d"]);
+        assert_eq!(tokenize("Impeach Barack Obama!"), vec!["impeach", "barack", "obama"]);
+    }
+
+    #[test]
+    fn empty_and_symbol_only() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("?!., ").is_empty());
+    }
+
+    #[test]
+    fn unicode_lowercasing() {
+        assert_eq!(tokenize("Café"), vec!["café"]);
+    }
+
+    #[test]
+    fn slugify_joins_with_dashes() {
+        assert_eq!(slugify("Cuyahoga County Board"), "cuyahoga-county-board");
+        assert_eq!(slugify("Wendy's #42"), "wendys-42");
+    }
+
+    #[test]
+    fn overlap_bounds() {
+        let a = tokenize("elementary school near me");
+        let b = tokenize("middle school near me");
+        let o = token_set_overlap(&a, &b);
+        assert!(o > 0.0 && o < 1.0);
+        assert_eq!(token_set_overlap(&a, &a), 1.0);
+        assert_eq!(token_set_overlap(&[], &[]), 1.0);
+        assert_eq!(token_set_overlap(&a, &[]), 0.0);
+    }
+}

@@ -1,0 +1,305 @@
+//! Controversial-topic pages and their news pools.
+//!
+//! Each of the 87 controversial terms gets a globally scoped page set
+//! (encyclopedia, advocacy organizations, government information) plus a pool
+//! of news articles. A minority of articles are *state-scoped* regional
+//! coverage — this is the mechanism behind the paper's finding that 6–18 % of
+//! controversial-query differences are attributable to News results while
+//! overall personalization stays near the noise floor.
+//!
+//! Three terms — "Health", "Republican Party", "Politics" — additionally get
+//! a per-state institutional page ("Ohio Department of Health", "Ohio
+//! Republican Party", …), reproducing §3.2's observation that exactly these
+//! controversial queries personalize most.
+
+use crate::page::{GeoScope, Page, PageId, PageKind};
+use crate::queries::CONTROVERSIAL_TERMS;
+use crate::text::{slugify, tokenize};
+use geoserp_geo::{Seed, UsGeography};
+use serde::{Deserialize, Serialize};
+
+/// Number of simulation days news is spread over (the paper's 30-day window).
+pub const NEWS_WINDOW_DAYS: u32 = 30;
+
+/// The controversial terms that get per-state institutional pages.
+pub const STATE_INSTITUTION_TERMS: [&str; 3] = ["Health", "Republican Party", "Politics"];
+
+/// A controversial topic: its query term and index tokens.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Topic {
+    /// The term.
+    pub term: String,
+    /// The tokens.
+    pub tokens: Vec<String>,
+}
+
+/// Result of topic-page generation.
+#[derive(Debug, Clone)]
+pub struct TopicSet {
+    /// The topics.
+    pub topics: Vec<Topic>,
+    /// The pages.
+    pub pages: Vec<Page>,
+}
+
+/// Generate pages for all 87 controversial terms.
+pub fn generate(geo: &UsGeography, seed: Seed, next_page_id: &mut u32) -> TopicSet {
+    let mut topics = Vec::with_capacity(CONTROVERSIAL_TERMS.len());
+    let mut pages = Vec::new();
+    let alloc = |next_page_id: &mut u32| {
+        let id = PageId(*next_page_id);
+        *next_page_id += 1;
+        id
+    };
+
+    for (ti, term) in CONTROVERSIAL_TERMS.iter().enumerate() {
+        let tseed = seed.derive("topics").derive_idx("term", ti as u64);
+        let mut rng = tseed.rng();
+        let slug = slugify(term);
+        let tokens = tokenize(term);
+        topics.push(Topic {
+            term: term.to_string(),
+            tokens: tokens.clone(),
+        });
+
+        let push_page = |pages: &mut Vec<Page>,
+                             next_page_id: &mut u32,
+                             url: String,
+                             domain: String,
+                             title: String,
+                             extra: &str,
+                             authority: f64,
+                             geo_scope: GeoScope,
+                             kind: PageKind,
+                             day: Option<u32>| {
+            let id = alloc(next_page_id);
+            let mut toks = tokens.clone();
+            toks.extend(tokenize(&title));
+            toks.extend(tokenize(extra));
+            let mut page = Page::new(id, url, domain, title, toks, authority, geo_scope, kind);
+            if let Some(d) = day {
+                page = page.with_published_day(d);
+            }
+            pages.push(page);
+        };
+
+        // Encyclopedia article.
+        push_page(
+            &mut pages,
+            next_page_id,
+            format!("https://encyclopedia.example.org/wiki/{slug}"),
+            "encyclopedia.example.org".into(),
+            format!("{term} — Encyclopedia"),
+            "overview history debate policy",
+            0.92,
+            GeoScope::Global,
+            PageKind::Web,
+            None,
+        );
+
+        // Advocacy organizations, pro and con.
+        let n_advocacy = 2 + rng.below(2); // 2..=3
+        for a in 0..n_advocacy {
+            let side = if a % 2 == 0 { "for" } else { "against" };
+            push_page(
+                &mut pages,
+                next_page_id,
+                format!("https://{side}-{slug}-{a}.example.org/"),
+                format!("{side}-{slug}-{a}.example.org"),
+                format!("{} {}", ["Citizens For", "Coalition Against", "Alliance On"][a % 3], term),
+                "advocacy campaign position facts",
+                rng.range_f64(0.45, 0.75),
+                GeoScope::Global,
+                PageKind::Web,
+                None,
+            );
+        }
+
+        // Government information page for policy-flavoured terms.
+        if rng.chance(0.5) {
+            push_page(
+                &mut pages,
+                next_page_id,
+                format!("https://info.example.gov/policy/{slug}"),
+                "info.example.gov".into(),
+                format!("{term} — Policy Information"),
+                "government official policy report",
+                0.85,
+                GeoScope::Global,
+                PageKind::Web,
+                None,
+            );
+        }
+
+        // News pool: 3–6 national articles spread over the study window…
+        let n_news = 3 + rng.below(4);
+        for a in 0..n_news {
+            let day = rng.below(NEWS_WINDOW_DAYS as usize) as u32;
+            let outlet = ["daily-ledger", "national-wire", "the-observer", "metro-times"]
+                [rng.below(4)];
+            push_page(
+                &mut pages,
+                next_page_id,
+                format!("https://{outlet}.example.com/{slug}/story-{a}"),
+                format!("{outlet}.example.com"),
+                format!("{term}: {}", ["Lawmakers Clash", "What To Know", "Debate Intensifies", "Experts Weigh In", "A National Divide"][a % 5]),
+                "news report coverage analysis",
+                rng.range_f64(0.55, 0.85),
+                GeoScope::Global,
+                PageKind::News,
+                Some(day),
+            );
+        }
+        // …plus state-scoped regional coverage for roughly a third of the
+        // states per topic (the raw material behind the paper's "6-18% of
+        // controversial-query differences are due to News").
+        for state in &geo.states {
+            if rng.chance(0.35) {
+                let abbrev = state.region.state_abbrev.clone().unwrap_or_default();
+                let day = rng.below(NEWS_WINDOW_DAYS as usize) as u32;
+                push_page(
+                    &mut pages,
+                    next_page_id,
+                    format!(
+                        "https://{}-herald.example.com/{slug}/local",
+                        slugify(&state.region.name)
+                    ),
+                    format!("{}-herald.example.com", slugify(&state.region.name)),
+                    format!("{} debate comes to {}", term, state.region.name),
+                    "news local regional coverage",
+                    rng.range_f64(0.40, 0.65),
+                    GeoScope::State(abbrev),
+                    PageKind::News,
+                    Some(day),
+                );
+            }
+        }
+
+        // Per-state institutional pages for the three special terms.
+        if STATE_INSTITUTION_TERMS.contains(term) {
+            for state in &geo.states {
+                let abbrev = state.region.state_abbrev.clone().unwrap_or_default();
+                let title = match *term {
+                    "Health" => format!("{} Department of Health", state.region.name),
+                    "Republican Party" => format!("{} Republican Party", state.region.name),
+                    _ => format!("{} Politics Today", state.region.name),
+                };
+                push_page(
+                    &mut pages,
+                    next_page_id,
+                    format!(
+                        "https://{}.{}.example.gov/",
+                        slug,
+                        slugify(&state.region.name)
+                    ),
+                    format!("{}.example.gov", slugify(&state.region.name)),
+                    title,
+                    "state official services information",
+                    0.78,
+                    GeoScope::State(abbrev),
+                    PageKind::Web,
+                    None,
+                );
+            }
+        }
+    }
+
+    TopicSet { topics, pages }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set() -> TopicSet {
+        let geo = UsGeography::generate(Seed::new(2015));
+        let mut next = 0;
+        generate(&geo, Seed::new(2015), &mut next)
+    }
+
+    #[test]
+    fn one_topic_per_controversial_term() {
+        let s = set();
+        assert_eq!(s.topics.len(), 87);
+        for (topic, term) in s.topics.iter().zip(CONTROVERSIAL_TERMS) {
+            assert_eq!(topic.term, term);
+        }
+    }
+
+    #[test]
+    fn every_topic_has_encyclopedia_and_news() {
+        let s = set();
+        for term in CONTROVERSIAL_TERMS {
+            let slug = slugify(term);
+            assert!(
+                s.pages
+                    .iter()
+                    .any(|p| p.url.contains(&format!("/wiki/{slug}"))),
+                "{term} missing encyclopedia"
+            );
+            let news = s
+                .pages
+                .iter()
+                .filter(|p| p.kind == PageKind::News && p.tokens.starts_with(&tokenize(term)))
+                .count();
+            assert!(news >= 3, "{term} has {news} news articles");
+        }
+    }
+
+    #[test]
+    fn news_has_publication_days_in_window() {
+        let s = set();
+        for p in s.pages.iter().filter(|p| p.kind == PageKind::News) {
+            let day = p.published_day.expect("news has a day");
+            assert!(day < NEWS_WINDOW_DAYS);
+        }
+        for p in s.pages.iter().filter(|p| p.kind != PageKind::News) {
+            assert!(p.published_day.is_none());
+        }
+    }
+
+    #[test]
+    fn special_terms_have_per_state_pages() {
+        let s = set();
+        for term in STATE_INSTITUTION_TERMS {
+            let state_scoped = s
+                .pages
+                .iter()
+                .filter(|p| {
+                    matches!(p.geo, GeoScope::State(_))
+                        && p.kind == PageKind::Web
+                        && p.tokens.starts_with(&tokenize(term))
+                })
+                .count();
+            assert_eq!(state_scoped, 51, "{term}: {state_scoped}");
+        }
+    }
+
+    #[test]
+    fn high_authority_pages_are_global() {
+        // The *head* of a controversial SERP must be globally scoped pages —
+        // that is why the paper sees almost no personalization for them.
+        // (Regional coverage exists in volume, but only at tail authority.)
+        let s = set();
+        let head: Vec<&Page> = s.pages.iter().filter(|p| p.authority >= 0.8).collect();
+        assert!(!head.is_empty());
+        let global = head.iter().filter(|p| !p.geo.is_geographic()).count();
+        assert!(
+            global as f64 > 0.8 * head.len() as f64,
+            "{global}/{} of head pages global",
+            head.len()
+        );
+    }
+
+    #[test]
+    fn urls_unique_and_deterministic() {
+        let s1 = set();
+        let s2 = set();
+        assert_eq!(s1.pages, s2.pages);
+        let mut urls: Vec<&str> = s1.pages.iter().map(|p| p.url.as_str()).collect();
+        let n = urls.len();
+        urls.sort_unstable();
+        urls.dedup();
+        assert_eq!(urls.len(), n);
+    }
+}

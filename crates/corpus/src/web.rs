@@ -1,0 +1,457 @@
+//! Corpus assembly: the [`WebCorpus`] ties together establishments, topic
+//! pages, politician pages, and the query corpus, with a single corpus-wide
+//! page-id space.
+
+use crate::establishments::{self, Place};
+use crate::page::{GeoScope, Page, PageId, PageKind};
+use crate::politicians::{OfficeLevel, Roster};
+use crate::queries::QueryCorpus;
+use crate::text::{slugify, tokenize};
+use crate::topics::{self, Topic, NEWS_WINDOW_DAYS};
+use geoserp_geo::{Seed, UsGeography};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// The complete synthetic web plus the study's query corpus.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WebCorpus {
+    seed_value: u64,
+    /// Every page, indexable by the engine. `pages[i].id == PageId(i)`.
+    pub pages: Vec<Page>,
+    /// Every physical establishment (Maps-vertical candidates).
+    pub places: Vec<Place>,
+    /// The 120-politician roster.
+    pub roster: Roster,
+    /// The 240-query corpus.
+    pub queries: QueryCorpus,
+    /// The 87 controversial topics.
+    pub topics: Vec<Topic>,
+}
+
+impl WebCorpus {
+    /// Generate the full corpus for a geography. Deterministic in `seed`.
+    pub fn generate(geo: &UsGeography, seed: Seed) -> Self {
+        let mut next_page_id: u32 = 0;
+
+        let est = establishments::generate(geo, seed.derive("establishments-root"), &mut next_page_id);
+        let topic_set = topics::generate(geo, seed.derive("topics-root"), &mut next_page_id);
+        let roster = Roster::generate(seed.derive("roster-root"));
+        let pol_pages = politician_pages(&roster, geo, seed.derive("polpages-root"), &mut next_page_id);
+
+        let mut pages = est.pages;
+        pages.extend(topic_set.pages);
+        pages.extend(pol_pages);
+        pages.sort_by_key(|p| p.id.0);
+        debug_assert!(pages.iter().enumerate().all(|(i, p)| p.id.0 as usize == i));
+
+        let queries = QueryCorpus::paper_defaults(&roster);
+
+        WebCorpus {
+            seed_value: seed.value(),
+            pages,
+            places: est.places,
+            roster,
+            queries,
+            topics: topic_set.topics,
+        }
+    }
+
+    /// The seed this corpus was generated from.
+    pub fn seed(&self) -> Seed {
+        Seed::new(self.seed_value)
+    }
+
+    /// Page lookup by id. Panics on an id from another corpus.
+    pub fn page(&self, id: PageId) -> &Page {
+        &self.pages[id.0 as usize]
+    }
+
+    /// Number of pages of each kind, for diagnostics.
+    pub fn kind_histogram(&self) -> HashMap<PageKind, usize> {
+        let mut h = HashMap::new();
+        for p in &self.pages {
+            *h.entry(p.kind).or_insert(0) += 1;
+        }
+        h
+    }
+}
+
+/// Generate pages covering every politician in the roster.
+///
+/// Coverage by office level mirrors reality closely enough to reproduce the
+/// paper's "politicians are essentially unaffected by geography" finding:
+/// the high-authority pages (encyclopedia, official site) are globally
+/// scoped, while local news coverage is scoped to the politician's home
+/// state/county. Common-named politicians additionally get *unrelated*
+/// same-named entities (a football coach, a company founder, a local
+/// plumber), the ambiguity source behind the paper's "Bill Johnson"/"Tim
+/// Ryan" outliers.
+fn politician_pages(
+    roster: &Roster,
+    geo: &UsGeography,
+    seed: Seed,
+    next_page_id: &mut u32,
+) -> Vec<Page> {
+    let mut pages = Vec::new();
+
+    for (pi, pol) in roster.all().iter().enumerate() {
+        let pseed = seed.derive_idx("politician", pi as u64);
+        let mut rng = pseed.rng();
+        let slug = slugify(&pol.name);
+
+        let push = |pages: &mut Vec<Page>,
+                        next_page_id: &mut u32,
+                        url: String,
+                        domain: String,
+                        title: String,
+                        extra: &str,
+                        authority: f64,
+                        geo_scope: GeoScope,
+                        kind: PageKind,
+                        day: Option<u32>| {
+            let id = PageId(*next_page_id);
+            *next_page_id += 1;
+            let mut toks = tokenize(&title);
+            toks.extend(tokenize(extra));
+            let mut page = Page::new(id, url, domain, title, toks, authority, geo_scope, kind);
+            if let Some(d) = day {
+                page = page.with_published_day(d);
+            }
+            pages.push(page);
+        };
+
+        // Authority of the top pages scales with office level.
+        let (enc_auth, official_auth, office_label) = match pol.level {
+            OfficeLevel::National => (0.97, 0.95, "President / Vice President"),
+            OfficeLevel::UsCongressOhio | OfficeLevel::UsCongressOther => {
+                (0.90, 0.85, "Member of Congress")
+            }
+            OfficeLevel::StateLegislature => (0.70, 0.65, "Ohio General Assembly"),
+            OfficeLevel::CountyBoard => (0.55, 0.50, "Cuyahoga County Board"),
+        };
+
+        // Encyclopedia entry.
+        push(
+            &mut pages,
+            next_page_id,
+            format!("https://encyclopedia.example.org/wiki/{slug}"),
+            "encyclopedia.example.org".into(),
+            format!("{} — Encyclopedia", pol.name),
+            &format!("politician biography {office_label}"),
+            enc_auth,
+            GeoScope::Global,
+            PageKind::Web,
+            None,
+        );
+
+        // Official site.
+        let official_domain = match pol.level {
+            OfficeLevel::National => "whitehouse.example.gov".to_string(),
+            OfficeLevel::UsCongressOhio | OfficeLevel::UsCongressOther => {
+                "congress.example.gov".to_string()
+            }
+            OfficeLevel::StateLegislature => "legislature.ohio.example.gov".to_string(),
+            OfficeLevel::CountyBoard => "board.cuyahoga.example.gov".to_string(),
+        };
+        push(
+            &mut pages,
+            next_page_id,
+            format!("https://{official_domain}/members/{slug}"),
+            official_domain,
+            format!("{} — Official Site", pol.name),
+            &format!("official {office_label} contact offices"),
+            official_auth,
+            GeoScope::Global,
+            PageKind::Web,
+            None,
+        );
+
+        // Campaign site.
+        push(
+            &mut pages,
+            next_page_id,
+            format!("https://{slug}-for-office.example.com/"),
+            format!("{slug}-for-office.example.com"),
+            format!("{} for {}", pol.name, office_label),
+            "campaign donate volunteer issues",
+            rng.range_f64(0.30, 0.50),
+            GeoScope::Global,
+            PageKind::Web,
+            None,
+        );
+
+        // Social profile.
+        push(
+            &mut pages,
+            next_page_id,
+            format!("https://chirper.example.com/{slug}"),
+            "chirper.example.com".into(),
+            format!("{} (@{slug}) — Chirper", pol.name),
+            "social posts profile",
+            rng.range_f64(0.35, 0.55),
+            GeoScope::Global,
+            PageKind::Web,
+            None,
+        );
+
+        // Civic-directory coverage: voting records, bios, donations, press
+        // archives — the globally scoped third-party tail every politician
+        // SERP carries.
+        let civic: [(&str, &str, &str); 4] = [
+            ("votetracker.example.org", "record", "Voting Record"),
+            ("civicpedia.example.org", "bio", "Civicpedia"),
+            ("donordata.example.org", "finance", "Campaign Finance"),
+            ("pressarchive.example.com", "clips", "Press Archive"),
+        ];
+        for (site, path, label) in civic {
+            push(
+                &mut pages,
+                next_page_id,
+                format!("https://{site}/{path}/{slug}"),
+                site.to_string(),
+                format!("{} — {label}", pol.name),
+                "politician directory record profile",
+                rng.range_f64(0.45, 0.70),
+                GeoScope::Global,
+                PageKind::Web,
+                None,
+            );
+        }
+
+        // Home-region news coverage (state- or county-scoped).
+        let n_local_news = 1 + rng.below(3);
+        for a in 0..n_local_news {
+            let day = rng.below(NEWS_WINDOW_DAYS as usize) as u32;
+            let geo_scope = match (&pol.level, &pol.home_county) {
+                (OfficeLevel::CountyBoard, Some(county)) => {
+                    GeoScope::County(pol.state_abbrev.clone(), county.clone())
+                }
+                _ => GeoScope::State(pol.state_abbrev.clone()),
+            };
+            let state_name = geo
+                .states
+                .iter()
+                .find(|s| s.region.state_abbrev.as_deref() == Some(pol.state_abbrev.as_str()))
+                .map(|s| s.region.name.clone())
+                .unwrap_or_else(|| pol.state_abbrev.clone());
+            push(
+                &mut pages,
+                next_page_id,
+                format!(
+                    "https://{}-herald.example.com/politics/{slug}-{a}",
+                    slugify(&state_name)
+                ),
+                format!("{}-herald.example.com", slugify(&state_name)),
+                format!(
+                    "{} {}",
+                    pol.name,
+                    ["holds town hall", "introduces bill", "responds to critics"][a % 3]
+                ),
+                "news politics local coverage",
+                rng.range_f64(0.40, 0.65),
+                geo_scope,
+                PageKind::News,
+                Some(day),
+            );
+        }
+
+        // National news for national figures and Congress.
+        if matches!(
+            pol.level,
+            OfficeLevel::National | OfficeLevel::UsCongressOhio | OfficeLevel::UsCongressOther
+        ) {
+            let n = 1 + rng.below(2);
+            for a in 0..n {
+                let day = rng.below(NEWS_WINDOW_DAYS as usize) as u32;
+                push(
+                    &mut pages,
+                    next_page_id,
+                    format!("https://national-wire.example.com/politics/{slug}-{a}"),
+                    "national-wire.example.com".into(),
+                    format!("{} in the news", pol.name),
+                    "news national politics",
+                    rng.range_f64(0.55, 0.80),
+                    GeoScope::Global,
+                    PageKind::News,
+                    Some(day),
+                );
+            }
+        }
+
+        // Ambiguity: unrelated same-named entities for common names. Two
+        // nationally famous namesakes (stable everywhere) plus one regional
+        // namesake in each of several states — searching the name from
+        // different states surfaces *different people*, which is exactly the
+        // §3.2 "Bill Johnson"/"Tim Ryan" ambiguity effect.
+        if pol.common_name {
+            let globals: [(&str, f64); 2] = [
+                ("Head Football Coach", rng.range_f64(0.60, 0.85)),
+                ("Founder & CEO", rng.range_f64(0.55, 0.80)),
+            ];
+            for (i, (persona, auth)) in globals.into_iter().enumerate() {
+                push(
+                    &mut pages,
+                    next_page_id,
+                    format!("https://{slug}-{i}.example.com/"),
+                    format!("{slug}-{i}.example.com"),
+                    format!("{} — {persona}", pol.name),
+                    "unrelated namesake profile",
+                    auth,
+                    GeoScope::Global,
+                    PageKind::Web,
+                    None,
+                );
+            }
+            let professions = [
+                "Plumbing & Heating",
+                "Realty Group",
+                "Attorney At Law",
+                "Auto Sales",
+                "Family Dentistry",
+                "Orthopedic Clinic",
+                "Insurance Agency",
+                "Landscaping",
+            ];
+            let state_picks = rng.sample_indices(geo.states.len(), 20);
+            for (i, si) in state_picks.into_iter().enumerate() {
+                let state = &geo.states[si];
+                let abbrev = state.region.state_abbrev.clone().unwrap_or_default();
+                push(
+                    &mut pages,
+                    next_page_id,
+                    format!("https://{slug}-{}.example.com/", slugify(&state.region.name)),
+                    format!("{slug}-{}.example.com", slugify(&state.region.name)),
+                    format!("{} {} ({})", pol.name, professions[i % professions.len()], state.region.name),
+                    "unrelated namesake local business",
+                    rng.range_f64(0.60, 0.85),
+                    GeoScope::State(abbrev),
+                    PageKind::Web,
+                    None,
+                );
+            }
+        }
+    }
+
+    pages
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queries::QueryCategory;
+
+    fn corpus() -> WebCorpus {
+        let geo = UsGeography::generate(Seed::new(2015));
+        WebCorpus::generate(&geo, Seed::new(2015))
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let geo = UsGeography::generate(Seed::new(4));
+        let a = WebCorpus::generate(&geo, Seed::new(4));
+        let b = WebCorpus::generate(&geo, Seed::new(4));
+        assert_eq!(a.pages, b.pages);
+        assert_eq!(a.places, b.places);
+    }
+
+    #[test]
+    fn page_ids_are_dense() {
+        let c = corpus();
+        for (i, p) in c.pages.iter().enumerate() {
+            assert_eq!(p.id.0 as usize, i);
+        }
+    }
+
+    #[test]
+    fn urls_are_unique_corpus_wide() {
+        let c = corpus();
+        let mut urls: Vec<&str> = c.pages.iter().map(|p| p.url.as_str()).collect();
+        let n = urls.len();
+        urls.sort_unstable();
+        urls.dedup();
+        assert_eq!(urls.len(), n, "{} duplicate URLs", n - urls.len());
+    }
+
+    #[test]
+    fn corpus_has_all_kinds() {
+        let c = corpus();
+        let h = c.kind_histogram();
+        assert!(h[&PageKind::Web] > 500);
+        assert!(h[&PageKind::Place] > 2_000);
+        assert!(h[&PageKind::News] > 300);
+    }
+
+    #[test]
+    fn query_corpus_is_complete() {
+        let c = corpus();
+        assert_eq!(c.queries.len(), 240);
+        assert_eq!(c.queries.of(QueryCategory::Politician).len(), 120);
+    }
+
+    #[test]
+    fn every_politician_has_pages() {
+        let c = corpus();
+        for pol in c.roster.all() {
+            let slug = slugify(&pol.name);
+            let count = c
+                .pages
+                .iter()
+                .filter(|p| p.url.contains(&format!("/wiki/{slug}")))
+                .count();
+            assert!(count >= 1, "{} missing encyclopedia page", pol.name);
+        }
+    }
+
+    #[test]
+    fn common_names_have_namesake_pages() {
+        let c = corpus();
+        let bj_pages: Vec<&Page> = c
+            .pages
+            .iter()
+            .filter(|p| p.title.starts_with("Bill Johnson"))
+            .collect();
+        assert!(
+            bj_pages.iter().any(|p| p.title.contains("Football Coach")),
+            "no namesake: {:?}",
+            bj_pages.iter().map(|p| &p.title).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn county_board_news_is_county_scoped() {
+        let c = corpus();
+        let board: Vec<&crate::politicians::Politician> = c
+            .roster
+            .at_level(OfficeLevel::CountyBoard)
+            .collect();
+        let slugs: Vec<String> = board.iter().map(|p| slugify(&p.name)).collect();
+        let mut found = false;
+        for p in &c.pages {
+            if p.kind == PageKind::News && slugs.iter().any(|s| p.url.contains(s.as_str())) {
+                if let GeoScope::County(st, county) = &p.geo {
+                    assert_eq!(st, "OH");
+                    assert_eq!(county, "Cuyahoga");
+                    found = true;
+                }
+            }
+        }
+        assert!(found, "no county-scoped board coverage found");
+    }
+
+    #[test]
+    fn page_lookup_roundtrip() {
+        let c = corpus();
+        let p = &c.pages[100];
+        assert_eq!(c.page(p.id), p);
+    }
+
+    #[test]
+    fn corpus_scale_is_sane() {
+        let c = corpus();
+        assert!(
+            (4_000..60_000).contains(&c.pages.len()),
+            "pages = {}",
+            c.pages.len()
+        );
+    }
+}

@@ -1,0 +1,295 @@
+//! The collected dataset: observations with interned URLs.
+//!
+//! A full paper-scale crawl stores ~280k SERPs × ~17 links; interning URLs
+//! keeps that tractable (a URL string is stored once, observations hold
+//! `u32` ids). The analysis crate works directly on this structure.
+
+use geoserp_corpus::QueryCategory;
+use geoserp_geo::{Granularity, Location, LocationId, VantagePoints};
+use geoserp_serp::ResultType;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Interned URL id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct UrlId(pub u32);
+
+/// Whether an observation is the treatment or its simultaneous control
+/// (§2.2: "for each search term and location, we send two identical queries
+/// at the same time").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Role {
+    /// Treatment.
+    Treatment,
+    /// Control.
+    Control,
+}
+
+impl Role {
+    /// Both.
+    pub const BOTH: [Role; 2] = [Role::Treatment, Role::Control];
+}
+
+/// One collected SERP.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Observation {
+    /// Absolute simulation day.
+    pub day: u32,
+    /// Day within the (batch, granularity) block, 0-based — what the
+    /// paper's Figure 8 x-axis calls "Day 1..5".
+    pub block_day: u32,
+    /// The granularity.
+    pub granularity: Granularity,
+    /// The location.
+    pub location: LocationId,
+    /// The term.
+    pub term: String,
+    /// The category.
+    pub category: QueryCategory,
+    /// The role.
+    pub role: Role,
+    /// Extracted results in page order (paper's extraction rule).
+    pub results: Vec<(UrlId, ResultType)>,
+    /// Which datacenter served the page.
+    pub datacenter: String,
+    /// The location label the engine reported in the SERP footer.
+    pub reported_location: String,
+}
+
+/// Crawl-level metadata.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DatasetMeta {
+    /// World seed the study ran under.
+    pub seed: u64,
+    /// Jobs that failed permanently (after retries) and were skipped.
+    pub failed_jobs: u64,
+    /// Total requests issued (including homepage loads and retries).
+    pub requests_issued: u64,
+}
+
+/// The full collected dataset.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dataset {
+    urls: Vec<String>,
+    #[serde(skip)]
+    url_index: HashMap<String, UrlId>,
+    observations: Vec<Observation>,
+    /// The vantage points the study used (location metadata for analysis).
+    pub vantage: VantagePoints,
+    /// The meta.
+    pub meta: DatasetMeta,
+}
+
+impl Dataset {
+    /// An empty dataset over the given vantage points.
+    pub fn new(vantage: VantagePoints, meta: DatasetMeta) -> Self {
+        Dataset {
+            urls: Vec::new(),
+            url_index: HashMap::new(),
+            observations: Vec::new(),
+            vantage,
+            meta,
+        }
+    }
+
+    /// Intern a URL.
+    pub fn intern(&mut self, url: &str) -> UrlId {
+        if let Some(&id) = self.url_index.get(url) {
+            return id;
+        }
+        let id = UrlId(self.urls.len() as u32);
+        self.urls.push(url.to_string());
+        self.url_index.insert(url.to_string(), id);
+        id
+    }
+
+    /// The string for an interned id.
+    pub fn url(&self, id: UrlId) -> &str {
+        &self.urls[id.0 as usize]
+    }
+
+    /// Number of distinct URLs observed.
+    pub fn distinct_urls(&self) -> usize {
+        self.urls.len()
+    }
+
+    /// Append an observation.
+    pub fn push(&mut self, obs: Observation) {
+        self.observations.push(obs);
+    }
+
+    /// All observations in crawl order.
+    pub fn observations(&self) -> &[Observation] {
+        &self.observations
+    }
+
+    /// Observations matching a predicate.
+    pub fn select(&self, pred: impl Fn(&Observation) -> bool) -> Vec<&Observation> {
+        self.observations.iter().filter(|o| pred(o)).collect()
+    }
+
+    /// The (treatment, control) pair for one cell, if both were collected.
+    pub fn pair(
+        &self,
+        block_day: u32,
+        granularity: Granularity,
+        location: LocationId,
+        term: &str,
+    ) -> Option<(&Observation, &Observation)> {
+        let mut t = None;
+        let mut c = None;
+        for o in &self.observations {
+            if o.block_day == block_day
+                && o.granularity == granularity
+                && o.location == location
+                && o.term == term
+            {
+                match o.role {
+                    Role::Treatment => t = Some(o),
+                    Role::Control => c = Some(o),
+                }
+            }
+        }
+        Some((t?, c?))
+    }
+
+    /// Location metadata by id.
+    pub fn location(&self, id: LocationId) -> Option<&Location> {
+        self.vantage
+            .national
+            .iter()
+            .chain(self.vantage.state.iter())
+            .chain(self.vantage.county.iter())
+            .find(|l| l.id == id)
+    }
+
+    /// Rebuild the (serde-skipped) URL index after deserialization.
+    pub fn rebuild_index(&mut self) {
+        self.url_index = self
+            .urls
+            .iter()
+            .enumerate()
+            .map(|(i, u)| (u.clone(), UrlId(i as u32)))
+            .collect();
+    }
+
+    /// Serialize to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("dataset serializes")
+    }
+
+    /// Deserialize from JSON (restores the URL index).
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        let mut d: Dataset = serde_json::from_str(s)?;
+        d.rebuild_index();
+        Ok(d)
+    }
+
+    /// Ordered URL list of one observation.
+    pub fn urls_of(&self, obs: &Observation) -> Vec<&str> {
+        obs.results.iter().map(|(id, _)| self.url(*id)).collect()
+    }
+
+    /// Ordered `(url, type)` list of one observation.
+    pub fn typed_urls_of(&self, obs: &Observation) -> Vec<(&str, ResultType)> {
+        obs.results
+            .iter()
+            .map(|(id, t)| (self.url(*id), *t))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geoserp_geo::{Seed, UsGeography};
+
+    fn empty_dataset() -> Dataset {
+        let geo = UsGeography::generate(Seed::new(1));
+        let vantage = VantagePoints::paper_defaults(&geo, Seed::new(1).derive("vp"));
+        Dataset::new(vantage, DatasetMeta::default())
+    }
+
+    fn obs(ds: &mut Dataset, day: u32, loc: u32, term: &str, role: Role, urls: &[&str]) -> Observation {
+        Observation {
+            day,
+            block_day: day,
+            granularity: Granularity::County,
+            location: LocationId(loc),
+            term: term.to_string(),
+            category: QueryCategory::Local,
+            role,
+            results: urls
+                .iter()
+                .map(|u| (ds.intern(u), ResultType::Organic))
+                .collect(),
+            datacenter: "dc0".into(),
+            reported_location: "Cleveland, OH".into(),
+        }
+    }
+
+    #[test]
+    fn interning_dedups() {
+        let mut ds = empty_dataset();
+        let a = ds.intern("https://x/");
+        let b = ds.intern("https://x/");
+        let c = ds.intern("https://y/");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(ds.distinct_urls(), 2);
+        assert_eq!(ds.url(a), "https://x/");
+    }
+
+    #[test]
+    fn pair_lookup() {
+        let mut ds = empty_dataset();
+        let t = obs(&mut ds, 0, 101, "bank", Role::Treatment, &["u1", "u2"]);
+        let c = obs(&mut ds, 0, 101, "bank", Role::Control, &["u1", "u3"]);
+        ds.push(t);
+        ds.push(c);
+        let (t, c) = ds
+            .pair(0, Granularity::County, LocationId(101), "bank")
+            .expect("pair exists");
+        assert_eq!(t.role, Role::Treatment);
+        assert_eq!(c.role, Role::Control);
+        assert!(ds
+            .pair(1, Granularity::County, LocationId(101), "bank")
+            .is_none());
+    }
+
+    #[test]
+    fn json_roundtrip_restores_index() {
+        let mut ds = empty_dataset();
+        let o = obs(&mut ds, 0, 7, "park", Role::Treatment, &["a", "b", "c"]);
+        ds.push(o);
+        let json = ds.to_json();
+        let mut back = Dataset::from_json(&json).unwrap();
+        assert_eq!(back.observations().len(), 1);
+        assert_eq!(back.urls_of(&back.observations()[0].clone()), vec!["a", "b", "c"]);
+        // The rebuilt index keeps interning consistent.
+        let id = back.intern("a");
+        assert_eq!(back.url(id), "a");
+        assert_eq!(back.distinct_urls(), 3);
+    }
+
+    #[test]
+    fn location_lookup_spans_all_granularities() {
+        let ds = empty_dataset();
+        for gran in [Granularity::County, Granularity::State, Granularity::National] {
+            let l = &ds.vantage.at(gran)[0];
+            assert_eq!(ds.location(l.id).unwrap().id, l.id);
+        }
+        assert!(ds.location(LocationId(9999)).is_none());
+    }
+
+    #[test]
+    fn typed_urls_keep_order_and_types() {
+        let mut ds = empty_dataset();
+        let mut o = obs(&mut ds, 0, 1, "x", Role::Treatment, &["u1", "u2"]);
+        o.results[1].1 = ResultType::Maps;
+        ds.push(o);
+        let typed = ds.typed_urls_of(&ds.observations()[0].clone());
+        assert_eq!(typed[0], ("u1", ResultType::Organic));
+        assert_eq!(typed[1], ("u2", ResultType::Maps));
+    }
+}

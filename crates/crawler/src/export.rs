@@ -1,0 +1,179 @@
+//! Dataset export for offline analysis (R/pandas-style workflows).
+//!
+//! The paper's group published their raw data; geoserp does the equivalent
+//! with three machine-readable exports:
+//!
+//! * [`observations_csv`] — one row per collected SERP (metadata only);
+//! * [`results_csv`] — one row per (SERP, rank): the long-format result
+//!   table joins to the observations by `obs_id`;
+//! * [`to_jsonl`] — full observations as JSON Lines, URLs inlined.
+
+use crate::dataset::{Dataset, Role};
+use std::fmt::Write as _;
+
+/// RFC-4180-style field escaping: quote when the field contains a comma,
+/// quote, or newline; double embedded quotes.
+fn csv_field(s: &str) -> String {
+    if s.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+fn role_str(role: Role) -> &'static str {
+    match role {
+        Role::Treatment => "treatment",
+        Role::Control => "control",
+    }
+}
+
+/// One row per observation: crawl metadata without the result lists.
+pub fn observations_csv(ds: &Dataset) -> String {
+    let mut out = String::from(
+        "obs_id,day,block_day,granularity,location_id,location_name,term,category,role,datacenter,reported_location,result_count\n",
+    );
+    for (i, o) in ds.observations().iter().enumerate() {
+        let name = ds
+            .location(o.location)
+            .map(|l| l.region.name.clone())
+            .unwrap_or_default();
+        let _ = writeln!(
+            out,
+            "{i},{},{},{},{},{},{},{},{},{},{},{}",
+            o.day,
+            o.block_day,
+            o.granularity.slug(),
+            o.location.0,
+            csv_field(&name),
+            csv_field(&o.term),
+            o.category.label(),
+            role_str(o.role),
+            csv_field(&o.datacenter),
+            csv_field(&o.reported_location),
+            o.results.len(),
+        );
+    }
+    out
+}
+
+/// Long-format result table: one row per (observation, rank).
+pub fn results_csv(ds: &Dataset) -> String {
+    let mut out = String::from("obs_id,rank,result_type,url\n");
+    for (i, o) in ds.observations().iter().enumerate() {
+        for (rank, (url_id, rtype)) in o.results.iter().enumerate() {
+            let _ = writeln!(out, "{i},{rank},{rtype},{}", csv_field(ds.url(*url_id)));
+        }
+    }
+    out
+}
+
+/// Full observations as JSON Lines, with URLs inlined (self-contained —
+/// no intern table needed downstream).
+pub fn to_jsonl(ds: &Dataset) -> String {
+    let mut out = String::new();
+    for (i, o) in ds.observations().iter().enumerate() {
+        let results: Vec<serde_json::Value> = o
+            .results
+            .iter()
+            .enumerate()
+            .map(|(rank, (url_id, rtype))| {
+                serde_json::json!({
+                    "rank": rank,
+                    "type": rtype.to_string(),
+                    "url": ds.url(*url_id),
+                })
+            })
+            .collect();
+        let row = serde_json::json!({
+            "obs_id": i,
+            "day": o.day,
+            "block_day": o.block_day,
+            "granularity": o.granularity.slug(),
+            "location_id": o.location.0,
+            "location_name": ds.location(o.location).map(|l| l.region.name.clone()),
+            "term": o.term,
+            "category": o.category.label(),
+            "role": role_str(o.role),
+            "datacenter": o.datacenter,
+            "reported_location": o.reported_location,
+            "results": results,
+        });
+        out.push_str(&row.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::ExperimentPlan;
+    use crate::run::Crawler;
+    use geoserp_geo::Seed;
+
+    fn dataset() -> Dataset {
+        let plan = ExperimentPlan {
+            days: 1,
+            queries_per_category: Some(2),
+            locations_per_granularity: Some(2),
+            ..ExperimentPlan::quick()
+        };
+        Crawler::new(Seed::new(2015)).run(&plan)
+    }
+
+    #[test]
+    fn observations_csv_has_one_row_per_observation() {
+        let ds = dataset();
+        let csv = observations_csv(&ds);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), ds.observations().len() + 1);
+        assert!(lines[0].starts_with("obs_id,day,"));
+        // Every data row has the full column count (commas inside quoted
+        // fields are escaped away for this check).
+        for l in &lines[1..] {
+            let commas = l
+                .chars()
+                .scan(false, |in_quotes, c| {
+                    if c == '"' {
+                        *in_quotes = !*in_quotes;
+                    }
+                    Some(if c == ',' && !*in_quotes { 1 } else { 0 })
+                })
+                .sum::<usize>();
+            assert_eq!(commas, 11, "bad row: {l}");
+        }
+    }
+
+    #[test]
+    fn results_csv_row_count_matches_result_totals() {
+        let ds = dataset();
+        let csv = results_csv(&ds);
+        let total: usize = ds.observations().iter().map(|o| o.results.len()).sum();
+        assert_eq!(csv.lines().count(), total + 1);
+        assert!(csv.contains("organic"));
+    }
+
+    #[test]
+    fn jsonl_rows_parse_and_inline_urls() {
+        let ds = dataset();
+        let jsonl = to_jsonl(&ds);
+        let mut rows = 0;
+        for line in jsonl.lines() {
+            let v: serde_json::Value = serde_json::from_str(line).expect("valid JSON line");
+            assert!(v["term"].is_string());
+            let results = v["results"].as_array().unwrap();
+            assert!(!results.is_empty());
+            assert!(results[0]["url"].as_str().unwrap().starts_with("https://"));
+            rows += 1;
+        }
+        assert_eq!(rows, ds.observations().len());
+    }
+
+    #[test]
+    fn csv_escaping_handles_commas_and_quotes() {
+        assert_eq!(csv_field("plain"), "plain");
+        assert_eq!(csv_field("a,b"), "\"a,b\"");
+        assert_eq!(csv_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+}

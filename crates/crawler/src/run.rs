@@ -1,0 +1,544 @@
+//! The crawl runner: world construction and lock-step execution.
+
+use crate::dataset::{Dataset, DatasetMeta, Observation, Role};
+use crate::machines::{MachinePool, CLUSTER_SIZE};
+use crate::plan::ExperimentPlan;
+use geoserp_browser::Browser;
+use geoserp_corpus::{Query, WebCorpus};
+use geoserp_engine::{EngineConfig, SearchEngine, SearchService, SEARCH_HOST};
+use geoserp_geo::{Coord, Location, Seed, UsGeography, VantagePoints};
+use geoserp_net::SimNet;
+use geoserp_serp::SerpPage;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Where the paper's crawl cluster physically sits (a Boston-area lab —
+/// Northeastern ran the original study). Only IP geolocation sees this.
+pub const CLUSTER_SITE: Coord = Coord {
+    lat_deg: 42.34,
+    lon_deg: -71.09,
+};
+
+/// Counters accumulated over a crawl.
+#[derive(Debug, Default)]
+pub struct CrawlStats {
+    /// The requests issued.
+    pub requests_issued: AtomicU64,
+    /// The failed jobs.
+    pub failed_jobs: AtomicU64,
+}
+
+/// A progress snapshot delivered after each lock-step round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrawlProgress {
+    /// Rounds completed so far (1-based at the first callback).
+    pub completed_rounds: usize,
+    /// Total rounds the plan will run.
+    pub total_rounds: usize,
+    /// The round's query term.
+    pub term: String,
+    /// The granularity.
+    pub granularity: geoserp_geo::Granularity,
+    /// Absolute simulation day of the round.
+    pub day: u32,
+    /// Observations collected so far.
+    pub observations: usize,
+}
+
+/// One fetch job inside a lock-step round.
+struct Job<'a> {
+    index: usize,
+    location: &'a Location,
+    role: Role,
+}
+
+/// Everything a job produces.
+struct JobOutput {
+    page: SerpPage,
+    datacenter: String,
+}
+
+/// The assembled world plus crawl machinery.
+pub struct Crawler {
+    seed: Seed,
+    geo: Arc<UsGeography>,
+    corpus: Arc<WebCorpus>,
+    engine: Arc<SearchEngine>,
+    net: Arc<SimNet>,
+    vantage: VantagePoints,
+    pool: MachinePool,
+}
+
+impl Crawler {
+    /// Build the full world under the paper's engine configuration.
+    pub fn new(seed: Seed) -> Self {
+        Self::with_config(seed, EngineConfig::paper_defaults())
+    }
+
+    /// Build the world with a custom engine configuration (ablations).
+    pub fn with_config(seed: Seed, config: EngineConfig) -> Self {
+        Self::with_config_and_faults(seed, config, 0.0, 0.0)
+    }
+
+    /// Build the world over a lossy network (smoltcp-style fault injection):
+    /// `drop_chance` of losing a message, `corrupt_chance` of flipping one
+    /// bit of a response body. The crawler's retry logic must absorb both.
+    pub fn with_config_and_faults(
+        seed: Seed,
+        config: EngineConfig,
+        drop_chance: f64,
+        corrupt_chance: f64,
+    ) -> Self {
+        let geo = Arc::new(UsGeography::generate(seed));
+        let corpus = Arc::new(WebCorpus::generate(&geo, seed.derive("corpus")));
+        let engine = Arc::new(SearchEngine::new(
+            Arc::clone(&corpus),
+            &geo,
+            config,
+            seed.derive("engine"),
+        ));
+        let net = Arc::new(SimNet::with_faults(
+            seed.derive("net"),
+            drop_chance,
+            corrupt_chance,
+        ));
+        let addrs = SearchService::install(&net, Arc::clone(&engine));
+        // §2.2: "We statically mapped the DNS entry for the Google Search
+        // server, ensuring that all our queries were sent to the same
+        // datacenter."
+        net.dns().pin(SEARCH_HOST, addrs[0]);
+
+        let vantage = VantagePoints::paper_defaults(&geo, seed.derive("vantage"));
+        let pool = MachinePool::cluster(CLUSTER_SIZE, CLUSTER_SITE);
+        // The engine's GeoIP database knows where the cluster is — IP
+        // geolocation must *not* override the spoofed GPS.
+        for (ip, site) in pool.entries() {
+            if let Some(site) = site {
+                engine.geoip().register(*ip, *site);
+            }
+        }
+
+        Crawler {
+            seed,
+            geo,
+            corpus,
+            engine,
+            net,
+            vantage,
+            pool,
+        }
+    }
+
+    /// See the type-level docs: `seed`.
+    pub fn seed(&self) -> Seed {
+        self.seed
+    }
+
+    /// See the type-level docs: `geo`.
+    pub fn geo(&self) -> &UsGeography {
+        &self.geo
+    }
+
+    /// See the type-level docs: `corpus`.
+    pub fn corpus(&self) -> &WebCorpus {
+        &self.corpus
+    }
+
+    /// See the type-level docs: `engine`.
+    pub fn engine(&self) -> &Arc<SearchEngine> {
+        &self.engine
+    }
+
+    /// See the type-level docs: `net`.
+    pub fn net(&self) -> &Arc<SimNet> {
+        &self.net
+    }
+
+    /// See the type-level docs: `vantage`.
+    pub fn vantage(&self) -> &VantagePoints {
+        &self.vantage
+    }
+
+    /// See the type-level docs: `pool`.
+    pub fn pool(&self) -> &MachinePool {
+        &self.pool
+    }
+
+    /// Execute a plan, returning the collected dataset.
+    pub fn run(&self, plan: &ExperimentPlan) -> Dataset {
+        self.run_with_progress(plan, |_| {})
+    }
+
+    /// Execute a plan with a per-round progress callback (used by the CLI
+    /// to print live status; the callback runs on the scheduler thread
+    /// between rounds, so it cannot perturb timing or noise).
+    ///
+    /// Runs are timeline-continuable: a second `run` on the same world
+    /// starts at the next virtual day boundary after the first finished
+    /// (virtual time never rewinds), so its absolute days — and therefore
+    /// its news pool and noise draws — differ from a fresh world's.
+    pub fn run_with_progress(
+        &self,
+        plan: &ExperimentPlan,
+        progress: impl Fn(&CrawlProgress),
+    ) -> Dataset {
+        plan.validate();
+        // First day boundary at or after the current virtual time.
+        let base_day = self.net.clock().now().millis().div_ceil(86_400_000) as u32;
+        let stats = CrawlStats::default();
+        let mut dataset = Dataset::new(
+            self.vantage.clone(),
+            DatasetMeta {
+                seed: self.seed.value(),
+                ..DatasetMeta::default()
+            },
+        );
+
+        // Total rounds, for progress reporting.
+        let total_rounds: usize = plan
+            .batches
+            .iter()
+            .map(|batch| {
+                let terms: usize = batch
+                    .iter()
+                    .map(|&cat| {
+                        let n = self.corpus.queries.of(cat).len();
+                        plan.queries_per_category.unwrap_or(n).min(n)
+                    })
+                    .sum();
+                terms * plan.granularities.len() * plan.days as usize
+            })
+            .sum();
+        let mut completed_rounds = 0usize;
+
+        for (bi, batch) in plan.batches.iter().enumerate() {
+            // The batch's term list, in corpus order, optionally subsampled.
+            // Subsampled plans take terms evenly spaced through each
+            // category, so that a small sample still mixes brands with
+            // generic terms (the first local terms are all chains).
+            let terms: Vec<&Query> = batch
+                .iter()
+                .flat_map(|&cat| {
+                    let qs = self.corpus.queries.of(cat);
+                    let take = plan.queries_per_category.unwrap_or(qs.len()).min(qs.len());
+                    (0..take).map(move |i| &qs[i * qs.len() / take.max(1)])
+                })
+                .collect();
+
+            for (gi, &gran) in plan.granularities.iter().enumerate() {
+                let locs = self.vantage.at(gran);
+                let take = plan.locations_per_granularity.unwrap_or(locs.len());
+                let locs = &locs[..take.min(locs.len())];
+
+                for day in 0..plan.days {
+                    let abs_day = base_day + plan.absolute_day(bi, gi, day);
+                    // Jump to the start of the day (the schedule is strictly
+                    // monotone, so this never rewinds).
+                    self.net
+                        .clock()
+                        .set(geoserp_net::clock::SimInstant(abs_day as u64 * 86_400_000));
+
+                    for term in &terms {
+                        let round = self.run_round(term, gran, locs, plan.parallel, &stats);
+                        for (loc, role, output) in round {
+                            let Some(output) = output else {
+                                stats.failed_jobs.fetch_add(1, Ordering::Relaxed);
+                                continue;
+                            };
+                            let results = output
+                                .page
+                                .extract_results()
+                                .into_iter()
+                                .map(|r| (dataset.intern(&r.url), r.rtype))
+                                .collect();
+                            dataset.push(Observation {
+                                day: abs_day,
+                                block_day: day,
+                                granularity: gran,
+                                location: loc.id,
+                                term: term.term.clone(),
+                                category: term.category,
+                                role,
+                                results,
+                                datacenter: output.datacenter,
+                                reported_location: output.page.reported_location.clone(),
+                            });
+                        }
+                        // §2.2: 11 minutes between subsequent queries defeats
+                        // the 10-minute search-history window.
+                        self.net.clock().advance_minutes(plan.inter_query_wait_min);
+                        completed_rounds += 1;
+                        progress(&CrawlProgress {
+                            completed_rounds,
+                            total_rounds,
+                            term: term.term.clone(),
+                            granularity: gran,
+                            day: abs_day,
+                            observations: dataset.observations().len(),
+                        });
+                    }
+                }
+            }
+        }
+
+        dataset.meta.failed_jobs = stats.failed_jobs.load(Ordering::Relaxed);
+        dataset.meta.requests_issued = stats.requests_issued.load(Ordering::Relaxed);
+        dataset
+    }
+
+    /// One lock-step round: every location fetches `term` twice (treatment +
+    /// control) "at the same moment in time" — the same virtual instant,
+    /// from different machines.
+    fn run_round<'a>(
+        &self,
+        term: &Query,
+        _gran: geoserp_geo::Granularity,
+        locs: &'a [Location],
+        parallel: bool,
+        stats: &CrawlStats,
+    ) -> Vec<(&'a Location, Role, Option<JobOutput>)> {
+        let jobs: Vec<Job<'a>> = locs
+            .iter()
+            .flat_map(|loc| Role::BOTH.map(|role| (loc, role)))
+            .enumerate()
+            .map(|(index, (location, role))| Job {
+                index,
+                location,
+                role,
+            })
+            .collect();
+
+        let mut outputs: Vec<(usize, Option<JobOutput>)> = if parallel {
+            // Group jobs by machine; one thread per machine keeps per-source
+            // request order (and therefore the noise draws) deterministic.
+            let mut by_machine: std::collections::BTreeMap<std::net::Ipv4Addr, Vec<&Job<'a>>> =
+                std::collections::BTreeMap::new();
+            for job in &jobs {
+                by_machine
+                    .entry(self.pool.assign(job.index))
+                    .or_default()
+                    .push(job);
+            }
+            let collected: Mutex<Vec<(usize, Option<JobOutput>)>> =
+                Mutex::new(Vec::with_capacity(jobs.len()));
+            crossbeam::thread::scope(|scope| {
+                for (&machine, machine_jobs) in &by_machine {
+                    let collected = &collected;
+                    let term = &term.term;
+                    scope.spawn(move |_| {
+                        let mut local = Vec::with_capacity(machine_jobs.len());
+                        for job in machine_jobs {
+                            let out = self.fetch_job(machine, term, job.location, stats);
+                            local.push((job.index, out));
+                        }
+                        collected.lock().extend(local);
+                    });
+                }
+            })
+            .expect("crawl threads do not panic");
+            collected.into_inner()
+        } else {
+            jobs.iter()
+                .map(|job| {
+                    let machine = self.pool.assign(job.index);
+                    (
+                        job.index,
+                        self.fetch_job(machine, &term.term, job.location, stats),
+                    )
+                })
+                .collect()
+        };
+
+        outputs.sort_by_key(|(index, _)| *index);
+        jobs.iter()
+            .zip(outputs)
+            .map(|(job, (index, output))| {
+                debug_assert_eq!(job.index, index);
+                (job.location, job.role, output)
+            })
+            .collect()
+    }
+
+    /// One job: fresh browser, spoofed GPS, homepage + query, parse, retry
+    /// on damage, clear cookies.
+    fn fetch_job(
+        &self,
+        machine: std::net::Ipv4Addr,
+        term: &str,
+        location: &Location,
+        stats: &CrawlStats,
+    ) -> Option<JobOutput> {
+        let mut browser = Browser::new(Arc::clone(&self.net), machine);
+        for _attempt in 0..3 {
+            stats.requests_issued.fetch_add(2, Ordering::Relaxed);
+            match browser.run_search_job(SEARCH_HOST, term, location.coord) {
+                Ok(fetch) => match geoserp_serp::parse(&fetch.body) {
+                    Ok(page) => {
+                        browser.clear_cookies();
+                        return Some(JobOutput {
+                            page,
+                            datacenter: fetch.datacenter.unwrap_or_default(),
+                        });
+                    }
+                    Err(_damaged) => continue, // corrupted body: refetch
+                },
+                Err(_net) => continue,
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geoserp_corpus::QueryCategory;
+    use geoserp_geo::Granularity;
+
+    fn quick_plan() -> ExperimentPlan {
+        ExperimentPlan {
+            days: 1,
+            queries_per_category: Some(2),
+            locations_per_granularity: Some(3),
+            ..ExperimentPlan::quick()
+        }
+    }
+
+    #[test]
+    fn quick_crawl_collects_expected_cells() {
+        let crawler = Crawler::new(Seed::new(2015));
+        let ds = crawler.run(&quick_plan());
+        // batch0: 2 local + 2 controversial = 4 terms; batch1: 2 politicians.
+        // 6 terms × 3 granularities × 3 locations × 2 roles × 1 day = 108.
+        assert_eq!(ds.observations().len(), 108);
+        assert_eq!(ds.meta.failed_jobs, 0);
+        assert!(ds.meta.requests_issued >= 216);
+    }
+
+    #[test]
+    fn every_observation_has_paper_sized_pages() {
+        let crawler = Crawler::new(Seed::new(2015));
+        let ds = crawler.run(&quick_plan());
+        for o in ds.observations() {
+            assert!(
+                (8..=22).contains(&o.results.len()),
+                "{} at {:?}: {} results",
+                o.term,
+                o.location,
+                o.results.len()
+            );
+        }
+    }
+
+    #[test]
+    fn all_queries_hit_the_pinned_datacenter() {
+        let crawler = Crawler::new(Seed::new(2015));
+        let ds = crawler.run(&quick_plan());
+        for o in ds.observations() {
+            assert_eq!(o.datacenter, "dc0", "DNS pinning violated");
+        }
+    }
+
+    #[test]
+    fn treatment_control_pairs_exist_for_every_cell() {
+        let crawler = Crawler::new(Seed::new(2015));
+        let ds = crawler.run(&quick_plan());
+        let gran = Granularity::County;
+        // The plan samples 2 terms per category, evenly spaced.
+        let qs = crawler.corpus().queries.of(QueryCategory::Local);
+        let sampled = [&qs[0], &qs[qs.len() / 2]];
+        for loc in &crawler.vantage().county[..3] {
+            for q in sampled {
+                assert!(
+                    ds.pair(0, gran, loc.id, &q.term).is_some(),
+                    "missing pair for {} at {}",
+                    q.term,
+                    loc.region.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_and_serial_crawls_are_identical() {
+        let mut plan = quick_plan();
+        plan.parallel = true;
+        let a = Crawler::new(Seed::new(7)).run(&plan);
+        plan.parallel = false;
+        let b = Crawler::new(Seed::new(7)).run(&plan);
+        assert_eq!(a.observations(), b.observations(), "determinism under parallelism");
+    }
+
+    #[test]
+    fn same_seed_reproduces_byte_identical_datasets() {
+        let plan = quick_plan();
+        let a = Crawler::new(Seed::new(11)).run(&plan);
+        let b = Crawler::new(Seed::new(11)).run(&plan);
+        assert_eq!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let plan = quick_plan();
+        let a = Crawler::new(Seed::new(11)).run(&plan);
+        let b = Crawler::new(Seed::new(12)).run(&plan);
+        assert_ne!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn reported_locations_match_vantage_regions() {
+        let crawler = Crawler::new(Seed::new(2015));
+        let ds = crawler.run(&quick_plan());
+        for o in ds
+            .observations()
+            .iter()
+            .filter(|o| o.granularity == Granularity::County)
+        {
+            assert_eq!(o.reported_location, "Cleveland, OH");
+        }
+    }
+
+    #[test]
+    fn runs_are_timeline_continuable() {
+        // Running the same plan twice on one world must not panic (virtual
+        // time never rewinds); the second dataset starts on a later day.
+        let crawler = Crawler::new(Seed::new(2015));
+        let a = crawler.run(&quick_plan());
+        let b = crawler.run(&quick_plan());
+        assert_eq!(a.observations().len(), b.observations().len());
+        let last_a = a.observations().iter().map(|o| o.day).max().unwrap();
+        let first_b = b.observations().iter().map(|o| o.day).min().unwrap();
+        assert!(first_b > last_a, "{first_b} vs {last_a}");
+    }
+
+    #[test]
+    fn progress_callback_covers_every_round() {
+        let crawler = Crawler::new(Seed::new(2015));
+        let seen = std::cell::RefCell::new(Vec::new());
+        let ds = crawler.run_with_progress(&quick_plan(), |p| {
+            seen.borrow_mut().push(p.clone());
+        });
+        let seen = seen.into_inner();
+        // 6 terms × 3 granularities × 1 day = 18 rounds.
+        assert_eq!(seen.len(), 18);
+        assert!(seen.iter().all(|p| p.total_rounds == 18));
+        assert_eq!(seen.last().unwrap().completed_rounds, 18);
+        assert_eq!(seen.last().unwrap().observations, ds.observations().len());
+        // Monotone progress.
+        for w in seen.windows(2) {
+            assert!(w[0].completed_rounds < w[1].completed_rounds);
+            assert!(w[0].observations <= w[1].observations);
+        }
+    }
+
+    #[test]
+    fn no_rate_limiting_fired() {
+        let crawler = Crawler::new(Seed::new(2015));
+        let _ds = crawler.run(&quick_plan());
+        let throttled = crawler.net().log().count_where(|e| {
+            matches!(e.kind, geoserp_net::NetEventKind::Response { status: 429 })
+        });
+        assert_eq!(throttled, 0, "machine pool must stay under the rate limit");
+    }
+}

@@ -1,0 +1,306 @@
+//! Engine configuration: every ranking weight, vertical policy, and noise
+//! knob, so the ablation benches can flip single mechanisms.
+
+use serde::{Deserialize, Serialize};
+
+/// Shape of the distance-decay kernel applied to locally scoped pages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DecayKernel {
+    /// `exp(-d/sigma)` — smooth, the default.
+    Exponential,
+    /// `1 / (1 + (d/sigma)^2)` — heavier tail.
+    InversePower,
+    /// `1` inside `sigma`, `0` outside — hard cutoff.
+    Step,
+}
+
+impl DecayKernel {
+    /// Evaluate the kernel at distance `d_km` with scale `sigma_km`;
+    /// 1.0 at zero distance, decreasing in distance, in `[0, 1]`.
+    pub fn eval(self, d_km: f64, sigma_km: f64) -> f64 {
+        debug_assert!(sigma_km > 0.0);
+        match self {
+            DecayKernel::Exponential => (-d_km / sigma_km).exp(),
+            DecayKernel::InversePower => 1.0 / (1.0 + (d_km / sigma_km).powi(2)),
+            DecayKernel::Step => {
+                if d_km <= sigma_km {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+}
+
+/// How the engine chooses which location to personalize for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LocationPrecedence {
+    /// GPS header wins; IP geolocation is the fallback (what the paper
+    /// established Google does).
+    GpsFirst,
+    /// IP geolocation wins even when GPS is present (the counterfactual the
+    /// §2.2 validation experiment would have detected).
+    IpFirst,
+}
+
+/// Maps-card trigger policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MapsPolicy {
+    /// Local intent required, and navigational brand dominance suppresses
+    /// the card (the paper's observed behaviour).
+    LocalIntentNonNavigational,
+    /// Any query with matching places gets a card (ablation).
+    Always,
+    /// Never show a Maps card (ablation).
+    Never,
+}
+
+/// Full engine configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EngineConfig {
+    // ---- ranking ----
+    /// Kernel for local-page distance decay.
+    pub decay_kernel: DecayKernel,
+    /// Decay scale (km) for locally scoped pages in organic ranking.
+    pub local_sigma_km: f64,
+    /// Geographic weight for locally scoped pages under local intent.
+    pub local_weight_local_intent: f64,
+    /// Geographic weight for locally scoped pages without local intent.
+    pub local_weight_other: f64,
+    /// Boost for state-scoped pages when the searcher is in that state.
+    pub state_weight: f64,
+    /// Boost for county-scoped pages when the searcher is in that county.
+    pub county_weight: f64,
+    /// Relative lexical score of OR-matched (partial) candidates.
+    pub partial_match_score: f64,
+    /// Organic results per page before meta-cards.
+    pub organic_count: usize,
+    /// Max organic results sharing one domain.
+    pub per_domain_cap: usize,
+
+    // ---- verticals ----
+    /// The maps policy.
+    pub maps_policy: MapsPolicy,
+    /// Decay scale (km) for the Maps vertical (tighter than organic).
+    pub maps_sigma_km: f64,
+    /// Base score a top place must clear for a Maps card to appear.
+    pub maps_threshold: f64,
+    /// Max links in a Maps card.
+    pub maps_max_links: usize,
+    /// Min matching news articles for an "In the News" card.
+    pub news_min_articles: usize,
+    /// Max links in a News card.
+    pub news_max_links: usize,
+    /// Freshness half-life of news articles, in days.
+    pub news_halflife_days: f64,
+
+    // ---- location ----
+    /// The location precedence.
+    pub location_precedence: LocationPrecedence,
+
+    // ---- noise ----
+    /// Master switch for every nondeterminism source (ablation:
+    /// a perfectly deterministic engine).
+    pub noise_enabled: bool,
+    /// Number of concurrent A/B ranking experiments (buckets).
+    pub ab_buckets: u32,
+    /// Max multiplicative perturbation an A/B bucket applies to the
+    /// geographic weight (e.g. 0.12 → factors in [0.88, 1.12]).
+    pub ab_amplitude: f64,
+    /// Index replicas per datacenter.
+    pub replicas_per_datacenter: u32,
+    /// Fraction of pages missing from any given replica (staleness).
+    pub replica_skew: f64,
+    /// Multiplicative score jitter for near-tie reordering (per request ×
+    /// page).
+    pub tiebreak_jitter: f64,
+    /// Amplitude of the per-request Maps-threshold flicker.
+    pub maps_flicker: f64,
+    /// Probability that a request lands in an A/B bucket whose UI hides the
+    /// Maps card entirely ("one page having Maps results and the other
+    /// having none" — the dominant Maps-noise mode in §3.1).
+    pub maps_suppress: f64,
+
+    // ---- history personalization ----
+    /// Window (minutes) during which prior searches from the same session
+    /// influence ranking (§2.2: 10 minutes; the crawler waits 11).
+    pub history_window_minutes: u64,
+    /// Boost applied to pages matching recent search terms.
+    pub history_boost: f64,
+
+    // ---- operational ----
+    /// Result-cache TTL in milliseconds: when `Some`, the engine caches a
+    /// rendered SERP per (query, coarse location, day) and serves identical
+    /// copies until expiry — a realistic deployment optimization that would
+    /// have *masked* the paper's noise finding (ablation; the paper's
+    /// measurements imply Google did not cache per-query results this way).
+    pub serp_cache_ttl_ms: Option<u64>,
+    /// Datacenter count behind the service name.
+    pub datacenters: u32,
+    /// Per-IP rate limit: max requests per window.
+    pub rate_limit_max: usize,
+    /// Rate-limit window in milliseconds.
+    pub rate_limit_window_ms: u64,
+}
+
+impl EngineConfig {
+    /// The configuration used for all paper-reproduction experiments.
+    pub fn paper_defaults() -> Self {
+        EngineConfig {
+            decay_kernel: DecayKernel::Exponential,
+            local_sigma_km: 28.0,
+            local_weight_local_intent: 4.0,
+            local_weight_other: 0.25,
+            state_weight: 1.1,
+            county_weight: 1.6,
+            partial_match_score: 0.35,
+            organic_count: 12,
+            per_domain_cap: 2,
+            maps_policy: MapsPolicy::LocalIntentNonNavigational,
+            maps_sigma_km: 8.0,
+            maps_threshold: 0.28,
+            maps_max_links: 7,
+            news_min_articles: 2,
+            news_max_links: 3,
+            news_halflife_days: 7.0,
+            location_precedence: LocationPrecedence::GpsFirst,
+            noise_enabled: true,
+            ab_buckets: 16,
+            ab_amplitude: 0.15,
+            replicas_per_datacenter: 4,
+            replica_skew: 0.005,
+            tiebreak_jitter: 0.004,
+            maps_flicker: 0.45,
+            maps_suppress: 0.15,
+            history_window_minutes: 10,
+            history_boost: 1.15,
+            serp_cache_ttl_ms: None,
+            datacenters: 3,
+            rate_limit_max: 30,
+            rate_limit_window_ms: 60_000,
+        }
+    }
+
+    /// An alternative engine profile — the paper's future work ("our
+    /// methodology can easily be extended to other … search engines").
+    /// Compared to [`EngineConfig::paper_defaults`] this engine weighs
+    /// proximity less, uses a heavier-tailed decay, always shows Maps for
+    /// matching places, keeps larger News cards, and runs fewer/larger A/B
+    /// experiments — a plausibly different personalization philosophy whose
+    /// measured shape the methodology must distinguish from the default.
+    pub fn alternative_engine() -> Self {
+        EngineConfig {
+            decay_kernel: DecayKernel::InversePower,
+            local_sigma_km: 60.0,
+            local_weight_local_intent: 2.0,
+            state_weight: 1.4,
+            maps_policy: MapsPolicy::Always,
+            maps_max_links: 5,
+            news_max_links: 5,
+            news_halflife_days: 3.0,
+            ab_buckets: 4,
+            ab_amplitude: 0.25,
+            ..Self::paper_defaults()
+        }
+    }
+
+    /// Paper defaults plus a result cache (ablation: caching masks noise).
+    pub fn with_result_cache(ttl_ms: u64) -> Self {
+        EngineConfig {
+            serp_cache_ttl_ms: Some(ttl_ms),
+            ..Self::paper_defaults()
+        }
+    }
+
+    /// Paper defaults with every noise source disabled (ablation).
+    pub fn noiseless() -> Self {
+        EngineConfig {
+            noise_enabled: false,
+            ..Self::paper_defaults()
+        }
+    }
+
+    /// Validate invariants; panics with a description on misconfiguration.
+    pub fn validate(&self) {
+        assert!(self.local_sigma_km > 0.0, "local_sigma_km must be positive");
+        assert!(self.maps_sigma_km > 0.0, "maps_sigma_km must be positive");
+        assert!(self.organic_count >= 1, "organic_count must be >= 1");
+        assert!(self.per_domain_cap >= 1, "per_domain_cap must be >= 1");
+        assert!(self.ab_buckets >= 1, "ab_buckets must be >= 1");
+        assert!(
+            self.replicas_per_datacenter >= 1,
+            "replicas_per_datacenter must be >= 1"
+        );
+        assert!(
+            (0.0..1.0).contains(&self.replica_skew),
+            "replica_skew must be in [0,1)"
+        );
+        assert!(self.datacenters >= 1, "datacenters must be >= 1");
+        assert!(
+            (0.0..1.0).contains(&self.maps_suppress),
+            "maps_suppress must be in [0,1)"
+        );
+        assert!(
+            self.maps_max_links >= 1 && self.news_max_links >= 1,
+            "card capacities must be >= 1"
+        );
+    }
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self::paper_defaults()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_are_valid() {
+        EngineConfig::paper_defaults().validate();
+        EngineConfig::noiseless().validate();
+        EngineConfig::alternative_engine().validate();
+    }
+
+    #[test]
+    fn alternative_engine_differs_meaningfully() {
+        let a = EngineConfig::paper_defaults();
+        let b = EngineConfig::alternative_engine();
+        assert_ne!(a.decay_kernel, b.decay_kernel);
+        assert_ne!(a.maps_policy, b.maps_policy);
+        assert!(b.local_weight_local_intent < a.local_weight_local_intent);
+    }
+
+    #[test]
+    fn noiseless_flips_only_noise() {
+        let a = EngineConfig::paper_defaults();
+        let b = EngineConfig::noiseless();
+        assert!(a.noise_enabled);
+        assert!(!b.noise_enabled);
+        assert_eq!(a.local_sigma_km, b.local_sigma_km);
+        assert_eq!(a.maps_policy, b.maps_policy);
+    }
+
+    #[test]
+    #[should_panic(expected = "organic_count")]
+    fn validate_catches_zero_organic() {
+        let cfg = EngineConfig {
+            organic_count: 0,
+            ..EngineConfig::paper_defaults()
+        };
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "replica_skew")]
+    fn validate_catches_full_skew() {
+        let cfg = EngineConfig {
+            replica_skew: 1.0,
+            ..EngineConfig::paper_defaults()
+        };
+        cfg.validate();
+    }
+}

@@ -1,0 +1,249 @@
+//! IP geolocation and reverse geocoding.
+//!
+//! [`GeoIpDb`] is the engine-side IP → coordinate database (how Google
+//! located users before the mobile Geolocation API, and the fallback when no
+//! GPS fix accompanies a query). [`ReverseGeocoder`] turns a coordinate back
+//! into the human-readable place name the engine prints at the bottom of
+//! every SERP — the footer the paper used to "manually verify that Google
+//! was personalizing search results correctly based on our spoofed GPS
+//! coordinates" (§2.2).
+
+use geoserp_geo::{Coord, GridIndex, UsGeography};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// Engine-side IP-geolocation database.
+///
+/// Real GeoIP data is /24-granular at best; lookups fall back from exact IP
+/// to the /24 prefix, so registering one machine of a subnet locates its
+/// neighbours too.
+#[derive(Debug, Default)]
+pub struct GeoIpDb {
+    exact: RwLock<HashMap<Ipv4Addr, Coord>>,
+    subnet: RwLock<HashMap<[u8; 3], Coord>>,
+}
+
+impl GeoIpDb {
+    /// See the type-level docs: `new`.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register an IP at a coordinate (also seeds its /24 prefix unless one
+    /// is already present).
+    pub fn register(&self, ip: Ipv4Addr, coord: Coord) {
+        self.exact.write().insert(ip, coord);
+        let o = ip.octets();
+        self.subnet.write().entry([o[0], o[1], o[2]]).or_insert(coord);
+    }
+
+    /// Locate an IP: exact entry first, then its /24.
+    pub fn lookup(&self, ip: Ipv4Addr) -> Option<Coord> {
+        if let Some(&c) = self.exact.read().get(&ip) {
+            return Some(c);
+        }
+        let o = ip.octets();
+        self.subnet.read().get(&[o[0], o[1], o[2]]).copied()
+    }
+
+    /// Number of exact entries.
+    pub fn len(&self) -> usize {
+        self.exact.read().len()
+    }
+
+    /// True when no IP has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.exact.read().is_empty()
+    }
+}
+
+/// Coordinate → administrative-place resolver built from the geography.
+///
+/// Nearest-centroid assignment — exact for geoserp's vantage points (which
+/// *are* centroids) and a reasonable approximation elsewhere.
+#[derive(Debug, Clone)]
+pub struct ReverseGeocoder {
+    /// Spatial index over state centroids: payload `(name, abbrev)`.
+    states: GridIndex<(String, String)>,
+    /// Spatial index over Ohio county centroids: payload bare county name.
+    ohio_counties: GridIndex<String>,
+    metro: Coord, // Cuyahoga metro anchor
+}
+
+/// A resolved place.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResolvedPlace {
+    /// Two-letter state code.
+    pub state_abbrev: String,
+    /// Bare county name when the point is inside Ohio (e.g. `"Cuyahoga"`).
+    pub county: Option<String>,
+    /// Human-readable label for the SERP footer.
+    pub label: String,
+}
+
+impl ReverseGeocoder {
+    /// Build from a geography. Centroids go into [`GridIndex`]es (4° cells
+    /// for the 51 states, 0.5° for the 88 Ohio counties) so resolution is a
+    /// couple of bucket probes instead of a linear scan on every request.
+    pub fn new(geo: &UsGeography) -> Self {
+        ReverseGeocoder {
+            states: GridIndex::build(
+                4.0,
+                geo.states.iter().map(|l| {
+                    (
+                        l.coord,
+                        (
+                            l.region.name.clone(),
+                            l.region.state_abbrev.clone().unwrap_or_default(),
+                        ),
+                    )
+                }),
+            ),
+            ohio_counties: GridIndex::build(
+                0.5,
+                geo.ohio_counties.iter().map(|l| {
+                    let bare = l
+                        .region
+                        .name
+                        .strip_suffix(" County")
+                        .unwrap_or(&l.region.name)
+                        .to_string();
+                    (l.coord, bare)
+                }),
+            ),
+            metro: geoserp_geo::us::CUYAHOGA_CENTROID,
+        }
+    }
+
+    /// Resolve a coordinate to state / county / footer label.
+    pub fn resolve(&self, coord: Coord) -> ResolvedPlace {
+        // County assignment applies only inside Ohio's bounding box (the
+        // synthetic county grid lives there); within it, nearest centroid
+        // wins.
+        let in_ohio_box = {
+            use geoserp_geo::us::{OHIO_LAT, OHIO_LON};
+            coord.lat_deg >= OHIO_LAT.0
+                && coord.lat_deg <= OHIO_LAT.1 + 0.15
+                && coord.lon_deg >= OHIO_LON.0 - 0.15
+                && coord.lon_deg < OHIO_LON.1 - 0.05
+        };
+        let county = if in_ohio_box {
+            self.ohio_counties
+                .nearest(coord)
+                .map(|(name, _, _)| name.clone())
+        } else {
+            None
+        };
+
+        let (state_name, state_abbrev) = self
+            .states
+            .nearest(coord)
+            .map(|((n, a), _, _)| (n.clone(), a.clone()))
+            .expect("geography has states");
+
+        let label = match &county {
+            // Inside the Cuyahoga metro the engine reports the city.
+            Some(c) if c == "Cuyahoga" && coord.haversine_km(self.metro) < 12.0 => {
+                "Cleveland, OH".to_string()
+            }
+            Some(c) => format!("{c} County, OH"),
+            None => format!("{state_name}, USA"),
+        };
+        ResolvedPlace {
+            state_abbrev: if county.is_some() {
+                "OH".to_string()
+            } else {
+                state_abbrev
+            },
+            county,
+            label,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geoserp_geo::Seed;
+
+    fn geocoder() -> (UsGeography, ReverseGeocoder) {
+        let geo = UsGeography::generate(Seed::new(2015));
+        let rg = ReverseGeocoder::new(&geo);
+        (geo, rg)
+    }
+
+    #[test]
+    fn geoip_exact_and_subnet_fallback() {
+        let db = GeoIpDb::new();
+        assert!(db.is_empty());
+        let c = Coord::new(41.4, -81.7);
+        db.register("192.0.2.10".parse().unwrap(), c);
+        assert_eq!(db.lookup("192.0.2.10".parse().unwrap()), Some(c));
+        // Same /24, unregistered host: subnet fallback.
+        assert_eq!(db.lookup("192.0.2.99".parse().unwrap()), Some(c));
+        // Different /24: unknown.
+        assert_eq!(db.lookup("192.0.3.10".parse().unwrap()), None);
+        assert_eq!(db.len(), 1);
+    }
+
+    #[test]
+    fn subnet_keeps_first_registration() {
+        let db = GeoIpDb::new();
+        let a = Coord::new(41.0, -81.0);
+        let b = Coord::new(30.0, -90.0);
+        db.register("10.0.0.1".parse().unwrap(), a);
+        db.register("10.0.0.2".parse().unwrap(), b);
+        // Exact entries win for registered IPs…
+        assert_eq!(db.lookup("10.0.0.2".parse().unwrap()), Some(b));
+        // …while the subnet anchor stays at the first registration.
+        assert_eq!(db.lookup("10.0.0.77".parse().unwrap()), Some(a));
+    }
+
+    #[test]
+    fn resolve_cuyahoga_metro_is_cleveland() {
+        let (_, rg) = geocoder();
+        let r = rg.resolve(geoserp_geo::us::CUYAHOGA_CENTROID);
+        assert_eq!(r.label, "Cleveland, OH");
+        assert_eq!(r.county.as_deref(), Some("Cuyahoga"));
+        assert_eq!(r.state_abbrev, "OH");
+    }
+
+    #[test]
+    fn resolve_ohio_county() {
+        let (geo, rg) = geocoder();
+        // Pick a county far from Cuyahoga.
+        let adams = geo.ohio_county("Adams").unwrap();
+        let r = rg.resolve(adams.coord);
+        assert_eq!(r.state_abbrev, "OH");
+        assert!(r.county.is_some());
+        assert!(r.label.ends_with("County, OH"), "{}", r.label);
+    }
+
+    #[test]
+    fn resolve_distant_state() {
+        let (geo, rg) = geocoder();
+        let az = geo.state("AZ").unwrap();
+        let r = rg.resolve(az.coord);
+        assert_eq!(r.state_abbrev, "AZ");
+        assert_eq!(r.county, None);
+        assert_eq!(r.label, "Arizona, USA");
+    }
+
+    #[test]
+    fn vantage_points_resolve_to_their_own_regions() {
+        let (geo, rg) = geocoder();
+        for st in &geo.states {
+            if st.region.name == "Ohio" {
+                continue; // Ohio's centroid may fall inside a synthetic county.
+            }
+            let r = rg.resolve(st.coord);
+            assert_eq!(
+                &r.state_abbrev,
+                st.region.state_abbrev.as_ref().unwrap(),
+                "{}",
+                st.region.name
+            );
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Short-term search-history personalization.
+//!
+//! The paper's prior work established that "Google Search personalizes
+//! search results based on the user's prior searches during the last 10
+//! minutes"; the crawler therefore waits 11 minutes between subsequent
+//! queries and clears cookies after each one (§2.2). This module implements
+//! that 10-minute window so the countermeasure has something real to defeat:
+//! sessions are keyed by a cookie, and pages lexically related to a
+//! session's recent queries get a small boost.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// Per-session recent-search store.
+#[derive(Debug, Default)]
+pub struct SessionHistory {
+    /// session id → (term, virtual-time ms) pairs, most recent last.
+    entries: Mutex<HashMap<String, Vec<(String, u64)>>>,
+}
+
+/// Cap on remembered searches per session.
+const MAX_PER_SESSION: usize = 10;
+
+impl SessionHistory {
+    /// See the type-level docs: `new`.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a search by `session` at virtual time `at_ms`.
+    pub fn record(&self, session: &str, term: &str, at_ms: u64) {
+        let mut map = self.entries.lock();
+        let v = map.entry(session.to_string()).or_default();
+        v.push((term.to_string(), at_ms));
+        if v.len() > MAX_PER_SESSION {
+            let excess = v.len() - MAX_PER_SESSION;
+            v.drain(..excess);
+        }
+    }
+
+    /// Terms searched by `session` within `window_ms` before `at_ms`
+    /// (excluding searches at exactly `at_ms`, i.e. the current query).
+    pub fn recent_terms(&self, session: &str, at_ms: u64, window_ms: u64) -> Vec<String> {
+        let map = self.entries.lock();
+        match map.get(session) {
+            None => Vec::new(),
+            Some(v) => v
+                .iter()
+                .filter(|(_, t)| *t < at_ms && at_ms - t <= window_ms)
+                .map(|(term, _)| term.clone())
+                .collect(),
+        }
+    }
+
+    /// Number of tracked sessions.
+    pub fn session_count(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// Forget one session (a cookie clear ends the session's identity; the
+    /// engine-side state becomes unreachable garbage — this is the GC).
+    pub fn forget(&self, session: &str) {
+        self.entries.lock().remove(session);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TEN_MIN: u64 = 10 * 60_000;
+
+    #[test]
+    fn window_includes_recent_excludes_old() {
+        let h = SessionHistory::new();
+        h.record("s1", "coffee", 0);
+        h.record("s1", "sushi", 5 * 60_000);
+        // 11 minutes after the first query (the paper's wait): only "sushi"
+        // is still in the 10-minute window.
+        let at = 11 * 60_000;
+        let terms = h.recent_terms("s1", at, TEN_MIN);
+        assert_eq!(terms, vec!["sushi".to_string()]);
+        // 11 minutes after the *second* query: nothing remains.
+        let terms = h.recent_terms("s1", 16 * 60_000, TEN_MIN);
+        assert!(terms.is_empty());
+    }
+
+    #[test]
+    fn sessions_are_isolated() {
+        let h = SessionHistory::new();
+        h.record("a", "x", 100);
+        assert!(h.recent_terms("b", 200, TEN_MIN).is_empty());
+        assert_eq!(h.session_count(), 1);
+    }
+
+    #[test]
+    fn current_instant_is_excluded() {
+        let h = SessionHistory::new();
+        h.record("s", "now", 500);
+        assert!(h.recent_terms("s", 500, TEN_MIN).is_empty());
+        assert_eq!(h.recent_terms("s", 501, TEN_MIN).len(), 1);
+    }
+
+    #[test]
+    fn capacity_is_bounded() {
+        let h = SessionHistory::new();
+        for i in 0..50 {
+            h.record("s", &format!("q{i}"), i);
+        }
+        let terms = h.recent_terms("s", 100, TEN_MIN);
+        assert_eq!(terms.len(), MAX_PER_SESSION);
+        assert_eq!(terms.last().unwrap(), "q49");
+    }
+
+    #[test]
+    fn forget_drops_session() {
+        let h = SessionHistory::new();
+        h.record("s", "x", 0);
+        h.forget("s");
+        assert_eq!(h.session_count(), 0);
+        assert!(h.recent_terms("s", 1, TEN_MIN).is_empty());
+    }
+}

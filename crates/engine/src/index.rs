@@ -1,0 +1,333 @@
+//! Inverted index over the synthetic web.
+//!
+//! Conjunctive (AND) retrieval with a disjunctive (OR) fallback: real search
+//! engines fill thin result sets with partial matches, and the fallback is
+//! what puts "other people named James" on a politician's SERP — the
+//! ambiguity tail the paper observes for common names.
+
+use geoserp_corpus::{tokenize, PageId, WebCorpus};
+use std::collections::HashMap;
+
+/// A retrieved candidate before ranking.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Candidate {
+    /// The page.
+    pub page: PageId,
+    /// Lexical score in `(0, 1]`: 1.0 for full (AND) matches, lower for
+    /// partial matches (scaled by matched-token fraction).
+    pub lexical: f64,
+}
+
+/// Token → postings map over a corpus.
+#[derive(Debug)]
+pub struct InvertedIndex {
+    postings: HashMap<String, Vec<PageId>>,
+    /// Vocabulary sorted by (length, token) for the spell-correction scan.
+    vocabulary: Vec<String>,
+    page_count: usize,
+}
+
+impl InvertedIndex {
+    /// Build the index (token set per page; multiplicity is ignored, titles
+    /// already weight head terms by construction).
+    pub fn build(corpus: &WebCorpus) -> Self {
+        let mut postings: HashMap<String, Vec<PageId>> = HashMap::new();
+        for page in &corpus.pages {
+            let mut seen = std::collections::HashSet::new();
+            for token in &page.tokens {
+                if seen.insert(token.as_str()) {
+                    postings.entry(token.clone()).or_default().push(page.id);
+                }
+            }
+        }
+        let mut vocabulary: Vec<String> = postings.keys().cloned().collect();
+        vocabulary.sort_by(|a, b| a.len().cmp(&b.len()).then(a.cmp(b)));
+        // Postings are naturally sorted by page id (pages are in id order).
+        InvertedIndex {
+            postings,
+            vocabulary,
+            page_count: corpus.pages.len(),
+        }
+    }
+
+    /// Number of indexed pages.
+    pub fn page_count(&self) -> usize {
+        self.page_count
+    }
+
+    /// Document frequency of a token.
+    pub fn df(&self, token: &str) -> usize {
+        self.postings.get(token).map_or(0, Vec::len)
+    }
+
+    /// Retrieve candidates for a query.
+    ///
+    /// All pages containing *every* query token score `lexical = 1.0`; if
+    /// fewer than `min_candidates` such pages exist, pages matching a strict
+    /// subset of tokens are added with
+    /// `lexical = partial_score × matched/total`, rarest-token-first so the
+    /// fallback stays cheap.
+    pub fn retrieve(
+        &self,
+        query: &str,
+        min_candidates: usize,
+        partial_score: f64,
+    ) -> Vec<Candidate> {
+        let tokens = tokenize(query);
+        if tokens.is_empty() {
+            return Vec::new();
+        }
+
+        // AND set: intersect postings, starting from the rarest token.
+        let mut lists: Vec<&Vec<PageId>> = Vec::with_capacity(tokens.len());
+        for t in &tokens {
+            match self.postings.get(t) {
+                Some(l) => lists.push(l),
+                None => {
+                    lists.clear();
+                    break;
+                }
+            }
+        }
+        let mut out: Vec<Candidate> = Vec::new();
+        if !lists.is_empty() {
+            lists.sort_by_key(|l| l.len());
+            let mut acc: Vec<PageId> = lists[0].clone();
+            for l in &lists[1..] {
+                let set: std::collections::HashSet<PageId> = l.iter().copied().collect();
+                acc.retain(|id| set.contains(id));
+                if acc.is_empty() {
+                    break;
+                }
+            }
+            out.extend(acc.into_iter().map(|page| Candidate { page, lexical: 1.0 }));
+        }
+
+        if out.len() >= min_candidates || tokens.len() < 2 && !out.is_empty() {
+            return out;
+        }
+
+        // OR fallback: count matched tokens per page.
+        let mut matched: HashMap<PageId, usize> = HashMap::new();
+        for t in &tokens {
+            if let Some(l) = self.postings.get(t) {
+                for &id in l {
+                    *matched.entry(id).or_insert(0) += 1;
+                }
+            }
+        }
+        let full: std::collections::HashSet<PageId> =
+            out.iter().map(|c| c.page).collect();
+        let total = tokens.len() as f64;
+        let mut partial: Vec<Candidate> = matched
+            .into_iter()
+            .filter(|(id, n)| *n < tokens.len() && !full.contains(id))
+            .map(|(page, n)| Candidate {
+                page,
+                lexical: partial_score * n as f64 / total,
+            })
+            .collect();
+        // Deterministic order: score desc, then id.
+        partial.sort_by(|a, b| {
+            b.lexical
+                .partial_cmp(&a.lexical)
+                .unwrap()
+                .then(a.page.cmp(&b.page))
+        });
+        let deficit = min_candidates.saturating_sub(out.len()) * 4; // headroom for ranking
+        partial.truncate(deficit);
+        out.extend(partial);
+        out
+    }
+}
+
+/// Character-level Levenshtein distance with an early-out bound (the spell
+/// corrector only cares about distances ≤ 2).
+fn char_distance_within(a: &str, b: &str, bound: usize) -> Option<usize> {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.len().abs_diff(b.len()) > bound {
+        return None;
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut curr = vec![0usize; b.len() + 1];
+    for i in 1..=a.len() {
+        curr[0] = i;
+        let mut row_min = curr[0];
+        for j in 1..=b.len() {
+            let cost = usize::from(a[i - 1] != b[j - 1]);
+            curr[j] = (prev[j] + 1).min(curr[j - 1] + 1).min(prev[j - 1] + cost);
+            row_min = row_min.min(curr[j]);
+        }
+        if row_min > bound {
+            return None;
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    (prev[b.len()] <= bound).then_some(prev[b.len()])
+}
+
+impl InvertedIndex {
+    /// "Did you mean": correct unknown query tokens to the most-frequent
+    /// vocabulary token within character edit distance 2 (distance-1 hits
+    /// are preferred). Returns the corrected query only if every unknown
+    /// token found a correction and at least one token changed.
+    pub fn suggest(&self, query: &str) -> Option<String> {
+        let tokens = tokenize(query);
+        if tokens.is_empty() {
+            return None;
+        }
+        let mut corrected = Vec::with_capacity(tokens.len());
+        let mut changed = false;
+        for token in &tokens {
+            if self.df(token) > 0 {
+                corrected.push(token.clone());
+                continue;
+            }
+            // Best candidate: minimal distance, then maximal document
+            // frequency, then lexicographic (deterministic).
+            let mut best: Option<(usize, usize, &String)> = None;
+            for cand in &self.vocabulary {
+                // Vocabulary is sorted by length; stop once candidates are
+                // too long to be within distance 2.
+                if cand.len() > token.len() + 2 {
+                    break;
+                }
+                if cand.len() + 2 < token.len() {
+                    continue;
+                }
+                if let Some(d) = char_distance_within(token, cand, 2) {
+                    let df = self.df(cand);
+                    let better = match &best {
+                        None => true,
+                        Some((bd, bdf, bc)) => {
+                            d < *bd || (d == *bd && (df > *bdf || (df == *bdf && cand < *bc)))
+                        }
+                    };
+                    if better {
+                        best = Some((d, df, cand));
+                    }
+                }
+            }
+            let (_, _, replacement) = best?;
+            corrected.push(replacement.clone());
+            changed = true;
+        }
+        changed.then(|| corrected.join(" "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geoserp_geo::{Seed, UsGeography};
+
+    fn corpus() -> WebCorpus {
+        let geo = UsGeography::generate(Seed::new(2015));
+        WebCorpus::generate(&geo, Seed::new(2015))
+    }
+
+    #[test]
+    fn index_covers_all_pages() {
+        let c = corpus();
+        let idx = InvertedIndex::build(&c);
+        assert_eq!(idx.page_count(), c.pages.len());
+        assert!(idx.df("school") > 100, "df(school) = {}", idx.df("school"));
+        assert_eq!(idx.df("zzzznonexistent"), 0);
+    }
+
+    #[test]
+    fn and_retrieval_requires_all_tokens() {
+        let c = corpus();
+        let idx = InvertedIndex::build(&c);
+        let full: Vec<Candidate> = idx
+            .retrieve("Elementary School", 0, 0.3)
+            .into_iter()
+            .filter(|cand| cand.lexical == 1.0)
+            .collect();
+        assert!(!full.is_empty());
+        for cand in full {
+            let page = c.page(cand.page);
+            assert!(page.tokens.iter().any(|t| t == "elementary"), "{}", page.title);
+            assert!(page.tokens.iter().any(|t| t == "school"), "{}", page.title);
+        }
+    }
+
+    #[test]
+    fn fallback_fills_thin_queries() {
+        let c = corpus();
+        let idx = InvertedIndex::build(&c);
+        // A politician's full name has few AND matches; fallback must extend
+        // the pool.
+        let name = &c.roster.all()[0].name;
+        let cands = idx.retrieve(name, 30, 0.35);
+        assert!(cands.len() >= 12, "only {} candidates for {name}", cands.len());
+        assert!(cands.iter().any(|x| x.lexical == 1.0), "own pages present");
+        assert!(cands.iter().any(|x| x.lexical < 1.0), "partials present");
+        // Partials score strictly below fulls.
+        for x in &cands {
+            if x.lexical < 1.0 {
+                assert!(x.lexical <= 0.35 / 2.0 + 0.35, "{}", x.lexical);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_unknown_queries() {
+        let c = corpus();
+        let idx = InvertedIndex::build(&c);
+        assert!(idx.retrieve("", 10, 0.3).is_empty());
+        assert!(idx.retrieve("!!!", 10, 0.3).is_empty());
+        assert!(idx.retrieve("qqqxyzzy", 10, 0.3).is_empty());
+    }
+
+    #[test]
+    fn retrieval_is_deterministic() {
+        let c = corpus();
+        let idx = InvertedIndex::build(&c);
+        let a = idx.retrieve("Coffee", 30, 0.35);
+        let b = idx.retrieve("Coffee", 30, 0.35);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn suggest_corrects_typos() {
+        let c = corpus();
+        let idx = InvertedIndex::build(&c);
+        assert_eq!(idx.suggest("starbuks").as_deref(), Some("starbucks"));
+        assert_eq!(idx.suggest("hospitel near me").as_deref().map(|s| s.starts_with("hospital")), Some(true));
+        // Known queries need no correction.
+        assert_eq!(idx.suggest("school"), None);
+        assert_eq!(idx.suggest(""), None);
+        // Hopeless garbage gets no suggestion.
+        assert_eq!(idx.suggest("qqqqqqqqqqqqqq"), None);
+    }
+
+    #[test]
+    fn suggest_is_deterministic() {
+        let c = corpus();
+        let idx = InvertedIndex::build(&c);
+        assert_eq!(idx.suggest("coffe"), idx.suggest("coffe"));
+    }
+
+    #[test]
+    fn char_distance_bound_behaviour() {
+        assert_eq!(char_distance_within("kitten", "sitten", 2), Some(1));
+        assert_eq!(char_distance_within("kitten", "sitting", 3), Some(3));
+        assert_eq!(char_distance_within("kitten", "sitting", 2), None);
+        assert_eq!(char_distance_within("abc", "abc", 0), Some(0));
+        assert_eq!(char_distance_within("a", "abcd", 2), None, "length gap exceeds bound");
+    }
+
+    #[test]
+    fn brand_query_finds_brand_home() {
+        let c = corpus();
+        let idx = InvertedIndex::build(&c);
+        let cands = idx.retrieve("Starbucks", 30, 0.35);
+        let has_home = cands.iter().any(|cand| {
+            let p = c.page(cand.page);
+            p.url == "https://www.starbucks.example.com/"
+        });
+        assert!(has_home);
+    }
+}

@@ -1,0 +1,154 @@
+//! Query-intent classification.
+//!
+//! The engine must *infer* intent from its own index — it is never told the
+//! experiment's query category. Three signals drive the SERP layout, and all
+//! three are derived from the retrieved candidate set:
+//!
+//! * **navigational** — a very-high-authority web page whose title leads
+//!   with the query tokens (a brand's official site). Navigational dominance
+//!   suppresses the Maps card, reproducing the paper's "searches for
+//!   specific brands typically do not yield Maps results";
+//! * **local** — a large share of candidates are physical-establishment
+//!   pages, so proximity should dominate ranking;
+//! * **newsy** — enough fresh news articles match to justify an
+//!   "In the News" card.
+
+use crate::index::Candidate;
+use geoserp_corpus::{tokenize, PageId, PageKind, WebCorpus};
+
+/// Inferred intent signals for one query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryIntent {
+    /// Proximity-sensitive query (many establishment candidates).
+    pub local: bool,
+    /// The dominant navigational target, if any.
+    pub navigational: Option<PageId>,
+    /// Enough news coverage for an "In the News" card.
+    pub newsy: bool,
+}
+
+/// Candidate share that must be establishments for local intent.
+const LOCAL_SHARE_THRESHOLD: f64 = 0.35;
+/// Or an absolute count of establishment candidates.
+const LOCAL_COUNT_THRESHOLD: usize = 12;
+/// Authority floor for a navigational target.
+const NAVIGATIONAL_AUTHORITY: f64 = 0.93;
+/// Matching news articles needed for the newsy signal (the card itself also
+/// applies freshness filters).
+const NEWSY_COUNT_THRESHOLD: usize = 2;
+
+/// Classify a query given its retrieved candidates.
+pub fn classify(corpus: &WebCorpus, query: &str, candidates: &[Candidate]) -> QueryIntent {
+    let qtokens = tokenize(query);
+
+    let mut place_full = 0usize;
+    let mut full = 0usize;
+    let mut news = 0usize;
+    let mut nav: Option<(PageId, f64)> = None;
+
+    for cand in candidates {
+        let page = corpus.page(cand.page);
+        if cand.lexical >= 1.0 {
+            full += 1;
+            if page.kind == PageKind::Place {
+                place_full += 1;
+            }
+            if page.kind == PageKind::News {
+                news += 1;
+            }
+            if page.kind == PageKind::Web && page.authority >= NAVIGATIONAL_AUTHORITY {
+                // Title must lead with the query tokens.
+                let title_tokens = tokenize(&page.title);
+                if title_tokens.len() >= qtokens.len()
+                    && title_tokens[..qtokens.len()] == qtokens[..]
+                    && nav.is_none_or(|(_, a)| page.authority > a)
+                {
+                    nav = Some((page.id, page.authority));
+                }
+            }
+        }
+    }
+
+    let local = place_full >= LOCAL_COUNT_THRESHOLD
+        || (full > 0 && place_full as f64 / full as f64 >= LOCAL_SHARE_THRESHOLD);
+
+    QueryIntent {
+        local,
+        navigational: nav.map(|(id, _)| id),
+        newsy: news >= NEWSY_COUNT_THRESHOLD,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::InvertedIndex;
+    use geoserp_geo::{Seed, UsGeography};
+
+    fn world() -> (WebCorpus, InvertedIndex) {
+        let geo = UsGeography::generate(Seed::new(2015));
+        let corpus = WebCorpus::generate(&geo, Seed::new(2015));
+        let index = InvertedIndex::build(&corpus);
+        (corpus, index)
+    }
+
+    fn intent_of(corpus: &WebCorpus, index: &InvertedIndex, q: &str) -> QueryIntent {
+        let cands = index.retrieve(q, 36, 0.35);
+        classify(corpus, q, &cands)
+    }
+
+    #[test]
+    fn generic_local_terms_are_local_not_navigational() {
+        let (c, i) = world();
+        for q in ["Hospital", "Elementary School", "Coffee", "Bank"] {
+            let intent = intent_of(&c, &i, q);
+            assert!(intent.local, "{q} should be local");
+            assert_eq!(intent.navigational, None, "{q} should not be navigational");
+        }
+    }
+
+    #[test]
+    fn brand_terms_are_navigational() {
+        let (c, i) = world();
+        for q in ["Starbucks", "KFC", "Chipotle", "Wendy's"] {
+            let intent = intent_of(&c, &i, q);
+            let nav = intent.navigational.expect("brand has nav target");
+            let page = c.page(nav);
+            assert!(page.title.contains("Official Site"), "{q} -> {}", page.title);
+            assert!(intent.local, "{q} still has local candidates");
+        }
+    }
+
+    #[test]
+    fn controversial_terms_are_neither_local_nor_navigational() {
+        let (c, i) = world();
+        for q in ["Gay Marriage", "Progressive Tax", "Offshore Drilling"] {
+            let intent = intent_of(&c, &i, q);
+            assert!(!intent.local, "{q} must not be local");
+            assert_eq!(intent.navigational, None, "{q}");
+            assert!(intent.newsy, "{q} has a news pool");
+        }
+    }
+
+    #[test]
+    fn politicians_are_not_local() {
+        let (c, i) = world();
+        let name = c.roster.all()[30].name.clone();
+        let intent = intent_of(&c, &i, &name);
+        assert!(!intent.local, "{name}");
+    }
+
+    #[test]
+    fn empty_candidates_yield_neutral_intent() {
+        let (c, _) = world();
+        let intent = classify(&c, "anything", &[]);
+        assert_eq!(
+            intent,
+            QueryIntent {
+                local: false,
+                navigational: None,
+                newsy: false
+            }
+        );
+    }
+}

@@ -1,0 +1,56 @@
+#![warn(missing_docs)]
+//! # geoserp-engine — the simulated, geo-personalizing search engine
+//!
+//! The paper measures a black box (Google Search); this crate *is* the black
+//! box for the reproduction. It is a complete small search engine whose
+//! observable behaviour matches the mechanisms the paper inferred:
+//!
+//! * **GPS-first location** — a request carrying an `X-Geolocation` header
+//!   (the browser's spoofed Geolocation API fix) is personalized for that
+//!   coordinate; without one the engine falls back to IP geolocation
+//!   ([`GeoIpDb`]), exactly the precedence the paper's §2.2 validation
+//!   experiment established (94 % identical results across 50 PlanetLab IPs
+//!   with the same GPS);
+//! * **geo-aware ranking** ([`SearchEngine`]) — candidates from an inverted
+//!   index ([`index::InvertedIndex`]) scored by lexical match × authority ×
+//!   a distance-decaying geographic boost, with intent-dependent weights
+//!   ([`intent`]): local-intent queries weigh distance heavily, navigational
+//!   brand queries are dominated by the brand's domain, controversial and
+//!   person queries are dominated by globally scoped pages;
+//! * **verticals** ([`verticals`]) — a Maps card (nearby establishments by
+//!   prominence × distance; suppressed for navigationally-resolved brand
+//!   queries, reproducing "searches for specific brands typically do not
+//!   yield Maps results") and an "In the News" card (fresh articles, with
+//!   regional coverage for the searcher's state);
+//! * **a realistic noise model** ([`noise::NoiseModel`]) — per-request A/B
+//!   buckets, per-datacenter/replica index skew, near-tie reordering jitter,
+//!   and Maps-card threshold flicker. These make two *identical simultaneous
+//!   requests* return different pages with realistic frequency — the paper's
+//!   headline surprise ("Google Search returns search results that are very
+//!   noisy, especially for local queries");
+//! * **short-term search-history personalization** ([`history`]) — the
+//!   10-minute window the paper works around by waiting 11 minutes between
+//!   queries;
+//! * **operational surface** ([`service::SearchService`]) — a
+//!   [`geoserp_net::Server`] with per-IP rate limiting and multiple
+//!   datacenter addresses behind one DNS name.
+//!
+//! The engine never reads demographics or party labels — the paper's §3.2
+//! null result must *emerge* from the reproduction, not be assumed.
+
+pub mod config;
+pub mod engine;
+pub mod geoip;
+pub mod history;
+pub mod index;
+pub mod intent;
+pub mod noise;
+pub mod service;
+pub mod verticals;
+
+pub use config::EngineConfig;
+pub use engine::{SearchContext, SearchEngine};
+pub use geoip::{GeoIpDb, ReverseGeocoder};
+pub use intent::{classify, QueryIntent};
+pub use noise::NoiseModel;
+pub use service::{SearchService, SEARCH_HOST};

@@ -1,0 +1,262 @@
+//! The engine's nondeterminism sources.
+//!
+//! The paper's most surprising finding is that Google Search is *noisy*:
+//! "two users making the same query from the same location at the same time
+//! often receive substantially different search results" (§3.1). Real-world
+//! mechanisms behind such noise are well known — concurrent A/B ranking
+//! experiments, load-balancing across index replicas that are not byte-
+//! identical, and score ties broken arbitrarily. This module implements all
+//! of them *deterministically*: every draw is a pure function of the engine
+//! seed and the request sequence number, so a whole study replays exactly,
+//! while any two distinct requests (even simultaneous identical ones) draw
+//! independent values — precisely the property the paper's
+//! treatment/control pairs measure.
+
+use crate::config::EngineConfig;
+use geoserp_corpus::PageId;
+use geoserp_geo::Seed;
+
+/// Per-request noise decisions (see module docs).
+#[derive(Debug, Clone)]
+pub struct NoiseModel {
+    seed: Seed,
+    enabled: bool,
+    ab_buckets: u32,
+    ab_amplitude: f64,
+    replicas: u32,
+    replica_skew: f64,
+    tiebreak_jitter: f64,
+    maps_flicker: f64,
+    maps_suppress: f64,
+}
+
+impl NoiseModel {
+    /// Build from the engine config.
+    pub fn new(seed: Seed, cfg: &EngineConfig) -> Self {
+        NoiseModel {
+            seed: seed.derive("noise"),
+            enabled: cfg.noise_enabled,
+            ab_buckets: cfg.ab_buckets.max(1),
+            ab_amplitude: cfg.ab_amplitude,
+            replicas: cfg.replicas_per_datacenter.max(1),
+            replica_skew: cfg.replica_skew,
+            tiebreak_jitter: cfg.tiebreak_jitter,
+            maps_flicker: cfg.maps_flicker,
+            maps_suppress: cfg.maps_suppress,
+        }
+    }
+
+    /// Whether any noise fires at all.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// A/B bucket this request falls into (cookie-less assignment: the load
+    /// balancer hashes the connection, modelled by the request sequence).
+    pub fn ab_bucket(&self, seq: u64) -> u32 {
+        if !self.enabled {
+            return 0;
+        }
+        (self.seed.derive_idx("ab-assign", seq).value() % self.ab_buckets as u64) as u32
+    }
+
+    /// Multiplier the bucket applies to the geographic ranking weight.
+    /// Bucket 0 is always the control (1.0).
+    pub fn ab_geo_multiplier(&self, bucket: u32) -> f64 {
+        if !self.enabled || bucket == 0 {
+            return 1.0;
+        }
+        let mut rng = self.seed.derive_idx("ab-geo", bucket as u64).rng();
+        1.0 + self.ab_amplitude * (2.0 * rng.unit() - 1.0)
+    }
+
+    /// Multiplier the bucket applies to the freshness weight of news.
+    /// Half the geo amplitude: freshness experiments reorder whole news
+    /// cards, so equal amplitude would overstate news noise.
+    pub fn ab_freshness_multiplier(&self, bucket: u32) -> f64 {
+        if !self.enabled || bucket == 0 {
+            return 1.0;
+        }
+        let mut rng = self.seed.derive_idx("ab-fresh", bucket as u64).rng();
+        1.0 + 0.5 * self.ab_amplitude * (2.0 * rng.unit() - 1.0)
+    }
+
+    /// Which index replica of `datacenter` serves this request.
+    pub fn replica(&self, datacenter: u32, seq: u64) -> u32 {
+        if !self.enabled {
+            return 0;
+        }
+        let v = self
+            .seed
+            .derive_idx("replica-dc", datacenter as u64)
+            .derive_idx("pick", seq)
+            .value();
+        (v % self.replicas as u64) as u32
+    }
+
+    /// Whether a page is missing from a given (datacenter, replica) index
+    /// copy — staleness skew. Stable for the lifetime of the engine: the
+    /// same replica is always missing the same pages.
+    pub fn page_missing(&self, datacenter: u32, replica: u32, page: PageId) -> bool {
+        if !self.enabled || self.replica_skew <= 0.0 {
+            return false;
+        }
+        let mut rng = self
+            .seed
+            .derive_idx("skew-dc", datacenter as u64)
+            .derive_idx("skew-replica", replica as u64)
+            .derive_idx("skew-page", page.0 as u64)
+            .rng();
+        rng.unit() < self.replica_skew
+    }
+
+    /// Multiplicative near-tie jitter for one (request, page) pair,
+    /// in `[1 - j, 1 + j]`.
+    pub fn tiebreak(&self, seq: u64, page: PageId) -> f64 {
+        if !self.enabled || self.tiebreak_jitter <= 0.0 {
+            return 1.0;
+        }
+        let mut rng = self
+            .seed
+            .derive_idx("tiebreak-seq", seq)
+            .derive_idx("tiebreak-page", page.0 as u64)
+            .rng();
+        1.0 + self.tiebreak_jitter * (2.0 * rng.unit() - 1.0)
+    }
+
+    /// Per-request multiplier on the Maps-card trigger threshold,
+    /// in `[1 - f, 1 + f]` — the flicker that makes one of two simultaneous
+    /// pages carry a Maps card while the other does not.
+    pub fn maps_threshold_multiplier(&self, seq: u64) -> f64 {
+        if !self.enabled || self.maps_flicker <= 0.0 {
+            return 1.0;
+        }
+        let mut rng = self.seed.derive_idx("maps-flicker", seq).rng();
+        1.0 + self.maps_flicker * (2.0 * rng.unit() - 1.0)
+    }
+
+    /// Whether this request fell into a Maps-hiding UI experiment bucket.
+    pub fn maps_suppressed(&self, seq: u64) -> bool {
+        if !self.enabled || self.maps_suppress <= 0.0 {
+            return false;
+        }
+        let mut rng = self.seed.derive_idx("maps-suppress", seq).rng();
+        rng.unit() < self.maps_suppress
+    }
+
+    /// Stable per-page salt in `[1, 1.12]` used to break exact score ties
+    /// *deterministically across requests* (so tied tails don't reshuffle on
+    /// every request; only pairs within the request-jitter band can flip).
+    /// Always active — this is a ranking detail, not a noise source.
+    pub fn page_salt(&self, page: PageId) -> f64 {
+        let mut rng = self.seed.derive_idx("page-salt", page.0 as u64).rng();
+        1.0 + 0.12 * rng.unit()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(enabled: bool) -> NoiseModel {
+        let cfg = if enabled {
+            EngineConfig::paper_defaults()
+        } else {
+            EngineConfig::noiseless()
+        };
+        NoiseModel::new(Seed::new(99), &cfg)
+    }
+
+    #[test]
+    fn disabled_model_is_neutral() {
+        let m = model(false);
+        assert!(!m.enabled());
+        assert_eq!(m.ab_bucket(7), 0);
+        assert_eq!(m.ab_geo_multiplier(3), 1.0);
+        assert_eq!(m.replica(1, 9), 0);
+        assert!(!m.page_missing(0, 0, PageId(5)));
+        assert_eq!(m.tiebreak(1, PageId(5)), 1.0);
+        assert_eq!(m.maps_threshold_multiplier(1), 1.0);
+        assert!(!m.maps_suppressed(1));
+    }
+
+    #[test]
+    fn buckets_spread_over_requests() {
+        let m = model(true);
+        let buckets: std::collections::HashSet<u32> =
+            (0..200).map(|seq| m.ab_bucket(seq)).collect();
+        assert!(buckets.len() > 8, "only {} buckets hit", buckets.len());
+    }
+
+    #[test]
+    fn bucket_zero_is_control() {
+        let m = model(true);
+        assert_eq!(m.ab_geo_multiplier(0), 1.0);
+        assert_eq!(m.ab_freshness_multiplier(0), 1.0);
+    }
+
+    #[test]
+    fn multipliers_are_bounded_and_stable() {
+        let m = model(true);
+        for b in 1..16 {
+            let g = m.ab_geo_multiplier(b);
+            assert!((0.85..=1.15).contains(&g), "{g}");
+            assert_eq!(g, m.ab_geo_multiplier(b), "stable per bucket");
+        }
+    }
+
+    #[test]
+    fn replica_skew_rate_is_roughly_configured() {
+        let m = model(true);
+        let missing = (0..20_000)
+            .filter(|i| m.page_missing(0, 1, PageId(*i)))
+            .count();
+        // cfg.replica_skew = 0.005 → expect ~100 of 20k.
+        assert!((40..220).contains(&missing), "{missing}");
+    }
+
+    #[test]
+    fn skew_is_stable_but_differs_across_replicas() {
+        let m = model(true);
+        let a: Vec<bool> = (0..500).map(|i| m.page_missing(0, 0, PageId(i))).collect();
+        let b: Vec<bool> = (0..500).map(|i| m.page_missing(0, 0, PageId(i))).collect();
+        assert_eq!(a, b, "same replica, same holes");
+        let c: Vec<bool> = (0..500).map(|i| m.page_missing(0, 1, PageId(i))).collect();
+        assert_ne!(a, c, "different replica, different holes");
+    }
+
+    #[test]
+    fn tiebreak_varies_per_request() {
+        let m = model(true);
+        let a = m.tiebreak(1, PageId(42));
+        let b = m.tiebreak(2, PageId(42));
+        assert_ne!(a, b);
+        assert!((0.988..=1.012).contains(&a));
+    }
+
+    #[test]
+    fn page_salt_active_even_when_noiseless() {
+        let m = model(false);
+        let s = m.page_salt(PageId(1));
+        assert!((1.0..=1.12).contains(&s));
+        assert_eq!(s, m.page_salt(PageId(1)));
+        assert_ne!(s, m.page_salt(PageId(2)));
+    }
+
+    #[test]
+    fn suppression_rate_is_roughly_configured() {
+        let m = model(true);
+        let hits = (0..10_000).filter(|&s| m.maps_suppressed(s)).count();
+        // cfg.maps_suppress = 0.15 → expect ~1500.
+        assert!((1_100..1_900).contains(&hits), "{hits}");
+    }
+
+    #[test]
+    fn flicker_bounds() {
+        let m = model(true);
+        for seq in 0..100 {
+            let f = m.maps_threshold_multiplier(seq);
+            assert!((0.55..=1.45).contains(&f), "{f}");
+        }
+    }
+}

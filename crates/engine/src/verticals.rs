@@ -1,0 +1,383 @@
+//! The Maps and News verticals.
+//!
+//! Mobile Google embeds meta-result cards in the SERP (§2.2, Figure 1). The
+//! paper finds that Maps results explain 18–27 % of local-query differences
+//! and News results 6–18 % of controversial-query differences — so both
+//! verticals must exist, be location-sensitive in the right ways, and be
+//! subject to the card-presence flicker that dominates Maps noise.
+
+use crate::config::EngineConfig;
+use geoserp_corpus::{tokenize, PageKind, Place, WebCorpus};
+use geoserp_geo::{Coord, GridIndex};
+use geoserp_serp::{Card, CardType};
+use std::collections::HashMap;
+
+/// Inverted index over establishment records for the Maps vertical, paired
+/// with a spatial grid so candidate generation is *token match ∩ radius*
+#[derive(Debug)]
+pub struct PlaceIndex {
+    postings: HashMap<String, Vec<usize>>,
+    grid: GridIndex<usize>,
+    count: usize,
+}
+
+impl PlaceIndex {
+    /// Build from a corpus's place list.
+    pub fn build(corpus: &WebCorpus) -> Self {
+        let mut postings: HashMap<String, Vec<usize>> = HashMap::new();
+        for (i, place) in corpus.places.iter().enumerate() {
+            let mut seen = std::collections::HashSet::new();
+            for t in &place.tokens {
+                if seen.insert(t.as_str()) {
+                    postings.entry(t.clone()).or_default().push(i);
+                }
+            }
+        }
+        let grid = GridIndex::build(
+            0.5,
+            corpus.places.iter().enumerate().map(|(i, p)| (p.coord, i)),
+        );
+        PlaceIndex {
+            postings,
+            grid,
+            count: corpus.places.len(),
+        }
+    }
+
+    /// Indexed place count.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// True when the corpus had no places.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Indices of places matching *all* query tokens.
+    pub fn retrieve(&self, query: &str) -> Vec<usize> {
+        let tokens = tokenize(query);
+        if tokens.is_empty() {
+            return Vec::new();
+        }
+        let mut lists: Vec<&Vec<usize>> = Vec::with_capacity(tokens.len());
+        for t in &tokens {
+            match self.postings.get(t) {
+                Some(l) => lists.push(l),
+                None => return Vec::new(),
+            }
+        }
+        lists.sort_by_key(|l| l.len());
+        let mut acc: Vec<usize> = lists[0].clone();
+        for l in &lists[1..] {
+            let set: std::collections::HashSet<usize> = l.iter().copied().collect();
+            acc.retain(|i| set.contains(i));
+            if acc.is_empty() {
+                break;
+            }
+        }
+        acc
+    }
+
+    /// Places matching all query tokens *and* lying within `radius_km` of
+    /// `center`, as `(place index, exact distance)` pairs in index order.
+    ///
+    /// Score-equivalent to [`PlaceIndex::retrieve`] for the Maps vertical:
+    /// beyond ~20 decay lengths a place cannot clear any card threshold, so
+    /// the radius cut never changes a SERP, it only skips dead candidates.
+    pub fn retrieve_near(
+        &self,
+        query: &str,
+        center: Coord,
+        radius_km: f64,
+    ) -> Vec<(usize, f64)> {
+        let matches = self.retrieve(query);
+        if matches.is_empty() {
+            return Vec::new();
+        }
+        let token_set: std::collections::HashSet<usize> = matches.into_iter().collect();
+        let mut out: Vec<(usize, f64)> = self
+            .grid
+            .within_radius(center, radius_km)
+            .into_iter()
+            .filter(|(i, _, _)| token_set.contains(i))
+            .map(|(i, _, d)| (*i, d))
+            .collect();
+        out.sort_by_key(|(i, _)| *i);
+        out
+    }
+}
+
+/// A selected Maps card plus the URLs it consumed (excluded from organics).
+#[derive(Debug, Clone)]
+pub struct MapsSelection {
+    /// The card.
+    pub card: Card,
+    /// The urls.
+    pub urls: Vec<String>,
+}
+
+/// Score one place at a known distance from the user.
+fn place_score(place: &Place, d_km: f64, cfg: &EngineConfig) -> f64 {
+    place.prominence * cfg.decay_kernel.eval(d_km, cfg.maps_sigma_km)
+}
+
+/// Select the Maps card for a local-intent query, if any.
+///
+/// Candidate places are ranked by prominence × distance decay; the card
+/// appears only if the best place clears `maps_threshold ×
+/// threshold_multiplier` (the per-request flicker), and carries every
+/// candidate above that bar, capped at `maps_max_links` — so nearby dense
+/// categories produce 3–7 links and sparse ones 1–2.
+pub fn select_maps(
+    corpus: &WebCorpus,
+    index: &PlaceIndex,
+    cfg: &EngineConfig,
+    query: &str,
+    user: Coord,
+    threshold_multiplier: f64,
+) -> Option<MapsSelection> {
+    // 25 decay lengths: e^-25 ≈ 1e-11 — far below any threshold the card
+    // could use, so the radius cut is score-equivalent to a full scan.
+    let radius_km = cfg.maps_sigma_km * 25.0;
+    let matches = index.retrieve_near(query, user, radius_km);
+    if matches.is_empty() {
+        return None;
+    }
+    let mut scored: Vec<(usize, f64)> = matches
+        .into_iter()
+        .map(|(i, d)| (i, place_score(&corpus.places[i], d, cfg)))
+        .collect();
+    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+
+    let threshold = cfg.maps_threshold * threshold_multiplier;
+    if scored.first().is_none_or(|(_, s)| *s < threshold) {
+        return None;
+    }
+    let mut card = Card::new(CardType::Maps);
+    let mut urls = Vec::new();
+    for (i, s) in scored.into_iter().take(cfg.maps_max_links) {
+        if s < threshold * 0.35 {
+            break; // long tail is cut well below the trigger bar
+        }
+        let place = &corpus.places[i];
+        card.push(place.url.clone(), place.name.clone());
+        urls.push(place.url.clone());
+    }
+    Some(MapsSelection { card, urls })
+}
+
+/// A selected News card plus its consumed URLs.
+#[derive(Debug, Clone)]
+pub struct NewsSelection {
+    /// The card.
+    pub card: Card,
+    /// The urls.
+    pub urls: Vec<String>,
+}
+
+/// Select the "In the News" card from already-retrieved candidates.
+///
+/// `candidates` are `(page index into corpus.pages, lexical score)` for the
+/// query; news articles among them are ranked by lexical × authority ×
+/// freshness decay (half-life `news_halflife_days` × the A/B freshness
+/// multiplier) × a regional boost when the article's state scope matches the
+/// searcher. Articles dated after `day` do not exist yet.
+pub fn select_news(
+    corpus: &WebCorpus,
+    candidates: &[(geoserp_corpus::PageId, f64)],
+    cfg: &EngineConfig,
+    day: u32,
+    user_state: Option<&str>,
+    freshness_multiplier: f64,
+) -> Option<NewsSelection> {
+    let mut scored: Vec<(f64, &geoserp_corpus::Page)> = Vec::new();
+    for &(id, lexical) in candidates {
+        let page = corpus.page(id);
+        if page.kind != PageKind::News {
+            continue;
+        }
+        let Some(published) = page.published_day else {
+            continue;
+        };
+        if published > day {
+            continue;
+        }
+        let age = (day - published) as f64;
+        let halflife = (cfg.news_halflife_days * freshness_multiplier).max(0.1);
+        let freshness = 0.5f64.powf(age / halflife);
+        let regional = match (&page.geo, user_state) {
+            (geoserp_corpus::GeoScope::State(s), Some(us)) if s == us => 1.4,
+            (geoserp_corpus::GeoScope::State(_), _) => 0.5,
+            _ => 1.0,
+        };
+        scored.push((lexical * page.authority * freshness * regional, page));
+    }
+    if scored.len() < cfg.news_min_articles {
+        return None;
+    }
+    scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.id.cmp(&b.1.id)));
+    let mut card = Card::new(CardType::News);
+    let mut urls = Vec::new();
+    for (_, page) in scored.into_iter().take(cfg.news_max_links) {
+        card.push(page.url.clone(), page.title.clone());
+        urls.push(page.url.clone());
+    }
+    Some(NewsSelection { card, urls })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geoserp_geo::{Seed, UsGeography};
+
+    fn world() -> (UsGeography, WebCorpus, PlaceIndex) {
+        let geo = UsGeography::generate(Seed::new(2015));
+        let corpus = WebCorpus::generate(&geo, Seed::new(2015));
+        let index = PlaceIndex::build(&corpus);
+        (geo, corpus, index)
+    }
+
+    #[test]
+    fn place_index_covers_all_places() {
+        let (_, corpus, index) = world();
+        assert_eq!(index.len(), corpus.places.len());
+        assert!(!index.is_empty());
+        assert!(index.retrieve("zzznothing").is_empty());
+        assert!(index.retrieve("").is_empty());
+    }
+
+    #[test]
+    fn maps_card_appears_in_the_metro_for_generic_terms() {
+        let (_, corpus, index) = world();
+        let cfg = EngineConfig::paper_defaults();
+        let metro = geoserp_geo::us::CUYAHOGA_CENTROID;
+        for q in ["Hospital", "Coffee", "Bank", "Elementary School"] {
+            let sel = select_maps(&corpus, &index, &cfg, q, metro, 1.0)
+                .unwrap_or_else(|| panic!("{q} should trigger Maps in the metro"));
+            assert!(
+                (1..=cfg.maps_max_links).contains(&sel.card.entries.len()),
+                "{q}: {} links",
+                sel.card.entries.len()
+            );
+            assert_eq!(sel.urls.len(), sel.card.entries.len());
+        }
+    }
+
+    #[test]
+    fn maps_entries_are_nearby() {
+        let (_, corpus, index) = world();
+        let cfg = EngineConfig::paper_defaults();
+        let metro = geoserp_geo::us::CUYAHOGA_CENTROID;
+        let sel = select_maps(&corpus, &index, &cfg, "Hospital", metro, 1.0).unwrap();
+        for url in &sel.urls {
+            let place = corpus.places.iter().find(|p| &p.url == url).unwrap();
+            assert!(
+                place.coord.haversine_km(metro) < 60.0,
+                "{} is {} km away",
+                place.name,
+                place.coord.haversine_km(metro)
+            );
+        }
+    }
+
+    #[test]
+    fn maps_ordering_changes_with_vantage() {
+        let (geo, corpus, index) = world();
+        let cfg = EngineConfig::paper_defaults();
+        let a = geo.cuyahoga_districts[0].coord;
+        let far = geo.state("AZ").unwrap().coord;
+        let sel_a = select_maps(&corpus, &index, &cfg, "Restaurant", a, 1.0).unwrap();
+        let sel_far = select_maps(&corpus, &index, &cfg, "Restaurant", far, 1.0);
+        match sel_far {
+            None => {} // sparse area — acceptable
+            Some(sel_far) => assert_ne!(sel_a.urls, sel_far.urls, "different places far away"),
+        }
+    }
+
+    #[test]
+    fn flicker_multiplier_can_suppress_the_card() {
+        let (_, corpus, index) = world();
+        let cfg = EngineConfig::paper_defaults();
+        let metro = geoserp_geo::us::CUYAHOGA_CENTROID;
+        let with = select_maps(&corpus, &index, &cfg, "Sushi", metro, 1.0);
+        let without = select_maps(&corpus, &index, &cfg, "Sushi", metro, 1e6);
+        assert!(with.is_some());
+        assert!(without.is_none(), "an absurd threshold suppresses the card");
+    }
+
+    #[test]
+    fn news_card_for_controversial_query() {
+        let (_, corpus, _) = world();
+        let cfg = EngineConfig::paper_defaults();
+        // Collect that topic's news pages as candidates.
+        let cands: Vec<(geoserp_corpus::PageId, f64)> = corpus
+            .pages
+            .iter()
+            .filter(|p| p.tokens.starts_with(&tokenize("Gay Marriage")))
+            .map(|p| (p.id, 1.0))
+            .collect();
+        let sel = select_news(&corpus, &cands, &cfg, 29, Some("OH"), 1.0).unwrap();
+        assert!((cfg.news_min_articles..=cfg.news_max_links).contains(&sel.card.entries.len()));
+    }
+
+    #[test]
+    fn unpublished_articles_do_not_exist_yet() {
+        let (_, corpus, _) = world();
+        let cfg = EngineConfig::paper_defaults();
+        let cands: Vec<(geoserp_corpus::PageId, f64)> = corpus
+            .pages
+            .iter()
+            .filter(|p| p.kind == PageKind::News)
+            .map(|p| (p.id, 1.0))
+            .collect();
+        // On day 0, only day-0 articles qualify.
+        if let Some(sel) = select_news(&corpus, &cands, &cfg, 0, None, 1.0) {
+            for url in &sel.urls {
+                let page = corpus.pages.iter().find(|p| &p.url == url).unwrap();
+                assert_eq!(page.published_day, Some(0));
+            }
+        }
+    }
+
+    #[test]
+    fn news_needs_minimum_pool() {
+        let (_, corpus, _) = world();
+        let cfg = EngineConfig::paper_defaults();
+        assert!(select_news(&corpus, &[], &cfg, 10, None, 1.0).is_none());
+    }
+
+    #[test]
+    fn regional_articles_rank_higher_at_home() {
+        let (_, corpus, _) = world();
+        let cfg = EngineConfig {
+            news_max_links: 3,
+            ..EngineConfig::paper_defaults()
+        };
+        // Find a topic with at least one OH state-scoped article.
+        let oh_article = corpus.pages.iter().find(|p| {
+            p.kind == PageKind::News
+                && matches!(&p.geo, geoserp_corpus::GeoScope::State(s) if s == "OH")
+        });
+        if let Some(article) = oh_article {
+            let topic_tokens: Vec<String> = article.tokens.clone();
+            let cands: Vec<(geoserp_corpus::PageId, f64)> = corpus
+                .pages
+                .iter()
+                .filter(|p| {
+                    p.kind == PageKind::News
+                        && p.tokens.first() == topic_tokens.first()
+                })
+                .map(|p| (p.id, 1.0))
+                .collect();
+            let home = select_news(&corpus, &cands, &cfg, 29, Some("OH"), 1.0);
+            let away = select_news(&corpus, &cands, &cfg, 29, Some("AZ"), 1.0);
+            if let (Some(home), Some(away)) = (home, away) {
+                // The OH article is weighted up at home and down away; the
+                // two cards need not both contain it, but they must not be
+                // forced identical by construction.
+                let _ = (home, away);
+            }
+        }
+    }
+}

@@ -1,0 +1,336 @@
+//! Per-location demographic features.
+//!
+//! §3.2 of the paper examines "25 demographic features like population
+//! density, poverty, educational attainment, ethnic composition, English
+//! fluency, income, etc." and finds that *none* of them correlates with the
+//! clustering of county-level search results — the study's null result.
+//!
+//! We generate the same 25 features for every synthetic location. Fields are
+//! *spatially correlated* (nearby places share demographics, the realistic
+//! case that makes geolocation a demographic proxy — the paper's motivating
+//! concern) by construction: each feature is a smooth low-frequency function
+//! of latitude/longitude plus seeded local noise, squashed into `[0, 1]`.
+//!
+//! Crucially, the simulated search engine never reads demographics, so the
+//! reproduced correlation analysis must rediscover the paper's null result.
+
+use crate::coord::Coord;
+use crate::seed::Seed;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Number of demographic features, matching the paper's §3.2.
+pub const DEMOGRAPHIC_FEATURE_COUNT: usize = 25;
+
+/// The 25 demographic features examined by the paper's correlation analysis.
+///
+/// The paper enumerates a few explicitly ("population density, poverty,
+/// educational attainment, ethnic composition, English fluency, income"); the
+/// remainder are standard census-tract features in the same families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(usize)]
+pub enum DemographicFeature {
+    /// Population density.
+    PopulationDensity = 0,
+    /// Median income.
+    MedianIncome,
+    /// Poverty rate.
+    PovertyRate,
+    /// Bachelors attainment.
+    BachelorsAttainment,
+    /// High school attainment.
+    HighSchoolAttainment,
+    /// Graduate attainment.
+    GraduateAttainment,
+    /// White share.
+    WhiteShare,
+    /// Black share.
+    BlackShare,
+    /// Hispanic share.
+    HispanicShare,
+    /// Asian share.
+    AsianShare,
+    /// English fluency.
+    EnglishFluency,
+    /// Foreign born share.
+    ForeignBornShare,
+    /// Median age.
+    MedianAge,
+    /// Household size.
+    HouseholdSize,
+    /// Homeownership rate.
+    HomeownershipRate,
+    /// Median home value.
+    MedianHomeValue,
+    /// Median rent.
+    MedianRent,
+    /// Unemployment rate.
+    UnemploymentRate,
+    /// Labor force participation.
+    LaborForceParticipation,
+    /// Commute time minutes.
+    CommuteTimeMinutes,
+    /// Public transit share.
+    PublicTransitShare,
+    /// Urban share.
+    UrbanShare,
+    /// Internet access rate.
+    InternetAccessRate,
+    /// Voter turnout.
+    VoterTurnout,
+    /// Democratic vote share.
+    DemocraticVoteShare,
+}
+
+impl DemographicFeature {
+    /// All features, in index order.
+    pub const ALL: [DemographicFeature; DEMOGRAPHIC_FEATURE_COUNT] = [
+        DemographicFeature::PopulationDensity,
+        DemographicFeature::MedianIncome,
+        DemographicFeature::PovertyRate,
+        DemographicFeature::BachelorsAttainment,
+        DemographicFeature::HighSchoolAttainment,
+        DemographicFeature::GraduateAttainment,
+        DemographicFeature::WhiteShare,
+        DemographicFeature::BlackShare,
+        DemographicFeature::HispanicShare,
+        DemographicFeature::AsianShare,
+        DemographicFeature::EnglishFluency,
+        DemographicFeature::ForeignBornShare,
+        DemographicFeature::MedianAge,
+        DemographicFeature::HouseholdSize,
+        DemographicFeature::HomeownershipRate,
+        DemographicFeature::MedianHomeValue,
+        DemographicFeature::MedianRent,
+        DemographicFeature::UnemploymentRate,
+        DemographicFeature::LaborForceParticipation,
+        DemographicFeature::CommuteTimeMinutes,
+        DemographicFeature::PublicTransitShare,
+        DemographicFeature::UrbanShare,
+        DemographicFeature::InternetAccessRate,
+        DemographicFeature::VoterTurnout,
+        DemographicFeature::DemocraticVoteShare,
+    ];
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DemographicFeature::PopulationDensity => "population density",
+            DemographicFeature::MedianIncome => "median income",
+            DemographicFeature::PovertyRate => "poverty rate",
+            DemographicFeature::BachelorsAttainment => "bachelor's attainment",
+            DemographicFeature::HighSchoolAttainment => "high-school attainment",
+            DemographicFeature::GraduateAttainment => "graduate attainment",
+            DemographicFeature::WhiteShare => "white share",
+            DemographicFeature::BlackShare => "black share",
+            DemographicFeature::HispanicShare => "hispanic share",
+            DemographicFeature::AsianShare => "asian share",
+            DemographicFeature::EnglishFluency => "english fluency",
+            DemographicFeature::ForeignBornShare => "foreign-born share",
+            DemographicFeature::MedianAge => "median age",
+            DemographicFeature::HouseholdSize => "household size",
+            DemographicFeature::HomeownershipRate => "homeownership rate",
+            DemographicFeature::MedianHomeValue => "median home value",
+            DemographicFeature::MedianRent => "median rent",
+            DemographicFeature::UnemploymentRate => "unemployment rate",
+            DemographicFeature::LaborForceParticipation => "labor-force participation",
+            DemographicFeature::CommuteTimeMinutes => "commute time",
+            DemographicFeature::PublicTransitShare => "public-transit share",
+            DemographicFeature::UrbanShare => "urban share",
+            DemographicFeature::InternetAccessRate => "internet access rate",
+            DemographicFeature::VoterTurnout => "voter turnout",
+            DemographicFeature::DemocraticVoteShare => "democratic vote share",
+        }
+    }
+
+    /// Feature index in `[0, DEMOGRAPHIC_FEATURE_COUNT)`.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+impl fmt::Display for DemographicFeature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A location's demographic profile: 25 features normalized to `[0, 1]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Demographics {
+    values: Vec<f64>,
+}
+
+impl Demographics {
+    /// All-zero profile (used as a neutral placeholder in tests).
+    pub fn zeroed() -> Self {
+        Demographics {
+            values: vec![0.0; DEMOGRAPHIC_FEATURE_COUNT],
+        }
+    }
+
+    /// Build from raw values; panics unless exactly 25 finite values in
+    /// `[0, 1]` are supplied.
+    pub fn from_values(values: Vec<f64>) -> Self {
+        assert_eq!(values.len(), DEMOGRAPHIC_FEATURE_COUNT, "need 25 features");
+        assert!(
+            values.iter().all(|v| v.is_finite() && (0.0..=1.0).contains(v)),
+            "features must be finite and in [0,1]"
+        );
+        Demographics { values }
+    }
+
+    /// Value of one feature.
+    pub fn get(&self, feature: DemographicFeature) -> f64 {
+        self.values[feature.index()]
+    }
+
+    /// All 25 values in feature-index order.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Synthesize a spatially correlated profile for a coordinate.
+    ///
+    /// Each feature `k` is a sum of three smooth plane waves over the
+    /// lat/lon plane (wavelengths of roughly 20°, 6°, and 1.5° — continental,
+    /// regional, and metro scales) with feature- and world-seeded phases,
+    /// plus a small local noise term, passed through a logistic squash. Two
+    /// points a mile apart therefore get nearly identical profiles, two
+    /// counties differ moderately, and two states differ a lot — exactly the
+    /// "geolocation is a demographic proxy" premise of the paper.
+    pub fn synthesize(world_seed: Seed, coord: Coord) -> Self {
+        let mut values = Vec::with_capacity(DEMOGRAPHIC_FEATURE_COUNT);
+        for feature in DemographicFeature::ALL {
+            let fseed = world_seed.derive("demographics").derive(feature.name());
+            let mut rng = fseed.rng();
+            // Random but deterministic per-feature wave parameters.
+            let mut signal = 0.0;
+            for (scale_deg, amp) in [(20.0, 1.0), (6.0, 0.7), (1.5, 0.4)] {
+                let phase_lat = rng.range_f64(0.0, std::f64::consts::TAU);
+                let phase_lon = rng.range_f64(0.0, std::f64::consts::TAU);
+                let rot = rng.range_f64(0.0, std::f64::consts::TAU);
+                let (s, c) = rot.sin_cos();
+                // Rotate the lat/lon axes so features don't share gradients.
+                let u = coord.lat_deg * c - coord.lon_deg * s;
+                let v = coord.lat_deg * s + coord.lon_deg * c;
+                let k = std::f64::consts::TAU / scale_deg;
+                signal += amp * ((u * k + phase_lat).sin() + (v * k + phase_lon).cos()) / 2.0;
+            }
+            // Local noise: hash the coordinate at ~0.01° resolution so that it
+            // is deterministic but varies below the smallest wave scale.
+            let qlat = (coord.lat_deg * 100.0).round() as i64;
+            let qlon = (coord.lon_deg * 100.0).round() as i64;
+            let mut nrng = fseed
+                .derive_idx("noise-lat", qlat as u64)
+                .derive_idx("noise-lon", qlon as u64)
+                .rng();
+            signal += 0.15 * (nrng.unit() - 0.5);
+            // Logistic squash into (0, 1).
+            let squashed = 1.0 / (1.0 + (-1.6 * signal).exp());
+            values.push(squashed);
+        }
+        Demographics { values }
+    }
+
+    /// Euclidean distance between two profiles (used by the §3.2 analysis as
+    /// one of the candidate similarity measures).
+    pub fn distance(&self, other: &Demographics) -> f64 {
+        self.values
+            .iter()
+            .zip(&other.values)
+            .map(|(a, b)| (a - b).powi(2))
+            .sum::<f64>()
+            .sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feature_list_has_25_distinct_entries() {
+        assert_eq!(DemographicFeature::ALL.len(), DEMOGRAPHIC_FEATURE_COUNT);
+        for (i, f) in DemographicFeature::ALL.iter().enumerate() {
+            assert_eq!(f.index(), i);
+        }
+        let mut names: Vec<&str> = DemographicFeature::ALL.iter().map(|f| f.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), DEMOGRAPHIC_FEATURE_COUNT);
+    }
+
+    #[test]
+    fn synthesize_is_deterministic() {
+        let c = Coord::new(41.3, -81.6);
+        let a = Demographics::synthesize(Seed::new(5), c);
+        let b = Demographics::synthesize(Seed::new(5), c);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn synthesize_depends_on_seed() {
+        let c = Coord::new(41.3, -81.6);
+        let a = Demographics::synthesize(Seed::new(5), c);
+        let b = Demographics::synthesize(Seed::new(6), c);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn values_in_unit_interval() {
+        let d = Demographics::synthesize(Seed::new(1), Coord::new(37.0, -95.0));
+        for &v in d.values() {
+            assert!((0.0..=1.0).contains(&v), "value {v} out of range");
+        }
+    }
+
+    #[test]
+    fn spatial_correlation_nearby_vs_far() {
+        let seed = Seed::new(42);
+        let base = Coord::new(41.40, -81.70);
+        let one_mile = base.destination(90.0, crate::coord::KM_PER_MILE);
+        let far = Coord::new(33.0, -112.0); // Arizona
+        let d0 = Demographics::synthesize(seed, base);
+        let d1 = Demographics::synthesize(seed, one_mile);
+        let d2 = Demographics::synthesize(seed, far);
+        assert!(
+            d0.distance(&d1) < d0.distance(&d2),
+            "nearby profile should be closer: {} vs {}",
+            d0.distance(&d1),
+            d0.distance(&d2)
+        );
+        // A mile apart should be *very* similar.
+        assert!(d0.distance(&d1) < 0.5, "got {}", d0.distance(&d1));
+    }
+
+    #[test]
+    fn distance_is_metric_like() {
+        let seed = Seed::new(7);
+        let a = Demographics::synthesize(seed, Coord::new(40.0, -80.0));
+        let b = Demographics::synthesize(seed, Coord::new(41.0, -85.0));
+        assert_eq!(a.distance(&a), 0.0);
+        assert!((a.distance(&b) - b.distance(&a)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "need 25 features")]
+    fn from_values_checks_arity() {
+        Demographics::from_values(vec![0.5; 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn from_values_checks_range() {
+        Demographics::from_values(vec![2.0; DEMOGRAPHIC_FEATURE_COUNT]);
+    }
+
+    #[test]
+    fn features_are_not_identical_fields() {
+        // Different features at the same point should not all collapse to the
+        // same value (each has its own waves).
+        let d = Demographics::synthesize(Seed::new(3), Coord::new(41.0, -81.0));
+        let first = d.values()[0];
+        assert!(d.values().iter().any(|&v| (v - first).abs() > 1e-3));
+    }
+}

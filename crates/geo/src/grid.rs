@@ -1,0 +1,292 @@
+//! A spatial grid index for nearest-neighbour and radius queries.
+//!
+//! The engine answers two geometric questions on every request: *which
+//! administrative region is this coordinate in?* (reverse geocoding for the
+//! SERP footer and state/county boosts) and *which establishments are near
+//! the searcher?* (the Maps vertical). Brute-force scans are O(n) per query;
+//! [`GridIndex`] buckets points into fixed-size latitude/longitude cells so
+//! both queries touch only nearby buckets.
+//!
+//! The grid works in degree space with a per-row longitude correction, which
+//! is accurate at the study's scales (contiguous-US distances); exact
+//! haversine distances are still used for the final ordering, the grid only
+//! prunes candidates.
+
+use crate::coord::Coord;
+use serde::{Deserialize, Serialize};
+
+/// A point set indexed by lat/lon grid cells.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GridIndex<T> {
+    cell_deg: f64,
+    /// `(cell, coord, payload)` sorted by cell for binary-search lookup.
+    entries: Vec<((i32, i32), Coord, T)>,
+    /// Start offset of each distinct cell in `entries`.
+    cells: Vec<((i32, i32), usize)>,
+}
+
+impl<T: Clone> GridIndex<T> {
+    /// Build an index with the given cell size in degrees (e.g. 0.5° ≈ 55 km
+    /// of latitude). Smaller cells prune harder but cost more bucket visits
+    /// for large radii.
+    pub fn build(cell_deg: f64, points: impl IntoIterator<Item = (Coord, T)>) -> Self {
+        assert!(cell_deg > 0.0, "cell size must be positive");
+        let mut entries: Vec<((i32, i32), Coord, T)> = points
+            .into_iter()
+            .map(|(c, t)| (Self::cell_of(cell_deg, c), c, t))
+            .collect();
+        entries.sort_by_key(|(cell, _, _)| *cell);
+        let mut cells = Vec::new();
+        for (i, (cell, _, _)) in entries.iter().enumerate() {
+            if cells.last().map(|(c, _)| c) != Some(cell) {
+                cells.push((*cell, i));
+            }
+        }
+        GridIndex {
+            cell_deg,
+            entries,
+            cells,
+        }
+    }
+
+    fn cell_of(cell_deg: f64, c: Coord) -> (i32, i32) {
+        (
+            (c.lat_deg / cell_deg).floor() as i32,
+            (c.lon_deg / cell_deg).floor() as i32,
+        )
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the index holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Entries of one cell.
+    fn cell_slice(&self, cell: (i32, i32)) -> &[((i32, i32), Coord, T)] {
+        match self.cells.binary_search_by_key(&cell, |(c, _)| *c) {
+            Err(_) => &[],
+            Ok(pos) => {
+                let start = self.cells[pos].1;
+                let end = self
+                    .cells
+                    .get(pos + 1)
+                    .map(|(_, i)| *i)
+                    .unwrap_or(self.entries.len());
+                &self.entries[start..end]
+            }
+        }
+    }
+
+    /// All points within `radius_km` of `center`, with exact distances,
+    /// unordered.
+    pub fn within_radius(&self, center: Coord, radius_km: f64) -> Vec<(&T, Coord, f64)> {
+        if self.entries.is_empty() || radius_km < 0.0 {
+            return Vec::new();
+        }
+        // Degrees of latitude per km is constant; stretch longitude range by
+        // the cosine of the latitude (clamped away from the poles).
+        let lat_deg_per_km = 1.0 / 111.2;
+        let dlat = radius_km * lat_deg_per_km;
+        let cos_lat = center.lat_deg.to_radians().cos().max(0.05);
+        let dlon = dlat / cos_lat;
+        let lo = Self::cell_of(self.cell_deg, Coord::new(center.lat_deg - dlat, center.lon_deg - dlon));
+        let hi = Self::cell_of(self.cell_deg, Coord::new(center.lat_deg + dlat, center.lon_deg + dlon));
+        let mut out = Vec::new();
+        for cy in lo.0..=hi.0 {
+            for cx in lo.1..=hi.1 {
+                for (_, coord, value) in self.cell_slice((cy, cx)) {
+                    let d = center.haversine_km(*coord);
+                    if d <= radius_km {
+                        out.push((value, *coord, d));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Fold one cell's points into the running best candidate.
+    fn scan_cell<'s>(
+        &'s self,
+        cell: (i32, i32),
+        center: Coord,
+        best: &mut Option<(&'s T, Coord, f64)>,
+    ) {
+        for (_, coord, value) in self.cell_slice(cell) {
+            let d = center.haversine_km(*coord);
+            if best.as_ref().is_none_or(|(_, _, bd)| d < *bd) {
+                *best = Some((value, *coord, d));
+            }
+        }
+    }
+
+    /// The nearest indexed point to `center`, with its exact distance.
+    ///
+    /// Expands the search ring by ring until a hit is found and verified
+    /// (a candidate in ring *r* is only accepted once all cells that could
+    /// hold something closer have been visited).
+    pub fn nearest(&self, center: Coord) -> Option<(&T, Coord, f64)> {
+        if self.entries.is_empty() {
+            return None;
+        }
+        let origin = Self::cell_of(self.cell_deg, center);
+        let max_ring = 1 + {
+            // Upper bound: enough rings to cover the whole index.
+            let span = self
+                .cells
+                .iter()
+                .map(|((y, x), _)| (y - origin.0).abs().max((x - origin.1).abs()))
+                .max()
+                .unwrap_or(0);
+            span
+        };
+        let mut best: Option<(&T, Coord, f64)> = None;
+        for ring in 0..=max_ring {
+            // Visit the cells on this ring's square perimeter.
+            if ring == 0 {
+                self.scan_cell((origin.0, origin.1), center, &mut best);
+            } else {
+                for i in -ring..=ring {
+                    self.scan_cell((origin.0 - ring, origin.1 + i), center, &mut best);
+                    self.scan_cell((origin.0 + ring, origin.1 + i), center, &mut best);
+                    if i.abs() != ring {
+                        self.scan_cell((origin.0 + i, origin.1 - ring), center, &mut best);
+                        self.scan_cell((origin.0 + i, origin.1 + ring), center, &mut best);
+                    }
+                }
+            }
+            if let Some((_, _, d)) = best {
+                // After completing ring r, every unscanned point sits in a
+                // cell at Chebyshev distance ≥ r+1, i.e. at least r whole
+                // cells from the center in latitude *or* longitude. A
+                // longitude cell spans cell_deg·111.2·cos(lat) km — narrower
+                // than a latitude cell — so the safe lower bound uses the
+                // cosine shrink (with a small slack for the spherical
+                // approximation).
+                let cos_lat = center.lat_deg.to_radians().cos().max(0.05);
+                let ring_km = (ring as f64) * self.cell_deg * 111.2 * cos_lat * 0.95;
+                if d <= ring_km {
+                    break;
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seed::Seed;
+
+    fn scatter(n: usize, seed: u64) -> Vec<(Coord, usize)> {
+        let mut rng = Seed::new(seed).rng();
+        (0..n)
+            .map(|i| {
+                (
+                    Coord::new(rng.range_f64(25.0, 49.0), rng.range_f64(-124.0, -67.0)),
+                    i,
+                )
+            })
+            .collect()
+    }
+
+    fn brute_nearest(points: &[(Coord, usize)], center: Coord) -> usize {
+        points
+            .iter()
+            .min_by(|a, b| {
+                center
+                    .haversine_km(a.0)
+                    .partial_cmp(&center.haversine_km(b.0))
+                    .unwrap()
+            })
+            .unwrap()
+            .1
+    }
+
+    #[test]
+    fn nearest_matches_brute_force() {
+        let points = scatter(500, 1);
+        let index = GridIndex::build(0.5, points.clone());
+        let mut rng = Seed::new(2).rng();
+        for _ in 0..200 {
+            let q = Coord::new(rng.range_f64(24.0, 50.0), rng.range_f64(-125.0, -66.0));
+            let (got, _, _) = index.nearest(q).unwrap();
+            assert_eq!(*got, brute_nearest(&points, q), "query {q:?}");
+        }
+    }
+
+    #[test]
+    fn radius_matches_brute_force() {
+        let points = scatter(400, 3);
+        let index = GridIndex::build(0.7, points.clone());
+        let mut rng = Seed::new(4).rng();
+        for _ in 0..50 {
+            let q = Coord::new(rng.range_f64(25.0, 49.0), rng.range_f64(-124.0, -67.0));
+            let radius = rng.range_f64(10.0, 400.0);
+            let mut got: Vec<usize> = index
+                .within_radius(q, radius)
+                .into_iter()
+                .map(|(v, _, _)| *v)
+                .collect();
+            got.sort_unstable();
+            let mut want: Vec<usize> = points
+                .iter()
+                .filter(|(c, _)| q.haversine_km(*c) <= radius)
+                .map(|(_, i)| *i)
+                .collect();
+            want.sort_unstable();
+            assert_eq!(got, want, "q={q:?} r={radius}");
+        }
+    }
+
+    #[test]
+    fn radius_reports_exact_distances() {
+        let points = scatter(100, 5);
+        let index = GridIndex::build(0.5, points);
+        let q = Coord::new(40.0, -90.0);
+        for (_, coord, d) in index.within_radius(q, 300.0) {
+            assert!((d - q.haversine_km(coord)).abs() < 1e-9);
+            assert!(d <= 300.0);
+        }
+    }
+
+    #[test]
+    fn empty_index_behaves() {
+        let index: GridIndex<u8> = GridIndex::build(1.0, std::iter::empty());
+        assert!(index.is_empty());
+        assert_eq!(index.len(), 0);
+        assert!(index.nearest(Coord::new(0.0, 0.0)).is_none());
+        assert!(index.within_radius(Coord::new(0.0, 0.0), 10.0).is_empty());
+    }
+
+    #[test]
+    fn single_point_everywhere() {
+        let c = Coord::new(41.5, -81.7);
+        let index = GridIndex::build(0.5, vec![(c, "only")]);
+        let far = Coord::new(30.0, -100.0);
+        let (v, coord, d) = index.nearest(far).unwrap();
+        assert_eq!(*v, "only");
+        assert_eq!(coord, c);
+        assert!((d - far.haversine_km(c)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn duplicate_coordinates_are_kept() {
+        let c = Coord::new(41.0, -81.0);
+        let index = GridIndex::build(0.5, vec![(c, 1), (c, 2), (c, 3)]);
+        assert_eq!(index.len(), 3);
+        assert_eq!(index.within_radius(c, 1.0).len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "cell size")]
+    fn rejects_zero_cell() {
+        let _: GridIndex<u8> = GridIndex::build(0.0, std::iter::empty());
+    }
+}

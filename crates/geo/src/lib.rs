@@ -1,0 +1,47 @@
+#![warn(missing_docs)]
+//! # geoserp-geo — geographic substrate
+//!
+//! Deterministic synthetic geography for the geoserp measurement framework,
+//! reproducing the location structure used by *"Location, Location, Location:
+//! The Impact of Geolocation on Web Search Personalization"* (IMC 2015).
+//!
+//! The paper queries Google Search from GPS coordinates at three
+//! granularities:
+//!
+//! * **national** — centroids of 22 random US states,
+//! * **state** — centroids of 22 random counties within Ohio (≈ 100 mi apart
+//!   on average),
+//! * **county** — centroids of 15 voting districts inside Cuyahoga County
+//!   (≈ 1 mi apart on average).
+//!
+//! This crate provides:
+//!
+//! * [`Coord`] — WGS-84 latitude/longitude with great-circle math
+//!   (haversine distance, destination point, initial bearing);
+//! * [`Seed`] / [`DetRng`] — namespaced deterministic random streams so that a
+//!   single `u64` seed reproduces the entire world byte-for-byte;
+//! * [`Region`], [`Location`], [`Granularity`] — the place hierarchy
+//!   (nation → state → county → voting district);
+//! * [`us`] — the synthetic United States: all 50 states (+ DC) with
+//!   real names and approximate centroids, the 88 real Ohio county names laid
+//!   out deterministically inside Ohio's bounding box, and synthetic Cuyahoga
+//!   voting districts ≈ 1 mile apart;
+//! * [`Demographics`] — 25 spatially correlated demographic features per
+//!   location, used by the paper's §3.2 correlation analysis.
+//!
+//! All randomness flows through [`Seed`]; no wall-clock or OS entropy is ever
+//! consulted, so worlds are fully reproducible.
+
+pub mod coord;
+pub mod demographics;
+pub mod grid;
+pub mod region;
+pub mod seed;
+pub mod us;
+
+pub use coord::{Coord, EARTH_RADIUS_KM, KM_PER_MILE};
+pub use grid::GridIndex;
+pub use demographics::{DemographicFeature, Demographics, DEMOGRAPHIC_FEATURE_COUNT};
+pub use region::{Granularity, Location, LocationId, Region, RegionKind};
+pub use seed::{DetRng, Seed};
+pub use us::{UsGeography, VantagePoints};

@@ -1,0 +1,204 @@
+//! The place hierarchy: nation → state → county → voting district, and the
+//! vantage-point [`Location`] type the crawler issues queries from.
+//!
+//! The paper compares search results at three *granularities* — locations
+//! spread across the nation, across one state (Ohio), and across one county
+//! (Cuyahoga) — so [`Granularity`] is the primary experimental dimension
+//! threaded through the whole framework.
+
+use crate::coord::Coord;
+use crate::demographics::Demographics;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The three location-set granularities of the study (§2.1).
+///
+/// Ordering is by spatial extent: `County < State < National`, which matches
+/// the paper's "differences grow with distance" axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Granularity {
+    /// Voting districts inside Cuyahoga County (≈ 1 mile apart).
+    County,
+    /// County centroids inside Ohio (≈ 100 miles apart).
+    State,
+    /// State centroids across the United States.
+    National,
+}
+
+impl Granularity {
+    /// All granularities, smallest spatial extent first.
+    pub const ALL: [Granularity; 3] = [Granularity::County, Granularity::State, Granularity::National];
+
+    /// The label used in the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            Granularity::County => "County (Cuyahoga)",
+            Granularity::State => "State (Ohio)",
+            Granularity::National => "National (USA)",
+        }
+    }
+
+    /// Short machine-friendly name.
+    pub fn slug(self) -> &'static str {
+        match self {
+            Granularity::County => "county",
+            Granularity::State => "state",
+            Granularity::National => "national",
+        }
+    }
+}
+
+impl fmt::Display for Granularity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// What level of the administrative hierarchy a region is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RegionKind {
+    /// Nation.
+    Nation,
+    /// State.
+    State,
+    /// County.
+    County,
+    /// Voting district.
+    VotingDistrict,
+}
+
+impl fmt::Display for RegionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RegionKind::Nation => "nation",
+            RegionKind::State => "state",
+            RegionKind::County => "county",
+            RegionKind::VotingDistrict => "voting district",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An administrative region: a named area with a centroid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Region {
+    /// The kind.
+    pub kind: RegionKind,
+    /// Human name, e.g. `"Ohio"`, `"Cuyahoga County"`, `"Cuyahoga District 7"`.
+    pub name: String,
+    /// Two-letter state code this region belongs to (None for the nation).
+    pub state_abbrev: Option<String>,
+    /// Geographic centroid; vantage points are placed here.
+    pub centroid: Coord,
+}
+
+impl Region {
+    /// Fully qualified display name, e.g. `"Cuyahoga County, OH"`.
+    pub fn qualified_name(&self) -> String {
+        match &self.state_abbrev {
+            Some(st) if self.kind != RegionKind::State => format!("{}, {}", self.name, st),
+            _ => self.name.clone(),
+        }
+    }
+}
+
+/// Stable identifier for a vantage-point location within one world.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct LocationId(pub u32);
+
+impl fmt::Display for LocationId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "loc{}", self.0)
+    }
+}
+
+/// A vantage point: the GPS coordinate a simulated browser reports, plus the
+/// region it sits in and that region's demographic profile (§3.2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Location {
+    /// The id.
+    pub id: LocationId,
+    /// The region.
+    pub region: Region,
+    /// The exact GPS fix fed to the Geolocation API (the region centroid).
+    pub coord: Coord,
+    /// 25 demographic features of the surrounding area.
+    pub demographics: Demographics,
+}
+
+impl Location {
+    /// Great-circle distance to another vantage point, in miles.
+    pub fn distance_miles(&self, other: &Location) -> f64 {
+        self.coord.distance_miles(other.coord)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn loc(id: u32, lat: f64, lon: f64) -> Location {
+        Location {
+            id: LocationId(id),
+            region: Region {
+                kind: RegionKind::County,
+                name: format!("R{id}"),
+                state_abbrev: Some("OH".into()),
+                centroid: Coord::new(lat, lon),
+            },
+            coord: Coord::new(lat, lon),
+            demographics: Demographics::zeroed(),
+        }
+    }
+
+    #[test]
+    fn granularity_ordering_matches_spatial_extent() {
+        assert!(Granularity::County < Granularity::State);
+        assert!(Granularity::State < Granularity::National);
+        assert_eq!(Granularity::ALL.len(), 3);
+    }
+
+    #[test]
+    fn granularity_labels_match_paper_figures() {
+        assert_eq!(Granularity::County.label(), "County (Cuyahoga)");
+        assert_eq!(Granularity::State.label(), "State (Ohio)");
+        assert_eq!(Granularity::National.label(), "National (USA)");
+    }
+
+    #[test]
+    fn qualified_name_includes_state_for_counties() {
+        let r = Region {
+            kind: RegionKind::County,
+            name: "Cuyahoga County".into(),
+            state_abbrev: Some("OH".into()),
+            centroid: Coord::new(41.4, -81.7),
+        };
+        assert_eq!(r.qualified_name(), "Cuyahoga County, OH");
+        let s = Region {
+            kind: RegionKind::State,
+            name: "Ohio".into(),
+            state_abbrev: Some("OH".into()),
+            centroid: Coord::new(40.4, -82.8),
+        };
+        assert_eq!(s.qualified_name(), "Ohio");
+    }
+
+    #[test]
+    fn location_distance_delegates_to_coord() {
+        let a = loc(0, 41.0, -81.0);
+        let b = loc(1, 41.0, -82.0);
+        assert!((a.distance_miles(&b) - a.coord.distance_miles(b.coord)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn location_id_display() {
+        assert_eq!(LocationId(12).to_string(), "loc12");
+    }
+
+    #[test]
+    fn clone_preserves_equality() {
+        let a = loc(3, 41.2, -81.5);
+        let b = a.clone();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,486 @@
+//! The synthetic United States.
+//!
+//! Real place *names* (50 states + DC with approximate centroids; all 88 Ohio
+//! county names) with a deterministic synthetic *layout* for the parts the
+//! paper randomized over:
+//!
+//! * Ohio county centroids are laid out on a jittered grid inside Ohio's
+//!   bounding box — except Cuyahoga County, which is pinned to its real
+//!   position in the northeast (Cleveland area), since Cuyahoga anchors the
+//!   county-granularity location set. The resulting mean pairwise distance of
+//!   a 22-county sample is ≈ 100 miles, matching §2.1.
+//! * Cuyahoga voting districts are a jittered grid around the county centroid
+//!   with ≈ 1 mile mean pairwise spacing, matching §2.1.
+//!
+//! [`VantagePoints::paper_defaults`] then draws the paper's location sets:
+//! 22 random state centroids, 22 random Ohio county centroids, and 15
+//! Cuyahoga voting-district centroids (59 GPS coordinates total, the number
+//! in the abstract).
+
+use crate::coord::{mean_pairwise_distance_miles, Coord, KM_PER_MILE};
+use crate::demographics::Demographics;
+use crate::region::{Granularity, Location, LocationId, Region, RegionKind};
+use crate::seed::Seed;
+use serde::{Deserialize, Serialize};
+
+/// `(name, abbrev, approx centroid lat, lon)` for the 50 states + DC.
+pub const STATES: [(&str, &str, f64, f64); 51] = [
+    ("Alabama", "AL", 32.8, -86.8),
+    ("Alaska", "AK", 64.0, -152.0),
+    ("Arizona", "AZ", 34.2, -111.6),
+    ("Arkansas", "AR", 34.8, -92.4),
+    ("California", "CA", 37.2, -119.3),
+    ("Colorado", "CO", 39.0, -105.5),
+    ("Connecticut", "CT", 41.6, -72.7),
+    ("Delaware", "DE", 39.0, -75.5),
+    ("District of Columbia", "DC", 38.9, -77.0),
+    ("Florida", "FL", 28.6, -82.4),
+    ("Georgia", "GA", 32.6, -83.4),
+    ("Hawaii", "HI", 20.3, -156.4),
+    ("Idaho", "ID", 44.4, -114.6),
+    ("Illinois", "IL", 40.0, -89.2),
+    ("Indiana", "IN", 39.9, -86.3),
+    ("Iowa", "IA", 42.0, -93.5),
+    ("Kansas", "KS", 38.5, -98.4),
+    ("Kentucky", "KY", 37.5, -85.3),
+    ("Louisiana", "LA", 31.0, -92.0),
+    ("Maine", "ME", 45.4, -69.2),
+    ("Maryland", "MD", 39.0, -76.8),
+    ("Massachusetts", "MA", 42.3, -71.8),
+    ("Michigan", "MI", 44.3, -85.4),
+    ("Minnesota", "MN", 46.3, -94.3),
+    ("Mississippi", "MS", 32.7, -89.7),
+    ("Missouri", "MO", 38.4, -92.5),
+    ("Montana", "MT", 47.0, -109.6),
+    ("Nebraska", "NE", 41.5, -99.8),
+    ("Nevada", "NV", 39.3, -116.6),
+    ("New Hampshire", "NH", 43.7, -71.6),
+    ("New Jersey", "NJ", 40.2, -74.7),
+    ("New Mexico", "NM", 34.4, -106.1),
+    ("New York", "NY", 42.9, -75.5),
+    ("North Carolina", "NC", 35.5, -79.4),
+    ("North Dakota", "ND", 47.4, -100.5),
+    ("Ohio", "OH", 40.4, -82.8),
+    ("Oklahoma", "OK", 35.6, -97.5),
+    ("Oregon", "OR", 43.9, -120.6),
+    ("Pennsylvania", "PA", 40.9, -77.8),
+    ("Rhode Island", "RI", 41.7, -71.6),
+    ("South Carolina", "SC", 33.9, -80.9),
+    ("South Dakota", "SD", 44.4, -100.2),
+    ("Tennessee", "TN", 35.9, -86.4),
+    ("Texas", "TX", 31.5, -99.3),
+    ("Utah", "UT", 39.3, -111.7),
+    ("Vermont", "VT", 44.1, -72.7),
+    ("Virginia", "VA", 37.5, -78.9),
+    ("Washington", "WA", 47.4, -120.4),
+    ("West Virginia", "WV", 38.6, -80.6),
+    ("Wisconsin", "WI", 44.6, -89.7),
+    ("Wyoming", "WY", 43.0, -107.6),
+];
+
+/// All 88 Ohio county names, alphabetical.
+pub const OHIO_COUNTIES: [&str; 88] = [
+    "Adams", "Allen", "Ashland", "Ashtabula", "Athens", "Auglaize", "Belmont", "Brown", "Butler",
+    "Carroll", "Champaign", "Clark", "Clermont", "Clinton", "Columbiana", "Coshocton", "Crawford",
+    "Cuyahoga", "Darke", "Defiance", "Delaware", "Erie", "Fairfield", "Fayette", "Franklin",
+    "Fulton", "Gallia", "Geauga", "Greene", "Guernsey", "Hamilton", "Hancock", "Hardin",
+    "Harrison", "Henry", "Highland", "Hocking", "Holmes", "Huron", "Jackson", "Jefferson", "Knox",
+    "Lake", "Lawrence", "Licking", "Logan", "Lorain", "Lucas", "Madison", "Mahoning", "Marion",
+    "Medina", "Meigs", "Mercer", "Miami", "Monroe", "Montgomery", "Morgan", "Morrow", "Muskingum",
+    "Noble", "Ottawa", "Paulding", "Perry", "Pickaway", "Pike", "Portage", "Preble", "Putnam",
+    "Richland", "Ross", "Sandusky", "Scioto", "Seneca", "Shelby", "Stark", "Summit", "Trumbull",
+    "Tuscarawas", "Union", "Van Wert", "Vinton", "Warren", "Washington", "Wayne", "Williams",
+    "Wood", "Wyandot",
+];
+
+/// Position Cuyahoga County is pinned to (Cleveland metro, real-ish).
+pub const CUYAHOGA_CENTROID: Coord = Coord {
+    lat_deg: 41.43,
+    lon_deg: -81.66,
+};
+
+/// Ohio bounding box used for the synthetic county grid (latitude range).
+pub const OHIO_LAT: (f64, f64) = (38.55, 41.85);
+/// Ohio bounding box used for the synthetic county grid (longitude range).
+pub const OHIO_LON: (f64, f64) = (-84.70, -80.70);
+
+/// Number of Cuyahoga voting districts to synthesize (§2.1 uses 15; we
+/// generate a 4×4 grid and keep 15 so one slot is spare for ablations).
+pub const CUYAHOGA_DISTRICT_COUNT: usize = 15;
+
+/// The full synthetic-US geography: every state, every Ohio county, and the
+/// Cuyahoga voting districts, each with a centroid and demographics.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct UsGeography {
+    seed_value: u64,
+    /// 51 state regions (50 states + DC).
+    pub states: Vec<Location>,
+    /// 88 Ohio counties.
+    pub ohio_counties: Vec<Location>,
+    /// Voting districts inside Cuyahoga County.
+    pub cuyahoga_districts: Vec<Location>,
+}
+
+impl UsGeography {
+    /// Generate the geography for a world seed. Deterministic.
+    pub fn generate(seed: Seed) -> Self {
+        let mut next_id = 0u32;
+        let mut alloc = |_: ()| {
+            let id = LocationId(next_id);
+            next_id += 1;
+            id
+        };
+
+        let states = STATES
+            .iter()
+            .map(|&(name, abbrev, lat, lon)| {
+                let coord = Coord::new(lat, lon);
+                Location {
+                    id: alloc(()),
+                    region: Region {
+                        kind: RegionKind::State,
+                        name: name.to_string(),
+                        state_abbrev: Some(abbrev.to_string()),
+                        centroid: coord,
+                    },
+                    coord,
+                    demographics: Demographics::synthesize(seed, coord),
+                }
+            })
+            .collect();
+
+        // Ohio counties: jittered grid, Cuyahoga pinned.
+        let mut county_rng = seed.derive("ohio-county-layout").rng();
+        let cols = 10usize;
+        let rows = 9usize; // 90 cells for 88 counties
+        let lat_step = (OHIO_LAT.1 - OHIO_LAT.0) / rows as f64;
+        let lon_step = (OHIO_LON.1 - OHIO_LON.0) / cols as f64;
+        let mut cells: Vec<(usize, usize)> = (0..rows)
+            .flat_map(|r| (0..cols).map(move |c| (r, c)))
+            .collect();
+        county_rng.shuffle(&mut cells);
+        let ohio_counties = OHIO_COUNTIES
+            .iter()
+            .enumerate()
+            .map(|(i, &name)| {
+                let coord = if name == "Cuyahoga" {
+                    CUYAHOGA_CENTROID
+                } else {
+                    let (r, c) = cells[i];
+                    let lat = OHIO_LAT.0
+                        + (r as f64 + 0.5) * lat_step
+                        + county_rng.range_f64(-0.25, 0.25) * lat_step;
+                    let lon = OHIO_LON.0
+                        + (c as f64 + 0.5) * lon_step
+                        + county_rng.range_f64(-0.25, 0.25) * lon_step;
+                    Coord::new(lat, lon)
+                };
+                Location {
+                    id: alloc(()),
+                    region: Region {
+                        kind: RegionKind::County,
+                        name: format!("{name} County"),
+                        state_abbrev: Some("OH".to_string()),
+                        centroid: coord,
+                    },
+                    coord,
+                    demographics: Demographics::synthesize(seed, coord),
+                }
+            })
+            .collect();
+
+        // Cuyahoga voting districts: 4×4 jittered grid, ~0.55 mi cell pitch,
+        // so the mean pairwise distance of the 15 kept districts is ≈ 1 mile.
+        let mut dist_rng = seed.derive("cuyahoga-district-layout").rng();
+        let pitch_km = 0.55 * KM_PER_MILE;
+        let mut districts = Vec::with_capacity(CUYAHOGA_DISTRICT_COUNT);
+        let side = 4usize;
+        let mut index = 0usize;
+        'outer: for r in 0..side {
+            for c in 0..side {
+                if districts.len() >= CUYAHOGA_DISTRICT_COUNT {
+                    break 'outer;
+                }
+                let east = (c as f64 - (side as f64 - 1.0) / 2.0) * pitch_km
+                    + dist_rng.range_f64(-0.15, 0.15) * pitch_km;
+                let north = (r as f64 - (side as f64 - 1.0) / 2.0) * pitch_km
+                    + dist_rng.range_f64(-0.15, 0.15) * pitch_km;
+                let coord = CUYAHOGA_CENTROID
+                    .destination(90.0, east)
+                    .destination(0.0, north);
+                index += 1;
+                districts.push(Location {
+                    id: alloc(()),
+                    region: Region {
+                        kind: RegionKind::VotingDistrict,
+                        name: format!("Cuyahoga District {index}"),
+                        state_abbrev: Some("OH".to_string()),
+                        centroid: coord,
+                    },
+                    coord,
+                    demographics: Demographics::synthesize(seed, coord),
+                });
+            }
+        }
+
+        UsGeography {
+            seed_value: seed.value(),
+            states,
+            ohio_counties,
+            cuyahoga_districts: districts,
+        }
+    }
+
+    /// The world seed this geography was generated from.
+    pub fn seed(&self) -> Seed {
+        Seed::new(self.seed_value)
+    }
+
+    /// Look up a state by two-letter abbreviation.
+    pub fn state(&self, abbrev: &str) -> Option<&Location> {
+        self.states
+            .iter()
+            .find(|l| l.region.state_abbrev.as_deref() == Some(abbrev))
+    }
+
+    /// Look up an Ohio county by bare name (e.g. `"Cuyahoga"`).
+    pub fn ohio_county(&self, name: &str) -> Option<&Location> {
+        let full = format!("{name} County");
+        self.ohio_counties.iter().find(|l| l.region.name == full)
+    }
+
+    /// Every location in the geography, in id order.
+    pub fn all_locations(&self) -> impl Iterator<Item = &Location> {
+        self.states
+            .iter()
+            .chain(self.ohio_counties.iter())
+            .chain(self.cuyahoga_districts.iter())
+    }
+}
+
+/// The paper's experimental location sets: one `Vec<Location>` per
+/// [`Granularity`] (§2.1: 22 states, 22 Ohio counties, 15 Cuyahoga voting
+/// districts).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VantagePoints {
+    /// The national.
+    pub national: Vec<Location>,
+    /// The state.
+    pub state: Vec<Location>,
+    /// The county.
+    pub county: Vec<Location>,
+}
+
+impl VantagePoints {
+    /// Draw the paper's default sets from a geography.
+    ///
+    /// * national: 22 random states (Ohio always included, as the study's
+    ///   home state — this also keeps one vantage point shared between the
+    ///   national and state granularity contexts);
+    /// * state: 22 random Ohio counties (Cuyahoga always included);
+    /// * county: the first 15 Cuyahoga voting districts.
+    pub fn paper_defaults(geo: &UsGeography, seed: Seed) -> Self {
+        let mut rng = seed.derive("vantage-points").rng();
+
+        let ohio_idx = geo
+            .states
+            .iter()
+            .position(|l| l.region.name == "Ohio")
+            .expect("geography has Ohio");
+        let mut national = vec![geo.states[ohio_idx].clone()];
+        let mut pool: Vec<usize> = (0..geo.states.len()).filter(|&i| i != ohio_idx).collect();
+        rng.shuffle(&mut pool);
+        national.extend(pool.iter().take(21).map(|&i| geo.states[i].clone()));
+
+        let cuy_idx = geo
+            .ohio_counties
+            .iter()
+            .position(|l| l.region.name == "Cuyahoga County")
+            .expect("geography has Cuyahoga");
+        let mut state = vec![geo.ohio_counties[cuy_idx].clone()];
+        let mut pool: Vec<usize> = (0..geo.ohio_counties.len())
+            .filter(|&i| i != cuy_idx)
+            .collect();
+        rng.shuffle(&mut pool);
+        state.extend(pool.iter().take(21).map(|&i| geo.ohio_counties[i].clone()));
+
+        let county = geo.cuyahoga_districts[..CUYAHOGA_DISTRICT_COUNT.min(geo.cuyahoga_districts.len())]
+            .to_vec();
+
+        VantagePoints {
+            national,
+            state,
+            county,
+        }
+    }
+
+    /// The location set for a granularity.
+    pub fn at(&self, granularity: Granularity) -> &[Location] {
+        match granularity {
+            Granularity::County => &self.county,
+            Granularity::State => &self.state,
+            Granularity::National => &self.national,
+        }
+    }
+
+    /// The baseline location used by the paper's Fig. 8 consistency analysis
+    /// (an arbitrary but fixed member — we use the first).
+    pub fn baseline(&self, granularity: Granularity) -> &Location {
+        &self.at(granularity)[0]
+    }
+
+    /// Total number of distinct vantage points.
+    pub fn len(&self) -> usize {
+        self.national.len() + self.state.len() + self.county.len()
+    }
+
+    /// True if there are no vantage points (never the case for defaults).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Mean pairwise distance in miles for a granularity's set.
+    pub fn mean_pairwise_miles(&self, granularity: Granularity) -> f64 {
+        let coords: Vec<Coord> = self.at(granularity).iter().map(|l| l.coord).collect();
+        mean_pairwise_distance_miles(&coords)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geo() -> UsGeography {
+        UsGeography::generate(Seed::new(2015))
+    }
+
+    #[test]
+    fn state_and_county_counts() {
+        let g = geo();
+        assert_eq!(g.states.len(), 51);
+        assert_eq!(g.ohio_counties.len(), 88);
+        assert_eq!(g.cuyahoga_districts.len(), CUYAHOGA_DISTRICT_COUNT);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = UsGeography::generate(Seed::new(9));
+        let b = UsGeography::generate(Seed::new(9));
+        assert_eq!(a.states, b.states);
+        assert_eq!(a.ohio_counties, b.ohio_counties);
+        assert_eq!(a.cuyahoga_districts, b.cuyahoga_districts);
+    }
+
+    #[test]
+    fn location_ids_are_unique() {
+        let g = geo();
+        let mut ids: Vec<u32> = g.all_locations().map(|l| l.id.0).collect();
+        let n = ids.len();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), n);
+    }
+
+    #[test]
+    fn cuyahoga_is_pinned_to_cleveland() {
+        let g = geo();
+        let cuy = g.ohio_county("Cuyahoga").unwrap();
+        assert!(cuy.coord.haversine_km(CUYAHOGA_CENTROID) < 1.0);
+    }
+
+    #[test]
+    fn counties_stay_inside_ohio_box() {
+        let g = geo();
+        for c in &g.ohio_counties {
+            assert!(
+                c.coord.lat_deg >= OHIO_LAT.0 - 0.2 && c.coord.lat_deg <= OHIO_LAT.1 + 0.2,
+                "{} lat {}",
+                c.region.name,
+                c.coord.lat_deg
+            );
+            assert!(
+                c.coord.lon_deg >= OHIO_LON.0 - 0.2 && c.coord.lon_deg <= OHIO_LON.1 + 0.2,
+                "{} lon {}",
+                c.region.name,
+                c.coord.lon_deg
+            );
+        }
+    }
+
+    #[test]
+    fn districts_are_about_one_mile_apart() {
+        let g = geo();
+        let coords: Vec<Coord> = g.cuyahoga_districts.iter().map(|l| l.coord).collect();
+        let mean = mean_pairwise_distance_miles(&coords);
+        // §2.1: "On average, these voting districts are 1 mile apart."
+        assert!((0.5..2.0).contains(&mean), "mean district distance {mean} mi");
+    }
+
+    #[test]
+    fn vantage_counts_match_paper() {
+        let g = geo();
+        let vp = VantagePoints::paper_defaults(&g, Seed::new(2015).derive("vp"));
+        assert_eq!(vp.national.len(), 22);
+        assert_eq!(vp.state.len(), 22);
+        assert_eq!(vp.county.len(), 15);
+        assert_eq!(vp.len(), 59); // the abstract's "59 GPS coordinates"
+        assert!(!vp.is_empty());
+    }
+
+    #[test]
+    fn vantage_sets_contain_anchors() {
+        let g = geo();
+        let vp = VantagePoints::paper_defaults(&g, Seed::new(1).derive("vp"));
+        assert!(vp.national.iter().any(|l| l.region.name == "Ohio"));
+        assert!(vp.state.iter().any(|l| l.region.name == "Cuyahoga County"));
+    }
+
+    #[test]
+    fn county_sample_mean_distance_near_100_miles() {
+        let g = geo();
+        let vp = VantagePoints::paper_defaults(&g, Seed::new(7).derive("vp"));
+        let mean = vp.mean_pairwise_miles(Granularity::State);
+        // §2.1: "On average, these counties [are] 100 miles apart."
+        assert!((60.0..170.0).contains(&mean), "mean county distance {mean} mi");
+    }
+
+    #[test]
+    fn granularity_distance_ordering() {
+        let g = geo();
+        let vp = VantagePoints::paper_defaults(&g, Seed::new(3).derive("vp"));
+        let county = vp.mean_pairwise_miles(Granularity::County);
+        let state = vp.mean_pairwise_miles(Granularity::State);
+        let national = vp.mean_pairwise_miles(Granularity::National);
+        assert!(county < state && state < national,
+            "distances must grow with granularity: {county} / {state} / {national}");
+    }
+
+    #[test]
+    fn vantage_sets_have_no_duplicate_locations() {
+        let g = geo();
+        let vp = VantagePoints::paper_defaults(&g, Seed::new(5).derive("vp"));
+        for gran in Granularity::ALL {
+            let mut ids: Vec<u32> = vp.at(gran).iter().map(|l| l.id.0).collect();
+            let n = ids.len();
+            ids.sort_unstable();
+            ids.dedup();
+            assert_eq!(ids.len(), n, "{gran} has duplicates");
+        }
+    }
+
+    #[test]
+    fn baseline_is_first_location() {
+        let g = geo();
+        let vp = VantagePoints::paper_defaults(&g, Seed::new(5).derive("vp"));
+        assert_eq!(vp.baseline(Granularity::State).region.name, "Cuyahoga County");
+        assert_eq!(vp.baseline(Granularity::National).region.name, "Ohio");
+    }
+
+    #[test]
+    fn state_lookup_works() {
+        let g = geo();
+        assert_eq!(g.state("OH").unwrap().region.name, "Ohio");
+        assert!(g.state("ZZ").is_none());
+        assert!(g.ohio_county("Nowhere").is_none());
+    }
+}

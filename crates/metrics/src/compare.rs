@@ -1,0 +1,280 @@
+//! Jaccard, edit distance, and per-type attribution.
+
+use std::collections::HashSet;
+use std::hash::Hash;
+
+/// Jaccard index of the element *sets* of two lists.
+///
+/// `|A ∩ B| / |A ∪ B|`; two empty lists are defined as identical (1.0),
+/// matching the paper's treatment of pages that both lack a result type.
+pub fn jaccard<T: Eq + Hash>(a: &[T], b: &[T]) -> f64 {
+    let sa: HashSet<&T> = a.iter().collect();
+    let sb: HashSet<&T> = b.iter().collect();
+    if sa.is_empty() && sb.is_empty() {
+        return 1.0;
+    }
+    let inter = sa.intersection(&sb).count();
+    let union = sa.len() + sb.len() - inter;
+    inter as f64 / union as f64
+}
+
+/// Optimal String Alignment distance: unit-cost insertions, deletions,
+/// substitutions, and adjacent transpositions ("swaps", §2.3).
+pub fn edit_distance<T: Eq>(a: &[T], b: &[T]) -> usize {
+    let (n, m) = (a.len(), b.len());
+    if n == 0 {
+        return m;
+    }
+    if m == 0 {
+        return n;
+    }
+    // Three rolling rows: i-2, i-1, i.
+    let mut prev2: Vec<usize> = vec![0; m + 1];
+    let mut prev: Vec<usize> = (0..=m).collect();
+    let mut curr: Vec<usize> = vec![0; m + 1];
+    for i in 1..=n {
+        curr[0] = i;
+        for j in 1..=m {
+            let cost = usize::from(a[i - 1] != b[j - 1]);
+            let mut d = (prev[j] + 1) // deletion
+                .min(curr[j - 1] + 1) // insertion
+                .min(prev[j - 1] + cost); // substitution / match
+            if i > 1 && j > 1 && a[i - 1] == b[j - 2] && a[i - 2] == b[j - 1] {
+                d = d.min(prev2[j - 2] + 1); // transposition
+            }
+            curr[j] = d;
+        }
+        std::mem::swap(&mut prev2, &mut prev);
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[m]
+}
+
+/// Plain Levenshtein distance (no transpositions) — the ablation comparator.
+pub fn levenshtein<T: Eq>(a: &[T], b: &[T]) -> usize {
+    let (n, m) = (a.len(), b.len());
+    if n == 0 {
+        return m;
+    }
+    if m == 0 {
+        return n;
+    }
+    let mut prev: Vec<usize> = (0..=m).collect();
+    let mut curr: Vec<usize> = vec![0; m + 1];
+    for i in 1..=n {
+        curr[0] = i;
+        for j in 1..=m {
+            let cost = usize::from(a[i - 1] != b[j - 1]);
+            curr[j] = (prev[j] + 1)
+                .min(curr[j - 1] + 1)
+                .min(prev[j - 1] + cost);
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[m]
+}
+
+/// Both §2.3 metrics for one pair of pages.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PageComparison {
+    /// The jaccard.
+    pub jaccard: f64,
+    /// The edit distance.
+    pub edit_distance: usize,
+}
+
+/// Compare two ordered URL lists with both metrics.
+pub fn compare<T: Eq + Hash>(a: &[T], b: &[T]) -> PageComparison {
+    PageComparison {
+        jaccard: jaccard(a, b),
+        edit_distance: edit_distance(a, b),
+    }
+}
+
+/// Edit-distance decomposition by result type (Figures 4 and 7).
+///
+/// `maps`/`news` are the edit distances between the pages *filtered to that
+/// type* ("we simply calculate Jaccard and edit distance between pages after
+/// filtering out all search results that are not of type t", §3.1);
+/// `other` is the remainder of the overall distance, floored at zero
+/// (type-filtered distances can over-count relative to the joint alignment).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TypeBreakdown {
+    /// The total.
+    pub total: usize,
+    /// The maps.
+    pub maps: usize,
+    /// The news.
+    pub news: usize,
+    /// The other.
+    pub other: usize,
+}
+
+impl TypeBreakdown {
+    /// Fraction of all changes attributable to Maps (0 when nothing changed).
+    pub fn maps_fraction(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.maps as f64 / self.total as f64
+        }
+    }
+
+    /// Fraction of all changes attributable to News.
+    pub fn news_fraction(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.news as f64 / self.total as f64
+        }
+    }
+}
+
+/// Compute the per-type breakdown for one page pair.
+///
+/// Inputs are parallel `(url, type)` lists where `type` is any label type
+/// (geoserp uses `geoserp_serp::ResultType`); `maps_label`/`news_label`
+/// select the two meta-result types.
+pub fn attribution<U: Eq + Hash + Clone, L: Eq>(
+    a: &[(U, L)],
+    b: &[(U, L)],
+    maps_label: &L,
+    news_label: &L,
+) -> TypeBreakdown {
+    let urls = |page: &[(U, L)]| -> Vec<U> { page.iter().map(|(u, _)| u.clone()).collect() };
+    let of = |page: &[(U, L)], label: &L| -> Vec<U> {
+        page.iter()
+            .filter(|(_, l)| l == label)
+            .map(|(u, _)| u.clone())
+            .collect()
+    };
+    let total = edit_distance(&urls(a), &urls(b));
+    let maps = edit_distance(&of(a, maps_label), &of(b, maps_label));
+    let news = edit_distance(&of(a, news_label), &of(b, news_label));
+    let other = total.saturating_sub(maps + news);
+    TypeBreakdown {
+        total,
+        maps,
+        news,
+        other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jaccard_basic_cases() {
+        assert_eq!(jaccard::<u8>(&[], &[]), 1.0);
+        assert_eq!(jaccard(&[1], &[]), 0.0);
+        assert_eq!(jaccard(&[1, 2, 3], &[1, 2, 3]), 1.0);
+        assert!((jaccard(&[1, 2, 3, 4], &[3, 4, 5, 6]) - 2.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jaccard_ignores_order_and_duplicates() {
+        assert_eq!(jaccard(&[1, 2, 3], &[3, 2, 1]), 1.0);
+        assert_eq!(jaccard(&[1, 1, 2], &[2, 1]), 1.0);
+    }
+
+    #[test]
+    fn edit_distance_basic_cases() {
+        assert_eq!(edit_distance::<u8>(&[], &[]), 0);
+        assert_eq!(edit_distance(&[1, 2, 3], &[1, 2, 3]), 0);
+        assert_eq!(edit_distance(&[1, 2, 3], &[1, 3]), 1, "one deletion");
+        assert_eq!(edit_distance(&[1, 3], &[1, 2, 3]), 1, "one insertion");
+        assert_eq!(edit_distance(&[1, 2, 3], &[1, 9, 3]), 1, "one substitution");
+        assert_eq!(edit_distance(&[1, 2, 3], &[2, 1, 3]), 1, "one swap");
+    }
+
+    #[test]
+    fn swap_is_cheaper_than_two_edits() {
+        let a = ["u1", "u2", "u3", "u4"];
+        let b = ["u1", "u3", "u2", "u4"];
+        assert_eq!(edit_distance(&a, &b), 1);
+        assert_eq!(levenshtein(&a, &b), 2);
+    }
+
+    #[test]
+    fn totally_different_pages() {
+        let a: Vec<u32> = (0..10).collect();
+        let b: Vec<u32> = (100..110).collect();
+        assert_eq!(edit_distance(&a, &b), 10);
+        assert_eq!(jaccard(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn compare_bundles_both() {
+        let c = compare(&[1, 2, 3], &[1, 3, 2]);
+        assert_eq!(c.edit_distance, 1);
+        assert_eq!(c.jaccard, 1.0);
+    }
+
+    #[derive(Clone, Copy, PartialEq, Eq, Debug)]
+    enum L {
+        Org,
+        Maps,
+        News,
+    }
+
+    #[test]
+    fn attribution_separates_types() {
+        // Identical organics, different Maps links, same News.
+        let a = vec![
+            ("o1", L::Org),
+            ("m1", L::Maps),
+            ("m2", L::Maps),
+            ("n1", L::News),
+        ];
+        let b = vec![
+            ("o1", L::Org),
+            ("m3", L::Maps),
+            ("m2", L::Maps),
+            ("n1", L::News),
+        ];
+        let t = attribution(&a, &b, &L::Maps, &L::News);
+        assert_eq!(t.total, 1);
+        assert_eq!(t.maps, 1);
+        assert_eq!(t.news, 0);
+        assert_eq!(t.other, 0);
+        assert_eq!(t.maps_fraction(), 1.0);
+    }
+
+    #[test]
+    fn attribution_other_is_residual() {
+        let a = vec![("o1", L::Org), ("o2", L::Org), ("m1", L::Maps)];
+        let b = vec![("o9", L::Org), ("o2", L::Org), ("m1", L::Maps)];
+        let t = attribution(&a, &b, &L::Maps, &L::News);
+        assert_eq!(t.total, 1);
+        assert_eq!(t.maps, 0);
+        assert_eq!(t.other, 1);
+        assert_eq!(t.news_fraction(), 0.0);
+    }
+
+    #[test]
+    fn attribution_identical_pages() {
+        let a = vec![("o1", L::Org)];
+        let t = attribution(&a, &a, &L::Maps, &L::News);
+        assert_eq!(t.total, 0);
+        assert_eq!(t.maps_fraction(), 0.0);
+    }
+
+    #[test]
+    fn maps_card_presence_flicker_counts_fully() {
+        // One page has a Maps card, the other none — the dominant Maps-noise
+        // mode the paper reports ("most differences due to Maps arise from
+        // one page having Maps results and the other having none").
+        let a = vec![
+            ("o1", L::Org),
+            ("m1", L::Maps),
+            ("m2", L::Maps),
+            ("m3", L::Maps),
+        ];
+        let b = vec![("o1", L::Org)];
+        let t = attribution(&a, &b, &L::Maps, &L::News);
+        assert_eq!(t.total, 3);
+        assert_eq!(t.maps, 3);
+        assert_eq!(t.maps_fraction(), 1.0);
+    }
+}

@@ -1,0 +1,268 @@
+//! Statistical inference for measurement comparisons.
+//!
+//! The paper hedges where its means sit close together: controversial and
+//! politician "Jaccard and edit distance values are very close to the
+//! noise-levels, making it difficult to claim that these changes are due to
+//! personalization" (§3.2). This module makes that judgement quantitative:
+//!
+//! * [`permutation_test`] — is the mean of sample A greater than the mean of
+//!   sample B beyond what label-shuffling explains? Used to test
+//!   *personalization > noise* per (category, granularity) cell;
+//! * [`bootstrap_mean_ci`] — percentile bootstrap confidence interval for a
+//!   mean (error bars with distribution-free coverage);
+//! * [`kendall_tau`] — rank agreement between two orderings (used by the
+//!   ablation analyses to compare per-term orderings across configurations).
+//!
+//! All resampling is seeded ([`geoserp_geo::Seed`]) — inference is as
+//! reproducible as the measurements.
+
+use geoserp_geo::Seed;
+
+/// Result of a one-sided two-sample permutation test of
+/// `mean(a) > mean(b)`.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PermutationTest {
+    /// Observed difference of means, `mean(a) - mean(b)`.
+    pub observed_diff: f64,
+    /// Fraction of label permutations with a difference at least as large
+    /// (add-one smoothed, so never exactly zero).
+    pub p_value: f64,
+    /// Permutations drawn.
+    pub rounds: usize,
+}
+
+impl PermutationTest {
+    /// Conventional significance at a given level.
+    pub fn significant_at(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// One-sided two-sample permutation test of `mean(a) > mean(b)`.
+///
+/// Returns `None` when either sample is empty. `rounds` of 1,000–10,000 are
+/// typical; the p-value is add-one smoothed (`(k+1)/(rounds+1)`).
+pub fn permutation_test(
+    a: &[f64],
+    b: &[f64],
+    rounds: usize,
+    seed: Seed,
+) -> Option<PermutationTest> {
+    if a.is_empty() || b.is_empty() || rounds == 0 {
+        return None;
+    }
+    let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
+    let observed = mean(a) - mean(b);
+
+    let mut pooled: Vec<f64> = Vec::with_capacity(a.len() + b.len());
+    pooled.extend_from_slice(a);
+    pooled.extend_from_slice(b);
+    let na = a.len();
+
+    let mut rng = seed.derive("permutation-test").rng();
+    let mut at_least = 0usize;
+    for _ in 0..rounds {
+        rng.shuffle(&mut pooled);
+        let ma = mean(&pooled[..na]);
+        let mb = mean(&pooled[na..]);
+        if ma - mb >= observed {
+            at_least += 1;
+        }
+    }
+    Some(PermutationTest {
+        observed_diff: observed,
+        p_value: (at_least + 1) as f64 / (rounds + 1) as f64,
+        rounds,
+    })
+}
+
+/// A percentile bootstrap confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ConfidenceInterval {
+    /// The mean.
+    pub mean: f64,
+    /// The low.
+    pub low: f64,
+    /// The high.
+    pub high: f64,
+    /// Nominal coverage, e.g. 0.95.
+    pub level: f64,
+}
+
+impl ConfidenceInterval {
+    /// True if the interval excludes a reference value.
+    pub fn excludes(&self, value: f64) -> bool {
+        value < self.low || value > self.high
+    }
+}
+
+/// Percentile bootstrap CI for the mean of `xs`.
+///
+/// Returns `None` for an empty sample. `resamples` of ~1,000 is typical.
+pub fn bootstrap_mean_ci(
+    xs: &[f64],
+    level: f64,
+    resamples: usize,
+    seed: Seed,
+) -> Option<ConfidenceInterval> {
+    if xs.is_empty() || resamples == 0 {
+        return None;
+    }
+    assert!((0.0..1.0).contains(&level) && level > 0.5, "level in (0.5, 1)");
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    let mut rng = seed.derive("bootstrap").rng();
+    let mut means: Vec<f64> = (0..resamples)
+        .map(|_| {
+            let s: f64 = (0..xs.len()).map(|_| xs[rng.below(xs.len())]).sum();
+            s / xs.len() as f64
+        })
+        .collect();
+    means.sort_by(|x, y| x.partial_cmp(y).unwrap());
+    let tail = (1.0 - level) / 2.0;
+    let lo_idx = ((resamples as f64) * tail).floor() as usize;
+    let hi_idx = (((resamples as f64) * (1.0 - tail)).ceil() as usize).min(resamples - 1);
+    Some(ConfidenceInterval {
+        mean: mean(xs),
+        low: means[lo_idx],
+        high: means[hi_idx],
+        level,
+    })
+}
+
+/// Kendall's τ-b rank correlation between paired samples (tie-corrected).
+///
+/// Returns `None` when fewer than two pairs, or when either side is
+/// constant (τ undefined).
+pub fn kendall_tau(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    assert_eq!(xs.len(), ys.len(), "paired samples must have equal length");
+    let n = xs.len();
+    if n < 2 {
+        return None;
+    }
+    let mut concordant = 0i64;
+    let mut discordant = 0i64;
+    let mut ties_x = 0i64;
+    let mut ties_y = 0i64;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let dx = xs[i] - xs[j];
+            let dy = ys[i] - ys[j];
+            if dx == 0.0 && dy == 0.0 {
+                // tied on both: counted in neither denominator term
+            } else if dx == 0.0 {
+                ties_x += 1;
+            } else if dy == 0.0 {
+                ties_y += 1;
+            } else if dx * dy > 0.0 {
+                concordant += 1;
+            } else {
+                discordant += 1;
+            }
+        }
+    }
+    let n0 = (n * (n - 1) / 2) as i64;
+    let denom = (((n0 - ties_x) as f64) * ((n0 - ties_y) as f64)).sqrt();
+    if denom == 0.0 {
+        return None;
+    }
+    Some((concordant - discordant) as f64 / denom)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seed() -> Seed {
+        Seed::new(99)
+    }
+
+    #[test]
+    fn permutation_detects_clear_separation() {
+        let a: Vec<f64> = (0..40).map(|i| 10.0 + (i % 5) as f64).collect();
+        let b: Vec<f64> = (0..40).map(|i| 1.0 + (i % 5) as f64).collect();
+        let t = permutation_test(&a, &b, 2_000, seed()).unwrap();
+        assert!(t.observed_diff > 8.0);
+        assert!(t.significant_at(0.01), "p = {}", t.p_value);
+    }
+
+    #[test]
+    fn permutation_accepts_null_when_identical() {
+        let a: Vec<f64> = (0..50).map(|i| (i % 7) as f64).collect();
+        let b = a.clone();
+        let t = permutation_test(&a, &b, 2_000, seed()).unwrap();
+        assert!(!t.significant_at(0.05), "p = {}", t.p_value);
+        assert!(t.p_value > 0.2);
+    }
+
+    #[test]
+    fn permutation_edge_cases() {
+        assert!(permutation_test(&[], &[1.0], 100, seed()).is_none());
+        assert!(permutation_test(&[1.0], &[], 100, seed()).is_none());
+        assert!(permutation_test(&[1.0], &[2.0], 0, seed()).is_none());
+    }
+
+    #[test]
+    fn permutation_is_deterministic() {
+        let a = [3.0, 4.0, 5.0, 6.0];
+        let b = [1.0, 2.0, 3.0, 4.0];
+        let t1 = permutation_test(&a, &b, 500, seed()).unwrap();
+        let t2 = permutation_test(&a, &b, 500, seed()).unwrap();
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn bootstrap_ci_brackets_the_mean() {
+        let xs: Vec<f64> = (0..200).map(|i| (i % 10) as f64).collect();
+        let ci = bootstrap_mean_ci(&xs, 0.95, 1_000, seed()).unwrap();
+        assert!(ci.low <= ci.mean && ci.mean <= ci.high);
+        assert!((ci.mean - 4.5).abs() < 1e-9);
+        // Width shrinks as ~1/sqrt(n): for n=200, sd≈2.87 → ±~0.4.
+        assert!(ci.high - ci.low < 1.2, "CI too wide: {ci:?}");
+        assert!(ci.excludes(0.0));
+        assert!(!ci.excludes(4.5));
+    }
+
+    #[test]
+    fn bootstrap_singleton_is_degenerate() {
+        let ci = bootstrap_mean_ci(&[7.0], 0.9, 100, seed()).unwrap();
+        assert_eq!(ci.low, 7.0);
+        assert_eq!(ci.high, 7.0);
+    }
+
+    #[test]
+    fn bootstrap_edge_cases() {
+        assert!(bootstrap_mean_ci(&[], 0.95, 100, seed()).is_none());
+        assert!(bootstrap_mean_ci(&[1.0], 0.95, 0, seed()).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "level")]
+    fn bootstrap_rejects_silly_level() {
+        bootstrap_mean_ci(&[1.0, 2.0], 0.3, 100, seed());
+    }
+
+    #[test]
+    fn kendall_perfect_orderings() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let inc: Vec<f64> = xs.iter().map(|x| x * 10.0).collect();
+        let dec: Vec<f64> = xs.iter().map(|x| -x).collect();
+        assert!((kendall_tau(&xs, &inc).unwrap() - 1.0).abs() < 1e-12);
+        assert!((kendall_tau(&xs, &dec).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kendall_handles_ties_and_degenerate_inputs() {
+        assert_eq!(kendall_tau(&[1.0], &[1.0]), None);
+        assert_eq!(kendall_tau(&[2.0, 2.0, 2.0], &[1.0, 2.0, 3.0]), None);
+        let t = kendall_tau(&[1.0, 1.0, 2.0, 3.0], &[1.0, 2.0, 2.0, 3.0]).unwrap();
+        assert!((0.0..=1.0).contains(&t));
+    }
+
+    #[test]
+    fn kendall_zero_for_independent_pattern() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [1.0, -1.0, -1.0, 1.0];
+        let t = kendall_tau(&xs, &ys).unwrap();
+        assert!(t.abs() < 0.5, "{t}");
+    }
+}

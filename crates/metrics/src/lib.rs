@@ -1,0 +1,106 @@
+#![warn(missing_docs)]
+//! # geoserp-metrics — page-comparison metrics and statistics
+//!
+//! §2.3 of the paper compares pages of search results with two metrics:
+//!
+//! * **Jaccard index** over the *sets* of result URLs — 1.0 means the same
+//!   results (possibly reordered), 0.0 means disjoint pages;
+//! * **edit distance** over the *ordered lists* of result URLs — "the number
+//!   of additions, deletions, and swaps necessary to make two lists
+//!   identical", which we implement as Optimal String Alignment (OSA)
+//!   distance: insertions, deletions, substitutions, and adjacent
+//!   transpositions, all unit cost. Plain Levenshtein (no transpositions) is
+//!   also provided for the metric-sensitivity ablation.
+//!
+//! §3.1/3.2 additionally *attribute* differences to result types ("the
+//! amount of noise that can be attributed to search results of [type t]":
+//! Jaccard/edit distance recomputed after filtering both pages to type *t*,
+//! divided by the overall change count) — see [`attribution`].
+//!
+//! The [`stats`] module has the summary statistics (mean/stddev for the
+//! figures' error bars) and the Pearson/Spearman correlations used by the
+//! §3.2 demographics analysis.
+
+pub mod compare;
+pub mod inference;
+pub mod stats;
+
+pub use compare::{
+    attribution, edit_distance, jaccard, levenshtein, PageComparison, TypeBreakdown,
+};
+pub use inference::{
+    bootstrap_mean_ci, kendall_tau, permutation_test, ConfidenceInterval, PermutationTest,
+};
+pub use stats::{mean, pearson, spearman, stddev, Summary};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn url_lists() -> impl Strategy<Value = (Vec<u8>, Vec<u8>)> {
+        // Small alphabets maximize collisions/reorderings.
+        (
+            proptest::collection::vec(0u8..8, 0..20),
+            proptest::collection::vec(0u8..8, 0..20),
+        )
+    }
+
+    proptest! {
+        #[test]
+        fn jaccard_bounds_and_symmetry((a, b) in url_lists()) {
+            let j = jaccard(&a, &b);
+            prop_assert!((0.0..=1.0).contains(&j));
+            prop_assert!((j - jaccard(&b, &a)).abs() < 1e-12);
+        }
+
+        #[test]
+        fn jaccard_identity(a in proptest::collection::vec(0u8..8, 0..20)) {
+            prop_assert_eq!(jaccard(&a, &a), 1.0);
+        }
+
+        #[test]
+        fn edit_distance_is_a_metric((a, b) in url_lists()) {
+            let d = edit_distance(&a, &b);
+            prop_assert_eq!(edit_distance(&b, &a), d, "symmetry");
+            prop_assert_eq!(edit_distance(&a, &a), 0, "identity");
+            if a != b {
+                prop_assert!(d > 0, "distinct lists have positive distance");
+            }
+        }
+
+        #[test]
+        fn edit_distance_triangle((a, b) in url_lists(), c in proptest::collection::vec(0u8..8, 0..20)) {
+            // OSA violates the triangle inequality only in pathological
+            // repeated-transposition cases (e.g. "ca","abc","acb"); allow
+            // slack of 1 which covers those while still catching real bugs.
+            let ab = edit_distance(&a, &b);
+            let bc = edit_distance(&b, &c);
+            let ac = edit_distance(&a, &c);
+            prop_assert!(ac <= ab + bc + 1, "ac={ac} ab={ab} bc={bc}");
+        }
+
+        #[test]
+        fn edit_distance_upper_bound((a, b) in url_lists()) {
+            prop_assert!(edit_distance(&a, &b) <= a.len().max(b.len()));
+        }
+
+        #[test]
+        fn osa_never_exceeds_levenshtein((a, b) in url_lists()) {
+            prop_assert!(edit_distance(&a, &b) <= levenshtein(&a, &b));
+        }
+
+        #[test]
+        fn swap_costs_one(mut a in proptest::collection::vec(0u8..100, 2..20)) {
+            // Make all elements distinct so the swap is a genuine transposition.
+            for (i, x) in a.iter_mut().enumerate() { *x = i as u8; }
+            let mut b = a.clone();
+            let i = 3.min(b.len() - 2);
+            b.swap(i, i + 1);
+            if a != b {
+                prop_assert_eq!(edit_distance(&a, &b), 1);
+                prop_assert_eq!(levenshtein(&a, &b), 2, "levenshtein pays 2 for a swap");
+            }
+        }
+    }
+}

@@ -1,0 +1,310 @@
+//! Minimal HTTP-shaped messages.
+//!
+//! The browser talks to the simulated search service with these; they carry
+//! exactly the surface the study methodology depends on — method, host,
+//! path, query parameters, ordered headers (the browser fingerprint), and a
+//! [`bytes::Bytes`] body (the rendered SERP markup).
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Request method. The crawler only issues GETs, but POST exists so the
+/// substrate is not search-specific.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Method {
+    /// Get.
+    Get,
+    /// Post.
+    Post,
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Method::Get => "GET",
+            Method::Post => "POST",
+        })
+    }
+}
+
+/// Response status, the subset a search crawler encounters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Status {
+    /// Ok.
+    Ok,
+    /// Bad request.
+    BadRequest,
+    /// Not found.
+    NotFound,
+    /// Rate-limited ("unusual traffic from your computer network").
+    TooManyRequests,
+    /// Internal error.
+    InternalError,
+}
+
+impl Status {
+    /// Numeric code.
+    pub fn code(self) -> u16 {
+        match self {
+            Status::Ok => 200,
+            Status::BadRequest => 400,
+            Status::NotFound => 404,
+            Status::TooManyRequests => 429,
+            Status::InternalError => 500,
+        }
+    }
+
+    /// True for 2xx.
+    pub fn is_success(self) -> bool {
+        matches!(self, Status::Ok)
+    }
+}
+
+impl fmt::Display for Status {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.code())
+    }
+}
+
+/// An HTTP-shaped request.
+///
+/// Headers are an ordered list (not a map): header order is part of a
+/// browser fingerprint, and the study requires treatments to present
+/// *identical* fingerprints (§2.2 "Browser State").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// The method.
+    pub method: Method,
+    /// Target host name (resolved through the simulator's DNS).
+    pub host: String,
+    /// Path, e.g. `/search`.
+    pub path: String,
+    /// Query parameters in order, e.g. `[("q", "starbucks")]`.
+    pub query: Vec<(String, String)>,
+    /// Ordered headers, e.g. `User-Agent`, `Cookie`, `X-Geolocation`.
+    pub headers: Vec<(String, String)>,
+    /// The body.
+    pub body: Bytes,
+}
+
+impl Request {
+    /// A GET request with no parameters or headers.
+    pub fn get(host: impl Into<String>, path: impl Into<String>) -> Self {
+        Request {
+            method: Method::Get,
+            host: host.into(),
+            path: path.into(),
+            query: Vec::new(),
+            headers: Vec::new(),
+            body: Bytes::new(),
+        }
+    }
+
+    /// Append a query parameter.
+    pub fn with_query(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.query.push((key.into(), value.into()));
+        self
+    }
+
+    /// Append a header.
+    pub fn with_header(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.headers.push((key.into(), value.into()));
+        self
+    }
+
+    /// First query parameter with the given key.
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// First header with the given key (ASCII case-insensitive, as in HTTP).
+    pub fn header(&self, key: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(key))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The full request target, e.g. `/search?q=starbucks&hl=en`.
+    pub fn target(&self) -> String {
+        if self.query.is_empty() {
+            return self.path.clone();
+        }
+        let qs: Vec<String> = self
+            .query
+            .iter()
+            .map(|(k, v)| format!("{}={}", urlencode(k), urlencode(v)))
+            .collect();
+        format!("{}?{}", self.path, qs.join("&"))
+    }
+}
+
+/// An HTTP-shaped response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Response {
+    /// The status.
+    pub status: Status,
+    /// The headers.
+    pub headers: Vec<(String, String)>,
+    /// The body.
+    pub body: Bytes,
+}
+
+impl Response {
+    /// A 200 response with a UTF-8 body.
+    pub fn ok(body: impl Into<Bytes>) -> Self {
+        Response {
+            status: Status::Ok,
+            headers: Vec::new(),
+            body: body.into(),
+        }
+    }
+
+    /// An empty response with the given status.
+    pub fn status(status: Status) -> Self {
+        Response {
+            status,
+            headers: Vec::new(),
+            body: Bytes::new(),
+        }
+    }
+
+    /// Append a header.
+    pub fn with_header(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.headers.push((key.into(), value.into()));
+        self
+    }
+
+    /// First header with the given key (ASCII case-insensitive).
+    pub fn header(&self, key: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(key))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Body interpreted as UTF-8 (lossy — corrupted responses surface as
+    /// replacement characters rather than panics, letting the parser decide).
+    pub fn body_text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// Percent-encode the characters that would break our query-string framing.
+fn urlencode(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for b in s.bytes() {
+        match b {
+            b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' | b',' => {
+                out.push(b as char)
+            }
+            b' ' => out.push('+'),
+            _ => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
+}
+
+/// Decode the percent/plus encoding produced by the request renderer.
+pub fn urldecode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' => {
+                if let (Some(h), Some(l)) = (
+                    bytes.get(i + 1).and_then(|b| (*b as char).to_digit(16)),
+                    bytes.get(i + 2).and_then(|b| (*b as char).to_digit(16)),
+                ) {
+                    out.push((h * 16 + l) as u8);
+                    i += 3;
+                } else {
+                    out.push(b'%');
+                    i += 1;
+                }
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_builder_and_accessors() {
+        let r = Request::get("search.example.com", "/search")
+            .with_query("q", "coffee shop")
+            .with_query("hl", "en")
+            .with_header("User-Agent", "Safari 8 iOS")
+            .with_header("Cookie", "");
+        assert_eq!(r.query_param("q"), Some("coffee shop"));
+        assert_eq!(r.query_param("missing"), None);
+        assert_eq!(r.header("user-agent"), Some("Safari 8 iOS"));
+        assert_eq!(r.target(), "/search?q=coffee+shop&hl=en");
+    }
+
+    #[test]
+    fn target_without_query() {
+        assert_eq!(Request::get("h", "/m").target(), "/m");
+    }
+
+    #[test]
+    fn urlencode_decode_roundtrip() {
+        for s in [
+            "coffee shop",
+            "Wendy's",
+            "41.499300,-81.694400",
+            "a&b=c%d+e",
+            "Chick-fil-a",
+        ] {
+            assert_eq!(urldecode(&super::urlencode(s)), s, "{s}");
+        }
+    }
+
+    #[test]
+    fn urldecode_tolerates_malformed_percent() {
+        assert_eq!(urldecode("100%"), "100%");
+        assert_eq!(urldecode("%zz"), "%zz");
+    }
+
+    #[test]
+    fn response_helpers() {
+        let r = Response::ok("hello").with_header("X-Datacenter", "dc1");
+        assert!(r.status.is_success());
+        assert_eq!(r.body_text(), "hello");
+        assert_eq!(r.header("x-datacenter"), Some("dc1"));
+        let e = Response::status(Status::TooManyRequests);
+        assert_eq!(e.status.code(), 429);
+        assert!(!e.status.is_success());
+    }
+
+    #[test]
+    fn status_codes() {
+        assert_eq!(Status::Ok.code(), 200);
+        assert_eq!(Status::BadRequest.code(), 400);
+        assert_eq!(Status::NotFound.code(), 404);
+        assert_eq!(Status::InternalError.code(), 500);
+    }
+
+    #[test]
+    fn lossy_body_text_on_invalid_utf8() {
+        let r = Response::ok(Bytes::from(vec![0xff, 0xfe, b'a']));
+        let t = r.body_text();
+        assert!(t.contains('a'));
+    }
+}

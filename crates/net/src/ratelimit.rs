@@ -1,0 +1,132 @@
+//! Server-side rate limiting.
+//!
+//! Google throttles clients that query too aggressively; §2.2 of the paper
+//! works around this by spreading load "over 44 machines in a single /24
+//! subnet". The simulated limiter supports both keying disciplines —
+//! per-exact-IP (what made the machine pool effective) and per-/24 (what
+//! would have defeated it) — so the crawler's design choice is testable.
+
+use crate::clock::SimInstant;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
+use std::net::Ipv4Addr;
+
+/// What a limiter keys its windows by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RateLimitKey {
+    /// One window per source IP (real-world per-client limiting).
+    PerIp,
+    /// One window per source /24 (aggregate limiting; defeats the paper's
+    /// machine-pool strategy — used by the ablation benches).
+    PerSubnet24,
+}
+
+/// Sliding-window request limiter.
+#[derive(Debug)]
+pub struct RateLimiter {
+    key: RateLimitKey,
+    max_requests: usize,
+    window_ms: u64,
+    windows: Mutex<HashMap<u32, VecDeque<u64>>>,
+}
+
+impl RateLimiter {
+    /// Allow at most `max_requests` per `window_ms` for each key.
+    pub fn new(key: RateLimitKey, max_requests: usize, window_ms: u64) -> Self {
+        assert!(max_requests > 0, "max_requests must be positive");
+        assert!(window_ms > 0, "window must be positive");
+        RateLimiter {
+            key,
+            max_requests,
+            window_ms,
+            windows: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn key_of(&self, src: Ipv4Addr) -> u32 {
+        let o = src.octets();
+        match self.key {
+            RateLimitKey::PerIp => u32::from_be_bytes(o),
+            RateLimitKey::PerSubnet24 => u32::from_be_bytes([o[0], o[1], o[2], 0]),
+        }
+    }
+
+    /// Record a request at virtual time `now`; returns `true` if it is
+    /// admitted, `false` if the source must be throttled (HTTP 429).
+    pub fn admit(&self, src: Ipv4Addr, now: SimInstant) -> bool {
+        let key = self.key_of(src);
+        let mut windows = self.windows.lock();
+        let q = windows.entry(key).or_default();
+        // An event at time t occupies the window while t + window_ms > now.
+        while q.front().is_some_and(|&t| t + self.window_ms <= now.millis()) {
+            q.pop_front();
+        }
+        if q.len() >= self.max_requests {
+            return false;
+        }
+        q.push_back(now.millis());
+        true
+    }
+
+    /// Number of in-window requests currently charged to `src`.
+    pub fn load(&self, src: Ipv4Addr, now: SimInstant) -> usize {
+        let key = self.key_of(src);
+        let windows = self.windows.lock();
+        windows
+            .get(&key)
+            .map(|q| q.iter().filter(|&&t| t + self.window_ms > now.millis()).count())
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ip;
+
+    #[test]
+    fn admits_up_to_limit_then_throttles() {
+        let rl = RateLimiter::new(RateLimitKey::PerIp, 3, 1_000);
+        let src = ip("10.0.0.1");
+        let t = SimInstant(0);
+        assert!(rl.admit(src, t));
+        assert!(rl.admit(src, t));
+        assert!(rl.admit(src, t));
+        assert!(!rl.admit(src, t));
+        assert_eq!(rl.load(src, t), 3);
+    }
+
+    #[test]
+    fn window_slides() {
+        let rl = RateLimiter::new(RateLimitKey::PerIp, 1, 1_000);
+        let src = ip("10.0.0.1");
+        assert!(rl.admit(src, SimInstant(0)));
+        assert!(!rl.admit(src, SimInstant(500)));
+        assert!(rl.admit(src, SimInstant(1_001)));
+    }
+
+    #[test]
+    fn per_ip_keys_are_independent() {
+        let rl = RateLimiter::new(RateLimitKey::PerIp, 1, 1_000);
+        assert!(rl.admit(ip("10.0.0.1"), SimInstant(0)));
+        assert!(rl.admit(ip("10.0.0.2"), SimInstant(0)), "distinct IP not throttled");
+    }
+
+    #[test]
+    fn per_subnet_aggregates_the_pool() {
+        // The paper's 44-machines-in-a-/24 strategy works against PerIp but
+        // not against PerSubnet24.
+        let rl = RateLimiter::new(RateLimitKey::PerSubnet24, 2, 1_000);
+        assert!(rl.admit(ip("192.0.2.1"), SimInstant(0)));
+        assert!(rl.admit(ip("192.0.2.2"), SimInstant(0)));
+        assert!(!rl.admit(ip("192.0.2.3"), SimInstant(0)), "same /24 shares the window");
+        assert!(rl.admit(ip("192.0.3.1"), SimInstant(0)), "other /24 unaffected");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_limit() {
+        RateLimiter::new(RateLimitKey::PerIp, 0, 1_000);
+    }
+}

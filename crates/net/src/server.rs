@@ -1,0 +1,64 @@
+//! The server side of the simulated network.
+//!
+//! A [`Server`] is any service reachable at an IP — in geoserp, the search
+//! service's datacenters. [`RequestCtx`] carries the transport-level facts a
+//! real server would see (source IP, arrival time, which of its addresses
+//! was dialed) and which the search engine's IP-geolocation fallback and
+//! noise model consume.
+
+use crate::clock::SimInstant;
+use crate::http::{Request, Response};
+use std::net::Ipv4Addr;
+
+/// Transport-level context delivered alongside each request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestCtx {
+    /// Client source address (what IP-geolocation keys on).
+    pub src: Ipv4Addr,
+    /// Server address the client dialed (selects the datacenter).
+    pub dst: Ipv4Addr,
+    /// Virtual arrival time.
+    pub at: SimInstant,
+    /// Monotonic per-network request sequence number; unique per delivered
+    /// request. Servers may use it to seed per-request nondeterminism
+    /// (A/B bucketing, replica choice) deterministically.
+    pub seq: u64,
+}
+
+/// A simulated network service.
+pub trait Server: Send + Sync {
+    /// Handle one request. Must be pure with respect to wall-clock time —
+    /// all time comes from `ctx.at`.
+    fn handle(&self, ctx: &RequestCtx, req: &Request) -> Response;
+}
+
+/// Blanket impl so closures can serve as toy servers in tests.
+impl<F> Server for F
+where
+    F: Fn(&RequestCtx, &Request) -> Response + Send + Sync,
+{
+    fn handle(&self, ctx: &RequestCtx, req: &Request) -> Response {
+        self(ctx, req)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::Status;
+    use crate::ip;
+
+    #[test]
+    fn closures_are_servers() {
+        let echo = |_ctx: &RequestCtx, req: &Request| Response::ok(req.target());
+        let ctx = RequestCtx {
+            src: ip("10.0.0.1"),
+            dst: ip("10.1.0.1"),
+            at: SimInstant(5),
+            seq: 0,
+        };
+        let resp = echo.handle(&ctx, &Request::get("h", "/x").with_query("a", "b"));
+        assert_eq!(resp.status, Status::Ok);
+        assert_eq!(resp.body_text(), "/x?a=b");
+    }
+}

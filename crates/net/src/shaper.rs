@@ -1,0 +1,163 @@
+//! Client-side egress shaping: a virtual-time token bucket.
+//!
+//! smoltcp's examples expose `--tx-rate-limit`/`--shaping-interval` to
+//! throttle traffic; geoserp's equivalent lets an experiment cap how fast a
+//! crawl machine may transmit — e.g. to prove that an *unshaped* single
+//! machine trips the server-side rate limiter while a shaped one does not
+//! (the decision that motivated the paper's 44-machine pool).
+
+use crate::clock::SimInstant;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// Token-bucket parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ShaperConfig {
+    /// Bucket capacity in tokens (burst size). One request costs one token.
+    pub capacity: f64,
+    /// Refill rate in tokens per second of virtual time.
+    pub tokens_per_sec: f64,
+}
+
+impl ShaperConfig {
+    /// A shaper allowing `rate` requests/second with a burst of `burst`.
+    pub fn per_second(rate: f64, burst: u32) -> Self {
+        assert!(rate > 0.0, "rate must be positive");
+        assert!(burst >= 1, "burst must be at least 1");
+        ShaperConfig {
+            capacity: burst as f64,
+            tokens_per_sec: rate,
+        }
+    }
+}
+
+/// A virtual-time token bucket. Thread-safe.
+#[derive(Debug)]
+pub struct TokenBucket {
+    config: ShaperConfig,
+    state: Mutex<BucketState>,
+}
+
+#[derive(Debug)]
+struct BucketState {
+    tokens: f64,
+    last_refill_ms: u64,
+}
+
+impl TokenBucket {
+    /// A full bucket at t = 0.
+    pub fn new(config: ShaperConfig) -> Self {
+        assert!(config.capacity >= 1.0, "capacity must be >= 1");
+        assert!(config.tokens_per_sec > 0.0, "refill rate must be positive");
+        TokenBucket {
+            config,
+            state: Mutex::new(BucketState {
+                tokens: config.capacity,
+                last_refill_ms: 0,
+            }),
+        }
+    }
+
+    fn refill(&self, state: &mut BucketState, now: SimInstant) {
+        let now_ms = now.millis();
+        if now_ms > state.last_refill_ms {
+            let dt_s = (now_ms - state.last_refill_ms) as f64 / 1_000.0;
+            state.tokens =
+                (state.tokens + dt_s * self.config.tokens_per_sec).min(self.config.capacity);
+            state.last_refill_ms = now_ms;
+        }
+    }
+
+    /// Try to spend one token at virtual time `now`.
+    pub fn try_acquire(&self, now: SimInstant) -> bool {
+        let mut state = self.state.lock();
+        self.refill(&mut state, now);
+        if state.tokens >= 1.0 {
+            state.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Tokens currently available (after refilling to `now`).
+    pub fn available(&self, now: SimInstant) -> f64 {
+        let mut state = self.state.lock();
+        self.refill(&mut state, now);
+        state.tokens
+    }
+
+    /// Earliest virtual instant at which one token will be available.
+    pub fn next_available(&self, now: SimInstant) -> SimInstant {
+        let mut state = self.state.lock();
+        self.refill(&mut state, now);
+        if state.tokens >= 1.0 {
+            return now;
+        }
+        let deficit = 1.0 - state.tokens;
+        let wait_ms = (deficit / self.config.tokens_per_sec * 1_000.0).ceil() as u64;
+        SimInstant(now.millis() + wait_ms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn burst_then_throttle() {
+        let tb = TokenBucket::new(ShaperConfig::per_second(1.0, 3));
+        let t0 = SimInstant(0);
+        assert!(tb.try_acquire(t0));
+        assert!(tb.try_acquire(t0));
+        assert!(tb.try_acquire(t0));
+        assert!(!tb.try_acquire(t0), "burst exhausted");
+    }
+
+    #[test]
+    fn refills_over_virtual_time() {
+        let tb = TokenBucket::new(ShaperConfig::per_second(2.0, 1));
+        assert!(tb.try_acquire(SimInstant(0)));
+        assert!(!tb.try_acquire(SimInstant(100)), "0.2 tokens refilled");
+        assert!(tb.try_acquire(SimInstant(600)), ">1 token after 500ms+");
+    }
+
+    #[test]
+    fn capacity_caps_refill() {
+        let tb = TokenBucket::new(ShaperConfig::per_second(10.0, 2));
+        // A very long idle period still leaves only `capacity` tokens.
+        assert!((tb.available(SimInstant(3_600_000)) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn next_available_is_exact() {
+        let tb = TokenBucket::new(ShaperConfig::per_second(1.0, 1));
+        let t0 = SimInstant(0);
+        assert!(tb.try_acquire(t0));
+        let next = tb.next_available(t0);
+        assert_eq!(next.millis(), 1_000);
+        assert!(!tb.try_acquire(SimInstant(999)));
+        assert!(tb.try_acquire(next));
+    }
+
+    #[test]
+    fn next_available_now_when_tokens_remain() {
+        let tb = TokenBucket::new(ShaperConfig::per_second(1.0, 5));
+        assert_eq!(tb.next_available(SimInstant(7)), SimInstant(7));
+    }
+
+    #[test]
+    fn time_never_rewinds_the_bucket() {
+        let tb = TokenBucket::new(ShaperConfig::per_second(1.0, 1));
+        assert!(tb.try_acquire(SimInstant(5_000)));
+        // An earlier timestamp must not mint tokens.
+        assert!(!tb.try_acquire(SimInstant(0)));
+        assert!(!tb.try_acquire(SimInstant(5_100)));
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn rejects_zero_rate() {
+        ShaperConfig::per_second(0.0, 1);
+    }
+}

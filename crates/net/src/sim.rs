@@ -1,0 +1,481 @@
+//! The network simulator: routes requests from client IPs to registered
+//! servers under DNS, latency, and fault models, logging every step.
+
+use crate::clock::{SimInstant, VirtualClock};
+use crate::dns::DnsResolver;
+use crate::fault::{FaultDecision, FaultInjector};
+use crate::http::{Request, Response};
+use crate::server::{RequestCtx, Server};
+use crate::shaper::{ShaperConfig, TokenBucket};
+use crate::trace::{EventLog, NetEvent, NetEventKind};
+use geoserp_geo::Seed;
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::fmt;
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+/// Why a request failed at the network layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// DNS had no answer for the host.
+    NoRoute(String),
+    /// No server is listening at the resolved address.
+    ConnectionRefused(Ipv4Addr),
+    /// The fault injector ate the message.
+    Dropped,
+    /// The source's egress shaper has no tokens left right now.
+    Shaped,
+    /// The exchange exceeded the configured client timeout.
+    TimedOut,
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::NoRoute(host) => write!(f, "no route to host {host}"),
+            NetError::ConnectionRefused(ip) => write!(f, "connection refused at {ip}"),
+            NetError::Dropped => write!(f, "request dropped"),
+            NetError::Shaped => write!(f, "egress shaper throttled the request"),
+            NetError::TimedOut => write!(f, "request timed out"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// Latency model: deterministic per (src, dst) base delay plus bounded
+/// per-request jitter, all derived from the simulator seed.
+#[derive(Debug, Clone)]
+pub struct LatencyModel {
+    seed: Seed,
+    /// The base ms.
+    pub base_ms: u64,
+    /// The spread ms.
+    pub spread_ms: u64,
+}
+
+impl LatencyModel {
+    /// Round-trip time for one exchange, in milliseconds.
+    pub fn rtt_ms(&self, src: Ipv4Addr, dst: Ipv4Addr, seq: u64) -> u64 {
+        let path = self
+            .seed
+            .derive_idx("lat-src", u32::from_be_bytes(src.octets()) as u64)
+            .derive_idx("lat-dst", u32::from_be_bytes(dst.octets()) as u64);
+        let mut path_rng = path.rng();
+        let path_extra = path_rng.below((self.spread_ms + 1) as usize) as u64;
+        let mut jitter_rng = path.derive_idx("jitter", seq).rng();
+        let jitter = jitter_rng.below((self.spread_ms / 2 + 1) as usize) as u64;
+        self.base_ms + path_extra + jitter
+    }
+}
+
+/// The deterministic network simulator. Share via [`Arc`].
+pub struct SimNet {
+    clock: VirtualClock,
+    dns: DnsResolver,
+    servers: RwLock<HashMap<Ipv4Addr, Arc<dyn Server>>>,
+    latency: LatencyModel,
+    faults: FaultInjector,
+    log: EventLog,
+    /// Per-source request counters: seq = src_ip << 32 | counter. Keying by
+    /// source makes sequence numbers deterministic even when many client
+    /// threads drive the network concurrently (each client is single-
+    /// threaded), which is what keeps parallel crawls replayable.
+    seq_per_src: Mutex<HashMap<Ipv4Addr, u32>>,
+    /// Optional per-source egress shapers (smoltcp-style tx rate limits).
+    egress: RwLock<HashMap<Ipv4Addr, TokenBucket>>,
+    /// Optional client timeout: exchanges whose RTT exceeds it fail.
+    timeout_ms: Mutex<Option<u64>>,
+}
+
+impl fmt::Debug for SimNet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SimNet")
+            .field("servers", &self.servers.read().len())
+            .field("now", &self.clock.now())
+            .finish()
+    }
+}
+
+impl SimNet {
+    /// A simulator with a perfect network and default latency (40–80 ms RTT).
+    pub fn new(seed: Seed) -> Self {
+        Self::with_faults(seed, 0.0, 0.0)
+    }
+
+    /// A simulator with smoltcp-style fault injection.
+    pub fn with_faults(seed: Seed, drop_chance: f64, corrupt_chance: f64) -> Self {
+        SimNet {
+            clock: VirtualClock::new(),
+            dns: DnsResolver::new(),
+            servers: RwLock::new(HashMap::new()),
+            latency: LatencyModel {
+                seed: seed.derive("latency"),
+                base_ms: 40,
+                spread_ms: 40,
+            },
+            faults: FaultInjector::new(seed.derive("faults"), drop_chance, corrupt_chance),
+            log: EventLog::new(65_536),
+            seq_per_src: Mutex::new(HashMap::new()),
+            egress: RwLock::new(HashMap::new()),
+            timeout_ms: Mutex::new(None),
+        }
+    }
+
+    /// Install (or replace) an egress token bucket for one source address.
+    pub fn set_egress_shaper(&self, src: Ipv4Addr, config: ShaperConfig) {
+        self.egress.write().insert(src, TokenBucket::new(config));
+    }
+
+    /// Remove a source's egress shaper.
+    pub fn clear_egress_shaper(&self, src: Ipv4Addr) {
+        self.egress.write().remove(&src);
+    }
+
+    /// Set (or clear) the client-side exchange timeout in milliseconds.
+    pub fn set_timeout_ms(&self, timeout: Option<u64>) {
+        *self.timeout_ms.lock() = timeout;
+    }
+
+    /// The shared virtual clock.
+    pub fn clock(&self) -> &VirtualClock {
+        &self.clock
+    }
+
+    /// The DNS resolver (register records, pin datacenters).
+    pub fn dns(&self) -> &DnsResolver {
+        &self.dns
+    }
+
+    /// The event log.
+    pub fn log(&self) -> &EventLog {
+        &self.log
+    }
+
+    /// Attach a server at an address.
+    pub fn register_server(&self, addr: Ipv4Addr, server: Arc<dyn Server>) {
+        self.servers.write().insert(addr, server);
+    }
+
+    /// Register a named service: DNS record for `host` over `addrs`, same
+    /// server object behind every address.
+    pub fn register_service(&self, host: &str, addrs: &[Ipv4Addr], server: Arc<dyn Server>) {
+        self.dns.register(host, addrs.to_vec());
+        for &a in addrs {
+            self.register_server(a, Arc::clone(&server));
+        }
+    }
+
+    /// Issue one request from `src` to `req.host`.
+    ///
+    /// Returns the response and the virtual RTT. The global clock is *not*
+    /// advanced (concurrent clients would race); the caller's scheduler owns
+    /// time.
+    pub fn request(&self, src: Ipv4Addr, req: &Request) -> Result<(Response, u64), NetError> {
+        let now = self.clock.now();
+        {
+            let egress = self.egress.read();
+            if let Some(bucket) = egress.get(&src) {
+                if !bucket.try_acquire(now) {
+                    return Err(NetError::Shaped);
+                }
+            }
+        }
+        let Some(dst) = self.dns.resolve(&req.host) else {
+            self.log.record(NetEvent {
+                at: now,
+                src,
+                dst: None,
+                kind: NetEventKind::NoRoute {
+                    host: req.host.clone(),
+                },
+            });
+            return Err(NetError::NoRoute(req.host.clone()));
+        };
+
+        let server = {
+            let servers = self.servers.read();
+            servers.get(&dst).cloned()
+        };
+        let Some(server) = server else {
+            return Err(NetError::ConnectionRefused(dst));
+        };
+
+        let seq = {
+            let mut counters = self.seq_per_src.lock();
+            let c = counters.entry(src).or_insert(0);
+            let seq = ((u32::from_be_bytes(src.octets()) as u64) << 32) | *c as u64;
+            *c += 1;
+            seq
+        };
+
+        // Fault decisions are pure in the per-source sequence number, so a
+        // parallel crawl replays its losses exactly.
+        match self.faults.decide(seq) {
+            FaultDecision::Drop => {
+                self.log.record(NetEvent {
+                    at: now,
+                    src,
+                    dst: Some(dst),
+                    kind: NetEventKind::Dropped,
+                });
+                return Err(NetError::Dropped);
+            }
+            FaultDecision::Corrupt | FaultDecision::Deliver => {}
+        }
+
+        let rtt = self.latency.rtt_ms(src, dst, seq);
+        self.log.record(NetEvent {
+            at: now,
+            src,
+            dst: Some(dst),
+            kind: NetEventKind::Request {
+                host: req.host.clone(),
+                target: req.target(),
+            },
+        });
+
+        if let Some(limit) = *self.timeout_ms.lock() {
+            if rtt > limit {
+                self.log.record(NetEvent {
+                    at: SimInstant(now.millis() + limit),
+                    src,
+                    dst: Some(dst),
+                    kind: NetEventKind::TimedOut,
+                });
+                return Err(NetError::TimedOut);
+            }
+        }
+
+        let ctx = RequestCtx {
+            src,
+            dst,
+            at: now,
+            seq,
+        };
+        let mut resp = server.handle(&ctx, req);
+
+        // Corruption applies to the response body on the return path (an
+        // independent decision from the request path, keyed off seq + 2^63).
+        let resp_nonce = seq ^ (1 << 63);
+        if self.faults.is_active() && self.faults.decide(resp_nonce) == FaultDecision::Corrupt {
+            resp.body = self.faults.corrupt(resp_nonce, &resp.body);
+            self.log.record(NetEvent {
+                at: SimInstant(now.millis() + rtt),
+                src,
+                dst: Some(dst),
+                kind: NetEventKind::Corrupted,
+            });
+        }
+
+        self.log.record(NetEvent {
+            at: SimInstant(now.millis() + rtt),
+            src,
+            dst: Some(dst),
+            kind: NetEventKind::Response {
+                status: resp.status.code(),
+            },
+        });
+        Ok((resp, rtt))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::Status;
+    use crate::ip;
+
+    fn echo_server() -> Arc<dyn Server> {
+        Arc::new(|ctx: &RequestCtx, req: &Request| {
+            Response::ok(format!("{} {} {}", ctx.src, ctx.dst, req.target()))
+        })
+    }
+
+    #[test]
+    fn request_roundtrip() {
+        let net = SimNet::new(Seed::new(1));
+        net.register_service("svc.example", &[ip("10.1.0.1")], echo_server());
+        let (resp, rtt) = net
+            .request(ip("10.0.0.9"), &Request::get("svc.example", "/hi"))
+            .unwrap();
+        assert_eq!(resp.status, Status::Ok);
+        assert!(resp.body_text().contains("/hi"));
+        assert!((40..=120).contains(&rtt), "rtt {rtt}");
+    }
+
+    #[test]
+    fn unknown_host_is_no_route() {
+        let net = SimNet::new(Seed::new(1));
+        let err = net
+            .request(ip("10.0.0.9"), &Request::get("ghost.example", "/"))
+            .unwrap_err();
+        assert_eq!(err, NetError::NoRoute("ghost.example".into()));
+        assert_eq!(
+            net.log()
+                .count_where(|e| matches!(e.kind, NetEventKind::NoRoute { .. })),
+            1
+        );
+    }
+
+    #[test]
+    fn dangling_dns_is_connection_refused() {
+        let net = SimNet::new(Seed::new(1));
+        net.dns().register("svc.example", vec![ip("10.1.0.1")]);
+        let err = net
+            .request(ip("10.0.0.9"), &Request::get("svc.example", "/"))
+            .unwrap_err();
+        assert_eq!(err, NetError::ConnectionRefused(ip("10.1.0.1")));
+    }
+
+    #[test]
+    fn rotation_spreads_over_datacenters_and_pin_fixes_it() {
+        let net = SimNet::new(Seed::new(1));
+        let dcs = [ip("10.1.0.1"), ip("10.1.0.2"), ip("10.1.0.3")];
+        net.register_service(
+            "svc.example",
+            &dcs,
+            Arc::new(|ctx: &RequestCtx, _: &Request| Response::ok(ctx.dst.to_string())),
+        );
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..6 {
+            let (resp, _) = net
+                .request(ip("10.0.0.9"), &Request::get("svc.example", "/"))
+                .unwrap();
+            seen.insert(resp.body_text());
+        }
+        assert_eq!(seen.len(), 3, "rotation hits every datacenter");
+
+        net.dns().pin("svc.example", dcs[1]);
+        for _ in 0..5 {
+            let (resp, _) = net
+                .request(ip("10.0.0.9"), &Request::get("svc.example", "/"))
+                .unwrap();
+            assert_eq!(resp.body_text(), dcs[1].to_string());
+        }
+    }
+
+    #[test]
+    fn drops_surface_as_errors() {
+        let net = SimNet::with_faults(Seed::new(2), 1.0, 0.0);
+        net.register_service("svc.example", &[ip("10.1.0.1")], echo_server());
+        let err = net
+            .request(ip("10.0.0.9"), &Request::get("svc.example", "/"))
+            .unwrap_err();
+        assert_eq!(err, NetError::Dropped);
+    }
+
+    #[test]
+    fn corruption_mangles_but_delivers() {
+        let net = SimNet::with_faults(Seed::new(3), 0.0, 1.0);
+        net.register_service(
+            "svc.example",
+            &[ip("10.1.0.1")],
+            Arc::new(|_: &RequestCtx, _: &Request| Response::ok("pristine-body-content")),
+        );
+        let (resp, _) = net
+            .request(ip("10.0.0.9"), &Request::get("svc.example", "/"))
+            .unwrap();
+        assert_eq!(resp.status, Status::Ok);
+        assert_ne!(resp.body_text(), "pristine-body-content");
+    }
+
+    #[test]
+    fn latency_is_deterministic_per_sequence() {
+        let mk = || {
+            let net = SimNet::new(Seed::new(7));
+            net.register_service("svc.example", &[ip("10.1.0.1")], echo_server());
+            let mut rtts = Vec::new();
+            for _ in 0..5 {
+                let (_, rtt) = net
+                    .request(ip("10.0.0.9"), &Request::get("svc.example", "/"))
+                    .unwrap();
+                rtts.push(rtt);
+            }
+            rtts
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn request_does_not_advance_clock() {
+        let net = SimNet::new(Seed::new(1));
+        net.register_service("svc.example", &[ip("10.1.0.1")], echo_server());
+        net.request(ip("10.0.0.9"), &Request::get("svc.example", "/"))
+            .unwrap();
+        assert_eq!(net.clock().now().millis(), 0);
+    }
+
+    #[test]
+    fn egress_shaper_throttles_then_recovers() {
+        let net = SimNet::new(Seed::new(9));
+        net.register_service("svc.example", &[ip("10.1.0.1")], echo_server());
+        net.set_egress_shaper(ip("10.0.0.9"), crate::shaper::ShaperConfig::per_second(1.0, 2));
+        let req = Request::get("svc.example", "/");
+        assert!(net.request(ip("10.0.0.9"), &req).is_ok());
+        assert!(net.request(ip("10.0.0.9"), &req).is_ok());
+        assert_eq!(
+            net.request(ip("10.0.0.9"), &req).unwrap_err(),
+            NetError::Shaped
+        );
+        // Another source is unaffected…
+        assert!(net.request(ip("10.0.0.10"), &req).is_ok());
+        // …and virtual time refills the bucket.
+        net.clock().advance_ms(1_100);
+        assert!(net.request(ip("10.0.0.9"), &req).is_ok());
+        net.clear_egress_shaper(ip("10.0.0.9"));
+        assert!(net.request(ip("10.0.0.9"), &req).is_ok());
+        assert!(net.request(ip("10.0.0.9"), &req).is_ok());
+    }
+
+    #[test]
+    fn timeout_fails_slow_exchanges() {
+        let net = SimNet::new(Seed::new(10));
+        net.register_service("svc.example", &[ip("10.1.0.1")], echo_server());
+        // RTTs are 40–120 ms; a 1 ms deadline fails everything…
+        net.set_timeout_ms(Some(1));
+        assert_eq!(
+            net.request(ip("10.0.0.9"), &Request::get("svc.example", "/"))
+                .unwrap_err(),
+            NetError::TimedOut
+        );
+        assert_eq!(
+            net.log()
+                .count_where(|e| matches!(e.kind, NetEventKind::TimedOut)),
+            1
+        );
+        // …and a generous one passes.
+        net.set_timeout_ms(Some(10_000));
+        assert!(net
+            .request(ip("10.0.0.9"), &Request::get("svc.example", "/"))
+            .is_ok());
+        net.set_timeout_ms(None);
+    }
+
+    #[test]
+    fn request_context_sequence_is_per_source_and_increments() {
+        let net = SimNet::new(Seed::new(1));
+        net.register_service(
+            "svc.example",
+            &[ip("10.1.0.1")],
+            Arc::new(|ctx: &RequestCtx, _: &Request| Response::ok(ctx.seq.to_string())),
+        );
+        let fetch = |src: &str| -> u64 {
+            net.request(ip(src), &Request::get("svc.example", "/"))
+                .unwrap()
+                .0
+                .body_text()
+                .parse()
+                .unwrap()
+        };
+        let a0 = fetch("10.0.0.9");
+        let a1 = fetch("10.0.0.9");
+        let b0 = fetch("10.0.0.10");
+        // Same source: counter increments. Different source: independent
+        // stream with a distinct high half.
+        assert_eq!(a1, a0 + 1);
+        assert_ne!(b0 >> 32, a0 >> 32);
+        assert_eq!(b0 & 0xffff_ffff, 0);
+    }
+}

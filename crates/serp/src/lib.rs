@@ -1,0 +1,76 @@
+#![warn(missing_docs)]
+//! # geoserp-serp — the mobile SERP: card model, markup, parser
+//!
+//! The paper scrapes the *mobile* Google SERP, which renders results as
+//! "cards": most cards carry a single result, while Maps and News cards are
+//! meta-results carrying several links (§2.2, Figure 1). Pages are parsed by
+//! the rule *"extract the first link from each card, except for Maps and News
+//! cards where we extract all links"*, yielding 12–22 links per page.
+//!
+//! This crate owns all three pieces:
+//!
+//! * the typed card model ([`SerpPage`], [`Card`], [`CardType`]);
+//! * a compact HTML-like wire format ([`SerpPage::render`]) emitted by the
+//!   simulated engine — including the footer where "Google Search reports
+//!   the user's precise location", which the paper used for validation;
+//! * a strict parser ([`parse`]) implementing the paper's extraction rule
+//!   and producing the flat, ordered URL list ([`SerpResult`]) that the
+//!   Jaccard/edit-distance metrics compare.
+//!
+//! The parser is strict on structure (a corrupted response fails loudly so
+//! the crawler can retry) but tolerant of content (any UTF-8 title/URL).
+
+pub mod markup;
+pub mod model;
+
+pub use markup::{parse, ParseError};
+pub use model::{Card, CardType, ResultType, SerpPage, SerpResult};
+
+#[cfg(test)]
+mod roundtrip_tests {
+    use super::*;
+
+    fn sample() -> SerpPage {
+        let mut page = SerpPage::new("starbucks", Some("41.499300,-81.694400"), "dc1", "Cleveland, OH");
+        page.push_card(Card::single(
+            CardType::Organic,
+            "https://www.starbucks.example.com/",
+            "Starbucks — Official Site",
+        ));
+        let mut maps = Card::new(CardType::Maps);
+        maps.push("https://maps.example.com/p/1", "Starbucks – Lakeview");
+        maps.push("https://maps.example.com/p/2", "Starbucks – Downtown");
+        page.push_card(maps);
+        let mut news = Card::new(CardType::News);
+        news.push("https://news.example.com/a", "Starbucks \"expands\" & <grows>");
+        page.push_card(news);
+        page
+    }
+
+    #[test]
+    fn render_parse_roundtrip_preserves_everything() {
+        let page = sample();
+        let markup = page.render();
+        let back = parse(&markup).expect("parses");
+        assert_eq!(page, back);
+    }
+
+    #[test]
+    fn extraction_rule_first_link_except_maps_news() {
+        let mut page = sample();
+        // Give the organic card a second (sitelink) entry that must be
+        // ignored by the paper's extraction rule.
+        page.cards[0].push("https://www.starbucks.example.com/menu", "Menu");
+        let results = page.extract_results();
+        let urls: Vec<&str> = results.iter().map(|r| r.url.as_str()).collect();
+        assert_eq!(
+            urls,
+            vec![
+                "https://www.starbucks.example.com/",
+                "https://maps.example.com/p/1",
+                "https://maps.example.com/p/2",
+                "https://news.example.com/a",
+            ]
+        );
+    }
+}

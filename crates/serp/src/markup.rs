@@ -1,0 +1,347 @@
+//! The wire format: a compact, line-oriented, HTML-like markup for mobile
+//! SERPs, and its strict parser.
+//!
+//! Format (one element per line):
+//!
+//! ```text
+//! <serp q="starbucks" gps="41.499300,-81.694400" dc="dc1">
+//! <card type="organic">
+//! <r url="https://…" title="Starbucks — Official Site"/>
+//! </card>
+//! <card type="maps">
+//! <r url="https://…" title="Starbucks – Lakeview"/>
+//! <r url="https://…" title="Starbucks – Downtown"/>
+//! </card>
+//! <footer location="Cleveland, OH"/>
+//! </serp>
+//! ```
+//!
+//! Attribute values are escaped (`&quot; &amp; &lt; &gt;`). The parser is
+//! strict: structural damage (the fault injector's single-bit corruption,
+//! truncation, attribute loss) yields a [`ParseError`] rather than a silently
+//! wrong page, so the crawler knows to retry — mirroring how a real scraper
+//! fails on mangled HTML.
+
+use crate::model::{Card, CardType, SerpPage};
+use std::fmt;
+
+/// Why a SERP body failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The body didn't start with a `<serp …>` header.
+    MissingHeader,
+    /// A required attribute is absent or malformed.
+    BadAttribute {
+        /// 1-based line of the offending element.
+        line: usize,
+        /// The attribute that was expected.
+        attr: &'static str,
+    },
+    /// A line matched no known element.
+    UnknownElement {
+        /// 1-based offending line.
+        line: usize,
+    },
+    /// `<r …/>` outside any open card, or `</card>` without `<card>`.
+    StructureViolation {
+        /// 1-based offending line.
+        line: usize,
+    },
+    /// The body ended before `</serp>`.
+    Truncated,
+    /// An unknown card type.
+    BadCardType {
+        /// 1-based offending line.
+        line: usize,
+    },
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::MissingHeader => write!(f, "missing <serp> header"),
+            ParseError::BadAttribute { line, attr } => {
+                write!(f, "line {line}: missing/malformed attribute {attr}")
+            }
+            ParseError::UnknownElement { line } => write!(f, "line {line}: unknown element"),
+            ParseError::StructureViolation { line } => {
+                write!(f, "line {line}: element not allowed here")
+            }
+            ParseError::Truncated => write!(f, "body truncated before </serp>"),
+            ParseError::BadCardType { line } => write!(f, "line {line}: unknown card type"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '&' => out.push_str("&amp;"),
+            '"' => out.push_str("&quot;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(pos) = rest.find('&') {
+        out.push_str(&rest[..pos]);
+        rest = &rest[pos..];
+        let (entity, advance) = if rest.starts_with("&amp;") {
+            ('&', 5)
+        } else if rest.starts_with("&quot;") {
+            ('"', 6)
+        } else if rest.starts_with("&lt;") {
+            ('<', 4)
+        } else if rest.starts_with("&gt;") {
+            ('>', 4)
+        } else {
+            out.push('&');
+            rest = &rest[1..];
+            continue;
+        };
+        out.push(entity);
+        rest = &rest[advance..];
+    }
+    out.push_str(rest);
+    out
+}
+
+/// Extract `name="…"` from a tag line. Values must not contain raw quotes
+/// (they are escaped at render time).
+fn attr(line: &str, name: &str) -> Option<String> {
+    let needle = format!("{name}=\"");
+    let start = line.find(&needle)? + needle.len();
+    let end = line[start..].find('"')? + start;
+    Some(unescape(&line[start..end]))
+}
+
+impl SerpPage {
+    /// Render to the wire format.
+    pub fn render(&self) -> String {
+        // Pre-size: ~96 bytes per entry is typical.
+        let entries: usize = self.cards.iter().map(|c| c.entries.len()).sum();
+        let mut out = String::with_capacity(128 + entries * 96);
+        out.push_str("<serp q=\"");
+        out.push_str(&escape(&self.query));
+        out.push('"');
+        if let Some(gps) = &self.gps {
+            out.push_str(" gps=\"");
+            out.push_str(&escape(gps));
+            out.push('"');
+        }
+        out.push_str(" dc=\"");
+        out.push_str(&escape(&self.datacenter));
+        out.push_str("\">\n");
+        for card in &self.cards {
+            out.push_str("<card type=\"");
+            out.push_str(card.ctype.wire_name());
+            out.push_str("\">\n");
+            for (url, title) in &card.entries {
+                out.push_str("<r url=\"");
+                out.push_str(&escape(url));
+                out.push_str("\" title=\"");
+                out.push_str(&escape(title));
+                out.push_str("\"/>\n");
+            }
+            out.push_str("</card>\n");
+        }
+        out.push_str("<footer location=\"");
+        out.push_str(&escape(&self.reported_location));
+        out.push_str("\"/>\n</serp>\n");
+        out
+    }
+}
+
+/// Parse a wire-format body back into a [`SerpPage`].
+pub fn parse(body: &str) -> Result<SerpPage, ParseError> {
+    let mut lines = body.lines().enumerate();
+
+    let (_, header) = lines.next().ok_or(ParseError::MissingHeader)?;
+    if !header.starts_with("<serp ") || !header.ends_with('>') {
+        return Err(ParseError::MissingHeader);
+    }
+    let query = attr(header, "q").ok_or(ParseError::BadAttribute { line: 1, attr: "q" })?;
+    let gps = attr(header, "gps");
+    let datacenter =
+        attr(header, "dc").ok_or(ParseError::BadAttribute { line: 1, attr: "dc" })?;
+
+    let mut page = SerpPage::new(query, gps.as_deref(), datacenter, String::new());
+    let mut open_card: Option<Card> = None;
+    let mut saw_footer = false;
+    let mut closed = false;
+
+    for (idx, line) in lines {
+        let lineno = idx + 1;
+        if line.starts_with("<card ") {
+            if open_card.is_some() {
+                return Err(ParseError::StructureViolation { line: lineno });
+            }
+            let t = attr(line, "type").ok_or(ParseError::BadAttribute {
+                line: lineno,
+                attr: "type",
+            })?;
+            let ctype = CardType::from_wire(&t).ok_or(ParseError::BadCardType { line: lineno })?;
+            open_card = Some(Card::new(ctype));
+        } else if line.starts_with("<r ") {
+            let card = open_card
+                .as_mut()
+                .ok_or(ParseError::StructureViolation { line: lineno })?;
+            let url = attr(line, "url").ok_or(ParseError::BadAttribute {
+                line: lineno,
+                attr: "url",
+            })?;
+            let title = attr(line, "title").ok_or(ParseError::BadAttribute {
+                line: lineno,
+                attr: "title",
+            })?;
+            card.push(url, title);
+        } else if line == "</card>" {
+            let card = open_card
+                .take()
+                .ok_or(ParseError::StructureViolation { line: lineno })?;
+            page.push_card(card);
+        } else if line.starts_with("<footer ") {
+            if open_card.is_some() {
+                return Err(ParseError::StructureViolation { line: lineno });
+            }
+            page.reported_location = attr(line, "location").ok_or(ParseError::BadAttribute {
+                line: lineno,
+                attr: "location",
+            })?;
+            saw_footer = true;
+        } else if line == "</serp>" {
+            if open_card.is_some() || !saw_footer {
+                return Err(ParseError::StructureViolation { line: lineno });
+            }
+            closed = true;
+            break;
+        } else if line.is_empty() {
+            continue;
+        } else {
+            return Err(ParseError::UnknownElement { line: lineno });
+        }
+    }
+
+    if !closed {
+        return Err(ParseError::Truncated);
+    }
+    Ok(page)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::CardType;
+
+    fn sample() -> SerpPage {
+        let mut p = SerpPage::new("kfc", Some("40.1,-82.2"), "dc2", "Columbus, OH");
+        p.push_card(Card::single(CardType::Organic, "https://a/", "A & B <co>"));
+        let mut m = Card::new(CardType::Maps);
+        m.push("https://m1/", "KFC \"north\"");
+        m.push("https://m2/", "KFC south");
+        p.push_card(m);
+        p
+    }
+
+    #[test]
+    fn roundtrip() {
+        let p = sample();
+        assert_eq!(parse(&p.render()).unwrap(), p);
+    }
+
+    #[test]
+    fn roundtrip_without_gps() {
+        let p = SerpPage::new("x", None, "dc0", "USA");
+        let parsed = parse(&p.render()).unwrap();
+        assert_eq!(parsed.gps, None);
+        assert_eq!(parsed, p);
+    }
+
+    #[test]
+    fn escaping_covers_specials() {
+        assert_eq!(escape(r#"a&"<>"#), "a&amp;&quot;&lt;&gt;");
+        assert_eq!(unescape("a&amp;&quot;&lt;&gt;"), r#"a&"<>"#);
+        assert_eq!(unescape("lone & ampersand"), "lone & ampersand");
+        assert_eq!(unescape("&bogus;"), "&bogus;");
+    }
+
+    #[test]
+    fn missing_header_rejected() {
+        assert_eq!(parse(""), Err(ParseError::MissingHeader));
+        assert_eq!(parse("garbage\n"), Err(ParseError::MissingHeader));
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let full = sample().render();
+        let cut = &full[..full.len() - 10];
+        assert!(matches!(
+            parse(cut),
+            Err(ParseError::Truncated) | Err(ParseError::StructureViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn result_outside_card_rejected() {
+        let body = "<serp q=\"x\" dc=\"d\">\n<r url=\"u\" title=\"t\"/>\n";
+        assert!(matches!(
+            parse(body),
+            Err(ParseError::StructureViolation { line: 2 })
+        ));
+    }
+
+    #[test]
+    fn unknown_card_type_rejected() {
+        let body = "<serp q=\"x\" dc=\"d\">\n<card type=\"ads\">\n</card>\n<footer location=\"l\"/>\n</serp>\n";
+        assert!(matches!(parse(body), Err(ParseError::BadCardType { line: 2 })));
+    }
+
+    #[test]
+    fn nested_card_rejected() {
+        let body =
+            "<serp q=\"x\" dc=\"d\">\n<card type=\"maps\">\n<card type=\"news\">\n</card>\n</card>\n<footer location=\"l\"/>\n</serp>\n";
+        assert!(matches!(
+            parse(body),
+            Err(ParseError::StructureViolation { line: 3 })
+        ));
+    }
+
+    #[test]
+    fn missing_footer_rejected() {
+        let body = "<serp q=\"x\" dc=\"d\">\n</serp>\n";
+        assert!(matches!(
+            parse(body),
+            Err(ParseError::StructureViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn single_bit_corruption_usually_fails_loudly() {
+        // Flip one bit in a structural byte; the parser must not return a
+        // *different* page silently for structural damage. (Content bytes may
+        // legitimately change content — that is what retries+controls absorb.)
+        let p = sample();
+        let markup = p.render();
+        let mut bytes = markup.clone().into_bytes();
+        // Corrupt the '<' of "<card".
+        let pos = markup.find("<card").unwrap();
+        bytes[pos] ^= 0x01;
+        let mangled = String::from_utf8_lossy(&bytes).into_owned();
+        assert!(parse(&mangled).is_err());
+    }
+
+    #[test]
+    fn footer_carries_reported_location() {
+        let parsed = parse(&sample().render()).unwrap();
+        assert_eq!(parsed.reported_location, "Columbus, OH");
+    }
+}

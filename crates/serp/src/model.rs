@@ -1,0 +1,289 @@
+//! Typed model of a mobile SERP.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The type of an extracted search result — the dimension along which the
+/// paper attributes noise and personalization (Figures 4 and 7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ResultType {
+    /// A "typical" organic result.
+    Organic,
+    /// A link inside a Maps meta-card.
+    Maps,
+    /// A link inside an "In the News" meta-card.
+    News,
+}
+
+impl ResultType {
+    /// All types, organic first.
+    pub const ALL: [ResultType; 3] = [ResultType::Organic, ResultType::Maps, ResultType::News];
+}
+
+impl fmt::Display for ResultType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ResultType::Organic => "organic",
+            ResultType::Maps => "maps",
+            ResultType::News => "news",
+        })
+    }
+}
+
+/// The type of a card on the SERP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CardType {
+    /// Organic.
+    Organic,
+    /// Maps.
+    Maps,
+    /// News.
+    News,
+}
+
+impl CardType {
+    /// The result type of links extracted from this card.
+    pub fn result_type(self) -> ResultType {
+        match self {
+            CardType::Organic => ResultType::Organic,
+            CardType::Maps => ResultType::Maps,
+            CardType::News => ResultType::News,
+        }
+    }
+
+    /// True for meta-cards whose *every* link is extracted (Maps, News).
+    pub fn extract_all_links(self) -> bool {
+        matches!(self, CardType::Maps | CardType::News)
+    }
+
+    pub(crate) fn wire_name(self) -> &'static str {
+        match self {
+            CardType::Organic => "organic",
+            CardType::Maps => "maps",
+            CardType::News => "news",
+        }
+    }
+
+    pub(crate) fn from_wire(s: &str) -> Option<CardType> {
+        match s {
+            "organic" => Some(CardType::Organic),
+            "maps" => Some(CardType::Maps),
+            "news" => Some(CardType::News),
+            _ => None,
+        }
+    }
+}
+
+/// One card: a result or a meta-result with several links.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Card {
+    /// The ctype.
+    pub ctype: CardType,
+    /// `(url, title)` entries in display order. Never empty on a rendered
+    /// page.
+    pub entries: Vec<(String, String)>,
+}
+
+impl Card {
+    /// An empty card of the given type.
+    pub fn new(ctype: CardType) -> Self {
+        Card {
+            ctype,
+            entries: Vec::new(),
+        }
+    }
+
+    /// A single-result card.
+    pub fn single(ctype: CardType, url: impl Into<String>, title: impl Into<String>) -> Self {
+        let mut c = Card::new(ctype);
+        c.push(url, title);
+        c
+    }
+
+    /// Append an entry.
+    pub fn push(&mut self, url: impl Into<String>, title: impl Into<String>) {
+        self.entries.push((url.into(), title.into()));
+    }
+
+    /// Number of links this card contributes under the paper's extraction
+    /// rule.
+    pub fn extracted_len(&self) -> usize {
+        if self.ctype.extract_all_links() {
+            self.entries.len()
+        } else {
+            usize::from(!self.entries.is_empty())
+        }
+    }
+}
+
+/// One extracted search result, in page order.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SerpResult {
+    /// 0-based position in the extracted list (the ordering edit distance
+    /// operates on).
+    pub rank: usize,
+    /// The url.
+    pub url: String,
+    /// The title.
+    pub title: String,
+    /// The rtype.
+    pub rtype: ResultType,
+}
+
+/// A full page of mobile search results.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SerpPage {
+    /// The query as the engine received it.
+    pub query: String,
+    /// The GPS fix the engine personalized for, if one was provided
+    /// (`"lat,lon"` with 6 decimals).
+    pub gps: Option<String>,
+    /// Identifier of the datacenter/replica that served the page.
+    pub datacenter: String,
+    /// The human-readable location the engine reports at the bottom of the
+    /// page ("Google Search reports the user's precise location", §2.2).
+    pub reported_location: String,
+    /// The cards.
+    pub cards: Vec<Card>,
+}
+
+impl SerpPage {
+    /// An empty page.
+    pub fn new(
+        query: impl Into<String>,
+        gps: Option<&str>,
+        datacenter: impl Into<String>,
+        reported_location: impl Into<String>,
+    ) -> Self {
+        SerpPage {
+            query: query.into(),
+            gps: gps.map(str::to_owned),
+            datacenter: datacenter.into(),
+            reported_location: reported_location.into(),
+            cards: Vec::new(),
+        }
+    }
+
+    /// Append a card.
+    pub fn push_card(&mut self, card: Card) {
+        self.cards.push(card);
+    }
+
+    /// Apply the paper's extraction rule: first link of each card, all links
+    /// of Maps and News cards; ranks assigned in page order.
+    pub fn extract_results(&self) -> Vec<SerpResult> {
+        let mut out = Vec::new();
+        for card in &self.cards {
+            let take = if card.ctype.extract_all_links() {
+                card.entries.len()
+            } else {
+                1.min(card.entries.len())
+            };
+            for (url, title) in card.entries.iter().take(take) {
+                out.push(SerpResult {
+                    rank: out.len(),
+                    url: url.clone(),
+                    title: title.clone(),
+                    rtype: card.ctype.result_type(),
+                });
+            }
+        }
+        out
+    }
+
+    /// Extracted URLs only, in order (what the comparison metrics consume).
+    pub fn urls(&self) -> Vec<String> {
+        self.extract_results().into_iter().map(|r| r.url).collect()
+    }
+
+    /// Total extracted-link count (the paper observes 12–22 per page).
+    pub fn result_count(&self) -> usize {
+        self.cards.iter().map(Card::extracted_len).sum()
+    }
+
+    /// Whether the page contains a card of the given type.
+    pub fn has_card(&self, ctype: CardType) -> bool {
+        self.cards.iter().any(|c| c.ctype == ctype)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page() -> SerpPage {
+        let mut p = SerpPage::new("school", Some("41.0,-81.0"), "dc0", "Cleveland, OH");
+        p.push_card(Card::single(CardType::Organic, "u1", "t1"));
+        let mut maps = Card::new(CardType::Maps);
+        maps.push("m1", "p1");
+        maps.push("m2", "p2");
+        maps.push("m3", "p3");
+        p.push_card(maps);
+        p.push_card(Card::single(CardType::Organic, "u2", "t2"));
+        let mut news = Card::new(CardType::News);
+        news.push("n1", "a1");
+        news.push("n2", "a2");
+        p.push_card(news);
+        p
+    }
+
+    #[test]
+    fn extraction_order_and_ranks() {
+        let res = page().extract_results();
+        let urls: Vec<&str> = res.iter().map(|r| r.url.as_str()).collect();
+        assert_eq!(urls, vec!["u1", "m1", "m2", "m3", "u2", "n1", "n2"]);
+        for (i, r) in res.iter().enumerate() {
+            assert_eq!(r.rank, i);
+        }
+    }
+
+    #[test]
+    fn result_types_follow_cards() {
+        let res = page().extract_results();
+        assert_eq!(res[0].rtype, ResultType::Organic);
+        assert_eq!(res[1].rtype, ResultType::Maps);
+        assert_eq!(res[5].rtype, ResultType::News);
+    }
+
+    #[test]
+    fn result_count_matches_extraction() {
+        let p = page();
+        assert_eq!(p.result_count(), p.extract_results().len());
+        assert_eq!(p.result_count(), 7);
+    }
+
+    #[test]
+    fn organic_card_contributes_one_even_with_sitelinks() {
+        let mut c = Card::single(CardType::Organic, "u", "t");
+        c.push("u-sub", "sub");
+        assert_eq!(c.extracted_len(), 1);
+        let mut m = Card::new(CardType::Maps);
+        assert_eq!(m.extracted_len(), 0);
+        m.push("a", "b");
+        m.push("c", "d");
+        assert_eq!(m.extracted_len(), 2);
+    }
+
+    #[test]
+    fn has_card_lookup() {
+        let p = page();
+        assert!(p.has_card(CardType::Maps));
+        assert!(p.has_card(CardType::News));
+        let empty = SerpPage::new("x", None, "dc0", "USA");
+        assert!(!empty.has_card(CardType::Maps));
+        assert_eq!(empty.result_count(), 0);
+    }
+
+    #[test]
+    fn card_type_wire_roundtrip() {
+        for t in [CardType::Organic, CardType::Maps, CardType::News] {
+            assert_eq!(CardType::from_wire(t.wire_name()), Some(t));
+        }
+        assert_eq!(CardType::from_wire("bogus"), None);
+    }
+
+    #[test]
+    fn urls_helper() {
+        assert_eq!(page().urls()[0], "u1");
+    }
+}

@@ -1,0 +1,86 @@
+//! Filter-bubble probe — the scenario from the paper's introduction.
+//!
+//! Two users search for the same things from different places: one in
+//! Cleveland (Cuyahoga County) and one at a rural Ohio county seat. For
+//! useful local queries ("coffee shop" in the intro) their results *should*
+//! differ; for civic information (controversial terms, politicians) large
+//! differences would be a geolocal filter bubble.
+//!
+//! ```sh
+//! cargo run --release --example filter_bubble
+//! ```
+
+use geoserp::metrics::{edit_distance, jaccard};
+use geoserp::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    let study = Study::builder().seed(2015).build();
+    let crawler = study.crawler();
+
+    let cleveland = crawler
+        .geo()
+        .ohio_county("Cuyahoga")
+        .expect("geography has Cuyahoga")
+        .clone();
+    let rural = crawler
+        .geo()
+        .ohio_county("Vinton")
+        .expect("geography has Vinton")
+        .clone();
+    println!(
+        "comparing {} vs {} ({:.0} miles apart)\n",
+        cleveland.region.qualified_name(),
+        rural.region.qualified_name(),
+        cleveland.distance_miles(&rural)
+    );
+
+    let probes = [
+        ("Coffee", "local"),
+        ("Hospital", "local"),
+        ("Starbucks", "local/brand"),
+        ("Gay Marriage", "controversial"),
+        ("Health", "controversial"),
+        ("Barack Obama", "politician"),
+    ];
+
+    let fetch = |machine: &str, term: &str, coord: Coord| -> SerpPage {
+        let mut b = geoserp::browser::Browser::new(
+            Arc::clone(crawler.net()),
+            geoserp::net::ip(machine),
+        );
+        let body = b
+            .run_search_job(geoserp::engine::SEARCH_HOST, term, coord)
+            .expect("search succeeds")
+            .body;
+        geoserp::serp::parse(&body).expect("SERP parses")
+    };
+
+    println!(
+        "{:<24} {:<16} {:>8} {:>10}   verdict",
+        "query", "kind", "jaccard", "edit dist"
+    );
+    println!("{}", "-".repeat(72));
+    for (term, kind) in probes {
+        let a = fetch("198.51.100.31", term, cleveland.coord);
+        let b = fetch("198.51.100.32", term, rural.coord);
+        let (ua, ub) = (a.urls(), b.urls());
+        let j = jaccard(&ua, &ub);
+        let e = edit_distance(&ua, &ub);
+        let verdict = if j < 0.6 {
+            "strongly location-dependent"
+        } else if j < 0.9 {
+            "somewhat location-dependent"
+        } else {
+            "essentially identical"
+        };
+        println!("{term:<24} {kind:<16} {j:>8.2} {e:>10}   {verdict}");
+        crawler.net().clock().advance_minutes(11);
+    }
+
+    println!(
+        "\nThe paper's conclusion in miniature: establishments personalize\n\
+         heavily (useful), while civic queries stay near-identical (no\n\
+         geolocal filter bubble for political information)."
+    );
+}

@@ -1,0 +1,51 @@
+//! The paper's full 30-day study, end to end.
+//!
+//! By default this runs a medium-scale version (every query category and
+//! granularity, subsampled queries/locations, 3 days per block) so it
+//! finishes in seconds. Set `GEOSERP_FULL=1` for the complete plan — all
+//! 240 queries × 59 locations × treatment+control × 5 days per block
+//! (~280k SERPs; takes a few minutes and ~1 GB of RAM).
+//!
+//! ```sh
+//! cargo run --release --example full_study
+//! GEOSERP_FULL=1 cargo run --release --example full_study
+//! ```
+
+use geoserp::prelude::*;
+
+fn main() {
+    let full = std::env::var("GEOSERP_FULL").is_ok_and(|v| v == "1");
+    let plan = if full {
+        ExperimentPlan::paper_full()
+    } else {
+        ExperimentPlan {
+            days: 3,
+            queries_per_category: Some(12),
+            locations_per_granularity: Some(10),
+            ..ExperimentPlan::paper_full()
+        }
+    };
+    println!(
+        "plan: {} days total, {} queries/category, {} locations/granularity{}",
+        plan.total_days(),
+        plan.queries_per_category
+            .map(|n| n.to_string())
+            .unwrap_or_else(|| "all".into()),
+        plan.locations_per_granularity
+            .map(|n| n.to_string())
+            .unwrap_or_else(|| "all".into()),
+        if full { " (FULL PAPER SCALE)" } else { " (set GEOSERP_FULL=1 for full scale)" },
+    );
+
+    let study = Study::builder().seed(2015).plan(plan).build();
+    let started = std::time::Instant::now();
+    let dataset = study.run();
+    println!(
+        "collected {} SERPs ({} requests) in {:.1?}\n",
+        dataset.observations().len(),
+        dataset.meta.requests_issued,
+        started.elapsed()
+    );
+
+    println!("{}", study.report(&dataset));
+}

@@ -1,0 +1,46 @@
+//! Quickstart: build a world, run a small end-to-end study, print the
+//! per-figure report.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Everything is simulated and deterministic: the same seed reproduces the
+//! same dataset and the same report byte-for-byte.
+
+use geoserp::prelude::*;
+
+fn main() {
+    // A scaled-down version of the paper's plan: a few queries per category,
+    // a few locations per granularity, 2 days per block.
+    let study = Study::builder().seed(2015).quick().build();
+
+    println!("building the world and crawling (deterministic, seed 2015)…\n");
+    let dataset = study.run();
+
+    // Peek at one raw SERP the way the paper's Figure 1 does: issue a single
+    // query through the full browser → network → engine pipeline.
+    let crawler = study.crawler();
+    let cleveland = crawler.vantage().baseline(Granularity::County).clone();
+    let mut browser = geoserp::browser::Browser::new(
+        std::sync::Arc::clone(crawler.net()),
+        geoserp::net::ip("198.51.100.77"),
+    );
+    let fetch = browser
+        .run_search_job(geoserp::engine::SEARCH_HOST, "Coffee", cleveland.coord)
+        .expect("search succeeds");
+    let page = geoserp::serp::parse(&fetch.body).expect("SERP parses");
+    println!(
+        "sample SERP for \"Coffee\" from {} ({} results, reported location: {}):",
+        cleveland.region.name,
+        page.result_count(),
+        page.reported_location
+    );
+    for r in page.extract_results().iter().take(8) {
+        println!("  {:>2}. [{}] {}", r.rank + 1, r.rtype, r.url);
+    }
+    println!("  …\n");
+
+    // The full §3 analysis over the collected dataset.
+    println!("{}", study.report(&dataset));
+}

@@ -1,0 +1,77 @@
+//! Comparing two search engines with one methodology — the paper's
+//! future-work direction ("Our methodology can easily be extended to other
+//! countries and search engines").
+//!
+//! The same crawl plan runs against the default engine profile and an
+//! alternative profile (weaker proximity weighting, heavier-tailed decay,
+//! always-on Maps). The measurement pipeline never changes; only the black
+//! box under test does — and the figures tell the two apart.
+//!
+//! ```sh
+//! cargo run --release --example two_engines
+//! ```
+
+use geoserp::analysis::{fig2_noise, fig5_personalization, fig7_personalization_by_type, ObsIndex};
+use geoserp::engine::EngineConfig;
+use geoserp::prelude::*;
+
+fn measure(label: &str, config: EngineConfig) {
+    let plan = ExperimentPlan {
+        days: 2,
+        queries_per_category: Some(10),
+        locations_per_granularity: Some(8),
+        ..ExperimentPlan::paper_full()
+    };
+    let study = Study::builder()
+        .seed(2015)
+        .engine_config(config)
+        .plan(plan)
+        .build();
+    let ds = study.run();
+    let idx = ObsIndex::new(&ds);
+
+    let pers = fig5_personalization(&idx);
+    let noise = fig2_noise(&idx);
+    let maps = fig7_personalization_by_type(&idx);
+    let local = |g: Granularity| {
+        pers.iter()
+            .find(|r| r.granularity == g && r.category == QueryCategory::Local)
+            .map(|r| r.edit_distance.mean)
+            .unwrap_or(0.0)
+    };
+    let local_noise: f64 = noise
+        .iter()
+        .filter(|s| s.category == QueryCategory::Local)
+        .map(|s| s.edit_distance.mean)
+        .sum::<f64>()
+        / 3.0;
+    let maps_share: f64 = maps
+        .iter()
+        .filter(|r| r.category == QueryCategory::Local)
+        .map(|r| r.maps_fraction())
+        .sum::<f64>()
+        / 3.0;
+
+    println!(
+        "{label:<22} local personalization (county/state/national): {:.1} / {:.1} / {:.1}",
+        local(Granularity::County),
+        local(Granularity::State),
+        local(Granularity::National)
+    );
+    println!(
+        "{:<22} local noise: {local_noise:.2}   maps share of local differences: {:.0}%\n",
+        "", 100.0 * maps_share
+    );
+}
+
+fn main() {
+    println!("one methodology, two engines (same world seed, same plan):\n");
+    measure("default engine", EngineConfig::paper_defaults());
+    measure("alternative engine", EngineConfig::alternative_engine());
+    println!(
+        "What to look for: the alternative engine's weaker proximity weight\n\
+         and heavier decay tail flatten the county→state growth, and its\n\
+         always-on Maps policy raises the Maps share — the same crawler and\n\
+         metrics measurably characterize a different ranking philosophy."
+    );
+}

@@ -1,0 +1,25 @@
+//! # geoserp
+//!
+//! Umbrella crate for the geoserp measurement framework — a full Rust
+//! reproduction of *"Location, Location, Location: The Impact of Geolocation
+//! on Web Search Personalization"* (Kliman-Silver et al., IMC 2015).
+//!
+//! This crate re-exports [`geoserp_core`], which in turn re-exports every
+//! subsystem crate. See the README for a tour and `DESIGN.md` for the system
+//! inventory.
+//!
+//! ```
+//! use geoserp::prelude::*;
+//!
+//! let plan = ExperimentPlan {
+//!     days: 1,
+//!     queries_per_category: Some(2),
+//!     locations_per_granularity: Some(2),
+//!     ..ExperimentPlan::quick()
+//! };
+//! let study = Study::builder().seed(2015).plan(plan).build();
+//! let dataset = study.run();
+//! assert!(!dataset.observations().is_empty());
+//! ```
+
+pub use geoserp_core::*;

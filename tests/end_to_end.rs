@@ -1,0 +1,89 @@
+//! End-to-end integration: world construction → crawl → dataset → report,
+//! across every crate boundary.
+
+use geoserp::prelude::*;
+
+fn small_plan() -> ExperimentPlan {
+    ExperimentPlan {
+        days: 2,
+        queries_per_category: Some(4),
+        locations_per_granularity: Some(4),
+        ..ExperimentPlan::quick()
+    }
+}
+
+#[test]
+fn full_pipeline_produces_complete_dataset() {
+    let study = Study::builder().seed(2015).plan(small_plan()).build();
+    let ds = study.run();
+
+    // batch0 (4 local + 4 controversial) + batch1 (4 politicians) = 12 terms;
+    // 12 × 3 granularities × 4 locations × 2 roles × 2 days = 576.
+    assert_eq!(ds.observations().len(), 576);
+    assert_eq!(ds.meta.failed_jobs, 0);
+
+    // Every observation parsed into a paper-sized page served by the pinned
+    // datacenter.
+    for o in ds.observations() {
+        assert!((8..=22).contains(&o.results.len()), "{}: {}", o.term, o.results.len());
+        assert_eq!(o.datacenter, "dc0");
+        assert!(!o.reported_location.is_empty());
+    }
+}
+
+#[test]
+fn same_seed_same_dataset_different_seed_different() {
+    let plan = small_plan();
+    let a = Study::builder().seed(42).plan(plan.clone()).build().run();
+    let b = Study::builder().seed(42).plan(plan.clone()).build().run();
+    let c = Study::builder().seed(43).plan(plan).build().run();
+    assert_eq!(a.to_json(), b.to_json(), "reproducibility");
+    assert_ne!(a.to_json(), c.to_json(), "seed sensitivity");
+}
+
+#[test]
+fn report_runs_over_collected_data() {
+    let study = Study::builder().seed(7).plan(small_plan()).build();
+    let ds = study.run();
+    let report = study.report(&ds);
+    assert!(report.contains("Fig. 2"));
+    assert!(report.contains("Fig. 8"));
+    assert!(report.contains("demographic"));
+    assert!(report.lines().count() > 60, "report should be substantial");
+}
+
+#[test]
+fn dataset_json_roundtrip_preserves_analysis_inputs() {
+    let study = Study::builder().seed(9).plan(small_plan()).build();
+    let ds = study.run();
+    let json = ds.to_json();
+    let back = Dataset::from_json(&json).expect("dataset deserializes");
+    assert_eq!(ds.observations(), back.observations());
+    assert_eq!(ds.distinct_urls(), back.distinct_urls());
+    // Analyses over the restored dataset equal analyses over the original.
+    let a = geoserp::analysis::fig2_noise(&ObsIndex::new(&ds));
+    let b = geoserp::analysis::fig2_noise(&ObsIndex::new(&back));
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.jaccard.mean, y.jaccard.mean);
+        assert_eq!(x.edit_distance.mean, y.edit_distance.mean);
+    }
+}
+
+#[test]
+fn treatments_and_controls_pair_up_everywhere() {
+    let study = Study::builder().seed(11).plan(small_plan()).build();
+    let ds = study.run();
+    let idx = ObsIndex::new(&ds);
+    for gran in idx.granularities() {
+        for cat in idx.categories() {
+            let mut pairs = 0;
+            idx.for_each_noise_pair(gran, cat, |t, c| {
+                assert_eq!(t.term, c.term);
+                assert_eq!(t.location, c.location);
+                pairs += 1;
+            });
+            // 4 terms × 2 days × 4 locations.
+            assert_eq!(pairs, 32, "{gran:?}/{cat:?}");
+        }
+    }
+}

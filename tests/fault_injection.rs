@@ -1,0 +1,101 @@
+//! Integration: the crawl methodology under adverse networks.
+//!
+//! The simulated network supports smoltcp-style fault injection (drop /
+//! single-bit corruption); the browser retries transient failures and the
+//! crawler refetches pages whose SERP markup fails to parse. A moderately
+//! hostile network must therefore yield a complete, analyzable dataset —
+//! and a byte-identical one across runs (fault decisions are seeded too).
+
+use geoserp::engine::EngineConfig;
+use geoserp::prelude::*;
+
+fn tiny_plan() -> ExperimentPlan {
+    ExperimentPlan {
+        days: 1,
+        queries_per_category: Some(2),
+        locations_per_granularity: Some(3),
+        ..ExperimentPlan::quick()
+    }
+}
+
+#[test]
+fn crawl_survives_lossy_network() {
+    let crawler = geoserp::crawler::Crawler::with_config_and_faults(
+        Seed::new(2015),
+        EngineConfig::paper_defaults(),
+        0.10, // 10% drops
+        0.05, // 5% corruptions
+    );
+    let ds = crawler.run(&tiny_plan());
+    // 6 terms × 3 granularities × 3 locations × 2 roles = 108 expected cells.
+    let expected = 6 * 3 * 3 * 2;
+    assert_eq!(
+        ds.observations().len() + ds.meta.failed_jobs as usize,
+        expected
+    );
+    // Retries absorb a 10% drop rate almost completely (the browser retries
+    // each page load up to 3 times, the crawler refetches parse failures):
+    // a few failures are tolerable, mass failure not.
+    assert!(
+        ds.meta.failed_jobs <= 5,
+        "too many failed jobs: {}",
+        ds.meta.failed_jobs
+    );
+    // The network really was lossy: drops were recorded and retried at the
+    // transport level.
+    let drops = crawler
+        .net()
+        .log()
+        .count_where(|e| matches!(e.kind, geoserp::net::NetEventKind::Dropped));
+    assert!(drops > 10, "expected a lossy network, saw {drops} drops");
+    // Every surviving observation is a fully parsed, paper-sized page.
+    for o in ds.observations() {
+        assert!((8..=22).contains(&o.results.len()));
+    }
+}
+
+#[test]
+fn lossy_crawls_are_still_deterministic() {
+    let run = || {
+        geoserp::crawler::Crawler::with_config_and_faults(
+            Seed::new(7),
+            EngineConfig::paper_defaults(),
+            0.15,
+            0.10,
+        )
+        .run(&tiny_plan())
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.to_json(), b.to_json(), "seeded faults must replay exactly");
+}
+
+#[test]
+fn corruption_is_retried_not_recorded() {
+    // 100% corruption chance on a tiny run: every first fetch is damaged;
+    // with all attempts corrupted, jobs fail rather than record garbage.
+    let crawler = geoserp::crawler::Crawler::with_config_and_faults(
+        Seed::new(3),
+        EngineConfig::paper_defaults(),
+        0.0,
+        1.0,
+    );
+    let plan = ExperimentPlan {
+        days: 1,
+        queries_per_category: Some(1),
+        locations_per_granularity: Some(1),
+        batches: vec![vec![QueryCategory::Local]],
+        granularities: vec![Granularity::County],
+        ..ExperimentPlan::quick()
+    };
+    let ds = crawler.run(&plan);
+    // Either a parse survived by luck (single-bit flips can land in content
+    // bytes and still parse — then the observation is a valid page) or the
+    // job failed; nothing in between.
+    for o in ds.observations() {
+        assert!(!o.results.is_empty());
+        for (url_id, _) in &o.results {
+            assert!(ds.url(*url_id).starts_with("http"), "garbage recorded");
+        }
+    }
+}

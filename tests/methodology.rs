@@ -1,0 +1,128 @@
+//! Integration tests for the *operational* methodology of §2.2: lock-step
+//! timing, DNS pinning, identical fingerprints, rate-limit avoidance, and
+//! the 11-minute history defeat.
+
+use geoserp::net::NetEventKind;
+use geoserp::prelude::*;
+use std::collections::BTreeMap;
+
+fn tiny_plan() -> ExperimentPlan {
+    ExperimentPlan {
+        days: 1,
+        queries_per_category: Some(2),
+        locations_per_granularity: Some(4),
+        ..ExperimentPlan::quick()
+    }
+}
+
+#[test]
+fn rounds_run_in_lock_step_and_waits_are_eleven_minutes() {
+    let study = Study::builder().seed(5).plan(tiny_plan()).build();
+    let crawler = study.crawler();
+    let _ds = crawler.run(&tiny_plan());
+
+    // Group search requests by timestamp: each round's requests share one
+    // virtual instant, and distinct instants are ≥ 11 minutes apart within
+    // a day.
+    let mut by_time: BTreeMap<u64, usize> = BTreeMap::new();
+    for e in crawler.net().log().snapshot() {
+        if let NetEventKind::Request { target, .. } = &e.kind {
+            if target.starts_with("/search") {
+                *by_time.entry(e.at.millis()).or_default() += 1;
+            }
+        }
+    }
+    assert!(!by_time.is_empty());
+    for (_, count) in &by_time {
+        // 4 locations × 2 roles = 8 simultaneous queries per round.
+        assert_eq!(*count, 8, "round sizes: {by_time:?}");
+    }
+    let times: Vec<u64> = by_time.keys().copied().collect();
+    for w in times.windows(2) {
+        let gap = w[1] - w[0];
+        // Same-day gaps are exactly the 11-minute wait; day boundaries are
+        // larger.
+        assert!(
+            gap == 11 * 60_000 || gap > 60 * 60_000,
+            "unexpected inter-round gap {gap} ms"
+        );
+    }
+}
+
+#[test]
+fn all_traffic_hits_the_pinned_datacenter() {
+    let study = Study::builder().seed(5).plan(tiny_plan()).build();
+    let crawler = study.crawler();
+    let _ds = crawler.run(&tiny_plan());
+    let mut dsts = std::collections::HashSet::new();
+    for e in crawler.net().log().snapshot() {
+        if let NetEventKind::Request { .. } = e.kind {
+            dsts.insert(e.dst.unwrap());
+        }
+    }
+    assert_eq!(dsts.len(), 1, "DNS pinning must fix one datacenter: {dsts:?}");
+}
+
+#[test]
+fn no_request_was_rate_limited_or_failed() {
+    let study = Study::builder().seed(5).plan(tiny_plan()).build();
+    let crawler = study.crawler();
+    let ds = crawler.run(&tiny_plan());
+    assert_eq!(ds.meta.failed_jobs, 0);
+    let throttled = crawler
+        .net()
+        .log()
+        .count_where(|e| matches!(e.kind, NetEventKind::Response { status: 429 }));
+    assert_eq!(throttled, 0);
+    let errors = crawler
+        .net()
+        .log()
+        .count_where(|e| matches!(e.kind, NetEventKind::Response { status } if status >= 400));
+    assert_eq!(errors, 0);
+}
+
+#[test]
+fn treatments_present_identical_fingerprints() {
+    use geoserp::browser::Browser;
+    let study = Study::builder().seed(5).build();
+    let crawler = study.crawler();
+    let a = Browser::new(std::sync::Arc::clone(crawler.net()), geoserp::net::ip("198.51.100.1"));
+    let b = Browser::new(std::sync::Arc::clone(crawler.net()), geoserp::net::ip("198.51.100.2"));
+    assert_eq!(a.fingerprint(), b.fingerprint());
+    assert!(a.cookies().is_empty() && b.cookies().is_empty());
+}
+
+#[test]
+fn eleven_minute_wait_defeats_history_personalization() {
+    // Direct engine-level check: a session's previous query influences
+    // ranking inside the 10-minute window but not after 11 minutes.
+    let study = Study::builder().seed(5).build();
+    let crawler = study.crawler();
+    let engine = crawler.engine();
+    let metro = crawler.vantage().baseline(Granularity::County).coord;
+
+    let ctx = |q: &str, at_min: u64, session: Option<&str>, seq: u64| {
+        geoserp::engine::SearchContext {
+            query: q.into(),
+            gps: Some(metro),
+            src: "198.51.100.10".parse().unwrap(),
+            datacenter: 0,
+            seq,
+            at_ms: at_min * 60_000,
+            session: session.map(str::to_owned),
+            page: 0,
+        }
+    };
+
+    // Prime a session with a "coffee" search, then query an ambiguous term.
+    engine.search(&ctx("Coffee", 0, Some("s1"), 1_000));
+    let within = engine.search(&ctx("Subway", 5, Some("s1"), 1_001));
+    let after = engine.search(&ctx("Subway", 16, Some("s1"), 1_001));
+    // Same seq → identical noise draws; any difference is the history boost
+    // (which may or may not reorder the page — but the *engine state* must
+    // differ only within the window; outside it pages must match a fresh
+    // session exactly).
+    let fresh = engine.search(&ctx("Subway", 16, None, 1_001));
+    assert_eq!(after.urls(), fresh.urls(), "expired history must not leak");
+    let _ = within;
+}

@@ -1,0 +1,153 @@
+//! The paper's headline findings must hold, qualitatively, in the
+//! reproduction. These are the repo's "shape" acceptance tests (see
+//! EXPERIMENTS.md for the quantitative paper-vs-measured comparison).
+
+use geoserp::analysis::{
+    demographic_correlations, fig2_noise, fig5_personalization, fig6_personalization_per_term,
+    fig7_personalization_by_type, ObsIndex,
+};
+use geoserp::prelude::*;
+
+fn medium_dataset() -> (Study, Dataset) {
+    let plan = ExperimentPlan {
+        days: 2,
+        queries_per_category: Some(12),
+        locations_per_granularity: Some(10),
+        ..ExperimentPlan::paper_full()
+    };
+    let study = Study::builder().seed(2015).plan(plan).build();
+    let ds = study.run();
+    (study, ds)
+}
+
+#[test]
+fn headline_shapes_hold() {
+    let (_study, ds) = medium_dataset();
+    let idx = ObsIndex::new(&ds);
+
+    // ---- Fig. 2: local queries are the noisy ones --------------------------
+    let noise = fig2_noise(&idx);
+    let noise_of = |cat: QueryCategory| -> f64 {
+        noise
+            .iter()
+            .filter(|s| s.category == cat)
+            .map(|s| s.edit_distance.mean)
+            .sum::<f64>()
+            / 3.0
+    };
+    assert!(
+        noise_of(QueryCategory::Local) > noise_of(QueryCategory::Controversial),
+        "local noise {} vs controversial {}",
+        noise_of(QueryCategory::Local),
+        noise_of(QueryCategory::Controversial)
+    );
+    assert!(noise_of(QueryCategory::Local) > noise_of(QueryCategory::Politician));
+
+    // Noise is roughly independent of granularity (within 2.5× across
+    // granularities for each category).
+    for cat in [QueryCategory::Local, QueryCategory::Controversial] {
+        let vals: Vec<f64> = noise
+            .iter()
+            .filter(|s| s.category == cat)
+            .map(|s| s.edit_distance.mean)
+            .collect();
+        let (lo, hi) = (
+            vals.iter().cloned().fold(f64::INFINITY, f64::min),
+            vals.iter().cloned().fold(0.0, f64::max),
+        );
+        assert!(hi <= lo * 2.5 + 0.5, "{cat:?} noise varies too much: {vals:?}");
+    }
+
+    // ---- Fig. 5: personalization grows with distance; local dominates ------
+    let pers = fig5_personalization(&idx);
+    let p = |cat: QueryCategory, g: Granularity| {
+        pers.iter()
+            .find(|r| r.category == cat && r.granularity == g)
+            .unwrap()
+    };
+    let local_county = p(QueryCategory::Local, Granularity::County);
+    let local_state = p(QueryCategory::Local, Granularity::State);
+    let local_national = p(QueryCategory::Local, Granularity::National);
+    // The big jump is county → state (§3.2).
+    assert!(
+        local_state.edit_distance.mean > local_county.edit_distance.mean + 1.0,
+        "county {} vs state {}",
+        local_county.edit_distance.mean,
+        local_state.edit_distance.mean
+    );
+    assert!(local_national.edit_distance.mean > local_county.edit_distance.mean + 1.0);
+    // Local clears its noise floor decisively; the others sit near theirs.
+    assert!(local_state.edit_above_noise() > 3.0);
+    for cat in [QueryCategory::Controversial, QueryCategory::Politician] {
+        for g in [Granularity::County, Granularity::State] {
+            assert!(
+                p(cat, g).edit_above_noise() < 1.5,
+                "{cat:?}/{g:?} too personalized: {}",
+                p(cat, g).edit_above_noise()
+            );
+        }
+    }
+
+    // ---- Fig. 6: brands personalize less than generic local terms ----------
+    let series = fig6_personalization_per_term(&idx, QueryCategory::Local);
+    let mean_for = |brand: bool| -> f64 {
+        let vals: Vec<f64> = series
+            .iter()
+            .filter(|s| geoserp::corpus::QueryCorpus::is_brand_term(&s.term) == brand)
+            .filter_map(|s| s.edit_by_granularity.get(&Granularity::National))
+            .copied()
+            .collect();
+        vals.iter().sum::<f64>() / vals.len().max(1) as f64
+    };
+    assert!(
+        mean_for(false) > mean_for(true),
+        "generic {} vs brand {}",
+        mean_for(false),
+        mean_for(true)
+    );
+
+    // ---- Fig. 7: Maps drives part of local changes, ~none of controversial --
+    let breakdown = fig7_personalization_by_type(&idx);
+    let local_maps: f64 = breakdown
+        .iter()
+        .filter(|r| r.category == QueryCategory::Local)
+        .map(|r| r.maps_fraction())
+        .sum::<f64>()
+        / 3.0;
+    assert!(
+        (0.05..0.6).contains(&local_maps),
+        "local maps fraction {local_maps}"
+    );
+    // The majority of local changes still hit "typical" results.
+    for r in breakdown.iter().filter(|r| r.category == QueryCategory::Local) {
+        assert!(
+            r.other >= r.maps,
+            "{:?}: other {} < maps {}",
+            r.granularity,
+            r.other,
+            r.maps
+        );
+    }
+
+    // ---- §3.2: the demographics null result ---------------------------------
+    let demo = demographic_correlations(&idx, QueryCategory::Local, Granularity::County);
+    assert!(
+        demo.max_abs_feature_pearson() < 0.75,
+        "county-level demographics should not explain similarity: {}",
+        demo.max_abs_feature_pearson()
+    );
+}
+
+#[test]
+fn validation_shape_holds() {
+    let study = Study::builder().seed(2015).build();
+    let r = study.validate(25, 8);
+    // "94% of the search results received by the machines are identical."
+    assert!(
+        r.gps_mean_pairwise_jaccard > 0.88,
+        "gps agreement {}",
+        r.gps_mean_pairwise_jaccard
+    );
+    assert!(r.gps_mean_pairwise_jaccard > r.ip_mean_pairwise_jaccard);
+    assert_eq!(r.gps_reported_location_agreement, 1.0);
+}

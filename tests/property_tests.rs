@@ -1,0 +1,173 @@
+//! Cross-crate property-based tests: invariants that must hold for
+//! arbitrary inputs, not just the paper's fixtures.
+
+use geoserp::metrics::{edit_distance, jaccard};
+use geoserp::serp::{parse, Card, CardType, SerpPage};
+use proptest::prelude::*;
+
+/// Arbitrary printable-ish strings including the characters the markup
+/// escapes.
+fn wild_text() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[ -~éß❤\"&<>]{0,40}").unwrap()
+}
+
+fn arb_card() -> impl Strategy<Value = Card> {
+    (
+        prop_oneof![
+            Just(CardType::Organic),
+            Just(CardType::Maps),
+            Just(CardType::News)
+        ],
+        proptest::collection::vec((wild_text(), wild_text()), 1..5),
+    )
+        .prop_map(|(ctype, entries)| {
+            let mut c = Card::new(ctype);
+            for (u, t) in entries {
+                c.push(u, t);
+            }
+            c
+        })
+}
+
+fn arb_page() -> impl Strategy<Value = SerpPage> {
+    (
+        wild_text(),
+        proptest::option::of(Just("41.500000,-81.700000".to_string())),
+        wild_text(),
+        proptest::collection::vec(arb_card(), 0..8),
+    )
+        .prop_map(|(query, gps, loc, cards)| {
+            let mut p = SerpPage::new(query, gps.as_deref(), "dc1", loc);
+            for c in cards {
+                p.push_card(c);
+            }
+            p
+        })
+}
+
+proptest! {
+    /// The SERP wire format round-trips arbitrary content exactly.
+    #[test]
+    fn serp_markup_roundtrips(page in arb_page()) {
+        let rendered = page.render();
+        let parsed = parse(&rendered).expect("own renderings always parse");
+        prop_assert_eq!(parsed, page);
+    }
+
+    /// Extraction yields exactly the per-card contributions, in order.
+    #[test]
+    fn extraction_counts_match_cards(page in arb_page()) {
+        let results = page.extract_results();
+        prop_assert_eq!(results.len(), page.result_count());
+        for w in results.windows(2) {
+            prop_assert_eq!(w[0].rank + 1, w[1].rank);
+        }
+    }
+
+    /// GPS strings round-trip through the coordinate parser.
+    #[test]
+    fn gps_string_roundtrip(lat in -90.0f64..90.0, lon in -179.99f64..180.0) {
+        let c = geoserp::geo::Coord::new(lat, lon);
+        let back = geoserp::geo::Coord::parse_gps(&c.to_gps_string()).unwrap();
+        prop_assert!((back.lat_deg - c.lat_deg).abs() < 1e-5);
+        prop_assert!((back.lon_deg - c.lon_deg).abs() < 1e-5);
+    }
+
+    /// Haversine is a sane metric on the sphere.
+    #[test]
+    fn haversine_properties(
+        lat1 in -80.0f64..80.0, lon1 in -179.0f64..179.0,
+        lat2 in -80.0f64..80.0, lon2 in -179.0f64..179.0,
+    ) {
+        let a = geoserp::geo::Coord::new(lat1, lon1);
+        let b = geoserp::geo::Coord::new(lat2, lon2);
+        let d = a.haversine_km(b);
+        prop_assert!(d >= 0.0);
+        prop_assert!(d <= 20_100.0, "no distance beyond half the circumference: {d}");
+        prop_assert!((a.haversine_km(b) - b.haversine_km(a)).abs() < 1e-9);
+        prop_assert!(a.haversine_km(a) < 1e-9);
+    }
+
+    /// Jaccard and edit distance agree on the extremes for any URL lists.
+    #[test]
+    fn metric_extremes_agree(
+        urls in proptest::collection::vec("[a-z]{1,8}", 1..20)
+    ) {
+        prop_assert_eq!(jaccard(&urls, &urls), 1.0);
+        prop_assert_eq!(edit_distance(&urls, &urls), 0);
+        let empty: Vec<String> = Vec::new();
+        prop_assert_eq!(edit_distance(&urls, &empty), urls.len());
+    }
+
+    /// Seed derivation never collides across simple label families.
+    #[test]
+    fn seed_labels_do_not_collide(a in 0u64..500, b in 0u64..500) {
+        prop_assume!(a != b);
+        let root = geoserp::geo::Seed::new(99);
+        prop_assert_ne!(root.derive_idx("x", a), root.derive_idx("x", b));
+    }
+
+    /// The SERP parser never panics on arbitrary input — it returns errors.
+    #[test]
+    fn serp_parser_total_on_garbage(body in "[\\x00-\\x7f]{0,400}") {
+        let _ = parse(&body); // must not panic
+    }
+
+    /// Nor on mutations of valid pages (the fault injector's output).
+    #[test]
+    fn serp_parser_total_on_mutations(page in arb_page(), flip in 0usize..10_000) {
+        let rendered = page.render();
+        let mut bytes = rendered.into_bytes();
+        if !bytes.is_empty() {
+            let idx = flip % bytes.len();
+            bytes[idx] ^= 1 << (flip % 8);
+        }
+        let mangled = String::from_utf8_lossy(&bytes).into_owned();
+        let _ = parse(&mangled); // must not panic
+    }
+
+    /// Demographics stay in bounds for any coordinate.
+    #[test]
+    fn demographics_bounded(lat in -90.0f64..90.0, lon in -180.0f64..180.0) {
+        let d = geoserp::geo::Demographics::synthesize(
+            geoserp::geo::Seed::new(1),
+            geoserp::geo::Coord::new(lat, lon),
+        );
+        for &v in d.values() {
+            prop_assert!((0.0..=1.0).contains(&v));
+        }
+    }
+}
+
+/// Engine determinism probed over a small random query space (not a
+/// proptest macro case because engine construction is expensive: one world,
+/// many probes).
+#[test]
+fn engine_is_replayable_for_random_queries() {
+    use geoserp::prelude::*;
+    let study = Study::builder().seed(77).build();
+    let crawler = study.crawler();
+    let engine = crawler.engine();
+    let metro = crawler.vantage().baseline(Granularity::County).coord;
+    let mut rng = geoserp::geo::Seed::new(123).rng();
+    let vocab = ["school", "coffee", "tax", "obama", "hospital", "kfc", "park"];
+    for i in 0..40 {
+        let a = *rng.pick(&vocab);
+        let b = *rng.pick(&vocab);
+        let query = format!("{a} {b}");
+        let ctx = geoserp::engine::SearchContext {
+            query,
+            gps: Some(metro),
+            src: "198.51.100.3".parse().unwrap(),
+            datacenter: (i % 3) as u32,
+            seq: 10_000 + i,
+            at_ms: 86_400_000 * 9,
+            session: None,
+            page: 0,
+        };
+        let x = engine.search(&ctx);
+        let y = engine.search(&ctx);
+        assert_eq!(x, y, "engine must be pure in its context");
+        assert!(x.result_count() <= 22);
+    }
+}

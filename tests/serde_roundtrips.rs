@@ -1,0 +1,118 @@
+//! Serialization round-trips for every public configuration/data type that
+//! crosses a file boundary (saved datasets, exported configs, traces).
+
+use geoserp::engine::EngineConfig;
+use geoserp::prelude::*;
+
+#[test]
+fn engine_config_roundtrips() {
+    for cfg in [
+        EngineConfig::paper_defaults(),
+        EngineConfig::noiseless(),
+        EngineConfig::alternative_engine(),
+        EngineConfig::with_result_cache(60_000),
+    ] {
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: EngineConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(cfg, back);
+    }
+}
+
+#[test]
+fn experiment_plan_roundtrips() {
+    for plan in [ExperimentPlan::paper_full(), ExperimentPlan::quick()] {
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: ExperimentPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(plan, back);
+    }
+}
+
+#[test]
+fn geography_and_vantage_roundtrip() {
+    let geo = UsGeography::generate(Seed::new(4));
+    let json = serde_json::to_string(&geo).unwrap();
+    let back: UsGeography = serde_json::from_str(&json).unwrap();
+    assert_eq!(geo.states, back.states);
+    assert_eq!(geo.ohio_counties, back.ohio_counties);
+    assert_eq!(geo.cuyahoga_districts, back.cuyahoga_districts);
+
+    let vp = VantagePoints::paper_defaults(&geo, Seed::new(4).derive("vp"));
+    let json = serde_json::to_string(&vp).unwrap();
+    let back: VantagePoints = serde_json::from_str(&json).unwrap();
+    assert_eq!(vp.national, back.national);
+    assert_eq!(vp.state, back.state);
+    assert_eq!(vp.county, back.county);
+}
+
+#[test]
+fn validation_report_roundtrips() {
+    let study = Study::builder().seed(3).build();
+    let report = study.validate(4, 2);
+    let json = serde_json::to_string(&report).unwrap();
+    let back: ValidationReport = serde_json::from_str(&json).unwrap();
+    assert_eq!(report, back);
+}
+
+#[test]
+fn serp_page_roundtrips_via_serde_not_just_markup() {
+    use geoserp::serp::{Card, CardType, SerpPage};
+    let mut page = SerpPage::new("q", Some("41.0,-81.0"), "dc2", "Cleveland, OH");
+    let mut maps = Card::new(CardType::Maps);
+    maps.push("u1", "t1");
+    page.push_card(maps);
+    let json = serde_json::to_string(&page).unwrap();
+    let back: SerpPage = serde_json::from_str(&json).unwrap();
+    assert_eq!(page, back);
+}
+
+#[test]
+fn net_events_roundtrip() {
+    use geoserp::net::{NetEvent, NetEventKind};
+    let e = NetEvent {
+        at: geoserp::net::clock::SimInstant(42),
+        src: "10.0.0.1".parse().unwrap(),
+        dst: Some("10.1.0.1".parse().unwrap()),
+        kind: NetEventKind::Request {
+            host: "h".into(),
+            target: "/t?q=x".into(),
+        },
+    };
+    let json = serde_json::to_string(&e).unwrap();
+    let back: NetEvent = serde_json::from_str(&json).unwrap();
+    assert_eq!(e, back);
+}
+
+#[test]
+fn corpus_roundtrips_and_is_equivalent_for_search() {
+    // A corpus serialized and restored must drive the engine to identical
+    // SERPs (the acid test that nothing analysis-relevant is `serde(skip)`ed
+    // without reconstruction).
+    let geo = UsGeography::generate(Seed::new(5));
+    let corpus = WebCorpus::generate(&geo, Seed::new(5).derive("corpus"));
+    let json = serde_json::to_string(&corpus).unwrap();
+    let restored: WebCorpus = serde_json::from_str(&json).unwrap();
+
+    let engine_a = geoserp::engine::SearchEngine::new(
+        std::sync::Arc::new(corpus),
+        &geo,
+        EngineConfig::paper_defaults(),
+        Seed::new(5),
+    );
+    let engine_b = geoserp::engine::SearchEngine::new(
+        std::sync::Arc::new(restored),
+        &geo,
+        EngineConfig::paper_defaults(),
+        Seed::new(5),
+    );
+    let ctx = geoserp::engine::SearchContext {
+        query: "Hospital".into(),
+        gps: Some(geo.cuyahoga_districts[0].coord),
+        src: "10.0.0.1".parse().unwrap(),
+        datacenter: 0,
+        seq: 9,
+        at_ms: 86_400_000,
+        session: None,
+        page: 0,
+    };
+    assert_eq!(engine_a.search(&ctx), engine_b.search(&ctx));
+}
