@@ -14,9 +14,18 @@ fn main() {
     let ds = crawler.run(&plan);
     let idx = ObsIndex::new(&ds);
     println!("== fig2 noise ==");
-    println!("{}", geoserp_analysis::noise::render_fig2(&fig2_noise(&idx)));
+    println!(
+        "{}",
+        geoserp_analysis::noise::render_fig2(&fig2_noise(&idx))
+    );
     println!("== fig5 personalization ==");
-    println!("{}", geoserp_analysis::personalization::render_fig5(&fig5_personalization(&idx)));
+    println!(
+        "{}",
+        geoserp_analysis::personalization::render_fig5(&fig5_personalization(&idx))
+    );
     println!("== fig7 ==");
-    println!("{}", geoserp_analysis::attribution::render_fig7(&fig7_personalization_by_type(&idx)));
+    println!(
+        "{}",
+        geoserp_analysis::attribution::render_fig7(&fig7_personalization_by_type(&idx))
+    );
 }

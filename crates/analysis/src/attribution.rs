@@ -89,7 +89,13 @@ pub fn fig4_noise_by_type(
         for day in idx.days(granularity) {
             for &loc in idx.locations(granularity) {
                 if let (Some(t), Some(c)) = (
-                    idx.get(day, granularity, loc, term, geoserp_crawler::Role::Treatment),
+                    idx.get(
+                        day,
+                        granularity,
+                        loc,
+                        term,
+                        geoserp_crawler::Role::Treatment,
+                    ),
                     idx.get(day, granularity, loc, term, geoserp_crawler::Role::Control),
                 ) {
                     let (a, m, n, _) = decompose(idx, t, c);
@@ -107,7 +113,7 @@ pub fn fig4_noise_by_type(
             news: mean(&news),
         });
     }
-    out.sort_by(|a, b| a.all.partial_cmp(&b.all).unwrap().then(a.term.cmp(&b.term)));
+    out.sort_by(|a, b| a.all.total_cmp(&b.all).then(a.term.cmp(&b.term)));
     out
 }
 
@@ -149,14 +155,7 @@ pub fn fig7_personalization_by_type(idx: &ObsIndex<'_>) -> Vec<TypeBreakdownRow>
 pub fn render_fig4(rows: &[TypeNoiseRow]) -> String {
     let body: Vec<Vec<String>> = rows
         .iter()
-        .map(|r| {
-            vec![
-                r.term.clone(),
-                f2(r.all),
-                f2(r.maps),
-                f2(r.news),
-            ]
-        })
+        .map(|r| vec![r.term.clone(), f2(r.all), f2(r.maps), f2(r.news)])
         .collect();
     table(&["term", "all edit", "maps edit", "news edit"], &body)
 }
@@ -179,7 +178,16 @@ pub fn render_fig7(rows: &[TypeBreakdownRow]) -> String {
         })
         .collect();
     table(
-        &["category", "granularity", "total", "maps", "news", "other", "maps%", "news%"],
+        &[
+            "category",
+            "granularity",
+            "total",
+            "maps",
+            "news",
+            "other",
+            "maps%",
+            "news%",
+        ],
         &body,
     )
 }
@@ -210,7 +218,13 @@ mod tests {
             assert!(w[0].all <= w[1].all);
         }
         for r in &rows {
-            assert!(r.maps <= r.all + 1e-9, "{}: maps {} > all {}", r.term, r.maps, r.all);
+            assert!(
+                r.maps <= r.all + 1e-9,
+                "{}: maps {} > all {}",
+                r.term,
+                r.maps,
+                r.all
+            );
             assert!(r.news >= 0.0);
         }
     }
@@ -258,7 +272,11 @@ mod tests {
     fn renders_work() {
         let ds = dataset();
         let idx = ObsIndex::new(&ds);
-        let t4 = render_fig4(&fig4_noise_by_type(&idx, QueryCategory::Local, Granularity::County));
+        let t4 = render_fig4(&fig4_noise_by_type(
+            &idx,
+            QueryCategory::Local,
+            Granularity::County,
+        ));
         assert!(t4.contains("maps edit"));
         let t7 = render_fig7(&fig7_personalization_by_type(&idx));
         assert!(t7.contains("maps%"));

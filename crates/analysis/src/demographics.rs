@@ -134,15 +134,11 @@ pub fn render_demographics(report: &DemographicsReport) -> String {
         .map(|f| {
             (
                 f.pearson.map(f64::abs).unwrap_or(0.0),
-                vec![
-                    f.feature.clone(),
-                    fmt_opt(f.pearson),
-                    fmt_opt(f.spearman),
-                ],
+                vec![f.feature.clone(), fmt_opt(f.pearson), fmt_opt(f.spearman)],
             )
         })
         .collect();
-    rows.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+    rows.sort_by(|a, b| b.0.total_cmp(&a.0));
     let mut body = vec![vec![
         format!("* {}", report.distance.feature),
         fmt_opt(report.distance.pearson),
@@ -207,7 +203,67 @@ mod tests {
         let idx = ObsIndex::new(&ds);
         let r = demographic_correlations(&idx, QueryCategory::Local, Granularity::State);
         let d = r.distance.pearson.expect("defined");
-        assert!(d < -0.15, "distance should anti-correlate with similarity, r = {d}");
+        assert!(
+            d < -0.15,
+            "distance should anti-correlate with similarity, r = {d}"
+        );
+    }
+
+    #[test]
+    fn empty_dataset_gives_undefined_correlations_not_panics() {
+        use geoserp_crawler::DatasetMeta;
+        use geoserp_geo::{UsGeography, VantagePoints};
+        let geo = UsGeography::generate(Seed::new(1));
+        let vantage = VantagePoints::paper_defaults(&geo, Seed::new(1).derive("vp"));
+        let ds = Dataset::new(vantage, DatasetMeta::default());
+        let idx = ObsIndex::new(&ds);
+        let r = demographic_correlations(&idx, QueryCategory::Local, Granularity::County);
+        assert_eq!(r.pairs, 0);
+        assert_eq!(r.distance.pearson, None);
+        assert_eq!(r.distance.spearman, None);
+        assert!(r.features.iter().all(|f| f.pearson.is_none()));
+        assert_eq!(r.max_abs_feature_pearson(), 0.0);
+        assert!(render_demographics(&r).contains("n/a"));
+    }
+
+    #[test]
+    fn constant_similarity_gives_none_correlations() {
+        use geoserp_crawler::{DatasetMeta, Observation, Role};
+        use geoserp_geo::{UsGeography, VantagePoints};
+        use geoserp_serp::ResultType;
+        // Identical SERPs everywhere → pairwise similarity is constant 1.0,
+        // a zero-variance side for every correlation.
+        let geo = UsGeography::generate(Seed::new(1));
+        let vantage = VantagePoints::paper_defaults(&geo, Seed::new(1).derive("vp"));
+        let mut ds = Dataset::new(vantage, DatasetMeta::default());
+        let locs: Vec<_> = ds.vantage.county.iter().take(3).map(|l| l.id).collect();
+        let results: Vec<_> = ["https://a/", "https://b/"]
+            .iter()
+            .map(|u| (ds.intern(u), ResultType::Organic))
+            .collect();
+        for loc in locs {
+            ds.push(Observation {
+                day: 0,
+                block_day: 0,
+                granularity: Granularity::County,
+                location: loc,
+                term: "pizza".into(),
+                category: QueryCategory::Local,
+                role: Role::Treatment,
+                results: results.clone(),
+                datacenter: "dc0".into(),
+                reported_location: "Cleveland, OH".into(),
+            });
+        }
+        let idx = ObsIndex::new(&ds);
+        let r = demographic_correlations(&idx, QueryCategory::Local, Granularity::County);
+        assert_eq!(r.pairs, 3);
+        assert_eq!(r.distance.pearson, None, "zero variance in similarity");
+        assert_eq!(r.distance.spearman, None);
+        assert!(r
+            .features
+            .iter()
+            .all(|f| f.pearson.is_none() && f.spearman.is_none()));
     }
 
     #[test]

@@ -44,9 +44,7 @@ impl<'a> ObsIndex<'a> {
                 .entry(obs.granularity)
                 .or_default()
                 .insert(obs.block_day);
-            let locs = locations_by_granularity
-                .entry(obs.granularity)
-                .or_default();
+            let locs = locations_by_granularity.entry(obs.granularity).or_default();
             if !locs.contains(&obs.location) {
                 locs.push(obs.location);
             }

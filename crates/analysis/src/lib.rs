@@ -39,12 +39,14 @@ pub mod plot;
 pub mod render;
 pub mod significance;
 
-pub use attribution::{fig4_noise_by_type, fig7_personalization_by_type, TypeBreakdownRow, TypeNoiseRow};
+pub use attribution::{
+    fig4_noise_by_type, fig7_personalization_by_type, TypeBreakdownRow, TypeNoiseRow,
+};
 pub use consistency::{fig8_consistency, Fig8Panel};
 pub use demographics::{demographic_correlations, DemographicsReport, FeatureCorrelation};
 pub use index::ObsIndex;
-pub use noise::{fig2_noise, fig3_noise_per_term, CategoryStat, TermSeries};
 pub use markdown::{compare_with_paper, Comparison, ShapeCheck};
+pub use noise::{fig2_noise, fig3_noise_per_term, CategoryStat, TermSeries};
 pub use personalization::{
     fig5_personalization, fig6_personalization_per_term, most_personalized_terms, Fig5Row,
 };

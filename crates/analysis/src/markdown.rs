@@ -69,7 +69,10 @@ pub fn compare_with_paper(dataset: &Dataset) -> Comparison {
 
     // ---- Figure 2 ----------------------------------------------------------
     let _ = writeln!(md, "## Figure 2 — noise\n");
-    let _ = writeln!(md, "| granularity | category | paper jacc | measured | paper edit | measured |");
+    let _ = writeln!(
+        md,
+        "| granularity | category | paper jacc | measured | paper edit | measured |"
+    );
     let _ = writeln!(md, "|---|---|---|---|---|---|");
     for s in &noise {
         if let Some(r) = paper::fig2_reference(s.granularity, s.category) {
@@ -108,7 +111,10 @@ pub fn compare_with_paper(dataset: &Dataset) -> Comparison {
 
     // ---- Figure 5 ----------------------------------------------------------
     let _ = writeln!(md, "\n## Figure 5 — personalization\n");
-    let _ = writeln!(md, "| granularity | category | paper edit | measured | > noise floor |");
+    let _ = writeln!(
+        md,
+        "| granularity | category | paper edit | measured | > noise floor |"
+    );
     let _ = writeln!(md, "|---|---|---|---|---|");
     for row in &pers {
         if let Some(r) = paper::fig5_reference(row.granularity, row.category) {
@@ -153,7 +159,9 @@ pub fn compare_with_paper(dataset: &Dataset) -> Comparison {
         md,
         "* per-term local personalization spans up to {:.1} changed results \
          (paper: {:.0}–{:.0})",
-        max_term, facts::LOCAL_PER_TERM_RANGE.0, facts::LOCAL_PER_TERM_RANGE.1
+        max_term,
+        facts::LOCAL_PER_TERM_RANGE.0,
+        facts::LOCAL_PER_TERM_RANGE.1
     );
     let local_maps: f64 = breakdown
         .iter()
@@ -189,7 +197,10 @@ pub fn compare_with_paper(dataset: &Dataset) -> Comparison {
         let _ = writeln!(md, "* {} {} — {}", verdict(c.holds), c.name, c.detail);
     }
 
-    Comparison { markdown: md, checks }
+    Comparison {
+        markdown: md,
+        checks,
+    }
 }
 
 #[cfg(test)]

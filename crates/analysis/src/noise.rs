@@ -122,9 +122,7 @@ pub(crate) fn per_term_series(
                 }
             }
             let entry = out.iter_mut().find(|s| s.term == term).expect("term row");
-            entry
-                .edit_by_granularity
-                .insert(gran, Summary::of(&e).mean);
+            entry.edit_by_granularity.insert(gran, Summary::of(&e).mean);
             entry
                 .jaccard_by_granularity
                 .insert(gran, Summary::of(&j).mean);
@@ -143,7 +141,7 @@ pub(crate) fn per_term_series(
             .get(&Granularity::National)
             .copied()
             .unwrap_or(0.0);
-        av.partial_cmp(&bv).unwrap().then(a.term.cmp(&b.term))
+        av.total_cmp(&bv).then(a.term.cmp(&b.term))
     });
     out
 }
@@ -157,20 +155,34 @@ pub fn render_fig2(stats: &[CategoryStat]) -> String {
                 s.granularity.label().to_string(),
                 s.category.label().to_string(),
                 format!("{} ± {}", f2(s.jaccard.mean), f2(s.jaccard.stddev)),
-                format!("{} ± {}", f2(s.edit_distance.mean), f2(s.edit_distance.stddev)),
+                format!(
+                    "{} ± {}",
+                    f2(s.edit_distance.mean),
+                    f2(s.edit_distance.stddev)
+                ),
                 s.jaccard.n.to_string(),
             ]
         })
         .collect();
     table(
-        &["granularity", "category", "avg jaccard", "avg edit dist", "pairs"],
+        &[
+            "granularity",
+            "category",
+            "avg jaccard",
+            "avg edit dist",
+            "pairs",
+        ],
         &rows,
     )
 }
 
 /// Render a per-term series table (Figures 3 and 6).
 pub fn render_term_series(series: &[TermSeries]) -> String {
-    let grans = [Granularity::County, Granularity::State, Granularity::National];
+    let grans = [
+        Granularity::County,
+        Granularity::State,
+        Granularity::National,
+    ];
     let rows: Vec<Vec<String>> = series
         .iter()
         .map(|s| {
@@ -215,7 +227,12 @@ mod tests {
         let stats = fig2_noise(&idx);
         assert_eq!(stats.len(), 9, "3 granularities × 3 categories");
         for s in &stats {
-            assert!(s.jaccard.n > 0, "{:?}/{:?} empty", s.granularity, s.category);
+            assert!(
+                s.jaccard.n > 0,
+                "{:?}/{:?} empty",
+                s.granularity,
+                s.category
+            );
             assert!((0.0..=1.0).contains(&s.jaccard.mean));
             assert!(s.edit_distance.mean >= 0.0);
         }

@@ -24,28 +24,118 @@ pub struct ReferenceCell {
 
 /// Figure 2 (noise), as read off the paper's bars.
 pub const FIG2_NOISE: [ReferenceCell; 9] = [
-    ReferenceCell { granularity: Granularity::County, category: QueryCategory::Politician, jaccard: 0.95, edit: 0.9 },
-    ReferenceCell { granularity: Granularity::County, category: QueryCategory::Controversial, jaccard: 0.96, edit: 0.7 },
-    ReferenceCell { granularity: Granularity::County, category: QueryCategory::Local, jaccard: 0.85, edit: 2.5 },
-    ReferenceCell { granularity: Granularity::State, category: QueryCategory::Politician, jaccard: 0.95, edit: 0.9 },
-    ReferenceCell { granularity: Granularity::State, category: QueryCategory::Controversial, jaccard: 0.96, edit: 0.7 },
-    ReferenceCell { granularity: Granularity::State, category: QueryCategory::Local, jaccard: 0.82, edit: 3.1 },
-    ReferenceCell { granularity: Granularity::National, category: QueryCategory::Politician, jaccard: 0.95, edit: 0.9 },
-    ReferenceCell { granularity: Granularity::National, category: QueryCategory::Controversial, jaccard: 0.96, edit: 0.7 },
-    ReferenceCell { granularity: Granularity::National, category: QueryCategory::Local, jaccard: 0.83, edit: 2.8 },
+    ReferenceCell {
+        granularity: Granularity::County,
+        category: QueryCategory::Politician,
+        jaccard: 0.95,
+        edit: 0.9,
+    },
+    ReferenceCell {
+        granularity: Granularity::County,
+        category: QueryCategory::Controversial,
+        jaccard: 0.96,
+        edit: 0.7,
+    },
+    ReferenceCell {
+        granularity: Granularity::County,
+        category: QueryCategory::Local,
+        jaccard: 0.85,
+        edit: 2.5,
+    },
+    ReferenceCell {
+        granularity: Granularity::State,
+        category: QueryCategory::Politician,
+        jaccard: 0.95,
+        edit: 0.9,
+    },
+    ReferenceCell {
+        granularity: Granularity::State,
+        category: QueryCategory::Controversial,
+        jaccard: 0.96,
+        edit: 0.7,
+    },
+    ReferenceCell {
+        granularity: Granularity::State,
+        category: QueryCategory::Local,
+        jaccard: 0.82,
+        edit: 3.1,
+    },
+    ReferenceCell {
+        granularity: Granularity::National,
+        category: QueryCategory::Politician,
+        jaccard: 0.95,
+        edit: 0.9,
+    },
+    ReferenceCell {
+        granularity: Granularity::National,
+        category: QueryCategory::Controversial,
+        jaccard: 0.96,
+        edit: 0.7,
+    },
+    ReferenceCell {
+        granularity: Granularity::National,
+        category: QueryCategory::Local,
+        jaccard: 0.83,
+        edit: 2.8,
+    },
 ];
 
 /// Figure 5 (personalization), as read off the paper's bars.
 pub const FIG5_PERSONALIZATION: [ReferenceCell; 9] = [
-    ReferenceCell { granularity: Granularity::County, category: QueryCategory::Politician, jaccard: 0.94, edit: 1.1 },
-    ReferenceCell { granularity: Granularity::County, category: QueryCategory::Controversial, jaccard: 0.95, edit: 0.9 },
-    ReferenceCell { granularity: Granularity::County, category: QueryCategory::Local, jaccard: 0.82, edit: 6.3 },
-    ReferenceCell { granularity: Granularity::State, category: QueryCategory::Politician, jaccard: 0.93, edit: 1.2 },
-    ReferenceCell { granularity: Granularity::State, category: QueryCategory::Controversial, jaccard: 0.94, edit: 1.0 },
-    ReferenceCell { granularity: Granularity::State, category: QueryCategory::Local, jaccard: 0.71, edit: 10.5 },
-    ReferenceCell { granularity: Granularity::National, category: QueryCategory::Politician, jaccard: 0.93, edit: 1.2 },
-    ReferenceCell { granularity: Granularity::National, category: QueryCategory::Controversial, jaccard: 0.94, edit: 1.1 },
-    ReferenceCell { granularity: Granularity::National, category: QueryCategory::Local, jaccard: 0.66, edit: 11.5 },
+    ReferenceCell {
+        granularity: Granularity::County,
+        category: QueryCategory::Politician,
+        jaccard: 0.94,
+        edit: 1.1,
+    },
+    ReferenceCell {
+        granularity: Granularity::County,
+        category: QueryCategory::Controversial,
+        jaccard: 0.95,
+        edit: 0.9,
+    },
+    ReferenceCell {
+        granularity: Granularity::County,
+        category: QueryCategory::Local,
+        jaccard: 0.82,
+        edit: 6.3,
+    },
+    ReferenceCell {
+        granularity: Granularity::State,
+        category: QueryCategory::Politician,
+        jaccard: 0.93,
+        edit: 1.2,
+    },
+    ReferenceCell {
+        granularity: Granularity::State,
+        category: QueryCategory::Controversial,
+        jaccard: 0.94,
+        edit: 1.0,
+    },
+    ReferenceCell {
+        granularity: Granularity::State,
+        category: QueryCategory::Local,
+        jaccard: 0.71,
+        edit: 10.5,
+    },
+    ReferenceCell {
+        granularity: Granularity::National,
+        category: QueryCategory::Politician,
+        jaccard: 0.93,
+        edit: 1.2,
+    },
+    ReferenceCell {
+        granularity: Granularity::National,
+        category: QueryCategory::Controversial,
+        jaccard: 0.94,
+        edit: 1.1,
+    },
+    ReferenceCell {
+        granularity: Granularity::National,
+        category: QueryCategory::Local,
+        jaccard: 0.66,
+        edit: 11.5,
+    },
 ];
 
 /// Scalar reference facts quoted in the paper's prose.
@@ -67,7 +157,9 @@ pub mod facts {
 
 /// Reference lookup.
 pub fn fig2_reference(g: Granularity, c: QueryCategory) -> Option<&'static ReferenceCell> {
-    FIG2_NOISE.iter().find(|r| r.granularity == g && r.category == c)
+    FIG2_NOISE
+        .iter()
+        .find(|r| r.granularity == g && r.category == c)
 }
 
 /// Reference lookup.
@@ -83,7 +175,11 @@ mod tests {
 
     #[test]
     fn references_cover_every_cell() {
-        for g in [Granularity::County, Granularity::State, Granularity::National] {
+        for g in [
+            Granularity::County,
+            Granularity::State,
+            Granularity::National,
+        ] {
             for c in [
                 QueryCategory::Local,
                 QueryCategory::Controversial,
@@ -98,7 +194,11 @@ mod tests {
     #[test]
     fn references_encode_the_papers_shape() {
         // Local noise above the others at every granularity…
-        for g in [Granularity::County, Granularity::State, Granularity::National] {
+        for g in [
+            Granularity::County,
+            Granularity::State,
+            Granularity::National,
+        ] {
             let local = fig2_reference(g, QueryCategory::Local).unwrap();
             let contro = fig2_reference(g, QueryCategory::Controversial).unwrap();
             assert!(local.edit > contro.edit);

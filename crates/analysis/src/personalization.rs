@@ -106,7 +106,7 @@ pub fn most_personalized_terms(
             (s.term, v)
         })
         .collect();
-    rows.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    rows.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
     rows.truncate(top_k);
     rows
 }
@@ -120,7 +120,11 @@ pub fn render_fig5(rows: &[Fig5Row]) -> String {
                 r.granularity.label().to_string(),
                 r.category.label().to_string(),
                 format!("{} ± {}", f2(r.jaccard.mean), f2(r.jaccard.stddev)),
-                format!("{} ± {}", f2(r.edit_distance.mean), f2(r.edit_distance.stddev)),
+                format!(
+                    "{} ± {}",
+                    f2(r.edit_distance.mean),
+                    f2(r.edit_distance.stddev)
+                ),
                 f2(r.noise_jaccard_mean),
                 f2(r.noise_edit_mean),
                 f2(r.edit_above_noise()),
@@ -253,7 +257,14 @@ mod tests {
             Granularity::National,
             usize::MAX,
         );
-        let commons = ["Bill Johnson", "Tim Ryan", "Mike Smith", "John Brown", "Dave Miller", "Jim Jones"];
+        let commons = [
+            "Bill Johnson",
+            "Tim Ryan",
+            "Mike Smith",
+            "John Brown",
+            "Dave Miller",
+            "Jim Jones",
+        ];
         let (mut common_vals, mut other_vals) = (Vec::new(), Vec::new());
         for (term, v) in &all_pol {
             if commons.contains(&term.as_str()) {
@@ -277,12 +288,8 @@ mod tests {
 
         // §3.2: "the most personalized [controversial] queries are 'health',
         // 'republican party', and 'politics'".
-        let top_contro = most_personalized_terms(
-            &idx,
-            QueryCategory::Controversial,
-            Granularity::National,
-            8,
-        );
+        let top_contro =
+            most_personalized_terms(&idx, QueryCategory::Controversial, Granularity::National, 8);
         let terms: Vec<&str> = top_contro.iter().map(|(t, _)| t.as_str()).collect();
         let special_hits = ["Health", "Republican Party", "Politics"]
             .iter()

@@ -113,7 +113,11 @@ mod tests {
         let lines: Vec<&str> = chart.lines().collect();
         assert_eq!(lines.len(), 3);
         assert_eq!(lines[1].matches('#').count(), 20, "max fills the width");
-        assert_eq!(lines[2].matches('#').count(), 5, "quarter value, quarter bar");
+        assert_eq!(
+            lines[2].matches('#').count(),
+            5,
+            "quarter value, quarter bar"
+        );
         assert!(lines[1].contains("4.00"));
     }
 

@@ -13,9 +13,7 @@ use crate::index::ObsIndex;
 use crate::render::{f2, f3, table};
 use geoserp_corpus::QueryCategory;
 use geoserp_geo::{Granularity, LocationId, Seed};
-use geoserp_metrics::{
-    bootstrap_mean_ci, edit_distance, permutation_test, ConfidenceInterval,
-};
+use geoserp_metrics::{bootstrap_mean_ci, edit_distance, permutation_test, ConfidenceInterval};
 use serde::Serialize;
 
 /// One cell's personalization-vs-noise test.
@@ -65,9 +63,7 @@ pub fn personalization_significance(
                 noise.push(edit_distance(&idx.urls(t), &idx.urls(c)) as f64);
             });
             let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len().max(1) as f64;
-            let cell_seed = seed
-                .derive(gran.slug())
-                .derive(category.label());
+            let cell_seed = seed.derive(gran.slug()).derive(category.label());
             out.push(SignificanceRow {
                 granularity: gran,
                 category,
@@ -145,14 +141,12 @@ pub fn fig8_clusters(panel: &Fig8Panel, gap_threshold: f64) -> Vec<LocationClust
             (*id, name.clone(), mean)
         })
         .collect();
-    means.sort_by(|a, b| a.2.partial_cmp(&b.2).unwrap().then(a.0.cmp(&b.0)));
+    means.sort_by(|a, b| a.2.total_cmp(&b.2).then(a.0.cmp(&b.0)));
 
     let mut clusters: Vec<LocationCluster> = Vec::new();
     for entry in means {
         match clusters.last_mut() {
-            Some(cluster)
-                if entry.2 - cluster.members.last().unwrap().2 <= gap_threshold =>
-            {
+            Some(cluster) if entry.2 - cluster.members.last().unwrap().2 <= gap_threshold => {
                 cluster.members.push(entry);
             }
             _ => clusters.push(LocationCluster {
@@ -167,7 +161,69 @@ pub fn fig8_clusters(panel: &Fig8Panel, gap_threshold: f64) -> Vec<LocationClust
 mod tests {
     use super::*;
     use crate::consistency::fig8_consistency;
-    use geoserp_crawler::{Crawler, Dataset, ExperimentPlan};
+    use geoserp_crawler::{Crawler, Dataset, DatasetMeta, ExperimentPlan, Observation, Role};
+    use geoserp_geo::{UsGeography, VantagePoints};
+    use geoserp_serp::ResultType;
+
+    fn empty_dataset() -> Dataset {
+        let geo = UsGeography::generate(Seed::new(1));
+        let vantage = VantagePoints::paper_defaults(&geo, Seed::new(1).derive("vp"));
+        Dataset::new(vantage, DatasetMeta::default())
+    }
+
+    /// Two county locations × treatment+control, every SERP identical —
+    /// all distances 0, so every statistic hits its zero-variance path.
+    fn constant_dataset() -> Dataset {
+        let mut ds = empty_dataset();
+        let locs: Vec<_> = ds.vantage.county.iter().take(2).map(|l| l.id).collect();
+        let results: Vec<_> = ["https://a/", "https://b/"]
+            .iter()
+            .map(|u| (ds.intern(u), ResultType::Organic))
+            .collect();
+        for loc in locs {
+            for role in Role::BOTH {
+                ds.push(Observation {
+                    day: 0,
+                    block_day: 0,
+                    granularity: Granularity::County,
+                    location: loc,
+                    term: "pizza".into(),
+                    category: QueryCategory::Local,
+                    role,
+                    results: results.clone(),
+                    datacenter: "dc0".into(),
+                    reported_location: "Cleveland, OH".into(),
+                });
+            }
+        }
+        ds
+    }
+
+    #[test]
+    fn empty_dataset_yields_no_rows_without_panicking() {
+        let ds = empty_dataset();
+        let idx = ObsIndex::new(&ds);
+        assert!(personalization_significance(&idx, 100, Seed::new(1)).is_empty());
+    }
+
+    #[test]
+    fn constant_serps_give_defined_degenerate_statistics() {
+        let ds = constant_dataset();
+        let idx = ObsIndex::new(&ds);
+        let rows = personalization_significance(&idx, 300, Seed::new(2));
+        assert_eq!(rows.len(), 1);
+        let r = &rows[0];
+        assert_eq!(r.samples, (1, 2), "1 treatment pair, 2 noise pairs");
+        assert_eq!(r.personalization_mean, 0.0);
+        assert_eq!(r.noise_mean, 0.0);
+        let ci = r.personalization_ci.expect("nonempty sample has a CI");
+        assert_eq!((ci.low, ci.high), (0.0, 0.0), "zero-variance CI collapses");
+        let p = r.p_value.expect("both samples nonempty");
+        assert!(p > 0.9, "no effect in constant data: p = {p}");
+        assert!(!r.personalized());
+        // And the renderer survives the degenerate row.
+        assert!(render_significance(&rows).contains("no"));
+    }
 
     fn dataset() -> Dataset {
         let plan = ExperimentPlan {

@@ -36,12 +36,34 @@ fn bench_metrics(c: &mut Criterion) {
     let ta: Vec<(String, T)> = a
         .iter()
         .enumerate()
-        .map(|(i, u)| (u.clone(), if i < 3 { T::M } else if i < 5 { T::N } else { T::O }))
+        .map(|(i, u)| {
+            (
+                u.clone(),
+                if i < 3 {
+                    T::M
+                } else if i < 5 {
+                    T::N
+                } else {
+                    T::O
+                },
+            )
+        })
         .collect();
     let tb: Vec<(String, T)> = b
         .iter()
         .enumerate()
-        .map(|(i, u)| (u.clone(), if i < 3 { T::M } else if i < 5 { T::N } else { T::O }))
+        .map(|(i, u)| {
+            (
+                u.clone(),
+                if i < 3 {
+                    T::M
+                } else if i < 5 {
+                    T::N
+                } else {
+                    T::O
+                },
+            )
+        })
         .collect();
     c.bench_function("attribution/18-url pages", |bench| {
         bench.iter(|| attribution(black_box(&ta), black_box(&tb), &T::M, &T::N))

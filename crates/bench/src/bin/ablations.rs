@@ -13,7 +13,9 @@
 //!   the same dataset.
 
 use geoserp_bench::seed_from_env;
-use geoserp_core::analysis::{fig2_noise, fig5_personalization, fig7_personalization_by_type, ObsIndex};
+use geoserp_core::analysis::{
+    fig2_noise, fig5_personalization, fig7_personalization_by_type, ObsIndex,
+};
 use geoserp_core::corpus::QueryCategory;
 use geoserp_core::engine::config::{DecayKernel, LocationPrecedence, MapsPolicy};
 use geoserp_core::geo::Granularity;
@@ -76,7 +78,10 @@ fn main() {
     println!("== ablation: server-side result caching ==");
     for (label, cfg) in [
         ("no cache (paper)  ", EngineConfig::paper_defaults()),
-        ("10-min result cache", EngineConfig::with_result_cache(10 * 60_000)),
+        (
+            "10-min result cache",
+            EngineConfig::with_result_cache(10 * 60_000),
+        ),
     ] {
         let ds = run_with(cfg);
         let (n, p) = local_noise_and_personalization(&ds);
@@ -139,7 +144,10 @@ fn main() {
     // ---- 4. Maps policy ----------------------------------------------------
     println!("== ablation: Maps-card policy (Fig. 7 attribution) ==");
     for (label, policy) in [
-        ("intent-gated (paper)", MapsPolicy::LocalIntentNonNavigational),
+        (
+            "intent-gated (paper)",
+            MapsPolicy::LocalIntentNonNavigational,
+        ),
         ("always              ", MapsPolicy::Always),
         ("never               ", MapsPolicy::Never),
     ] {

@@ -14,7 +14,11 @@ fn main() {
         geoserp_core::net::ip("198.51.100.9"),
     );
     let fetch = browser
-        .run_search_job(geoserp_core::engine::SEARCH_HOST, "Elementary School", loc.coord)
+        .run_search_job(
+            geoserp_core::engine::SEARCH_HOST,
+            "Elementary School",
+            loc.coord,
+        )
         .expect("search succeeds");
 
     println!("== raw wire markup (what the crawler scrapes) ==\n");

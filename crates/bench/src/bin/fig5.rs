@@ -20,6 +20,9 @@ fn main() {
             )
         })
         .collect();
-    println!("{}", plot::grouped_hbar("avg edit distance", &groups, &bars, 36));
+    println!(
+        "{}",
+        plot::grouped_hbar("avg edit distance", &groups, &bars, 36)
+    );
     println!("expected shape: Local far above its noise floor and growing with\ndistance (big jump county→state); Controversial and Politicians at\nor near their floors.");
 }

@@ -20,10 +20,7 @@ fn main() {
     // §3.2's "exceptional search terms" for the other two categories.
     for cat in [QueryCategory::Politician, QueryCategory::Controversial] {
         let top = personalization::most_personalized_terms(&idx, cat, Granularity::National, 6);
-        let rendered: Vec<String> = top
-            .iter()
-            .map(|(t, v)| format!("{t} ({v:.1})"))
-            .collect();
+        let rendered: Vec<String> = top.iter().map(|(t, v)| format!("{t} ({v:.1})")).collect();
         println!("most personalized {cat}: {}", rendered.join(", "));
     }
     println!("expected: ambiguous politician names (Bill Johnson, Tim Ryan, …)\nand Health / Republican Party / Politics among the exceptions.");

@@ -9,7 +9,11 @@ fn main() {
     let idx = ObsIndex::new(&dataset);
     println!("Figure 8: consistency over days (local queries; rows are locations\ncompared to the granularity's baseline location).\n");
     for panel in consistency::fig8_consistency(&idx, QueryCategory::Local) {
-        println!("[{}] baseline: {}", panel.granularity.label(), panel.baseline_name);
+        println!(
+            "[{}] baseline: {}",
+            panel.granularity.label(),
+            panel.baseline_name
+        );
         println!("{}", consistency::render_fig8(&panel));
         let mut rows: Vec<(String, Vec<f64>)> =
             vec![("<noise floor>".to_string(), panel.noise_floor.clone())];
@@ -19,13 +23,15 @@ fn main() {
                 .iter()
                 .map(|(_, name, series)| (name.clone(), series.clone())),
         );
-        println!("{}", plot::series_sparklines("per-day edit distance", &panel.days, &rows));
+        println!(
+            "{}",
+            plot::series_sparklines("per-day edit distance", &panel.days, &rows)
+        );
         let clusters = significance::fig8_clusters(&panel, 0.75);
         if clusters.len() > 1 {
             println!("clusters (gap > 0.75):");
             for (i, c) in clusters.iter().enumerate() {
-                let names: Vec<&str> =
-                    c.members.iter().map(|(_, n, _)| n.as_str()).collect();
+                let names: Vec<&str> = c.members.iter().map(|(_, n, _)| n.as_str()).collect();
                 println!("  {}: {}", i + 1, names.join(", "));
             }
             println!();

@@ -116,7 +116,12 @@ impl Browser {
     }
 
     /// Load a page, retrying dropped requests up to `max_attempts`.
-    pub fn load(&self, host: &str, path: &str, query: &[(&str, &str)]) -> Result<SerpFetch, BrowserError> {
+    pub fn load(
+        &self,
+        host: &str,
+        path: &str,
+        query: &[(&str, &str)],
+    ) -> Result<SerpFetch, BrowserError> {
         let mut req = Request::get(host, path);
         for (k, v) in query {
             req = req.with_query(*k, *v);
@@ -150,7 +155,12 @@ impl Browser {
     /// latitude/longitude pair as input, loads the mobile version of Google
     /// Search, executes the query, and saves the first page of search
     /// results."
-    pub fn run_search_job(&mut self, host: &str, term: &str, coord: Coord) -> Result<SerpFetch, BrowserError> {
+    pub fn run_search_job(
+        &mut self,
+        host: &str,
+        term: &str,
+        coord: Coord,
+    ) -> Result<SerpFetch, BrowserError> {
         self.set_geolocation(coord);
         // Loading the homepage first mirrors the real flow (and exercises
         // the service the way a browser would).
@@ -172,8 +182,8 @@ impl fmt::Debug for Browser {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use geoserp_net::{ip, RequestCtx, Response, Server};
     use geoserp_geo::Seed;
+    use geoserp_net::{ip, RequestCtx, Response, Server};
 
     /// A toy server echoing back what the browser presented.
     fn echo_server() -> Arc<dyn Server> {
@@ -198,7 +208,9 @@ mod tests {
         let mut b = Browser::new(net, ip("10.8.0.1"));
         b.set_geolocation(Coord::new(41.5, -81.7));
         b.cookies_mut().set("sid", "t1");
-        let fetch = b.load("echo.example", "/search", &[("q", "coffee")]).unwrap();
+        let fetch = b
+            .load("echo.example", "/search", &[("q", "coffee")])
+            .unwrap();
         assert!(fetch.body.contains("/search?q=coffee"));
         assert!(fetch.body.contains("iPhone"));
         assert!(fetch.body.contains("sid=t1"));

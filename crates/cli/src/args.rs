@@ -23,7 +23,11 @@ pub enum ArgError {
     MissingCommand,
     MissingValue(String),
     UnknownFlag(String),
-    BadValue { flag: String, value: String, expected: &'static str },
+    BadValue {
+        flag: String,
+        value: String,
+        expected: &'static str,
+    },
 }
 
 impl fmt::Display for ArgError {
@@ -32,7 +36,11 @@ impl fmt::Display for ArgError {
             ArgError::MissingCommand => write!(f, "no command given (try `geoserp help`)"),
             ArgError::MissingValue(flag) => write!(f, "--{flag} needs a value"),
             ArgError::UnknownFlag(flag) => write!(f, "unknown flag --{flag}"),
-            ArgError::BadValue { flag, value, expected } => {
+            ArgError::BadValue {
+                flag,
+                value,
+                expected,
+            } => {
                 write!(f, "--{flag} {value}: expected {expected}")
             }
         }

@@ -56,6 +56,7 @@ COMMANDS:
                    --scale S       quick|medium|full     [medium]
                    --export DIR    also write dataset exports into DIR
                    --save FILE     also save the dataset as JSON
+                   --quiet         suppress the live per-round progress line
     analyze      rerun every figure over a saved dataset
                    <file>          dataset JSON from `run --save`
     compare      run a study and print the paper-vs-measured markdown
@@ -110,7 +111,11 @@ fn study_from(args: &ParsedArgs) -> Result<Study, CliError> {
 /// `geoserp run`
 pub fn cmd_run(args: &ParsedArgs) -> Result<String, CliError> {
     let study = study_from(args)?;
-    let dataset = study.run();
+    let dataset = if args.has("quiet") {
+        study.run()
+    } else {
+        run_with_live_progress(&study)
+    };
     let mut out = study.report(&dataset);
     if let Some(dir) = args.get("export") {
         write_exports(&dataset, Path::new(dir))?;
@@ -118,9 +123,40 @@ pub fn cmd_run(args: &ParsedArgs) -> Result<String, CliError> {
     }
     if let Some(file) = args.get("save") {
         std::fs::write(file, dataset.to_json())?;
-        out.push_str(&format!("(dataset saved to {file}; re-analyze with `geoserp analyze {file}`)\n"));
+        out.push_str(&format!(
+            "(dataset saved to {file}; re-analyze with `geoserp analyze {file}`)\n"
+        ));
     }
     Ok(out)
+}
+
+/// Run the study printing a live per-round status line to stderr. The
+/// callback fires on the scheduler thread between rounds, so printing never
+/// perturbs the crawl's determinism; stdout stays clean for the report.
+fn run_with_live_progress(study: &Study) -> Dataset {
+    let started = std::time::Instant::now();
+    let rounds = std::cell::Cell::new(0usize);
+    let dataset = study.run_with_progress(|p| {
+        rounds.set(p.completed_rounds);
+        // Overwrite one stderr line; repaint at most ~1% of rounds so huge
+        // plans don't spend their time in the terminal.
+        let stride = (p.total_rounds / 100).max(1);
+        if p.completed_rounds % stride == 0 || p.completed_rounds == p.total_rounds {
+            eprint!(
+                "\r[crawl] round {:>5}/{} day {:>2} {:?} {:<28.28} {:>7} SERPs",
+                p.completed_rounds, p.total_rounds, p.day, p.granularity, p.term, p.observations
+            );
+        }
+    });
+    eprintln!(
+        "\r[crawl] {} rounds, {} SERPs, {} distinct URLs in {:.1}s{:<24}",
+        rounds.get(),
+        dataset.observations().len(),
+        dataset.distinct_urls(),
+        started.elapsed().as_secs_f64(),
+        ""
+    );
+    dataset
 }
 
 /// `geoserp analyze <dataset.json>` — rerun every figure over a previously
@@ -185,7 +221,12 @@ pub fn cmd_probe(args: &ParsedArgs) -> Result<String, CliError> {
         page.reported_location
     );
     for r in page.extract_results() {
-        out.push_str(&format!("{:>2}. [{:^7}] {}\n", r.rank + 1, r.rtype.to_string(), r.url));
+        out.push_str(&format!(
+            "{:>2}. [{:^7}] {}\n",
+            r.rank + 1,
+            r.rtype.to_string(),
+            r.url
+        ));
     }
     if args.has("trace") {
         out.push_str("\nnetwork trace:\n");
@@ -260,7 +301,12 @@ mod tests {
 
     #[test]
     fn probe_prints_a_parsed_serp() {
-        let p = parse(&argv("probe Hospital --seed 3"), &["seed", "lat", "lon"], &["trace"]).unwrap();
+        let p = parse(
+            &argv("probe Hospital --seed 3"),
+            &["seed", "lat", "lon"],
+            &["trace"],
+        )
+        .unwrap();
         let out = cmd_probe(&p).unwrap();
         assert!(out.contains("reported location: Cleveland, OH"), "{out}");
         assert!(out.contains("[organic ]") || out.contains("organic"));
@@ -277,7 +323,10 @@ mod tests {
         .unwrap();
         let out = cmd_probe(&p).unwrap();
         assert!(out.contains("Arizona, USA"), "{out}");
-        assert!(out.contains("GET search.example.com"), "trace missing: {out}");
+        assert!(
+            out.contains("GET search.example.com"),
+            "trace missing: {out}"
+        );
     }
 
     #[test]
@@ -346,7 +395,12 @@ mod tests {
 
     #[test]
     fn compare_reports_shape_verdicts() {
-        let p = parse(&argv("compare --scale quick --seed 2015"), &["scale", "seed"], &[]).unwrap();
+        let p = parse(
+            &argv("compare --scale quick --seed 2015"),
+            &["scale", "seed"],
+            &[],
+        )
+        .unwrap();
         let out = cmd_compare(&p).unwrap();
         assert!(out.contains("## Figure 2"));
         assert!(out.contains("overall:"));

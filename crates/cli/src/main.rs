@@ -6,14 +6,16 @@
 mod args;
 mod commands;
 
-use commands::{cmd_analyze, cmd_compare, cmd_export, cmd_probe, cmd_run, cmd_validate, CliError, HELP};
+use commands::{
+    cmd_analyze, cmd_compare, cmd_export, cmd_probe, cmd_run, cmd_validate, CliError, HELP,
+};
 
 fn dispatch(argv: &[String]) -> Result<String, CliError> {
     // Peek at the command to choose the flag grammar.
     let command = argv.first().map(String::as_str).unwrap_or("");
     match command {
         "run" => {
-            let p = args::parse(argv, &["seed", "scale", "export", "save"], &[])?;
+            let p = args::parse(argv, &["seed", "scale", "export", "save"], &["quiet"])?;
             cmd_run(&p)
         }
         "analyze" => {

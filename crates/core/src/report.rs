@@ -90,11 +90,8 @@ pub fn full_report(dataset: &Dataset) -> String {
     out.push('\n');
 
     out.push_str("---- §3.2: demographic correlations (county granularity) ----\n");
-    let demo = demographics::demographic_correlations(
-        &idx,
-        QueryCategory::Local,
-        Granularity::County,
-    );
+    let demo =
+        demographics::demographic_correlations(&idx, QueryCategory::Local, Granularity::County);
     out.push_str(&demographics::render_demographics(&demo));
     out.push_str(&format!(
         "max |pearson r| over demographic features: {:.3}\n",
@@ -121,7 +118,13 @@ mod tests {
         let ds = study.run();
         let report = study.report(&ds);
         for needle in [
-            "Fig. 2", "Fig. 3", "Fig. 4", "Fig. 5", "Fig. 6", "Fig. 7", "Fig. 8",
+            "Fig. 2",
+            "Fig. 3",
+            "Fig. 4",
+            "Fig. 5",
+            "Fig. 6",
+            "Fig. 7",
+            "Fig. 8",
             "demographic correlations",
             "County (Cuyahoga)",
             "noise floor",

@@ -1,6 +1,8 @@
 //! The [`Study`] builder: seed + engine config + plan → world → dataset.
 
-use geoserp_crawler::{run_validation, Crawler, Dataset, ExperimentPlan, ValidationReport};
+use geoserp_crawler::{
+    run_validation, CrawlProgress, Crawler, Dataset, ExperimentPlan, ValidationReport,
+};
 use geoserp_engine::EngineConfig;
 use geoserp_geo::Seed;
 
@@ -107,6 +109,12 @@ impl Study {
     /// Build the world and execute the plan.
     pub fn run(&self) -> Dataset {
         self.crawler().run(&self.plan)
+    }
+
+    /// Like [`Study::run`], with a per-round progress callback (runs on the
+    /// scheduler thread between rounds, so it cannot perturb determinism).
+    pub fn run_with_progress(&self, progress: impl Fn(&CrawlProgress)) -> Dataset {
+        self.crawler().run_with_progress(&self.plan, progress)
     }
 
     /// Run the §2.2 validation experiment (GPS vs IP geolocation) with

@@ -87,49 +87,330 @@ pub struct CategoryDef {
 
 /// The nine chain brands among the paper's local terms.
 pub const BRAND_CATEGORIES: [CategoryDef; 9] = [
-    CategoryDef { key: "chipotle", display: "Chipotle", brand: true, name_style: NameStyle::Brand, extra_tokens: &["mexican", "restaurant", "fast", "food"], per_locality: 0.8, metro_count: 4, tld: "com" },
-    CategoryDef { key: "starbucks", display: "Starbucks", brand: true, name_style: NameStyle::Brand, extra_tokens: &["coffee", "cafe"], per_locality: 1.0, metro_count: 5, tld: "com" },
-    CategoryDef { key: "dairy-queen", display: "Dairy Queen", brand: true, name_style: NameStyle::Brand, extra_tokens: &["ice", "cream", "fast", "food"], per_locality: 0.7, metro_count: 3, tld: "com" },
-    CategoryDef { key: "mcdonalds", display: "Mcdonalds", brand: true, name_style: NameStyle::Brand, extra_tokens: &["burger", "fast", "food", "restaurant"], per_locality: 1.0, metro_count: 5, tld: "com" },
-    CategoryDef { key: "subway", display: "Subway", brand: true, name_style: NameStyle::Brand, extra_tokens: &["sandwich", "fast", "food", "restaurant"], per_locality: 1.0, metro_count: 5, tld: "com" },
-    CategoryDef { key: "burger-king", display: "Burger King", brand: true, name_style: NameStyle::Brand, extra_tokens: &["burger", "fast", "food", "restaurant"], per_locality: 0.9, metro_count: 4, tld: "com" },
-    CategoryDef { key: "kfc", display: "KFC", brand: true, name_style: NameStyle::Brand, extra_tokens: &["chicken", "fast", "food"], per_locality: 0.8, metro_count: 3, tld: "com" },
-    CategoryDef { key: "wendys", display: "Wendy's", brand: true, name_style: NameStyle::Brand, extra_tokens: &["burger", "fast", "food"], per_locality: 0.9, metro_count: 4, tld: "com" },
-    CategoryDef { key: "chick-fil-a", display: "Chick-fil-a", brand: true, name_style: NameStyle::Brand, extra_tokens: &["chicken", "fast", "food"], per_locality: 0.6, metro_count: 3, tld: "com" },
+    CategoryDef {
+        key: "chipotle",
+        display: "Chipotle",
+        brand: true,
+        name_style: NameStyle::Brand,
+        extra_tokens: &["mexican", "restaurant", "fast", "food"],
+        per_locality: 0.8,
+        metro_count: 4,
+        tld: "com",
+    },
+    CategoryDef {
+        key: "starbucks",
+        display: "Starbucks",
+        brand: true,
+        name_style: NameStyle::Brand,
+        extra_tokens: &["coffee", "cafe"],
+        per_locality: 1.0,
+        metro_count: 5,
+        tld: "com",
+    },
+    CategoryDef {
+        key: "dairy-queen",
+        display: "Dairy Queen",
+        brand: true,
+        name_style: NameStyle::Brand,
+        extra_tokens: &["ice", "cream", "fast", "food"],
+        per_locality: 0.7,
+        metro_count: 3,
+        tld: "com",
+    },
+    CategoryDef {
+        key: "mcdonalds",
+        display: "Mcdonalds",
+        brand: true,
+        name_style: NameStyle::Brand,
+        extra_tokens: &["burger", "fast", "food", "restaurant"],
+        per_locality: 1.0,
+        metro_count: 5,
+        tld: "com",
+    },
+    CategoryDef {
+        key: "subway",
+        display: "Subway",
+        brand: true,
+        name_style: NameStyle::Brand,
+        extra_tokens: &["sandwich", "fast", "food", "restaurant"],
+        per_locality: 1.0,
+        metro_count: 5,
+        tld: "com",
+    },
+    CategoryDef {
+        key: "burger-king",
+        display: "Burger King",
+        brand: true,
+        name_style: NameStyle::Brand,
+        extra_tokens: &["burger", "fast", "food", "restaurant"],
+        per_locality: 0.9,
+        metro_count: 4,
+        tld: "com",
+    },
+    CategoryDef {
+        key: "kfc",
+        display: "KFC",
+        brand: true,
+        name_style: NameStyle::Brand,
+        extra_tokens: &["chicken", "fast", "food"],
+        per_locality: 0.8,
+        metro_count: 3,
+        tld: "com",
+    },
+    CategoryDef {
+        key: "wendys",
+        display: "Wendy's",
+        brand: true,
+        name_style: NameStyle::Brand,
+        extra_tokens: &["burger", "fast", "food"],
+        per_locality: 0.9,
+        metro_count: 4,
+        tld: "com",
+    },
+    CategoryDef {
+        key: "chick-fil-a",
+        display: "Chick-fil-a",
+        brand: true,
+        name_style: NameStyle::Brand,
+        extra_tokens: &["chicken", "fast", "food"],
+        per_locality: 0.6,
+        metro_count: 3,
+        tld: "com",
+    },
 ];
 
 /// Twenty generic facility types covering the non-brand local terms
 /// (including, via shared tokens, the umbrella terms "School", "Station",
 /// "Rail", "Fast Food", "Burger", "Coffee").
 pub const GENERIC_CATEGORIES: [CategoryDef; 20] = [
-    CategoryDef { key: "post-office", display: "Post Office", brand: false, name_style: NameStyle::LocalityFacility, extra_tokens: &["post", "office", "mail"], per_locality: 1.0, metro_count: 7, tld: "gov" },
-    CategoryDef { key: "polling-place", display: "Polling Place", brand: false, name_style: NameStyle::LocalityFacility, extra_tokens: &["polling", "place", "vote", "election"], per_locality: 1.0, metro_count: 9, tld: "gov" },
-    CategoryDef { key: "train-station", display: "Train Station", brand: false, name_style: NameStyle::LocalityFacility, extra_tokens: &["train", "station", "rail", "transit"], per_locality: 0.5, metro_count: 5, tld: "org" },
-    CategoryDef { key: "bus-station", display: "Bus Station", brand: false, name_style: NameStyle::LocalityFacility, extra_tokens: &["bus", "station", "transit"], per_locality: 0.8, metro_count: 8, tld: "org" },
-    CategoryDef { key: "university", display: "University", brand: false, name_style: NameStyle::NamedFacility, extra_tokens: &["university", "campus", "education"], per_locality: 0.4, metro_count: 3, tld: "edu" },
-    CategoryDef { key: "college", display: "Community College", brand: false, name_style: NameStyle::NamedFacility, extra_tokens: &["college", "campus", "education"], per_locality: 0.5, metro_count: 4, tld: "edu" },
-    CategoryDef { key: "sushi", display: "Sushi Bar", brand: false, name_style: NameStyle::NamedFacility, extra_tokens: &["sushi", "japanese", "restaurant"], per_locality: 0.5, metro_count: 6, tld: "com" },
-    CategoryDef { key: "football", display: "Football Stadium", brand: false, name_style: NameStyle::NamedFacility, extra_tokens: &["football", "stadium", "sports"], per_locality: 0.4, metro_count: 4, tld: "com" },
-    CategoryDef { key: "bank", display: "Bank", brand: false, name_style: NameStyle::NamedFacility, extra_tokens: &["bank", "branch", "finance"], per_locality: 1.0, metro_count: 8, tld: "com" },
-    CategoryDef { key: "burger-joint", display: "Burger Joint", brand: false, name_style: NameStyle::NamedFacility, extra_tokens: &["burger", "restaurant", "fast", "food"], per_locality: 0.7, metro_count: 6, tld: "com" },
-    CategoryDef { key: "coffee-house", display: "Coffee House", brand: false, name_style: NameStyle::NamedFacility, extra_tokens: &["coffee", "cafe", "espresso"], per_locality: 0.8, metro_count: 7, tld: "com" },
-    CategoryDef { key: "restaurant", display: "Restaurant", brand: false, name_style: NameStyle::NamedFacility, extra_tokens: &["restaurant", "dining"], per_locality: 1.0, metro_count: 9, tld: "com" },
-    CategoryDef { key: "park", display: "Park", brand: false, name_style: NameStyle::NamedFacility, extra_tokens: &["park", "recreation", "trail"], per_locality: 1.0, metro_count: 8, tld: "org" },
-    CategoryDef { key: "police-station", display: "Police Station", brand: false, name_style: NameStyle::LocalityFacility, extra_tokens: &["police", "station", "department"], per_locality: 1.0, metro_count: 6, tld: "gov" },
-    CategoryDef { key: "fire-station", display: "Fire Station", brand: false, name_style: NameStyle::LocalityFacility, extra_tokens: &["fire", "station", "department"], per_locality: 1.0, metro_count: 7, tld: "gov" },
-    CategoryDef { key: "school-elementary", display: "Elementary School", brand: false, name_style: NameStyle::NamedFacility, extra_tokens: &["elementary", "school", "education"], per_locality: 1.2, metro_count: 10, tld: "edu" },
-    CategoryDef { key: "school-middle", display: "Middle School", brand: false, name_style: NameStyle::NamedFacility, extra_tokens: &["middle", "school", "education"], per_locality: 1.0, metro_count: 9, tld: "edu" },
-    CategoryDef { key: "school-high", display: "High School", brand: false, name_style: NameStyle::NamedFacility, extra_tokens: &["high", "school", "education"], per_locality: 1.0, metro_count: 9, tld: "edu" },
-    CategoryDef { key: "airport", display: "Airport", brand: false, name_style: NameStyle::LocalityFacility, extra_tokens: &["airport", "flights", "terminal"], per_locality: 0.4, metro_count: 2, tld: "com" },
-    CategoryDef { key: "hospital", display: "Hospital", brand: false, name_style: NameStyle::LocalityFacility, extra_tokens: &["hospital", "medical", "emergency"], per_locality: 0.9, metro_count: 6, tld: "org" },
+    CategoryDef {
+        key: "post-office",
+        display: "Post Office",
+        brand: false,
+        name_style: NameStyle::LocalityFacility,
+        extra_tokens: &["post", "office", "mail"],
+        per_locality: 1.0,
+        metro_count: 7,
+        tld: "gov",
+    },
+    CategoryDef {
+        key: "polling-place",
+        display: "Polling Place",
+        brand: false,
+        name_style: NameStyle::LocalityFacility,
+        extra_tokens: &["polling", "place", "vote", "election"],
+        per_locality: 1.0,
+        metro_count: 9,
+        tld: "gov",
+    },
+    CategoryDef {
+        key: "train-station",
+        display: "Train Station",
+        brand: false,
+        name_style: NameStyle::LocalityFacility,
+        extra_tokens: &["train", "station", "rail", "transit"],
+        per_locality: 0.5,
+        metro_count: 5,
+        tld: "org",
+    },
+    CategoryDef {
+        key: "bus-station",
+        display: "Bus Station",
+        brand: false,
+        name_style: NameStyle::LocalityFacility,
+        extra_tokens: &["bus", "station", "transit"],
+        per_locality: 0.8,
+        metro_count: 8,
+        tld: "org",
+    },
+    CategoryDef {
+        key: "university",
+        display: "University",
+        brand: false,
+        name_style: NameStyle::NamedFacility,
+        extra_tokens: &["university", "campus", "education"],
+        per_locality: 0.4,
+        metro_count: 3,
+        tld: "edu",
+    },
+    CategoryDef {
+        key: "college",
+        display: "Community College",
+        brand: false,
+        name_style: NameStyle::NamedFacility,
+        extra_tokens: &["college", "campus", "education"],
+        per_locality: 0.5,
+        metro_count: 4,
+        tld: "edu",
+    },
+    CategoryDef {
+        key: "sushi",
+        display: "Sushi Bar",
+        brand: false,
+        name_style: NameStyle::NamedFacility,
+        extra_tokens: &["sushi", "japanese", "restaurant"],
+        per_locality: 0.5,
+        metro_count: 6,
+        tld: "com",
+    },
+    CategoryDef {
+        key: "football",
+        display: "Football Stadium",
+        brand: false,
+        name_style: NameStyle::NamedFacility,
+        extra_tokens: &["football", "stadium", "sports"],
+        per_locality: 0.4,
+        metro_count: 4,
+        tld: "com",
+    },
+    CategoryDef {
+        key: "bank",
+        display: "Bank",
+        brand: false,
+        name_style: NameStyle::NamedFacility,
+        extra_tokens: &["bank", "branch", "finance"],
+        per_locality: 1.0,
+        metro_count: 8,
+        tld: "com",
+    },
+    CategoryDef {
+        key: "burger-joint",
+        display: "Burger Joint",
+        brand: false,
+        name_style: NameStyle::NamedFacility,
+        extra_tokens: &["burger", "restaurant", "fast", "food"],
+        per_locality: 0.7,
+        metro_count: 6,
+        tld: "com",
+    },
+    CategoryDef {
+        key: "coffee-house",
+        display: "Coffee House",
+        brand: false,
+        name_style: NameStyle::NamedFacility,
+        extra_tokens: &["coffee", "cafe", "espresso"],
+        per_locality: 0.8,
+        metro_count: 7,
+        tld: "com",
+    },
+    CategoryDef {
+        key: "restaurant",
+        display: "Restaurant",
+        brand: false,
+        name_style: NameStyle::NamedFacility,
+        extra_tokens: &["restaurant", "dining"],
+        per_locality: 1.0,
+        metro_count: 9,
+        tld: "com",
+    },
+    CategoryDef {
+        key: "park",
+        display: "Park",
+        brand: false,
+        name_style: NameStyle::NamedFacility,
+        extra_tokens: &["park", "recreation", "trail"],
+        per_locality: 1.0,
+        metro_count: 8,
+        tld: "org",
+    },
+    CategoryDef {
+        key: "police-station",
+        display: "Police Station",
+        brand: false,
+        name_style: NameStyle::LocalityFacility,
+        extra_tokens: &["police", "station", "department"],
+        per_locality: 1.0,
+        metro_count: 6,
+        tld: "gov",
+    },
+    CategoryDef {
+        key: "fire-station",
+        display: "Fire Station",
+        brand: false,
+        name_style: NameStyle::LocalityFacility,
+        extra_tokens: &["fire", "station", "department"],
+        per_locality: 1.0,
+        metro_count: 7,
+        tld: "gov",
+    },
+    CategoryDef {
+        key: "school-elementary",
+        display: "Elementary School",
+        brand: false,
+        name_style: NameStyle::NamedFacility,
+        extra_tokens: &["elementary", "school", "education"],
+        per_locality: 1.2,
+        metro_count: 10,
+        tld: "edu",
+    },
+    CategoryDef {
+        key: "school-middle",
+        display: "Middle School",
+        brand: false,
+        name_style: NameStyle::NamedFacility,
+        extra_tokens: &["middle", "school", "education"],
+        per_locality: 1.0,
+        metro_count: 9,
+        tld: "edu",
+    },
+    CategoryDef {
+        key: "school-high",
+        display: "High School",
+        brand: false,
+        name_style: NameStyle::NamedFacility,
+        extra_tokens: &["high", "school", "education"],
+        per_locality: 1.0,
+        metro_count: 9,
+        tld: "edu",
+    },
+    CategoryDef {
+        key: "airport",
+        display: "Airport",
+        brand: false,
+        name_style: NameStyle::LocalityFacility,
+        extra_tokens: &["airport", "flights", "terminal"],
+        per_locality: 0.4,
+        metro_count: 2,
+        tld: "com",
+    },
+    CategoryDef {
+        key: "hospital",
+        display: "Hospital",
+        brand: false,
+        name_style: NameStyle::LocalityFacility,
+        extra_tokens: &["hospital", "medical", "emergency"],
+        per_locality: 0.9,
+        metro_count: 6,
+        tld: "org",
+    },
 ];
 
 /// Name pool for `NamedFacility` instances.
 const FACILITY_NAMES: [&str; 24] = [
-    "Lincoln", "Washington", "Jefferson", "Roosevelt", "Franklin", "Madison", "Monroe",
-    "Oakwood", "Maplewood", "Riverside", "Lakeview", "Hillcrest", "Fairview", "Brookside",
-    "Sunnyside", "Westgate", "Eastwood", "Northfield", "Southgate", "Pleasant Valley",
-    "Cedar Grove", "Willow Creek", "Stonebrook", "Meadowlark",
+    "Lincoln",
+    "Washington",
+    "Jefferson",
+    "Roosevelt",
+    "Franklin",
+    "Madison",
+    "Monroe",
+    "Oakwood",
+    "Maplewood",
+    "Riverside",
+    "Lakeview",
+    "Hillcrest",
+    "Fairview",
+    "Brookside",
+    "Sunnyside",
+    "Westgate",
+    "Eastwood",
+    "Northfield",
+    "Southgate",
+    "Pleasant Valley",
+    "Cedar Grove",
+    "Willow Creek",
+    "Stonebrook",
+    "Meadowlark",
 ];
 
 /// Radius (km) around a locality centroid where its establishments land.
@@ -255,9 +536,17 @@ pub fn generate(geo: &UsGeography, seed: Seed, next_page_id: &mut u32) -> Establ
             tokens.extend(tokenize("guide directory information list"));
             pages.push(Page::new(
                 id,
-                format!("https://{site}/{}/{}", ["wiki", "find", "browse"][i], cat.key),
+                format!(
+                    "https://{site}/{}/{}",
+                    ["wiki", "find", "browse"][i],
+                    cat.key
+                ),
                 (*site).to_string(),
-                format!("{} — {}", cat.display, ["Encyclopedia", "Finder", "Directory"][i]),
+                format!(
+                    "{} — {}",
+                    cat.display,
+                    ["Encyclopedia", "Finder", "Directory"][i]
+                ),
                 tokens,
                 *auth,
                 GeoScope::Global,
@@ -363,17 +652,19 @@ pub fn generate(geo: &UsGeography, seed: Seed, next_page_id: &mut u32) -> Establ
             // this density is what makes national-granularity vantage points
             // differ *more* than state-granularity ones (paper Fig. 5).
             let is_state = i < state_count;
-            let expected = if is_state { cat.per_locality * 4.0 } else { cat.per_locality };
+            let expected = if is_state {
+                cat.per_locality * 4.0
+            } else {
+                cat.per_locality
+            };
             let base = expected.floor() as usize;
             let extra = usize::from(rng.chance(expected - base as f64));
             let cap = if is_state { 8 } else { 3 };
             let count = (base + extra).min(cap);
             let radius = if is_state { 25.0 } else { LOCALITY_RADIUS_KM };
             for _ in 0..count {
-                let coord = center.destination(
-                    rng.range_f64(0.0, 360.0),
-                    rng.range_f64(0.5, radius),
-                );
+                let coord =
+                    center.destination(rng.range_f64(0.0, 360.0), rng.range_f64(0.5, radius));
                 emit_instance(
                     cat,
                     name,

@@ -37,7 +37,9 @@ pub mod text;
 pub mod topics;
 pub mod web;
 
-pub use establishments::{CategoryDef, NameStyle, Place, PlaceId, BRAND_CATEGORIES, GENERIC_CATEGORIES};
+pub use establishments::{
+    CategoryDef, NameStyle, Place, PlaceId, BRAND_CATEGORIES, GENERIC_CATEGORIES,
+};
 pub use page::{GeoScope, Page, PageId, PageKind};
 pub use politicians::{OfficeLevel, Politician, Roster};
 pub use queries::{Query, QueryCategory, QueryCorpus, CONTROVERSIAL_TERMS, LOCAL_TERMS};

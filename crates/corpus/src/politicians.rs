@@ -98,21 +98,93 @@ pub enum Party {
 }
 
 const FIRST_NAMES: [&str; 40] = [
-    "James", "Mary", "Robert", "Patricia", "John", "Jennifer", "Michael", "Linda", "David",
-    "Elizabeth", "William", "Barbara", "Richard", "Susan", "Joseph", "Jessica", "Thomas", "Karen",
-    "Charles", "Sarah", "Christopher", "Nancy", "Daniel", "Margaret", "Matthew", "Lisa",
-    "Anthony", "Betty", "Marcus", "Dorothy", "Donald", "Sandra", "Steven", "Ashley", "Paul",
-    "Kimberly", "Andrea", "Donna", "Kenneth", "Carol",
+    "James",
+    "Mary",
+    "Robert",
+    "Patricia",
+    "John",
+    "Jennifer",
+    "Michael",
+    "Linda",
+    "David",
+    "Elizabeth",
+    "William",
+    "Barbara",
+    "Richard",
+    "Susan",
+    "Joseph",
+    "Jessica",
+    "Thomas",
+    "Karen",
+    "Charles",
+    "Sarah",
+    "Christopher",
+    "Nancy",
+    "Daniel",
+    "Margaret",
+    "Matthew",
+    "Lisa",
+    "Anthony",
+    "Betty",
+    "Marcus",
+    "Dorothy",
+    "Donald",
+    "Sandra",
+    "Steven",
+    "Ashley",
+    "Paul",
+    "Kimberly",
+    "Andrea",
+    "Donna",
+    "Kenneth",
+    "Carol",
 ];
 
 const LAST_NAMES: [&str; 44] = [
-    "Abernathy", "Bergstrom", "Castellano", "Delacroix", "Eisenberg", "Fairbanks", "Galloway",
-    "Hathaway", "Ingersoll", "Jankowski", "Kowalczyk", "Lindqvist", "Montgomery", "Novakovic",
-    "Okonkwo", "Pellegrini", "Quarterman", "Rasmussen", "Szymanski", "Thibodeaux", "Underwood",
-    "Vanderbilt", "Wadsworth", "Xenakis", "Yarborough", "Zablocki", "Ashford", "Blackwood",
-    "Carrington", "Dunmore", "Ellsworth", "Fitzwilliam", "Greenfield", "Holloway", "Ironside",
-    "Jefferson", "Kingsley", "Lockhart", "Merriweather", "Northcott", "Oakhurst", "Pemberton",
-    "Ravenscroft", "Stonebridge",
+    "Abernathy",
+    "Bergstrom",
+    "Castellano",
+    "Delacroix",
+    "Eisenberg",
+    "Fairbanks",
+    "Galloway",
+    "Hathaway",
+    "Ingersoll",
+    "Jankowski",
+    "Kowalczyk",
+    "Lindqvist",
+    "Montgomery",
+    "Novakovic",
+    "Okonkwo",
+    "Pellegrini",
+    "Quarterman",
+    "Rasmussen",
+    "Szymanski",
+    "Thibodeaux",
+    "Underwood",
+    "Vanderbilt",
+    "Wadsworth",
+    "Xenakis",
+    "Yarborough",
+    "Zablocki",
+    "Ashford",
+    "Blackwood",
+    "Carrington",
+    "Dunmore",
+    "Ellsworth",
+    "Fitzwilliam",
+    "Greenfield",
+    "Holloway",
+    "Ironside",
+    "Jefferson",
+    "Kingsley",
+    "Lockhart",
+    "Merriweather",
+    "Northcott",
+    "Oakhurst",
+    "Pemberton",
+    "Ravenscroft",
+    "Stonebridge",
 ];
 
 /// Names deliberately shared with unrelated non-politicians on the synthetic
@@ -147,12 +219,10 @@ impl Roster {
         rng.shuffle(&mut common_pool);
 
         let fresh_name = |rng: &mut geoserp_geo::DetRng,
-                              used: &mut std::collections::HashSet<String>| {
-            loop {
-                let name = format!("{} {}", rng.pick(&FIRST_NAMES), rng.pick(&LAST_NAMES));
-                if used.insert(name.clone()) {
-                    return name;
-                }
+                          used: &mut std::collections::HashSet<String>| loop {
+            let name = format!("{} {}", rng.pick(&FIRST_NAMES), rng.pick(&LAST_NAMES));
+            if used.insert(name.clone()) {
+                return name;
             }
         };
         let party = |rng: &mut geoserp_geo::DetRng| {
@@ -181,6 +251,7 @@ impl Roster {
 
         // 53 Ohio General Assembly members; up to 2 get common names.
         let common_in_assembly = 2.min(common_pool.len());
+        #[allow(clippy::needless_range_loop)] // only the first 2 of 53 index the pool
         for i in 0..53 {
             let (name, common) = if i < common_in_assembly {
                 let n = common_pool[i].to_string();

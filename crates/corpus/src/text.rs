@@ -68,7 +68,10 @@ mod tests {
     #[test]
     fn punctuation_separates() {
         assert_eq!(tokenize("a,b.c/d"), vec!["a", "b", "c", "d"]);
-        assert_eq!(tokenize("Impeach Barack Obama!"), vec!["impeach", "barack", "obama"]);
+        assert_eq!(
+            tokenize("Impeach Barack Obama!"),
+            vec!["impeach", "barack", "obama"]
+        );
     }
 
     #[test]

@@ -63,15 +63,15 @@ pub fn generate(geo: &UsGeography, seed: Seed, next_page_id: &mut u32) -> TopicS
         });
 
         let push_page = |pages: &mut Vec<Page>,
-                             next_page_id: &mut u32,
-                             url: String,
-                             domain: String,
-                             title: String,
-                             extra: &str,
-                             authority: f64,
-                             geo_scope: GeoScope,
-                             kind: PageKind,
-                             day: Option<u32>| {
+                         next_page_id: &mut u32,
+                         url: String,
+                         domain: String,
+                         title: String,
+                         extra: &str,
+                         authority: f64,
+                         geo_scope: GeoScope,
+                         kind: PageKind,
+                         day: Option<u32>| {
             let id = alloc(next_page_id);
             let mut toks = tokens.clone();
             toks.extend(tokenize(&title));
@@ -106,7 +106,11 @@ pub fn generate(geo: &UsGeography, seed: Seed, next_page_id: &mut u32) -> TopicS
                 next_page_id,
                 format!("https://{side}-{slug}-{a}.example.org/"),
                 format!("{side}-{slug}-{a}.example.org"),
-                format!("{} {}", ["Citizens For", "Coalition Against", "Alliance On"][a % 3], term),
+                format!(
+                    "{} {}",
+                    ["Citizens For", "Coalition Against", "Alliance On"][a % 3],
+                    term
+                ),
                 "advocacy campaign position facts",
                 rng.range_f64(0.45, 0.75),
                 GeoScope::Global,
@@ -135,14 +139,27 @@ pub fn generate(geo: &UsGeography, seed: Seed, next_page_id: &mut u32) -> TopicS
         let n_news = 3 + rng.below(4);
         for a in 0..n_news {
             let day = rng.below(NEWS_WINDOW_DAYS as usize) as u32;
-            let outlet = ["daily-ledger", "national-wire", "the-observer", "metro-times"]
-                [rng.below(4)];
+            let outlet = [
+                "daily-ledger",
+                "national-wire",
+                "the-observer",
+                "metro-times",
+            ][rng.below(4)];
             push_page(
                 &mut pages,
                 next_page_id,
                 format!("https://{outlet}.example.com/{slug}/story-{a}"),
                 format!("{outlet}.example.com"),
-                format!("{term}: {}", ["Lawmakers Clash", "What To Know", "Debate Intensifies", "Experts Weigh In", "A National Divide"][a % 5]),
+                format!(
+                    "{term}: {}",
+                    [
+                        "Lawmakers Clash",
+                        "What To Know",
+                        "Debate Intensifies",
+                        "Experts Weigh In",
+                        "A National Divide"
+                    ][a % 5]
+                ),
                 "news report coverage analysis",
                 rng.range_f64(0.55, 0.85),
                 GeoScope::Global,

@@ -33,10 +33,16 @@ impl WebCorpus {
     pub fn generate(geo: &UsGeography, seed: Seed) -> Self {
         let mut next_page_id: u32 = 0;
 
-        let est = establishments::generate(geo, seed.derive("establishments-root"), &mut next_page_id);
+        let est =
+            establishments::generate(geo, seed.derive("establishments-root"), &mut next_page_id);
         let topic_set = topics::generate(geo, seed.derive("topics-root"), &mut next_page_id);
         let roster = Roster::generate(seed.derive("roster-root"));
-        let pol_pages = politician_pages(&roster, geo, seed.derive("polpages-root"), &mut next_page_id);
+        let pol_pages = politician_pages(
+            &roster,
+            geo,
+            seed.derive("polpages-root"),
+            &mut next_page_id,
+        );
 
         let mut pages = est.pages;
         pages.extend(topic_set.pages);
@@ -100,15 +106,15 @@ fn politician_pages(
         let slug = slugify(&pol.name);
 
         let push = |pages: &mut Vec<Page>,
-                        next_page_id: &mut u32,
-                        url: String,
-                        domain: String,
-                        title: String,
-                        extra: &str,
-                        authority: f64,
-                        geo_scope: GeoScope,
-                        kind: PageKind,
-                        day: Option<u32>| {
+                    next_page_id: &mut u32,
+                    url: String,
+                    domain: String,
+                    title: String,
+                    extra: &str,
+                    authority: f64,
+                    geo_scope: GeoScope,
+                    kind: PageKind,
+                    day: Option<u32>| {
             let id = PageId(*next_page_id);
             *next_page_id += 1;
             let mut toks = tokenize(&title);
@@ -319,9 +325,17 @@ fn politician_pages(
                 push(
                     &mut pages,
                     next_page_id,
-                    format!("https://{slug}-{}.example.com/", slugify(&state.region.name)),
+                    format!(
+                        "https://{slug}-{}.example.com/",
+                        slugify(&state.region.name)
+                    ),
                     format!("{slug}-{}.example.com", slugify(&state.region.name)),
-                    format!("{} {} ({})", pol.name, professions[i % professions.len()], state.region.name),
+                    format!(
+                        "{} {} ({})",
+                        pol.name,
+                        professions[i % professions.len()],
+                        state.region.name
+                    ),
                     "unrelated namesake local business",
                     rng.range_f64(0.60, 0.85),
                     GeoScope::State(abbrev),
@@ -420,10 +434,8 @@ mod tests {
     #[test]
     fn county_board_news_is_county_scoped() {
         let c = corpus();
-        let board: Vec<&crate::politicians::Politician> = c
-            .roster
-            .at_level(OfficeLevel::CountyBoard)
-            .collect();
+        let board: Vec<&crate::politicians::Politician> =
+            c.roster.at_level(OfficeLevel::CountyBoard).collect();
         let slugs: Vec<String> = board.iter().map(|p| slugify(&p.name)).collect();
         let mut found = false;
         for p in &c.pages {

@@ -65,6 +65,14 @@ pub struct DatasetMeta {
     pub failed_jobs: u64,
     /// Total requests issued (including homepage loads and retries).
     pub requests_issued: u64,
+    /// Fetch attempts, including retries (at least one per job).
+    pub attempts: u64,
+    /// Attempts beyond a job's first — retry pressure under faults.
+    pub retries: u64,
+    /// Attempts whose body arrived but failed SERP parsing (corruption).
+    pub parse_failures: u64,
+    /// Attempts that failed at the transport layer (drops, resets).
+    pub net_errors: u64,
 }
 
 /// The full collected dataset.
@@ -210,7 +218,14 @@ mod tests {
         Dataset::new(vantage, DatasetMeta::default())
     }
 
-    fn obs(ds: &mut Dataset, day: u32, loc: u32, term: &str, role: Role, urls: &[&str]) -> Observation {
+    fn obs(
+        ds: &mut Dataset,
+        day: u32,
+        loc: u32,
+        term: &str,
+        role: Role,
+        urls: &[&str],
+    ) -> Observation {
         Observation {
             day,
             block_day: day,
@@ -265,7 +280,10 @@ mod tests {
         let json = ds.to_json();
         let mut back = Dataset::from_json(&json).unwrap();
         assert_eq!(back.observations().len(), 1);
-        assert_eq!(back.urls_of(&back.observations()[0].clone()), vec!["a", "b", "c"]);
+        assert_eq!(
+            back.urls_of(&back.observations()[0].clone()),
+            vec!["a", "b", "c"]
+        );
         // The rebuilt index keeps interning consistent.
         let id = back.intern("a");
         assert_eq!(back.url(id), "a");
@@ -275,7 +293,11 @@ mod tests {
     #[test]
     fn location_lookup_spans_all_granularities() {
         let ds = empty_dataset();
-        for gran in [Granularity::County, Granularity::State, Granularity::National] {
+        for gran in [
+            Granularity::County,
+            Granularity::State,
+            Granularity::National,
+        ] {
             let l = &ds.vantage.at(gran)[0];
             assert_eq!(ds.location(l.id).unwrap().id, l.id);
         }

@@ -35,10 +35,12 @@ pub mod machines;
 pub mod plan;
 pub mod run;
 pub mod validation;
+pub mod workers;
 
 pub use dataset::{Dataset, DatasetMeta, Observation, Role, UrlId};
 pub use export::{observations_csv, results_csv, to_jsonl};
 pub use machines::MachinePool;
 pub use plan::ExperimentPlan;
-pub use run::{CrawlProgress, Crawler, CrawlStats};
+pub use run::{CrawlProgress, CrawlStats, Crawler};
 pub use validation::{run_validation, ValidationReport};
+pub use workers::CrawlBackend;

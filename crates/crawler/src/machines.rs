@@ -71,6 +71,10 @@ impl MachinePool {
     }
 
     /// The machine serving job number `i` (round-robin).
+    ///
+    /// Invariant relied on by the persistent worker pool: job `i` maps to
+    /// pool slot `i % len()`, so partitioning a round's jobs by that rule
+    /// reproduces exactly the per-machine request order of a serial crawl.
     pub fn assign(&self, i: usize) -> Ipv4Addr {
         self.machines[i % self.machines.len()].0
     }
@@ -121,6 +125,17 @@ mod tests {
         let pool = MachinePool::cluster(3, Coord::new(0.0, 0.0));
         assert_eq!(pool.assign(0), pool.assign(3));
         assert_ne!(pool.assign(0), pool.assign(1));
+    }
+
+    #[test]
+    fn assignment_matches_slot_index_partitioning() {
+        // The worker pool partitions jobs as `i % len()` into per-machine
+        // queues; that must agree with `assign` for every job index.
+        let pool = MachinePool::cluster(CLUSTER_SIZE, Coord::new(0.0, 0.0));
+        let ips = pool.ips();
+        for i in 0..3 * CLUSTER_SIZE {
+            assert_eq!(pool.assign(i), ips[i % ips.len()], "job {i}");
+        }
     }
 
     #[test]

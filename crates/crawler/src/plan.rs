@@ -28,8 +28,10 @@ pub struct ExperimentPlan {
     /// Virtual minutes between consecutive terms (11 defeats the 10-minute
     /// history window, §2.2).
     pub inter_query_wait_min: u64,
-    /// Drive machines from parallel threads (results are identical either
-    /// way; parallel is faster on multicore).
+    /// Run on the persistent worker pool (`CrawlBackend::WorkerPool`, one
+    /// long-lived thread per machine) instead of serially on the scheduler
+    /// thread. Datasets are byte-identical either way; the pool is faster
+    /// on multicore and avoids per-round thread churn.
     pub parallel: bool,
 }
 

@@ -3,6 +3,7 @@
 use crate::dataset::{Dataset, DatasetMeta, Observation, Role};
 use crate::machines::{MachinePool, CLUSTER_SIZE};
 use crate::plan::ExperimentPlan;
+use crate::workers::{CrawlBackend, PersistentPool, RoundResult};
 use geoserp_browser::Browser;
 use geoserp_corpus::{Query, WebCorpus};
 use geoserp_engine::{EngineConfig, SearchEngine, SearchService, SEARCH_HOST};
@@ -13,6 +14,9 @@ use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+/// Milliseconds per simulated day.
+const DAY_MS: u64 = 86_400_000;
+
 /// Where the paper's crawl cluster physically sits (a Boston-area lab —
 /// Northeastern ran the original study). Only IP geolocation sees this.
 pub const CLUSTER_SITE: Coord = Coord {
@@ -20,13 +24,24 @@ pub const CLUSTER_SITE: Coord = Coord {
     lon_deg: -71.09,
 };
 
-/// Counters accumulated over a crawl.
+/// Counters accumulated over a crawl. All are monotone and
+/// backend-independent: a pooled crawl reports exactly the same numbers as
+/// a serial one.
 #[derive(Debug, Default)]
 pub struct CrawlStats {
-    /// The requests issued.
+    /// HTTP requests issued (homepage + query per attempt, retries included).
     pub requests_issued: AtomicU64,
-    /// The failed jobs.
+    /// Jobs that failed permanently after exhausting their retry budget.
     pub failed_jobs: AtomicU64,
+    /// Fetch attempts, including retries (at least one per job).
+    pub attempts: AtomicU64,
+    /// Attempts beyond a job's first — the retry pressure under faults.
+    pub retries: AtomicU64,
+    /// Attempts whose response body arrived but failed SERP parsing
+    /// (bit-flip corruption from the fault injector).
+    pub parse_failures: AtomicU64,
+    /// Attempts that failed at the transport layer (drops, resets).
+    pub net_errors: AtomicU64,
 }
 
 /// A progress snapshot delivered after each lock-step round.
@@ -46,17 +61,27 @@ pub struct CrawlProgress {
     pub observations: usize,
 }
 
-/// One fetch job inside a lock-step round.
-struct Job<'a> {
-    index: usize,
-    location: &'a Location,
-    role: Role,
+/// One lock-step round of the flattened schedule: every listed location
+/// fetches `term` twice (treatment + control) at the same virtual instant.
+struct RoundDesc<'a> {
+    term: &'a Query,
+    /// The term as a cheaply-cloneable handle for worker channels.
+    term_arc: Arc<str>,
+    gran: geoserp_geo::Granularity,
+    locs: &'a [Location],
+    /// Day within the (batch, granularity) block, 0-based.
+    block_day: u32,
+    /// Absolute simulation day.
+    abs_day: u32,
+    /// First round of its day — the scheduler jumps the clock to the day
+    /// boundary before dispatching it.
+    first_of_day: bool,
 }
 
 /// Everything a job produces.
-struct JobOutput {
-    page: SerpPage,
-    datacenter: String,
+pub(crate) struct JobOutput {
+    pub(crate) page: SerpPage,
+    pub(crate) datacenter: String,
 }
 
 /// The assembled world plus crawl machinery.
@@ -175,18 +200,42 @@ impl Crawler {
     /// between rounds, so it cannot perturb timing or noise).
     ///
     /// Runs are timeline-continuable: a second `run` on the same world
-    /// starts at the next virtual day boundary after the first finished
-    /// (virtual time never rewinds), so its absolute days — and therefore
-    /// its news pool and noise draws — differ from a fresh world's.
+    /// starts at the next *strict* virtual day boundary after the first
+    /// finished (virtual time never rewinds), so its absolute days — and
+    /// therefore its news pool and noise draws — differ from a fresh
+    /// world's.
     pub fn run_with_progress(
         &self,
         plan: &ExperimentPlan,
         progress: impl Fn(&CrawlProgress),
     ) -> Dataset {
+        self.run_with_backend(plan, CrawlBackend::from_plan_flag(plan.parallel), progress)
+    }
+
+    /// Execute a plan on an explicit backend. Every backend produces a
+    /// byte-identical dataset; they differ only in wall-clock. The
+    /// [`CrawlBackend::SpawnPerRound`] variant exists so the bench harness
+    /// can measure the persistent pool against its predecessor.
+    pub fn run_with_backend(
+        &self,
+        plan: &ExperimentPlan,
+        backend: CrawlBackend,
+        progress: impl Fn(&CrawlProgress),
+    ) -> Dataset {
         plan.validate();
-        // First day boundary at or after the current virtual time.
-        let base_day = self.net.clock().now().millis().div_ceil(86_400_000) as u32;
+        // The next strict day boundary: a fresh world (t = 0) starts on day
+        // 0; any later time — including one sitting *exactly* on a boundary
+        // — advances past it, so a rerun never shares a day (and with it
+        // the news pool and noise stream) with earlier activity.
+        let now_ms = self.net.clock().now().millis();
+        let base_day = if now_ms == 0 {
+            0
+        } else {
+            (now_ms / DAY_MS) as u32 + 1
+        };
         let stats = CrawlStats::default();
+        let rounds = self.schedule(plan, base_day);
+        let total_rounds = rounds.len();
         let mut dataset = Dataset::new(
             self.vantage.clone(),
             DatasetMeta {
@@ -194,24 +243,88 @@ impl Crawler {
                 ..DatasetMeta::default()
             },
         );
-
-        // Total rounds, for progress reporting.
-        let total_rounds: usize = plan
-            .batches
-            .iter()
-            .map(|batch| {
-                let terms: usize = batch
-                    .iter()
-                    .map(|&cat| {
-                        let n = self.corpus.queries.of(cat).len();
-                        plan.queries_per_category.unwrap_or(n).min(n)
-                    })
-                    .sum();
-                terms * plan.granularities.len() * plan.days as usize
-            })
-            .sum();
         let mut completed_rounds = 0usize;
 
+        std::thread::scope(|scope| {
+            let pool = (backend == CrawlBackend::WorkerPool)
+                .then(|| PersistentPool::start(scope, self, &stats));
+
+            // Reposition the virtual clock for a round: jump to the day
+            // boundary at day starts (the schedule is strictly monotone, so
+            // this never rewinds). The clock only ever moves here and at
+            // the post-round advance — never while a round is in flight.
+            let position_clock = |round: &RoundDesc| {
+                if round.first_of_day {
+                    self.net.clock().set(geoserp_net::clock::SimInstant(
+                        round.abs_day as u64 * DAY_MS,
+                    ));
+                }
+            };
+            // §2.2: 11 minutes between subsequent queries defeats the
+            // 10-minute search-history window.
+            let advance_clock = || self.net.clock().advance_minutes(plan.inter_query_wait_min);
+
+            let finish_round = |round: &RoundDesc,
+                                results: Vec<RoundResult>,
+                                dataset: &mut Dataset,
+                                completed_rounds: &mut usize| {
+                self.absorb_round(dataset, round, results, &stats);
+                *completed_rounds += 1;
+                progress(&CrawlProgress {
+                    completed_rounds: *completed_rounds,
+                    total_rounds,
+                    term: round.term.term.clone(),
+                    granularity: round.gran,
+                    day: round.abs_day,
+                    observations: dataset.observations().len(),
+                });
+            };
+
+            if let Some(pool) = &pool {
+                // Pipelined: dispatch round N, then intern round N−1's URLs
+                // on the scheduler thread while the workers fetch N. The
+                // barrier before the clock advance keeps every fetch of a
+                // round at the same virtual instant.
+                let mut pending: Option<(&RoundDesc, Vec<RoundResult>)> = None;
+                for round in &rounds {
+                    position_clock(round);
+                    let expected = pool.dispatch(&round.term_arc, round.locs);
+                    if let Some((prev, results)) = pending.take() {
+                        finish_round(prev, results, &mut dataset, &mut completed_rounds);
+                    }
+                    let results = pool.collect(expected);
+                    advance_clock();
+                    pending = Some((round, results));
+                }
+                if let Some((prev, results)) = pending.take() {
+                    finish_round(prev, results, &mut dataset, &mut completed_rounds);
+                }
+            } else {
+                for round in &rounds {
+                    position_clock(round);
+                    let results = match backend {
+                        CrawlBackend::Serial => self.run_round_serial(round, &stats),
+                        CrawlBackend::SpawnPerRound => self.run_round_spawning(round, &stats),
+                        CrawlBackend::WorkerPool => unreachable!("pool handled above"),
+                    };
+                    advance_clock();
+                    finish_round(round, results, &mut dataset, &mut completed_rounds);
+                }
+            }
+        });
+
+        dataset.meta.failed_jobs = stats.failed_jobs.load(Ordering::Relaxed);
+        dataset.meta.requests_issued = stats.requests_issued.load(Ordering::Relaxed);
+        dataset.meta.attempts = stats.attempts.load(Ordering::Relaxed);
+        dataset.meta.retries = stats.retries.load(Ordering::Relaxed);
+        dataset.meta.parse_failures = stats.parse_failures.load(Ordering::Relaxed);
+        dataset.meta.net_errors = stats.net_errors.load(Ordering::Relaxed);
+        dataset
+    }
+
+    /// Flatten a plan into its lock-step rounds, in execution order.
+    fn schedule<'a>(&'a self, plan: &ExperimentPlan, base_day: u32) -> Vec<RoundDesc<'a>> {
+        let mut rounds = Vec::new();
         for (bi, batch) in plan.batches.iter().enumerate() {
             // The batch's term list, in corpus order, optionally subsampled.
             // Subsampled plans take terms evenly spaced through each
@@ -233,146 +346,130 @@ impl Crawler {
 
                 for day in 0..plan.days {
                     let abs_day = base_day + plan.absolute_day(bi, gi, day);
-                    // Jump to the start of the day (the schedule is strictly
-                    // monotone, so this never rewinds).
-                    self.net
-                        .clock()
-                        .set(geoserp_net::clock::SimInstant(abs_day as u64 * 86_400_000));
-
-                    for term in &terms {
-                        let round = self.run_round(term, gran, locs, plan.parallel, &stats);
-                        for (loc, role, output) in round {
-                            let Some(output) = output else {
-                                stats.failed_jobs.fetch_add(1, Ordering::Relaxed);
-                                continue;
-                            };
-                            let results = output
-                                .page
-                                .extract_results()
-                                .into_iter()
-                                .map(|r| (dataset.intern(&r.url), r.rtype))
-                                .collect();
-                            dataset.push(Observation {
-                                day: abs_day,
-                                block_day: day,
-                                granularity: gran,
-                                location: loc.id,
-                                term: term.term.clone(),
-                                category: term.category,
-                                role,
-                                results,
-                                datacenter: output.datacenter,
-                                reported_location: output.page.reported_location.clone(),
-                            });
-                        }
-                        // §2.2: 11 minutes between subsequent queries defeats
-                        // the 10-minute search-history window.
-                        self.net.clock().advance_minutes(plan.inter_query_wait_min);
-                        completed_rounds += 1;
-                        progress(&CrawlProgress {
-                            completed_rounds,
-                            total_rounds,
-                            term: term.term.clone(),
-                            granularity: gran,
-                            day: abs_day,
-                            observations: dataset.observations().len(),
+                    for (ti, term) in terms.iter().enumerate() {
+                        rounds.push(RoundDesc {
+                            term,
+                            term_arc: Arc::from(term.term.as_str()),
+                            gran,
+                            locs,
+                            block_day: day,
+                            abs_day,
+                            first_of_day: ti == 0,
                         });
                     }
                 }
             }
         }
-
-        dataset.meta.failed_jobs = stats.failed_jobs.load(Ordering::Relaxed);
-        dataset.meta.requests_issued = stats.requests_issued.load(Ordering::Relaxed);
-        dataset
+        rounds
     }
 
-    /// One lock-step round: every location fetches `term` twice (treatment +
-    /// control) "at the same moment in time" — the same virtual instant,
-    /// from different machines.
-    fn run_round<'a>(
+    /// Commit one round's results (sorted back into job order) into the
+    /// dataset. Runs on the scheduler thread — interning is single-writer.
+    fn absorb_round(
         &self,
-        term: &Query,
-        _gran: geoserp_geo::Granularity,
-        locs: &'a [Location],
-        parallel: bool,
+        dataset: &mut Dataset,
+        round: &RoundDesc,
+        mut results: Vec<RoundResult>,
         stats: &CrawlStats,
-    ) -> Vec<(&'a Location, Role, Option<JobOutput>)> {
-        let jobs: Vec<Job<'a>> = locs
-            .iter()
-            .flat_map(|loc| Role::BOTH.map(|role| (loc, role)))
-            .enumerate()
-            .map(|(index, (location, role))| Job {
-                index,
-                location,
+    ) {
+        results.sort_by_key(|(index, _)| *index);
+        for (index, output) in results {
+            let location = &round.locs[index / 2];
+            let role = Role::BOTH[index % 2];
+            let Some(output) = output else {
+                stats.failed_jobs.fetch_add(1, Ordering::Relaxed);
+                continue;
+            };
+            let results = output
+                .page
+                .extract_results()
+                .into_iter()
+                .map(|r| (dataset.intern(&r.url), r.rtype))
+                .collect();
+            dataset.push(Observation {
+                day: round.abs_day,
+                block_day: round.block_day,
+                granularity: round.gran,
+                location: location.id,
+                term: round.term.term.clone(),
+                category: round.term.category,
                 role,
-            })
-            .collect();
+                results,
+                datacenter: output.datacenter,
+                reported_location: output.page.reported_location.clone(),
+            });
+        }
+    }
 
-        let mut outputs: Vec<(usize, Option<JobOutput>)> = if parallel {
-            // Group jobs by machine; one thread per machine keeps per-source
-            // request order (and therefore the noise draws) deterministic.
-            let mut by_machine: std::collections::BTreeMap<std::net::Ipv4Addr, Vec<&Job<'a>>> =
-                std::collections::BTreeMap::new();
-            for job in &jobs {
-                by_machine
-                    .entry(self.pool.assign(job.index))
-                    .or_default()
-                    .push(job);
-            }
-            let collected: Mutex<Vec<(usize, Option<JobOutput>)>> =
-                Mutex::new(Vec::with_capacity(jobs.len()));
-            crossbeam::thread::scope(|scope| {
-                for (&machine, machine_jobs) in &by_machine {
-                    let collected = &collected;
-                    let term = &term.term;
-                    scope.spawn(move |_| {
-                        let mut local = Vec::with_capacity(machine_jobs.len());
-                        for job in machine_jobs {
-                            let out = self.fetch_job(machine, term, job.location, stats);
-                            local.push((job.index, out));
-                        }
-                        collected.lock().extend(local);
-                    });
-                }
-            })
-            .expect("crawl threads do not panic");
-            collected.into_inner()
-        } else {
-            jobs.iter()
-                .map(|job| {
-                    let machine = self.pool.assign(job.index);
-                    (
-                        job.index,
-                        self.fetch_job(machine, &term.term, job.location, stats),
-                    )
-                })
-                .collect()
-        };
-
-        outputs.sort_by_key(|(index, _)| *index);
-        jobs.iter()
-            .zip(outputs)
-            .map(|(job, (index, output))| {
-                debug_assert_eq!(job.index, index);
-                (job.location, job.role, output)
+    /// One round, in-order on the scheduler thread.
+    fn run_round_serial(&self, round: &RoundDesc, stats: &CrawlStats) -> Vec<RoundResult> {
+        (0..round.locs.len() * 2)
+            .map(|index| {
+                let machine = self.pool.assign(index);
+                (
+                    index,
+                    self.fetch_job(
+                        machine,
+                        &round.term.term,
+                        round.locs[index / 2].coord,
+                        stats,
+                    ),
+                )
             })
             .collect()
     }
 
+    /// One round on the pre-pool strategy: spawn a scoped thread per busy
+    /// machine, join at the round barrier. Benchmark baseline only.
+    fn run_round_spawning(&self, round: &RoundDesc, stats: &CrawlStats) -> Vec<RoundResult> {
+        let total = round.locs.len() * 2;
+        // Group jobs by machine; one thread per machine keeps per-source
+        // request order (and therefore the noise draws) deterministic.
+        let mut by_machine: std::collections::BTreeMap<std::net::Ipv4Addr, Vec<usize>> =
+            std::collections::BTreeMap::new();
+        for index in 0..total {
+            by_machine
+                .entry(self.pool.assign(index))
+                .or_default()
+                .push(index);
+        }
+        let collected: Mutex<Vec<RoundResult>> = Mutex::new(Vec::with_capacity(total));
+        std::thread::scope(|scope| {
+            for (&machine, indices) in &by_machine {
+                let collected = &collected;
+                scope.spawn(move || {
+                    let mut local = Vec::with_capacity(indices.len());
+                    for &index in indices {
+                        let coord = round.locs[index / 2].coord;
+                        local.push((
+                            index,
+                            self.fetch_job(machine, &round.term.term, coord, stats),
+                        ));
+                    }
+                    collected.lock().extend(local);
+                });
+            }
+        });
+        collected.into_inner()
+    }
+
     /// One job: fresh browser, spoofed GPS, homepage + query, parse, retry
     /// on damage, clear cookies.
-    fn fetch_job(
+    pub(crate) fn fetch_job(
         &self,
         machine: std::net::Ipv4Addr,
         term: &str,
-        location: &Location,
+        coord: Coord,
         stats: &CrawlStats,
     ) -> Option<JobOutput> {
         let mut browser = Browser::new(Arc::clone(&self.net), machine);
-        for _attempt in 0..3 {
+        for attempt in 0..3 {
+            stats.attempts.fetch_add(1, Ordering::Relaxed);
+            if attempt > 0 {
+                stats.retries.fetch_add(1, Ordering::Relaxed);
+            }
             stats.requests_issued.fetch_add(2, Ordering::Relaxed);
-            match browser.run_search_job(SEARCH_HOST, term, location.coord) {
+            match browser.run_search_job(SEARCH_HOST, term, coord) {
                 Ok(fetch) => match geoserp_serp::parse(&fetch.body) {
                     Ok(page) => {
                         browser.clear_cookies();
@@ -381,9 +478,15 @@ impl Crawler {
                             datacenter: fetch.datacenter.unwrap_or_default(),
                         });
                     }
-                    Err(_damaged) => continue, // corrupted body: refetch
+                    Err(_damaged) => {
+                        stats.parse_failures.fetch_add(1, Ordering::Relaxed);
+                        continue; // corrupted body: refetch
+                    }
                 },
-                Err(_net) => continue,
+                Err(_net) => {
+                    stats.net_errors.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
             }
         }
         None
@@ -467,7 +570,11 @@ mod tests {
         let a = Crawler::new(Seed::new(7)).run(&plan);
         plan.parallel = false;
         let b = Crawler::new(Seed::new(7)).run(&plan);
-        assert_eq!(a.observations(), b.observations(), "determinism under parallelism");
+        assert_eq!(
+            a.observations(),
+            b.observations(),
+            "determinism under parallelism"
+        );
     }
 
     #[test]
@@ -536,9 +643,88 @@ mod tests {
     fn no_rate_limiting_fired() {
         let crawler = Crawler::new(Seed::new(2015));
         let _ds = crawler.run(&quick_plan());
-        let throttled = crawler.net().log().count_where(|e| {
-            matches!(e.kind, geoserp_net::NetEventKind::Response { status: 429 })
-        });
+        let throttled = crawler
+            .net()
+            .log()
+            .count_where(|e| matches!(e.kind, geoserp_net::NetEventKind::Response { status: 429 }));
         assert_eq!(throttled, 0, "machine pool must stay under the rate limit");
+    }
+
+    #[test]
+    fn every_backend_produces_byte_identical_datasets() {
+        let plan = quick_plan();
+        let serial =
+            Crawler::new(Seed::new(7)).run_with_backend(&plan, CrawlBackend::Serial, |_| {});
+        let spawning =
+            Crawler::new(Seed::new(7)).run_with_backend(&plan, CrawlBackend::SpawnPerRound, |_| {});
+        let pooled =
+            Crawler::new(Seed::new(7)).run_with_backend(&plan, CrawlBackend::WorkerPool, |_| {});
+        assert_eq!(serial.to_json(), pooled.to_json(), "pool vs serial");
+        assert_eq!(
+            serial.to_json(),
+            spawning.to_json(),
+            "spawn-per-round vs serial"
+        );
+    }
+
+    #[test]
+    fn run_starting_exactly_on_a_day_boundary_advances_to_the_next_day() {
+        // Regression: with `div_ceil`, a clock parked exactly on a day
+        // boundary made the next run reuse that day instead of advancing,
+        // so two timelines could share a day's news pool and noise stream.
+        let crawler = Crawler::new(Seed::new(2015));
+        crawler
+            .net()
+            .clock()
+            .set(geoserp_net::clock::SimInstant(3 * 86_400_000));
+        let ds = crawler.run(&quick_plan());
+        let first_day = ds.observations().iter().map(|o| o.day).min().unwrap();
+        assert_eq!(
+            first_day, 4,
+            "an exact-boundary clock must advance to the next strict boundary"
+        );
+    }
+
+    #[test]
+    fn fresh_world_still_starts_on_day_zero() {
+        let crawler = Crawler::new(Seed::new(2015));
+        let ds = crawler.run(&quick_plan());
+        let first_day = ds.observations().iter().map(|o| o.day).min().unwrap();
+        assert_eq!(first_day, 0);
+    }
+
+    #[test]
+    fn attempt_accounting_is_consistent_on_a_clean_network() {
+        let crawler = Crawler::new(Seed::new(2015));
+        let ds = crawler.run(&quick_plan());
+        // 108 jobs, no faults: one attempt per job, no retries, no errors.
+        assert_eq!(ds.meta.attempts, 108);
+        assert_eq!(ds.meta.retries, 0);
+        assert_eq!(ds.meta.parse_failures, 0);
+        assert_eq!(ds.meta.net_errors, 0);
+        assert_eq!(ds.meta.requests_issued, 2 * ds.meta.attempts);
+    }
+
+    #[test]
+    fn attempt_accounting_balances_under_faults() {
+        let crawler = Crawler::with_config_and_faults(
+            Seed::new(5),
+            EngineConfig::paper_defaults(),
+            0.05,
+            0.05,
+        );
+        let ds = crawler.run(&quick_plan());
+        // Every attempt is the first of a job or a retry; every retry was
+        // provoked by a counted failure cause.
+        let jobs = 108;
+        assert_eq!(ds.meta.attempts, jobs + ds.meta.retries);
+        // Each failure (parse or net) provokes a retry, except the final
+        // attempt of a permanently failed job.
+        assert_eq!(
+            ds.meta.parse_failures + ds.meta.net_errors,
+            ds.meta.retries + ds.meta.failed_jobs
+        );
+        assert!(ds.meta.retries > 0, "5% fault rates must provoke retries");
+        assert_eq!(ds.meta.requests_issued, 2 * ds.meta.attempts);
     }
 }

@@ -66,7 +66,12 @@ fn mean_pairwise<T, F: Fn(&T, &T) -> f64>(items: &[T], f: F) -> f64 {
 /// database at its true site) issue the first `query_count` controversial
 /// queries, all presenting the Cuyahoga-centroid GPS fix, all at the same
 /// virtual instant per query, 11 minutes apart across queries.
-pub fn run_validation(seed: Seed, config: EngineConfig, machine_count: usize, query_count: usize) -> ValidationReport {
+pub fn run_validation(
+    seed: Seed,
+    config: EngineConfig,
+    machine_count: usize,
+    query_count: usize,
+) -> ValidationReport {
     let geo = Arc::new(UsGeography::generate(seed));
     let corpus = Arc::new(WebCorpus::generate(&geo, seed.derive("corpus")));
     let engine = Arc::new(SearchEngine::new(
@@ -169,7 +174,12 @@ pub fn run_validation(seed: Seed, config: EngineConfig, machine_count: usize, qu
 
 /// Paper-scale defaults: 50 machines.
 pub fn run_validation_paper(seed: Seed, queries: usize) -> ValidationReport {
-    run_validation(seed, EngineConfig::paper_defaults(), PLANETLAB_SIZE, queries)
+    run_validation(
+        seed,
+        EngineConfig::paper_defaults(),
+        PLANETLAB_SIZE,
+        queries,
+    )
 }
 
 #[cfg(test)]

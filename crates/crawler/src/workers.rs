@@ -1,0 +1,134 @@
+//! The persistent crawl worker pool.
+//!
+//! §2.2 distributes the query load over 44 machines. Earlier versions of
+//! this crate spawned one OS thread per busy machine *per lock-step round*
+//! and tore them all down at the round barrier — up to 44 spawns × 3,600
+//! rounds on the full plan. [`PersistentPool`] instead starts one long-lived
+//! worker per machine for the duration of a run and feeds it rounds over a
+//! channel.
+//!
+//! Determinism: the scheduler partitions each round's jobs by machine with
+//! the same round-robin rule as the serial path ([`MachinePool::assign`]),
+//! and each worker processes its batch strictly in job-index order. The
+//! simulated network's noise draws depend only on (source machine, per-source
+//! request order, virtual time), and the virtual clock only moves between
+//! rounds on the scheduler thread — so a pooled crawl is byte-identical to a
+//! serial one.
+
+use crate::run::{CrawlStats, Crawler, JobOutput};
+use geoserp_geo::{Coord, Location};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread::Scope;
+
+/// How a crawl executes its lock-step rounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrawlBackend {
+    /// Every job runs in plan order on the scheduler thread.
+    Serial,
+    /// The pre-pool strategy: spawn a scoped thread per busy machine every
+    /// round. Kept for benchmarking the pool against its predecessor.
+    SpawnPerRound,
+    /// Persistent per-machine workers fed over channels, with the scheduler
+    /// interning round N's results while the workers fetch round N+1.
+    WorkerPool,
+}
+
+impl CrawlBackend {
+    /// The backend a plan's `parallel` flag selects.
+    pub fn from_plan_flag(parallel: bool) -> Self {
+        if parallel {
+            CrawlBackend::WorkerPool
+        } else {
+            CrawlBackend::Serial
+        }
+    }
+}
+
+/// One fetch handed to a worker. Owned, so it can cross the channel.
+pub(crate) struct WorkJob {
+    /// Global job index within the round (also selects the machine).
+    pub index: usize,
+    /// The query term.
+    pub term: Arc<str>,
+    /// The GPS coordinate to spoof.
+    pub coord: Coord,
+}
+
+/// `(job index, fetch outcome)` reported back to the scheduler.
+pub(crate) type RoundResult = (usize, Option<JobOutput>);
+
+/// One long-lived worker per machine, alive for a whole run.
+pub(crate) struct PersistentPool {
+    /// Per-machine job queues, indexed like the [`MachinePool`].
+    job_txs: Vec<mpsc::Sender<Vec<WorkJob>>>,
+    /// Results funnel shared by all workers.
+    results_rx: mpsc::Receiver<RoundResult>,
+}
+
+impl PersistentPool {
+    /// Spawn one worker per machine in `crawler`'s pool as scoped threads.
+    /// Workers exit when the pool (and with it the job senders) drops.
+    pub fn start<'scope, 'env: 'scope>(
+        scope: &'scope Scope<'scope, 'env>,
+        crawler: &'env Crawler,
+        stats: &'env CrawlStats,
+    ) -> Self {
+        let machines = crawler.pool().ips();
+        let (results_tx, results_rx) = mpsc::channel::<RoundResult>();
+        let mut job_txs = Vec::with_capacity(machines.len());
+        for machine in machines {
+            let (tx, rx) = mpsc::channel::<Vec<WorkJob>>();
+            job_txs.push(tx);
+            let results_tx = results_tx.clone();
+            scope.spawn(move || {
+                // Per-machine FIFO: batches arrive in round order and jobs
+                // within a batch are pre-sorted by index, reproducing the
+                // serial per-source request order exactly.
+                while let Ok(batch) = rx.recv() {
+                    for job in batch {
+                        let out = crawler.fetch_job(machine, &job.term, job.coord, stats);
+                        if results_tx.send((job.index, out)).is_err() {
+                            return; // scheduler gone; shut down
+                        }
+                    }
+                }
+            });
+        }
+        // Workers hold the only result senders; `collect` can then detect a
+        // dead pool instead of blocking forever.
+        drop(results_tx);
+        PersistentPool {
+            job_txs,
+            results_rx,
+        }
+    }
+
+    /// Queue one round: every location fetches `term` twice (treatment +
+    /// control). Returns the number of results to [`collect`](Self::collect).
+    pub fn dispatch(&self, term: &Arc<str>, locs: &[Location]) -> usize {
+        let n_machines = self.job_txs.len();
+        let total = locs.len() * 2;
+        let mut batches: Vec<Vec<WorkJob>> = (0..n_machines).map(|_| Vec::new()).collect();
+        for index in 0..total {
+            batches[index % n_machines].push(WorkJob {
+                index,
+                term: Arc::clone(term),
+                coord: locs[index / 2].coord,
+            });
+        }
+        for (tx, batch) in self.job_txs.iter().zip(batches) {
+            if !batch.is_empty() {
+                tx.send(batch).expect("worker alive while pool exists");
+            }
+        }
+        total
+    }
+
+    /// Round barrier: wait for exactly `expected` results.
+    pub fn collect(&self, expected: usize) -> Vec<RoundResult> {
+        (0..expected)
+            .map(|_| self.results_rx.recv().expect("a crawl worker died"))
+            .collect()
+    }
+}

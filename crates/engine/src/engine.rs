@@ -56,8 +56,11 @@ pub struct SearchEngine {
     noise: NoiseModel,
     history: SessionHistory,
     /// Optional result cache: (query, coarse lat/lon, day) → (page, expiry).
-    serp_cache: parking_lot::Mutex<std::collections::HashMap<(String, i32, i32, u32), (SerpPage, u64)>>,
+    serp_cache: parking_lot::Mutex<SerpCache>,
 }
+
+/// (query, coarse lat, coarse lon, day) → (page, expiry-millis).
+type SerpCache = std::collections::HashMap<(String, i32, i32, u32), (SerpPage, u64)>;
 
 impl SearchEngine {
     /// Build an engine over a corpus and geography.
@@ -171,8 +174,10 @@ impl SearchEngine {
         let loc = self.personalization_location(ctx);
         let key = (
             format!("{}#{}", ctx.query, ctx.page),
-            loc.map(|c| (c.lat_deg * 100.0).round() as i32).unwrap_or(i32::MIN),
-            loc.map(|c| (c.lon_deg * 100.0).round() as i32).unwrap_or(i32::MIN),
+            loc.map(|c| (c.lat_deg * 100.0).round() as i32)
+                .unwrap_or(i32::MIN),
+            loc.map(|c| (c.lon_deg * 100.0).round() as i32)
+                .unwrap_or(i32::MIN),
             ctx.day(),
         );
         {
@@ -277,11 +282,9 @@ impl SearchEngine {
         // History boost terms (cookie-borne, 10-minute window).
         let history_tokens: Vec<String> = match &ctx.session {
             Some(sid) => {
-                let terms = self.history.recent_terms(
-                    sid,
-                    ctx.at_ms,
-                    cfg.history_window_minutes * 60_000,
-                );
+                let terms =
+                    self.history
+                        .recent_terms(sid, ctx.at_ms, cfg.history_window_minutes * 60_000);
                 terms.iter().flat_map(|t| tokenize(t)).collect()
             }
             None => Vec::new(),
@@ -316,7 +319,7 @@ impl SearchEngine {
                 * self.noise.tiebreak(ctx.seq, page.id);
             scored.push((score, page));
         }
-        scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.id.cmp(&b.1.id)));
+        scored.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.id.cmp(&b.1.id)));
 
         // Per-domain cap, then window the requested page out of the capped
         // ranking (pages beyond 0 skip the first page·organic_count hits).
@@ -426,7 +429,13 @@ mod tests {
     fn result_count_is_in_paper_range() {
         let (geo, engine) = engine();
         let metro = geo.cuyahoga_districts[0].coord;
-        for q in ["Hospital", "Starbucks", "Gay Marriage", "Joe Biden", "School"] {
+        for q in [
+            "Hospital",
+            "Starbucks",
+            "Gay Marriage",
+            "Joe Biden",
+            "School",
+        ] {
             let page = engine.search(&ctx(q, Some(metro), 1));
             let n = page.result_count();
             assert!(
@@ -484,7 +493,10 @@ mod tests {
             let generic = engine.search(&ctx("Hospital", Some(metro), 200 + seq));
             generic_maps += usize::from(generic.has_card(geoserp_serp::CardType::Maps));
         }
-        assert!(generic_maps >= 6, "generic query shows Maps: {generic_maps}/10");
+        assert!(
+            generic_maps >= 6,
+            "generic query shows Maps: {generic_maps}/10"
+        );
     }
 
     #[test]
@@ -587,10 +599,7 @@ mod tests {
     }
 
     fn engine_history_len(engine: &SearchEngine, sid: &str) -> usize {
-        engine
-            .history
-            .recent_terms(sid, u64::MAX, u64::MAX)
-            .len()
+        engine.history.recent_terms(sid, u64::MAX, u64::MAX).len()
     }
 
     #[test]

@@ -35,7 +35,10 @@ impl GeoIpDb {
     pub fn register(&self, ip: Ipv4Addr, coord: Coord) {
         self.exact.write().insert(ip, coord);
         let o = ip.octets();
-        self.subnet.write().entry([o[0], o[1], o[2]]).or_insert(coord);
+        self.subnet
+            .write()
+            .entry([o[0], o[1], o[2]])
+            .or_insert(coord);
     }
 
     /// Locate an IP: exact entry first, then its /24.

@@ -116,8 +116,7 @@ impl InvertedIndex {
                 }
             }
         }
-        let full: std::collections::HashSet<PageId> =
-            out.iter().map(|c| c.page).collect();
+        let full: std::collections::HashSet<PageId> = out.iter().map(|c| c.page).collect();
         let total = tokens.len() as f64;
         let mut partial: Vec<Candidate> = matched
             .into_iter()
@@ -128,12 +127,7 @@ impl InvertedIndex {
             })
             .collect();
         // Deterministic order: score desc, then id.
-        partial.sort_by(|a, b| {
-            b.lexical
-                .partial_cmp(&a.lexical)
-                .unwrap()
-                .then(a.page.cmp(&b.page))
-        });
+        partial.sort_by(|a, b| b.lexical.total_cmp(&a.lexical).then(a.page.cmp(&b.page)));
         let deficit = min_candidates.saturating_sub(out.len()) * 4; // headroom for ranking
         partial.truncate(deficit);
         out.extend(partial);
@@ -248,7 +242,11 @@ mod tests {
         assert!(!full.is_empty());
         for cand in full {
             let page = c.page(cand.page);
-            assert!(page.tokens.iter().any(|t| t == "elementary"), "{}", page.title);
+            assert!(
+                page.tokens.iter().any(|t| t == "elementary"),
+                "{}",
+                page.title
+            );
             assert!(page.tokens.iter().any(|t| t == "school"), "{}", page.title);
         }
     }
@@ -261,7 +259,11 @@ mod tests {
         // the pool.
         let name = &c.roster.all()[0].name;
         let cands = idx.retrieve(name, 30, 0.35);
-        assert!(cands.len() >= 12, "only {} candidates for {name}", cands.len());
+        assert!(
+            cands.len() >= 12,
+            "only {} candidates for {name}",
+            cands.len()
+        );
         assert!(cands.iter().any(|x| x.lexical == 1.0), "own pages present");
         assert!(cands.iter().any(|x| x.lexical < 1.0), "partials present");
         // Partials score strictly below fulls.
@@ -295,7 +297,12 @@ mod tests {
         let c = corpus();
         let idx = InvertedIndex::build(&c);
         assert_eq!(idx.suggest("starbuks").as_deref(), Some("starbucks"));
-        assert_eq!(idx.suggest("hospitel near me").as_deref().map(|s| s.starts_with("hospital")), Some(true));
+        assert_eq!(
+            idx.suggest("hospitel near me")
+                .as_deref()
+                .map(|s| s.starts_with("hospital")),
+            Some(true)
+        );
         // Known queries need no correction.
         assert_eq!(idx.suggest("school"), None);
         assert_eq!(idx.suggest(""), None);
@@ -316,7 +323,11 @@ mod tests {
         assert_eq!(char_distance_within("kitten", "sitting", 3), Some(3));
         assert_eq!(char_distance_within("kitten", "sitting", 2), None);
         assert_eq!(char_distance_within("abc", "abc", 0), Some(0));
-        assert_eq!(char_distance_within("a", "abcd", 2), None, "length gap exceeds bound");
+        assert_eq!(
+            char_distance_within("a", "abcd", 2),
+            None,
+            "length gap exceeds bound"
+        );
     }
 
     #[test]

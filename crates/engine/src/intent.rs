@@ -114,7 +114,11 @@ mod tests {
             let intent = intent_of(&c, &i, q);
             let nav = intent.navigational.expect("brand has nav target");
             let page = c.page(nav);
-            assert!(page.title.contains("Official Site"), "{q} -> {}", page.title);
+            assert!(
+                page.title.contains("Official Site"),
+                "{q} -> {}",
+                page.title
+            );
             assert!(intent.local, "{q} still has local candidates");
         }
     }

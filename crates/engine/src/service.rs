@@ -44,7 +44,11 @@ impl SearchService {
         SearchService {
             engine,
             limiter,
-            datacenter_of: addrs.iter().enumerate().map(|(i, &a)| (a, i as u32)).collect(),
+            datacenter_of: addrs
+                .iter()
+                .enumerate()
+                .map(|(i, &a)| (a, i as u32))
+                .collect(),
         }
     }
 
@@ -67,9 +71,7 @@ impl SearchService {
             return Response::status(Status::TooManyRequests)
                 .with_header("X-Reason", "unusual traffic from your computer network");
         }
-        let gps = req
-            .header(GEOLOCATION_HEADER)
-            .and_then(Coord::parse_gps);
+        let gps = req.header(GEOLOCATION_HEADER).and_then(Coord::parse_gps);
         let session = req.header("Cookie").and_then(|c| {
             c.split(';')
                 .map(str::trim)
@@ -285,9 +287,9 @@ mod tests {
         net.request(ip("10.9.1.1"), &search_req("Coffee", &gps))
             .unwrap();
         assert!(
-            net.log()
-                .count_where(|e| matches!(&e.kind, NetEventKind::Request { host, .. } if host == SEARCH_HOST))
-                >= 1
+            net.log().count_where(
+                |e| matches!(&e.kind, NetEventKind::Request { host, .. } if host == SEARCH_HOST)
+            ) >= 1
         );
     }
 }

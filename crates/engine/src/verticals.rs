@@ -85,12 +85,7 @@ impl PlaceIndex {
     /// Score-equivalent to [`PlaceIndex::retrieve`] for the Maps vertical:
     /// beyond ~20 decay lengths a place cannot clear any card threshold, so
     /// the radius cut never changes a SERP, it only skips dead candidates.
-    pub fn retrieve_near(
-        &self,
-        query: &str,
-        center: Coord,
-        radius_km: f64,
-    ) -> Vec<(usize, f64)> {
+    pub fn retrieve_near(&self, query: &str, center: Coord, radius_km: f64) -> Vec<(usize, f64)> {
         let matches = self.retrieve(query);
         if matches.is_empty() {
             return Vec::new();
@@ -148,7 +143,7 @@ pub fn select_maps(
         .into_iter()
         .map(|(i, d)| (i, place_score(&corpus.places[i], d, cfg)))
         .collect();
-    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
 
     let threshold = cfg.maps_threshold * threshold_multiplier;
     if scored.first().is_none_or(|(_, s)| *s < threshold) {
@@ -216,7 +211,7 @@ pub fn select_news(
     if scored.len() < cfg.news_min_articles {
         return None;
     }
-    scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.id.cmp(&b.1.id)));
+    scored.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.id.cmp(&b.1.id)));
     let mut card = Card::new(CardType::News);
     let mut urls = Vec::new();
     for (_, page) in scored.into_iter().take(cfg.news_max_links) {
@@ -364,10 +359,7 @@ mod tests {
             let cands: Vec<(geoserp_corpus::PageId, f64)> = corpus
                 .pages
                 .iter()
-                .filter(|p| {
-                    p.kind == PageKind::News
-                        && p.tokens.first() == topic_tokens.first()
-                })
+                .filter(|p| p.kind == PageKind::News && p.tokens.first() == topic_tokens.first())
                 .map(|p| (p.id, 1.0))
                 .collect();
             let home = select_news(&corpus, &cands, &cfg, 29, Some("OH"), 1.0);

@@ -174,7 +174,9 @@ impl Demographics {
     pub fn from_values(values: Vec<f64>) -> Self {
         assert_eq!(values.len(), DEMOGRAPHIC_FEATURE_COUNT, "need 25 features");
         assert!(
-            values.iter().all(|v| v.is_finite() && (0.0..=1.0).contains(v)),
+            values
+                .iter()
+                .all(|v| v.is_finite() && (0.0..=1.0).contains(v)),
             "features must be finite and in [0,1]"
         );
         Demographics { values }

@@ -94,8 +94,14 @@ impl<T: Clone> GridIndex<T> {
         let dlat = radius_km * lat_deg_per_km;
         let cos_lat = center.lat_deg.to_radians().cos().max(0.05);
         let dlon = dlat / cos_lat;
-        let lo = Self::cell_of(self.cell_deg, Coord::new(center.lat_deg - dlat, center.lon_deg - dlon));
-        let hi = Self::cell_of(self.cell_deg, Coord::new(center.lat_deg + dlat, center.lon_deg + dlon));
+        let lo = Self::cell_of(
+            self.cell_deg,
+            Coord::new(center.lat_deg - dlat, center.lon_deg - dlon),
+        );
+        let hi = Self::cell_of(
+            self.cell_deg,
+            Coord::new(center.lat_deg + dlat, center.lon_deg + dlon),
+        );
         let mut out = Vec::new();
         for cy in lo.0..=hi.0 {
             for cx in lo.1..=hi.1 {
@@ -202,8 +208,7 @@ mod tests {
             .min_by(|a, b| {
                 center
                     .haversine_km(a.0)
-                    .partial_cmp(&center.haversine_km(b.0))
-                    .unwrap()
+                    .total_cmp(&center.haversine_km(b.0))
             })
             .unwrap()
             .1

@@ -40,8 +40,8 @@ pub mod seed;
 pub mod us;
 
 pub use coord::{Coord, EARTH_RADIUS_KM, KM_PER_MILE};
-pub use grid::GridIndex;
 pub use demographics::{DemographicFeature, Demographics, DEMOGRAPHIC_FEATURE_COUNT};
+pub use grid::GridIndex;
 pub use region::{Granularity, Location, LocationId, Region, RegionKind};
 pub use seed::{DetRng, Seed};
 pub use us::{UsGeography, VantagePoints};

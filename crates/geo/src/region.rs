@@ -27,7 +27,11 @@ pub enum Granularity {
 
 impl Granularity {
     /// All granularities, smallest spatial extent first.
-    pub const ALL: [Granularity; 3] = [Granularity::County, Granularity::State, Granularity::National];
+    pub const ALL: [Granularity; 3] = [
+        Granularity::County,
+        Granularity::State,
+        Granularity::National,
+    ];
 
     /// The label used in the paper's figures.
     pub fn label(self) -> &'static str {

@@ -94,7 +94,11 @@ pub struct DetRng {
 
 impl DetRng {
     /// Next `u64` in the stream.
+    ///
+    /// Named like an RNG step, not [`Iterator::next`]; an iterator of
+    /// `u64` would mislead (the stream is infinite and stateful).
     #[inline]
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> u64 {
         splitmix64(&mut self.state)
     }

@@ -80,17 +80,94 @@ pub const STATES: [(&str, &str, f64, f64); 51] = [
 
 /// All 88 Ohio county names, alphabetical.
 pub const OHIO_COUNTIES: [&str; 88] = [
-    "Adams", "Allen", "Ashland", "Ashtabula", "Athens", "Auglaize", "Belmont", "Brown", "Butler",
-    "Carroll", "Champaign", "Clark", "Clermont", "Clinton", "Columbiana", "Coshocton", "Crawford",
-    "Cuyahoga", "Darke", "Defiance", "Delaware", "Erie", "Fairfield", "Fayette", "Franklin",
-    "Fulton", "Gallia", "Geauga", "Greene", "Guernsey", "Hamilton", "Hancock", "Hardin",
-    "Harrison", "Henry", "Highland", "Hocking", "Holmes", "Huron", "Jackson", "Jefferson", "Knox",
-    "Lake", "Lawrence", "Licking", "Logan", "Lorain", "Lucas", "Madison", "Mahoning", "Marion",
-    "Medina", "Meigs", "Mercer", "Miami", "Monroe", "Montgomery", "Morgan", "Morrow", "Muskingum",
-    "Noble", "Ottawa", "Paulding", "Perry", "Pickaway", "Pike", "Portage", "Preble", "Putnam",
-    "Richland", "Ross", "Sandusky", "Scioto", "Seneca", "Shelby", "Stark", "Summit", "Trumbull",
-    "Tuscarawas", "Union", "Van Wert", "Vinton", "Warren", "Washington", "Wayne", "Williams",
-    "Wood", "Wyandot",
+    "Adams",
+    "Allen",
+    "Ashland",
+    "Ashtabula",
+    "Athens",
+    "Auglaize",
+    "Belmont",
+    "Brown",
+    "Butler",
+    "Carroll",
+    "Champaign",
+    "Clark",
+    "Clermont",
+    "Clinton",
+    "Columbiana",
+    "Coshocton",
+    "Crawford",
+    "Cuyahoga",
+    "Darke",
+    "Defiance",
+    "Delaware",
+    "Erie",
+    "Fairfield",
+    "Fayette",
+    "Franklin",
+    "Fulton",
+    "Gallia",
+    "Geauga",
+    "Greene",
+    "Guernsey",
+    "Hamilton",
+    "Hancock",
+    "Hardin",
+    "Harrison",
+    "Henry",
+    "Highland",
+    "Hocking",
+    "Holmes",
+    "Huron",
+    "Jackson",
+    "Jefferson",
+    "Knox",
+    "Lake",
+    "Lawrence",
+    "Licking",
+    "Logan",
+    "Lorain",
+    "Lucas",
+    "Madison",
+    "Mahoning",
+    "Marion",
+    "Medina",
+    "Meigs",
+    "Mercer",
+    "Miami",
+    "Monroe",
+    "Montgomery",
+    "Morgan",
+    "Morrow",
+    "Muskingum",
+    "Noble",
+    "Ottawa",
+    "Paulding",
+    "Perry",
+    "Pickaway",
+    "Pike",
+    "Portage",
+    "Preble",
+    "Putnam",
+    "Richland",
+    "Ross",
+    "Sandusky",
+    "Scioto",
+    "Seneca",
+    "Shelby",
+    "Stark",
+    "Summit",
+    "Trumbull",
+    "Tuscarawas",
+    "Union",
+    "Van Wert",
+    "Vinton",
+    "Warren",
+    "Washington",
+    "Wayne",
+    "Williams",
+    "Wood",
+    "Wyandot",
 ];
 
 /// Position Cuyahoga County is pinned to (Cleveland metro, real-ish).
@@ -304,7 +381,8 @@ impl VantagePoints {
         rng.shuffle(&mut pool);
         state.extend(pool.iter().take(21).map(|&i| geo.ohio_counties[i].clone()));
 
-        let county = geo.cuyahoga_districts[..CUYAHOGA_DISTRICT_COUNT.min(geo.cuyahoga_districts.len())]
+        let county = geo.cuyahoga_districts
+            [..CUYAHOGA_DISTRICT_COUNT.min(geo.cuyahoga_districts.len())]
             .to_vec();
 
         VantagePoints {
@@ -413,7 +491,10 @@ mod tests {
         let coords: Vec<Coord> = g.cuyahoga_districts.iter().map(|l| l.coord).collect();
         let mean = mean_pairwise_distance_miles(&coords);
         // §2.1: "On average, these voting districts are 1 mile apart."
-        assert!((0.5..2.0).contains(&mean), "mean district distance {mean} mi");
+        assert!(
+            (0.5..2.0).contains(&mean),
+            "mean district distance {mean} mi"
+        );
     }
 
     #[test]
@@ -441,7 +522,10 @@ mod tests {
         let vp = VantagePoints::paper_defaults(&g, Seed::new(7).derive("vp"));
         let mean = vp.mean_pairwise_miles(Granularity::State);
         // §2.1: "On average, these counties [are] 100 miles apart."
-        assert!((60.0..170.0).contains(&mean), "mean county distance {mean} mi");
+        assert!(
+            (60.0..170.0).contains(&mean),
+            "mean county distance {mean} mi"
+        );
     }
 
     #[test]
@@ -451,8 +535,10 @@ mod tests {
         let county = vp.mean_pairwise_miles(Granularity::County);
         let state = vp.mean_pairwise_miles(Granularity::State);
         let national = vp.mean_pairwise_miles(Granularity::National);
-        assert!(county < state && state < national,
-            "distances must grow with granularity: {county} / {state} / {national}");
+        assert!(
+            county < state && state < national,
+            "distances must grow with granularity: {county} / {state} / {national}"
+        );
     }
 
     #[test]
@@ -472,7 +558,10 @@ mod tests {
     fn baseline_is_first_location() {
         let g = geo();
         let vp = VantagePoints::paper_defaults(&g, Seed::new(5).derive("vp"));
-        assert_eq!(vp.baseline(Granularity::State).region.name, "Cuyahoga County");
+        assert_eq!(
+            vp.baseline(Granularity::State).region.name,
+            "Cuyahoga County"
+        );
         assert_eq!(vp.baseline(Granularity::National).region.name, "Ohio");
     }
 

@@ -108,7 +108,10 @@ pub fn bootstrap_mean_ci(
     if xs.is_empty() || resamples == 0 {
         return None;
     }
-    assert!((0.0..1.0).contains(&level) && level > 0.5, "level in (0.5, 1)");
+    assert!(
+        (0.0..1.0).contains(&level) && level > 0.5,
+        "level in (0.5, 1)"
+    );
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
     let mut rng = seed.derive("bootstrap").rng();
     let mut means: Vec<f64> = (0..resamples)
@@ -117,7 +120,7 @@ pub fn bootstrap_mean_ci(
             s / xs.len() as f64
         })
         .collect();
-    means.sort_by(|x, y| x.partial_cmp(y).unwrap());
+    means.sort_by(|x, y| x.total_cmp(y));
     let tail = (1.0 - level) / 2.0;
     let lo_idx = ((resamples as f64) * tail).floor() as usize;
     let hi_idx = (((resamples as f64) * (1.0 - tail)).ceil() as usize).min(resamples - 1);
@@ -227,6 +230,24 @@ mod tests {
         let ci = bootstrap_mean_ci(&[7.0], 0.9, 100, seed()).unwrap();
         assert_eq!(ci.low, 7.0);
         assert_eq!(ci.high, 7.0);
+    }
+
+    #[test]
+    fn bootstrap_constant_sample_collapses_to_zero_width() {
+        let xs = [3.5; 40];
+        let ci = bootstrap_mean_ci(&xs, 0.95, 500, seed()).unwrap();
+        assert_eq!((ci.mean, ci.low, ci.high), (3.5, 3.5, 3.5));
+        assert!(!ci.excludes(3.5));
+        assert!(ci.excludes(3.4));
+    }
+
+    #[test]
+    fn permutation_on_constant_samples_is_defined_and_null() {
+        // Zero variance on both sides: every permuted difference ties the
+        // observed 0, so the add-one-smoothed p-value is exactly 1.
+        let t = permutation_test(&[2.0; 10], &[2.0; 8], 500, seed()).unwrap();
+        assert_eq!(t.observed_diff, 0.0);
+        assert_eq!(t.p_value, 1.0);
     }
 
     #[test]

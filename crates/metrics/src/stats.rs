@@ -88,7 +88,7 @@ pub fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
 /// Average ranks with ties sharing the mean rank (fractional ranking).
 fn ranks(xs: &[f64]) -> Vec<f64> {
     let mut idx: Vec<usize> = (0..xs.len()).collect();
-    idx.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("no NaN in samples"));
+    idx.sort_by(|&a, &b| xs[a].total_cmp(&xs[b]));
     let mut out = vec![0.0; xs.len()];
     let mut i = 0;
     while i < idx.len() {
@@ -168,6 +168,12 @@ mod tests {
     fn ranks_handle_ties() {
         assert_eq!(ranks(&[10.0, 20.0, 20.0, 30.0]), vec![1.0, 2.5, 2.5, 4.0]);
         assert_eq!(ranks(&[5.0, 5.0, 5.0]), vec![2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn spearman_undefined_on_constant_side() {
+        assert_eq!(spearman(&[1.0], &[2.0]), None);
+        assert_eq!(spearman(&[4.0, 4.0, 4.0], &[1.0, 2.0, 3.0]), None);
     }
 
     #[test]

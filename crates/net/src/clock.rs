@@ -58,7 +58,11 @@ impl VirtualClock {
     /// Jump to an absolute time; panics if that would move time backwards.
     pub fn set(&self, at: SimInstant) {
         let prev = self.now_ms.swap(at.0, Ordering::SeqCst);
-        assert!(prev <= at.0, "virtual time may not go backwards ({prev} -> {})", at.0);
+        assert!(
+            prev <= at.0,
+            "virtual time may not go backwards ({prev} -> {})",
+            at.0
+        );
     }
 }
 

@@ -63,9 +63,7 @@ impl DnsResolver {
         drop(records);
         self.overrides.write().insert(name.to_string(), addr);
         // A static mapping bypasses (and invalidates) client caches.
-        self.client_cache
-            .write()
-            .retain(|(_, n), _| n != name);
+        self.client_cache.write().retain(|(_, n), _| n != name);
     }
 
     /// Remove a static mapping.
@@ -89,7 +87,12 @@ impl DnsResolver {
     /// address (round-robin) and the client keeps getting it until the
     /// record's TTL expires at virtual time `now`. Overrides bypass the
     /// cache entirely.
-    pub fn resolve_cached(&self, client: Ipv4Addr, name: &str, now: SimInstant) -> Option<Ipv4Addr> {
+    pub fn resolve_cached(
+        &self,
+        client: Ipv4Addr,
+        name: &str,
+        now: SimInstant,
+    ) -> Option<Ipv4Addr> {
         if let Some(&addr) = self.overrides.read().get(name) {
             return Some(addr);
         }
@@ -181,7 +184,9 @@ mod tests {
             1_000,
         );
         let client = ip("203.0.113.9");
-        let first = dns.resolve_cached(client, "svc.example", SimInstant(0)).unwrap();
+        let first = dns
+            .resolve_cached(client, "svc.example", SimInstant(0))
+            .unwrap();
         // Within the TTL every lookup returns the cached answer even though
         // plain resolution keeps rotating underneath.
         for t in [1, 500, 999] {
@@ -208,8 +213,14 @@ mod tests {
         let dns = DnsResolver::new();
         dns.register("svc.example", vec![ip("10.0.0.1"), ip("10.0.0.2")]);
         let client = ip("203.0.113.9");
-        let cached = dns.resolve_cached(client, "svc.example", SimInstant(0)).unwrap();
-        let target = if cached == ip("10.0.0.1") { ip("10.0.0.2") } else { ip("10.0.0.1") };
+        let cached = dns
+            .resolve_cached(client, "svc.example", SimInstant(0))
+            .unwrap();
+        let target = if cached == ip("10.0.0.1") {
+            ip("10.0.0.2")
+        } else {
+            ip("10.0.0.1")
+        };
         dns.pin("svc.example", target);
         assert_eq!(
             dns.resolve_cached(client, "svc.example", SimInstant(1)),

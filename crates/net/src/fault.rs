@@ -140,8 +140,7 @@ mod tests {
             assert_eq!(f.decide(nonce), f.decide(nonce), "nonce {nonce}");
         }
         // Different nonces differ somewhere.
-        let all: std::collections::HashSet<FaultDecision> =
-            (0..200).map(|n| f.decide(n)).collect();
+        let all: std::collections::HashSet<FaultDecision> = (0..200).map(|n| f.decide(n)).collect();
         assert!(all.len() > 1);
     }
 

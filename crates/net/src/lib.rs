@@ -48,8 +48,8 @@ pub use dns::DnsResolver;
 pub use fault::FaultInjector;
 pub use http::{Method, Request, Response, Status};
 pub use ratelimit::{RateLimitKey, RateLimiter};
-pub use shaper::{ShaperConfig, TokenBucket};
 pub use server::{RequestCtx, Server};
+pub use shaper::{ShaperConfig, TokenBucket};
 pub use sim::{NetError, SimNet};
 pub use trace::{EventLog, NetEvent, NetEventKind};
 

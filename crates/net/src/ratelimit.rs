@@ -59,7 +59,10 @@ impl RateLimiter {
         let mut windows = self.windows.lock();
         let q = windows.entry(key).or_default();
         // An event at time t occupies the window while t + window_ms > now.
-        while q.front().is_some_and(|&t| t + self.window_ms <= now.millis()) {
+        while q
+            .front()
+            .is_some_and(|&t| t + self.window_ms <= now.millis())
+        {
             q.pop_front();
         }
         if q.len() >= self.max_requests {
@@ -75,7 +78,11 @@ impl RateLimiter {
         let windows = self.windows.lock();
         windows
             .get(&key)
-            .map(|q| q.iter().filter(|&&t| t + self.window_ms > now.millis()).count())
+            .map(|q| {
+                q.iter()
+                    .filter(|&&t| t + self.window_ms > now.millis())
+                    .count()
+            })
             .unwrap_or(0)
     }
 }
@@ -110,7 +117,10 @@ mod tests {
     fn per_ip_keys_are_independent() {
         let rl = RateLimiter::new(RateLimitKey::PerIp, 1, 1_000);
         assert!(rl.admit(ip("10.0.0.1"), SimInstant(0)));
-        assert!(rl.admit(ip("10.0.0.2"), SimInstant(0)), "distinct IP not throttled");
+        assert!(
+            rl.admit(ip("10.0.0.2"), SimInstant(0)),
+            "distinct IP not throttled"
+        );
     }
 
     #[test]
@@ -120,8 +130,14 @@ mod tests {
         let rl = RateLimiter::new(RateLimitKey::PerSubnet24, 2, 1_000);
         assert!(rl.admit(ip("192.0.2.1"), SimInstant(0)));
         assert!(rl.admit(ip("192.0.2.2"), SimInstant(0)));
-        assert!(!rl.admit(ip("192.0.2.3"), SimInstant(0)), "same /24 shares the window");
-        assert!(rl.admit(ip("192.0.3.1"), SimInstant(0)), "other /24 unaffected");
+        assert!(
+            !rl.admit(ip("192.0.2.3"), SimInstant(0)),
+            "same /24 shares the window"
+        );
+        assert!(
+            rl.admit(ip("192.0.3.1"), SimInstant(0)),
+            "other /24 unaffected"
+        );
     }
 
     #[test]

@@ -411,7 +411,10 @@ mod tests {
     fn egress_shaper_throttles_then_recovers() {
         let net = SimNet::new(Seed::new(9));
         net.register_service("svc.example", &[ip("10.1.0.1")], echo_server());
-        net.set_egress_shaper(ip("10.0.0.9"), crate::shaper::ShaperConfig::per_second(1.0, 2));
+        net.set_egress_shaper(
+            ip("10.0.0.9"),
+            crate::shaper::ShaperConfig::per_second(1.0, 2),
+        );
         let req = Request::get("svc.example", "/");
         assert!(net.request(ip("10.0.0.9"), &req).is_ok());
         assert!(net.request(ip("10.0.0.9"), &req).is_ok());

@@ -122,22 +122,57 @@ impl EventLog {
                 .unwrap_or_else(|| "?".to_string());
             let line = match &e.kind {
                 NetEventKind::Request { host, target } => {
-                    format!("{:>10}.{:03} {} > {} GET {host}{target}", t / 1000, t % 1000, e.src, dst)
+                    format!(
+                        "{:>10}.{:03} {} > {} GET {host}{target}",
+                        t / 1000,
+                        t % 1000,
+                        e.src,
+                        dst
+                    )
                 }
                 NetEventKind::Response { status } => {
-                    format!("{:>10}.{:03} {} < {} HTTP {status}", t / 1000, t % 1000, e.src, dst)
+                    format!(
+                        "{:>10}.{:03} {} < {} HTTP {status}",
+                        t / 1000,
+                        t % 1000,
+                        e.src,
+                        dst
+                    )
                 }
                 NetEventKind::NoRoute { host } => {
-                    format!("{:>10}.{:03} {} !> {host}: no route", t / 1000, t % 1000, e.src)
+                    format!(
+                        "{:>10}.{:03} {} !> {host}: no route",
+                        t / 1000,
+                        t % 1000,
+                        e.src
+                    )
                 }
                 NetEventKind::Dropped => {
-                    format!("{:>10}.{:03} {} > {} DROPPED", t / 1000, t % 1000, e.src, dst)
+                    format!(
+                        "{:>10}.{:03} {} > {} DROPPED",
+                        t / 1000,
+                        t % 1000,
+                        e.src,
+                        dst
+                    )
                 }
                 NetEventKind::Corrupted => {
-                    format!("{:>10}.{:03} {} < {} CORRUPTED", t / 1000, t % 1000, e.src, dst)
+                    format!(
+                        "{:>10}.{:03} {} < {} CORRUPTED",
+                        t / 1000,
+                        t % 1000,
+                        e.src,
+                        dst
+                    )
                 }
                 NetEventKind::TimedOut => {
-                    format!("{:>10}.{:03} {} < {} TIMEOUT", t / 1000, t % 1000, e.src, dst)
+                    format!(
+                        "{:>10}.{:03} {} < {} TIMEOUT",
+                        t / 1000,
+                        t % 1000,
+                        e.src,
+                        dst
+                    )
                 }
             };
             out.push_str(&line);
@@ -190,7 +225,8 @@ mod tests {
         log.record(ev(0, NetEventKind::Dropped));
         log.record(ev(1, NetEventKind::Response { status: 200 }));
         log.record(ev(2, NetEventKind::Response { status: 429 }));
-        let throttled = log.count_where(|e| matches!(e.kind, NetEventKind::Response { status: 429 }));
+        let throttled =
+            log.count_where(|e| matches!(e.kind, NetEventKind::Response { status: 429 }));
         assert_eq!(throttled, 1);
     }
 
@@ -206,7 +242,13 @@ mod tests {
     #[test]
     fn jsonl_export_is_one_valid_object_per_line() {
         let log = EventLog::new(8);
-        log.record(ev(1, NetEventKind::Request { host: "h".into(), target: "/t".into() }));
+        log.record(ev(
+            1,
+            NetEventKind::Request {
+                host: "h".into(),
+                target: "/t".into(),
+            },
+        ));
         log.record(ev(2, NetEventKind::Response { status: 200 }));
         let jsonl = log.to_jsonl();
         let lines: Vec<&str> = jsonl.lines().collect();
@@ -222,7 +264,10 @@ mod tests {
         let log = EventLog::new(8);
         log.record(ev(
             1_234,
-            NetEventKind::Request { host: "search.example.com".into(), target: "/search?q=x".into() },
+            NetEventKind::Request {
+                host: "search.example.com".into(),
+                target: "/search?q=x".into(),
+            },
         ));
         log.record(ev(1_345, NetEventKind::Response { status: 429 }));
         log.record(ev(1_400, NetEventKind::TimedOut));

@@ -31,7 +31,12 @@ mod roundtrip_tests {
     use super::*;
 
     fn sample() -> SerpPage {
-        let mut page = SerpPage::new("starbucks", Some("41.499300,-81.694400"), "dc1", "Cleveland, OH");
+        let mut page = SerpPage::new(
+            "starbucks",
+            Some("41.499300,-81.694400"),
+            "dc1",
+            "Cleveland, OH",
+        );
         page.push_card(Card::single(
             CardType::Organic,
             "https://www.starbucks.example.com/",
@@ -42,7 +47,10 @@ mod roundtrip_tests {
         maps.push("https://maps.example.com/p/2", "Starbucks – Downtown");
         page.push_card(maps);
         let mut news = Card::new(CardType::News);
-        news.push("https://news.example.com/a", "Starbucks \"expands\" & <grows>");
+        news.push(
+            "https://news.example.com/a",
+            "Starbucks \"expands\" & <grows>",
+        );
         page.push_card(news);
         page
     }

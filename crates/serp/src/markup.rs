@@ -171,8 +171,10 @@ pub fn parse(body: &str) -> Result<SerpPage, ParseError> {
     }
     let query = attr(header, "q").ok_or(ParseError::BadAttribute { line: 1, attr: "q" })?;
     let gps = attr(header, "gps");
-    let datacenter =
-        attr(header, "dc").ok_or(ParseError::BadAttribute { line: 1, attr: "dc" })?;
+    let datacenter = attr(header, "dc").ok_or(ParseError::BadAttribute {
+        line: 1,
+        attr: "dc",
+    })?;
 
     let mut page = SerpPage::new(query, gps.as_deref(), datacenter, String::new());
     let mut open_card: Option<Card> = None;
@@ -302,7 +304,10 @@ mod tests {
     #[test]
     fn unknown_card_type_rejected() {
         let body = "<serp q=\"x\" dc=\"d\">\n<card type=\"ads\">\n</card>\n<footer location=\"l\"/>\n</serp>\n";
-        assert!(matches!(parse(body), Err(ParseError::BadCardType { line: 2 })));
+        assert!(matches!(
+            parse(body),
+            Err(ParseError::BadCardType { line: 2 })
+        ));
     }
 
     #[test]

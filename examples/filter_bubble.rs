@@ -45,10 +45,8 @@ fn main() {
     ];
 
     let fetch = |machine: &str, term: &str, coord: Coord| -> SerpPage {
-        let mut b = geoserp::browser::Browser::new(
-            Arc::clone(crawler.net()),
-            geoserp::net::ip(machine),
-        );
+        let mut b =
+            geoserp::browser::Browser::new(Arc::clone(crawler.net()), geoserp::net::ip(machine));
         let body = b
             .run_search_job(geoserp::engine::SEARCH_HOST, term, coord)
             .expect("search succeeds")

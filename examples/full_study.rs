@@ -34,7 +34,11 @@ fn main() {
         plan.locations_per_granularity
             .map(|n| n.to_string())
             .unwrap_or_else(|| "all".into()),
-        if full { " (FULL PAPER SCALE)" } else { " (set GEOSERP_FULL=1 for full scale)" },
+        if full {
+            " (FULL PAPER SCALE)"
+        } else {
+            " (set GEOSERP_FULL=1 for full scale)"
+        },
     );
 
     let study = Study::builder().seed(2015).plan(plan).build();

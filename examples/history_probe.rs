@@ -54,7 +54,9 @@ fn main() {
             "   (boost present but below reordering threshold here)"
         }
     );
-    println!("  16 min later, same cookie vs fresh session: jaccard {j_after:.2}   ← window expired");
+    println!(
+        "  16 min later, same cookie vs fresh session: jaccard {j_after:.2}   ← window expired"
+    );
     assert_eq!(
         primed_16min.urls(),
         fresh.urls(),

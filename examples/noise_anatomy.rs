@@ -29,10 +29,8 @@ fn main() {
     ];
 
     let fetch = |machine: &str, term: &str| -> SerpPage {
-        let mut b = geoserp::browser::Browser::new(
-            Arc::clone(crawler.net()),
-            geoserp::net::ip(machine),
-        );
+        let mut b =
+            geoserp::browser::Browser::new(Arc::clone(crawler.net()), geoserp::net::ip(machine));
         let body = b
             .run_search_job(geoserp::engine::SEARCH_HOST, term, metro.coord)
             .expect("search succeeds")
@@ -76,7 +74,10 @@ fn main() {
             jaccard(&ut, &uc),
             edit_distance(&ut, &uc),
             maps_links,
-            typed_c.iter().filter(|(_, rt)| *rt == ResultType::Maps).count(),
+            typed_c
+                .iter()
+                .filter(|(_, rt)| *rt == ResultType::Maps)
+                .count(),
             breakdown.maps,
         );
         crawler.net().clock().advance_minutes(11);

@@ -60,7 +60,8 @@ fn measure(label: &str, config: EngineConfig) {
     );
     println!(
         "{:<22} local noise: {local_noise:.2}   maps share of local differences: {:.0}%\n",
-        "", 100.0 * maps_share
+        "",
+        100.0 * maps_share
     );
 }
 

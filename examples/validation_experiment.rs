@@ -17,7 +17,10 @@ fn main() {
     println!("running the PlanetLab validation (50 machines, 20 controversial queries)…\n");
     let report = study.validate(50, 20);
 
-    println!("machines: {}   queries: {}\n", report.machines, report.queries);
+    println!(
+        "machines: {}   queries: {}\n",
+        report.machines, report.queries
+    );
     println!("with shared spoofed GPS (all machines claim Cleveland):");
     println!(
         "  mean pairwise result overlap (Jaccard): {:.1}%   [paper: ~94% identical]",
@@ -45,7 +48,11 @@ fn main() {
     let gap = report.gps_mean_pairwise_jaccard - report.ip_mean_pairwise_jaccard;
     println!(
         "\nconclusion: spoofed GPS {} IP geolocation (overlap gap {:+.1} points)",
-        if gap > 0.0 { "overrides" } else { "does NOT override" },
+        if gap > 0.0 {
+            "overrides"
+        } else {
+            "does NOT override"
+        },
         100.0 * gap
     );
 }

@@ -25,7 +25,12 @@ fn full_pipeline_produces_complete_dataset() {
     // Every observation parsed into a paper-sized page served by the pinned
     // datacenter.
     for o in ds.observations() {
-        assert!((8..=22).contains(&o.results.len()), "{}: {}", o.term, o.results.len());
+        assert!(
+            (8..=22).contains(&o.results.len()),
+            "{}: {}",
+            o.term,
+            o.results.len()
+        );
         assert_eq!(o.datacenter, "dc0");
         assert!(!o.reported_location.is_empty());
     }

@@ -67,7 +67,11 @@ fn lossy_crawls_are_still_deterministic() {
     };
     let a = run();
     let b = run();
-    assert_eq!(a.to_json(), b.to_json(), "seeded faults must replay exactly");
+    assert_eq!(
+        a.to_json(),
+        b.to_json(),
+        "seeded faults must replay exactly"
+    );
 }
 
 #[test]

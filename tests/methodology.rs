@@ -33,7 +33,7 @@ fn rounds_run_in_lock_step_and_waits_are_eleven_minutes() {
         }
     }
     assert!(!by_time.is_empty());
-    for (_, count) in &by_time {
+    for count in by_time.values() {
         // 4 locations × 2 roles = 8 simultaneous queries per round.
         assert_eq!(*count, 8, "round sizes: {by_time:?}");
     }
@@ -60,7 +60,11 @@ fn all_traffic_hits_the_pinned_datacenter() {
             dsts.insert(e.dst.unwrap());
         }
     }
-    assert_eq!(dsts.len(), 1, "DNS pinning must fix one datacenter: {dsts:?}");
+    assert_eq!(
+        dsts.len(),
+        1,
+        "DNS pinning must fix one datacenter: {dsts:?}"
+    );
 }
 
 #[test]
@@ -86,8 +90,14 @@ fn treatments_present_identical_fingerprints() {
     use geoserp::browser::Browser;
     let study = Study::builder().seed(5).build();
     let crawler = study.crawler();
-    let a = Browser::new(std::sync::Arc::clone(crawler.net()), geoserp::net::ip("198.51.100.1"));
-    let b = Browser::new(std::sync::Arc::clone(crawler.net()), geoserp::net::ip("198.51.100.2"));
+    let a = Browser::new(
+        std::sync::Arc::clone(crawler.net()),
+        geoserp::net::ip("198.51.100.1"),
+    );
+    let b = Browser::new(
+        std::sync::Arc::clone(crawler.net()),
+        geoserp::net::ip("198.51.100.2"),
+    );
     assert_eq!(a.fingerprint(), b.fingerprint());
     assert!(a.cookies().is_empty() && b.cookies().is_empty());
 }
@@ -101,8 +111,8 @@ fn eleven_minute_wait_defeats_history_personalization() {
     let engine = crawler.engine();
     let metro = crawler.vantage().baseline(Granularity::County).coord;
 
-    let ctx = |q: &str, at_min: u64, session: Option<&str>, seq: u64| {
-        geoserp::engine::SearchContext {
+    let ctx =
+        |q: &str, at_min: u64, session: Option<&str>, seq: u64| geoserp::engine::SearchContext {
             query: q.into(),
             gps: Some(metro),
             src: "198.51.100.10".parse().unwrap(),
@@ -111,8 +121,7 @@ fn eleven_minute_wait_defeats_history_personalization() {
             at_ms: at_min * 60_000,
             session: session.map(str::to_owned),
             page: 0,
-        }
-    };
+        };
 
     // Prime a session with a "coffee" search, then query an ambiguous term.
     engine.search(&ctx("Coffee", 0, Some("s1"), 1_000));

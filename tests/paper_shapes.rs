@@ -55,7 +55,10 @@ fn headline_shapes_hold() {
             vals.iter().cloned().fold(f64::INFINITY, f64::min),
             vals.iter().cloned().fold(0.0, f64::max),
         );
-        assert!(hi <= lo * 2.5 + 0.5, "{cat:?} noise varies too much: {vals:?}");
+        assert!(
+            hi <= lo * 2.5 + 0.5,
+            "{cat:?} noise varies too much: {vals:?}"
+        );
     }
 
     // ---- Fig. 5: personalization grows with distance; local dominates ------
@@ -119,7 +122,10 @@ fn headline_shapes_hold() {
         "local maps fraction {local_maps}"
     );
     // The majority of local changes still hit "typical" results.
-    for r in breakdown.iter().filter(|r| r.category == QueryCategory::Local) {
+    for r in breakdown
+        .iter()
+        .filter(|r| r.category == QueryCategory::Local)
+    {
         assert!(
             r.other >= r.maps,
             "{:?}: other {} < maps {}",

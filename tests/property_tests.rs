@@ -150,7 +150,9 @@ fn engine_is_replayable_for_random_queries() {
     let engine = crawler.engine();
     let metro = crawler.vantage().baseline(Granularity::County).coord;
     let mut rng = geoserp::geo::Seed::new(123).rng();
-    let vocab = ["school", "coffee", "tax", "obama", "hospital", "kfc", "park"];
+    let vocab = [
+        "school", "coffee", "tax", "obama", "hospital", "kfc", "park",
+    ];
     for i in 0..40 {
         let a = *rng.pick(&vocab);
         let b = *rng.pick(&vocab);

@@ -1,0 +1,203 @@
+//! Vendored, offline stand-in for `bytes`.
+//!
+//! [`Bytes`] is a cheaply clonable, immutable byte buffer (`Arc<[u8]>`
+//! underneath); [`BytesMut`] is its mutable builder. Only the surface
+//! geoserp uses is provided.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
+
+/// An immutable, cheaply clonable byte buffer.
+#[derive(Clone, Default, PartialEq, Eq, Hash)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    /// Wrap a static byte slice.
+    pub fn from_static(bytes: &'static [u8]) -> Self {
+        Bytes { data: bytes.into() }
+    }
+
+    /// Copy a slice into a new buffer.
+    pub fn copy_from_slice(bytes: &[u8]) -> Self {
+        Bytes { data: bytes.into() }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "b\"{}\"",
+            String::from_utf8_lossy(&self.data).escape_debug()
+        )
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes { data: v.into() }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Bytes { data: v.into() }
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(s: String) -> Self {
+        Bytes {
+            data: s.into_bytes().into(),
+        }
+    }
+}
+
+impl From<&str> for Bytes {
+    fn from(s: &str) -> Self {
+        Bytes {
+            data: s.as_bytes().into(),
+        }
+    }
+}
+
+impl FromIterator<u8> for Bytes {
+    fn from_iter<I: IntoIterator<Item = u8>>(iter: I) -> Self {
+        Bytes {
+            data: iter.into_iter().collect::<Vec<u8>>().into(),
+        }
+    }
+}
+
+/// A mutable byte buffer that freezes into [`Bytes`].
+#[derive(Clone, Default, PartialEq, Eq, Debug)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// An empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Append bytes.
+    pub fn extend_from_slice(&mut self, bytes: &[u8]) {
+        self.data.extend_from_slice(bytes);
+    }
+
+    /// Convert into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            data: self.data.into(),
+        }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(v: &[u8]) -> Self {
+        BytesMut { data: v.to_vec() }
+    }
+}
+
+#[cfg(feature = "serde")]
+impl serde::Serialize for Bytes {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Array(
+            self.data
+                .iter()
+                .map(|&b| serde::Value::Number(serde::Number::PosInt(b as u64)))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(feature = "serde")]
+impl serde::Deserialize for Bytes {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let arr = v
+            .as_array()
+            .ok_or_else(|| serde::Error::custom("expected byte array"))?;
+        let mut data = Vec::with_capacity(arr.len());
+        for item in arr {
+            let n = item
+                .as_u64()
+                .ok_or_else(|| serde::Error::custom("expected byte"))?;
+            data.push(u8::try_from(n).map_err(|_| serde::Error::custom("byte out of range"))?);
+        }
+        Ok(Bytes { data: data.into() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_deref() {
+        let b = Bytes::from("hello");
+        assert_eq!(b.len(), 5);
+        assert_eq!(&b[..], b"hello");
+        assert!(Bytes::new().is_empty());
+        assert_eq!(Bytes::from_static(b"x"), Bytes::from(vec![b'x']));
+    }
+
+    #[test]
+    fn mutate_and_freeze() {
+        let mut m = BytesMut::from(&b"abc"[..]);
+        m[1] ^= 0x20;
+        let frozen = m.freeze();
+        assert_eq!(&frozen[..], b"aBc");
+    }
+
+    #[test]
+    fn clones_share_storage() {
+        let a = Bytes::from("shared");
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert_eq!(a.as_ptr(), b.as_ptr());
+    }
+}

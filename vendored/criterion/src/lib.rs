@@ -1,0 +1,198 @@
+//! Vendored, offline stand-in for `criterion`.
+//!
+//! A minimal wall-clock bench harness with criterion's API shape:
+//! `Criterion`, `benchmark_group`, `Bencher::iter` / `iter_batched`,
+//! `black_box`, and the `criterion_group!` / `criterion_main!` macros.
+//! Instead of statistical sampling it runs a short warmup, then a fixed
+//! number of timed samples, and prints the median per-iteration time.
+//!
+//! Respects `--bench` (ignored) and treats any other bare CLI argument as a
+//! substring filter on benchmark names, like criterion does.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benched work.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// How `iter_batched` should trade setup cost against measurement noise.
+/// The stub times one routine call per batch regardless, so variants only
+/// document intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Collects timing samples for one benchmark.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    fn new(sample_size: usize) -> Self {
+        Bencher {
+            samples: Vec::with_capacity(sample_size),
+            sample_size,
+        }
+    }
+
+    /// Time `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup: let caches and lazy statics settle.
+        black_box(routine());
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    /// Time `routine` on fresh inputs from `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn median(&mut self) -> Duration {
+        if self.samples.is_empty() {
+            return Duration::ZERO;
+        }
+        self.samples.sort();
+        self.samples[self.samples.len() / 2]
+    }
+}
+
+/// The benchmark driver handed to registered bench functions.
+pub struct Criterion {
+    filter: Option<String>,
+    default_sample_size: usize,
+}
+
+impl Criterion {
+    fn from_args() -> Self {
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            // Harness flags cargo-bench passes through; not name filters.
+            if arg == "--bench" || arg == "--test" || arg.starts_with('-') {
+                continue;
+            }
+            filter = Some(arg);
+        }
+        Criterion {
+            filter,
+            default_sample_size: 20,
+        }
+    }
+
+    fn wants(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        if self.wants(id) {
+            let mut b = Bencher::new(self.default_sample_size);
+            f(&mut b);
+            println!("bench: {:<55} median {:>12.3?}", id, b.median());
+        }
+        self
+    }
+
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+}
+
+/// A named group sharing configuration (criterion's `BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the per-benchmark sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Run one benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        if self.parent.wants(&full) {
+            let n = self.sample_size.unwrap_or(self.parent.default_sample_size);
+            let mut b = Bencher::new(n);
+            f(&mut b);
+            println!("bench: {:<55} median {:>12.3?}", full, b.median());
+        }
+        self
+    }
+
+    /// Finish the group (report-flush point in real criterion; no-op here).
+    pub fn finish(self) {}
+}
+
+/// Bundle bench functions under a group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Generate the bench binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::__new_criterion();
+            $($group(&mut c);)+
+        }
+    };
+}
+
+/// Internal constructor used by `criterion_main!`.
+#[doc(hidden)]
+pub fn __new_criterion() -> Criterion {
+    Criterion::from_args()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut b = Bencher::new(5);
+        let mut n = 0u64;
+        b.iter(|| n += 1);
+        assert_eq!(b.samples.len(), 5);
+        assert_eq!(n, 6); // warmup + samples
+        let mut b2 = Bencher::new(3);
+        b2.iter_batched(|| vec![1, 2, 3], |v| v.len(), BatchSize::SmallInput);
+        assert_eq!(b2.samples.len(), 3);
+        assert!(b2.median() >= Duration::ZERO);
+    }
+}

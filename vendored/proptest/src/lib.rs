@@ -1,0 +1,429 @@
+//! Vendored, offline stand-in for `proptest`.
+//!
+//! Implements the strategy surface this workspace uses: numeric ranges,
+//! `Just`, tuples, `collection::vec`, `option::of`, a small regex-subset
+//! string generator, `prop_oneof!`, the `proptest!` test macro, and the
+//! `prop_assert*` / `prop_assume!` macros.
+//!
+//! Cases are generated from a deterministic SplitMix64 stream seeded by the
+//! test name, so failures reproduce exactly across runs and machines. Set
+//! `PROPTEST_CASES` to change the per-test case count (default 64). There
+//! is no shrinking: the failing input is printed via the assertion message
+//! instead.
+
+pub mod strategy;
+
+pub mod test_runner {
+    /// Deterministic SplitMix64 stream driving all strategies.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// A stream seeded from a label (typically the test name).
+        pub fn from_label(label: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for &b in label.as_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng { state: h }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform `u64` in `[0, n)`; `n` must be positive.
+        pub fn below(&mut self, n: u64) -> u64 {
+            assert!(n > 0, "below(0) is undefined");
+            // Multiply-shift; bias is negligible for test generation.
+            ((self.next_u64() as u128 * n as u128) >> 64) as u64
+        }
+    }
+
+    /// Number of cases to run per property (reads `PROPTEST_CASES`).
+    pub fn case_count() -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(64)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy producing `Vec`s whose length is drawn from `len`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// Vectors of elements from `element` with length in `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        assert!(!len.is_empty(), "empty length range");
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.len.end - self.len.start) as u64;
+            let n = self.len.start + rng.below(span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy producing `Option`s of an inner strategy's values.
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// `None` a quarter of the time, `Some(inner)` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+pub mod string {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Error from an unsupported regex.
+    #[derive(Debug, Clone)]
+    pub struct Error(pub String);
+
+    impl std::fmt::Display for Error {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "string_regex: {}", self.0)
+        }
+    }
+
+    /// One regex atom with its repetition bounds.
+    #[derive(Debug, Clone)]
+    struct Atom {
+        /// Candidate characters (flattened classes / singletons).
+        chars: Vec<char>,
+        min: usize,
+        max: usize,
+    }
+
+    /// Strategy generating strings matching a small regex subset:
+    /// sequences of literal characters and `[...]` classes (with ranges and
+    /// `\xHH` escapes), each optionally followed by `{n}` or `{m,n}`.
+    #[derive(Debug, Clone)]
+    pub struct RegexGeneratorStrategy {
+        atoms: Vec<Atom>,
+    }
+
+    impl Strategy for RegexGeneratorStrategy {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            for atom in &self.atoms {
+                let n = atom.min + rng.below((atom.max - atom.min + 1) as u64) as usize;
+                for _ in 0..n {
+                    out.push(atom.chars[rng.below(atom.chars.len() as u64) as usize]);
+                }
+            }
+            out
+        }
+    }
+
+    /// Compile a regex-subset pattern into a string strategy.
+    pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, Error> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut atoms = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let candidates = match chars[i] {
+                '[' => {
+                    let (set, next) = parse_class(&chars, i + 1)?;
+                    i = next;
+                    set
+                }
+                '\\' => {
+                    let (c, next) = parse_escape(&chars, i + 1)?;
+                    i = next;
+                    vec![c]
+                }
+                c => {
+                    i += 1;
+                    vec![c]
+                }
+            };
+            let (min, max) = if i < chars.len() && chars[i] == '{' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .ok_or_else(|| Error("unterminated {..}".into()))?
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.parse()
+                            .map_err(|_| Error("bad repeat lower bound".into()))?,
+                        hi.parse()
+                            .map_err(|_| Error("bad repeat upper bound".into()))?,
+                    ),
+                    None => {
+                        let n = body.parse().map_err(|_| Error("bad repeat count".into()))?;
+                        (n, n)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            if candidates.is_empty() {
+                return Err(Error("empty character class".into()));
+            }
+            atoms.push(Atom {
+                chars: candidates,
+                min,
+                max,
+            });
+        }
+        Ok(RegexGeneratorStrategy { atoms })
+    }
+
+    /// Parse a `[...]` class starting just after the `[`; returns the
+    /// flattened candidate set and the index after the closing `]`.
+    fn parse_class(chars: &[char], mut i: usize) -> Result<(Vec<char>, usize), Error> {
+        let mut set = Vec::new();
+        let mut pending: Option<char> = None;
+        while i < chars.len() {
+            match chars[i] {
+                ']' => {
+                    if let Some(p) = pending {
+                        set.push(p);
+                    }
+                    return Ok((set, i + 1));
+                }
+                '-' if pending.is_some() && i + 1 < chars.len() && chars[i + 1] != ']' => {
+                    let lo = pending.take().expect("pending set");
+                    let (hi, next) = if chars[i + 1] == '\\' {
+                        parse_escape(chars, i + 2)?
+                    } else {
+                        (chars[i + 1], i + 2)
+                    };
+                    i = next;
+                    if (lo as u32) > (hi as u32) {
+                        return Err(Error(format!("inverted range {lo:?}-{hi:?}")));
+                    }
+                    for cp in lo as u32..=hi as u32 {
+                        if let Some(c) = char::from_u32(cp) {
+                            set.push(c);
+                        }
+                    }
+                }
+                '\\' => {
+                    if let Some(p) = pending.take() {
+                        set.push(p);
+                    }
+                    let (c, next) = parse_escape(chars, i + 1)?;
+                    pending = Some(c);
+                    i = next;
+                }
+                c => {
+                    if let Some(p) = pending.take() {
+                        set.push(p);
+                    }
+                    pending = Some(c);
+                    i += 1;
+                }
+            }
+        }
+        Err(Error("unterminated character class".into()))
+    }
+
+    /// Parse an escape starting just after the `\`; returns the character
+    /// and the index after the escape.
+    fn parse_escape(chars: &[char], i: usize) -> Result<(char, usize), Error> {
+        match chars.get(i) {
+            Some('x') => {
+                let hex: String = chars
+                    .get(i + 1..i + 3)
+                    .ok_or_else(|| Error("truncated \\x escape".into()))?
+                    .iter()
+                    .collect();
+                let cp =
+                    u32::from_str_radix(&hex, 16).map_err(|_| Error("bad \\x escape".into()))?;
+                Ok((
+                    char::from_u32(cp).ok_or_else(|| Error("bad \\x codepoint".into()))?,
+                    i + 3,
+                ))
+            }
+            Some('n') => Ok(('\n', i + 1)),
+            Some('r') => Ok(('\r', i + 1)),
+            Some('t') => Ok(('\t', i + 1)),
+            Some(&c) => Ok((c, i + 1)),
+            None => Err(Error("truncated escape".into())),
+        }
+    }
+}
+
+/// Everything tests import.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Assert a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Skip the current case when an assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+/// Choose uniformly between several strategies of the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $($crate::strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Define property tests: each function runs its body over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat_param in $strategy:expr),* $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cases = $crate::test_runner::case_count();
+                let mut rng =
+                    $crate::test_runner::TestRng::from_label(concat!(module_path!(), "::", stringify!($name)));
+                for _case in 0..cases {
+                    $(let $pat = $crate::strategy::Strategy::generate(&$strategy, &mut rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::from_label("ranges");
+        for _ in 0..200 {
+            let v = (0u8..8).generate(&mut rng);
+            assert!(v < 8);
+            let f = (-2.0f64..3.0).generate(&mut rng);
+            assert!((-2.0..3.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn regex_subset_generates_matching_strings() {
+        let mut rng = TestRng::from_label("regex");
+        let s = crate::string::string_regex("[a-c]{2,5}").unwrap();
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!((2..=5).contains(&v.chars().count()), "{v:?}");
+            assert!(v.chars().all(|c| ('a'..='c').contains(&c)), "{v:?}");
+        }
+        let wild = crate::string::string_regex("[ -~éß❤\"&<>]{0,40}").unwrap();
+        for _ in 0..100 {
+            let v = wild.generate(&mut rng);
+            assert!(v.chars().count() <= 40);
+        }
+        let ascii = crate::string::string_regex("[\\x00-\\x7f]{0,10}").unwrap();
+        for _ in 0..100 {
+            let v = ascii.generate(&mut rng);
+            assert!(v.chars().all(|c| (c as u32) < 0x80));
+        }
+    }
+
+    #[test]
+    fn oneof_and_map_compose() {
+        let mut rng = TestRng::from_label("oneof");
+        let s = prop_oneof![Just(1u8), Just(2), Just(3)].prop_map(|v| v * 10);
+        for _ in 0..50 {
+            let v = s.generate(&mut rng);
+            assert!(v == 10 || v == 20 || v == 30);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn the_macro_itself_works(v in 0u64..100, mut xs in crate::collection::vec(0u8..4, 0..6)) {
+            prop_assume!(v != 13);
+            xs.push(v as u8 % 4);
+            prop_assert!(v < 100);
+            prop_assert_ne!(v, 13);
+            prop_assert_eq!(*xs.last().unwrap(), (v % 4) as u8, "tail must be v mod 4");
+        }
+    }
+}

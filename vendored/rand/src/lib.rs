@@ -1,0 +1,37 @@
+//! Vendored, offline stand-in for `rand`.
+//!
+//! geoserp's determinism story routes every draw through its own
+//! `Seed`/`DetRng` (SplitMix64); the only thing it takes from `rand` is the
+//! [`RngCore`] trait so `DetRng` composes with external distribution code.
+//! This stub provides exactly that trait.
+
+/// The core of a random number generator.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// Prelude matching `rand::prelude` closely enough for imports.
+pub mod prelude {
+    pub use super::RngCore;
+}

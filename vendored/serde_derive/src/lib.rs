@@ -1,0 +1,565 @@
+//! Vendored, offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the data
+//! shapes this workspace actually uses — structs with named fields, tuple
+//! structs, and enums whose variants are unit, tuple, or struct shaped —
+//! without depending on `syn`/`quote` (the build environment has no network
+//! access to fetch them). The generated impls target the vendored `serde`
+//! crate's value-tree data model, which `serde_json` then renders.
+//!
+//! Supported container attribute: `#[serde(skip)]` on named struct fields
+//! (omitted when serializing, filled from `Default` when deserializing).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// A parsed `struct`/`enum` item, reduced to what codegen needs.
+struct Item {
+    name: String,
+    /// Type parameter names (lifetimes/consts unsupported; bounds dropped).
+    generics: Vec<String>,
+    kind: Kind,
+}
+
+impl Item {
+    /// `Name<T, U>` (or plain `Name`) for impl targets.
+    fn ty(&self) -> String {
+        if self.generics.is_empty() {
+            self.name.clone()
+        } else {
+            format!("{}<{}>", self.name, self.generics.join(", "))
+        }
+    }
+
+    /// `<T: Bound, U: Bound>` (or empty) for impl headers.
+    fn impl_generics(&self, bound: &str) -> String {
+        if self.generics.is_empty() {
+            String::new()
+        } else {
+            let params: Vec<String> = self
+                .generics
+                .iter()
+                .map(|g| format!("{g}: {bound}"))
+                .collect();
+            format!("<{}>", params.join(", "))
+        }
+    }
+}
+
+enum Kind {
+    /// Named-field struct.
+    Struct(Vec<Field>),
+    /// Tuple struct with the given arity.
+    Tuple(usize),
+    /// Unit struct.
+    Unit,
+    /// Enum.
+    Enum(Vec<Variant>),
+}
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive: generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive: generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes and visibility to find `struct` / `enum`.
+    let is_enum = loop {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2, // `#` + `[...]`
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                // `pub(crate)` and friends carry a parenthesized group.
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            TokenTree::Ident(id) if id.to_string() == "struct" => break false,
+            TokenTree::Ident(id) if id.to_string() == "enum" => break true,
+            other => panic!("serde_derive: unexpected token {other}"),
+        }
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected item name, got {other}"),
+    };
+    i += 1;
+    let mut generics = Vec::new();
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            // Collect top-level type-parameter names; skip bounds/defaults.
+            let mut depth = 0i32;
+            let mut at_param_start = false;
+            loop {
+                match tokens.get(i) {
+                    Some(TokenTree::Punct(p)) => match p.as_char() {
+                        '<' => {
+                            depth += 1;
+                            at_param_start = depth == 1;
+                        }
+                        '>' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        ',' if depth == 1 => at_param_start = true,
+                        '\'' => {
+                            panic!("serde_derive: lifetime parameters are not supported ({name})")
+                        }
+                        _ => at_param_start = false,
+                    },
+                    Some(TokenTree::Ident(id)) => {
+                        let s = id.to_string();
+                        if depth == 1 && at_param_start {
+                            if s == "const" {
+                                panic!("serde_derive: const parameters are not supported ({name})");
+                            }
+                            generics.push(s);
+                        }
+                        at_param_start = false;
+                    }
+                    Some(_) => at_param_start = false,
+                    None => panic!("serde_derive: unterminated generics on {name}"),
+                }
+                i += 1;
+            }
+        }
+    }
+    // Skip a `where` clause if present (bounds are re-derived by codegen).
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "where" {
+            while let Some(tok) = tokens.get(i) {
+                if let TokenTree::Group(g) = tok {
+                    if g.delimiter() == Delimiter::Brace {
+                        break;
+                    }
+                }
+                if let TokenTree::Punct(p) = tok {
+                    if p.as_char() == ';' {
+                        break;
+                    }
+                }
+                i += 1;
+            }
+        }
+    }
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let body: Vec<TokenTree> = g.stream().into_iter().collect();
+            if is_enum {
+                Kind::Enum(parse_variants(&body))
+            } else {
+                Kind::Struct(parse_named_fields(&body))
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Kind::Tuple(
+            count_tuple_fields(&g.stream().into_iter().collect::<Vec<_>>()),
+        ),
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::Unit,
+        other => panic!("serde_derive: unexpected item body {other:?}"),
+    };
+    Item {
+        name,
+        generics,
+        kind,
+    }
+}
+
+/// Consume attributes starting at `*i`, returning whether `#[serde(skip)]`
+/// was among them.
+fn eat_attrs(tokens: &[TokenTree], i: &mut usize) -> bool {
+    let mut skip = false;
+    while let Some(TokenTree::Punct(p)) = tokens.get(*i) {
+        if p.as_char() != '#' {
+            break;
+        }
+        if let Some(TokenTree::Group(g)) = tokens.get(*i + 1) {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            if let Some(TokenTree::Ident(id)) = inner.first() {
+                if id.to_string() == "serde" {
+                    if let Some(TokenTree::Group(args)) = inner.get(1) {
+                        if args.stream().to_string().contains("skip") {
+                            skip = true;
+                        }
+                    }
+                }
+            }
+        }
+        *i += 2;
+    }
+    skip
+}
+
+/// Skip a `pub` / `pub(...)` visibility marker if present.
+fn eat_vis(tokens: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Advance past a type, stopping at a top-level `,` (angle-bracket aware —
+/// commas inside `Vec<(A, B)>` or `HashMap<K, V>` are not field separators).
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(tok) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(tokens: &[TokenTree]) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let skip = eat_attrs(tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        eat_vis(tokens, &mut i);
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected field name, got {other}"),
+        };
+        i += 1; // name
+        i += 1; // `:`
+        skip_type(tokens, &mut i);
+        i += 1; // `,` (or past the end)
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+/// Count the fields of a tuple struct / tuple variant body.
+fn count_tuple_fields(tokens: &[TokenTree]) -> usize {
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0i32;
+    let mut trailing_comma = false;
+    for (idx, tok) in tokens.iter().enumerate() {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    if idx + 1 == tokens.len() {
+                        trailing_comma = true;
+                    } else {
+                        count += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    let _ = trailing_comma;
+    count
+}
+
+fn parse_variants(tokens: &[TokenTree]) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        eat_attrs(tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected variant name, got {other}"),
+        };
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Shape::Struct(parse_named_fields(
+                    &g.stream().into_iter().collect::<Vec<_>>(),
+                ))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Shape::Tuple(count_tuple_fields(
+                    &g.stream().into_iter().collect::<Vec<_>>(),
+                ))
+            }
+            _ => Shape::Unit,
+        };
+        // Skip an optional discriminant (`= expr`) and the trailing comma.
+        while let Some(tok) = tokens.get(i) {
+            if let TokenTree::Punct(p) = tok {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(fields) => {
+            let mut s = String::from("let mut m = ::serde::Map::new();\n");
+            for f in fields.iter().filter(|f| !f.skip) {
+                s.push_str(&format!(
+                    "m.insert(\"{n}\".to_string(), ::serde::Serialize::to_value(&self.{n}));\n",
+                    n = f.name
+                ));
+            }
+            s.push_str("::serde::Value::Object(m)");
+            s
+        }
+        Kind::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::Tuple(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+        }
+        Kind::Unit => "::serde::Value::Null".to_string(),
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::String(\"{vn}\".to_string()),\n"
+                    )),
+                    Shape::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vn}(f0) => {{\n\
+                         let mut m = ::serde::Map::new();\n\
+                         m.insert(\"{vn}\".to_string(), ::serde::Serialize::to_value(f0));\n\
+                         ::serde::Value::Object(m)\n}}\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let elems: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({binds}) => {{\n\
+                             let mut m = ::serde::Map::new();\n\
+                             m.insert(\"{vn}\".to_string(), ::serde::Value::Array(vec![{elems}]));\n\
+                             ::serde::Value::Object(m)\n}}\n",
+                            binds = binds.join(", "),
+                            elems = elems.join(", ")
+                        ));
+                    }
+                    Shape::Struct(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let mut inner = String::from("let mut fm = ::serde::Map::new();\n");
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "fm.insert(\"{n}\".to_string(), ::serde::Serialize::to_value({n}));\n",
+                                n = f.name
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => {{\n\
+                             {inner}\
+                             let mut m = ::serde::Map::new();\n\
+                             m.insert(\"{vn}\".to_string(), ::serde::Value::Object(fm));\n\
+                             ::serde::Value::Object(m)\n}}\n",
+                            binds = binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl{generics} ::serde::Serialize for {ty} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n",
+        generics = item.impl_generics("::serde::Serialize"),
+        ty = item.ty()
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(fields) => {
+            let mut s = format!(
+                "let obj = v.as_object().ok_or_else(|| ::serde::Error::custom(\
+                 \"expected object for {name}\"))?;\n"
+            );
+            s.push_str(&format!("::std::result::Result::Ok({name} {{\n"));
+            for f in fields {
+                if f.skip {
+                    s.push_str(&format!(
+                        "{}: ::std::default::Default::default(),\n",
+                        f.name
+                    ));
+                } else {
+                    s.push_str(&format!(
+                        "{n}: ::serde::from_field(obj, \"{n}\")?,\n",
+                        n = f.name
+                    ));
+                }
+            }
+            s.push_str("})");
+            s
+        }
+        Kind::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Kind::Tuple(n) => {
+            let mut s = format!(
+                "let arr = v.as_array().ok_or_else(|| ::serde::Error::custom(\
+                 \"expected array for {name}\"))?;\n\
+                 if arr.len() != {n} {{\n\
+                 return ::std::result::Result::Err(::serde::Error::custom(\
+                 \"wrong tuple arity for {name}\"));\n}}\n"
+            );
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&arr[{i}])?"))
+                .collect();
+            s.push_str(&format!(
+                "::std::result::Result::Ok({name}({}))",
+                elems.join(", ")
+            ));
+            s
+        }
+        Kind::Unit => format!("::std::result::Result::Ok({name})"),
+        Kind::Enum(variants) => {
+            // Unit variants arrive as strings; payload variants as
+            // single-key objects.
+            let mut unit_arms = String::new();
+            let mut keyed_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => {
+                        unit_arms.push_str(&format!(
+                            "\"{vn}\" => return ::std::result::Result::Ok({name}::{vn}),\n"
+                        ));
+                        // Also accept the {"Variant": null} object form.
+                        keyed_arms.push_str(&format!(
+                            "\"{vn}\" => return ::std::result::Result::Ok({name}::{vn}),\n"
+                        ));
+                    }
+                    Shape::Tuple(1) => keyed_arms.push_str(&format!(
+                        "\"{vn}\" => return ::std::result::Result::Ok(\
+                         {name}::{vn}(::serde::Deserialize::from_value(payload)?)),\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&arr[{i}])?"))
+                            .collect();
+                        keyed_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let arr = payload.as_array().ok_or_else(|| ::serde::Error::custom(\
+                             \"expected array payload for {name}::{vn}\"))?;\n\
+                             if arr.len() != {n} {{\n\
+                             return ::std::result::Result::Err(::serde::Error::custom(\
+                             \"wrong arity for {name}::{vn}\"));\n}}\n\
+                             return ::std::result::Result::Ok({name}::{vn}({elems}));\n}}\n",
+                            elems = elems.join(", ")
+                        ));
+                    }
+                    Shape::Struct(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            inits.push_str(&format!(
+                                "{n}: ::serde::from_field(obj, \"{n}\")?,\n",
+                                n = f.name
+                            ));
+                        }
+                        keyed_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let obj = payload.as_object().ok_or_else(|| ::serde::Error::custom(\
+                             \"expected object payload for {name}::{vn}\"))?;\n\
+                             return ::std::result::Result::Ok({name}::{vn} {{ {inits} }});\n}}\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "if let ::std::option::Option::Some(s) = v.as_str() {{\n\
+                 match s {{\n{unit_arms}\
+                 _ => return ::std::result::Result::Err(::serde::Error::custom(\
+                 \"unknown variant for {name}\")),\n}}\n}}\n\
+                 if let ::std::option::Option::Some(obj) = v.as_object() {{\n\
+                 if let ::std::option::Option::Some((key, payload)) = obj.iter().next() {{\n\
+                 match key.as_str() {{\n{keyed_arms}\
+                 _ => return ::std::result::Result::Err(::serde::Error::custom(\
+                 \"unknown variant for {name}\")),\n}}\n}}\n}}\n\
+                 ::std::result::Result::Err(::serde::Error::custom(\
+                 \"expected string or single-key object for {name}\"))"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl{generics} ::serde::Deserialize for {ty} {{\n\
+         fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         {body}\n}}\n}}\n",
+        generics = item.impl_generics("::serde::Deserialize"),
+        ty = item.ty()
+    )
+}

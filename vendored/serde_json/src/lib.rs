@@ -1,0 +1,143 @@
+//! Vendored, offline stand-in for `serde_json`.
+//!
+//! A thin facade over the vendored `serde` crate's value tree: `to_string`
+//! renders compact JSON (objects keep insertion order, floats use Rust's
+//! shortest round-trip formatting — the `float_roundtrip` feature is the
+//! default and only behavior), `from_str` parses into any `Deserialize`
+//! type, and `json!` builds [`Value`]s inline.
+
+pub use serde::{Error, Map, Number, Value};
+
+/// Serialize a value to compact JSON.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(serde::value::render(&value.to_value()))
+}
+
+/// Serialize a value to human-indented JSON.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(pretty(&value.to_value(), 0))
+}
+
+/// Deserialize a value from a JSON string.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    let v = serde::value::parse(s)?;
+    T::from_value(&v)
+}
+
+/// Convert any serializable value into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+fn pretty(v: &Value, indent: usize) -> String {
+    let pad = "  ".repeat(indent);
+    let pad_in = "  ".repeat(indent + 1);
+    match v {
+        Value::Array(items) if !items.is_empty() => {
+            let inner: Vec<String> = items
+                .iter()
+                .map(|i| format!("{pad_in}{}", pretty(i, indent + 1)))
+                .collect();
+            format!("[\n{}\n{pad}]", inner.join(",\n"))
+        }
+        Value::Object(map) if !map.is_empty() => {
+            let inner: Vec<String> = map
+                .iter()
+                .map(|(k, val)| {
+                    format!(
+                        "{pad_in}{}: {}",
+                        serde::value::render(&Value::String(k.clone())),
+                        pretty(val, indent + 1)
+                    )
+                })
+                .collect();
+            format!("{{\n{}\n{pad}}}", inner.join(",\n"))
+        }
+        other => serde::value::render(other),
+    }
+}
+
+/// Build a [`Value`] inline. Supports `null`, array literals, object
+/// literals with string-literal keys, and arbitrary serializable
+/// expressions in value position.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($elem:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $($crate::to_value(&$elem)),* ])
+    };
+    ({ $($key:literal : $value:expr),* $(,)? }) => {{
+        #[allow(unused_mut)]
+        let mut m = $crate::Map::new();
+        $( m.insert($key.to_string(), $crate::to_value(&$value)); )*
+        $crate::Value::Object(m)
+    }};
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_scalars() {
+        assert_eq!(to_string(&42u32).unwrap(), "42");
+        assert_eq!(to_string(&-7i64).unwrap(), "-7");
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(to_string(&3.0f64).unwrap(), "3.0");
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string("hi").unwrap(), "\"hi\"");
+        assert_eq!(from_str::<u32>("42").unwrap(), 42);
+        assert_eq!(from_str::<f64>("3.0").unwrap(), 3.0);
+        assert_eq!(from_str::<String>("\"hi\"").unwrap(), "hi");
+    }
+
+    #[test]
+    fn float_roundtrips_shortest_repr() {
+        for x in [0.1f64, 1e-7, 123456.789, -2.5e300, f64::MIN_POSITIVE] {
+            let s = to_string(&x).unwrap();
+            assert_eq!(from_str::<f64>(&s).unwrap(), x, "{s}");
+        }
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        for s in [
+            "a\"b",
+            "back\\slash",
+            "tab\there",
+            "nl\nhere",
+            "❤ éß",
+            "\u{0}\u{1f}",
+        ] {
+            let json = to_string(s).unwrap();
+            assert_eq!(from_str::<String>(&json).unwrap(), s, "{json}");
+        }
+    }
+
+    #[test]
+    fn json_macro_builds_objects() {
+        let name: Option<String> = None;
+        let v = json!({ "a": 1, "b": "x", "missing": name, "list": vec![1u8, 2] });
+        assert_eq!(v["a"].as_u64(), Some(1));
+        assert!(v["b"].is_string());
+        assert!(v["missing"].is_null());
+        assert_eq!(v["list"].as_array().unwrap().len(), 2);
+        assert_eq!(
+            v.to_string(),
+            r#"{"a":1,"b":"x","missing":null,"list":[1,2]}"#
+        );
+    }
+
+    #[test]
+    fn parses_nested_documents() {
+        let v: Value = from_str(r#"{"xs":[1,2,{"y":null}],"z":-3.5e2}"#).unwrap();
+        assert_eq!(v["xs"][2]["y"], Value::Null);
+        assert_eq!(v["z"].as_f64(), Some(-350.0));
+    }
+
+    #[test]
+    fn unicode_escape_parses() {
+        assert_eq!(from_str::<String>(r#""A😀""#).unwrap(), "A😀");
+    }
+}
