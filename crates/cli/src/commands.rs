@@ -3,7 +3,9 @@
 
 use crate::args::{ArgError, ParsedArgs};
 use geoserp_core::analysis::ObsIndex;
-use geoserp_core::crawler::{observations_csv, results_csv, to_jsonl};
+use geoserp_core::crawler::{
+    observations_csv, results_csv, to_jsonl, CrawlBackend, CrawlCheckpoint, CrawlOptions,
+};
 use geoserp_core::prelude::*;
 use std::fmt;
 use std::path::Path;
@@ -57,6 +59,23 @@ COMMANDS:
                    --export DIR    also write dataset exports into DIR
                    --save FILE     also save the dataset as JSON
                    --quiet         suppress the live per-round progress line
+                 crash-safe crawls (checkpoint/resume; see EXPERIMENTS.md):
+                   --checkpoint FILE       write a crash-safe checkpoint to
+                                           FILE (atomically, overwriting)
+                   --checkpoint-every N    ... every N completed rounds [5]
+                   --resume FILE           continue a killed crawl from its
+                                           checkpoint; needs the same seed,
+                                           scale, and retry flags — the
+                                           dataset is byte-identical to an
+                                           uninterrupted run
+                   --max-rounds N          stop after N rounds (simulate a
+                                           kill; prints a partial summary)
+                 retry policy (defaults reproduce the paper's crawler):
+                   --retry-attempts N      fetch attempts per job      [3]
+                   --retry-backoff-ms MS   first-retry backoff, virtual [500]
+                   --round-deadline-ms MS  per-job ghost-time budget; jobs
+                                           that can't afford their next
+                                           backoff degrade to failed_job
     analyze      rerun every figure over a saved dataset
                    <file>          dataset JSON from `run --save`
     compare      run a study and print the paper-vs-measured markdown
@@ -104,19 +123,68 @@ fn plan_for(scale: &str) -> Result<ExperimentPlan, CliError> {
 
 fn study_from(args: &ParsedArgs) -> Result<Study, CliError> {
     let seed = args.get_u64("seed", 2015)?;
-    let plan = plan_for(args.get("scale").unwrap_or("medium"))?;
+    let mut plan = plan_for(args.get("scale").unwrap_or("medium"))?;
+    // Retry-policy overrides. The policy is part of the plan's stable hash,
+    // so a resumed run must repeat the same flags as the checkpointing run.
+    let attempts = args.get_u64("retry-attempts", u64::from(plan.retry.max_attempts))?;
+    plan.retry.max_attempts = u32::try_from(attempts)
+        .map_err(|_| CliError::Invalid(format!("--retry-attempts {attempts}: too large")))?;
+    if plan.retry.max_attempts == 0 {
+        return Err(CliError::Invalid(
+            "--retry-attempts must be positive".into(),
+        ));
+    }
+    plan.retry.backoff_base_ms = args.get_u64("retry-backoff-ms", plan.retry.backoff_base_ms)?;
+    if args.get("round-deadline-ms").is_some() {
+        plan.retry.round_deadline_ms = Some(args.get_u64("round-deadline-ms", 0)?);
+    }
     Ok(Study::builder().seed(seed).plan(plan).build())
 }
 
 /// `geoserp run`
 pub fn cmd_run(args: &ParsedArgs) -> Result<String, CliError> {
     let study = study_from(args)?;
-    let dataset = if args.has("quiet") {
-        study.run()
-    } else {
-        run_with_live_progress(&study)
+    let ckpt_file = args.get("checkpoint");
+    let resume_file = args.get("resume");
+    let every = args.get_usize("checkpoint-every", 5)?;
+    let max_rounds = match args.get("max-rounds") {
+        Some(_) => Some(args.get_usize("max-rounds", 0)?),
+        None => None,
     };
-    let mut out = study.report(&dataset);
+    if every == 0 {
+        return Err(CliError::Invalid(
+            "--checkpoint-every must be positive".into(),
+        ));
+    }
+    if args.get("checkpoint-every").is_some() && ckpt_file.is_none() {
+        return Err(CliError::Invalid(
+            "--checkpoint-every needs --checkpoint FILE".into(),
+        ));
+    }
+    if max_rounds == Some(0) {
+        return Err(CliError::Invalid("--max-rounds must be positive".into()));
+    }
+
+    let quiet = args.has("quiet");
+    let (dataset, notes) = if ckpt_file.is_some() || resume_file.is_some() || max_rounds.is_some() {
+        run_checkpointed(&study, quiet, ckpt_file, resume_file, every, max_rounds)?
+    } else {
+        let ds = if quiet {
+            study.run()
+        } else {
+            run_with_live_progress(&study)
+        };
+        (ds, String::new())
+    };
+
+    // A deliberately partial crawl is not a dataset worth a figure report:
+    // summarize it and point at --resume instead.
+    let mut out = if max_rounds.is_some() {
+        partial_summary(&dataset)
+    } else {
+        study.report(&dataset)
+    };
+    out.push_str(&notes);
     if let Some(dir) = args.get("export") {
         write_exports(&dataset, Path::new(dir))?;
         out.push_str(&format!("\n(dataset exports written to {dir})\n"));
@@ -128,6 +196,94 @@ pub fn cmd_run(args: &ParsedArgs) -> Result<String, CliError> {
         ));
     }
     Ok(out)
+}
+
+/// Drive a crawl that checkpoints, resumes, and/or stops early. Returns the
+/// dataset plus status notes to append after the report.
+fn run_checkpointed(
+    study: &Study,
+    quiet: bool,
+    ckpt_file: Option<&str>,
+    resume_file: Option<&str>,
+    every: usize,
+    max_rounds: Option<usize>,
+) -> Result<(Dataset, String), CliError> {
+    let crawler = study.crawler();
+    let plan = study.plan();
+    let mut notes = String::new();
+
+    let mut opts = CrawlOptions::new(CrawlBackend::from_plan_flag(plan.parallel));
+    opts.stop_after_rounds = max_rounds;
+    if let Some(file) = resume_file {
+        let ckpt = CrawlCheckpoint::load(Path::new(file))
+            .map_err(|e| CliError::Invalid(format!("--resume {file}: {e}")))?;
+        notes.push_str(&format!(
+            "(resumed from {file} at round {}/{})\n",
+            ckpt.completed_rounds, ckpt.total_rounds
+        ));
+        opts.resume = Some(ckpt);
+    }
+
+    // The checkpoint sink can't return an error, so the first failed write is
+    // parked here and surfaced once the run finishes.
+    let save_error: std::cell::RefCell<Option<String>> = std::cell::RefCell::new(None);
+    let save = |c: &CrawlCheckpoint| {
+        let file = ckpt_file.expect("sink installed only with --checkpoint");
+        if save_error.borrow().is_some() {
+            return; // keep the first error
+        }
+        if let Err(e) = c.save(Path::new(file)) {
+            *save_error.borrow_mut() = Some(format!("--checkpoint {file}: {e}"));
+        }
+    };
+    if ckpt_file.is_some() {
+        opts.checkpoint_every = every;
+        opts.on_checkpoint = Some(&save);
+    }
+
+    let dataset = crawler
+        .run_with_options(plan, opts, |p| {
+            if quiet {
+                return;
+            }
+            let stride = (p.total_rounds / 100).max(1);
+            if p.completed_rounds % stride == 0 || p.completed_rounds == p.total_rounds {
+                eprint!(
+                    "\r[crawl] round {:>5}/{} day {:>2} {:?} {:<28.28} {:>7} SERPs",
+                    p.completed_rounds,
+                    p.total_rounds,
+                    p.day,
+                    p.granularity,
+                    p.term,
+                    p.observations
+                );
+            }
+        })
+        .map_err(|e| CliError::Invalid(e.to_string()))?;
+    if !quiet {
+        eprintln!();
+    }
+    if let Some(msg) = save_error.into_inner() {
+        return Err(CliError::Invalid(msg));
+    }
+    if let Some(file) = ckpt_file {
+        notes.push_str(&format!(
+            "(checkpoints written to {file} every {every} rounds)\n"
+        ));
+    }
+    Ok((dataset, notes))
+}
+
+/// The short report printed for a `--max-rounds` partial crawl.
+fn partial_summary(dataset: &Dataset) -> String {
+    format!(
+        "partial crawl: {} observations, {} distinct URLs, {} failed jobs\n\
+         (continue it with `geoserp run --resume`; the figure report needs a\n\
+         complete crawl)\n",
+        dataset.observations().len(),
+        dataset.distinct_urls(),
+        dataset.meta.failed_jobs,
+    )
 }
 
 /// Run the study printing a live per-round status line to stderr. The
@@ -377,6 +533,119 @@ mod tests {
         let report = cmd_analyze(&p).unwrap();
         assert!(report.contains("Fig. 5"), "analysis over the saved file");
         std::fs::remove_file(&file).ok();
+    }
+
+    /// Parse a `run` command line with the full flag grammar `main` uses.
+    fn run_args(s: &str) -> ParsedArgs {
+        parse(
+            &argv(s),
+            &[
+                "seed",
+                "scale",
+                "export",
+                "save",
+                "checkpoint",
+                "checkpoint-every",
+                "resume",
+                "max-rounds",
+                "retry-attempts",
+                "retry-backoff-ms",
+                "round-deadline-ms",
+            ],
+            &["quiet"],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn checkpoint_kill_resume_matches_an_uninterrupted_run() {
+        let dir = std::env::temp_dir();
+        let tag = format!("{}-resume", std::process::id());
+        let full = dir.join(format!("geoserp-full-{tag}.json"));
+        let ck = dir.join(format!("geoserp-ck-{tag}.json"));
+        let resumed = dir.join(format!("geoserp-resumed-{tag}.json"));
+        let (fulls, cks, resumeds) = (
+            full.to_string_lossy().to_string(),
+            ck.to_string_lossy().to_string(),
+            resumed.to_string_lossy().to_string(),
+        );
+
+        // The reference: one uninterrupted quick crawl.
+        let out = cmd_run(&run_args(&format!(
+            "run --scale quick --seed 9 --quiet --save {fulls}"
+        )))
+        .unwrap();
+        assert!(out.contains("dataset saved"), "{out}");
+
+        // The same crawl "killed" after 7 rounds, checkpointing every 3 —
+        // the surviving file holds the round-6 boundary.
+        let out = cmd_run(&run_args(&format!(
+            "run --scale quick --seed 9 --quiet \
+             --checkpoint {cks} --checkpoint-every 3 --max-rounds 7"
+        )))
+        .unwrap();
+        assert!(out.contains("partial crawl"), "{out}");
+        assert!(out.contains("checkpoints written"), "{out}");
+        assert!(ck.exists(), "checkpoint file was not written");
+
+        // Resume on a fresh world and save the completed dataset.
+        let out = cmd_run(&run_args(&format!(
+            "run --scale quick --seed 9 --quiet --resume {cks} --save {resumeds}"
+        )))
+        .unwrap();
+        assert!(out.contains("resumed from"), "{out}");
+        assert!(out.contains("Fig"), "resumed run prints the full report");
+
+        assert_eq!(
+            std::fs::read(&full).unwrap(),
+            std::fs::read(&resumed).unwrap(),
+            "resumed dataset must be byte-identical to the uninterrupted run"
+        );
+        for f in [&full, &ck, &resumed] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    #[test]
+    fn resume_refuses_a_mismatched_seed() {
+        let dir = std::env::temp_dir();
+        let ck = dir.join(format!("geoserp-ck-{}-seedck.json", std::process::id()));
+        let cks = ck.to_string_lossy().to_string();
+        cmd_run(&run_args(&format!(
+            "run --scale quick --seed 9 --quiet \
+             --checkpoint {cks} --checkpoint-every 3 --max-rounds 3"
+        )))
+        .unwrap();
+        let err = cmd_run(&run_args(&format!(
+            "run --scale quick --seed 10 --quiet --resume {cks}"
+        )))
+        .unwrap_err();
+        assert!(err.to_string().contains("seed"), "{err}");
+        std::fs::remove_file(&ck).ok();
+    }
+
+    #[test]
+    fn checkpoint_flags_are_validated_before_the_crawl() {
+        let err = cmd_run(&run_args(
+            "run --scale quick --checkpoint /tmp/x --checkpoint-every 0",
+        ))
+        .unwrap_err();
+        assert!(err.to_string().contains("checkpoint-every"), "{err}");
+
+        let err = cmd_run(&run_args("run --scale quick --checkpoint-every 3")).unwrap_err();
+        assert!(err.to_string().contains("--checkpoint"), "{err}");
+
+        let err = cmd_run(&run_args("run --scale quick --max-rounds 0")).unwrap_err();
+        assert!(err.to_string().contains("max-rounds"), "{err}");
+
+        let err = cmd_run(&run_args("run --scale quick --retry-attempts 0")).unwrap_err();
+        assert!(err.to_string().contains("retry-attempts"), "{err}");
+
+        let err = cmd_run(&run_args(
+            "run --scale quick --resume /nonexistent/geoserp-nowhere.ck",
+        ))
+        .unwrap_err();
+        assert!(err.to_string().contains("--resume"), "{err}");
     }
 
     #[test]

@@ -15,7 +15,23 @@ fn dispatch(argv: &[String]) -> Result<String, CliError> {
     let command = argv.first().map(String::as_str).unwrap_or("");
     match command {
         "run" => {
-            let p = args::parse(argv, &["seed", "scale", "export", "save"], &["quiet"])?;
+            let p = args::parse(
+                argv,
+                &[
+                    "seed",
+                    "scale",
+                    "export",
+                    "save",
+                    "checkpoint",
+                    "checkpoint-every",
+                    "resume",
+                    "max-rounds",
+                    "retry-attempts",
+                    "retry-backoff-ms",
+                    "round-deadline-ms",
+                ],
+                &["quiet"],
+            )?;
             cmd_run(&p)
         }
         "analyze" => {

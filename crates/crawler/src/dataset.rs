@@ -73,6 +73,26 @@ pub struct DatasetMeta {
     pub parse_failures: u64,
     /// Attempts that failed at the transport layer (drops, resets).
     pub net_errors: u64,
+    /// Total ghost-time retry backoff across all jobs, virtual ms (see
+    /// `RetryPolicy`; never advances the shared clock).
+    pub backoff_ms: u64,
+    /// Retries abandoned because their backoff would exceed the round
+    /// deadline (each also shows up as a failed job).
+    pub deadline_giveups: u64,
+    /// The largest ghost backoff any single job accumulated, virtual ms —
+    /// the per-round worst case the retry budget bounds.
+    pub max_job_backoff_ms: u64,
+}
+
+/// FNV-1a, 64-bit — the stable digest used for plan hashes and dataset
+/// golden tests (dependency-free and identical across platforms).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
 }
 
 /// The full collected dataset.
@@ -184,6 +204,14 @@ impl Dataset {
     /// Serialize to JSON.
     pub fn to_json(&self) -> String {
         serde_json::to_string(self).expect("dataset serializes")
+    }
+
+    /// Stable digest of the exported dataset (FNV-1a over the JSON form).
+    /// Two datasets are byte-identical iff their digests match; the golden
+    /// determinism tests commit these values so a silent perturbation of
+    /// the crawl's determinism fails a named test.
+    pub fn digest(&self) -> u64 {
+        fnv1a64(self.to_json().as_bytes())
     }
 
     /// Deserialize from JSON (restores the URL index).
@@ -302,6 +330,27 @@ mod tests {
             assert_eq!(ds.location(l.id).unwrap().id, l.id);
         }
         assert!(ds.location(LocationId(9999)).is_none());
+    }
+
+    #[test]
+    fn fnv1a64_matches_reference_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn digest_tracks_content() {
+        let mut a = empty_dataset();
+        let mut b = empty_dataset();
+        assert_eq!(a.digest(), b.digest());
+        let o = obs(&mut a, 0, 1, "bank", Role::Treatment, &["u"]);
+        a.push(o);
+        assert_ne!(a.digest(), b.digest());
+        let o = obs(&mut b, 0, 1, "bank", Role::Treatment, &["u"]);
+        b.push(o);
+        assert_eq!(a.digest(), b.digest());
     }
 
     #[test]

@@ -28,19 +28,30 @@
 //! Crawls are deterministic even in parallel mode: each machine is driven by
 //! one thread, the network hands out per-source sequence numbers, and
 //! results are committed in plan order.
+//!
+//! Crawls are also crash-safe: [`Crawler::run_with_options`] emits a
+//! [`CrawlCheckpoint`] (the serialized crawl cursor: partial dataset, stats,
+//! virtual clock, network stream position) every N rounds, and
+//! [`Crawler::resume`] continues one on a fresh same-seed world so the final
+//! dataset is *byte-identical* to an uninterrupted run, on every backend.
+//! Transient-failure handling is governed by the plan's [`RetryPolicy`].
 
+pub mod checkpoint;
 pub mod dataset;
 pub mod export;
 pub mod machines;
 pub mod plan;
+pub mod retry;
 pub mod run;
 pub mod validation;
 pub mod workers;
 
-pub use dataset::{Dataset, DatasetMeta, Observation, Role, UrlId};
+pub use checkpoint::{CheckpointError, CrawlCheckpoint, CrawlStatsSnapshot, CHECKPOINT_VERSION};
+pub use dataset::{fnv1a64, Dataset, DatasetMeta, Observation, Role, UrlId};
 pub use export::{observations_csv, results_csv, to_jsonl};
 pub use machines::MachinePool;
 pub use plan::ExperimentPlan;
-pub use run::{CrawlProgress, CrawlStats, Crawler};
+pub use retry::RetryPolicy;
+pub use run::{CrawlOptions, CrawlProgress, CrawlStats, Crawler};
 pub use validation::{run_validation, ValidationReport};
 pub use workers::CrawlBackend;

@@ -1,5 +1,7 @@
 //! Experiment plans: what to crawl, from where, how often.
 
+use crate::dataset::fnv1a64;
+use crate::retry::RetryPolicy;
 use geoserp_corpus::QueryCategory;
 use geoserp_geo::Granularity;
 use serde::{Deserialize, Serialize};
@@ -33,6 +35,9 @@ pub struct ExperimentPlan {
     /// thread. Datasets are byte-identical either way; the pool is faster
     /// on multicore and avoids per-round thread churn.
     pub parallel: bool,
+    /// How jobs respond to transient failures: attempt budgets, ghost-time
+    /// backoff, and the optional per-round deadline.
+    pub retry: RetryPolicy,
 }
 
 impl ExperimentPlan {
@@ -53,6 +58,7 @@ impl ExperimentPlan {
             locations_per_granularity: None,
             inter_query_wait_min: 11,
             parallel: true,
+            retry: RetryPolicy::paper_default(),
         }
     }
 
@@ -74,7 +80,16 @@ impl ExperimentPlan {
             locations_per_granularity: Some(5),
             inter_query_wait_min: 11,
             parallel: true,
+            retry: RetryPolicy::paper_default(),
         }
+    }
+
+    /// A stable content hash of the plan (FNV-1a over its JSON form).
+    /// Checkpoints store this so `resume` can refuse a plan other than the
+    /// one the checkpoint was written under.
+    pub fn stable_hash(&self) -> u64 {
+        let json = serde_json::to_string(self).expect("plan serializes");
+        fnv1a64(json.as_bytes())
     }
 
     /// Total days the plan's timeline spans.
@@ -109,6 +124,7 @@ impl ExperimentPlan {
             self.locations_per_granularity != Some(0),
             "locations_per_granularity must be positive"
         );
+        self.retry.validate();
     }
 }
 
@@ -142,6 +158,26 @@ mod tests {
         p.validate();
         assert!(p.total_days() <= 12);
         assert!(p.queries_per_category.unwrap() <= 8);
+    }
+
+    #[test]
+    fn stable_hash_tracks_every_field() {
+        let base = ExperimentPlan::quick();
+        assert_eq!(base.stable_hash(), ExperimentPlan::quick().stable_hash());
+        assert_ne!(
+            base.stable_hash(),
+            ExperimentPlan::paper_full().stable_hash()
+        );
+        let mut retried = base.clone();
+        retried.retry.max_attempts = 5;
+        assert_ne!(
+            base.stable_hash(),
+            retried.stable_hash(),
+            "retry policy is part of the plan identity"
+        );
+        let mut days = base.clone();
+        days.days += 1;
+        assert_ne!(base.stable_hash(), days.stable_hash());
     }
 
     #[test]

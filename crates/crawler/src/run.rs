@@ -1,8 +1,10 @@
 //! The crawl runner: world construction and lock-step execution.
 
+use crate::checkpoint::{CheckpointError, CrawlCheckpoint, CrawlStatsSnapshot, CHECKPOINT_VERSION};
 use crate::dataset::{Dataset, DatasetMeta, Observation, Role};
 use crate::machines::{MachinePool, CLUSTER_SIZE};
 use crate::plan::ExperimentPlan;
+use crate::retry::RetryPolicy;
 use crate::workers::{CrawlBackend, PersistentPool, RoundResult};
 use geoserp_browser::Browser;
 use geoserp_corpus::{Query, WebCorpus};
@@ -42,6 +44,98 @@ pub struct CrawlStats {
     pub parse_failures: AtomicU64,
     /// Attempts that failed at the transport layer (drops, resets).
     pub net_errors: AtomicU64,
+    /// Total ghost-time retry backoff across all jobs, virtual ms.
+    pub backoff_ms: AtomicU64,
+    /// Retries abandoned because their backoff would exceed the deadline.
+    pub deadline_giveups: AtomicU64,
+    /// The largest ghost backoff any single job accumulated, virtual ms.
+    pub max_job_backoff_ms: AtomicU64,
+}
+
+impl CrawlStats {
+    /// Plain-value snapshot for checkpointing. Taken at a round boundary on
+    /// the scheduler thread (the mpsc round barrier orders every worker's
+    /// relaxed increments before the scheduler reads them).
+    pub fn snapshot(&self) -> CrawlStatsSnapshot {
+        CrawlStatsSnapshot {
+            requests_issued: self.requests_issued.load(Ordering::Relaxed),
+            failed_jobs: self.failed_jobs.load(Ordering::Relaxed),
+            attempts: self.attempts.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            parse_failures: self.parse_failures.load(Ordering::Relaxed),
+            net_errors: self.net_errors.load(Ordering::Relaxed),
+            backoff_ms: self.backoff_ms.load(Ordering::Relaxed),
+            deadline_giveups: self.deadline_giveups.load(Ordering::Relaxed),
+            max_job_backoff_ms: self.max_job_backoff_ms.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Counters pre-loaded from a checkpoint: the resumed run continues the
+    /// totals instead of restarting them, and because the snapshot was
+    /// taken at a round boundary it contains no attempts from any round the
+    /// resume will re-execute — nothing is double-counted.
+    pub fn from_snapshot(snap: &CrawlStatsSnapshot) -> Self {
+        CrawlStats {
+            requests_issued: AtomicU64::new(snap.requests_issued),
+            failed_jobs: AtomicU64::new(snap.failed_jobs),
+            attempts: AtomicU64::new(snap.attempts),
+            retries: AtomicU64::new(snap.retries),
+            parse_failures: AtomicU64::new(snap.parse_failures),
+            net_errors: AtomicU64::new(snap.net_errors),
+            backoff_ms: AtomicU64::new(snap.backoff_ms),
+            deadline_giveups: AtomicU64::new(snap.deadline_giveups),
+            max_job_backoff_ms: AtomicU64::new(snap.max_job_backoff_ms),
+        }
+    }
+
+    /// Copy the counters into a dataset's metadata (leaves `seed` alone).
+    pub fn apply_to_meta(&self, meta: &mut DatasetMeta) {
+        meta.failed_jobs = self.failed_jobs.load(Ordering::Relaxed);
+        meta.requests_issued = self.requests_issued.load(Ordering::Relaxed);
+        meta.attempts = self.attempts.load(Ordering::Relaxed);
+        meta.retries = self.retries.load(Ordering::Relaxed);
+        meta.parse_failures = self.parse_failures.load(Ordering::Relaxed);
+        meta.net_errors = self.net_errors.load(Ordering::Relaxed);
+        meta.backoff_ms = self.backoff_ms.load(Ordering::Relaxed);
+        meta.deadline_giveups = self.deadline_giveups.load(Ordering::Relaxed);
+        meta.max_job_backoff_ms = self.max_job_backoff_ms.load(Ordering::Relaxed);
+    }
+}
+
+/// Options for [`Crawler::run_with_options`]: the backend plus the
+/// checkpoint/resume machinery. `CrawlOptions::new(backend)` gives plain
+/// uncheckpointed execution, identical to [`Crawler::run_with_backend`].
+pub struct CrawlOptions<'a> {
+    /// How rounds execute (see [`CrawlBackend`]).
+    pub backend: CrawlBackend,
+    /// Emit a checkpoint after every N completed rounds (0 = never). The
+    /// worker-pool backend drains its pipeline at each boundary so the
+    /// checkpoint captures an idle, fully-absorbed world.
+    pub checkpoint_every: usize,
+    /// Where checkpoints go. Runs on the scheduler thread between rounds,
+    /// so writing files here cannot perturb the crawl's determinism.
+    pub on_checkpoint: Option<&'a dyn Fn(&CrawlCheckpoint)>,
+    /// Continue a previous run from this cursor instead of starting fresh.
+    /// The crawler must be a *fresh* world built from the same seed and
+    /// fault configuration as the one that wrote the checkpoint.
+    pub resume: Option<CrawlCheckpoint>,
+    /// Stop after this many rounds are complete (counted from the start of
+    /// the schedule, not the resume point) and return the partial dataset.
+    /// Used to simulate kills in tests and by the CLI's `--max-rounds`.
+    pub stop_after_rounds: Option<usize>,
+}
+
+impl<'a> CrawlOptions<'a> {
+    /// Plain uncheckpointed execution on `backend`.
+    pub fn new(backend: CrawlBackend) -> Self {
+        CrawlOptions {
+            backend,
+            checkpoint_every: 0,
+            on_checkpoint: None,
+            resume: None,
+            stop_after_rounds: None,
+        }
+    }
 }
 
 /// A progress snapshot delivered after each lock-step round.
@@ -222,32 +316,167 @@ impl Crawler {
         backend: CrawlBackend,
         progress: impl Fn(&CrawlProgress),
     ) -> Dataset {
+        self.run_with_options(plan, CrawlOptions::new(backend), progress)
+            .expect("uncheckpointed runs have no failure modes")
+    }
+
+    /// Resume a crawl from a checkpoint. The crawler must be a fresh world
+    /// built from the same seed and fault configuration as the run that
+    /// wrote the checkpoint; the result is byte-identical to the dataset an
+    /// uninterrupted run would have produced.
+    pub fn resume(
+        &self,
+        checkpoint: CrawlCheckpoint,
+        plan: &ExperimentPlan,
+    ) -> Result<Dataset, CheckpointError> {
+        let mut opts = CrawlOptions::new(CrawlBackend::from_plan_flag(plan.parallel));
+        opts.resume = Some(checkpoint);
+        self.run_with_options(plan, opts, |_| {})
+    }
+
+    /// Execute a plan with the full option set: explicit backend, periodic
+    /// checkpoints, resume from a cursor, and an early-stop round count.
+    ///
+    /// Checkpoints are emitted at round boundaries with the world idle (the
+    /// pool backend drains its pipeline first), so a checkpoint at round N
+    /// captures exactly the clock, network stream position, stats, and
+    /// partial dataset an uninterrupted run has after N rounds — resuming
+    /// it on a fresh same-seed world replays rounds N+1.. byte-identically,
+    /// on any backend.
+    pub fn run_with_options(
+        &self,
+        plan: &ExperimentPlan,
+        opts: CrawlOptions<'_>,
+        progress: impl Fn(&CrawlProgress),
+    ) -> Result<Dataset, CheckpointError> {
         plan.validate();
-        // The next strict day boundary: a fresh world (t = 0) starts on day
-        // 0; any later time — including one sitting *exactly* on a boundary
-        // — advances past it, so a rerun never shares a day (and with it
-        // the news pool and noise stream) with earlier activity.
-        let now_ms = self.net.clock().now().millis();
-        let base_day = if now_ms == 0 {
-            0
-        } else {
-            (now_ms / DAY_MS) as u32 + 1
+        let CrawlOptions {
+            backend,
+            checkpoint_every,
+            on_checkpoint,
+            resume,
+            stop_after_rounds,
+        } = opts;
+        let policy = &plan.retry;
+        if checkpoint_every > 0 || resume.is_some() {
+            self.check_checkpoint_compatible(plan)?;
+        }
+        let plan_hash = plan.stable_hash();
+        let (own_drop, own_corrupt) = self.net.fault_rates();
+
+        let mut resumed_total = None;
+        let (base_day, start_round, mut dataset, stats) = match resume {
+            Some(mut ckpt) => {
+                if ckpt.version != CHECKPOINT_VERSION {
+                    return Err(CheckpointError::Mismatch(format!(
+                        "checkpoint version {} (this build reads version {CHECKPOINT_VERSION})",
+                        ckpt.version
+                    )));
+                }
+                if ckpt.plan_hash != plan_hash {
+                    return Err(CheckpointError::Mismatch(
+                        "checkpoint was written under a different plan".into(),
+                    ));
+                }
+                if ckpt.seed != self.seed.value() {
+                    return Err(CheckpointError::Mismatch(format!(
+                        "checkpoint seed {} but this world was built from seed {}",
+                        ckpt.seed,
+                        self.seed.value()
+                    )));
+                }
+                if (ckpt.drop_chance, ckpt.corrupt_chance) != (own_drop, own_corrupt) {
+                    return Err(CheckpointError::Mismatch(format!(
+                        "checkpoint fault rates ({}, {}) but this world has ({own_drop}, \
+                         {own_corrupt})",
+                        ckpt.drop_chance, ckpt.corrupt_chance
+                    )));
+                }
+                let now = self.net.clock().now().millis();
+                if now > ckpt.clock_ms {
+                    return Err(CheckpointError::Mismatch(format!(
+                        "world clock ({now} ms) is already past the checkpoint \
+                         ({} ms) — resume needs a fresh world built from the same seed",
+                        ckpt.clock_ms
+                    )));
+                }
+                // Reposition the world at the cursor: clock and per-source
+                // request counters are the simulator's entire stream state.
+                self.net
+                    .clock()
+                    .set(geoserp_net::clock::SimInstant(ckpt.clock_ms));
+                self.net.restore_seq_cursor(&ckpt.net_cursor);
+                ckpt.dataset.rebuild_index();
+                resumed_total = Some(ckpt.total_rounds);
+                let stats = CrawlStats::from_snapshot(&ckpt.stats);
+                (ckpt.base_day, ckpt.completed_rounds, ckpt.dataset, stats)
+            }
+            None => {
+                // The next strict day boundary: a fresh world (t = 0) starts
+                // on day 0; any later time — including one sitting *exactly*
+                // on a boundary — advances past it, so a rerun never shares
+                // a day (and with it the news pool and noise stream) with
+                // earlier activity.
+                let now_ms = self.net.clock().now().millis();
+                let base_day = if now_ms == 0 {
+                    0
+                } else {
+                    (now_ms / DAY_MS) as u32 + 1
+                };
+                let dataset = Dataset::new(
+                    self.vantage.clone(),
+                    DatasetMeta {
+                        seed: self.seed.value(),
+                        ..DatasetMeta::default()
+                    },
+                );
+                (base_day, 0, dataset, CrawlStats::default())
+            }
         };
-        let stats = CrawlStats::default();
+
         let rounds = self.schedule(plan, base_day);
         let total_rounds = rounds.len();
-        let mut dataset = Dataset::new(
-            self.vantage.clone(),
-            DatasetMeta {
-                seed: self.seed.value(),
-                ..DatasetMeta::default()
-            },
-        );
-        let mut completed_rounds = 0usize;
+        if let Some(ckpt_total) = resumed_total {
+            if ckpt_total != total_rounds {
+                return Err(CheckpointError::Mismatch(format!(
+                    "checkpoint expects {ckpt_total} total rounds, plan schedules {total_rounds}"
+                )));
+            }
+        }
+        if start_round > total_rounds {
+            return Err(CheckpointError::Mismatch(format!(
+                "checkpoint completed {start_round} rounds of a {total_rounds}-round schedule"
+            )));
+        }
+        let stop_at = stop_after_rounds.unwrap_or(total_rounds).min(total_rounds);
+        let mut completed_rounds = start_round;
+
+        // A boundary is checkpoint-worthy when it is a multiple of the
+        // interval, covers work done *this* run (not the resume point
+        // itself), and isn't the finish line (the final dataset supersedes
+        // any checkpoint there).
+        let at_boundary = |completed: usize| {
+            checkpoint_every > 0
+                && completed > start_round
+                && completed.is_multiple_of(checkpoint_every)
+                && completed < total_rounds
+        };
+        let emit = |completed: usize, dataset: &Dataset, stats: &CrawlStats| {
+            if let Some(sink) = on_checkpoint {
+                sink(&self.make_checkpoint(
+                    plan_hash,
+                    base_day,
+                    completed,
+                    total_rounds,
+                    dataset,
+                    stats,
+                ));
+            }
+        };
 
         std::thread::scope(|scope| {
             let pool = (backend == CrawlBackend::WorkerPool)
-                .then(|| PersistentPool::start(scope, self, &stats));
+                .then(|| PersistentPool::start(scope, self, policy, &stats));
 
             // Reposition the virtual clock for a round: jump to the day
             // boundary at day starts (the schedule is strictly monotone, so
@@ -286,7 +515,23 @@ impl Crawler {
                 // barrier before the clock advance keeps every fetch of a
                 // round at the same virtual instant.
                 let mut pending: Option<(&RoundDesc, Vec<RoundResult>)> = None;
-                for round in &rounds {
+                for round in &rounds[start_round..] {
+                    // Checkpoints and stops happen with the pipeline
+                    // drained: absorb the in-flight round *before* this
+                    // round's dispatch would advance the clock and the
+                    // network's sequence counters past the boundary.
+                    let after_pending = completed_rounds + usize::from(pending.is_some());
+                    if after_pending >= stop_at || at_boundary(after_pending) {
+                        if let Some((prev, results)) = pending.take() {
+                            finish_round(prev, results, &mut dataset, &mut completed_rounds);
+                        }
+                        if at_boundary(completed_rounds) {
+                            emit(completed_rounds, &dataset, &stats);
+                        }
+                        if completed_rounds >= stop_at {
+                            break;
+                        }
+                    }
                     position_clock(round);
                     let expected = pool.dispatch(&round.term_arc, round.locs);
                     if let Some((prev, results)) = pending.take() {
@@ -300,26 +545,87 @@ impl Crawler {
                     finish_round(prev, results, &mut dataset, &mut completed_rounds);
                 }
             } else {
-                for round in &rounds {
+                for round in &rounds[start_round..] {
+                    if completed_rounds >= stop_at {
+                        break;
+                    }
                     position_clock(round);
                     let results = match backend {
-                        CrawlBackend::Serial => self.run_round_serial(round, &stats),
-                        CrawlBackend::SpawnPerRound => self.run_round_spawning(round, &stats),
+                        CrawlBackend::Serial => self.run_round_serial(round, policy, &stats),
+                        CrawlBackend::SpawnPerRound => {
+                            self.run_round_spawning(round, policy, &stats)
+                        }
                         CrawlBackend::WorkerPool => unreachable!("pool handled above"),
                     };
                     advance_clock();
                     finish_round(round, results, &mut dataset, &mut completed_rounds);
+                    if at_boundary(completed_rounds) {
+                        emit(completed_rounds, &dataset, &stats);
+                    }
                 }
             }
         });
 
-        dataset.meta.failed_jobs = stats.failed_jobs.load(Ordering::Relaxed);
-        dataset.meta.requests_issued = stats.requests_issued.load(Ordering::Relaxed);
-        dataset.meta.attempts = stats.attempts.load(Ordering::Relaxed);
-        dataset.meta.retries = stats.retries.load(Ordering::Relaxed);
-        dataset.meta.parse_failures = stats.parse_failures.load(Ordering::Relaxed);
-        dataset.meta.net_errors = stats.net_errors.load(Ordering::Relaxed);
-        dataset
+        stats.apply_to_meta(&mut dataset.meta);
+        Ok(dataset)
+    }
+
+    /// Assemble the cursor for `completed_rounds` rounds. Called at a round
+    /// boundary with the world idle: the clock sits post-advance of the
+    /// last absorbed round and no job of a later round has touched the
+    /// network.
+    fn make_checkpoint(
+        &self,
+        plan_hash: u64,
+        base_day: u32,
+        completed_rounds: usize,
+        total_rounds: usize,
+        dataset: &Dataset,
+        stats: &CrawlStats,
+    ) -> CrawlCheckpoint {
+        let mut dataset = dataset.clone();
+        stats.apply_to_meta(&mut dataset.meta);
+        let (drop_chance, corrupt_chance) = self.net.fault_rates();
+        CrawlCheckpoint {
+            version: CHECKPOINT_VERSION,
+            plan_hash,
+            seed: self.seed.value(),
+            base_day,
+            completed_rounds,
+            total_rounds,
+            clock_ms: self.net.clock().now().millis(),
+            net_cursor: self.net.seq_cursor(),
+            drop_chance,
+            corrupt_chance,
+            stats: stats.snapshot(),
+            dataset,
+        }
+    }
+
+    /// Engine-internal state (per-IP rate-limiter windows, the optional
+    /// SERP cache) is *not* part of the checkpoint cursor. That is sound
+    /// only when all of it decays fully within one inter-round wait, so a
+    /// resumed fresh world and an uninterrupted one agree at every round
+    /// boundary; refuse configurations where it wouldn't.
+    fn check_checkpoint_compatible(&self, plan: &ExperimentPlan) -> Result<(), CheckpointError> {
+        let wait_ms = plan.inter_query_wait_min.saturating_mul(60_000);
+        let cfg = self.engine.config();
+        if cfg.rate_limit_window_ms >= wait_ms {
+            return Err(CheckpointError::Mismatch(format!(
+                "rate-limit window ({} ms) must be shorter than the inter-query wait ({wait_ms} \
+                 ms) for checkpoint/resume equivalence",
+                cfg.rate_limit_window_ms
+            )));
+        }
+        if let Some(ttl) = cfg.serp_cache_ttl_ms {
+            if ttl >= wait_ms {
+                return Err(CheckpointError::Mismatch(format!(
+                    "SERP cache TTL ({ttl} ms) must be shorter than the inter-query wait \
+                     ({wait_ms} ms) for checkpoint/resume equivalence"
+                )));
+            }
+        }
+        Ok(())
     }
 
     /// Flatten a plan into its lock-step rounds, in execution order.
@@ -402,7 +708,12 @@ impl Crawler {
     }
 
     /// One round, in-order on the scheduler thread.
-    fn run_round_serial(&self, round: &RoundDesc, stats: &CrawlStats) -> Vec<RoundResult> {
+    fn run_round_serial(
+        &self,
+        round: &RoundDesc,
+        policy: &RetryPolicy,
+        stats: &CrawlStats,
+    ) -> Vec<RoundResult> {
         (0..round.locs.len() * 2)
             .map(|index| {
                 let machine = self.pool.assign(index);
@@ -412,6 +723,7 @@ impl Crawler {
                         machine,
                         &round.term.term,
                         round.locs[index / 2].coord,
+                        policy,
                         stats,
                     ),
                 )
@@ -421,7 +733,12 @@ impl Crawler {
 
     /// One round on the pre-pool strategy: spawn a scoped thread per busy
     /// machine, join at the round barrier. Benchmark baseline only.
-    fn run_round_spawning(&self, round: &RoundDesc, stats: &CrawlStats) -> Vec<RoundResult> {
+    fn run_round_spawning(
+        &self,
+        round: &RoundDesc,
+        policy: &RetryPolicy,
+        stats: &CrawlStats,
+    ) -> Vec<RoundResult> {
         let total = round.locs.len() * 2;
         // Group jobs by machine; one thread per machine keeps per-source
         // request order (and therefore the noise draws) deterministic.
@@ -443,7 +760,7 @@ impl Crawler {
                         let coord = round.locs[index / 2].coord;
                         local.push((
                             index,
-                            self.fetch_job(machine, &round.term.term, coord, stats),
+                            self.fetch_job(machine, &round.term.term, coord, policy, stats),
                         ));
                     }
                     collected.lock().extend(local);
@@ -454,42 +771,67 @@ impl Crawler {
     }
 
     /// One job: fresh browser, spoofed GPS, homepage + query, parse, retry
-    /// on damage, clear cookies.
+    /// on damage under the plan's [`RetryPolicy`], clear cookies.
     pub(crate) fn fetch_job(
         &self,
         machine: std::net::Ipv4Addr,
         term: &str,
         coord: Coord,
+        policy: &RetryPolicy,
         stats: &CrawlStats,
     ) -> Option<JobOutput> {
         let mut browser = Browser::new(Arc::clone(&self.net), machine);
-        for attempt in 0..3 {
-            stats.attempts.fetch_add(1, Ordering::Relaxed);
+        browser.max_attempts = policy.load_attempts.max(1) as usize;
+        // Backoff runs on a per-job ghost timeline: advancing the shared
+        // virtual clock mid-round would perturb the round's other jobs
+        // (every fetch of a lock-step round happens at the same virtual
+        // instant), so waits are accounted, not enacted.
+        let mut ghost_backoff_ms = 0u64;
+        let mut output = None;
+        for attempt in 0..policy.max_attempts.max(1) {
             if attempt > 0 {
+                let wait = policy.backoff_before(attempt);
+                if let Some(deadline) = policy.round_deadline_ms {
+                    if ghost_backoff_ms.saturating_add(wait) > deadline {
+                        // Graceful degradation: record the give-up and let
+                        // the job land as a failed_job rather than burning
+                        // the rest of the budget past the deadline.
+                        stats.deadline_giveups.fetch_add(1, Ordering::Relaxed);
+                        break;
+                    }
+                }
+                ghost_backoff_ms += wait;
                 stats.retries.fetch_add(1, Ordering::Relaxed);
             }
+            stats.attempts.fetch_add(1, Ordering::Relaxed);
             stats.requests_issued.fetch_add(2, Ordering::Relaxed);
             match browser.run_search_job(SEARCH_HOST, term, coord) {
                 Ok(fetch) => match geoserp_serp::parse(&fetch.body) {
                     Ok(page) => {
                         browser.clear_cookies();
-                        return Some(JobOutput {
+                        output = Some(JobOutput {
                             page,
                             datacenter: fetch.datacenter.unwrap_or_default(),
                         });
+                        break;
                     }
                     Err(_damaged) => {
                         stats.parse_failures.fetch_add(1, Ordering::Relaxed);
-                        continue; // corrupted body: refetch
+                        // corrupted body: refetch
                     }
                 },
                 Err(_net) => {
                     stats.net_errors.fetch_add(1, Ordering::Relaxed);
-                    continue;
                 }
             }
         }
-        None
+        stats
+            .backoff_ms
+            .fetch_add(ghost_backoff_ms, Ordering::Relaxed);
+        stats
+            .max_job_backoff_ms
+            .fetch_max(ghost_backoff_ms, Ordering::Relaxed);
+        output
     }
 }
 
@@ -726,5 +1068,236 @@ mod tests {
         );
         assert!(ds.meta.retries > 0, "5% fault rates must provoke retries");
         assert_eq!(ds.meta.requests_issued, 2 * ds.meta.attempts);
+        // Retries accumulate ghost backoff; no deadline is configured, so
+        // every job stays within the policy's attempt-budget worst case.
+        assert!(ds.meta.backoff_ms > 0);
+        assert_eq!(ds.meta.deadline_giveups, 0);
+        assert!(ds.meta.max_job_backoff_ms <= quick_plan().retry.worst_case_backoff_ms());
+    }
+
+    #[test]
+    fn stop_after_rounds_yields_exactly_that_many_rounds() {
+        for backend in [
+            CrawlBackend::Serial,
+            CrawlBackend::SpawnPerRound,
+            CrawlBackend::WorkerPool,
+        ] {
+            let crawler = Crawler::new(Seed::new(2015));
+            let mut opts = CrawlOptions::new(backend);
+            opts.stop_after_rounds = Some(7);
+            let ds = crawler
+                .run_with_options(&quick_plan(), opts, |_| {})
+                .unwrap();
+            // 7 rounds × 3 locations × 2 roles = 42 cells.
+            assert_eq!(
+                ds.observations().len() + ds.meta.failed_jobs as usize,
+                42,
+                "{backend:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn checkpoints_fire_at_every_interior_boundary() {
+        for backend in [CrawlBackend::Serial, CrawlBackend::WorkerPool] {
+            let crawler = Crawler::new(Seed::new(2015));
+            let seen = std::cell::RefCell::new(Vec::new());
+            let sink = |c: &CrawlCheckpoint| seen.borrow_mut().push(c.clone());
+            let mut opts = CrawlOptions::new(backend);
+            opts.checkpoint_every = 5;
+            opts.on_checkpoint = Some(&sink);
+            let ds = crawler
+                .run_with_options(&quick_plan(), opts, |_| {})
+                .unwrap();
+            let seen = seen.into_inner();
+            // 18 rounds, every 5: boundaries at 5, 10, 15 (18 itself is the
+            // finish line — the returned dataset supersedes it).
+            assert_eq!(
+                seen.iter().map(|c| c.completed_rounds).collect::<Vec<_>>(),
+                vec![5, 10, 15],
+                "{backend:?}"
+            );
+            for c in &seen {
+                assert_eq!(c.total_rounds, 18);
+                assert_eq!(c.seed, 2015);
+                // 6 jobs per round, each fully absorbed at the boundary.
+                assert_eq!(
+                    c.dataset.observations().len() + c.dataset.meta.failed_jobs as usize,
+                    c.completed_rounds * 6
+                );
+                // The boundary stats already live in the snapshot dataset.
+                assert_eq!(c.stats.attempts, c.dataset.meta.attempts);
+            }
+            // Checkpoint datasets are prefixes of the final dataset.
+            assert_eq!(
+                seen.last().unwrap().dataset.observations(),
+                &ds.observations()[..15 * 6]
+            );
+        }
+    }
+
+    #[test]
+    fn resume_is_byte_identical_to_an_uninterrupted_run() {
+        let plan = quick_plan();
+        let full =
+            Crawler::new(Seed::new(42)).run_with_backend(&plan, CrawlBackend::Serial, |_| {});
+        // Interrupted run: checkpoint every 4 rounds, killed after 10.
+        let last = std::cell::RefCell::new(None);
+        let sink = |c: &CrawlCheckpoint| *last.borrow_mut() = Some(c.clone());
+        let mut opts = CrawlOptions::new(CrawlBackend::Serial);
+        opts.checkpoint_every = 4;
+        opts.on_checkpoint = Some(&sink);
+        opts.stop_after_rounds = Some(10);
+        Crawler::new(Seed::new(42))
+            .run_with_options(&plan, opts, |_| {})
+            .unwrap();
+        let ckpt = last.into_inner().expect("a checkpoint was written");
+        assert_eq!(ckpt.completed_rounds, 8);
+        // Resume on a fresh same-seed world replays rounds 9..18.
+        let resumed = Crawler::new(Seed::new(42)).resume(ckpt, &plan).unwrap();
+        assert_eq!(resumed.to_json(), full.to_json());
+    }
+
+    #[test]
+    fn resume_does_not_double_count_partial_round_stats() {
+        // The kill happens mid-interval (round 10 of a 4-round cadence):
+        // rounds 9 and 10 were fetched by the interrupted run *after* the
+        // round-8 checkpoint, and are fetched again by the resume. The
+        // resumed meta must equal the uninterrupted run's — counting those
+        // rounds exactly once.
+        let plan = quick_plan();
+        let faulty = || {
+            Crawler::with_config_and_faults(
+                Seed::new(13),
+                EngineConfig::paper_defaults(),
+                0.10,
+                0.05,
+            )
+        };
+        let full = faulty().run_with_backend(&plan, CrawlBackend::Serial, |_| {});
+        let last = std::cell::RefCell::new(None);
+        let sink = |c: &CrawlCheckpoint| *last.borrow_mut() = Some(c.clone());
+        let mut opts = CrawlOptions::new(CrawlBackend::Serial);
+        opts.checkpoint_every = 4;
+        opts.on_checkpoint = Some(&sink);
+        opts.stop_after_rounds = Some(10);
+        faulty().run_with_options(&plan, opts, |_| {}).unwrap();
+        let resumed = faulty().resume(last.into_inner().unwrap(), &plan).unwrap();
+        assert_eq!(resumed.meta, full.meta, "attempts/retries counted once");
+        assert_eq!(resumed.to_json(), full.to_json());
+    }
+
+    #[test]
+    fn resume_on_a_used_world_is_refused() {
+        let plan = quick_plan();
+        let crawler = Crawler::new(Seed::new(42));
+        let last = std::cell::RefCell::new(None);
+        let sink = |c: &CrawlCheckpoint| *last.borrow_mut() = Some(c.clone());
+        let mut opts = CrawlOptions::new(CrawlBackend::Serial);
+        opts.checkpoint_every = 4;
+        opts.on_checkpoint = Some(&sink);
+        crawler.run_with_options(&plan, opts, |_| {}).unwrap();
+        // The same world's clock is now past the checkpoint.
+        let err = crawler
+            .resume(last.into_inner().unwrap(), &plan)
+            .unwrap_err();
+        assert!(matches!(err, CheckpointError::Mismatch(_)), "{err}");
+        assert!(err.to_string().contains("fresh world"), "{err}");
+    }
+
+    #[test]
+    fn resume_refuses_foreign_plan_seed_and_faults() {
+        let plan = quick_plan();
+        let last = std::cell::RefCell::new(None);
+        let sink = |c: &CrawlCheckpoint| *last.borrow_mut() = Some(c.clone());
+        let mut opts = CrawlOptions::new(CrawlBackend::Serial);
+        opts.checkpoint_every = 4;
+        opts.on_checkpoint = Some(&sink);
+        Crawler::new(Seed::new(42))
+            .run_with_options(&plan, opts, |_| {})
+            .unwrap();
+        let ckpt = last.into_inner().unwrap();
+
+        // Wrong plan.
+        let mut other_plan = plan.clone();
+        other_plan.retry.max_attempts = 5;
+        let err = Crawler::new(Seed::new(42))
+            .resume(ckpt.clone(), &other_plan)
+            .unwrap_err();
+        assert!(err.to_string().contains("different plan"), "{err}");
+
+        // Wrong seed.
+        let err = Crawler::new(Seed::new(43))
+            .resume(ckpt.clone(), &plan)
+            .unwrap_err();
+        assert!(err.to_string().contains("seed"), "{err}");
+
+        // Wrong fault configuration.
+        let err = Crawler::with_config_and_faults(
+            Seed::new(42),
+            EngineConfig::paper_defaults(),
+            0.5,
+            0.0,
+        )
+        .resume(ckpt, &plan)
+        .unwrap_err();
+        assert!(err.to_string().contains("fault rates"), "{err}");
+    }
+
+    #[test]
+    fn checkpointing_refuses_a_sticky_engine_config() {
+        // A SERP cache that outlives the inter-round wait would make a
+        // resumed (cold-cache) world diverge from an uninterrupted
+        // (warm-cache) one; engine state is not part of the cursor, so the
+        // combination is refused up front.
+        let cfg = EngineConfig::with_result_cache(20 * 60_000);
+        let crawler = Crawler::with_config(Seed::new(1), cfg);
+        let mut opts = CrawlOptions::new(CrawlBackend::Serial);
+        opts.checkpoint_every = 1;
+        let err = crawler
+            .run_with_options(&quick_plan(), opts, |_| {})
+            .unwrap_err();
+        assert!(err.to_string().contains("SERP cache"), "{err}");
+    }
+
+    #[test]
+    fn a_zero_deadline_forbids_all_retries() {
+        let mut plan = quick_plan();
+        plan.retry.round_deadline_ms = Some(0);
+        let crawler = Crawler::with_config_and_faults(
+            Seed::new(5),
+            EngineConfig::paper_defaults(),
+            0.5, // heavy loss: some jobs exhaust even the browser's retries
+            0.0,
+        );
+        let ds = crawler.run(&plan);
+        // Every job gets exactly one attempt; failures degrade gracefully
+        // to recorded failed_jobs instead of retrying past the deadline.
+        assert_eq!(ds.meta.attempts, 108);
+        assert_eq!(ds.meta.retries, 0);
+        assert_eq!(ds.meta.backoff_ms, 0);
+        assert!(ds.meta.deadline_giveups > 0);
+        assert_eq!(ds.meta.deadline_giveups, ds.meta.failed_jobs);
+        // The accounting identity survives deadline give-ups.
+        assert_eq!(
+            ds.meta.parse_failures + ds.meta.net_errors,
+            ds.meta.retries + ds.meta.failed_jobs
+        );
+        // Completeness: every cell is an observation or a failed job.
+        assert_eq!(ds.observations().len() + ds.meta.failed_jobs as usize, 108);
+    }
+
+    #[test]
+    fn retry_policy_is_inert_on_a_clean_network() {
+        // Changing backoff parameters must not perturb a faultless crawl —
+        // the defaults promise byte-compatibility with the historical
+        // hard-coded behaviour.
+        let mut plan = quick_plan();
+        let a = Crawler::new(Seed::new(11)).run(&plan);
+        plan.retry.backoff_base_ms = 9_999;
+        plan.retry.round_deadline_ms = Some(1);
+        let b = Crawler::new(Seed::new(11)).run(&plan);
+        assert_eq!(a.observations(), b.observations());
+        assert_eq!(a.meta.attempts, b.meta.attempts);
     }
 }

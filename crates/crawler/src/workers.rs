@@ -15,6 +15,7 @@
 //! rounds on the scheduler thread — so a pooled crawl is byte-identical to a
 //! serial one.
 
+use crate::retry::RetryPolicy;
 use crate::run::{CrawlStats, Crawler, JobOutput};
 use geoserp_geo::{Coord, Location};
 use std::sync::mpsc;
@@ -72,6 +73,7 @@ impl PersistentPool {
     pub fn start<'scope, 'env: 'scope>(
         scope: &'scope Scope<'scope, 'env>,
         crawler: &'env Crawler,
+        policy: &'env RetryPolicy,
         stats: &'env CrawlStats,
     ) -> Self {
         let machines = crawler.pool().ips();
@@ -87,7 +89,7 @@ impl PersistentPool {
                 // serial per-source request order exactly.
                 while let Ok(batch) = rx.recv() {
                     for job in batch {
-                        let out = crawler.fetch_job(machine, &job.term, job.coord, stats);
+                        let out = crawler.fetch_job(machine, &job.term, job.coord, policy, stats);
                         if results_tx.send((job.index, out)).is_err() {
                             return; // scheduler gone; shut down
                         }

@@ -56,6 +56,16 @@ impl FaultInjector {
         Self::new(seed, 0.0, 0.0)
     }
 
+    /// The configured drop probability.
+    pub fn drop_chance(&self) -> f64 {
+        self.drop_chance
+    }
+
+    /// The configured corruption probability.
+    pub fn corrupt_chance(&self) -> f64 {
+        self.corrupt_chance
+    }
+
     /// True if any fault can ever fire.
     pub fn is_active(&self) -> bool {
         self.drop_chance > 0.0 || self.corrupt_chance > 0.0

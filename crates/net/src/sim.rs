@@ -153,6 +153,36 @@ impl SimNet {
         &self.log
     }
 
+    /// The fault injector's `(drop_chance, corrupt_chance)` configuration —
+    /// checkpoints record it so a resume can verify the rebuilt world runs
+    /// under the same loss model.
+    pub fn fault_rates(&self) -> (f64, f64) {
+        (self.faults.drop_chance(), self.faults.corrupt_chance())
+    }
+
+    /// Snapshot of the per-source request counters, sorted by source
+    /// address. Together with the virtual clock this *is* the simulator's
+    /// stream position: fault decisions, latency, and every seeded noise
+    /// draw downstream are pure functions of `(source, sequence, time)`, so
+    /// restoring the cursor replays the exact same randomness.
+    pub fn seq_cursor(&self) -> Vec<(Ipv4Addr, u32)> {
+        let counters = self.seq_per_src.lock();
+        let mut cursor: Vec<(Ipv4Addr, u32)> = counters.iter().map(|(&ip, &c)| (ip, c)).collect();
+        cursor.sort_unstable_by_key(|(ip, _)| u32::from_be_bytes(ip.octets()));
+        cursor
+    }
+
+    /// Restore per-source request counters from [`SimNet::seq_cursor`].
+    /// Sources absent from the cursor are reset to zero (a fresh world has
+    /// no counters at all, so a full overwrite is the faithful restore).
+    pub fn restore_seq_cursor(&self, cursor: &[(Ipv4Addr, u32)]) {
+        let mut counters = self.seq_per_src.lock();
+        counters.clear();
+        for &(ip, c) in cursor {
+            counters.insert(ip, c);
+        }
+    }
+
     /// Attach a server at an address.
     pub fn register_server(&self, addr: Ipv4Addr, server: Arc<dyn Server>) {
         self.servers.write().insert(addr, server);
@@ -454,6 +484,53 @@ mod tests {
             .request(ip("10.0.0.9"), &Request::get("svc.example", "/"))
             .is_ok());
         net.set_timeout_ms(None);
+    }
+
+    #[test]
+    fn seq_cursor_roundtrips_and_replays_the_stream() {
+        // Two worlds, same seed. World A issues 5 requests, snapshots its
+        // cursor; world B restores the cursor and must see the exact RTTs
+        // (i.e. the same stream positions) world A sees next.
+        let mk = || {
+            let net = SimNet::new(Seed::new(21));
+            net.register_service("svc.example", &[ip("10.1.0.1")], echo_server());
+            net
+        };
+        let a = mk();
+        let req = Request::get("svc.example", "/");
+        for _ in 0..5 {
+            a.request(ip("10.0.0.9"), &req).unwrap();
+        }
+        a.request(ip("10.0.0.10"), &req).unwrap();
+        let cursor = a.seq_cursor();
+        assert_eq!(cursor, vec![(ip("10.0.0.9"), 5), (ip("10.0.0.10"), 1)]);
+
+        let b = mk();
+        b.restore_seq_cursor(&cursor);
+        for _ in 0..3 {
+            let (_, rtt_a) = a.request(ip("10.0.0.9"), &req).unwrap();
+            let (_, rtt_b) = b.request(ip("10.0.0.9"), &req).unwrap();
+            assert_eq!(rtt_a, rtt_b, "restored cursor must replay the stream");
+        }
+    }
+
+    #[test]
+    fn restore_seq_cursor_overwrites_stale_counters() {
+        let net = SimNet::new(Seed::new(22));
+        net.register_service("svc.example", &[ip("10.1.0.1")], echo_server());
+        net.request(ip("10.0.0.9"), &Request::get("svc.example", "/"))
+            .unwrap();
+        net.restore_seq_cursor(&[(ip("10.0.0.10"), 7)]);
+        assert_eq!(net.seq_cursor(), vec![(ip("10.0.0.10"), 7)]);
+    }
+
+    #[test]
+    fn fault_rates_are_exposed() {
+        assert_eq!(SimNet::new(Seed::new(1)).fault_rates(), (0.0, 0.0));
+        assert_eq!(
+            SimNet::with_faults(Seed::new(1), 0.25, 0.1).fault_rates(),
+            (0.25, 0.1)
+        );
     }
 
     #[test]

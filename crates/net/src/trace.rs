@@ -3,6 +3,16 @@
 //! Bounded ring buffer so long studies don't grow without limit; the crawler
 //! and tests read it to assert operational properties (e.g. "all queries hit
 //! the pinned datacenter", "no request was rate-limited").
+//!
+//! **Windowed, not total.** Because the buffer is bounded, every query over
+//! retained events — [`EventLog::snapshot`], [`EventLog::count_where`], the
+//! exports — sees only the most recent `capacity` events. In particular a
+//! drop/corruption count taken with `count_where` after a long crawl is a
+//! *windowed* count, not a lifetime total; once more than `capacity` events
+//! have been recorded, older faults have been evicted. The only lifetime
+//! counter is [`EventLog::total_recorded`]. Code that needs exact lifetime
+//! fault totals must keep its own counters (the crawler's `CrawlStats` does
+//! exactly this for retries, net errors, and parse failures).
 
 use crate::clock::SimInstant;
 use parking_lot::Mutex;

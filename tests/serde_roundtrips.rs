@@ -116,3 +116,96 @@ fn corpus_roundtrips_and_is_equivalent_for_search() {
     };
     assert_eq!(engine_a.search(&ctx), engine_b.search(&ctx));
 }
+
+#[test]
+fn crawl_checkpoint_roundtrips() {
+    use geoserp::crawler::{CrawlBackend, CrawlCheckpoint, CrawlOptions};
+    use std::cell::RefCell;
+
+    // Produce a real mid-crawl checkpoint (not a hand-built one): kill a
+    // small crawl at round 4 with a boundary every 2 rounds.
+    let plan = ExperimentPlan {
+        days: 1,
+        queries_per_category: Some(1),
+        locations_per_granularity: Some(2),
+        ..ExperimentPlan::quick()
+    };
+    let crawler = Study::builder()
+        .seed(21)
+        .plan(plan.clone())
+        .build()
+        .crawler();
+    let last: RefCell<Option<CrawlCheckpoint>> = RefCell::new(None);
+    let sink = |c: &CrawlCheckpoint| *last.borrow_mut() = Some(c.clone());
+    let mut opts = CrawlOptions::new(CrawlBackend::Serial);
+    opts.checkpoint_every = 2;
+    opts.on_checkpoint = Some(&sink);
+    opts.stop_after_rounds = Some(4);
+    crawler.run_with_options(&plan, opts, |_| {}).unwrap();
+    let ckpt = last.into_inner().expect("a checkpoint at round 4");
+
+    // JSON round-trip preserves the digest (and with it every field the
+    // digest covers — the whole serialized cursor).
+    let back = CrawlCheckpoint::from_json(&ckpt.to_json()).unwrap();
+    assert_eq!(ckpt.digest(), back.digest());
+    assert_eq!(back.completed_rounds, 4);
+    assert_eq!(back.version, geoserp::crawler::CHECKPOINT_VERSION);
+
+    // File round-trip via the atomic save path.
+    let path = std::env::temp_dir().join(format!("geoserp-sr-ck-{}.json", std::process::id()));
+    ckpt.save(&path).unwrap();
+    let loaded = CrawlCheckpoint::load(&path).unwrap();
+    assert_eq!(ckpt.digest(), loaded.digest());
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn crawl_checkpoint_rejects_damaged_files_cleanly() {
+    use geoserp::crawler::{CheckpointError, CrawlCheckpoint};
+
+    // Truncation at any byte must yield a clean parse error, never a panic
+    // and never a silently-short checkpoint.
+    let plan = ExperimentPlan {
+        days: 1,
+        queries_per_category: Some(1),
+        locations_per_granularity: Some(1),
+        batches: vec![vec![QueryCategory::Local]],
+        ..ExperimentPlan::quick()
+    };
+    let crawler = Study::builder()
+        .seed(3)
+        .plan(plan.clone())
+        .build()
+        .crawler();
+    use geoserp::crawler::{CrawlBackend, CrawlOptions};
+    use std::cell::RefCell;
+    let last: RefCell<Option<CrawlCheckpoint>> = RefCell::new(None);
+    let sink = |c: &CrawlCheckpoint| *last.borrow_mut() = Some(c.clone());
+    let mut opts = CrawlOptions::new(CrawlBackend::Serial);
+    opts.checkpoint_every = 1;
+    opts.on_checkpoint = Some(&sink);
+    opts.stop_after_rounds = Some(1);
+    crawler.run_with_options(&plan, opts, |_| {}).unwrap();
+    let json = last.into_inner().unwrap().to_json();
+
+    for cut in [0, 1, json.len() / 2, json.len() - 1] {
+        let err = CrawlCheckpoint::from_json(&json[..cut]).unwrap_err();
+        assert!(
+            matches!(err, CheckpointError::Parse(_)),
+            "cut at {cut}: expected a parse error, got {err}"
+        );
+    }
+
+    // Valid JSON that isn't a checkpoint fails just as cleanly from disk.
+    let path = std::env::temp_dir().join(format!("geoserp-sr-bad-{}.json", std::process::id()));
+    std::fs::write(&path, "{\"not\": \"a checkpoint\"}").unwrap();
+    assert!(matches!(
+        CrawlCheckpoint::load(&path),
+        Err(CheckpointError::Parse(_))
+    ));
+    std::fs::remove_file(&path).ok();
+    assert!(matches!(
+        CrawlCheckpoint::load(&path),
+        Err(CheckpointError::Io(_))
+    ));
+}
