@@ -1,0 +1,98 @@
+//! `obs_overhead` — wall-clock cost of the observability layer.
+//!
+//! Runs the medium plan on the worker-pool backend twice per repetition —
+//! once against a live [`ObsHub`] (metrics + spans recording) and once
+//! against [`ObsHub::disabled`] (every handle a no-op) — verifies the two
+//! datasets are byte-identical, and writes `BENCH_obs.json` with the
+//! overhead percentage against a 3% target. The target is recorded as
+//! `within_target` rather than enforced with an exit code: CI containers
+//! are noisy, and the tracked artifact is the trend.
+//!
+//! Output path defaults to `BENCH_obs.json`; override with the first CLI
+//! argument. `GEOSERP_SEED` selects the world seed as elsewhere.
+
+use geoserp_bench::{seed_from_env, Scale};
+use geoserp_core::crawler::CrawlBackend;
+use geoserp_core::obs::ObsHub;
+use geoserp_core::prelude::*;
+use serde_json::json;
+use std::sync::Arc;
+use std::time::Instant;
+
+const REPS: usize = 5;
+const TARGET_PCT: f64 = 3.0;
+
+/// One timed quick-plan crawl under the given hub. Returns wall seconds,
+/// the dataset JSON, and the hub (for post-run counts).
+fn timed_run(plan: &ExperimentPlan, seed: u64, obs: Arc<ObsHub>) -> (f64, String) {
+    let crawler = Crawler::with_config_faults_and_obs(
+        Seed::new(seed),
+        EngineConfig::paper_defaults(),
+        0.0,
+        0.0,
+        obs,
+    );
+    let started = Instant::now();
+    let dataset = crawler.run_with_backend(plan, CrawlBackend::WorkerPool, |_| {});
+    (started.elapsed().as_secs_f64(), dataset.to_json())
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_obs.json".to_string());
+    let seed = seed_from_env();
+    // Medium scale (~10k SERPs, seconds not milliseconds): the quick plan
+    // finishes in ~0.15 s, where scheduler noise on shared runners swamps
+    // the effect being measured.
+    let plan = Scale::Medium.plan();
+
+    // Warm-up run (allocator, page cache) — discarded.
+    timed_run(&plan, seed, Arc::new(ObsHub::disabled()));
+
+    let mut plain_best = f64::INFINITY;
+    let mut instr_best = f64::INFINITY;
+    let mut byte_identical = true;
+    let mut counters = 0usize;
+    let mut spans = 0u64;
+    for rep in 0..REPS {
+        let (plain_s, plain_json) = timed_run(&plan, seed, Arc::new(ObsHub::disabled()));
+        let hub = Arc::new(ObsHub::new());
+        let (instr_s, instr_json) = timed_run(&plan, seed, Arc::clone(&hub));
+        byte_identical &= plain_json == instr_json;
+        plain_best = plain_best.min(plain_s);
+        instr_best = instr_best.min(instr_s);
+        counters = hub.snapshot().counters.len();
+        spans = hub.spans().total_recorded();
+        eprintln!("[obs-overhead] rep {rep}: disabled {plain_s:.3}s  instrumented {instr_s:.3}s");
+    }
+    assert!(
+        byte_identical,
+        "instrumented and uninstrumented datasets diverged — observability must not perturb the crawl"
+    );
+
+    let overhead_pct = 100.0 * (instr_best - plain_best) / plain_best;
+    let within_target = overhead_pct < TARGET_PCT;
+    eprintln!(
+        "[obs-overhead] best-of-{REPS}: disabled {plain_best:.3}s  instrumented {instr_best:.3}s  \
+         overhead {overhead_pct:+.2}% (target <{TARGET_PCT}%: {within_target})"
+    );
+
+    let report = json!({
+        "seed": seed,
+        "scale": "medium",
+        "backend": "worker_pool",
+        "reps": REPS as u64,
+        "uninstrumented_best_s": plain_best,
+        "instrumented_best_s": instr_best,
+        "overhead_pct": overhead_pct,
+        "target_pct": TARGET_PCT,
+        "within_target": within_target,
+        "byte_identical": byte_identical,
+        "registered_counters": counters as u64,
+        "spans_recorded": spans,
+    });
+    let rendered = serde_json::to_string_pretty(&report).expect("bench report serializes");
+    std::fs::write(&out_path, rendered).expect("write bench report");
+    eprintln!("[obs-overhead] wrote {out_path}");
+}

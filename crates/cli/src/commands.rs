@@ -76,8 +76,20 @@ COMMANDS:
                    --round-deadline-ms MS  per-job ghost-time budget; jobs
                                            that can't afford their next
                                            backoff degrade to failed_job
+                 observability (virtual-clock spans + metrics registry):
+                   --metrics-out FILE      write the run's metrics; a .json
+                                           path gets the snapshot JSON that
+                                           `geoserp report` reads, any other
+                                           path Prometheus text exposition
+                   --trace-out FILE        write Chrome trace-event JSON
+                                           (load in Perfetto or
+                                           chrome://tracing)
     analyze      rerun every figure over a saved dataset
                    <file>          dataset JSON from `run --save`
+    report       print the per-stage observability breakdown
+                   <file>          a metrics snapshot from
+                                   `run --metrics-out FILE.json`, or a saved
+                                   dataset (crawl counters from its metadata)
     compare      run a study and print the paper-vs-measured markdown
                  comparison with shape verdicts
                    --seed N / --scale S as above
@@ -166,13 +178,27 @@ pub fn cmd_run(args: &ParsedArgs) -> Result<String, CliError> {
     }
 
     let quiet = args.has("quiet");
+    // One observability hub for the whole pipeline: the crawler shares it
+    // with the engine and the network simulator, and the figure report adds
+    // its per-figure timings — so `--metrics-out` covers every stage.
+    let obs = std::sync::Arc::new(geoserp_core::obs::ObsHub::new());
+    let crawler = study.crawler_with_obs(std::sync::Arc::clone(&obs));
+    let plan = study.plan();
     let (dataset, notes) = if ckpt_file.is_some() || resume_file.is_some() || max_rounds.is_some() {
-        run_checkpointed(&study, quiet, ckpt_file, resume_file, every, max_rounds)?
+        run_checkpointed(
+            &crawler,
+            plan,
+            quiet,
+            ckpt_file,
+            resume_file,
+            every,
+            max_rounds,
+        )?
     } else {
         let ds = if quiet {
-            study.run()
+            crawler.run(plan)
         } else {
-            run_with_live_progress(&study)
+            run_with_live_progress(&crawler, plan)
         };
         (ds, String::new())
     };
@@ -182,7 +208,7 @@ pub fn cmd_run(args: &ParsedArgs) -> Result<String, CliError> {
     let mut out = if max_rounds.is_some() {
         partial_summary(&dataset)
     } else {
-        study.report(&dataset)
+        geoserp_core::report::full_report_with_obs(&dataset, Some(&obs))
     };
     out.push_str(&notes);
     if let Some(dir) = args.get("export") {
@@ -195,21 +221,39 @@ pub fn cmd_run(args: &ParsedArgs) -> Result<String, CliError> {
             "(dataset saved to {file}; re-analyze with `geoserp analyze {file}`)\n"
         ));
     }
+    if let Some(file) = args.get("metrics-out") {
+        let snap = obs.snapshot();
+        let body = if file.ends_with(".json") {
+            snap.to_json()
+        } else {
+            snap.to_prometheus()
+        };
+        std::fs::write(file, body)?;
+        out.push_str(&format!(
+            "(metrics written to {file}; render with `geoserp report {file}`)\n"
+        ));
+    }
+    if let Some(file) = args.get("trace-out") {
+        let trace = geoserp_core::obs::to_chrome_trace(&obs.spans().snapshot());
+        std::fs::write(file, trace)?;
+        out.push_str(&format!(
+            "(trace written to {file}; load in Perfetto or chrome://tracing)\n"
+        ));
+    }
     Ok(out)
 }
 
 /// Drive a crawl that checkpoints, resumes, and/or stops early. Returns the
 /// dataset plus status notes to append after the report.
 fn run_checkpointed(
-    study: &Study,
+    crawler: &Crawler,
+    plan: &ExperimentPlan,
     quiet: bool,
     ckpt_file: Option<&str>,
     resume_file: Option<&str>,
     every: usize,
     max_rounds: Option<usize>,
 ) -> Result<(Dataset, String), CliError> {
-    let crawler = study.crawler();
-    let plan = study.plan();
     let mut notes = String::new();
 
     let mut opts = CrawlOptions::new(CrawlBackend::from_plan_flag(plan.parallel));
@@ -289,10 +333,10 @@ fn partial_summary(dataset: &Dataset) -> String {
 /// Run the study printing a live per-round status line to stderr. The
 /// callback fires on the scheduler thread between rounds, so printing never
 /// perturbs the crawl's determinism; stdout stays clean for the report.
-fn run_with_live_progress(study: &Study) -> Dataset {
+fn run_with_live_progress(crawler: &Crawler, plan: &ExperimentPlan) -> Dataset {
     let started = std::time::Instant::now();
     let rounds = std::cell::Cell::new(0usize);
-    let dataset = study.run_with_progress(|p| {
+    let dataset = crawler.run_with_progress(plan, |p| {
         rounds.set(p.completed_rounds);
         // Overwrite one stderr line; repaint at most ~1% of rounds so huge
         // plans don't spend their time in the terminal.
@@ -326,6 +370,55 @@ pub fn cmd_analyze(args: &ParsedArgs) -> Result<String, CliError> {
     let dataset = Dataset::from_json(&json)
         .map_err(|e| CliError::Invalid(format!("{file}: not a geoserp dataset: {e}")))?;
     Ok(geoserp_core::report::full_report(&dataset))
+}
+
+/// `geoserp report <file>` — print the per-stage observability breakdown.
+/// Accepts either a metrics snapshot written by `run --metrics-out x.json`
+/// or a saved dataset (whose crawl counters live in its metadata).
+pub fn cmd_report(args: &ParsedArgs) -> Result<String, CliError> {
+    let file = args.positional.first().ok_or_else(|| {
+        CliError::Invalid("report needs a metrics snapshot or dataset file".into())
+    })?;
+    let json = std::fs::read_to_string(file)?;
+    if let Ok(snap) = geoserp_core::obs::MetricsSnapshot::from_json(&json) {
+        return Ok(geoserp_core::obs::render_run_report(&snap));
+    }
+    let dataset = Dataset::from_json(&json).map_err(|e| {
+        CliError::Invalid(format!(
+            "{file}: neither a metrics snapshot nor a geoserp dataset: {e}"
+        ))
+    })?;
+    Ok(geoserp_core::obs::render_run_report(&snapshot_from_meta(
+        &dataset,
+    )))
+}
+
+/// Rebuild the crawl-stage counters a live run registers from a saved
+/// dataset's metadata, so `geoserp report` renders the same `[crawler]`
+/// section for datasets as for metrics snapshots.
+fn snapshot_from_meta(dataset: &Dataset) -> geoserp_core::obs::MetricsSnapshot {
+    let mut snap = geoserp_core::obs::MetricsSnapshot::default();
+    let m = &dataset.meta;
+    let jobs = dataset.observations().len() as u64 + m.failed_jobs;
+    for (name, value) in [
+        ("crawler.jobs", jobs),
+        ("crawler.requests_issued", m.requests_issued),
+        ("crawler.attempts", m.attempts),
+        ("crawler.retries", m.retries),
+        ("crawler.parse_failures", m.parse_failures),
+        ("crawler.net_errors", m.net_errors),
+        ("crawler.rate_limited", m.rate_limited),
+        ("crawler.failed_jobs", m.failed_jobs),
+        ("crawler.deadline_giveups", m.deadline_giveups),
+        ("crawler.backoff_ms_total", m.backoff_ms),
+    ] {
+        snap.counters.insert(name.to_string(), value);
+    }
+    snap.gauges.insert(
+        "crawler.max_job_backoff_ms".to_string(),
+        m.max_job_backoff_ms as i64,
+    );
+    snap
 }
 
 /// `geoserp compare` — run a study and emit the paper-vs-measured markdown
@@ -551,10 +644,120 @@ mod tests {
                 "retry-attempts",
                 "retry-backoff-ms",
                 "round-deadline-ms",
+                "metrics-out",
+                "trace-out",
             ],
             &["quiet"],
         )
         .unwrap()
+    }
+
+    #[test]
+    fn run_writes_metrics_and_trace_and_report_reconciles() {
+        let dir = std::env::temp_dir();
+        let tag = format!("{}-obs", std::process::id());
+        let metrics = dir.join(format!("geoserp-metrics-{tag}.json"));
+        let prom = dir.join(format!("geoserp-metrics-{tag}.prom"));
+        let trace = dir.join(format!("geoserp-trace-{tag}.json"));
+        let ds_file = dir.join(format!("geoserp-ds-{tag}.json"));
+        let (metricss, proms, traces, dss) = (
+            metrics.to_string_lossy().to_string(),
+            prom.to_string_lossy().to_string(),
+            trace.to_string_lossy().to_string(),
+            ds_file.to_string_lossy().to_string(),
+        );
+
+        let out = cmd_run(&run_args(&format!(
+            "run --scale quick --seed 6 --quiet --save {dss} \
+             --metrics-out {metricss} --trace-out {traces}"
+        )))
+        .unwrap();
+        assert!(out.contains("metrics written"), "{out}");
+        assert!(out.contains("trace written"), "{out}");
+
+        // The trace is Chrome trace-event JSON with crawler spans.
+        let trace_json = std::fs::read_to_string(&trace).unwrap();
+        assert!(trace_json.contains("\"traceEvents\""), "not a chrome trace");
+        assert!(trace_json.contains("crawler.round"));
+        assert!(trace_json.contains("crawler.job"));
+        assert!(trace_json.contains("crawler.attempt"));
+
+        // `geoserp report` renders the snapshot, and its crawler totals
+        // reconcile with the dataset's CrawlStats-derived metadata.
+        let p = parse(&argv(&format!("report {metricss}")), &[], &[]).unwrap();
+        let report = cmd_report(&p).unwrap();
+        assert!(report.contains("[crawler]"), "{report}");
+        assert!(report.contains("[engine]"), "{report}");
+        assert!(report.contains("[net]"), "{report}");
+        assert!(report.contains("[latency]"), "{report}");
+        let dataset = Dataset::from_json(&std::fs::read_to_string(&ds_file).unwrap()).unwrap();
+        let snap = geoserp_core::obs::MetricsSnapshot::from_json(
+            &std::fs::read_to_string(&metrics).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(snap.counters["crawler.attempts"], dataset.meta.attempts);
+        assert_eq!(
+            snap.counters["crawler.requests_issued"],
+            dataset.meta.requests_issued
+        );
+        assert_eq!(
+            snap.counters["crawler.failed_jobs"],
+            dataset.meta.failed_jobs
+        );
+        assert_eq!(
+            snap.counters["crawler.jobs"],
+            dataset.observations().len() as u64 + dataset.meta.failed_jobs
+        );
+        assert!(report.contains(&dataset.meta.attempts.to_string()));
+
+        // A non-.json metrics path gets Prometheus text exposition.
+        let out = cmd_run(&run_args(&format!(
+            "run --scale quick --seed 6 --quiet --metrics-out {proms}"
+        )))
+        .unwrap();
+        assert!(out.contains("metrics written"), "{out}");
+        let text = std::fs::read_to_string(&prom).unwrap();
+        assert!(text.contains("# TYPE geoserp_crawler_attempts counter"));
+        assert!(text.contains("geoserp_net_rtt_ms_bucket{le=\"+Inf\"}"));
+
+        for f in [&metrics, &prom, &trace, &ds_file] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    #[test]
+    fn report_renders_crawl_counters_from_a_saved_dataset() {
+        let dir = std::env::temp_dir();
+        let ds_file = dir.join(format!("geoserp-dsrep-{}.json", std::process::id()));
+        let dss = ds_file.to_string_lossy().to_string();
+        cmd_run(&run_args(&format!(
+            "run --scale quick --seed 8 --quiet --save {dss}"
+        )))
+        .unwrap();
+        let p = parse(&argv(&format!("report {dss}")), &[], &[]).unwrap();
+        let report = cmd_report(&p).unwrap();
+        assert!(report.contains("[crawler]"), "{report}");
+        assert!(report.contains("attempts"), "{report}");
+        let dataset = Dataset::from_json(&std::fs::read_to_string(&ds_file).unwrap()).unwrap();
+        assert!(report.contains(&dataset.meta.attempts.to_string()));
+        std::fs::remove_file(&ds_file).ok();
+    }
+
+    #[test]
+    fn report_rejects_garbage_and_requires_a_file() {
+        let p = parse(&argv("report"), &[], &[]).unwrap();
+        assert!(matches!(cmd_report(&p), Err(CliError::Invalid(_))));
+        let file = std::env::temp_dir().join(format!("geoserp-repbad-{}.json", std::process::id()));
+        std::fs::write(&file, "{\"not\": \"a snapshot\"}").unwrap();
+        let p = parse(
+            &argv(&format!("report {}", file.to_string_lossy())),
+            &[],
+            &[],
+        )
+        .unwrap();
+        let err = cmd_report(&p).unwrap_err();
+        assert!(err.to_string().contains("neither"), "{err}");
+        std::fs::remove_file(&file).ok();
     }
 
     #[test]

@@ -7,7 +7,8 @@ mod args;
 mod commands;
 
 use commands::{
-    cmd_analyze, cmd_compare, cmd_export, cmd_probe, cmd_run, cmd_validate, CliError, HELP,
+    cmd_analyze, cmd_compare, cmd_export, cmd_probe, cmd_report, cmd_run, cmd_validate, CliError,
+    HELP,
 };
 
 fn dispatch(argv: &[String]) -> Result<String, CliError> {
@@ -29,6 +30,8 @@ fn dispatch(argv: &[String]) -> Result<String, CliError> {
                     "retry-attempts",
                     "retry-backoff-ms",
                     "round-deadline-ms",
+                    "metrics-out",
+                    "trace-out",
                 ],
                 &["quiet"],
             )?;
@@ -37,6 +40,10 @@ fn dispatch(argv: &[String]) -> Result<String, CliError> {
         "analyze" => {
             let p = args::parse(argv, &[], &[])?;
             cmd_analyze(&p)
+        }
+        "report" => {
+            let p = args::parse(argv, &[], &[])?;
+            cmd_report(&p)
         }
         "compare" => {
             let p = args::parse(argv, &["seed", "scale"], &[])?;

@@ -4,7 +4,7 @@
 //! One import for the whole framework: build a [`Study`], run it, analyze
 //! it. The subsystem crates remain available under short module names
 //! ([`geo`], [`corpus`], [`net`], [`engine`], [`browser`], [`serp`],
-//! [`metrics`], [`crawler`], [`analysis`]).
+//! [`metrics`], [`obs`], [`crawler`], [`analysis`]).
 //!
 //! ```
 //! use geoserp_core::prelude::*;
@@ -24,6 +24,7 @@ pub use geoserp_engine as engine;
 pub use geoserp_geo as geo;
 pub use geoserp_metrics as metrics;
 pub use geoserp_net as net;
+pub use geoserp_obs as obs;
 pub use geoserp_serp as serp;
 
 pub mod report;

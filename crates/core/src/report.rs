@@ -6,10 +6,31 @@ use geoserp_analysis::{
 use geoserp_corpus::QueryCategory;
 use geoserp_crawler::Dataset;
 use geoserp_geo::Granularity;
+use geoserp_obs::ObsHub;
+
+/// Run `f`, recording its host wall time into an `analysis.<name>_wall_us`
+/// gauge when a hub is given. The `_wall_` marker keeps these out of
+/// deterministic snapshots — analysis output itself is unaffected.
+fn timed<T>(obs: Option<&ObsHub>, name: &str, f: impl FnOnce() -> T) -> T {
+    let started = std::time::Instant::now();
+    let out = f();
+    if let Some(hub) = obs {
+        hub.metrics()
+            .gauge(&format!("analysis.{name}_wall_us"))
+            .set(started.elapsed().as_micros() as i64);
+    }
+    out
+}
 
 /// Render all of §3's figures for a dataset into one plain-text report.
 pub fn full_report(dataset: &Dataset) -> String {
-    let idx = ObsIndex::new(dataset);
+    full_report_with_obs(dataset, None)
+}
+
+/// Like [`full_report`], but additionally records per-figure compute time
+/// into `analysis.*` gauges on the given observability hub.
+pub fn full_report_with_obs(dataset: &Dataset, obs: Option<&ObsHub>) -> String {
+    let idx = timed(obs, "obs_index", || ObsIndex::new(dataset));
     let mut out = String::new();
 
     out.push_str("================ geoserp study report ================\n");
@@ -21,63 +42,74 @@ pub fn full_report(dataset: &Dataset) -> String {
     ));
 
     out.push_str("---- Fig. 2: noise by query type and granularity ----\n");
-    out.push_str(&noise::render_fig2(&noise::fig2_noise(&idx)));
+    out.push_str(&timed(obs, "fig2_noise", || {
+        noise::render_fig2(&noise::fig2_noise(&idx))
+    }));
     out.push('\n');
 
     out.push_str("---- Fig. 3: noise per local term ----\n");
-    out.push_str(&noise::render_term_series(&noise::fig3_noise_per_term(
-        &idx,
-        QueryCategory::Local,
-    )));
+    out.push_str(&timed(obs, "fig3_noise_per_term", || {
+        noise::render_term_series(&noise::fig3_noise_per_term(&idx, QueryCategory::Local))
+    }));
     out.push('\n');
 
     out.push_str("---- Fig. 4: noise by result type (local, county) ----\n");
-    out.push_str(&attribution::render_fig4(&attribution::fig4_noise_by_type(
-        &idx,
-        QueryCategory::Local,
-        Granularity::County,
-    )));
+    out.push_str(&timed(obs, "fig4_noise_by_type", || {
+        attribution::render_fig4(&attribution::fig4_noise_by_type(
+            &idx,
+            QueryCategory::Local,
+            Granularity::County,
+        ))
+    }));
     out.push('\n');
 
     out.push_str("---- Fig. 5: personalization vs noise floor ----\n");
-    out.push_str(&personalization::render_fig5(
-        &personalization::fig5_personalization(&idx),
-    ));
+    out.push_str(&timed(obs, "fig5_personalization", || {
+        personalization::render_fig5(&personalization::fig5_personalization(&idx))
+    }));
     out.push('\n');
 
     out.push_str("---- Fig. 6: personalization per local term ----\n");
-    out.push_str(&noise::render_term_series(
-        &personalization::fig6_personalization_per_term(&idx, QueryCategory::Local),
-    ));
+    out.push_str(&timed(obs, "fig6_personalization_per_term", || {
+        noise::render_term_series(&personalization::fig6_personalization_per_term(
+            &idx,
+            QueryCategory::Local,
+        ))
+    }));
     out.push('\n');
 
     out.push_str("---- Fig. 7: personalization by result type ----\n");
-    out.push_str(&attribution::render_fig7(
-        &attribution::fig7_personalization_by_type(&idx),
-    ));
+    out.push_str(&timed(obs, "fig7_personalization_by_type", || {
+        attribution::render_fig7(&attribution::fig7_personalization_by_type(&idx))
+    }));
     out.push('\n');
 
     out.push_str("---- Fig. 8: consistency over days (local queries) ----\n");
-    for panel in consistency::fig8_consistency(&idx, QueryCategory::Local) {
+    for panel in timed(obs, "fig8_consistency", || {
+        consistency::fig8_consistency(&idx, QueryCategory::Local)
+    }) {
         out.push_str(&format!("[{}]\n", panel.granularity.label()));
         out.push_str(&consistency::render_fig8(&panel));
         out.push('\n');
     }
 
     out.push_str("---- significance: personalization vs noise (permutation tests) ----\n");
-    let sig = significance::personalization_significance(
-        &idx,
-        1_000,
-        geoserp_geo::Seed::new(dataset.meta.seed).derive("report-significance"),
-    );
+    let sig = timed(obs, "significance", || {
+        significance::personalization_significance(
+            &idx,
+            1_000,
+            geoserp_geo::Seed::new(dataset.meta.seed).derive("report-significance"),
+        )
+    });
     out.push_str(&significance::render_significance(&sig));
     out.push('\n');
 
     out.push_str("---- county-level location clusters (gap > 0.75 edit) ----\n");
-    if let Some(panel) = consistency::fig8_consistency(&idx, QueryCategory::Local)
-        .into_iter()
-        .find(|p| p.granularity == Granularity::County)
-    {
+    if let Some(panel) = timed(obs, "fig8_clusters", || {
+        consistency::fig8_consistency(&idx, QueryCategory::Local)
+            .into_iter()
+            .find(|p| p.granularity == Granularity::County)
+    }) {
         for (i, cluster) in significance::fig8_clusters(&panel, 0.75).iter().enumerate() {
             let names: Vec<String> = cluster
                 .members
@@ -90,8 +122,9 @@ pub fn full_report(dataset: &Dataset) -> String {
     out.push('\n');
 
     out.push_str("---- §3.2: demographic correlations (county granularity) ----\n");
-    let demo =
-        demographics::demographic_correlations(&idx, QueryCategory::Local, Granularity::County);
+    let demo = timed(obs, "demographics", || {
+        demographics::demographic_correlations(&idx, QueryCategory::Local, Granularity::County)
+    });
     out.push_str(&demographics::render_demographics(&demo));
     out.push_str(&format!(
         "max |pearson r| over demographic features: {:.3}\n",

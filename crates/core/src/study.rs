@@ -106,6 +106,13 @@ impl Study {
         Crawler::with_config(self.seed, self.engine_config.clone())
     }
 
+    /// Build the world reporting into a caller-supplied observability hub,
+    /// shared by the engine, the network simulator, and the crawler — one
+    /// snapshot then covers the whole pipeline.
+    pub fn crawler_with_obs(&self, obs: std::sync::Arc<geoserp_obs::ObsHub>) -> Crawler {
+        Crawler::with_config_faults_and_obs(self.seed, self.engine_config.clone(), 0.0, 0.0, obs)
+    }
+
     /// Build the world and execute the plan.
     pub fn run(&self) -> Dataset {
         self.crawler().run(&self.plan)
@@ -132,6 +139,13 @@ impl Study {
     /// study (see [`crate::report::full_report`]).
     pub fn report(&self, dataset: &Dataset) -> String {
         crate::report::full_report(dataset)
+    }
+
+    /// Like [`Study::report`], recording per-figure compute time into
+    /// `analysis.*` gauges on the given hub (see
+    /// [`crate::report::full_report_with_obs`]).
+    pub fn report_with_obs(&self, dataset: &Dataset, obs: &geoserp_obs::ObsHub) -> String {
+        crate::report::full_report_with_obs(dataset, Some(obs))
     }
 }
 

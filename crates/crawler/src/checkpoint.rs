@@ -23,7 +23,9 @@ use std::path::Path;
 
 /// Bumped whenever the checkpoint layout changes incompatibly; resume
 /// refuses checkpoints from other versions instead of misreading them.
-pub const CHECKPOINT_VERSION: u32 = 1;
+/// Version 2 added the `rate_limited` counter to [`CrawlStatsSnapshot`]
+/// and the dataset metadata.
+pub const CHECKPOINT_VERSION: u32 = 2;
 
 /// A plain-value snapshot of `CrawlStats` (whose live counters are
 /// atomics), taken at a round boundary for checkpointing.
@@ -41,6 +43,8 @@ pub struct CrawlStatsSnapshot {
     pub parse_failures: u64,
     /// Attempts that failed at the transport layer.
     pub net_errors: u64,
+    /// Attempts rejected with HTTP 429 (a subset of `net_errors`).
+    pub rate_limited: u64,
     /// Total ghost-time backoff accumulated across all jobs, ms.
     pub backoff_ms: u64,
     /// Retries abandoned because their backoff would exceed the deadline.

@@ -73,6 +73,10 @@ pub struct DatasetMeta {
     pub parse_failures: u64,
     /// Attempts that failed at the transport layer (drops, resets).
     pub net_errors: u64,
+    /// Attempts rejected by the service's per-IP rate limiter (HTTP 429).
+    /// A subset of `net_errors` — each 429 is also counted there, so the
+    /// accounting identity over retries and failed jobs is unchanged.
+    pub rate_limited: u64,
     /// Total ghost-time retry backoff across all jobs, virtual ms (see
     /// `RetryPolicy`; never advances the shared clock).
     pub backoff_ms: u64,

@@ -6,11 +6,12 @@ use crate::machines::{MachinePool, CLUSTER_SIZE};
 use crate::plan::ExperimentPlan;
 use crate::retry::RetryPolicy;
 use crate::workers::{CrawlBackend, PersistentPool, RoundResult};
-use geoserp_browser::Browser;
+use geoserp_browser::{Browser, BrowserError};
 use geoserp_corpus::{Query, WebCorpus};
 use geoserp_engine::{EngineConfig, SearchEngine, SearchService, SEARCH_HOST};
 use geoserp_geo::{Coord, Location, Seed, UsGeography, VantagePoints};
-use geoserp_net::SimNet;
+use geoserp_net::{SimNet, Status};
+use geoserp_obs::{Counter, Histogram, ObsHub, SpanRecord};
 use geoserp_serp::SerpPage;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -44,6 +45,10 @@ pub struct CrawlStats {
     pub parse_failures: AtomicU64,
     /// Attempts that failed at the transport layer (drops, resets).
     pub net_errors: AtomicU64,
+    /// Attempts rejected by the service's per-IP rate limiter (HTTP 429).
+    /// Counted *in addition to* `net_errors` (a 429 is still a failed
+    /// attempt), so the retry accounting identity is unchanged.
+    pub rate_limited: AtomicU64,
     /// Total ghost-time retry backoff across all jobs, virtual ms.
     pub backoff_ms: AtomicU64,
     /// Retries abandoned because their backoff would exceed the deadline.
@@ -64,6 +69,7 @@ impl CrawlStats {
             retries: self.retries.load(Ordering::Relaxed),
             parse_failures: self.parse_failures.load(Ordering::Relaxed),
             net_errors: self.net_errors.load(Ordering::Relaxed),
+            rate_limited: self.rate_limited.load(Ordering::Relaxed),
             backoff_ms: self.backoff_ms.load(Ordering::Relaxed),
             deadline_giveups: self.deadline_giveups.load(Ordering::Relaxed),
             max_job_backoff_ms: self.max_job_backoff_ms.load(Ordering::Relaxed),
@@ -82,6 +88,7 @@ impl CrawlStats {
             retries: AtomicU64::new(snap.retries),
             parse_failures: AtomicU64::new(snap.parse_failures),
             net_errors: AtomicU64::new(snap.net_errors),
+            rate_limited: AtomicU64::new(snap.rate_limited),
             backoff_ms: AtomicU64::new(snap.backoff_ms),
             deadline_giveups: AtomicU64::new(snap.deadline_giveups),
             max_job_backoff_ms: AtomicU64::new(snap.max_job_backoff_ms),
@@ -96,6 +103,7 @@ impl CrawlStats {
         meta.retries = self.retries.load(Ordering::Relaxed);
         meta.parse_failures = self.parse_failures.load(Ordering::Relaxed);
         meta.net_errors = self.net_errors.load(Ordering::Relaxed);
+        meta.rate_limited = self.rate_limited.load(Ordering::Relaxed);
         meta.backoff_ms = self.backoff_ms.load(Ordering::Relaxed);
         meta.deadline_giveups = self.deadline_giveups.load(Ordering::Relaxed);
         meta.max_job_backoff_ms = self.max_job_backoff_ms.load(Ordering::Relaxed);
@@ -178,6 +186,62 @@ pub(crate) struct JobOutput {
     pub(crate) datacenter: String,
 }
 
+/// Job-identity context threaded into [`Crawler::fetch_job`] so the job's
+/// spans carry their round parent and machine track.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct JobCtx {
+    /// Global job index within the round (also selects the machine).
+    pub(crate) index: usize,
+    /// Span ID of the enclosing round.
+    pub(crate) round_span: u64,
+}
+
+/// Pre-resolved crawl-stage metric handles. Mirrors of the `CrawlStats`
+/// atomics live here so the registry exports the same totals `DatasetMeta`
+/// records, plus crawl-only extras (per-machine utilization, checkpoint
+/// write latency).
+struct CrawlMetrics {
+    rounds: Counter,
+    jobs: Counter,
+    attempts: Counter,
+    retries: Counter,
+    parse_failures: Counter,
+    net_errors: Counter,
+    rate_limited: Counter,
+    failed_jobs: Counter,
+    deadline_giveups: Counter,
+    requests_issued: Counter,
+    backoff_ms: Histogram,
+    /// Host wall time spent in the checkpoint sink, µs (`_wall_` marker:
+    /// excluded from deterministic snapshots).
+    checkpoint_wall_us: Histogram,
+    /// Jobs executed per machine, indexed like the [`MachinePool`].
+    machine_jobs: Vec<Counter>,
+}
+
+impl CrawlMetrics {
+    fn resolve(hub: &ObsHub, n_machines: usize) -> Self {
+        let m = hub.metrics();
+        CrawlMetrics {
+            rounds: m.counter("crawler.rounds"),
+            jobs: m.counter("crawler.jobs"),
+            attempts: m.counter("crawler.attempts"),
+            retries: m.counter("crawler.retries"),
+            parse_failures: m.counter("crawler.parse_failures"),
+            net_errors: m.counter("crawler.net_errors"),
+            rate_limited: m.counter("crawler.rate_limited"),
+            failed_jobs: m.counter("crawler.failed_jobs"),
+            deadline_giveups: m.counter("crawler.deadline_giveups"),
+            requests_issued: m.counter("crawler.requests_issued"),
+            backoff_ms: m.histogram("crawler.backoff_ms"),
+            checkpoint_wall_us: m.histogram("crawler.checkpoint_wall_us"),
+            machine_jobs: (0..n_machines)
+                .map(|i| m.counter(&format!("crawler.machine_jobs.m{i:02}")))
+                .collect(),
+        }
+    }
+}
+
 /// The assembled world plus crawl machinery.
 pub struct Crawler {
     seed: Seed,
@@ -187,6 +251,8 @@ pub struct Crawler {
     net: Arc<SimNet>,
     vantage: VantagePoints,
     pool: MachinePool,
+    obs: Arc<ObsHub>,
+    metrics: CrawlMetrics,
 }
 
 impl Crawler {
@@ -209,18 +275,40 @@ impl Crawler {
         drop_chance: f64,
         corrupt_chance: f64,
     ) -> Self {
+        Self::with_config_faults_and_obs(
+            seed,
+            config,
+            drop_chance,
+            corrupt_chance,
+            Arc::new(ObsHub::new()),
+        )
+    }
+
+    /// Build the world reporting into a caller-supplied observability hub.
+    /// The hub is shared with the network simulator and the engine, so one
+    /// snapshot covers the whole pipeline; pass [`ObsHub::disabled`] for a
+    /// no-op registry (the overhead benchmark does).
+    pub fn with_config_faults_and_obs(
+        seed: Seed,
+        config: EngineConfig,
+        drop_chance: f64,
+        corrupt_chance: f64,
+        obs: Arc<ObsHub>,
+    ) -> Self {
         let geo = Arc::new(UsGeography::generate(seed));
         let corpus = Arc::new(WebCorpus::generate(&geo, seed.derive("corpus")));
-        let engine = Arc::new(SearchEngine::new(
+        let engine = Arc::new(SearchEngine::with_obs(
             Arc::clone(&corpus),
             &geo,
             config,
             seed.derive("engine"),
+            Arc::clone(&obs),
         ));
-        let net = Arc::new(SimNet::with_faults(
+        let net = Arc::new(SimNet::with_faults_and_obs(
             seed.derive("net"),
             drop_chance,
             corrupt_chance,
+            Arc::clone(&obs),
         ));
         let addrs = SearchService::install(&net, Arc::clone(&engine));
         // §2.2: "We statically mapped the DNS entry for the Google Search
@@ -238,6 +326,7 @@ impl Crawler {
             }
         }
 
+        let metrics = CrawlMetrics::resolve(&obs, pool.len());
         Crawler {
             seed,
             geo,
@@ -246,7 +335,15 @@ impl Crawler {
             net,
             vantage,
             pool,
+            obs,
+            metrics,
         }
+    }
+
+    /// The observability hub shared by this world's crawler, network
+    /// simulator, and engine.
+    pub fn obs(&self) -> &Arc<ObsHub> {
+        &self.obs
     }
 
     /// See the type-level docs: `seed`.
@@ -463,14 +560,21 @@ impl Crawler {
         };
         let emit = |completed: usize, dataset: &Dataset, stats: &CrawlStats| {
             if let Some(sink) = on_checkpoint {
-                sink(&self.make_checkpoint(
+                let ckpt = self.make_checkpoint(
                     plan_hash,
                     base_day,
                     completed,
                     total_rounds,
                     dataset,
                     stats,
-                ));
+                );
+                // Wall-clock only: the sink writes files, and how long that
+                // takes is a host property, not a virtual one.
+                let started = std::time::Instant::now();
+                sink(&ckpt);
+                self.metrics
+                    .checkpoint_wall_us
+                    .observe(started.elapsed().as_micros() as u64);
             }
         };
 
@@ -533,12 +637,15 @@ impl Crawler {
                         }
                     }
                     position_clock(round);
-                    let expected = pool.dispatch(&round.term_arc, round.locs);
+                    let round_start = self.net.clock().now().millis();
+                    let round_span = self.obs.spans().alloc_id();
+                    let expected = pool.dispatch(&round.term_arc, round.locs, round_span);
                     if let Some((prev, results)) = pending.take() {
                         finish_round(prev, results, &mut dataset, &mut completed_rounds);
                     }
                     let results = pool.collect(expected);
                     advance_clock();
+                    self.record_round_span(round_span, round, round_start);
                     pending = Some((round, results));
                 }
                 if let Some((prev, results)) = pending.take() {
@@ -550,14 +657,19 @@ impl Crawler {
                         break;
                     }
                     position_clock(round);
+                    let round_start = self.net.clock().now().millis();
+                    let round_span = self.obs.spans().alloc_id();
                     let results = match backend {
-                        CrawlBackend::Serial => self.run_round_serial(round, policy, &stats),
+                        CrawlBackend::Serial => {
+                            self.run_round_serial(round, policy, &stats, round_span)
+                        }
                         CrawlBackend::SpawnPerRound => {
-                            self.run_round_spawning(round, policy, &stats)
+                            self.run_round_spawning(round, policy, &stats, round_span)
                         }
                         CrawlBackend::WorkerPool => unreachable!("pool handled above"),
                     };
                     advance_clock();
+                    self.record_round_span(round_span, round, round_start);
                     finish_round(round, results, &mut dataset, &mut completed_rounds);
                     if at_boundary(completed_rounds) {
                         emit(completed_rounds, &dataset, &stats);
@@ -628,6 +740,29 @@ impl Crawler {
         Ok(())
     }
 
+    /// Record a completed round span: the round ran at `start_ms` (every
+    /// job of a lock-step round shares that virtual instant) and owns the
+    /// inter-query wait that follows it.
+    fn record_round_span(&self, id: u64, round: &RoundDesc, start_ms: u64) {
+        self.metrics.rounds.inc();
+        let now = self.net.clock().now().millis();
+        self.obs.spans().record(SpanRecord {
+            id,
+            parent: 0,
+            name: format!("round {} @{:?}", round.term.term, round.gran).into(),
+            cat: "crawler.round",
+            tid: 0,
+            start_ms,
+            dur_ms: now.saturating_sub(start_ms),
+            args: vec![
+                ("term", round.term.term.clone()),
+                ("granularity", format!("{:?}", round.gran)),
+                ("day", round.abs_day.to_string()),
+            ],
+            wall_us: None,
+        });
+    }
+
     /// Flatten a plan into its lock-step rounds, in execution order.
     fn schedule<'a>(&'a self, plan: &ExperimentPlan, base_day: u32) -> Vec<RoundDesc<'a>> {
         let mut rounds = Vec::new();
@@ -684,6 +819,7 @@ impl Crawler {
             let role = Role::BOTH[index % 2];
             let Some(output) = output else {
                 stats.failed_jobs.fetch_add(1, Ordering::Relaxed);
+                self.metrics.failed_jobs.inc();
                 continue;
             };
             let results = output
@@ -713,6 +849,7 @@ impl Crawler {
         round: &RoundDesc,
         policy: &RetryPolicy,
         stats: &CrawlStats,
+        round_span: u64,
     ) -> Vec<RoundResult> {
         (0..round.locs.len() * 2)
             .map(|index| {
@@ -725,6 +862,7 @@ impl Crawler {
                         round.locs[index / 2].coord,
                         policy,
                         stats,
+                        JobCtx { index, round_span },
                     ),
                 )
             })
@@ -738,6 +876,7 @@ impl Crawler {
         round: &RoundDesc,
         policy: &RetryPolicy,
         stats: &CrawlStats,
+        round_span: u64,
     ) -> Vec<RoundResult> {
         let total = round.locs.len() * 2;
         // Group jobs by machine; one thread per machine keeps per-source
@@ -760,7 +899,14 @@ impl Crawler {
                         let coord = round.locs[index / 2].coord;
                         local.push((
                             index,
-                            self.fetch_job(machine, &round.term.term, coord, policy, stats),
+                            self.fetch_job(
+                                machine,
+                                &round.term.term,
+                                coord,
+                                policy,
+                                stats,
+                                JobCtx { index, round_span },
+                            ),
                         ));
                     }
                     collected.lock().extend(local);
@@ -772,6 +918,12 @@ impl Crawler {
 
     /// One job: fresh browser, spoofed GPS, homepage + query, parse, retry
     /// on damage under the plan's [`RetryPolicy`], clear cookies.
+    ///
+    /// Observability: emits one `crawler.job` span (parent = the round's
+    /// span, tid = machine track) plus one `crawler.attempt` span per fetch
+    /// attempt, all stamped from the virtual clock — every job of a
+    /// lock-step round starts at the same virtual instant, so the spans are
+    /// identical on every backend.
     pub(crate) fn fetch_job(
         &self,
         machine: std::net::Ipv4Addr,
@@ -779,7 +931,19 @@ impl Crawler {
         coord: Coord,
         policy: &RetryPolicy,
         stats: &CrawlStats,
+        job: JobCtx,
     ) -> Option<JobOutput> {
+        self.metrics.jobs.inc();
+        let track = job.index % self.pool.len();
+        self.metrics.machine_jobs[track].inc();
+        let spans_on = self.obs.is_enabled();
+        let tid = track as u32 + 1;
+        let start_ms = self.net.clock().now().millis();
+        let job_span = if spans_on {
+            self.obs.spans().alloc_id()
+        } else {
+            0
+        };
         let mut browser = Browser::new(Arc::clone(&self.net), machine);
         browser.max_attempts = policy.load_attempts.max(1) as usize;
         // Backoff runs on a per-job ghost timeline: advancing the shared
@@ -787,7 +951,13 @@ impl Crawler {
         // (every fetch of a lock-step round happens at the same virtual
         // instant), so waits are accounted, not enacted.
         let mut ghost_backoff_ms = 0u64;
+        // Virtual time the engine spent serving this job's successful
+        // search exchanges — the job span's service component.
+        let mut serve_ms = 0u64;
         let mut output = None;
+        // Spans finished during the job accumulate locally and land in the
+        // log as one batch — one ring-lock acquisition per job, not per span.
+        let mut pending_spans: Vec<SpanRecord> = Vec::new();
         for attempt in 0..policy.max_attempts.max(1) {
             if attempt > 0 {
                 let wait = policy.backoff_before(attempt);
@@ -797,32 +967,81 @@ impl Crawler {
                         // the job land as a failed_job rather than burning
                         // the rest of the budget past the deadline.
                         stats.deadline_giveups.fetch_add(1, Ordering::Relaxed);
+                        self.metrics.deadline_giveups.inc();
                         break;
                     }
                 }
                 ghost_backoff_ms += wait;
                 stats.retries.fetch_add(1, Ordering::Relaxed);
+                self.metrics.retries.inc();
             }
             stats.attempts.fetch_add(1, Ordering::Relaxed);
+            self.metrics.attempts.inc();
             stats.requests_issued.fetch_add(2, Ordering::Relaxed);
-            match browser.run_search_job(SEARCH_HOST, term, coord) {
-                Ok(fetch) => match geoserp_serp::parse(&fetch.body) {
-                    Ok(page) => {
-                        browser.clear_cookies();
-                        output = Some(JobOutput {
-                            page,
-                            datacenter: fetch.datacenter.unwrap_or_default(),
-                        });
-                        break;
+            self.metrics.requests_issued.add(2);
+            let mut attempt_ms = 0u64;
+            let outcome = match browser.run_search_job(SEARCH_HOST, term, coord) {
+                Ok(fetch) => {
+                    attempt_ms = fetch.rtt_ms;
+                    match geoserp_serp::parse(&fetch.body) {
+                        Ok(page) => {
+                            browser.clear_cookies();
+                            output = Some(JobOutput {
+                                page,
+                                datacenter: fetch.datacenter.unwrap_or_default(),
+                            });
+                            "ok"
+                        }
+                        Err(_damaged) => {
+                            stats.parse_failures.fetch_add(1, Ordering::Relaxed);
+                            self.metrics.parse_failures.inc();
+                            "parse_failure" // corrupted body: refetch
+                        }
                     }
-                    Err(_damaged) => {
-                        stats.parse_failures.fetch_add(1, Ordering::Relaxed);
-                        // corrupted body: refetch
-                    }
-                },
-                Err(_net) => {
-                    stats.net_errors.fetch_add(1, Ordering::Relaxed);
                 }
+                Err(e) => {
+                    stats.net_errors.fetch_add(1, Ordering::Relaxed);
+                    self.metrics.net_errors.inc();
+                    if matches!(e, BrowserError::Http(Status::TooManyRequests)) {
+                        // Also a net error (the accounting identity over
+                        // retries and failed jobs is unchanged), separately
+                        // visible as rate-limiter pressure.
+                        stats.rate_limited.fetch_add(1, Ordering::Relaxed);
+                        self.metrics.rate_limited.inc();
+                        "rate_limited"
+                    } else {
+                        "net_error"
+                    }
+                }
+            };
+            serve_ms += attempt_ms;
+            if spans_on {
+                let id = self.obs.spans().alloc_id();
+                pending_spans.push(SpanRecord {
+                    id,
+                    parent: job_span,
+                    // Static names for the retry budget's usual range keep
+                    // the per-attempt record allocation-light.
+                    name: match attempt {
+                        0 => "attempt 0".into(),
+                        1 => "attempt 1".into(),
+                        2 => "attempt 2".into(),
+                        n => format!("attempt {n}").into(),
+                    },
+                    cat: "crawler.attempt",
+                    tid,
+                    start_ms,
+                    dur_ms: attempt_ms,
+                    args: vec![
+                        ("job", job.index.to_string()),
+                        ("attempt", attempt.to_string()),
+                        ("outcome", outcome.to_string()),
+                    ],
+                    wall_us: None,
+                });
+            }
+            if output.is_some() {
+                break;
             }
         }
         stats
@@ -831,6 +1050,30 @@ impl Crawler {
         stats
             .max_job_backoff_ms
             .fetch_max(ghost_backoff_ms, Ordering::Relaxed);
+        self.metrics.backoff_ms.observe(ghost_backoff_ms);
+        if spans_on {
+            pending_spans.push(SpanRecord {
+                id: job_span,
+                parent: job.round_span,
+                name: format!("job {}", job.index).into(),
+                cat: "crawler.job",
+                tid,
+                start_ms,
+                dur_ms: serve_ms + ghost_backoff_ms,
+                args: vec![
+                    ("job", job.index.to_string()),
+                    ("machine", machine.to_string()),
+                    (
+                        "outcome",
+                        if output.is_some() { "ok" } else { "failed" }.to_string(),
+                    ),
+                ],
+                wall_us: None,
+            });
+        }
+        if !pending_spans.is_empty() {
+            self.obs.spans().record_batch(pending_spans);
+        }
         output
     }
 }

@@ -3,12 +3,13 @@
 //! §2.2 distributes the query load over 44 machines. Earlier versions of
 //! this crate spawned one OS thread per busy machine *per lock-step round*
 //! and tore them all down at the round barrier — up to 44 spawns × 3,600
-//! rounds on the full plan. [`PersistentPool`] instead starts one long-lived
+//! rounds on the full plan. `PersistentPool` instead starts one long-lived
 //! worker per machine for the duration of a run and feeds it rounds over a
 //! channel.
 //!
 //! Determinism: the scheduler partitions each round's jobs by machine with
-//! the same round-robin rule as the serial path ([`MachinePool::assign`]),
+//! the same round-robin rule as the serial path
+//! ([`MachinePool::assign`](crate::machines::MachinePool::assign)),
 //! and each worker processes its batch strictly in job-index order. The
 //! simulated network's noise draws depend only on (source machine, per-source
 //! request order, virtual time), and the virtual clock only moves between
@@ -16,7 +17,7 @@
 //! serial one.
 
 use crate::retry::RetryPolicy;
-use crate::run::{CrawlStats, Crawler, JobOutput};
+use crate::run::{CrawlStats, Crawler, JobCtx, JobOutput};
 use geoserp_geo::{Coord, Location};
 use std::sync::mpsc;
 use std::sync::Arc;
@@ -54,6 +55,8 @@ pub(crate) struct WorkJob {
     pub term: Arc<str>,
     /// The GPS coordinate to spoof.
     pub coord: Coord,
+    /// Span ID of the enclosing round (parent for the job's spans).
+    pub round_span: u64,
 }
 
 /// `(job index, fetch outcome)` reported back to the scheduler.
@@ -89,7 +92,12 @@ impl PersistentPool {
                 // serial per-source request order exactly.
                 while let Ok(batch) = rx.recv() {
                     for job in batch {
-                        let out = crawler.fetch_job(machine, &job.term, job.coord, policy, stats);
+                        let ctx = JobCtx {
+                            index: job.index,
+                            round_span: job.round_span,
+                        };
+                        let out =
+                            crawler.fetch_job(machine, &job.term, job.coord, policy, stats, ctx);
                         if results_tx.send((job.index, out)).is_err() {
                             return; // scheduler gone; shut down
                         }
@@ -108,7 +116,7 @@ impl PersistentPool {
 
     /// Queue one round: every location fetches `term` twice (treatment +
     /// control). Returns the number of results to [`collect`](Self::collect).
-    pub fn dispatch(&self, term: &Arc<str>, locs: &[Location]) -> usize {
+    pub fn dispatch(&self, term: &Arc<str>, locs: &[Location], round_span: u64) -> usize {
         let n_machines = self.job_txs.len();
         let total = locs.len() * 2;
         let mut batches: Vec<Vec<WorkJob>> = (0..n_machines).map(|_| Vec::new()).collect();
@@ -117,6 +125,7 @@ impl PersistentPool {
                 index,
                 term: Arc::clone(term),
                 coord: locs[index / 2].coord,
+                round_span,
             });
         }
         for (tx, batch) in self.job_txs.iter().zip(batches) {

@@ -10,6 +10,7 @@ use crate::noise::NoiseModel;
 use crate::verticals::{select_maps, select_news, PlaceIndex};
 use geoserp_corpus::{tokenize, GeoScope, Page, PageId, WebCorpus};
 use geoserp_geo::{Coord, Seed, UsGeography};
+use geoserp_obs::{Counter, ObsHub};
 use geoserp_serp::{Card, CardType, SerpPage};
 use std::collections::HashSet;
 use std::net::Ipv4Addr;
@@ -57,10 +58,32 @@ pub struct SearchEngine {
     history: SessionHistory,
     /// Optional result cache: (query, coarse lat/lon, day) → (page, expiry).
     serp_cache: parking_lot::Mutex<SerpCache>,
+    obs: Arc<ObsHub>,
+    metrics: EngineMetrics,
 }
 
 /// (query, coarse lat, coarse lon, day) → (page, expiry-millis).
 type SerpCache = std::collections::HashMap<(String, i32, i32, u32), (SerpPage, u64)>;
+
+/// Pre-resolved metric handles for the query-serving hot path.
+struct EngineMetrics {
+    queries: Counter,
+    cache_hits: Counter,
+    cache_misses: Counter,
+    index_lookups: Counter,
+}
+
+impl EngineMetrics {
+    fn resolve(hub: &ObsHub) -> Self {
+        let m = hub.metrics();
+        EngineMetrics {
+            queries: m.counter("engine.queries"),
+            cache_hits: m.counter("engine.cache_hits"),
+            cache_misses: m.counter("engine.cache_misses"),
+            index_lookups: m.counter("engine.index_lookups"),
+        }
+    }
+}
 
 impl SearchEngine {
     /// Build an engine over a corpus and geography.
@@ -70,11 +93,23 @@ impl SearchEngine {
         config: EngineConfig,
         seed: Seed,
     ) -> Self {
+        Self::with_obs(corpus, geo, config, seed, Arc::new(ObsHub::new()))
+    }
+
+    /// Build an engine reporting into a caller-supplied observability hub.
+    pub fn with_obs(
+        corpus: Arc<WebCorpus>,
+        geo: &UsGeography,
+        config: EngineConfig,
+        seed: Seed,
+        obs: Arc<ObsHub>,
+    ) -> Self {
         config.validate();
         let index = InvertedIndex::build(&corpus);
         let place_index = PlaceIndex::build(&corpus);
         let geocoder = ReverseGeocoder::new(geo);
         let noise = NoiseModel::new(seed.derive("engine"), &config);
+        let metrics = EngineMetrics::resolve(&obs);
         SearchEngine {
             corpus,
             config,
@@ -85,7 +120,14 @@ impl SearchEngine {
             noise,
             history: SessionHistory::new(),
             serp_cache: parking_lot::Mutex::new(std::collections::HashMap::new()),
+            obs,
+            metrics,
         }
+    }
+
+    /// The observability hub this engine reports into.
+    pub fn obs(&self) -> &Arc<ObsHub> {
+        &self.obs
     }
 
     /// The engine's configuration.
@@ -164,6 +206,7 @@ impl SearchEngine {
 
     /// Serve one query: the full pipeline (behind the optional result cache).
     pub fn search(&self, ctx: &SearchContext) -> SerpPage {
+        self.metrics.queries.inc();
         let Some(ttl) = self.config.serp_cache_ttl_ms else {
             return self.search_uncached(ctx);
         };
@@ -184,10 +227,12 @@ impl SearchEngine {
             let cache = self.serp_cache.lock();
             if let Some((page, expiry)) = cache.get(&key) {
                 if ctx.at_ms < *expiry {
+                    self.metrics.cache_hits.inc();
                     return page.clone();
                 }
             }
         }
+        self.metrics.cache_misses.inc();
         let page = self.search_uncached(ctx);
         self.serp_cache
             .lock()
@@ -213,6 +258,7 @@ impl SearchEngine {
         // 0.9) are immune: popular documents are present in every replica,
         // so staleness holes never delete a navigational target or an
         // encyclopedia page — only the tail churns, as in real engines.
+        self.metrics.index_lookups.inc();
         let mut candidates =
             self.index
                 .retrieve(&ctx.query, cfg.organic_count * 3, cfg.partial_match_score);

@@ -25,6 +25,10 @@ pub struct SearchService {
     engine: Arc<SearchEngine>,
     limiter: RateLimiter,
     datacenter_of: HashMap<Ipv4Addr, u32>,
+    /// Total 429s served, from the engine's observability hub.
+    rate_limited: geoserp_obs::Counter,
+    /// Per-datacenter 429 counters, indexed like `addrs`.
+    rate_limited_by_dc: HashMap<Ipv4Addr, geoserp_obs::Counter>,
 }
 
 impl SearchService {
@@ -41,6 +45,13 @@ impl SearchService {
             cfg.rate_limit_max,
             cfg.rate_limit_window_ms,
         );
+        let metrics = engine.obs().metrics();
+        let rate_limited = metrics.counter("engine.rate_limited");
+        let rate_limited_by_dc = addrs
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| (a, metrics.counter(&format!("engine.rate_limited.dc{i}"))))
+            .collect();
         SearchService {
             engine,
             limiter,
@@ -49,6 +60,8 @@ impl SearchService {
                 .enumerate()
                 .map(|(i, &a)| (a, i as u32))
                 .collect(),
+            rate_limited,
+            rate_limited_by_dc,
         }
     }
 
@@ -68,6 +81,10 @@ impl SearchService {
             return Response::status(Status::BadRequest);
         };
         if !self.limiter.admit(ctx.src, ctx.at) {
+            self.rate_limited.inc();
+            if let Some(dc) = self.rate_limited_by_dc.get(&ctx.dst) {
+                dc.inc();
+            }
             return Response::status(Status::TooManyRequests)
                 .with_header("X-Reason", "unusual traffic from your computer network");
         }
@@ -138,13 +155,15 @@ mod tests {
     fn install() -> (UsGeography, Arc<SimNet>, Vec<Ipv4Addr>) {
         let geo = UsGeography::generate(Seed::new(2015));
         let corpus = Arc::new(WebCorpus::generate(&geo, Seed::new(2015)));
-        let engine = Arc::new(SearchEngine::new(
+        let net = Arc::new(SimNet::new(Seed::new(7)));
+        // Engine and net share one hub, as a crawl world does.
+        let engine = Arc::new(SearchEngine::with_obs(
             corpus,
             &geo,
             EngineConfig::paper_defaults(),
             Seed::new(2015),
+            Arc::clone(net.obs()),
         ));
-        let net = Arc::new(SimNet::new(Seed::new(7)));
         let addrs = SearchService::install(&net, engine);
         (geo, net, addrs)
     }
@@ -213,6 +232,33 @@ mod tests {
             .request(ip("10.9.1.2"), &search_req("Bank", &gps))
             .unwrap();
         assert_eq!(resp.status, Status::Ok);
+    }
+
+    #[test]
+    fn rate_limit_rejections_are_counted_per_datacenter() {
+        let (geo, net, addrs) = install();
+        let gps = geo.cuyahoga_districts[0].coord.to_gps_string();
+        net.dns().pin(SEARCH_HOST, addrs[1]);
+        let mut throttled = 0u64;
+        for _ in 0..40 {
+            let (resp, _) = net
+                .request(ip("10.9.1.1"), &search_req("Bank", &gps))
+                .unwrap();
+            if resp.status == Status::TooManyRequests {
+                throttled += 1;
+            }
+        }
+        assert!(throttled > 0);
+        let snap = net.obs().snapshot();
+        assert_eq!(snap.counters.get("engine.rate_limited"), Some(&throttled));
+        assert_eq!(
+            snap.counters.get("engine.rate_limited.dc1"),
+            Some(&throttled),
+            "pinned datacenter takes every rejection"
+        );
+        assert_eq!(snap.counters.get("engine.rate_limited.dc0"), Some(&0));
+        // Queries that were admitted show up as engine.queries.
+        assert_eq!(snap.counters.get("engine.queries"), Some(&(40 - throttled)),);
     }
 
     #[test]

@@ -9,6 +9,7 @@ use crate::server::{RequestCtx, Server};
 use crate::shaper::{ShaperConfig, TokenBucket};
 use crate::trace::{EventLog, NetEvent, NetEventKind};
 use geoserp_geo::Seed;
+use geoserp_obs::{Counter, Histogram, ObsHub};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::fmt;
@@ -43,6 +44,40 @@ impl fmt::Display for NetError {
 }
 
 impl std::error::Error for NetError {}
+
+/// Pre-resolved metric handles for the simulator's hot path. Incrementing
+/// is a single relaxed atomic op; the registry lock was paid once here.
+#[derive(Debug)]
+struct NetMetrics {
+    requests: Counter,
+    responses: Counter,
+    rtt_ms: Histogram,
+    dns_lookups: Counter,
+    no_route: Counter,
+    refused: Counter,
+    dropped: Counter,
+    corrupted: Counter,
+    shaped: Counter,
+    timeouts: Counter,
+}
+
+impl NetMetrics {
+    fn resolve(hub: &ObsHub) -> Self {
+        let m = hub.metrics();
+        NetMetrics {
+            requests: m.counter("net.requests"),
+            responses: m.counter("net.responses"),
+            rtt_ms: m.histogram("net.rtt_ms"),
+            dns_lookups: m.counter("net.dns_lookups"),
+            no_route: m.counter("net.no_route"),
+            refused: m.counter("net.connection_refused"),
+            dropped: m.counter("net.dropped"),
+            corrupted: m.counter("net.corrupted"),
+            shaped: m.counter("net.shaped"),
+            timeouts: m.counter("net.timeouts"),
+        }
+    }
+}
 
 /// Latency model: deterministic per (src, dst) base delay plus bounded
 /// per-request jitter, all derived from the simulator seed.
@@ -87,6 +122,10 @@ pub struct SimNet {
     egress: RwLock<HashMap<Ipv4Addr, TokenBucket>>,
     /// Optional client timeout: exchanges whose RTT exceeds it fail.
     timeout_ms: Mutex<Option<u64>>,
+    /// Shared observability hub (metrics + spans) for this world.
+    obs: Arc<ObsHub>,
+    /// Handles resolved once from `obs` at construction.
+    metrics: NetMetrics,
 }
 
 impl fmt::Debug for SimNet {
@@ -106,6 +145,18 @@ impl SimNet {
 
     /// A simulator with smoltcp-style fault injection.
     pub fn with_faults(seed: Seed, drop_chance: f64, corrupt_chance: f64) -> Self {
+        Self::with_faults_and_obs(seed, drop_chance, corrupt_chance, Arc::new(ObsHub::new()))
+    }
+
+    /// A simulator with fault injection reporting into a caller-supplied
+    /// observability hub (pass [`ObsHub::disabled`] for zero-cost metrics).
+    pub fn with_faults_and_obs(
+        seed: Seed,
+        drop_chance: f64,
+        corrupt_chance: f64,
+        obs: Arc<ObsHub>,
+    ) -> Self {
+        let metrics = NetMetrics::resolve(&obs);
         SimNet {
             clock: VirtualClock::new(),
             dns: DnsResolver::new(),
@@ -120,7 +171,14 @@ impl SimNet {
             seq_per_src: Mutex::new(HashMap::new()),
             egress: RwLock::new(HashMap::new()),
             timeout_ms: Mutex::new(None),
+            obs,
+            metrics,
         }
+    }
+
+    /// The observability hub this world reports into.
+    pub fn obs(&self) -> &Arc<ObsHub> {
+        &self.obs
     }
 
     /// Install (or replace) an egress token bucket for one source address.
@@ -204,15 +262,19 @@ impl SimNet {
     /// time.
     pub fn request(&self, src: Ipv4Addr, req: &Request) -> Result<(Response, u64), NetError> {
         let now = self.clock.now();
+        self.metrics.requests.inc();
         {
             let egress = self.egress.read();
             if let Some(bucket) = egress.get(&src) {
                 if !bucket.try_acquire(now) {
+                    self.metrics.shaped.inc();
                     return Err(NetError::Shaped);
                 }
             }
         }
+        self.metrics.dns_lookups.inc();
         let Some(dst) = self.dns.resolve(&req.host) else {
+            self.metrics.no_route.inc();
             self.log.record(NetEvent {
                 at: now,
                 src,
@@ -229,6 +291,7 @@ impl SimNet {
             servers.get(&dst).cloned()
         };
         let Some(server) = server else {
+            self.metrics.refused.inc();
             return Err(NetError::ConnectionRefused(dst));
         };
 
@@ -244,6 +307,7 @@ impl SimNet {
         // parallel crawl replays its losses exactly.
         match self.faults.decide(seq) {
             FaultDecision::Drop => {
+                self.metrics.dropped.inc();
                 self.log.record(NetEvent {
                     at: now,
                     src,
@@ -268,6 +332,7 @@ impl SimNet {
 
         if let Some(limit) = *self.timeout_ms.lock() {
             if rtt > limit {
+                self.metrics.timeouts.inc();
                 self.log.record(NetEvent {
                     at: SimInstant(now.millis() + limit),
                     src,
@@ -291,6 +356,7 @@ impl SimNet {
         let resp_nonce = seq ^ (1 << 63);
         if self.faults.is_active() && self.faults.decide(resp_nonce) == FaultDecision::Corrupt {
             resp.body = self.faults.corrupt(resp_nonce, &resp.body);
+            self.metrics.corrupted.inc();
             self.log.record(NetEvent {
                 at: SimInstant(now.millis() + rtt),
                 src,
@@ -299,6 +365,8 @@ impl SimNet {
             });
         }
 
+        self.metrics.responses.inc();
+        self.metrics.rtt_ms.observe(rtt);
         self.log.record(NetEvent {
             at: SimInstant(now.millis() + rtt),
             src,
@@ -531,6 +599,33 @@ mod tests {
             SimNet::with_faults(Seed::new(1), 0.25, 0.1).fault_rates(),
             (0.25, 0.1)
         );
+    }
+
+    #[test]
+    fn metrics_count_exchanges_and_faults() {
+        let net = SimNet::with_faults(Seed::new(2), 1.0, 0.0);
+        net.register_service("svc.example", &[ip("10.1.0.1")], echo_server());
+        let req = Request::get("svc.example", "/");
+        net.request(ip("10.0.0.9"), &req).unwrap_err(); // dropped
+        net.request(ip("10.0.0.9"), &Request::get("ghost.example", "/"))
+            .unwrap_err(); // no route
+        let snap = net.obs().snapshot();
+        assert_eq!(snap.counters.get("net.requests"), Some(&2));
+        assert_eq!(snap.counters.get("net.dropped"), Some(&1));
+        assert_eq!(snap.counters.get("net.no_route"), Some(&1));
+        assert_eq!(snap.counters.get("net.dns_lookups"), Some(&2));
+        assert_eq!(snap.counters.get("net.responses"), Some(&0));
+
+        let ok = SimNet::new(Seed::new(3));
+        ok.register_service("svc.example", &[ip("10.1.0.1")], echo_server());
+        for _ in 0..4 {
+            ok.request(ip("10.0.0.9"), &req).unwrap();
+        }
+        let snap = ok.obs().snapshot();
+        assert_eq!(snap.counters.get("net.responses"), Some(&4));
+        let rtt = snap.histograms.get("net.rtt_ms").unwrap();
+        assert_eq!(rtt.count, 4);
+        assert!(rtt.min >= 40 && rtt.max <= 120, "{rtt:?}");
     }
 
     #[test]

@@ -18,6 +18,7 @@ use crate::clock::SimInstant;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
+use std::io;
 use std::net::Ipv4Addr;
 
 /// What happened to one message.
@@ -51,22 +52,31 @@ pub enum NetEventKind {
 /// One trace record.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct NetEvent {
-    /// The at.
+    /// Virtual-clock timestamp at which the event was observed.
     pub at: SimInstant,
-    /// The src.
+    /// Source address — the client machine that initiated the exchange.
     pub src: Ipv4Addr,
     /// Destination, when one was resolved.
     pub dst: Option<Ipv4Addr>,
-    /// The kind.
+    /// What happened to the message (request, response, or fault).
     pub kind: NetEventKind,
+}
+
+/// Retained events and the lifetime total, kept under ONE mutex so any
+/// reader observes a consistent pair. (Splitting them across two locks let a
+/// concurrent `snapshot()` + `total_recorded()` see a recorded event with a
+/// stale total, or vice versa.)
+#[derive(Debug)]
+struct LogState {
+    events: VecDeque<NetEvent>,
+    total: u64,
 }
 
 /// Bounded, thread-safe event log.
 #[derive(Debug)]
 pub struct EventLog {
     capacity: usize,
-    events: Mutex<VecDeque<NetEvent>>,
-    total: Mutex<u64>,
+    state: Mutex<LogState>,
 }
 
 impl EventLog {
@@ -75,56 +85,76 @@ impl EventLog {
         assert!(capacity > 0, "capacity must be positive");
         EventLog {
             capacity,
-            events: Mutex::new(VecDeque::with_capacity(capacity.min(4096))),
-            total: Mutex::new(0),
+            state: Mutex::new(LogState {
+                events: VecDeque::with_capacity(capacity.min(4096)),
+                total: 0,
+            }),
         }
     }
 
     /// Append an event, evicting the oldest if full.
     pub fn record(&self, event: NetEvent) {
-        let mut q = self.events.lock();
-        if q.len() == self.capacity {
-            q.pop_front();
+        let mut s = self.state.lock();
+        if s.events.len() == self.capacity {
+            s.events.pop_front();
         }
-        q.push_back(event);
-        *self.total.lock() += 1;
+        s.events.push_back(event);
+        s.total += 1;
     }
 
     /// Snapshot of retained events, oldest first.
     pub fn snapshot(&self) -> Vec<NetEvent> {
-        self.events.lock().iter().cloned().collect()
+        self.state.lock().events.iter().cloned().collect()
+    }
+
+    /// Atomic snapshot of (retained events, lifetime total): both values are
+    /// read under the same lock acquisition, so `total >= events.len()` and,
+    /// while fewer than `capacity` events have been recorded, the two agree
+    /// exactly.
+    pub fn snapshot_with_total(&self) -> (Vec<NetEvent>, u64) {
+        let s = self.state.lock();
+        (s.events.iter().cloned().collect(), s.total)
     }
 
     /// Total events ever recorded (including evicted ones).
     pub fn total_recorded(&self) -> u64 {
-        *self.total.lock()
+        self.state.lock().total
     }
 
     /// Count retained events matching a predicate.
     pub fn count_where(&self, pred: impl Fn(&NetEvent) -> bool) -> usize {
-        self.events.lock().iter().filter(|e| pred(e)).count()
+        self.state.lock().events.iter().filter(|e| pred(e)).count()
     }
 
     /// Drop all retained events (the running total is preserved).
     pub fn clear(&self) {
-        self.events.lock().clear();
+        self.state.lock().events.clear();
     }
 
-    /// Export retained events as JSON Lines (one event per line) — the
-    /// machine-readable trace for offline analysis.
+    /// Stream retained events as JSON Lines (one event per line, each
+    /// newline-terminated) into `w` without building one giant `String`.
+    pub fn write_jsonl(&self, w: &mut impl io::Write) -> io::Result<()> {
+        let s = self.state.lock();
+        for e in s.events.iter() {
+            let line = serde_json::to_string(e).expect("events serialize");
+            w.write_all(line.as_bytes())?;
+            w.write_all(b"\n")?;
+        }
+        Ok(())
+    }
+
+    /// Export retained events as JSON Lines — a thin wrapper over
+    /// [`Self::write_jsonl`] for callers that want a `String`.
     pub fn to_jsonl(&self) -> String {
-        self.events
-            .lock()
-            .iter()
-            .map(|e| serde_json::to_string(e).expect("events serialize"))
-            .collect::<Vec<_>>()
-            .join("\n")
+        let mut buf = Vec::new();
+        self.write_jsonl(&mut buf).expect("Vec<u8> writes succeed");
+        String::from_utf8(buf).expect("JSON is UTF-8")
     }
 
     /// Export retained events as a tcpdump-style text trace.
     pub fn to_text(&self) -> String {
         let mut out = String::new();
-        for e in self.events.lock().iter() {
+        for e in self.state.lock().events.iter() {
             let t = e.at.millis();
             let dst = e
                 .dst
@@ -292,5 +322,46 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_capacity_rejected() {
         EventLog::new(0);
+    }
+
+    #[test]
+    fn write_jsonl_matches_to_jsonl_exactly() {
+        let log = EventLog::new(8);
+        log.record(ev(
+            1,
+            NetEventKind::Request {
+                host: "search.example.com".into(),
+                target: "/search?q=x".into(),
+            },
+        ));
+        log.record(ev(2, NetEventKind::Response { status: 429 }));
+        log.record(ev(3, NetEventKind::NoRoute { host: "h".into() }));
+        let mut streamed = Vec::new();
+        log.write_jsonl(&mut streamed).unwrap();
+        assert_eq!(String::from_utf8(streamed).unwrap(), log.to_jsonl());
+    }
+
+    #[test]
+    fn snapshot_and_total_stay_consistent_under_concurrent_records() {
+        // With events and total behind separate mutexes, a reader could see
+        // a recorded event whose total had not yet been incremented. With a
+        // single lock and no eviction, len == total always holds.
+        let log = EventLog::new(100_000);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for t in 0..2_000 {
+                        log.record(ev(t, NetEventKind::Dropped));
+                    }
+                });
+            }
+            s.spawn(|| {
+                for _ in 0..2_000 {
+                    let (events, total) = log.snapshot_with_total();
+                    assert_eq!(events.len() as u64, total);
+                }
+            });
+        });
+        assert_eq!(log.total_recorded(), 8_000);
     }
 }

@@ -1,0 +1,155 @@
+//! Chrome trace-event export for [`SpanRecord`]s.
+//!
+//! Emits the JSON object format (`{"traceEvents": [...]}`) with complete
+//! (`"ph": "X"`) events, loadable in Perfetto and `chrome://tracing`.
+//! Timestamps are virtual-clock microseconds (`start_ms * 1000`).
+//!
+//! Raw span IDs depend on allocation order, which differs between crawl
+//! backends, so the exporter first sorts spans by deterministic content —
+//! `(start_ms, nesting depth, tid, name, args)` — then renumbers IDs in
+//! sorted order and rewrites parent references through the same mapping.
+//! The result is byte-identical for virtually-identical runs regardless of
+//! backend or host speed. Wall-clock fields are never emitted.
+
+use std::collections::HashMap;
+
+use serde_json::{json, Value};
+
+use crate::span::SpanRecord;
+
+/// Nesting depth of `span` via its parent chain (0 = root; missing or
+/// evicted parents terminate the chain).
+fn depth_of(span: &SpanRecord, by_id: &HashMap<u64, &SpanRecord>) -> u32 {
+    let mut depth = 0;
+    let mut parent = span.parent;
+    while parent != 0 && depth < 64 {
+        match by_id.get(&parent) {
+            Some(p) => {
+                depth += 1;
+                parent = p.parent;
+            }
+            None => break,
+        }
+    }
+    depth
+}
+
+/// Render spans as a Chrome trace-event JSON document.
+///
+/// Each event carries its renumbered `id` and `parent` in `args` so span
+/// nesting can be asserted structurally (not just by time containment).
+pub fn to_chrome_trace(spans: &[SpanRecord]) -> String {
+    let by_id: HashMap<u64, &SpanRecord> = spans.iter().map(|s| (s.id, s)).collect();
+    let mut ordered: Vec<&SpanRecord> = spans.iter().collect();
+    ordered.sort_by(|a, b| {
+        let ka = (a.start_ms, depth_of(a, &by_id), a.tid, &a.name, &a.args);
+        let kb = (b.start_ms, depth_of(b, &by_id), b.tid, &b.name, &b.args);
+        ka.cmp(&kb)
+    });
+    // Renumber IDs in sorted order; parents evicted from the ring map to 0.
+    let renumber: HashMap<u64, u64> = ordered
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (s.id, i as u64 + 1))
+        .collect();
+    let events: Vec<Value> = ordered
+        .iter()
+        .map(|s| {
+            let mut args = serde_json::Map::new();
+            args.insert("id".to_string(), json!(renumber[&s.id]));
+            args.insert(
+                "parent".to_string(),
+                json!(renumber.get(&s.parent).copied().unwrap_or(0)),
+            );
+            for (k, v) in &s.args {
+                args.insert((*k).to_string(), json!(v));
+            }
+            json!({
+                "name": s.name.as_ref(),
+                "cat": s.cat,
+                "ph": "X",
+                "ts": s.start_ms * 1000,
+                "dur": s.dur_ms * 1000,
+                "pid": 1u32,
+                "tid": s.tid,
+                "args": Value::Object(args),
+            })
+        })
+        .collect();
+    let doc = json!({
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+    });
+    serde_json::to_string_pretty(&doc).expect("trace serializes")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(
+        id: u64,
+        parent: u64,
+        name: &str,
+        cat: &'static str,
+        tid: u32,
+        start_ms: u64,
+        dur_ms: u64,
+    ) -> SpanRecord {
+        SpanRecord {
+            id,
+            parent,
+            name: name.to_string().into(),
+            cat,
+            tid,
+            start_ms,
+            dur_ms,
+            args: vec![],
+            wall_us: Some(id * 7), // must never leak into output
+        }
+    }
+
+    #[test]
+    fn export_is_invariant_to_allocation_order() {
+        // Same logical spans, IDs allocated in two different orders (as a
+        // serial vs. pooled backend would).
+        let a = vec![
+            span(1, 0, "round 0", "crawler.round", 0, 0, 100),
+            span(2, 1, "job 0", "crawler.job", 1, 0, 40),
+            span(3, 1, "job 1", "crawler.job", 2, 0, 45),
+        ];
+        let b = vec![
+            span(7, 9, "job 1", "crawler.job", 2, 0, 45),
+            span(8, 9, "job 0", "crawler.job", 1, 0, 40),
+            span(9, 0, "round 0", "crawler.round", 0, 0, 100),
+        ];
+        assert_eq!(to_chrome_trace(&a), to_chrome_trace(&b));
+        assert!(!to_chrome_trace(&a).contains("wall"));
+    }
+
+    #[test]
+    fn parent_links_survive_renumbering() {
+        let spans = vec![
+            span(10, 0, "round 0", "crawler.round", 0, 0, 100),
+            span(11, 10, "job 0", "crawler.job", 1, 0, 40),
+            span(12, 11, "attempt 0", "crawler.attempt", 1, 0, 40),
+        ];
+        let doc: Value = serde_json::from_str(&to_chrome_trace(&spans)).unwrap();
+        let events = doc["traceEvents"].as_array().unwrap();
+        assert_eq!(events.len(), 3);
+        // Sorted by depth at equal start: round, job, attempt.
+        assert_eq!(events[0]["args"]["id"].as_u64(), Some(1));
+        assert_eq!(events[0]["args"]["parent"].as_u64(), Some(0));
+        assert_eq!(events[1]["args"]["parent"].as_u64(), Some(1));
+        assert_eq!(events[2]["args"]["parent"].as_u64(), Some(2));
+        assert_eq!(events[0]["ph"].as_str(), Some("X"));
+        assert_eq!(events[0]["dur"].as_u64(), Some(100_000));
+    }
+
+    #[test]
+    fn evicted_parent_becomes_root() {
+        let spans = vec![span(5, 999, "job 0", "crawler.job", 1, 10, 40)];
+        let doc: Value = serde_json::from_str(&to_chrome_trace(&spans)).unwrap();
+        assert_eq!(doc["traceEvents"][0]["args"]["parent"].as_u64(), Some(0));
+    }
+}

@@ -1,0 +1,145 @@
+//! Deterministic observability for the geoserp workspace.
+//!
+//! Two complementary pieces live here:
+//!
+//! 1. A [`MetricsRegistry`] of named counters, gauges, and log-bucketed
+//!    latency histograms. Handles are pre-resolved `Arc`s over atomics, so
+//!    incrementing on a hot path is a single relaxed atomic op — no lock is
+//!    taken after registration.
+//! 2. A [`SpanLog`] of completed spans stamped from the shared virtual
+//!    clock (millisecond timestamps), so instrumented runs stay byte-identical
+//!    across crawl backends and golden dataset digests are unaffected.
+//!
+//! Wall-clock measurements are allowed, but only under metric names carrying
+//!    the `_wall_` marker; [`MetricsSnapshot::deterministic`] strips them so
+//!    determinism comparisons never see host timing.
+//!
+//! Exporters: Prometheus-style text ([`MetricsSnapshot::to_prometheus`]),
+//! Chrome trace-event JSON ([`export::to_chrome_trace`]) loadable in
+//! Perfetto / `chrome://tracing`, and a human [`report::render_run_report`]
+//! per-stage breakdown table.
+
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod registry;
+pub mod report;
+pub mod span;
+
+pub use export::to_chrome_trace;
+pub use registry::{
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
+};
+pub use report::render_run_report;
+pub use span::{SpanLog, SpanRecord};
+
+/// Default capacity of the bounded span ring buffer.
+pub const DEFAULT_SPAN_CAPACITY: usize = 1 << 18;
+
+/// One hub per crawl world: a metrics registry plus a span log, shared by
+/// every instrumented subsystem (net sim, engine, crawler, analysis).
+#[derive(Debug)]
+pub struct ObsHub {
+    metrics: MetricsRegistry,
+    spans: SpanLog,
+}
+
+impl ObsHub {
+    /// A fully-enabled hub (the default for crawls).
+    pub fn new() -> Self {
+        Self {
+            metrics: MetricsRegistry::new(),
+            spans: SpanLog::new(DEFAULT_SPAN_CAPACITY),
+        }
+    }
+
+    /// A no-op hub: every handle it hands out discards writes. Used to
+    /// measure instrumentation overhead and for callers that want zero
+    /// observability cost.
+    pub fn disabled() -> Self {
+        Self {
+            metrics: MetricsRegistry::disabled(),
+            spans: SpanLog::disabled(),
+        }
+    }
+
+    /// Whether this hub records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.metrics.is_enabled()
+    }
+
+    /// The metrics registry half.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// The span log half.
+    pub fn spans(&self) -> &SpanLog {
+        &self.spans
+    }
+
+    /// Snapshot every registered metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+}
+
+impl Default for ObsHub {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hub_roundtrip() {
+        let hub = ObsHub::new();
+        hub.metrics().counter("net.requests").inc();
+        hub.metrics().gauge("analysis.fig2_wall_us").set(1234);
+        hub.metrics().histogram("net.rtt_ms").observe(41);
+        let snap = hub.snapshot();
+        assert_eq!(snap.counters.get("net.requests"), Some(&1));
+        assert_eq!(snap.gauges.get("analysis.fig2_wall_us"), Some(&1234));
+        assert_eq!(snap.histograms.get("net.rtt_ms").unwrap().count, 1);
+    }
+
+    #[test]
+    fn disabled_hub_records_nothing() {
+        let hub = ObsHub::disabled();
+        hub.metrics().counter("net.requests").inc();
+        hub.metrics().histogram("net.rtt_ms").observe(41);
+        hub.spans().record(SpanRecord {
+            id: hub.spans().alloc_id(),
+            parent: 0,
+            name: "round".into(),
+            cat: "crawler",
+            tid: 0,
+            start_ms: 0,
+            dur_ms: 1,
+            args: vec![],
+            wall_us: None,
+        });
+        let snap = hub.snapshot();
+        assert!(snap.counters.is_empty());
+        assert!(snap.histograms.is_empty());
+        assert!(hub.spans().snapshot().is_empty());
+        assert!(!hub.is_enabled());
+    }
+
+    #[test]
+    fn deterministic_filter_strips_wall_metrics() {
+        let hub = ObsHub::new();
+        hub.metrics().counter("crawler.jobs").inc();
+        hub.metrics().gauge("analysis.fig2_wall_us").set(99);
+        hub.metrics()
+            .histogram("crawler.checkpoint_wall_us")
+            .observe(17);
+        let det = hub.snapshot().deterministic();
+        assert_eq!(det.counters.get("crawler.jobs"), Some(&1));
+        assert!(det.gauges.is_empty());
+        assert!(det.histograms.is_empty());
+    }
+}

@@ -1,0 +1,136 @@
+//! Human-readable per-stage breakdown of a [`MetricsSnapshot`] — the body of
+//! `geoserp report`.
+
+use std::collections::BTreeMap;
+
+use crate::registry::{HistogramSnapshot, MetricsSnapshot};
+
+/// Pipeline stage of a metric: the dotted prefix (`net.rtt_ms` → `net`).
+fn stage_of(name: &str) -> &str {
+    name.split('.').next().unwrap_or(name)
+}
+
+/// Metric name without its stage prefix.
+fn short_name(name: &str) -> &str {
+    match name.split_once('.') {
+        Some((_, rest)) => rest,
+        None => name,
+    }
+}
+
+/// Render the per-stage breakdown table for a snapshot.
+///
+/// Counters and gauges are grouped under their stage prefix (`engine`,
+/// `net`, `crawler`, `analysis`); histograms get a latency table with
+/// count / p50 / p90 / p99 / max. Wall-clock metrics (names with the
+/// `_wall_` marker) are rendered in their own clearly-labelled section.
+pub fn render_run_report(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    out.push_str("geoserp run report\n");
+    out.push_str("==================\n");
+
+    let det = snap.deterministic();
+    let mut stages: BTreeMap<&str, Vec<(&str, String)>> = BTreeMap::new();
+    for (name, value) in &det.counters {
+        stages
+            .entry(stage_of(name))
+            .or_default()
+            .push((short_name(name), value.to_string()));
+    }
+    for (name, value) in &det.gauges {
+        stages
+            .entry(stage_of(name))
+            .or_default()
+            .push((short_name(name), value.to_string()));
+    }
+
+    for (stage, rows) in &stages {
+        out.push_str(&format!("\n[{stage}]\n"));
+        let width = rows.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+        for (name, value) in rows {
+            out.push_str(&format!("  {name:width$}  {value:>12}\n"));
+        }
+    }
+
+    let histograms: Vec<(&String, &HistogramSnapshot)> = det.histograms.iter().collect();
+    if !histograms.is_empty() {
+        out.push_str("\n[latency] (virtual ms, log2 buckets)\n");
+        let width = histograms
+            .iter()
+            .map(|(n, _)| n.len())
+            .max()
+            .unwrap_or(0)
+            .max("metric".len());
+        out.push_str(&format!(
+            "  {:width$}  {:>8}  {:>8}  {:>8}  {:>8}  {:>8}\n",
+            "metric", "count", "p50", "p90", "p99", "max"
+        ));
+        for (name, h) in &histograms {
+            out.push_str(&format!(
+                "  {name:width$}  {:>8}  {:>8}  {:>8}  {:>8}  {:>8}\n",
+                h.count, h.p50, h.p90, h.p99, h.max
+            ));
+        }
+    }
+
+    let wall: Vec<(String, String)> = snap
+        .gauges
+        .iter()
+        .filter(|(k, _)| k.contains(crate::registry::WALL_MARKER))
+        .map(|(k, v)| (k.clone(), format!("{v} us")))
+        .chain(
+            snap.histograms
+                .iter()
+                .filter(|(k, _)| k.contains(crate::registry::WALL_MARKER))
+                .map(|(k, h)| {
+                    (
+                        k.clone(),
+                        format!("n={} p50={} max={} us", h.count, h.p50, h.max),
+                    )
+                }),
+        )
+        .collect();
+    if !wall.is_empty() {
+        out.push_str("\n[wall clock] (host timing; excluded from digests)\n");
+        let width = wall.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+        for (name, value) in &wall {
+            out.push_str(&format!("  {name:width$}  {value}\n"));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::MetricsRegistry;
+
+    #[test]
+    fn report_groups_by_stage_and_tables_histograms() {
+        let reg = MetricsRegistry::new();
+        reg.counter("engine.queries").add(216);
+        reg.counter("engine.cache_hits").add(12);
+        reg.counter("net.requests").add(432);
+        reg.counter("crawler.jobs").add(108);
+        reg.gauge("analysis.fig2_wall_us").set(5400);
+        let h = reg.histogram("net.rtt_ms");
+        for v in [40u64, 44, 80, 120] {
+            h.observe(v);
+        }
+        reg.histogram("crawler.checkpoint_wall_us").observe(900);
+
+        let text = render_run_report(&reg.snapshot());
+        assert!(text.contains("[engine]"));
+        assert!(text.contains("queries"));
+        assert!(text.contains("216"));
+        assert!(text.contains("[net]"));
+        assert!(text.contains("[crawler]"));
+        assert!(text.contains("[latency]"));
+        assert!(text.contains("net.rtt_ms"));
+        assert!(text.contains("[wall clock]"));
+        assert!(text.contains("analysis.fig2_wall_us"));
+        assert!(text.contains("crawler.checkpoint_wall_us"));
+        // Wall metrics stay out of the deterministic stage tables.
+        assert!(!text.contains("[analysis]\n"));
+    }
+}

@@ -140,7 +140,7 @@ fn checkpoints_resume_across_backends() {
 /// bit-for-bit. If a deliberate change to the world, engine, SERP markup, or
 /// crawler alters collected bytes, this constant must be updated — the test
 /// failure message prints the new value.
-const GOLDEN_QUICK_DIGEST: u64 = 0x87d6_dd68_da97_4674;
+const GOLDEN_QUICK_DIGEST: u64 = 0xef7f_f951_68d0_d7a3;
 
 #[test]
 fn quick_crawl_digest_is_golden_on_every_backend() {
