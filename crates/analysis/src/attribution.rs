@@ -10,8 +10,6 @@ use crate::render::{f2, table};
 use geoserp_corpus::QueryCategory;
 use geoserp_crawler::Observation;
 use geoserp_geo::Granularity;
-use geoserp_metrics::attribution as type_attribution;
-use geoserp_serp::ResultType;
 use serde::Serialize;
 
 /// One Figure-4 row: per-term noise decomposed by result type.
@@ -68,10 +66,7 @@ impl TypeBreakdownRow {
 }
 
 fn decompose(idx: &ObsIndex<'_>, a: &Observation, b: &Observation) -> (usize, usize, usize, usize) {
-    let ta = idx.typed(a);
-    let tb = idx.typed(b);
-    let t = type_attribution(&ta, &tb, &ResultType::Maps, &ResultType::News);
-    (t.total, t.maps, t.news, t.other)
+    idx.pair_attribution(a, b)
 }
 
 /// Figure 4: noise per local term decomposed by result type, at one

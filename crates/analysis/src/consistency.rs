@@ -13,7 +13,6 @@ use crate::render::{f2, table};
 use geoserp_corpus::QueryCategory;
 use geoserp_crawler::Role;
 use geoserp_geo::{Granularity, LocationId};
-use geoserp_metrics::edit_distance;
 use serde::Serialize;
 
 /// One Figure-8 panel (one granularity).
@@ -64,7 +63,7 @@ pub fn fig8_consistency(idx: &ObsIndex<'_>, category: QueryCategory) -> Vec<Fig8
                     idx.get(day, gran, baseline, term, Role::Treatment),
                     idx.get(day, gran, other, term, other_role),
                 ) {
-                    vals.push(edit_distance(&idx.urls(a), &idx.urls(b)) as f64);
+                    vals.push(idx.pair_edit(a, b));
                 }
             }
             vals.iter().sum::<f64>() / vals.len().max(1) as f64

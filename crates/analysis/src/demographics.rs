@@ -21,7 +21,7 @@ use crate::render::{f3, table};
 use geoserp_corpus::QueryCategory;
 use geoserp_crawler::Role;
 use geoserp_geo::{DemographicFeature, Granularity};
-use geoserp_metrics::{jaccard, pearson, spearman};
+use geoserp_metrics::{pearson, spearman};
 use serde::Serialize;
 
 /// Correlation of one candidate explanatory variable with pairwise SERP
@@ -91,7 +91,7 @@ pub fn demographic_correlations(
                         idx.get(day, granularity, locs[i], term, Role::Treatment),
                         idx.get(day, granularity, locs[j], term, Role::Treatment),
                     ) {
-                        sims.push(jaccard(&idx.urls(a), &idx.urls(b)));
+                        sims.push(idx.pair_jaccard(a, b));
                     }
                 }
             }

@@ -1,12 +1,163 @@
-//! Fast lookup structures over a dataset.
+//! Fast lookup structures over a dataset, plus the deterministic pairwise
+//! comparison layer every figure shares.
+//!
+//! Two execution paths coexist, selected by [`AnalysisOptions`]:
+//!
+//! * **Serial** ([`geoserp_pool::Workers::Serial`], or plain
+//!   [`ObsIndex::new`]) — the
+//!   legacy reference path: every figure recomputes its own comparisons
+//!   from URL strings, exactly as before the pool existed.
+//! * **Pooled** (`Auto` / `Fixed(n)`) — [`ObsIndex::with_options`]
+//!   enumerates every (treatment, control) and (treatment, treatment)
+//!   comparison the figures will need, computes each one **once** over
+//!   interned [`UrlId`]s via [`DetPool::map_indexed`], and caches the
+//!   [`PairStat`]s. Figures then look comparisons up instead of recomputing
+//!   them. Because URL interning is a bijection (equal string ⇔ equal id),
+//!   id-based Jaccard/edit/attribution values are identical to the
+//!   string-based ones — so reports are byte-identical across paths and
+//!   across every worker count.
 
+use crate::options::AnalysisOptions;
 use geoserp_corpus::QueryCategory;
-use geoserp_crawler::{Dataset, Observation, Role};
+use geoserp_crawler::{Dataset, Observation, Role, UrlId};
 use geoserp_geo::{Granularity, LocationId};
+use geoserp_metrics::{attribution as type_attribution, edit_distance, jaccard};
+use geoserp_obs::ObsHub;
+use geoserp_pool::DetPool;
+use geoserp_serp::ResultType;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// Cell key: one (day-in-block, granularity, location, term, role) slot.
 type CellKey<'a> = (u32, Granularity, LocationId, &'a str, Role);
+
+/// One cached pairwise page comparison: everything any figure derives from
+/// a pair of SERPs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PairStat {
+    /// Jaccard index of the URL sets.
+    pub jaccard: f64,
+    /// Edit distance between the full URL lists.
+    pub total: usize,
+    /// Edit distance between the Maps-typed sublists.
+    pub maps: usize,
+    /// Edit distance between the News-typed sublists.
+    pub news: usize,
+    /// `total - maps - news`, clamped at zero.
+    pub other: usize,
+}
+
+/// Per-thread scratch buffers for [`PairStat::of`] — the cache build runs
+/// hundreds of thousands of comparisons per worker, so the id lists are
+/// reused across calls instead of reallocated.
+#[derive(Default)]
+struct PairScratch {
+    ids_a: Vec<UrlId>,
+    ids_b: Vec<UrlId>,
+    sub_a: Vec<UrlId>,
+    sub_b: Vec<UrlId>,
+    set_a: Vec<UrlId>,
+    set_b: Vec<UrlId>,
+}
+
+/// Jaccard of two id lists as *sets*, via sort-merge over scratch buffers.
+///
+/// Computes exactly `geoserp_metrics::jaccard`'s value — the intersection
+/// and union counts of the distinct elements are the same integers, so the
+/// final division is bit-identical — without building hash sets.
+fn sorted_jaccard(
+    ids_a: &[UrlId],
+    ids_b: &[UrlId],
+    set_a: &mut Vec<UrlId>,
+    set_b: &mut Vec<UrlId>,
+) -> f64 {
+    let distinct = |src: &[UrlId], dst: &mut Vec<UrlId>| {
+        dst.clear();
+        dst.extend_from_slice(src);
+        dst.sort_unstable();
+        dst.dedup();
+    };
+    distinct(ids_a, set_a);
+    distinct(ids_b, set_b);
+    let (sa, sb) = (&*set_a, &*set_b);
+    if sa.is_empty() && sb.is_empty() {
+        return 1.0;
+    }
+    let (mut i, mut j, mut inter) = (0, 0, 0usize);
+    while i < sa.len() && j < sb.len() {
+        match sa[i].cmp(&sb[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                inter += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    let union = sa.len() + sb.len() - inter;
+    inter as f64 / union as f64
+}
+
+impl PairStat {
+    /// Compute one comparison over interned URL ids. The full id lists are
+    /// collected once and shared by the Jaccard and the total edit distance;
+    /// the type-filtered sublists follow `geoserp_metrics::attribution`'s
+    /// definition exactly (`other` is the residual, floored at zero), so the
+    /// values match the string-based serial path bit for bit.
+    fn of(a: &Observation, b: &Observation) -> PairStat {
+        use std::cell::RefCell;
+        thread_local! {
+            static SCRATCH: RefCell<PairScratch> = RefCell::new(PairScratch::default());
+        }
+        SCRATCH.with(|cell| {
+            let scratch = &mut *cell.borrow_mut();
+            let fill = |src: &Observation, dst: &mut Vec<UrlId>, only: Option<ResultType>| {
+                dst.clear();
+                dst.extend(
+                    src.results
+                        .iter()
+                        .filter(|(_, ty)| only.is_none_or(|t| *ty == t))
+                        .map(|(id, _)| *id),
+                );
+            };
+            fill(a, &mut scratch.ids_a, None);
+            fill(b, &mut scratch.ids_b, None);
+            let total = edit_distance(&scratch.ids_a, &scratch.ids_b);
+            fill(a, &mut scratch.sub_a, Some(ResultType::Maps));
+            fill(b, &mut scratch.sub_b, Some(ResultType::Maps));
+            let maps = edit_distance(&scratch.sub_a, &scratch.sub_b);
+            fill(a, &mut scratch.sub_a, Some(ResultType::News));
+            fill(b, &mut scratch.sub_b, Some(ResultType::News));
+            let news = edit_distance(&scratch.sub_a, &scratch.sub_b);
+            let jaccard = sorted_jaccard(
+                &scratch.ids_a,
+                &scratch.ids_b,
+                &mut scratch.set_a,
+                &mut scratch.set_b,
+            );
+            PairStat {
+                jaccard,
+                total,
+                maps,
+                news,
+                other: total.saturating_sub(maps + news),
+            }
+        })
+    }
+}
+
+/// Noise-pair key: treatment vs control at one (granularity, day, location,
+/// term) cell.
+type NoiseKey<'a> = (Granularity, u32, LocationId, &'a str);
+/// Treatment-pair key: two locations (in crawl order) at one (granularity,
+/// day, term) cell.
+type TreatKey<'a> = (Granularity, u32, LocationId, LocationId, &'a str);
+
+/// Every pairwise comparison the report needs, computed once.
+struct PairCache<'a> {
+    noise: HashMap<NoiseKey<'a>, PairStat>,
+    treatment: HashMap<TreatKey<'a>, PairStat>,
+}
 
 /// Index over a dataset's observations.
 pub struct ObsIndex<'a> {
@@ -15,6 +166,8 @@ pub struct ObsIndex<'a> {
     terms_by_category: BTreeMap<QueryCategory, Vec<&'a str>>,
     days_by_granularity: BTreeMap<Granularity, BTreeSet<u32>>,
     locations_by_granularity: BTreeMap<Granularity, Vec<LocationId>>,
+    pool: DetPool,
+    cache: Option<PairCache<'a>>,
 }
 
 impl<'a> ObsIndex<'a> {
@@ -56,7 +209,144 @@ impl<'a> ObsIndex<'a> {
             terms_by_category,
             days_by_granularity,
             locations_by_granularity,
+            pool: DetPool::serial(),
+            cache: None,
         }
+    }
+
+    /// Build the index under an [`AnalysisOptions`] policy. With anything
+    /// other than [`geoserp_pool::Workers::Serial`], every pairwise
+    /// comparison any figure
+    /// will need is computed up front — exactly once, over interned URL
+    /// ids, sharded across the pool by stable task index — and figures
+    /// consume the cache through the `pair_*` accessors. Output values are
+    /// identical to the serial path's.
+    pub fn with_options(ds: &'a Dataset, options: &AnalysisOptions, obs: Option<&ObsHub>) -> Self {
+        let mut idx = ObsIndex::new(ds);
+        idx.pool = DetPool::new(options.workers);
+        if options.workers.is_serial() {
+            return idx;
+        }
+        let started = std::time::Instant::now();
+        // Enumerate every comparison in the fixed consumer orientation:
+        // noise pairs as (treatment, control), treatment pairs as
+        // (earlier location, later location) in crawl order.
+        let mut tasks: Vec<(&'a Observation, &'a Observation)> = Vec::new();
+        for gran in idx.granularities() {
+            for category in idx.categories() {
+                idx.for_each_noise_pair(gran, category, |t, c| tasks.push((t, c)));
+                idx.for_each_treatment_pair(gran, category, |a, b| tasks.push((a, b)));
+            }
+        }
+        let stats = idx
+            .pool
+            .map_indexed("analysis.pairs", obs, &tasks, |_, (a, b)| {
+                PairStat::of(a, b)
+            });
+        let mut cache = PairCache {
+            noise: HashMap::with_capacity(tasks.len() / 4),
+            treatment: HashMap::with_capacity(tasks.len()),
+        };
+        for ((a, b), stat) in tasks.into_iter().zip(stats) {
+            if a.location == b.location {
+                cache.noise.insert(
+                    (a.granularity, a.block_day, a.location, a.term.as_str()),
+                    stat,
+                );
+            } else {
+                cache.treatment.insert(
+                    (
+                        a.granularity,
+                        a.block_day,
+                        a.location,
+                        b.location,
+                        a.term.as_str(),
+                    ),
+                    stat,
+                );
+            }
+        }
+        idx.cache = Some(cache);
+        if let Some(hub) = obs {
+            hub.metrics()
+                .gauge("analysis.pair_cache_wall_us")
+                .set(started.elapsed().as_micros() as i64);
+        }
+        idx
+    }
+
+    /// The deterministic pool analyses shard their work through.
+    pub fn pool(&self) -> &DetPool {
+        &self.pool
+    }
+
+    /// Whether the pairwise comparison cache is active (pooled path).
+    pub fn is_cached(&self) -> bool {
+        self.cache.is_some()
+    }
+
+    /// Cache lookup in either orientation (all pair statistics are
+    /// symmetric). `None` on the serial path.
+    fn cached_stat(&self, a: &Observation, b: &Observation) -> Option<PairStat> {
+        let cache = self.cache.as_ref()?;
+        let (gran, day, term) = (a.granularity, a.block_day, a.term.as_str());
+        if a.location == b.location {
+            cache.noise.get(&(gran, day, a.location, term)).copied()
+        } else {
+            cache
+                .treatment
+                .get(&(gran, day, a.location, b.location, term))
+                .or_else(|| {
+                    cache
+                        .treatment
+                        .get(&(gran, day, b.location, a.location, term))
+                })
+                .copied()
+        }
+    }
+
+    /// Jaccard and edit distance of a pair's URL lists. Cached on the
+    /// pooled path; recomputed from URL strings (the legacy code path) on
+    /// the serial one.
+    pub fn pair_urls_stat(&self, a: &'a Observation, b: &'a Observation) -> (f64, f64) {
+        if let Some(s) = self.cached_stat(a, b) {
+            return (s.jaccard, s.total as f64);
+        }
+        let ua = self.urls(a);
+        let ub = self.urls(b);
+        (jaccard(&ua, &ub), edit_distance(&ua, &ub) as f64)
+    }
+
+    /// Edit distance of a pair's URL lists (see [`Self::pair_urls_stat`]).
+    pub fn pair_edit(&self, a: &'a Observation, b: &'a Observation) -> f64 {
+        if let Some(s) = self.cached_stat(a, b) {
+            return s.total as f64;
+        }
+        edit_distance(&self.urls(a), &self.urls(b)) as f64
+    }
+
+    /// Jaccard of a pair's URL sets (see [`Self::pair_urls_stat`]).
+    pub fn pair_jaccard(&self, a: &'a Observation, b: &'a Observation) -> f64 {
+        if let Some(s) = self.cached_stat(a, b) {
+            return s.jaccard;
+        }
+        jaccard(&self.urls(a), &self.urls(b))
+    }
+
+    /// Result-type attribution `(total, maps, news, other)` of a pair (see
+    /// [`Self::pair_urls_stat`]).
+    pub fn pair_attribution(
+        &self,
+        a: &'a Observation,
+        b: &'a Observation,
+    ) -> (usize, usize, usize, usize) {
+        if let Some(s) = self.cached_stat(a, b) {
+            return (s.total, s.maps, s.news, s.other);
+        }
+        let ta = self.typed(a);
+        let tb = self.typed(b);
+        let t = type_attribution(&ta, &tb, &ResultType::Maps, &ResultType::News);
+        (t.total, t.maps, t.news, t.other)
     }
 
     /// The underlying dataset.

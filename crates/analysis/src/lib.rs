@@ -33,6 +33,7 @@ pub mod demographics;
 pub mod index;
 pub mod markdown;
 pub mod noise;
+pub mod options;
 pub mod paper;
 pub mod personalization;
 pub mod plot;
@@ -44,9 +45,11 @@ pub use attribution::{
 };
 pub use consistency::{fig8_consistency, Fig8Panel};
 pub use demographics::{demographic_correlations, DemographicsReport, FeatureCorrelation};
-pub use index::ObsIndex;
+pub use geoserp_pool::Workers;
+pub use index::{ObsIndex, PairStat};
 pub use markdown::{compare_with_paper, Comparison, ShapeCheck};
 pub use noise::{fig2_noise, fig3_noise_per_term, CategoryStat, TermSeries};
+pub use options::AnalysisOptions;
 pub use personalization::{
     fig5_personalization, fig6_personalization_per_term, most_personalized_terms, Fig5Row,
 };

@@ -8,7 +8,7 @@ use crate::index::ObsIndex;
 use crate::render::{f2, table};
 use geoserp_corpus::QueryCategory;
 use geoserp_geo::Granularity;
-use geoserp_metrics::{edit_distance, jaccard, Summary};
+use geoserp_metrics::Summary;
 use serde::Serialize;
 use std::collections::BTreeMap;
 
@@ -34,10 +34,9 @@ pub fn fig2_noise(idx: &ObsIndex<'_>) -> Vec<CategoryStat> {
             let mut jaccards = Vec::new();
             let mut edits = Vec::new();
             idx.for_each_noise_pair(gran, category, |t, c| {
-                let a = idx.urls(t);
-                let b = idx.urls(c);
-                jaccards.push(jaccard(&a, &b));
-                edits.push(edit_distance(&a, &b) as f64);
+                let (j, e) = idx.pair_urls_stat(t, c);
+                jaccards.push(j);
+                edits.push(e);
             });
             out.push(CategoryStat {
                 granularity: gran,
@@ -98,10 +97,9 @@ pub(crate) fn per_term_series(
                                 idx.get(day, gran, locs[i], term, geoserp_crawler::Role::Treatment),
                                 idx.get(day, gran, locs[k], term, geoserp_crawler::Role::Treatment),
                             ) {
-                                let ua = idx.urls(a);
-                                let ub = idx.urls(b);
-                                e.push(edit_distance(&ua, &ub) as f64);
-                                j.push(jaccard(&ua, &ub));
+                                let (jac, edit) = idx.pair_urls_stat(a, b);
+                                e.push(edit);
+                                j.push(jac);
                             }
                         }
                     }
@@ -113,10 +111,9 @@ pub(crate) fn per_term_series(
                             idx.get(day, gran, loc, term, geoserp_crawler::Role::Treatment),
                             idx.get(day, gran, loc, term, geoserp_crawler::Role::Control),
                         ) {
-                            let ua = idx.urls(t);
-                            let ub = idx.urls(c);
-                            e.push(edit_distance(&ua, &ub) as f64);
-                            j.push(jaccard(&ua, &ub));
+                            let (jac, edit) = idx.pair_urls_stat(t, c);
+                            e.push(edit);
+                            j.push(jac);
                         }
                     }
                 }

@@ -1,0 +1,58 @@
+//! Execution options for the analysis pipeline.
+
+use geoserp_pool::Workers;
+
+/// How the analysis pipeline executes.
+///
+/// The default (`Workers::Auto`) runs the pooled path: pairwise
+/// comparisons are computed once over interned URL ids and sharded across
+/// the host's cores. [`Workers::Serial`] selects the legacy single-threaded
+/// reference path. Every setting produces byte-identical reports — worker
+/// count changes wall-clock, never output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AnalysisOptions {
+    /// Worker policy for pairwise comparisons, per-cell inference, and
+    /// per-figure fan-out.
+    pub workers: Workers,
+}
+
+impl AnalysisOptions {
+    /// The pooled default.
+    pub fn new() -> Self {
+        AnalysisOptions {
+            workers: Workers::Auto,
+        }
+    }
+
+    /// The legacy single-threaded reference path.
+    pub fn serial() -> Self {
+        AnalysisOptions {
+            workers: Workers::Serial,
+        }
+    }
+
+    /// A fixed worker count.
+    pub fn fixed(workers: usize) -> Self {
+        AnalysisOptions {
+            workers: Workers::Fixed(workers),
+        }
+    }
+}
+
+impl Default for AnalysisOptions {
+    fn default() -> Self {
+        AnalysisOptions::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_to_auto() {
+        assert_eq!(AnalysisOptions::default().workers, Workers::Auto);
+        assert!(AnalysisOptions::serial().workers.is_serial());
+        assert_eq!(AnalysisOptions::fixed(3).workers, Workers::Fixed(3));
+    }
+}

@@ -9,7 +9,7 @@ use crate::noise::{fig2_noise, per_term_series, TermSeries};
 use crate::render::{f2, table};
 use geoserp_corpus::QueryCategory;
 use geoserp_geo::Granularity;
-use geoserp_metrics::{edit_distance, jaccard, Summary};
+use geoserp_metrics::Summary;
 use serde::Serialize;
 
 /// One Figure-5 bar group with its Figure-2 noise floor attached.
@@ -54,10 +54,9 @@ pub fn fig5_personalization(idx: &ObsIndex<'_>) -> Vec<Fig5Row> {
             let mut jaccards = Vec::new();
             let mut edits = Vec::new();
             idx.for_each_treatment_pair(gran, category, |a, b| {
-                let ua = idx.urls(a);
-                let ub = idx.urls(b);
-                jaccards.push(jaccard(&ua, &ub));
-                edits.push(edit_distance(&ua, &ub) as f64);
+                let (j, e) = idx.pair_urls_stat(a, b);
+                jaccards.push(j);
+                edits.push(e);
             });
             let floor = noise
                 .iter()

@@ -13,7 +13,7 @@ use crate::index::ObsIndex;
 use crate::render::{f2, f3, table};
 use geoserp_corpus::QueryCategory;
 use geoserp_geo::{Granularity, LocationId, Seed};
-use geoserp_metrics::{bootstrap_mean_ci, edit_distance, permutation_test, ConfidenceInterval};
+use geoserp_metrics::{bootstrap_mean_ci, permutation_test, ConfidenceInterval};
 use serde::Serialize;
 
 /// One cell's personalization-vs-noise test.
@@ -45,37 +45,57 @@ impl SignificanceRow {
 /// Run the permutation test for every (granularity, category) cell.
 ///
 /// `rounds` permutations per cell (1,000 is plenty for α = 0.01); fully
-/// deterministic in `seed`.
+/// deterministic in `seed`. Every cell draws from its own derived seed
+/// (`seed → granularity slug → category label`), so the RNG stream of one
+/// cell never depends on how many draws an earlier cell consumed — which is
+/// also what lets the cells run on the index's [`geoserp_pool::DetPool`]
+/// without changing a single p-value.
 pub fn personalization_significance(
     idx: &ObsIndex<'_>,
     rounds: usize,
     seed: Seed,
 ) -> Vec<SignificanceRow> {
-    let mut out = Vec::new();
+    let mut cells = Vec::new();
     for gran in idx.granularities() {
         for category in idx.categories() {
-            let mut pers = Vec::new();
-            idx.for_each_treatment_pair(gran, category, |a, b| {
-                pers.push(edit_distance(&idx.urls(a), &idx.urls(b)) as f64);
-            });
-            let mut noise = Vec::new();
-            idx.for_each_noise_pair(gran, category, |t, c| {
-                noise.push(edit_distance(&idx.urls(t), &idx.urls(c)) as f64);
-            });
-            let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len().max(1) as f64;
-            let cell_seed = seed.derive(gran.slug()).derive(category.label());
-            out.push(SignificanceRow {
-                granularity: gran,
-                category,
-                personalization_mean: mean(&pers),
-                noise_mean: mean(&noise),
-                personalization_ci: bootstrap_mean_ci(&pers, 0.95, 1_000, cell_seed),
-                p_value: permutation_test(&pers, &noise, rounds, cell_seed).map(|t| t.p_value),
-                samples: (pers.len(), noise.len()),
-            });
+            cells.push((gran, category));
         }
     }
-    out
+    idx.pool()
+        .map_indexed("analysis.significance_cells", None, &cells, |_, cell| {
+            significance_cell(idx, *cell, rounds, seed)
+        })
+}
+
+/// One (granularity, category) significance cell — the unit of work for the
+/// parallel fan-out above, and the target of the RNG-order regression tests:
+/// computing a single cell in isolation must equal the same row from the
+/// full run.
+pub fn significance_cell(
+    idx: &ObsIndex<'_>,
+    (gran, category): (Granularity, QueryCategory),
+    rounds: usize,
+    seed: Seed,
+) -> SignificanceRow {
+    let mut pers = Vec::new();
+    idx.for_each_treatment_pair(gran, category, |a, b| {
+        pers.push(idx.pair_edit(a, b));
+    });
+    let mut noise = Vec::new();
+    idx.for_each_noise_pair(gran, category, |t, c| {
+        noise.push(idx.pair_edit(t, c));
+    });
+    let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len().max(1) as f64;
+    let cell_seed = seed.derive(gran.slug()).derive(category.label());
+    SignificanceRow {
+        granularity: gran,
+        category,
+        personalization_mean: mean(&pers),
+        noise_mean: mean(&noise),
+        personalization_ci: bootstrap_mean_ci(&pers, 0.95, 1_000, cell_seed),
+        p_value: permutation_test(&pers, &noise, rounds, cell_seed).map(|t| t.p_value),
+        samples: (pers.len(), noise.len()),
+    }
 }
 
 /// Render the significance table.

@@ -17,6 +17,12 @@
 //! | `demographics` | §3.2 — demographic correlations (the null result) |
 //! | `ablations` | DESIGN.md's design-choice ablations |
 //!
+//! Two throughput benchmarks write JSON artifacts instead: the default
+//! binary (`geoserp-bench`) races the crawl backends into
+//! `BENCH_crawl.json`, and `analysis_scale` races the analysis pipeline
+//! (serial vs 2/4/8 pooled workers, byte-identity asserted before timing)
+//! into `BENCH_analysis.json`.
+//!
 //! Run any of them with `cargo run --release -p geoserp-bench --bin figN`.
 //! Scale is controlled by `GEOSERP_SCALE`:
 //!

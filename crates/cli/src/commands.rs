@@ -84,8 +84,13 @@ COMMANDS:
                    --trace-out FILE        write Chrome trace-event JSON
                                            (load in Perfetto or
                                            chrome://tracing)
+                 parallel analysis (report bytes never change):
+                   --analysis-workers W    auto|serial|N analysis threads
+                                           [auto]; serial is the reference
+                                           single-threaded pipeline
     analyze      rerun every figure over a saved dataset
                    <file>          dataset JSON from `run --save`
+                   --analysis-workers W    as for run
     report       print the per-stage observability breakdown
                    <file>          a metrics snapshot from
                                    `run --metrics-out FILE.json`, or a saved
@@ -133,6 +138,16 @@ fn plan_for(scale: &str) -> Result<ExperimentPlan, CliError> {
     }
 }
 
+/// Parse `--analysis-workers auto|serial|N` (default `auto`).
+fn analysis_options_from(args: &ParsedArgs) -> Result<AnalysisOptions, CliError> {
+    let mut options = AnalysisOptions::default();
+    if let Some(w) = args.get("analysis-workers") {
+        options.workers = Workers::parse(w)
+            .map_err(|e| CliError::Invalid(format!("--analysis-workers {w}: {e}")))?;
+    }
+    Ok(options)
+}
+
 fn study_from(args: &ParsedArgs) -> Result<Study, CliError> {
     let seed = args.get_u64("seed", 2015)?;
     let mut plan = plan_for(args.get("scale").unwrap_or("medium"))?;
@@ -150,7 +165,11 @@ fn study_from(args: &ParsedArgs) -> Result<Study, CliError> {
     if args.get("round-deadline-ms").is_some() {
         plan.retry.round_deadline_ms = Some(args.get_u64("round-deadline-ms", 0)?);
     }
-    Ok(Study::builder().seed(seed).plan(plan).build())
+    Ok(Study::builder()
+        .seed(seed)
+        .plan(plan)
+        .analysis_options(analysis_options_from(args)?)
+        .build())
 }
 
 /// `geoserp run`
@@ -208,7 +227,11 @@ pub fn cmd_run(args: &ParsedArgs) -> Result<String, CliError> {
     let mut out = if max_rounds.is_some() {
         partial_summary(&dataset)
     } else {
-        geoserp_core::report::full_report_with_obs(&dataset, Some(&obs))
+        geoserp_core::report::full_report_with_options(
+            &dataset,
+            Some(&obs),
+            study.analysis_options(),
+        )
     };
     out.push_str(&notes);
     if let Some(dir) = args.get("export") {
@@ -369,7 +392,10 @@ pub fn cmd_analyze(args: &ParsedArgs) -> Result<String, CliError> {
     let json = std::fs::read_to_string(file)?;
     let dataset = Dataset::from_json(&json)
         .map_err(|e| CliError::Invalid(format!("{file}: not a geoserp dataset: {e}")))?;
-    Ok(geoserp_core::report::full_report(&dataset))
+    let options = analysis_options_from(args)?;
+    Ok(geoserp_core::report::full_report_with_options(
+        &dataset, None, &options,
+    ))
 }
 
 /// `geoserp report <file>` — print the per-stage observability breakdown.
@@ -646,6 +672,7 @@ mod tests {
                 "round-deadline-ms",
                 "metrics-out",
                 "trace-out",
+                "analysis-workers",
             ],
             &["quiet"],
         )
@@ -849,6 +876,22 @@ mod tests {
         ))
         .unwrap_err();
         assert!(err.to_string().contains("--resume"), "{err}");
+    }
+
+    #[test]
+    fn analysis_workers_flag_never_changes_report_bytes() {
+        let serial = cmd_run(&run_args(
+            "run --scale quick --seed 11 --quiet --analysis-workers serial",
+        ))
+        .unwrap();
+        let pooled = cmd_run(&run_args(
+            "run --scale quick --seed 11 --quiet --analysis-workers 3",
+        ))
+        .unwrap();
+        assert_eq!(serial, pooled, "worker count leaked into report bytes");
+
+        let err = cmd_run(&run_args("run --scale quick --analysis-workers many")).unwrap_err();
+        assert!(err.to_string().contains("analysis-workers"), "{err}");
     }
 
     #[test]

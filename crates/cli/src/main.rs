@@ -32,13 +32,14 @@ fn dispatch(argv: &[String]) -> Result<String, CliError> {
                     "round-deadline-ms",
                     "metrics-out",
                     "trace-out",
+                    "analysis-workers",
                 ],
                 &["quiet"],
             )?;
             cmd_run(&p)
         }
         "analyze" => {
-            let p = args::parse(argv, &[], &[])?;
+            let p = args::parse(argv, &["analysis-workers"], &[])?;
             cmd_analyze(&p)
         }
         "report" => {

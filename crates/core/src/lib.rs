@@ -35,7 +35,7 @@ pub use study::{Study, StudyBuilder};
 /// Everything a typical user needs.
 pub mod prelude {
     pub use crate::study::{Study, StudyBuilder};
-    pub use geoserp_analysis::ObsIndex;
+    pub use geoserp_analysis::{AnalysisOptions, ObsIndex, Workers};
     pub use geoserp_corpus::{Query, QueryCategory, WebCorpus};
     pub use geoserp_crawler::{Crawler, Dataset, ExperimentPlan, Role, ValidationReport};
     pub use geoserp_engine::{EngineConfig, SearchEngine};

@@ -1,5 +1,6 @@
 //! The [`Study`] builder: seed + engine config + plan → world → dataset.
 
+use geoserp_analysis::{AnalysisOptions, Workers};
 use geoserp_crawler::{
     run_validation, CrawlProgress, Crawler, Dataset, ExperimentPlan, ValidationReport,
 };
@@ -9,13 +10,16 @@ use geoserp_geo::Seed;
 /// A configured reproduction study.
 ///
 /// Holds the three inputs that fully determine a run: the world [`Seed`],
-/// the [`EngineConfig`], and the [`ExperimentPlan`]. Construction is cheap;
-/// the world is built lazily by [`Study::crawler`] / [`Study::run`].
+/// the [`EngineConfig`], and the [`ExperimentPlan`] — plus the
+/// [`AnalysisOptions`] that steer how the report is computed (worker count;
+/// never what it contains). Construction is cheap; the world is built lazily
+/// by [`Study::crawler`] / [`Study::run`].
 #[derive(Debug, Clone)]
 pub struct Study {
     seed: Seed,
     engine_config: EngineConfig,
     plan: ExperimentPlan,
+    analysis: AnalysisOptions,
 }
 
 /// Builder for [`Study`].
@@ -24,6 +28,7 @@ pub struct StudyBuilder {
     seed: Seed,
     engine_config: EngineConfig,
     plan: ExperimentPlan,
+    analysis: AnalysisOptions,
 }
 
 impl Default for StudyBuilder {
@@ -32,6 +37,7 @@ impl Default for StudyBuilder {
             seed: Seed::new(2015),
             engine_config: EngineConfig::paper_defaults(),
             plan: ExperimentPlan::quick(),
+            analysis: AnalysisOptions::default(),
         }
     }
 }
@@ -68,6 +74,19 @@ impl StudyBuilder {
         self
     }
 
+    /// Set the analysis worker policy (`Auto`, `Fixed(n)`, or `Serial`).
+    /// Affects report wall-clock only, never report bytes.
+    pub fn analysis_workers(mut self, workers: Workers) -> Self {
+        self.analysis.workers = workers;
+        self
+    }
+
+    /// Replace the full [`AnalysisOptions`].
+    pub fn analysis_options(mut self, options: AnalysisOptions) -> Self {
+        self.analysis = options;
+        self
+    }
+
     /// Finalize.
     pub fn build(self) -> Study {
         self.plan.validate();
@@ -76,6 +95,7 @@ impl StudyBuilder {
             seed: self.seed,
             engine_config: self.engine_config,
             plan: self.plan,
+            analysis: self.analysis,
         }
     }
 }
@@ -99,6 +119,11 @@ impl Study {
     /// The experiment plan.
     pub fn plan(&self) -> &ExperimentPlan {
         &self.plan
+    }
+
+    /// The analysis options in force.
+    pub fn analysis_options(&self) -> &AnalysisOptions {
+        &self.analysis
     }
 
     /// Build the world (geography, corpus, engine, network, machine pool).
@@ -136,16 +161,17 @@ impl Study {
     }
 
     /// Render the full per-figure report for a dataset collected by this
-    /// study (see [`crate::report::full_report`]).
+    /// study, honoring the study's [`AnalysisOptions`] (see
+    /// [`crate::report::full_report_with_options`]).
     pub fn report(&self, dataset: &Dataset) -> String {
-        crate::report::full_report(dataset)
+        crate::report::full_report_with_options(dataset, None, &self.analysis)
     }
 
     /// Like [`Study::report`], recording per-figure compute time into
     /// `analysis.*` gauges on the given hub (see
     /// [`crate::report::full_report_with_obs`]).
     pub fn report_with_obs(&self, dataset: &Dataset, obs: &geoserp_obs::ObsHub) -> String {
-        crate::report::full_report_with_obs(dataset, Some(obs))
+        crate::report::full_report_with_options(dataset, Some(obs), &self.analysis)
     }
 }
 

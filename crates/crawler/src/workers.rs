@@ -15,11 +15,15 @@
 //! request order, virtual time), and the virtual clock only moves between
 //! rounds on the scheduler thread — so a pooled crawl is byte-identical to a
 //! serial one.
+//!
+//! The channel-fed worker machinery itself lives in `geoserp-pool`
+//! ([`ShardedPool`]); this module keeps only the crawl-specific adapter:
+//! one shard per machine, jobs shaped as (term, coordinate) fetches.
 
 use crate::retry::RetryPolicy;
 use crate::run::{CrawlStats, Crawler, JobCtx, JobOutput};
 use geoserp_geo::{Coord, Location};
-use std::sync::mpsc;
+use geoserp_pool::ShardedPool;
 use std::sync::Arc;
 use std::thread::Scope;
 
@@ -49,8 +53,6 @@ impl CrawlBackend {
 
 /// One fetch handed to a worker. Owned, so it can cross the channel.
 pub(crate) struct WorkJob {
-    /// Global job index within the round (also selects the machine).
-    pub index: usize,
     /// The query term.
     pub term: Arc<str>,
     /// The GPS coordinate to spoof.
@@ -62,12 +64,12 @@ pub(crate) struct WorkJob {
 /// `(job index, fetch outcome)` reported back to the scheduler.
 pub(crate) type RoundResult = (usize, Option<JobOutput>);
 
-/// One long-lived worker per machine, alive for a whole run.
+/// One long-lived worker per machine, alive for a whole run: the crawl
+/// adapter over [`ShardedPool`]. The shard index doubles as the machine
+/// index, so `index % machines` sharding reproduces
+/// [`MachinePool::assign`](crate::machines::MachinePool::assign) exactly.
 pub(crate) struct PersistentPool {
-    /// Per-machine job queues, indexed like the [`MachinePool`].
-    job_txs: Vec<mpsc::Sender<Vec<WorkJob>>>,
-    /// Results funnel shared by all workers.
-    results_rx: mpsc::Receiver<RoundResult>,
+    inner: ShardedPool<WorkJob, Option<JobOutput>>,
 }
 
 impl PersistentPool {
@@ -80,66 +82,29 @@ impl PersistentPool {
         stats: &'env CrawlStats,
     ) -> Self {
         let machines = crawler.pool().ips();
-        let (results_tx, results_rx) = mpsc::channel::<RoundResult>();
-        let mut job_txs = Vec::with_capacity(machines.len());
-        for machine in machines {
-            let (tx, rx) = mpsc::channel::<Vec<WorkJob>>();
-            job_txs.push(tx);
-            let results_tx = results_tx.clone();
-            scope.spawn(move || {
-                // Per-machine FIFO: batches arrive in round order and jobs
-                // within a batch are pre-sorted by index, reproducing the
-                // serial per-source request order exactly.
-                while let Ok(batch) = rx.recv() {
-                    for job in batch {
-                        let ctx = JobCtx {
-                            index: job.index,
-                            round_span: job.round_span,
-                        };
-                        let out =
-                            crawler.fetch_job(machine, &job.term, job.coord, policy, stats, ctx);
-                        if results_tx.send((job.index, out)).is_err() {
-                            return; // scheduler gone; shut down
-                        }
-                    }
-                }
-            });
-        }
-        // Workers hold the only result senders; `collect` can then detect a
-        // dead pool instead of blocking forever.
-        drop(results_tx);
-        PersistentPool {
-            job_txs,
-            results_rx,
-        }
+        let inner = ShardedPool::start(scope, machines.len(), move |shard, index, job: WorkJob| {
+            let ctx = JobCtx {
+                index,
+                round_span: job.round_span,
+            };
+            crawler.fetch_job(machines[shard], &job.term, job.coord, policy, stats, ctx)
+        });
+        PersistentPool { inner }
     }
 
     /// Queue one round: every location fetches `term` twice (treatment +
     /// control). Returns the number of results to [`collect`](Self::collect).
     pub fn dispatch(&self, term: &Arc<str>, locs: &[Location], round_span: u64) -> usize {
-        let n_machines = self.job_txs.len();
         let total = locs.len() * 2;
-        let mut batches: Vec<Vec<WorkJob>> = (0..n_machines).map(|_| Vec::new()).collect();
-        for index in 0..total {
-            batches[index % n_machines].push(WorkJob {
-                index,
-                term: Arc::clone(term),
-                coord: locs[index / 2].coord,
-                round_span,
-            });
-        }
-        for (tx, batch) in self.job_txs.iter().zip(batches) {
-            if !batch.is_empty() {
-                tx.send(batch).expect("worker alive while pool exists");
-            }
-        }
-        total
+        self.inner.dispatch((0..total).map(|index| WorkJob {
+            term: Arc::clone(term),
+            coord: locs[index / 2].coord,
+            round_span,
+        }))
     }
 
     /// Round barrier: wait for exactly `expected` results.
     pub fn collect(&self, expected: usize) -> Vec<RoundResult> {
-        (0..expected)
-            .map(|_| self.results_rx.recv().expect("a crawl worker died"))
-            .collect()
+        self.inner.collect(expected)
     }
 }

@@ -46,6 +46,12 @@ mod proptests {
         )
     }
 
+    fn sample_side() -> impl Strategy<Value = Vec<f64>> {
+        // Integer-valued f64 samples: small range forces ties, which are the
+        // interesting edge for the permutation-count properties below.
+        proptest::collection::vec((-8i8..8).prop_map(f64::from), 1..10)
+    }
+
     proptest! {
         #[test]
         fn jaccard_bounds_and_symmetry((a, b) in url_lists()) {
@@ -88,6 +94,71 @@ mod proptests {
         #[test]
         fn osa_never_exceeds_levenshtein((a, b) in url_lists()) {
             prop_assert!(edit_distance(&a, &b) <= levenshtein(&a, &b));
+        }
+
+        #[test]
+        fn jaccard_is_one_iff_equal_sets((a, b) in url_lists()) {
+            use std::collections::HashSet;
+            let j = jaccard(&a, &b);
+            let sa: HashSet<u8> = a.iter().copied().collect();
+            let sb: HashSet<u8> = b.iter().copied().collect();
+            if sa == sb {
+                prop_assert_eq!(j, 1.0, "equal sets must score exactly 1");
+            } else {
+                prop_assert!(j < 1.0, "distinct sets {sa:?} vs {sb:?} scored 1");
+            }
+        }
+
+        #[test]
+        fn permutation_p_value_bounds_and_determinism(
+            a in sample_side(),
+            b in sample_side(),
+            rounds in 1usize..120,
+            seed in 0u64..u64::MAX,
+        ) {
+            let s = geoserp_geo::Seed::new(seed);
+            let t = permutation_test(&a, &b, rounds, s).unwrap();
+            // Add-one smoothing bounds: p ∈ [1/(rounds+1), 1].
+            let lo = 1.0 / (rounds as f64 + 1.0);
+            prop_assert!(t.p_value >= lo && t.p_value <= 1.0, "p = {}", t.p_value);
+            prop_assert_eq!(t.rounds, rounds);
+            let again = permutation_test(&a, &b, rounds, s).unwrap();
+            prop_assert_eq!(t, again, "same seed must reproduce the test");
+        }
+
+        #[test]
+        fn permutation_observed_diff_flips_sign_on_swap(
+            a in sample_side(),
+            b in sample_side(),
+            seed in 0u64..u64::MAX,
+        ) {
+            let s = geoserp_geo::Seed::new(seed);
+            let ab = permutation_test(&a, &b, 50, s).unwrap();
+            let ba = permutation_test(&b, &a, 50, s).unwrap();
+            // IEEE subtraction is exactly antisymmetric, so this is == not ≈.
+            prop_assert_eq!(ba.observed_diff, -ab.observed_diff);
+        }
+
+        #[test]
+        fn permutation_sign_flip_complements_the_p_value(
+            a in sample_side(),
+            b in sample_side(),
+            rounds in 1usize..120,
+            seed in 0u64..u64::MAX,
+        ) {
+            // Negating every value flips the tested direction. With the same
+            // seed the shuffles visit the same positions, so each permuted
+            // difference is exactly negated, and every round lands in at
+            // least one of the two counts (both when it ties the observed):
+            //   p(a,b) + p(-a,-b) ∈ [(rounds+2)/(rounds+1), 2].
+            let s = geoserp_geo::Seed::new(seed);
+            let na: Vec<f64> = a.iter().map(|x| -x).collect();
+            let nb: Vec<f64> = b.iter().map(|x| -x).collect();
+            let p = permutation_test(&a, &b, rounds, s).unwrap().p_value;
+            let q = permutation_test(&na, &nb, rounds, s).unwrap().p_value;
+            let lo = (rounds as f64 + 2.0) / (rounds as f64 + 1.0);
+            prop_assert!(p + q >= lo - 1e-12, "p = {p}, q = {q}");
+            prop_assert!(p + q <= 2.0 + 1e-12, "p = {p}, q = {q}");
         }
 
         #[test]

@@ -1,0 +1,211 @@
+//! Integration: the serial-vs-parallel analysis differential battery.
+//!
+//! The guarantee under test: `full_report_with_options` produces the SAME
+//! BYTES for every worker policy — `Serial` (the original single-threaded
+//! reference pipeline, no pair cache), `Fixed(1..=8)`, and `Auto` — on the
+//! quick and medium plans, on a checkpoint-resumed dataset, and with
+//! observability instrumentation attached. A committed golden digest
+//! additionally pins the quick-plan report bytes, so a "both paths drifted
+//! together" regression cannot hide behind the self-consistency checks.
+
+use geoserp::analysis::significance::{personalization_significance, significance_cell};
+use geoserp::crawler::{fnv1a64, CrawlBackend, CrawlCheckpoint, CrawlOptions, Crawler};
+use geoserp::obs::ObsHub;
+use geoserp::prelude::*;
+use geoserp::report::full_report_with_options;
+use std::cell::RefCell;
+
+/// FNV-1a digest of the serial quick-plan report. If this moves, analysis
+/// output changed for every consumer — figure values, table layout, or
+/// significance seeds. Update it only for an intentional analysis change.
+const QUICK_REPORT_DIGEST: u64 = 0x41c0_9678_45b5_59ca;
+
+/// The CLI's `--scale quick` plan (2 days × 6 queries/category × 6
+/// locations/granularity), seed 2015 — the fixture the golden digest pins.
+fn quick_plan() -> ExperimentPlan {
+    ExperimentPlan {
+        days: 2,
+        queries_per_category: Some(6),
+        locations_per_granularity: Some(6),
+        ..ExperimentPlan::paper_full()
+    }
+}
+
+/// The shared medium fixture (same shape as `tests/paper_shapes.rs`): big
+/// enough that every figure has multi-element cells and the pair cache is
+/// exercised across all three granularities.
+fn medium_plan() -> ExperimentPlan {
+    ExperimentPlan {
+        days: 2,
+        queries_per_category: Some(12),
+        locations_per_granularity: Some(10),
+        ..ExperimentPlan::paper_full()
+    }
+}
+
+fn dataset(plan: &ExperimentPlan, seed: u64) -> Dataset {
+    Crawler::new(Seed::new(seed)).run(plan)
+}
+
+fn report(ds: &Dataset, workers: Workers) -> String {
+    let options = AnalysisOptions { workers };
+    full_report_with_options(ds, None, &options)
+}
+
+/// The battery core: serial vs every pooled worker count, byte for byte.
+fn assert_identical_across_worker_counts(ds: &Dataset, label: &str) {
+    let serial = report(ds, Workers::Serial);
+    for n in [1usize, 2, 3, 8] {
+        let pooled = report(ds, Workers::Fixed(n));
+        assert_eq!(
+            serial, pooled,
+            "{label}: report bytes diverged at {n} workers"
+        );
+    }
+    let auto = report(ds, Workers::Auto);
+    assert_eq!(serial, auto, "{label}: report bytes diverged under Auto");
+}
+
+#[test]
+fn quick_plan_report_is_byte_identical_across_worker_counts() {
+    let ds = dataset(&quick_plan(), 2015);
+    assert_identical_across_worker_counts(&ds, "quick");
+}
+
+#[test]
+fn medium_plan_report_is_byte_identical_across_worker_counts() {
+    let ds = dataset(&medium_plan(), 2015);
+    assert_identical_across_worker_counts(&ds, "medium");
+}
+
+#[test]
+fn quick_plan_report_matches_committed_digest() {
+    let ds = dataset(&quick_plan(), 2015);
+    let serial = report(&ds, Workers::Serial);
+    assert_eq!(
+        fnv1a64(serial.as_bytes()),
+        QUICK_REPORT_DIGEST,
+        "quick-plan report bytes drifted from the committed golden digest"
+    );
+}
+
+#[test]
+fn checkpoint_resumed_dataset_reports_identically() {
+    // Kill the quick crawl after 11 rounds (checkpointing every 4), resume
+    // the surviving checkpoint on a fresh same-seed world, and demand the
+    // analysis pipeline cannot tell: resumed-dataset reports must match the
+    // uninterrupted run's, at every worker count.
+    let plan = quick_plan();
+    let uninterrupted = dataset(&plan, 2015);
+
+    let last: RefCell<Option<CrawlCheckpoint>> = RefCell::new(None);
+    let sink = |c: &CrawlCheckpoint| *last.borrow_mut() = Some(c.clone());
+    let mut opts = CrawlOptions::new(CrawlBackend::WorkerPool);
+    opts.checkpoint_every = 4;
+    opts.on_checkpoint = Some(&sink);
+    opts.stop_after_rounds = Some(11);
+    Crawler::new(Seed::new(2015))
+        .run_with_options(&plan, opts, |_| {})
+        .expect("partial runs are valid");
+    let ckpt = last.into_inner().expect("checkpoint written by round 11");
+
+    let mut opts = CrawlOptions::new(CrawlBackend::WorkerPool);
+    opts.resume = Some(ckpt);
+    let resumed = Crawler::new(Seed::new(2015))
+        .run_with_options(&plan, opts, |_| {})
+        .expect("checkpoint resumes on a fresh world");
+    assert_eq!(
+        uninterrupted.to_json(),
+        resumed.to_json(),
+        "resume-equivalence precondition"
+    );
+
+    let reference = report(&uninterrupted, Workers::Serial);
+    for workers in [Workers::Serial, Workers::Fixed(2), Workers::Fixed(8)] {
+        assert_eq!(
+            reference,
+            report(&resumed, workers),
+            "resumed dataset diverged under {workers}"
+        );
+    }
+}
+
+#[test]
+fn instrumented_parallel_report_matches_and_records_pool_metrics() {
+    let ds = dataset(&quick_plan(), 2015);
+    let serial = report(&ds, Workers::Serial);
+
+    let hub = ObsHub::new();
+    let options = AnalysisOptions::fixed(3);
+    let instrumented = full_report_with_options(&ds, Some(&hub), &options);
+    assert_eq!(serial, instrumented, "instrumentation changed report bytes");
+
+    let snap = hub.snapshot();
+    assert!(
+        snap.counters.get("pool.analysis.pairs.tasks").copied() > Some(0),
+        "pairwise comparisons were not routed through the pool: {:?}",
+        snap.counters.keys().collect::<Vec<_>>()
+    );
+    assert_eq!(
+        snap.counters.get("pool.analysis.figures.tasks").copied(),
+        Some(10),
+        "per-figure fan-out must cover all ten report sections"
+    );
+    assert_eq!(
+        snap.gauges.get("pool.analysis.figures.workers").copied(),
+        Some(3)
+    );
+    assert!(
+        snap.gauges.contains_key("analysis.pair_cache_wall_us"),
+        "pair-cache build time gauge missing"
+    );
+
+    // Deterministic snapshots must stay free of wall-clock pool metrics.
+    let det = snap.deterministic();
+    assert!(
+        det.gauges.keys().all(|k| !k.contains("_wall_")),
+        "wall-clock metric leaked into the deterministic snapshot"
+    );
+}
+
+/// RNG-order audit: every significance cell draws from its own derived seed,
+/// so a cell's p-value and CI are identical whether the cell is computed
+/// alone, in the serial full run, or in the pooled full run — the property
+/// that makes per-cell parallelism safe.
+#[test]
+fn significance_cells_are_rng_order_independent() {
+    let ds = dataset(&quick_plan(), 2015);
+    let seed = Seed::new(2015).derive("report-significance");
+    let rounds = 400;
+
+    let serial_idx = ObsIndex::new(&ds);
+    let pooled_idx = ObsIndex::with_options(&ds, &AnalysisOptions::fixed(2), None);
+
+    let full_serial = personalization_significance(&serial_idx, rounds, seed);
+    let full_pooled = personalization_significance(&pooled_idx, rounds, seed);
+    assert_eq!(full_serial.len(), 9);
+    assert_eq!(full_serial.len(), full_pooled.len());
+
+    for (i, row) in full_serial.iter().enumerate() {
+        let cell = (row.granularity, row.category);
+        // Recompute the single cell in isolation on a fresh index: if any
+        // cell's RNG stream depended on its predecessors' draw counts, this
+        // would differ from the full-run row.
+        let alone = significance_cell(&ObsIndex::new(&ds), cell, rounds, seed);
+        assert_eq!(row.p_value, alone.p_value, "cell {cell:?} p-value coupled");
+        assert_eq!(
+            row.personalization_ci, alone.personalization_ci,
+            "cell {cell:?} CI coupled"
+        );
+        assert_eq!(row.personalization_mean, alone.personalization_mean);
+        assert_eq!(row.noise_mean, alone.noise_mean);
+        assert_eq!(row.samples, alone.samples);
+
+        let pooled_row = &full_pooled[i];
+        assert_eq!(row.p_value, pooled_row.p_value);
+        assert_eq!(row.personalization_ci, pooled_row.personalization_ci);
+        assert_eq!(row.personalization_mean, pooled_row.personalization_mean);
+        assert_eq!(row.noise_mean, pooled_row.noise_mean);
+        assert_eq!(row.samples, pooled_row.samples);
+    }
+}
