@@ -9,7 +9,13 @@ use geoserp_pool::Workers;
 /// the host's cores. [`Workers::Serial`] selects the legacy single-threaded
 /// reference path. Every setting produces byte-identical reports — worker
 /// count changes wall-clock, never output.
+/// The struct is `#[non_exhaustive]`: construct it through
+/// [`AnalysisOptions::new`]/[`serial`](AnalysisOptions::serial)/
+/// [`fixed`](AnalysisOptions::fixed) and adjust with the fluent
+/// [`workers`](AnalysisOptions::workers) setter, so future options don't
+/// break downstream struct literals.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct AnalysisOptions {
     /// Worker policy for pairwise comparisons, per-cell inference, and
     /// per-figure fan-out.
@@ -26,16 +32,18 @@ impl AnalysisOptions {
 
     /// The legacy single-threaded reference path.
     pub fn serial() -> Self {
-        AnalysisOptions {
-            workers: Workers::Serial,
-        }
+        AnalysisOptions::new().workers(Workers::Serial)
     }
 
     /// A fixed worker count.
     pub fn fixed(workers: usize) -> Self {
-        AnalysisOptions {
-            workers: Workers::Fixed(workers),
-        }
+        AnalysisOptions::new().workers(Workers::Fixed(workers))
+    }
+
+    /// Set the worker policy.
+    pub fn workers(mut self, workers: Workers) -> Self {
+        self.workers = workers;
+        self
     }
 }
 

@@ -41,7 +41,10 @@ fn bench_ablations(c: &mut Criterion) {
     ];
 
     for (label, cfg) in variants {
-        let engine = SearchEngine::new(Arc::clone(&corpus), &geo, cfg, Seed::new(2015));
+        let engine = SearchEngine::builder(Arc::clone(&corpus), &geo, Seed::new(2015))
+            .config(cfg)
+            .build()
+            .unwrap();
         let mut seq = 0u64;
         c.bench_function(&format!("search/School under {label}"), |b| {
             b.iter(|| {

@@ -19,22 +19,18 @@ fn bench_engine(c: &mut Criterion) {
     });
     heavy.bench_function("engine build (index + place index)", |b| {
         b.iter(|| {
-            SearchEngine::new(
-                Arc::clone(&corpus),
-                &geo,
-                EngineConfig::paper_defaults(),
-                Seed::new(7),
-            )
+            SearchEngine::builder(Arc::clone(&corpus), &geo, Seed::new(7))
+                .config(EngineConfig::paper_defaults())
+                .build()
+                .unwrap()
         })
     });
     heavy.finish();
 
-    let engine = SearchEngine::new(
-        Arc::clone(&corpus),
-        &geo,
-        EngineConfig::paper_defaults(),
-        Seed::new(2015),
-    );
+    let engine = SearchEngine::builder(Arc::clone(&corpus), &geo, Seed::new(2015))
+        .config(EngineConfig::paper_defaults())
+        .build()
+        .unwrap();
     let metro = geoserp_core::geo::us::CUYAHOGA_CENTROID;
     let mk_ctx = |q: &str, seq: u64| SearchContext {
         query: q.to_string(),

@@ -37,6 +37,7 @@ fn run_with(config: EngineConfig) -> Dataset {
         .engine_config(config)
         .plan(small_plan())
         .build()
+        .unwrap()
         .run()
 }
 
@@ -103,6 +104,7 @@ fn main() {
             .seed(seed_from_env())
             .engine_config(cfg)
             .build()
+            .unwrap()
             .validate(30, 8);
         println!(
             "  {label}: shared-GPS pairwise jaccard = {:.1}%   footer agreement = {:.0}%",

@@ -6,7 +6,7 @@ use geoserp_core::prelude::*;
 use std::sync::Arc;
 
 fn main() {
-    let study = Study::builder().seed(seed_from_env()).build();
+    let study = Study::builder().seed(seed_from_env()).build().unwrap();
     let crawler = study.crawler();
     let loc = crawler.vantage().baseline(Granularity::County).clone();
     let mut browser = geoserp_core::browser::Browser::new(

@@ -5,7 +5,7 @@ use geoserp_bench::seed_from_env;
 use geoserp_core::prelude::*;
 
 fn main() {
-    let study = Study::builder().seed(seed_from_env()).build();
+    let study = Study::builder().seed(seed_from_env()).build().unwrap();
     let queries = match std::env::var("GEOSERP_SCALE").as_deref() {
         Ok("quick") => 5,
         Ok("full") => 87,

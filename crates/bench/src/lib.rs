@@ -97,7 +97,11 @@ pub fn seed_from_env() -> u64 {
 pub fn standard_dataset(figure: &str) -> (Study, Dataset) {
     let scale = Scale::from_env();
     let seed = seed_from_env();
-    let study = Study::builder().seed(seed).plan(scale.plan()).build();
+    let study = Study::builder()
+        .seed(seed)
+        .plan(scale.plan())
+        .build()
+        .unwrap();
     eprintln!(
         "[geoserp-bench] {figure}: scale={} seed={seed} — crawling…",
         scale.label()

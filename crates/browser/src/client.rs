@@ -197,7 +197,7 @@ mod tests {
     }
 
     fn net_with_echo() -> Arc<SimNet> {
-        let net = Arc::new(SimNet::new(Seed::new(3)));
+        let net = Arc::new(SimNet::builder(Seed::new(3)).build());
         net.register_service("echo.example", &[ip("10.2.0.1")], echo_server());
         net
     }
@@ -247,7 +247,7 @@ mod tests {
 
     #[test]
     fn http_error_is_surfaced() {
-        let net = Arc::new(SimNet::new(Seed::new(4)));
+        let net = Arc::new(SimNet::builder(Seed::new(4)).build());
         net.register_service(
             "err.example",
             &[ip("10.2.0.9")],
@@ -261,7 +261,7 @@ mod tests {
     #[test]
     fn drops_are_retried_until_budget_exhausted() {
         // 100% drop: all attempts fail.
-        let net = Arc::new(SimNet::with_faults(Seed::new(5), 1.0, 0.0));
+        let net = Arc::new(SimNet::builder(Seed::new(5)).faults(1.0, 0.0).build());
         net.register_service("echo.example", &[ip("10.2.0.1")], echo_server());
         let b = Browser::new(net.clone(), ip("10.8.0.1"));
         let err = b.load("echo.example", "/", &[]).unwrap_err();
@@ -272,7 +272,7 @@ mod tests {
 
     #[test]
     fn moderate_drop_rate_usually_succeeds_with_retries() {
-        let net = Arc::new(SimNet::with_faults(Seed::new(6), 0.3, 0.0));
+        let net = Arc::new(SimNet::builder(Seed::new(6)).faults(0.3, 0.0).build());
         net.register_service("echo.example", &[ip("10.2.0.1")], echo_server());
         let b = Browser::new(net, ip("10.8.0.1"));
         let ok = (0..50)

@@ -44,6 +44,12 @@ impl From<std::io::Error> for CliError {
     }
 }
 
+impl From<geoserp_core::engine::ConfigError> for CliError {
+    fn from(e: geoserp_core::engine::ConfigError) -> Self {
+        CliError::Invalid(format!("invalid engine config: {e}"))
+    }
+}
+
 /// The help text.
 pub const HELP: &str = "\
 geoserp — location-based search-personalization measurement framework
@@ -111,6 +117,34 @@ COMMANDS:
                  dataset.jsonl into a directory
                    --out DIR       output directory (required)
                    --seed N / --scale S as above
+    serve        serve the search engine over real TCP sockets (the same
+                 engine the simulator runs; pages are byte-identical)
+                   --addr A        bind address          [127.0.0.1:8080]
+                   --workers N     worker threads        [4]
+                   --keep-alive B  true|false            [true]
+                   --max-body N    request body limit, bytes [1048576]
+                   --seed N        world seed            [2015]
+                   --day D         virtual day served    [0]
+                   --queue-depth N accept queue depth    [64]
+                   --rate-limit N  serve-layer per-IP requests/min [100000]
+                   --smoke         start, self-probe /healthz and /metrics,
+                                   then exit (for CI)
+                 the engine's own 30/min per-IP limit is raised for serving
+                 (every TCP client behind one NAT would share it); use
+                 --rate-limit to shed load at the socket layer instead
+    loadgen      closed-loop load generator; reports throughput + p50/p99
+                   --addr A        target a running `geoserp serve`
+                                   (omit to self-host a sweep; see --matrix)
+                   --requests N    total requests        [200]
+                   --concurrency C client threads        [4]
+                   --keep-alive B  true|false            [true]
+                   --query Q       search term           [Coffee]
+                   --matrix        sweep worker counts x keep-alive against
+                                   in-process servers on ephemeral ports
+                   --workers LIST  (matrix) comma-separated counts [1,4]
+                   --seed N        (matrix) world seed   [2015]
+                   --out FILE      also write the JSON report
+                                   (BENCH_serve.json shape in matrix mode)
     help         this text
 
 Scales: quick (seconds, sanity only), medium (default), full (the paper's
@@ -142,8 +176,9 @@ fn plan_for(scale: &str) -> Result<ExperimentPlan, CliError> {
 fn analysis_options_from(args: &ParsedArgs) -> Result<AnalysisOptions, CliError> {
     let mut options = AnalysisOptions::default();
     if let Some(w) = args.get("analysis-workers") {
-        options.workers = Workers::parse(w)
+        let workers = Workers::parse(w)
             .map_err(|e| CliError::Invalid(format!("--analysis-workers {w}: {e}")))?;
+        options = options.workers(workers);
     }
     Ok(options)
 }
@@ -169,7 +204,7 @@ fn study_from(args: &ParsedArgs) -> Result<Study, CliError> {
         .seed(seed)
         .plan(plan)
         .analysis_options(analysis_options_from(args)?)
-        .build())
+        .build()?)
 }
 
 /// `geoserp run`
@@ -280,7 +315,9 @@ fn run_checkpointed(
     let mut notes = String::new();
 
     let mut opts = CrawlOptions::new(CrawlBackend::from_plan_flag(plan.parallel));
-    opts.stop_after_rounds = max_rounds;
+    if let Some(n) = max_rounds {
+        opts = opts.stop_after_rounds(n);
+    }
     if let Some(file) = resume_file {
         let ckpt = CrawlCheckpoint::load(Path::new(file))
             .map_err(|e| CliError::Invalid(format!("--resume {file}: {e}")))?;
@@ -288,7 +325,7 @@ fn run_checkpointed(
             "(resumed from {file} at round {}/{})\n",
             ckpt.completed_rounds, ckpt.total_rounds
         ));
-        opts.resume = Some(ckpt);
+        opts = opts.resume(ckpt);
     }
 
     // The checkpoint sink can't return an error, so the first failed write is
@@ -304,8 +341,7 @@ fn run_checkpointed(
         }
     };
     if ckpt_file.is_some() {
-        opts.checkpoint_every = every;
-        opts.on_checkpoint = Some(&save);
+        opts = opts.checkpoint_every(every).on_checkpoint(&save);
     }
 
     let dataset = crawler
@@ -476,7 +512,7 @@ pub fn cmd_probe(args: &ParsedArgs) -> Result<String, CliError> {
     let lon = args.get_f64("lon", geoserp_core::geo::us::CUYAHOGA_CENTROID.lon_deg)?;
     let coord = Coord::new(lat, lon);
 
-    let study = Study::builder().seed(seed).build();
+    let study = Study::builder().seed(seed).build()?;
     let crawler = study.crawler();
     let mut browser = geoserp_core::browser::Browser::new(
         std::sync::Arc::clone(crawler.net()),
@@ -520,7 +556,7 @@ pub fn cmd_validate(args: &ParsedArgs) -> Result<String, CliError> {
             "--machines and --queries must be positive".into(),
         ));
     }
-    let study = Study::builder().seed(seed).build();
+    let study = Study::builder().seed(seed).build()?;
     let r = study.validate(machines, queries);
     Ok(format!(
         "validation: {} machines × {} controversial queries\n\
@@ -535,6 +571,186 @@ pub fn cmd_validate(args: &ParsedArgs) -> Result<String, CliError> {
         100.0 * r.ip_mean_pairwise_jaccard,
         100.0 * r.ip_identical_pair_fraction,
     ))
+}
+
+/// Parse a `--flag true|false` value (default when absent).
+fn get_bool(args: &ParsedArgs, flag: &str, default: bool) -> Result<bool, CliError> {
+    match args.get(flag) {
+        None => Ok(default),
+        Some("true") => Ok(true),
+        Some("false") => Ok(false),
+        Some(other) => Err(CliError::Invalid(format!(
+            "--{flag} {other}: expected true|false"
+        ))),
+    }
+}
+
+/// Build the socket-server pieces from `serve` flags.
+fn serve_setup_from(
+    args: &ParsedArgs,
+) -> Result<
+    (
+        geoserp_core::serve::ServedWorld,
+        geoserp_core::serve::ServeConfig,
+        String,
+    ),
+    CliError,
+> {
+    use geoserp_core::serve::{ServeConfig, ServedWorld};
+    let seed = args.get_u64("seed", 2015)?;
+    let addr = args.get("addr").unwrap_or("127.0.0.1:8080").to_string();
+    let workers = args.get_usize("workers", 4)?;
+    let keep_alive = get_bool(args, "keep-alive", true)?;
+    let max_body = args.get_usize("max-body", 1024 * 1024)?;
+    let day = args.get_u64("day", 0)?;
+    let day =
+        u32::try_from(day).map_err(|_| CliError::Invalid(format!("--day {day}: too large")))?;
+    let queue_depth = args.get_usize("queue-depth", 64)?;
+    let rate_limit = args.get_usize("rate-limit", 100_000)?;
+    if workers == 0 || queue_depth == 0 || rate_limit == 0 || max_body == 0 {
+        return Err(CliError::Invalid(
+            "--workers, --queue-depth, --rate-limit, and --max-body must be positive".into(),
+        ));
+    }
+    // The engine's own per-IP limit models Google throttling distinct
+    // crawler machines; behind one socket every client shares an IP, so
+    // serving raises it and shedding moves to the serve-layer limiter.
+    let engine_config = EngineConfig {
+        rate_limit_max: usize::MAX / 2,
+        ..EngineConfig::paper_defaults()
+    };
+    let world = ServedWorld::build(seed, engine_config)?;
+    let config = ServeConfig::new()
+        .workers(workers)
+        .keep_alive(keep_alive)
+        .queue_depth(queue_depth)
+        .rate_limit(rate_limit, 60_000)
+        .day(day)
+        .limits(geoserp_core::net::WireLimits::new().max_body_bytes(max_body));
+    Ok((world, config, addr))
+}
+
+/// `geoserp serve` — blocks until killed (or returns after a self-probe
+/// with `--smoke`).
+pub fn cmd_serve(args: &ParsedArgs) -> Result<String, CliError> {
+    use geoserp_core::serve::SocketServer;
+    let (world, config, addr) = serve_setup_from(args)?;
+    let server = SocketServer::start(&addr, &world, config)?;
+    let local = server.local_addr();
+    if args.has("smoke") {
+        let mut out = format!("serving search.example.com on {local}\n");
+        for path in ["/healthz", "/metrics"] {
+            let body = http_get(&local.to_string(), path)?;
+            out.push_str(&format!("GET {path}: {} bytes\n", body.len()));
+        }
+        server.shutdown();
+        out.push_str("smoke ok, server drained\n");
+        return Ok(out);
+    }
+    eprintln!("geoserp: serving search.example.com on {local} (ctrl-c to stop)");
+    loop {
+        std::thread::park();
+    }
+}
+
+/// Minimal client for the smoke probe: one request, returns the body.
+fn http_get(addr: &str, path: &str) -> Result<Vec<u8>, CliError> {
+    use geoserp_core::net::{encode_request, parse_response, Request, WireLimits};
+    use std::io::{Read, Write};
+    let req = Request::get(geoserp_core::engine::SEARCH_HOST, path);
+    let wire = encode_request(&req).map_err(|e| CliError::Invalid(e.to_string()))?;
+    let mut stream = std::net::TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(std::time::Duration::from_secs(5)))?;
+    stream.write_all(&wire)?;
+    let limits = WireLimits::new().max_body_bytes(8 * 1024 * 1024);
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        if let Some((resp, _)) = parse_response(&buf, &limits)
+            .map_err(|e| CliError::Invalid(format!("GET {path}: {e}")))?
+        {
+            if !resp.status.is_success() {
+                return Err(CliError::Invalid(format!(
+                    "GET {path}: status {}",
+                    resp.status.code()
+                )));
+            }
+            return Ok(resp.body.to_vec());
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(CliError::Invalid(format!("GET {path}: connection closed")));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    }
+}
+
+/// `geoserp loadgen`
+pub fn cmd_loadgen(args: &ParsedArgs) -> Result<String, CliError> {
+    use geoserp_core::serve::{loadgen, LoadgenConfig};
+    let requests = args.get_usize("requests", 200)?;
+    let concurrency = args.get_usize("concurrency", 4)?;
+    let keep_alive = get_bool(args, "keep-alive", true)?;
+    if requests == 0 || concurrency == 0 {
+        return Err(CliError::Invalid(
+            "--requests and --concurrency must be positive".into(),
+        ));
+    }
+
+    if args.has("matrix") || args.get("addr").is_none() {
+        let seed = args.get_u64("seed", 2015)?;
+        let workers: Vec<usize> = args
+            .get("workers")
+            .unwrap_or("1,4")
+            .split(',')
+            .map(|w| {
+                w.trim()
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| {
+                        CliError::Invalid(format!("--workers {w:?}: expected positive integers"))
+                    })
+            })
+            .collect::<Result<_, _>>()?;
+        let report = loadgen::run_matrix(seed, &workers, requests, concurrency)
+            .map_err(CliError::Invalid)?;
+        let mut out = report.to_table();
+        if let Some(file) = args.get("out") {
+            std::fs::write(file, report.to_json())?;
+            out.push_str(&format!("(report written to {file})\n"));
+        }
+        return Ok(out);
+    }
+
+    let addr = args.get("addr").expect("checked above").to_string();
+    let mut cfg = LoadgenConfig::new()
+        .requests(requests)
+        .concurrency(concurrency)
+        .keep_alive(keep_alive);
+    if let Some(q) = args.get("query") {
+        cfg = cfg.query(q);
+    }
+    let report = loadgen::run(&addr, &cfg)?;
+    let mut out = format!(
+        "loadgen against {addr}: {} requests, {} ok, {} errors in {:.2}s\n\
+         throughput {:.0} req/s   p50 {} us   p99 {} us\n",
+        report.requests,
+        report.ok,
+        report.errors,
+        report.elapsed_s,
+        report.throughput_rps,
+        report.p50_us,
+        report.p99_us
+    );
+    if let Some(file) = args.get("out") {
+        std::fs::write(
+            file,
+            serde_json::to_string_pretty(&report).expect("report serializes"),
+        )?;
+        out.push_str(&format!("(report written to {file})\n"));
+    }
+    Ok(out)
 }
 
 fn write_exports(dataset: &Dataset, dir: &Path) -> Result<(), CliError> {

@@ -7,8 +7,8 @@ mod args;
 mod commands;
 
 use commands::{
-    cmd_analyze, cmd_compare, cmd_export, cmd_probe, cmd_report, cmd_run, cmd_validate, CliError,
-    HELP,
+    cmd_analyze, cmd_compare, cmd_export, cmd_loadgen, cmd_probe, cmd_report, cmd_run, cmd_serve,
+    cmd_validate, CliError, HELP,
 };
 
 fn dispatch(argv: &[String]) -> Result<String, CliError> {
@@ -61,6 +61,40 @@ fn dispatch(argv: &[String]) -> Result<String, CliError> {
         "export" => {
             let p = args::parse(argv, &["seed", "scale", "out"], &[])?;
             cmd_export(&p)
+        }
+        "serve" => {
+            let p = args::parse(
+                argv,
+                &[
+                    "addr",
+                    "workers",
+                    "keep-alive",
+                    "max-body",
+                    "seed",
+                    "day",
+                    "queue-depth",
+                    "rate-limit",
+                ],
+                &["smoke"],
+            )?;
+            cmd_serve(&p)
+        }
+        "loadgen" => {
+            let p = args::parse(
+                argv,
+                &[
+                    "addr",
+                    "requests",
+                    "concurrency",
+                    "keep-alive",
+                    "query",
+                    "workers",
+                    "seed",
+                    "out",
+                ],
+                &["matrix"],
+            )?;
+            cmd_loadgen(&p)
         }
         "help" | "--help" | "-h" | "" => Ok(HELP.to_string()),
         other => Err(CliError::UnknownCommand(other.to_string())),

@@ -10,7 +10,7 @@
 //! use geoserp_core::prelude::*;
 //!
 //! // A small but complete end-to-end study (seconds, not hours):
-//! let study = Study::builder().seed(2015).quick().build();
+//! let study = Study::builder().seed(2015).quick().build().unwrap();
 //! let dataset = study.run();
 //! let report = study.report(&dataset);
 //! assert!(report.contains("Fig. 5"));
@@ -26,6 +26,7 @@ pub use geoserp_metrics as metrics;
 pub use geoserp_net as net;
 pub use geoserp_obs as obs;
 pub use geoserp_serp as serp;
+pub use geoserp_serve as serve;
 
 pub mod report;
 pub mod study;

@@ -234,7 +234,7 @@ mod tests {
             locations_per_granularity: Some(3),
             ..ExperimentPlan::quick()
         };
-        let study = Study::builder().seed(1).plan(plan).build();
+        let study = Study::builder().seed(1).plan(plan).build().unwrap();
         let ds = study.run();
         let report = study.report(&ds);
         for needle in [

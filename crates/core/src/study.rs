@@ -4,7 +4,7 @@ use geoserp_analysis::{AnalysisOptions, Workers};
 use geoserp_crawler::{
     run_validation, CrawlProgress, Crawler, Dataset, ExperimentPlan, ValidationReport,
 };
-use geoserp_engine::EngineConfig;
+use geoserp_engine::{ConfigError, EngineConfig};
 use geoserp_geo::Seed;
 
 /// A configured reproduction study.
@@ -88,15 +88,20 @@ impl StudyBuilder {
     }
 
     /// Finalize.
-    pub fn build(self) -> Study {
+    ///
+    /// # Errors
+    /// Returns [`ConfigError`] if the engine configuration violates an
+    /// invariant (see [`EngineConfig::validate`]). Plan invariants are
+    /// internal (every constructor upholds them) and still assert.
+    pub fn build(self) -> Result<Study, ConfigError> {
         self.plan.validate();
-        self.engine_config.validate();
-        Study {
+        self.engine_config.validate()?;
+        Ok(Study {
             seed: self.seed,
             engine_config: self.engine_config,
             plan: self.plan,
             analysis: self.analysis,
-        }
+        })
     }
 }
 
@@ -182,7 +187,7 @@ mod tests {
 
     #[test]
     fn builder_defaults_are_quick_paper_engine() {
-        let s = Study::builder().build();
+        let s = Study::builder().build().unwrap();
         assert!(s.engine_config().noise_enabled);
         assert_eq!(s.plan().days, 2);
         assert_eq!(s.seed().value(), 2015);
@@ -194,7 +199,8 @@ mod tests {
             .seed(7)
             .engine_config(EngineConfig::noiseless())
             .paper_full()
-            .build();
+            .build()
+            .unwrap();
         assert!(!s.engine_config().noise_enabled);
         assert_eq!(s.plan().total_days(), 30);
         assert_eq!(s.seed().value(), 7);
@@ -208,7 +214,7 @@ mod tests {
             locations_per_granularity: Some(2),
             ..ExperimentPlan::quick()
         };
-        let s = Study::builder().seed(3).plan(plan).build();
+        let s = Study::builder().seed(3).plan(plan).build().unwrap();
         let ds = s.run();
         assert!(!ds.observations().is_empty());
         assert!(ds.observations().iter().any(|o| o.role == Role::Treatment));
@@ -217,7 +223,7 @@ mod tests {
 
     #[test]
     fn validation_via_facade() {
-        let s = Study::builder().seed(5).build();
+        let s = Study::builder().seed(5).build().unwrap();
         let report = s.validate(6, 2);
         assert_eq!(report.machines, 6);
         assert!(report.gps_mean_pairwise_jaccard > 0.8);

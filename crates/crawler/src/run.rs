@@ -112,7 +112,11 @@ impl CrawlStats {
 
 /// Options for [`Crawler::run_with_options`]: the backend plus the
 /// checkpoint/resume machinery. `CrawlOptions::new(backend)` gives plain
-/// uncheckpointed execution, identical to [`Crawler::run_with_backend`].
+/// uncheckpointed execution, identical to [`Crawler::run_with_backend`];
+/// layer the fluent methods on top of it. The struct is `#[non_exhaustive]`
+/// so future options don't break downstream construction — build it through
+/// [`CrawlOptions::new`] and the fluent setters.
+#[non_exhaustive]
 pub struct CrawlOptions<'a> {
     /// How rounds execute (see [`CrawlBackend`]).
     pub backend: CrawlBackend,
@@ -143,6 +147,31 @@ impl<'a> CrawlOptions<'a> {
             resume: None,
             stop_after_rounds: None,
         }
+    }
+
+    /// Emit a checkpoint after every `n` completed rounds (0 = never).
+    pub fn checkpoint_every(mut self, n: usize) -> Self {
+        self.checkpoint_every = n;
+        self
+    }
+
+    /// Deliver checkpoints to `sink` (runs between rounds on the scheduler
+    /// thread).
+    pub fn on_checkpoint(mut self, sink: &'a dyn Fn(&CrawlCheckpoint)) -> Self {
+        self.on_checkpoint = Some(sink);
+        self
+    }
+
+    /// Continue a previous run from `checkpoint` instead of starting fresh.
+    pub fn resume(mut self, checkpoint: CrawlCheckpoint) -> Self {
+        self.resume = Some(checkpoint);
+        self
+    }
+
+    /// Stop after `n` rounds and return the partial dataset.
+    pub fn stop_after_rounds(mut self, n: usize) -> Self {
+        self.stop_after_rounds = Some(n);
+        self
     }
 }
 
@@ -297,19 +326,19 @@ impl Crawler {
     ) -> Self {
         let geo = Arc::new(UsGeography::generate(seed));
         let corpus = Arc::new(WebCorpus::generate(&geo, seed.derive("corpus")));
-        let engine = Arc::new(SearchEngine::with_obs(
-            Arc::clone(&corpus),
-            &geo,
-            config,
-            seed.derive("engine"),
-            Arc::clone(&obs),
-        ));
-        let net = Arc::new(SimNet::with_faults_and_obs(
-            seed.derive("net"),
-            drop_chance,
-            corrupt_chance,
-            Arc::clone(&obs),
-        ));
+        let engine = Arc::new(
+            SearchEngine::builder(Arc::clone(&corpus), &geo, seed.derive("engine"))
+                .config(config)
+                .obs(Arc::clone(&obs))
+                .build()
+                .expect("crawler engine config must be valid (Study validates at build time)"),
+        );
+        let net = Arc::new(
+            SimNet::builder(seed.derive("net"))
+                .faults(drop_chance, corrupt_chance)
+                .obs(Arc::clone(&obs))
+                .build(),
+        );
         let addrs = SearchService::install(&net, Arc::clone(&engine));
         // §2.2: "We statically mapped the DNS entry for the Google Search
         // server, ensuring that all our queries were sent to the same
@@ -426,8 +455,8 @@ impl Crawler {
         checkpoint: CrawlCheckpoint,
         plan: &ExperimentPlan,
     ) -> Result<Dataset, CheckpointError> {
-        let mut opts = CrawlOptions::new(CrawlBackend::from_plan_flag(plan.parallel));
-        opts.resume = Some(checkpoint);
+        let opts =
+            CrawlOptions::new(CrawlBackend::from_plan_flag(plan.parallel)).resume(checkpoint);
         self.run_with_options(plan, opts, |_| {})
     }
 
@@ -1326,8 +1355,7 @@ mod tests {
             CrawlBackend::WorkerPool,
         ] {
             let crawler = Crawler::new(Seed::new(2015));
-            let mut opts = CrawlOptions::new(backend);
-            opts.stop_after_rounds = Some(7);
+            let opts = CrawlOptions::new(backend).stop_after_rounds(7);
             let ds = crawler
                 .run_with_options(&quick_plan(), opts, |_| {})
                 .unwrap();
@@ -1346,9 +1374,9 @@ mod tests {
             let crawler = Crawler::new(Seed::new(2015));
             let seen = std::cell::RefCell::new(Vec::new());
             let sink = |c: &CrawlCheckpoint| seen.borrow_mut().push(c.clone());
-            let mut opts = CrawlOptions::new(backend);
-            opts.checkpoint_every = 5;
-            opts.on_checkpoint = Some(&sink);
+            let opts = CrawlOptions::new(backend)
+                .checkpoint_every(5)
+                .on_checkpoint(&sink);
             let ds = crawler
                 .run_with_options(&quick_plan(), opts, |_| {})
                 .unwrap();
@@ -1387,10 +1415,10 @@ mod tests {
         // Interrupted run: checkpoint every 4 rounds, killed after 10.
         let last = std::cell::RefCell::new(None);
         let sink = |c: &CrawlCheckpoint| *last.borrow_mut() = Some(c.clone());
-        let mut opts = CrawlOptions::new(CrawlBackend::Serial);
-        opts.checkpoint_every = 4;
-        opts.on_checkpoint = Some(&sink);
-        opts.stop_after_rounds = Some(10);
+        let opts = CrawlOptions::new(CrawlBackend::Serial)
+            .checkpoint_every(4)
+            .on_checkpoint(&sink)
+            .stop_after_rounds(10);
         Crawler::new(Seed::new(42))
             .run_with_options(&plan, opts, |_| {})
             .unwrap();
@@ -1420,10 +1448,10 @@ mod tests {
         let full = faulty().run_with_backend(&plan, CrawlBackend::Serial, |_| {});
         let last = std::cell::RefCell::new(None);
         let sink = |c: &CrawlCheckpoint| *last.borrow_mut() = Some(c.clone());
-        let mut opts = CrawlOptions::new(CrawlBackend::Serial);
-        opts.checkpoint_every = 4;
-        opts.on_checkpoint = Some(&sink);
-        opts.stop_after_rounds = Some(10);
+        let opts = CrawlOptions::new(CrawlBackend::Serial)
+            .checkpoint_every(4)
+            .on_checkpoint(&sink)
+            .stop_after_rounds(10);
         faulty().run_with_options(&plan, opts, |_| {}).unwrap();
         let resumed = faulty().resume(last.into_inner().unwrap(), &plan).unwrap();
         assert_eq!(resumed.meta, full.meta, "attempts/retries counted once");
@@ -1436,9 +1464,9 @@ mod tests {
         let crawler = Crawler::new(Seed::new(42));
         let last = std::cell::RefCell::new(None);
         let sink = |c: &CrawlCheckpoint| *last.borrow_mut() = Some(c.clone());
-        let mut opts = CrawlOptions::new(CrawlBackend::Serial);
-        opts.checkpoint_every = 4;
-        opts.on_checkpoint = Some(&sink);
+        let opts = CrawlOptions::new(CrawlBackend::Serial)
+            .checkpoint_every(4)
+            .on_checkpoint(&sink);
         crawler.run_with_options(&plan, opts, |_| {}).unwrap();
         // The same world's clock is now past the checkpoint.
         let err = crawler
@@ -1453,9 +1481,9 @@ mod tests {
         let plan = quick_plan();
         let last = std::cell::RefCell::new(None);
         let sink = |c: &CrawlCheckpoint| *last.borrow_mut() = Some(c.clone());
-        let mut opts = CrawlOptions::new(CrawlBackend::Serial);
-        opts.checkpoint_every = 4;
-        opts.on_checkpoint = Some(&sink);
+        let opts = CrawlOptions::new(CrawlBackend::Serial)
+            .checkpoint_every(4)
+            .on_checkpoint(&sink);
         Crawler::new(Seed::new(42))
             .run_with_options(&plan, opts, |_| {})
             .unwrap();
@@ -1495,8 +1523,7 @@ mod tests {
         // combination is refused up front.
         let cfg = EngineConfig::with_result_cache(20 * 60_000);
         let crawler = Crawler::with_config(Seed::new(1), cfg);
-        let mut opts = CrawlOptions::new(CrawlBackend::Serial);
-        opts.checkpoint_every = 1;
+        let opts = CrawlOptions::new(CrawlBackend::Serial).checkpoint_every(1);
         let err = crawler
             .run_with_options(&quick_plan(), opts, |_| {})
             .unwrap_err();

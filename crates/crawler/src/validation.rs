@@ -74,13 +74,13 @@ pub fn run_validation(
 ) -> ValidationReport {
     let geo = Arc::new(UsGeography::generate(seed));
     let corpus = Arc::new(WebCorpus::generate(&geo, seed.derive("corpus")));
-    let engine = Arc::new(SearchEngine::new(
-        Arc::clone(&corpus),
-        &geo,
-        config,
-        seed.derive("engine"),
-    ));
-    let net = Arc::new(SimNet::new(seed.derive("net")));
+    let engine = Arc::new(
+        SearchEngine::builder(Arc::clone(&corpus), &geo, seed.derive("engine"))
+            .config(config)
+            .build()
+            .expect("validation engine config must be valid"),
+    );
+    let net = Arc::new(SimNet::builder(seed.derive("net")).build());
     let addrs = SearchService::install(&net, Arc::clone(&engine));
     net.dns().pin(SEARCH_HOST, addrs[0]);
 

@@ -2,6 +2,55 @@
 //! knob, so the ablation benches can flip single mechanisms.
 
 use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Why an [`EngineConfig`] was rejected by [`EngineConfig::validate`].
+///
+/// Marked `#[non_exhaustive]`: future invariants may add variants without a
+/// breaking release, so downstream matches need a wildcard arm.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// A scale parameter (`local_sigma_km`, `maps_sigma_km`) must be
+    /// strictly positive.
+    NonPositiveScale {
+        /// The offending field.
+        field: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A count parameter (`organic_count`, `per_domain_cap`, `ab_buckets`,
+    /// `replicas_per_datacenter`, `datacenters`, card capacities) must be at
+    /// least one.
+    ZeroCount {
+        /// The offending field.
+        field: &'static str,
+    },
+    /// A fraction parameter (`replica_skew`, `maps_suppress`) must lie in
+    /// `[0, 1)`.
+    FractionOutOfRange {
+        /// The offending field.
+        field: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::NonPositiveScale { field, value } => {
+                write!(f, "{field} must be positive (got {value})")
+            }
+            ConfigError::ZeroCount { field } => write!(f, "{field} must be >= 1"),
+            ConfigError::FractionOutOfRange { field, value } => {
+                write!(f, "{field} must be in [0,1) (got {value})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Shape of the distance-decay kernel applied to locally scoped pages.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -221,30 +270,47 @@ impl EngineConfig {
         }
     }
 
-    /// Validate invariants; panics with a description on misconfiguration.
-    pub fn validate(&self) {
-        assert!(self.local_sigma_km > 0.0, "local_sigma_km must be positive");
-        assert!(self.maps_sigma_km > 0.0, "maps_sigma_km must be positive");
-        assert!(self.organic_count >= 1, "organic_count must be >= 1");
-        assert!(self.per_domain_cap >= 1, "per_domain_cap must be >= 1");
-        assert!(self.ab_buckets >= 1, "ab_buckets must be >= 1");
-        assert!(
-            self.replicas_per_datacenter >= 1,
-            "replicas_per_datacenter must be >= 1"
-        );
-        assert!(
-            (0.0..1.0).contains(&self.replica_skew),
-            "replica_skew must be in [0,1)"
-        );
-        assert!(self.datacenters >= 1, "datacenters must be >= 1");
-        assert!(
-            (0.0..1.0).contains(&self.maps_suppress),
-            "maps_suppress must be in [0,1)"
-        );
-        assert!(
-            self.maps_max_links >= 1 && self.news_max_links >= 1,
-            "card capacities must be >= 1"
-        );
+    /// Validate invariants. Every constructor on this type produces a valid
+    /// configuration; hand-built or field-overridden configurations go
+    /// through here (the [`crate::SearchEngine`] builder refuses invalid
+    /// ones at `build()`).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let positive = |field, value: f64| {
+            if value > 0.0 {
+                Ok(())
+            } else {
+                Err(ConfigError::NonPositiveScale { field, value })
+            }
+        };
+        let fraction = |field, value: f64| {
+            if (0.0..1.0).contains(&value) {
+                Ok(())
+            } else {
+                Err(ConfigError::FractionOutOfRange { field, value })
+            }
+        };
+        let at_least_one = |field, value: u64| {
+            if value >= 1 {
+                Ok(())
+            } else {
+                Err(ConfigError::ZeroCount { field })
+            }
+        };
+        positive("local_sigma_km", self.local_sigma_km)?;
+        positive("maps_sigma_km", self.maps_sigma_km)?;
+        at_least_one("organic_count", self.organic_count as u64)?;
+        at_least_one("per_domain_cap", self.per_domain_cap as u64)?;
+        at_least_one("ab_buckets", u64::from(self.ab_buckets))?;
+        at_least_one(
+            "replicas_per_datacenter",
+            u64::from(self.replicas_per_datacenter),
+        )?;
+        fraction("replica_skew", self.replica_skew)?;
+        at_least_one("datacenters", u64::from(self.datacenters))?;
+        fraction("maps_suppress", self.maps_suppress)?;
+        at_least_one("maps_max_links", self.maps_max_links as u64)?;
+        at_least_one("news_max_links", self.news_max_links as u64)?;
+        Ok(())
     }
 }
 
@@ -260,9 +326,10 @@ mod tests {
 
     #[test]
     fn paper_defaults_are_valid() {
-        EngineConfig::paper_defaults().validate();
-        EngineConfig::noiseless().validate();
-        EngineConfig::alternative_engine().validate();
+        assert_eq!(EngineConfig::paper_defaults().validate(), Ok(()));
+        assert_eq!(EngineConfig::noiseless().validate(), Ok(()));
+        assert_eq!(EngineConfig::alternative_engine().validate(), Ok(()));
+        assert_eq!(EngineConfig::with_result_cache(60_000).validate(), Ok(()));
     }
 
     #[test]
@@ -285,22 +352,117 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "organic_count")]
     fn validate_catches_zero_organic() {
         let cfg = EngineConfig {
             organic_count: 0,
             ..EngineConfig::paper_defaults()
         };
-        cfg.validate();
+        let err = cfg.validate().unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::ZeroCount {
+                field: "organic_count"
+            }
+        );
+        assert!(err.to_string().contains("organic_count"), "{err}");
     }
 
     #[test]
-    #[should_panic(expected = "replica_skew")]
     fn validate_catches_full_skew() {
         let cfg = EngineConfig {
             replica_skew: 1.0,
             ..EngineConfig::paper_defaults()
         };
-        cfg.validate();
+        let err = cfg.validate().unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::FractionOutOfRange {
+                field: "replica_skew",
+                value: 1.0
+            }
+        );
+        assert!(err.to_string().contains("replica_skew"), "{err}");
+    }
+
+    #[test]
+    fn validate_catches_every_guarded_field() {
+        let base = EngineConfig::paper_defaults;
+        let cases: Vec<(EngineConfig, &str)> = vec![
+            (
+                EngineConfig {
+                    local_sigma_km: 0.0,
+                    ..base()
+                },
+                "local_sigma_km",
+            ),
+            (
+                EngineConfig {
+                    maps_sigma_km: -1.0,
+                    ..base()
+                },
+                "maps_sigma_km",
+            ),
+            (
+                EngineConfig {
+                    per_domain_cap: 0,
+                    ..base()
+                },
+                "per_domain_cap",
+            ),
+            (
+                EngineConfig {
+                    ab_buckets: 0,
+                    ..base()
+                },
+                "ab_buckets",
+            ),
+            (
+                EngineConfig {
+                    replicas_per_datacenter: 0,
+                    ..base()
+                },
+                "replicas_per_datacenter",
+            ),
+            (
+                EngineConfig {
+                    datacenters: 0,
+                    ..base()
+                },
+                "datacenters",
+            ),
+            (
+                EngineConfig {
+                    maps_suppress: 1.5,
+                    ..base()
+                },
+                "maps_suppress",
+            ),
+            (
+                EngineConfig {
+                    maps_max_links: 0,
+                    ..base()
+                },
+                "maps_max_links",
+            ),
+            (
+                EngineConfig {
+                    news_max_links: 0,
+                    ..base()
+                },
+                "news_max_links",
+            ),
+        ];
+        for (cfg, field) in cases {
+            let err = cfg.validate().unwrap_err();
+            assert!(err.to_string().contains(field), "{field}: {err}");
+        }
+    }
+
+    #[test]
+    fn config_error_implements_error() {
+        let err: Box<dyn std::error::Error> = Box::new(ConfigError::ZeroCount {
+            field: "datacenters",
+        });
+        assert!(err.to_string().contains("datacenters"));
     }
 }

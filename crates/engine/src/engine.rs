@@ -85,32 +85,55 @@ impl EngineMetrics {
     }
 }
 
-impl SearchEngine {
-    /// Build an engine over a corpus and geography.
-    pub fn new(
-        corpus: Arc<WebCorpus>,
-        geo: &UsGeography,
-        config: EngineConfig,
-        seed: Seed,
-    ) -> Self {
-        Self::with_obs(corpus, geo, config, seed, Arc::new(ObsHub::new()))
+/// Configures and constructs a [`SearchEngine`].
+///
+/// Obtained from [`SearchEngine::builder`]. Settings not overridden fall
+/// back to [`EngineConfig::paper_defaults`] and a fresh enabled
+/// [`ObsHub`]. [`SearchEngineBuilder::build`] validates the configuration
+/// and is the only way to construct an engine.
+#[must_use = "call .build() to construct the engine"]
+pub struct SearchEngineBuilder<'g> {
+    corpus: Arc<WebCorpus>,
+    geo: &'g UsGeography,
+    seed: Seed,
+    config: EngineConfig,
+    obs: Option<Arc<ObsHub>>,
+}
+
+impl<'g> SearchEngineBuilder<'g> {
+    /// Use this engine configuration instead of the paper defaults.
+    pub fn config(mut self, config: EngineConfig) -> Self {
+        self.config = config;
+        self
     }
 
-    /// Build an engine reporting into a caller-supplied observability hub.
-    pub fn with_obs(
-        corpus: Arc<WebCorpus>,
-        geo: &UsGeography,
-        config: EngineConfig,
-        seed: Seed,
-        obs: Arc<ObsHub>,
-    ) -> Self {
-        config.validate();
+    /// Report metrics and spans into a caller-supplied observability hub.
+    pub fn obs(mut self, obs: Arc<ObsHub>) -> Self {
+        self.obs = Some(obs);
+        self
+    }
+
+    /// Validate the configuration and build the engine.
+    ///
+    /// # Errors
+    /// Returns [`ConfigError`] if the configuration violates an invariant
+    /// (see [`EngineConfig::validate`]).
+    pub fn build(self) -> Result<SearchEngine, crate::config::ConfigError> {
+        let SearchEngineBuilder {
+            corpus,
+            geo,
+            seed,
+            config,
+            obs,
+        } = self;
+        config.validate()?;
+        let obs = obs.unwrap_or_else(|| Arc::new(ObsHub::new()));
         let index = InvertedIndex::build(&corpus);
         let place_index = PlaceIndex::build(&corpus);
         let geocoder = ReverseGeocoder::new(geo);
         let noise = NoiseModel::new(seed.derive("engine"), &config);
         let metrics = EngineMetrics::resolve(&obs);
-        SearchEngine {
+        Ok(SearchEngine {
             corpus,
             config,
             index,
@@ -122,6 +145,27 @@ impl SearchEngine {
             serp_cache: parking_lot::Mutex::new(std::collections::HashMap::new()),
             obs,
             metrics,
+        })
+    }
+}
+
+impl SearchEngine {
+    /// Start building an engine over a corpus and geography.
+    ///
+    /// Defaults to [`EngineConfig::paper_defaults`] and a fresh enabled
+    /// [`ObsHub`]; override with [`SearchEngineBuilder::config`] and
+    /// [`SearchEngineBuilder::obs`].
+    pub fn builder(
+        corpus: Arc<WebCorpus>,
+        geo: &UsGeography,
+        seed: Seed,
+    ) -> SearchEngineBuilder<'_> {
+        SearchEngineBuilder {
+            corpus,
+            geo,
+            seed,
+            config: EngineConfig::paper_defaults(),
+            obs: None,
         }
     }
 
@@ -449,12 +493,9 @@ mod tests {
     fn engine() -> (UsGeography, SearchEngine) {
         let geo = UsGeography::generate(Seed::new(2015));
         let corpus = Arc::new(WebCorpus::generate(&geo, Seed::new(2015)));
-        let engine = SearchEngine::new(
-            corpus,
-            &geo,
-            EngineConfig::paper_defaults(),
-            Seed::new(2015),
-        );
+        let engine = SearchEngine::builder(corpus, &geo, Seed::new(2015))
+            .build()
+            .unwrap();
         (geo, engine)
     }
 
@@ -515,7 +556,10 @@ mod tests {
     fn controversial_query_is_stable_across_locations_with_noise_off() {
         let geo = UsGeography::generate(Seed::new(2015));
         let corpus = Arc::new(WebCorpus::generate(&geo, Seed::new(2015)));
-        let engine = SearchEngine::new(corpus, &geo, EngineConfig::noiseless(), Seed::new(2015));
+        let engine = SearchEngine::builder(corpus, &geo, Seed::new(2015))
+            .config(EngineConfig::noiseless())
+            .build()
+            .unwrap();
         let cleveland = geo.cuyahoga_districts[0].coord;
         let nearby = geo.cuyahoga_districts[5].coord;
         let a = engine.search(&ctx("Offshore Drilling", Some(cleveland), 7));
@@ -688,12 +732,10 @@ mod tests {
     fn result_cache_collapses_noise_but_not_personalization() {
         let geo = UsGeography::generate(Seed::new(2015));
         let corpus = Arc::new(WebCorpus::generate(&geo, Seed::new(2015)));
-        let engine = SearchEngine::new(
-            corpus,
-            &geo,
-            EngineConfig::with_result_cache(10 * 60_000),
-            Seed::new(2015),
-        );
+        let engine = SearchEngine::builder(corpus, &geo, Seed::new(2015))
+            .config(EngineConfig::with_result_cache(10 * 60_000))
+            .build()
+            .unwrap();
         let metro = geo.cuyahoga_districts[0].coord;
         // Two simultaneous identical requests with *different* seqs would
         // normally draw independent noise; the cache makes them identical.

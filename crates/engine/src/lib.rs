@@ -48,9 +48,9 @@ pub mod noise;
 pub mod service;
 pub mod verticals;
 
-pub use config::EngineConfig;
-pub use engine::{SearchContext, SearchEngine};
+pub use config::{ConfigError, EngineConfig};
+pub use engine::{SearchContext, SearchEngine, SearchEngineBuilder};
 pub use geoip::{GeoIpDb, ReverseGeocoder};
 pub use intent::{classify, QueryIntent};
 pub use noise::NoiseModel;
-pub use service::{SearchService, SEARCH_HOST};
+pub use service::{SearchService, GEOLOCATION_HEADER, SEARCH_HOST};

@@ -155,15 +155,15 @@ mod tests {
     fn install() -> (UsGeography, Arc<SimNet>, Vec<Ipv4Addr>) {
         let geo = UsGeography::generate(Seed::new(2015));
         let corpus = Arc::new(WebCorpus::generate(&geo, Seed::new(2015)));
-        let net = Arc::new(SimNet::new(Seed::new(7)));
+        let net = Arc::new(SimNet::builder(Seed::new(7)).build());
         // Engine and net share one hub, as a crawl world does.
-        let engine = Arc::new(SearchEngine::with_obs(
-            corpus,
-            &geo,
-            EngineConfig::paper_defaults(),
-            Seed::new(2015),
-            Arc::clone(net.obs()),
-        ));
+        let engine = Arc::new(
+            SearchEngine::builder(corpus, &geo, Seed::new(2015))
+                .config(EngineConfig::paper_defaults())
+                .obs(Arc::clone(net.obs()))
+                .build()
+                .unwrap(),
+        );
         let addrs = SearchService::install(&net, engine);
         (geo, net, addrs)
     }

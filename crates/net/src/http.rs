@@ -41,6 +41,9 @@ pub enum Status {
     TooManyRequests,
     /// Internal error.
     InternalError,
+    /// Overloaded — the socket server sheds load with this when its accept
+    /// queue is full (the simulator itself never produces it).
+    ServiceUnavailable,
 }
 
 impl Status {
@@ -52,6 +55,7 @@ impl Status {
             Status::NotFound => 404,
             Status::TooManyRequests => 429,
             Status::InternalError => 500,
+            Status::ServiceUnavailable => 503,
         }
     }
 
@@ -195,7 +199,7 @@ impl Response {
 }
 
 /// Percent-encode the characters that would break our query-string framing.
-fn urlencode(s: &str) -> String {
+pub(crate) fn urlencode(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for b in s.bytes() {
         match b {

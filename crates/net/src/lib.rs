@@ -42,6 +42,7 @@ pub mod server;
 pub mod shaper;
 pub mod sim;
 pub mod trace;
+pub mod wire;
 
 pub use clock::VirtualClock;
 pub use dns::DnsResolver;
@@ -50,8 +51,11 @@ pub use http::{Method, Request, Response, Status};
 pub use ratelimit::{RateLimitKey, RateLimiter};
 pub use server::{RequestCtx, Server};
 pub use shaper::{ShaperConfig, TokenBucket};
-pub use sim::{NetError, SimNet};
+pub use sim::{NetError, SimNet, SimNetBuilder};
 pub use trace::{EventLog, NetEvent, NetEventKind};
+pub use wire::{
+    encode_request, encode_response, parse_request, parse_response, WireError, WireLimits,
+};
 
 /// Convenience: parse an IPv4 address, panicking on bad literals (for tests
 /// and fixtures).

@@ -137,25 +137,43 @@ impl fmt::Debug for SimNet {
     }
 }
 
-impl SimNet {
-    /// A simulator with a perfect network and default latency (40–80 ms RTT).
-    pub fn new(seed: Seed) -> Self {
-        Self::with_faults(seed, 0.0, 0.0)
+/// Configures and constructs a [`SimNet`].
+///
+/// Obtained from [`SimNet::builder`]. By default the network is perfect
+/// (no faults) and reports into a fresh enabled [`ObsHub`].
+#[must_use = "call .build() to construct the simulator"]
+pub struct SimNetBuilder {
+    seed: Seed,
+    drop_chance: f64,
+    corrupt_chance: f64,
+    obs: Option<Arc<ObsHub>>,
+}
+
+impl SimNetBuilder {
+    /// Enable smoltcp-style fault injection with the given per-message
+    /// drop and corruption probabilities.
+    pub fn faults(mut self, drop_chance: f64, corrupt_chance: f64) -> Self {
+        self.drop_chance = drop_chance;
+        self.corrupt_chance = corrupt_chance;
+        self
     }
 
-    /// A simulator with smoltcp-style fault injection.
-    pub fn with_faults(seed: Seed, drop_chance: f64, corrupt_chance: f64) -> Self {
-        Self::with_faults_and_obs(seed, drop_chance, corrupt_chance, Arc::new(ObsHub::new()))
+    /// Report into a caller-supplied observability hub (pass
+    /// [`ObsHub::disabled`] for zero-cost metrics).
+    pub fn obs(mut self, obs: Arc<ObsHub>) -> Self {
+        self.obs = Some(obs);
+        self
     }
 
-    /// A simulator with fault injection reporting into a caller-supplied
-    /// observability hub (pass [`ObsHub::disabled`] for zero-cost metrics).
-    pub fn with_faults_and_obs(
-        seed: Seed,
-        drop_chance: f64,
-        corrupt_chance: f64,
-        obs: Arc<ObsHub>,
-    ) -> Self {
+    /// Build the simulator.
+    pub fn build(self) -> SimNet {
+        let SimNetBuilder {
+            seed,
+            drop_chance,
+            corrupt_chance,
+            obs,
+        } = self;
+        let obs = obs.unwrap_or_else(|| Arc::new(ObsHub::new()));
         let metrics = NetMetrics::resolve(&obs);
         SimNet {
             clock: VirtualClock::new(),
@@ -173,6 +191,20 @@ impl SimNet {
             timeout_ms: Mutex::new(None),
             obs,
             metrics,
+        }
+    }
+}
+
+impl SimNet {
+    /// Start building a simulator with default latency (40–80 ms RTT),
+    /// no faults, and a fresh enabled [`ObsHub`]; override with
+    /// [`SimNetBuilder::faults`] and [`SimNetBuilder::obs`].
+    pub fn builder(seed: Seed) -> SimNetBuilder {
+        SimNetBuilder {
+            seed,
+            drop_chance: 0.0,
+            corrupt_chance: 0.0,
+            obs: None,
         }
     }
 
@@ -393,7 +425,7 @@ mod tests {
 
     #[test]
     fn request_roundtrip() {
-        let net = SimNet::new(Seed::new(1));
+        let net = SimNet::builder(Seed::new(1)).build();
         net.register_service("svc.example", &[ip("10.1.0.1")], echo_server());
         let (resp, rtt) = net
             .request(ip("10.0.0.9"), &Request::get("svc.example", "/hi"))
@@ -405,7 +437,7 @@ mod tests {
 
     #[test]
     fn unknown_host_is_no_route() {
-        let net = SimNet::new(Seed::new(1));
+        let net = SimNet::builder(Seed::new(1)).build();
         let err = net
             .request(ip("10.0.0.9"), &Request::get("ghost.example", "/"))
             .unwrap_err();
@@ -419,7 +451,7 @@ mod tests {
 
     #[test]
     fn dangling_dns_is_connection_refused() {
-        let net = SimNet::new(Seed::new(1));
+        let net = SimNet::builder(Seed::new(1)).build();
         net.dns().register("svc.example", vec![ip("10.1.0.1")]);
         let err = net
             .request(ip("10.0.0.9"), &Request::get("svc.example", "/"))
@@ -429,7 +461,7 @@ mod tests {
 
     #[test]
     fn rotation_spreads_over_datacenters_and_pin_fixes_it() {
-        let net = SimNet::new(Seed::new(1));
+        let net = SimNet::builder(Seed::new(1)).build();
         let dcs = [ip("10.1.0.1"), ip("10.1.0.2"), ip("10.1.0.3")];
         net.register_service(
             "svc.example",
@@ -456,7 +488,7 @@ mod tests {
 
     #[test]
     fn drops_surface_as_errors() {
-        let net = SimNet::with_faults(Seed::new(2), 1.0, 0.0);
+        let net = SimNet::builder(Seed::new(2)).faults(1.0, 0.0).build();
         net.register_service("svc.example", &[ip("10.1.0.1")], echo_server());
         let err = net
             .request(ip("10.0.0.9"), &Request::get("svc.example", "/"))
@@ -466,7 +498,7 @@ mod tests {
 
     #[test]
     fn corruption_mangles_but_delivers() {
-        let net = SimNet::with_faults(Seed::new(3), 0.0, 1.0);
+        let net = SimNet::builder(Seed::new(3)).faults(0.0, 1.0).build();
         net.register_service(
             "svc.example",
             &[ip("10.1.0.1")],
@@ -482,7 +514,7 @@ mod tests {
     #[test]
     fn latency_is_deterministic_per_sequence() {
         let mk = || {
-            let net = SimNet::new(Seed::new(7));
+            let net = SimNet::builder(Seed::new(7)).build();
             net.register_service("svc.example", &[ip("10.1.0.1")], echo_server());
             let mut rtts = Vec::new();
             for _ in 0..5 {
@@ -498,7 +530,7 @@ mod tests {
 
     #[test]
     fn request_does_not_advance_clock() {
-        let net = SimNet::new(Seed::new(1));
+        let net = SimNet::builder(Seed::new(1)).build();
         net.register_service("svc.example", &[ip("10.1.0.1")], echo_server());
         net.request(ip("10.0.0.9"), &Request::get("svc.example", "/"))
             .unwrap();
@@ -507,7 +539,7 @@ mod tests {
 
     #[test]
     fn egress_shaper_throttles_then_recovers() {
-        let net = SimNet::new(Seed::new(9));
+        let net = SimNet::builder(Seed::new(9)).build();
         net.register_service("svc.example", &[ip("10.1.0.1")], echo_server());
         net.set_egress_shaper(
             ip("10.0.0.9"),
@@ -532,7 +564,7 @@ mod tests {
 
     #[test]
     fn timeout_fails_slow_exchanges() {
-        let net = SimNet::new(Seed::new(10));
+        let net = SimNet::builder(Seed::new(10)).build();
         net.register_service("svc.example", &[ip("10.1.0.1")], echo_server());
         // RTTs are 40–120 ms; a 1 ms deadline fails everything…
         net.set_timeout_ms(Some(1));
@@ -560,7 +592,7 @@ mod tests {
         // cursor; world B restores the cursor and must see the exact RTTs
         // (i.e. the same stream positions) world A sees next.
         let mk = || {
-            let net = SimNet::new(Seed::new(21));
+            let net = SimNet::builder(Seed::new(21)).build();
             net.register_service("svc.example", &[ip("10.1.0.1")], echo_server());
             net
         };
@@ -584,7 +616,7 @@ mod tests {
 
     #[test]
     fn restore_seq_cursor_overwrites_stale_counters() {
-        let net = SimNet::new(Seed::new(22));
+        let net = SimNet::builder(Seed::new(22)).build();
         net.register_service("svc.example", &[ip("10.1.0.1")], echo_server());
         net.request(ip("10.0.0.9"), &Request::get("svc.example", "/"))
             .unwrap();
@@ -594,16 +626,22 @@ mod tests {
 
     #[test]
     fn fault_rates_are_exposed() {
-        assert_eq!(SimNet::new(Seed::new(1)).fault_rates(), (0.0, 0.0));
         assert_eq!(
-            SimNet::with_faults(Seed::new(1), 0.25, 0.1).fault_rates(),
+            SimNet::builder(Seed::new(1)).build().fault_rates(),
+            (0.0, 0.0)
+        );
+        assert_eq!(
+            SimNet::builder(Seed::new(1))
+                .faults(0.25, 0.1)
+                .build()
+                .fault_rates(),
             (0.25, 0.1)
         );
     }
 
     #[test]
     fn metrics_count_exchanges_and_faults() {
-        let net = SimNet::with_faults(Seed::new(2), 1.0, 0.0);
+        let net = SimNet::builder(Seed::new(2)).faults(1.0, 0.0).build();
         net.register_service("svc.example", &[ip("10.1.0.1")], echo_server());
         let req = Request::get("svc.example", "/");
         net.request(ip("10.0.0.9"), &req).unwrap_err(); // dropped
@@ -616,7 +654,7 @@ mod tests {
         assert_eq!(snap.counters.get("net.dns_lookups"), Some(&2));
         assert_eq!(snap.counters.get("net.responses"), Some(&0));
 
-        let ok = SimNet::new(Seed::new(3));
+        let ok = SimNet::builder(Seed::new(3)).build();
         ok.register_service("svc.example", &[ip("10.1.0.1")], echo_server());
         for _ in 0..4 {
             ok.request(ip("10.0.0.9"), &req).unwrap();
@@ -630,7 +668,7 @@ mod tests {
 
     #[test]
     fn request_context_sequence_is_per_source_and_increments() {
-        let net = SimNet::new(Seed::new(1));
+        let net = SimNet::builder(Seed::new(1)).build();
         net.register_service(
             "svc.example",
             &[ip("10.1.0.1")],

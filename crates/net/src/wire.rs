@@ -1,0 +1,718 @@
+//! HTTP/1.1 wire codec: serialize/parse the simulator's [`Request`] /
+//! [`Response`] message types to and from bytes.
+//!
+//! The sim transport ([`crate::SimNet`]) passes structured messages
+//! in-process; the socket transport (`geoserp-serve`) speaks real HTTP/1.1
+//! over TCP. Both ends share this codec, which is what makes the serving
+//! determinism contract checkable: a request that round-trips through
+//! `encode_request` → `parse_request` is *equal* to the original, so the
+//! served engine sees exactly the structured request the sim path would.
+//!
+//! Framing rules (deliberately strict — this is a codec for one search
+//! service, not a general HTTP stack):
+//!
+//! * `Host` and `Content-Length` are **framing** headers: the encoder emits
+//!   them from [`Request::host`] / body length, and the parser strips them
+//!   back out. Application headers never contain them.
+//! * Bodies are framed by `Content-Length` only (no chunked encoding).
+//! * Query strings reuse the urlencoding from [`Request::target`], which
+//!   escapes `&` and `=` — arbitrary parameter keys/values round-trip.
+//! * Everything a peer can get wrong (truncation, oversized heads, unknown
+//!   methods, bad header bytes) is a typed [`WireError`], never a panic.
+
+use crate::http::{urldecode, Method, Request, Response, Status};
+use bytes::Bytes;
+use std::fmt;
+
+/// Hard bounds a parser enforces on incoming messages.
+///
+/// The struct is `#[non_exhaustive]`: build it with [`WireLimits::new`] /
+/// `Default` and adjust with the fluent setters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct WireLimits {
+    /// Maximum bytes of request/status line plus headers (the "head").
+    pub max_head_bytes: usize,
+    /// Maximum `Content-Length` a peer may declare.
+    pub max_body_bytes: usize,
+    /// Maximum number of header lines.
+    pub max_headers: usize,
+}
+
+impl WireLimits {
+    /// The defaults: 16 KiB head, 1 MiB body, 64 headers.
+    pub fn new() -> Self {
+        WireLimits {
+            max_head_bytes: 16 * 1024,
+            max_body_bytes: 1024 * 1024,
+            max_headers: 64,
+        }
+    }
+
+    /// Set the maximum head size in bytes.
+    pub fn max_head_bytes(mut self, n: usize) -> Self {
+        self.max_head_bytes = n;
+        self
+    }
+
+    /// Set the maximum declared body size in bytes.
+    pub fn max_body_bytes(mut self, n: usize) -> Self {
+        self.max_body_bytes = n;
+        self
+    }
+
+    /// Set the maximum header count.
+    pub fn max_headers(mut self, n: usize) -> Self {
+        self.max_headers = n;
+        self
+    }
+}
+
+impl Default for WireLimits {
+    fn default() -> Self {
+        WireLimits::new()
+    }
+}
+
+/// Why a message could not be encoded or parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WireError {
+    /// The head (request/status line + headers) exceeds the size limit.
+    HeadTooLarge {
+        /// The limit in force, bytes.
+        limit: usize,
+    },
+    /// The declared `Content-Length` exceeds the body size limit.
+    BodyTooLarge {
+        /// The declared length.
+        declared: usize,
+        /// The limit in force, bytes.
+        limit: usize,
+    },
+    /// More header lines than the limit allows.
+    TooManyHeaders {
+        /// The limit in force.
+        limit: usize,
+    },
+    /// The request/status line is not `METHOD target HTTP/1.1` /
+    /// `HTTP/1.1 code reason`.
+    BadStartLine,
+    /// The method token is not one this codec speaks.
+    UnknownMethod(String),
+    /// The status code is not one this codec speaks.
+    UnknownStatus(u16),
+    /// A header line has no `:`, an empty name, or an illegal byte in its
+    /// name or value (CR/LF/NUL; names must be HTTP token characters).
+    BadHeader(String),
+    /// A request head carries no `Host` header.
+    MissingHost,
+    /// `Content-Length` is not a decimal integer.
+    BadContentLength(String),
+    /// An outgoing message uses a reserved framing header (`Host`,
+    /// `Content-Length`) as an application header.
+    ReservedHeader(String),
+    /// An outgoing request's path cannot be framed (empty, no leading `/`,
+    /// or contains whitespace/`?`/control bytes).
+    BadPath(String),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::HeadTooLarge { limit } => {
+                write!(f, "message head exceeds {limit} bytes")
+            }
+            WireError::BodyTooLarge { declared, limit } => {
+                write!(f, "declared body of {declared} bytes exceeds {limit}")
+            }
+            WireError::TooManyHeaders { limit } => {
+                write!(f, "more than {limit} headers")
+            }
+            WireError::BadStartLine => f.write_str("malformed start line"),
+            WireError::UnknownMethod(m) => write!(f, "unknown method {m:?}"),
+            WireError::UnknownStatus(c) => write!(f, "unknown status code {c}"),
+            WireError::BadHeader(h) => write!(f, "malformed header {h:?}"),
+            WireError::MissingHost => f.write_str("request has no Host header"),
+            WireError::BadContentLength(v) => {
+                write!(f, "bad Content-Length {v:?}")
+            }
+            WireError::ReservedHeader(h) => {
+                write!(f, "{h:?} is a framing header; set host/body instead")
+            }
+            WireError::BadPath(p) => write!(f, "path {p:?} cannot be framed"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Reason phrase for the status line.
+fn reason(status: Status) -> &'static str {
+    match status {
+        Status::Ok => "OK",
+        Status::BadRequest => "Bad Request",
+        Status::NotFound => "Not Found",
+        Status::TooManyRequests => "Too Many Requests",
+        Status::InternalError => "Internal Server Error",
+        Status::ServiceUnavailable => "Service Unavailable",
+    }
+}
+
+/// Status for a wire code, if it is one the [`Status`] enum carries.
+fn status_from_code(code: u16) -> Option<Status> {
+    match code {
+        200 => Some(Status::Ok),
+        400 => Some(Status::BadRequest),
+        404 => Some(Status::NotFound),
+        429 => Some(Status::TooManyRequests),
+        500 => Some(Status::InternalError),
+        503 => Some(Status::ServiceUnavailable),
+        _ => None,
+    }
+}
+
+/// True for bytes legal in an HTTP header-name token.
+fn is_token_byte(b: u8) -> bool {
+    matches!(b,
+        b'!' | b'#' | b'$' | b'%' | b'&' | b'\'' | b'*' | b'+' | b'-' | b'.'
+        | b'^' | b'_' | b'`' | b'|' | b'~'
+        | b'0'..=b'9' | b'a'..=b'z' | b'A'..=b'Z')
+}
+
+/// Validate one application header for encoding. Values may hold any byte
+/// except CR/LF/NUL, and no leading/trailing blanks (the parser trims them,
+/// which would break the round-trip).
+fn check_header(name: &str, value: &str) -> Result<(), WireError> {
+    if name.is_empty() || !name.bytes().all(is_token_byte) {
+        return Err(WireError::BadHeader(name.to_string()));
+    }
+    if name.eq_ignore_ascii_case("host") || name.eq_ignore_ascii_case("content-length") {
+        return Err(WireError::ReservedHeader(name.to_string()));
+    }
+    if value.bytes().any(|b| matches!(b, b'\r' | b'\n' | 0))
+        || value.starts_with([' ', '\t'])
+        || value.ends_with([' ', '\t'])
+    {
+        return Err(WireError::BadHeader(format!("{name}: {value}")));
+    }
+    Ok(())
+}
+
+/// Serialize a request to HTTP/1.1 bytes.
+///
+/// # Errors
+/// Rejects requests that would not round-trip: unframeable paths, reserved
+/// or malformed headers (see [`WireError`]).
+pub fn encode_request(req: &Request) -> Result<Vec<u8>, WireError> {
+    if req.path.is_empty()
+        || !req.path.starts_with('/')
+        || req
+            .path
+            .bytes()
+            .any(|b| b <= b' ' || b == b'?' || b == 0x7f)
+    {
+        return Err(WireError::BadPath(req.path.clone()));
+    }
+    if req.host.is_empty() || req.host.bytes().any(|b| b <= b' ' || b == 0x7f) {
+        return Err(WireError::BadHeader(format!("Host: {}", req.host)));
+    }
+    for (name, value) in &req.headers {
+        check_header(name, value)?;
+    }
+    let mut out = Vec::with_capacity(256 + req.body.len());
+    out.extend_from_slice(format!("{} {} HTTP/1.1\r\n", req.method, req.target()).as_bytes());
+    out.extend_from_slice(format!("Host: {}\r\n", req.host).as_bytes());
+    for (name, value) in &req.headers {
+        out.extend_from_slice(format!("{name}: {value}\r\n").as_bytes());
+    }
+    out.extend_from_slice(format!("Content-Length: {}\r\n\r\n", req.body.len()).as_bytes());
+    out.extend_from_slice(&req.body);
+    Ok(out)
+}
+
+/// Serialize a response to HTTP/1.1 bytes.
+///
+/// # Errors
+/// Rejects responses with reserved or malformed headers.
+pub fn encode_response(resp: &Response) -> Result<Vec<u8>, WireError> {
+    for (name, value) in &resp.headers {
+        check_header(name, value)?;
+    }
+    let mut out = Vec::with_capacity(128 + resp.body.len());
+    out.extend_from_slice(
+        format!(
+            "HTTP/1.1 {} {}\r\n",
+            resp.status.code(),
+            reason(resp.status)
+        )
+        .as_bytes(),
+    );
+    for (name, value) in &resp.headers {
+        out.extend_from_slice(format!("{name}: {value}\r\n").as_bytes());
+    }
+    out.extend_from_slice(format!("Content-Length: {}\r\n\r\n", resp.body.len()).as_bytes());
+    out.extend_from_slice(&resp.body);
+    Ok(out)
+}
+
+/// The parsed head of a message: start line, headers, body framing.
+struct Head<'a> {
+    start_line: &'a str,
+    /// Application headers, in wire order, minus the framing headers.
+    headers: Vec<(String, String)>,
+    /// From `Host` (requests only).
+    host: Option<String>,
+    /// From `Content-Length` (0 when absent).
+    content_length: usize,
+    /// Offset of the first body byte.
+    body_start: usize,
+}
+
+/// Find and parse the head, or report that more bytes are needed (`None`).
+fn parse_head<'a>(buf: &'a [u8], limits: &WireLimits) -> Result<Option<Head<'a>>, WireError> {
+    let search_window = buf.len().min(limits.max_head_bytes + 4);
+    let head_end = buf[..search_window]
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n");
+    let Some(head_end) = head_end else {
+        if buf.len() > limits.max_head_bytes {
+            return Err(WireError::HeadTooLarge {
+                limit: limits.max_head_bytes,
+            });
+        }
+        return Ok(None); // need more bytes
+    };
+    if head_end > limits.max_head_bytes {
+        return Err(WireError::HeadTooLarge {
+            limit: limits.max_head_bytes,
+        });
+    }
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| WireError::BadHeader("non-UTF-8 head".to_string()))?;
+    let mut lines = head.split("\r\n");
+    let start_line = lines.next().ok_or(WireError::BadStartLine)?;
+    let mut headers = Vec::new();
+    let mut host = None;
+    let mut content_length = 0usize;
+    let mut count = 0usize;
+    for line in lines {
+        count += 1;
+        if count > limits.max_headers {
+            return Err(WireError::TooManyHeaders {
+                limit: limits.max_headers,
+            });
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(WireError::BadHeader(line.to_string()));
+        };
+        if name.is_empty() || !name.bytes().all(is_token_byte) {
+            return Err(WireError::BadHeader(line.to_string()));
+        }
+        let value = value.trim_matches([' ', '\t']);
+        if name.eq_ignore_ascii_case("host") {
+            host = Some(value.to_string());
+        } else if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .parse::<usize>()
+                .map_err(|_| WireError::BadContentLength(value.to_string()))?;
+            if content_length > limits.max_body_bytes {
+                return Err(WireError::BodyTooLarge {
+                    declared: content_length,
+                    limit: limits.max_body_bytes,
+                });
+            }
+        } else {
+            headers.push((name.to_string(), value.to_string()));
+        }
+    }
+    Ok(Some(Head {
+        start_line,
+        headers,
+        host,
+        content_length,
+        body_start: head_end + 4,
+    }))
+}
+
+/// Parse one request from the front of `buf`.
+///
+/// Returns `Ok(None)` when `buf` holds a valid but incomplete message
+/// (read more bytes and retry), or `Ok(Some((request, consumed)))` where
+/// `consumed` is the number of bytes the message occupied — a keep-alive
+/// connection parses the next request starting there.
+///
+/// # Errors
+/// Any malformed or over-limit input is a typed [`WireError`]; hostile
+/// bytes can never panic this parser.
+pub fn parse_request(
+    buf: &[u8],
+    limits: &WireLimits,
+) -> Result<Option<(Request, usize)>, WireError> {
+    let Some(head) = parse_head(buf, limits)? else {
+        return Ok(None);
+    };
+    let mut parts = head.start_line.split(' ');
+    let (Some(method), Some(target), Some(version), None) =
+        (parts.next(), parts.next(), parts.next(), parts.next())
+    else {
+        return Err(WireError::BadStartLine);
+    };
+    let method = match method {
+        "GET" => Method::Get,
+        "POST" => Method::Post,
+        other => return Err(WireError::UnknownMethod(other.to_string())),
+    };
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(WireError::BadStartLine);
+    }
+    let (path, query) = match target.split_once('?') {
+        None => (target.to_string(), Vec::new()),
+        Some((path, qs)) => {
+            let query = qs
+                .split('&')
+                .filter(|pair| !pair.is_empty())
+                .map(|pair| match pair.split_once('=') {
+                    Some((k, v)) => (urldecode(k), urldecode(v)),
+                    None => (urldecode(pair), String::new()),
+                })
+                .collect();
+            (path.to_string(), query)
+        }
+    };
+    if path.is_empty() || !path.starts_with('/') {
+        return Err(WireError::BadStartLine);
+    }
+    let host = head.host.ok_or(WireError::MissingHost)?;
+    let total = head.body_start + head.content_length;
+    if buf.len() < total {
+        return Ok(None); // body still in flight
+    }
+    let req = Request {
+        method,
+        host,
+        path,
+        query,
+        headers: head.headers,
+        body: Bytes::copy_from_slice(&buf[head.body_start..total]),
+    };
+    Ok(Some((req, total)))
+}
+
+/// Parse one response from the front of `buf`. Same contract as
+/// [`parse_request`] (`Ok(None)` = incomplete, `consumed` = message bytes).
+///
+/// # Errors
+/// Any malformed or over-limit input is a typed [`WireError`].
+pub fn parse_response(
+    buf: &[u8],
+    limits: &WireLimits,
+) -> Result<Option<(Response, usize)>, WireError> {
+    let Some(head) = parse_head(buf, limits)? else {
+        return Ok(None);
+    };
+    let mut parts = head.start_line.splitn(3, ' ');
+    let (Some(version), Some(code)) = (parts.next(), parts.next()) else {
+        return Err(WireError::BadStartLine);
+    };
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(WireError::BadStartLine);
+    }
+    let code: u16 = code.parse().map_err(|_| WireError::BadStartLine)?;
+    let status = status_from_code(code).ok_or(WireError::UnknownStatus(code))?;
+    let total = head.body_start + head.content_length;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    let resp = Response {
+        status,
+        headers: head.headers,
+        body: Bytes::copy_from_slice(&buf[head.body_start..total]),
+    };
+    Ok(Some((resp, total)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn limits() -> WireLimits {
+        WireLimits::default()
+    }
+
+    fn search_request() -> Request {
+        Request::get("search.example.com", "/search")
+            .with_query("q", "coffee shop")
+            .with_query("start", "12")
+            .with_header("User-Agent", "Mozilla/5.0 (iPhone; Safari 8)")
+            .with_header("X-Geolocation", "41.499300,-81.694400")
+            .with_header("Cookie", "sid=abc123")
+    }
+
+    #[test]
+    fn request_roundtrips_exactly() {
+        let req = search_request();
+        let bytes = encode_request(&req).unwrap();
+        let (back, consumed) = parse_request(&bytes, &limits()).unwrap().unwrap();
+        assert_eq!(back, req);
+        assert_eq!(consumed, bytes.len());
+    }
+
+    #[test]
+    fn request_wire_form_is_http11() {
+        let bytes = encode_request(&search_request()).unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(
+            text.starts_with("GET /search?q=coffee+shop&start=12 HTTP/1.1\r\n"),
+            "{text}"
+        );
+        assert!(text.contains("\r\nHost: search.example.com\r\n"));
+        assert!(text.contains("\r\nContent-Length: 0\r\n\r\n"));
+    }
+
+    #[test]
+    fn response_roundtrips_exactly() {
+        let resp = Response::ok("<html>serp</html>")
+            .with_header("Content-Type", "text/x-serp")
+            .with_header("X-Datacenter", "dc1");
+        let bytes = encode_response(&resp).unwrap();
+        let (back, consumed) = parse_response(&bytes, &limits()).unwrap().unwrap();
+        assert_eq!(back, resp);
+        assert_eq!(consumed, bytes.len());
+    }
+
+    #[test]
+    fn every_status_roundtrips() {
+        for status in [
+            Status::Ok,
+            Status::BadRequest,
+            Status::NotFound,
+            Status::TooManyRequests,
+            Status::InternalError,
+            Status::ServiceUnavailable,
+        ] {
+            let resp = Response::status(status);
+            let bytes = encode_response(&resp).unwrap();
+            let (back, _) = parse_response(&bytes, &limits()).unwrap().unwrap();
+            assert_eq!(back.status, status);
+        }
+    }
+
+    #[test]
+    fn query_strings_with_hostile_values_roundtrip() {
+        let req = Request::get("h.example", "/p")
+            .with_query("a&b=c", "d=e&f")
+            .with_query("", "empty key")
+            .with_query("sp ace", "%41 already encoded");
+        let bytes = encode_request(&req).unwrap();
+        let (back, _) = parse_request(&bytes, &limits()).unwrap().unwrap();
+        assert_eq!(back, req);
+    }
+
+    #[test]
+    fn truncation_returns_incomplete_never_error() {
+        let bytes = encode_request(&search_request()).unwrap();
+        for cut in 0..bytes.len() {
+            match parse_request(&bytes[..cut], &limits()) {
+                Ok(None) => {}
+                other => panic!("cut at {cut}: expected Ok(None), got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_body_is_incomplete() {
+        let mut req = search_request();
+        req.body = Bytes::from_static(b"0123456789");
+        let bytes = encode_request(&req).unwrap();
+        assert!(parse_request(&bytes[..bytes.len() - 1], &limits())
+            .unwrap()
+            .is_none());
+        let (back, _) = parse_request(&bytes, &limits()).unwrap().unwrap();
+        assert_eq!(back.body, req.body);
+    }
+
+    #[test]
+    fn keep_alive_pipelining_consumes_exact_lengths() {
+        let a = encode_request(&search_request()).unwrap();
+        let b = encode_request(&Request::get("h.example", "/healthz")).unwrap();
+        let mut wire = a.clone();
+        wire.extend_from_slice(&b);
+        let (first, used) = parse_request(&wire, &limits()).unwrap().unwrap();
+        assert_eq!(used, a.len());
+        assert_eq!(first.path, "/search");
+        let (second, used2) = parse_request(&wire[used..], &limits()).unwrap().unwrap();
+        assert_eq!(used2, b.len());
+        assert_eq!(second.path, "/healthz");
+    }
+
+    #[test]
+    fn unknown_method_is_rejected() {
+        let wire = b"BREW /pot HTTP/1.1\r\nHost: h\r\n\r\n";
+        assert_eq!(
+            parse_request(wire, &limits()),
+            Err(WireError::UnknownMethod("BREW".to_string()))
+        );
+    }
+
+    #[test]
+    fn missing_host_is_rejected() {
+        let wire = b"GET / HTTP/1.1\r\nX-A: b\r\n\r\n";
+        assert_eq!(parse_request(wire, &limits()), Err(WireError::MissingHost));
+    }
+
+    #[test]
+    fn bad_version_and_start_lines_are_rejected() {
+        for wire in [
+            &b"GET / HTTP/2\r\nHost: h\r\n\r\n"[..],
+            &b"GET /\r\nHost: h\r\n\r\n"[..],
+            &b"GET / HTTP/1.1 extra\r\nHost: h\r\n\r\n"[..],
+            &b"\r\nHost: h\r\n\r\n"[..],
+        ] {
+            assert!(
+                matches!(
+                    parse_request(wire, &limits()),
+                    Err(WireError::BadStartLine) | Err(WireError::UnknownMethod(_))
+                ),
+                "{:?}",
+                String::from_utf8_lossy(wire)
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_head_is_rejected_even_without_terminator() {
+        let small = WireLimits::new().max_head_bytes(64);
+        let wire = vec![b'A'; 100];
+        assert_eq!(
+            parse_request(&wire, &small),
+            Err(WireError::HeadTooLarge { limit: 64 })
+        );
+    }
+
+    #[test]
+    fn oversized_declared_body_is_rejected() {
+        let small = WireLimits::new().max_body_bytes(10);
+        let wire = b"GET / HTTP/1.1\r\nHost: h\r\nContent-Length: 11\r\n\r\n";
+        assert_eq!(
+            parse_request(wire, &small),
+            Err(WireError::BodyTooLarge {
+                declared: 11,
+                limit: 10
+            })
+        );
+    }
+
+    #[test]
+    fn bad_content_length_is_rejected() {
+        let wire = b"GET / HTTP/1.1\r\nHost: h\r\nContent-Length: ten\r\n\r\n";
+        assert!(matches!(
+            parse_request(wire, &limits()),
+            Err(WireError::BadContentLength(_))
+        ));
+    }
+
+    #[test]
+    fn too_many_headers_is_rejected() {
+        let small = WireLimits::new().max_headers(3);
+        let mut wire = b"GET / HTTP/1.1\r\nHost: h\r\n".to_vec();
+        for i in 0..4 {
+            wire.extend_from_slice(format!("X-H{i}: v\r\n").as_bytes());
+        }
+        wire.extend_from_slice(b"\r\n");
+        assert_eq!(
+            parse_request(&wire, &small),
+            Err(WireError::TooManyHeaders { limit: 3 })
+        );
+    }
+
+    #[test]
+    fn garbage_bytes_error_cleanly() {
+        for wire in [
+            &b"\x00\x01\x02\x03\r\n\r\n"[..],
+            &b"GET \xff\xfe HTTP/1.1\r\nHost: h\r\n\r\n"[..],
+            &b"headerless\r\n\r\n"[..],
+            &b": novalue\r\n\r\n"[..],
+        ] {
+            assert!(parse_request(wire, &limits()).is_err(), "{wire:?}");
+        }
+    }
+
+    #[test]
+    fn encoder_rejects_reserved_and_malformed_headers() {
+        let reserved = Request::get("h", "/").with_header("Host", "evil");
+        assert!(matches!(
+            encode_request(&reserved),
+            Err(WireError::ReservedHeader(_))
+        ));
+        let reserved = Request::get("h", "/").with_header("content-length", "0");
+        assert!(matches!(
+            encode_request(&reserved),
+            Err(WireError::ReservedHeader(_))
+        ));
+        let split = Request::get("h", "/").with_header("X-A", "a\r\nX-Injected: b");
+        assert!(matches!(
+            encode_request(&split),
+            Err(WireError::BadHeader(_))
+        ));
+        let padded = Request::get("h", "/").with_header("X-A", " padded ");
+        assert!(matches!(
+            encode_request(&padded),
+            Err(WireError::BadHeader(_))
+        ));
+        let response = Response::ok("x").with_header("Content-Length", "999");
+        assert!(matches!(
+            encode_response(&response),
+            Err(WireError::ReservedHeader(_))
+        ));
+    }
+
+    #[test]
+    fn encoder_rejects_unframeable_paths() {
+        for path in ["", "no-slash", "/sp ace", "/qu?ery", "/line\nbreak"] {
+            let mut req = Request::get("h", "/");
+            req.path = path.to_string();
+            assert!(
+                matches!(encode_request(&req), Err(WireError::BadPath(_))),
+                "{path:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn response_parse_handles_truncation_and_unknown_codes() {
+        let bytes = encode_response(&Response::ok("body")).unwrap();
+        for cut in 0..bytes.len() {
+            assert!(parse_response(&bytes[..cut], &limits()).unwrap().is_none());
+        }
+        let wire = b"HTTP/1.1 302 Found\r\n\r\n";
+        assert_eq!(
+            parse_response(wire, &limits()),
+            Err(WireError::UnknownStatus(302))
+        );
+    }
+
+    #[test]
+    fn errors_display_without_panicking() {
+        let errors: Vec<WireError> = vec![
+            WireError::HeadTooLarge { limit: 1 },
+            WireError::BodyTooLarge {
+                declared: 2,
+                limit: 1,
+            },
+            WireError::TooManyHeaders { limit: 1 },
+            WireError::BadStartLine,
+            WireError::UnknownMethod("BREW".into()),
+            WireError::UnknownStatus(999),
+            WireError::BadHeader("x".into()),
+            WireError::MissingHost,
+            WireError::BadContentLength("ten".into()),
+            WireError::ReservedHeader("Host".into()),
+            WireError::BadPath("".into()),
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+            let _: &dyn std::error::Error = &e;
+        }
+    }
+}

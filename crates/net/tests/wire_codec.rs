@@ -1,0 +1,217 @@
+//! Wire-codec battery: `parse(serialize(m)) == m` for arbitrary messages,
+//! and typed errors (never panics) on a hostile-input corpus.
+
+use bytes::Bytes;
+use geoserp_net::http::{Method, Request, Response, Status};
+use geoserp_net::{encode_request, encode_response, parse_request, parse_response, WireLimits};
+use proptest::prelude::*;
+
+/// An arbitrary byte (the vendored proptest has no `any::<u8>()`).
+fn arb_byte() -> impl Strategy<Value = u8> {
+    (0u16..256).prop_map(|b| b as u8)
+}
+
+/// Header names: HTTP token characters only (what the encoder accepts).
+fn arb_header_name() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[A-Za-z][A-Za-z0-9!#$%&'*+.^_`|~-]{0,15}").unwrap()
+}
+
+/// Header values: printable, no CR/LF/NUL, no leading/trailing blanks
+/// (trimmed into shape). Interior spaces and any visible ASCII remain.
+fn arb_header_value() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[ -~]{0,24}")
+        .unwrap()
+        .prop_map(|s| s.trim_matches([' ', '\t']).to_string())
+}
+
+/// Query keys/values: completely arbitrary text — the urlencoding must
+/// carry anything, including `&`, `=`, `%`, `+`, and non-ASCII.
+fn arb_query_text() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[ -~éß❤]{0,24}").unwrap()
+}
+
+fn arb_host() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-z0-9.-]{1,30}").unwrap()
+}
+
+fn arb_path() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("/[/A-Za-z0-9._~%-]{0,16}").unwrap()
+}
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    (
+        prop_oneof![Just(Method::Get), Just(Method::Post)],
+        arb_host(),
+        arb_path(),
+        proptest::collection::vec((arb_query_text(), arb_query_text()), 0..6),
+        proptest::collection::vec((arb_header_name(), arb_header_value()), 0..8),
+        proptest::collection::vec(arb_byte(), 0..200),
+    )
+        .prop_map(|(method, host, path, query, headers, body)| Request {
+            method,
+            host,
+            path,
+            query,
+            headers,
+            body: Bytes::from(body),
+        })
+}
+
+fn arb_response() -> impl Strategy<Value = Response> {
+    (
+        prop_oneof![
+            Just(Status::Ok),
+            Just(Status::BadRequest),
+            Just(Status::NotFound),
+            Just(Status::TooManyRequests),
+            Just(Status::InternalError)
+        ],
+        proptest::collection::vec((arb_header_name(), arb_header_value()), 0..8),
+        proptest::collection::vec(arb_byte(), 0..200),
+    )
+        .prop_map(|(status, headers, body)| Response {
+            status,
+            headers,
+            body: Bytes::from(body),
+        })
+}
+
+/// Encoder accepts this header set only if no name collides with a framing
+/// header — generated names *can* spell "Host" legally.
+fn framing_safe(headers: &[(String, String)]) -> bool {
+    headers
+        .iter()
+        .all(|(n, _)| !n.eq_ignore_ascii_case("host") && !n.eq_ignore_ascii_case("content-length"))
+}
+
+proptest! {
+    /// Round-trip: any encodable request parses back byte-for-byte equal,
+    /// consuming exactly the bytes the encoder produced.
+    #[test]
+    fn request_roundtrips(req in arb_request()) {
+        prop_assume!(framing_safe(&req.headers));
+        let bytes = encode_request(&req).expect("generated request is encodable");
+        let (back, consumed) = parse_request(&bytes, &WireLimits::default())
+            .expect("own encoding parses")
+            .expect("own encoding is complete");
+        prop_assert_eq!(back, req);
+        prop_assert_eq!(consumed, bytes.len());
+    }
+
+    /// Same contract for responses.
+    #[test]
+    fn response_roundtrips(resp in arb_response()) {
+        prop_assume!(framing_safe(&resp.headers));
+        let bytes = encode_response(&resp).expect("generated response is encodable");
+        let (back, consumed) = parse_response(&bytes, &WireLimits::default())
+            .expect("own encoding parses")
+            .expect("own encoding is complete");
+        prop_assert_eq!(back, resp);
+        prop_assert_eq!(consumed, bytes.len());
+    }
+
+    /// Every prefix of a valid message is "incomplete", never an error:
+    /// a socket read that stops mid-message must simply wait for more.
+    #[test]
+    fn request_prefixes_are_incomplete(req in arb_request(), frac in 0.0f64..1.0) {
+        prop_assume!(framing_safe(&req.headers));
+        let bytes = encode_request(&req).expect("encodable");
+        let cut = ((bytes.len() as f64) * frac) as usize;
+        prop_assert!(parse_request(&bytes[..cut.min(bytes.len() - 1)], &WireLimits::default())
+            .expect("prefix must not be an error")
+            .is_none());
+    }
+
+    /// Arbitrary bytes never panic the parser — they parse or they produce
+    /// a typed error, including inputs that happen to contain `\r\n\r\n`.
+    #[test]
+    fn garbage_never_panics(mut bytes in proptest::collection::vec(arb_byte(), 0..300),
+                            terminated in (0u8..2).prop_map(|b| b == 1)) {
+        if terminated {
+            bytes.extend_from_slice(b"\r\n\r\n");
+        }
+        let _ = parse_request(&bytes, &WireLimits::default());
+        let _ = parse_response(&bytes, &WireLimits::default());
+    }
+
+    /// ASCII-ish garbage exercises the header-line paths more deeply.
+    #[test]
+    fn ascii_garbage_never_panics(head in proptest::string::string_regex("[ -~\r\n\t]{0,200}").unwrap()) {
+        let mut bytes = head.into_bytes();
+        bytes.extend_from_slice(b"\r\n\r\n");
+        let _ = parse_request(&bytes, &WireLimits::default());
+        let _ = parse_response(&bytes, &WireLimits::default());
+    }
+}
+
+/// The fixed hostile corpus from the issue: truncated requests, oversized
+/// heads, unknown methods, garbage — each must yield `Err` (a server turns
+/// that into a 400) or `Ok(None)` (incomplete), and must never panic.
+#[test]
+fn hostile_corpus_yields_typed_errors() {
+    let limits = WireLimits::new().max_head_bytes(512).max_body_bytes(1024);
+    let oversized_head = {
+        let mut s = b"GET / HTTP/1.1\r\nHost: h\r\nX-Pad: ".to_vec();
+        s.extend(std::iter::repeat_n(b'a', 4096));
+        s.extend_from_slice(b"\r\n\r\n");
+        s
+    };
+    let errors: Vec<(&str, Vec<u8>)> = vec![
+        (
+            "unknown method",
+            b"BREW /pot HTTP/1.1\r\nHost: h\r\n\r\n".to_vec(),
+        ),
+        ("bad version", b"GET / SPDY/99\r\nHost: h\r\n\r\n".to_vec()),
+        ("missing host", b"GET / HTTP/1.1\r\n\r\n".to_vec()),
+        (
+            "no colon header",
+            b"GET / HTTP/1.1\r\nHost: h\r\nnocolon\r\n\r\n".to_vec(),
+        ),
+        (
+            "empty header name",
+            b"GET / HTTP/1.1\r\nHost: h\r\n: v\r\n\r\n".to_vec(),
+        ),
+        (
+            "space in header name",
+            b"GET / HTTP/1.1\r\nHost: h\r\nX A: v\r\n\r\n".to_vec(),
+        ),
+        (
+            "non-numeric length",
+            b"GET / HTTP/1.1\r\nHost: h\r\nContent-Length: ten\r\n\r\n".to_vec(),
+        ),
+        (
+            "huge declared body",
+            b"GET / HTTP/1.1\r\nHost: h\r\nContent-Length: 99999999\r\n\r\n".to_vec(),
+        ),
+        ("oversized head", oversized_head),
+        ("pure binary", b"\x00\xff\x13\x37\r\n\r\n".to_vec()),
+        ("bare path", b"/search?q=x\r\nHost: h\r\n\r\n".to_vec()),
+    ];
+    for (label, wire) in &errors {
+        assert!(
+            parse_request(wire, &limits).is_err(),
+            "{label}: expected a typed error, got {:?}",
+            parse_request(wire, &limits)
+        );
+    }
+
+    let incompletes: Vec<(&str, Vec<u8>)> = vec![
+        ("empty input", Vec::new()),
+        ("half a start line", b"GET /sea".to_vec()),
+        (
+            "head without terminator",
+            b"GET / HTTP/1.1\r\nHost: h\r\n".to_vec(),
+        ),
+        (
+            "body shorter than declared",
+            b"GET / HTTP/1.1\r\nHost: h\r\nContent-Length: 10\r\n\r\nabc".to_vec(),
+        ),
+    ];
+    for (label, wire) in &incompletes {
+        assert!(
+            matches!(parse_request(wire, &limits), Ok(None)),
+            "{label}: expected Ok(None), got {:?}",
+            parse_request(wire, &limits)
+        );
+    }
+}

@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+//! # geoserp-serve — the socket transport
+//!
+//! Everything else in geoserp runs against the in-process simulated network
+//! ([`geoserp_net::SimNet`]). This crate puts the *same* [`SearchService`]
+//! behind real TCP sockets: an accept loop feeding a bounded worker pool,
+//! keep-alive, read/write timeouts, request-size limits, a serve-layer
+//! per-IP rate limiter, `503` load-shedding when the accept queue fills,
+//! and graceful shutdown that drains in-flight connections. `/healthz`
+//! answers liveness probes and `/metrics` exposes the shared
+//! [`geoserp_obs::ObsHub`] in Prometheus text format.
+//!
+//! Both transports speak the `geoserp-net` wire codec, and the socket layer
+//! reconstructs the simulator's request context (sequence numbers, virtual
+//! day, datacenter pinning) — so the page served over TCP for a given
+//! `(query, geolocation header, day)` is **byte-identical** to the page the
+//! simulated path produces. The end-to-end loopback test asserts exactly
+//! that.
+//!
+//! [`SearchService`]: geoserp_engine::SearchService
+//!
+//! ```no_run
+//! use geoserp_serve::{ServeConfig, ServedWorld, SocketServer};
+//!
+//! let world = ServedWorld::build(2015, geoserp_engine::EngineConfig::paper_defaults()).unwrap();
+//! let server = SocketServer::start("127.0.0.1:0", &world, ServeConfig::new()).unwrap();
+//! println!("serving on {}", server.local_addr());
+//! server.shutdown();
+//! ```
+
+pub mod loadgen;
+pub mod server;
+
+pub use loadgen::{LoadgenConfig, LoadgenReport, MatrixEntry, MatrixReport};
+pub use server::{ServeConfig, ServedWorld, SocketServer, DAY_MS};

@@ -1,0 +1,361 @@
+//! Closed-loop load generator for the socket server.
+//!
+//! `concurrency` client threads each issue their share of `requests`
+//! back-to-back (a new request only after the previous response), the
+//! classic closed-loop model — throughput is offered load, latency is
+//! first-byte-to-full-response. Reports throughput and p50/p99 latency;
+//! [`run_matrix`] sweeps worker counts × keep-alive against in-process
+//! servers on ephemeral ports and emits the `BENCH_serve.json` payload.
+
+use crate::server::{ServeConfig, ServedWorld, SocketServer};
+use geoserp_engine::{EngineConfig, GEOLOCATION_HEADER, SEARCH_HOST};
+use geoserp_net::{encode_request, parse_response, Request, Status, WireLimits};
+use serde::{Deserialize, Serialize};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// Tunables for [`run`]. Build with [`LoadgenConfig::new`] and adjust with
+/// the fluent setters.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct LoadgenConfig {
+    /// Total requests across all client threads.
+    pub requests: usize,
+    /// Concurrent closed-loop client threads.
+    pub concurrency: usize,
+    /// Reuse one connection per thread (vs connect-per-request).
+    pub keep_alive: bool,
+    /// The search term each request carries.
+    pub query: String,
+    /// The spoofed GPS fix (`lat,lon`), sent in the geolocation header.
+    pub gps: String,
+    /// Socket read/write timeout per request, milliseconds.
+    pub timeout_ms: u64,
+}
+
+impl LoadgenConfig {
+    /// Defaults: 200 requests, 4 threads, keep-alive on, a Cleveland-pinned
+    /// `Coffee` query, 5 s timeout.
+    pub fn new() -> Self {
+        LoadgenConfig {
+            requests: 200,
+            concurrency: 4,
+            keep_alive: true,
+            query: "Coffee".to_string(),
+            gps: "41.499300,-81.694400".to_string(),
+            timeout_ms: 5_000,
+        }
+    }
+
+    /// Set the total request count (clamped to ≥ 1 at run).
+    pub fn requests(mut self, n: usize) -> Self {
+        self.requests = n;
+        self
+    }
+
+    /// Set the client-thread count (clamped to ≥ 1 at run).
+    pub fn concurrency(mut self, n: usize) -> Self {
+        self.concurrency = n;
+        self
+    }
+
+    /// Reuse connections (true) or reconnect per request (false).
+    pub fn keep_alive(mut self, on: bool) -> Self {
+        self.keep_alive = on;
+        self
+    }
+
+    /// Set the search term.
+    pub fn query(mut self, q: impl Into<String>) -> Self {
+        self.query = q.into();
+        self
+    }
+
+    /// Set the spoofed GPS fix (`lat,lon`).
+    pub fn gps(mut self, gps: impl Into<String>) -> Self {
+        self.gps = gps.into();
+        self
+    }
+
+    /// Set the per-request socket timeout.
+    pub fn timeout_ms(mut self, ms: u64) -> Self {
+        self.timeout_ms = ms;
+        self
+    }
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig::new()
+    }
+}
+
+/// One load-generation run's results.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LoadgenReport {
+    /// Requests attempted.
+    pub requests: usize,
+    /// `200 OK` responses.
+    pub ok: usize,
+    /// Non-200 responses plus transport failures.
+    pub errors: usize,
+    /// Wall-clock duration of the whole run, seconds.
+    pub elapsed_s: f64,
+    /// Completed requests per second.
+    pub throughput_rps: f64,
+    /// Median request latency, microseconds.
+    pub p50_us: u64,
+    /// 99th-percentile request latency, microseconds.
+    pub p99_us: u64,
+}
+
+/// One cell of the worker-count × keep-alive sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MatrixEntry {
+    /// Server worker threads for this cell.
+    pub workers: usize,
+    /// Whether connections were reused.
+    pub keep_alive: bool,
+    /// The measured run.
+    pub report: LoadgenReport,
+}
+
+/// The full sweep: the committed shape of `BENCH_serve.json`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MatrixReport {
+    /// World seed the served engine was generated from.
+    pub seed: u64,
+    /// Requests per cell.
+    pub requests: usize,
+    /// Client threads per cell.
+    pub concurrency: usize,
+    /// All measured cells.
+    pub entries: Vec<MatrixEntry>,
+}
+
+impl MatrixReport {
+    /// Serialize as pretty JSON (the `BENCH_serve.json` payload).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serializes")
+    }
+
+    /// A human-readable table of the sweep.
+    pub fn to_table(&self) -> String {
+        let mut out = format!(
+            "serve loadgen: {} requests x {} client threads per cell (seed {})\n\
+             workers  keep-alive  throughput_rps  p50_us  p99_us  errors\n",
+            self.requests, self.concurrency, self.seed
+        );
+        for e in &self.entries {
+            out.push_str(&format!(
+                "{:>7}  {:<10}  {:>14.0}  {:>6}  {:>6}  {:>6}\n",
+                e.workers,
+                e.keep_alive,
+                e.report.throughput_rps,
+                e.report.p50_us,
+                e.report.p99_us,
+                e.report.errors
+            ));
+        }
+        out
+    }
+}
+
+/// The request every loadgen client issues.
+fn search_request(cfg: &LoadgenConfig) -> Request {
+    Request::get(SEARCH_HOST, "/search")
+        .with_query("q", cfg.query.clone())
+        .with_header(GEOLOCATION_HEADER, cfg.gps.clone())
+        .with_header("User-Agent", "geoserp-loadgen/0.1")
+}
+
+/// Issue one request on an open connection; returns the response status.
+fn roundtrip(stream: &mut TcpStream, wire: &[u8]) -> std::io::Result<Status> {
+    stream.write_all(wire)?;
+    stream.flush()?;
+    let limits = WireLimits::new().max_body_bytes(8 * 1024 * 1024);
+    let mut buf = Vec::with_capacity(4096);
+    let mut chunk = [0u8; 4096];
+    loop {
+        match parse_response(&buf, &limits) {
+            Ok(Some((resp, _))) => return Ok(resp.status),
+            Ok(None) => {}
+            Err(e) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    e.to_string(),
+                ))
+            }
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed mid-response",
+            ));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    }
+}
+
+/// One closed-loop client thread's work: `n` requests, latencies in µs.
+fn client_loop(
+    addr: SocketAddr,
+    wire: &[u8],
+    n: usize,
+    keep_alive: bool,
+    timeout: Duration,
+) -> (Vec<u64>, usize, usize) {
+    let connect = || -> std::io::Result<TcpStream> {
+        let s = TcpStream::connect(addr)?;
+        s.set_nodelay(true).ok();
+        s.set_read_timeout(Some(timeout))?;
+        s.set_write_timeout(Some(timeout))?;
+        Ok(s)
+    };
+    let mut latencies = Vec::with_capacity(n);
+    let (mut ok, mut errors) = (0usize, 0usize);
+    let mut conn: Option<TcpStream> = None;
+    for _ in 0..n {
+        let started = Instant::now();
+        let outcome = (|| -> std::io::Result<Status> {
+            if conn.is_none() {
+                conn = Some(connect()?);
+            }
+            let stream = conn.as_mut().expect("just connected");
+            roundtrip(stream, wire)
+        })();
+        match outcome {
+            Ok(status) => {
+                latencies.push(started.elapsed().as_micros() as u64);
+                if status == Status::Ok {
+                    ok += 1;
+                } else {
+                    errors += 1;
+                }
+                if !keep_alive {
+                    conn = None;
+                }
+            }
+            Err(_) => {
+                errors += 1;
+                conn = None; // reconnect on the next iteration
+            }
+        }
+    }
+    (latencies, ok, errors)
+}
+
+/// Percentile (nearest-rank on the sorted slice); 0 when empty.
+fn percentile_us(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Run one closed-loop load generation against `addr`.
+///
+/// # Errors
+/// Propagates address-resolution failures; per-request transport errors are
+/// counted in the report instead.
+pub fn run(addr: &str, cfg: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
+    let addr: SocketAddr = addr.parse().map_err(|e| {
+        std::io::Error::new(std::io::ErrorKind::InvalidInput, format!("{addr}: {e}"))
+    })?;
+    let wire = encode_request(&search_request(cfg))
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e.to_string()))?;
+    let requests = cfg.requests.max(1);
+    let concurrency = cfg.concurrency.max(1).min(requests);
+    let timeout = Duration::from_millis(cfg.timeout_ms.max(1));
+
+    let started = Instant::now();
+    let mut results = Vec::with_capacity(concurrency);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(concurrency);
+        for i in 0..concurrency {
+            // Spread the remainder so the shares sum to `requests`.
+            let share = requests / concurrency + usize::from(i < requests % concurrency);
+            let wire = &wire;
+            handles
+                .push(scope.spawn(move || client_loop(addr, wire, share, cfg.keep_alive, timeout)));
+        }
+        for h in handles {
+            results.push(h.join().expect("loadgen client thread panicked"));
+        }
+    });
+    let elapsed_s = started.elapsed().as_secs_f64();
+
+    let mut latencies: Vec<u64> = Vec::with_capacity(requests);
+    let (mut ok, mut errors) = (0usize, 0usize);
+    for (l, o, e) in results {
+        latencies.extend(l);
+        ok += o;
+        errors += e;
+    }
+    latencies.sort_unstable();
+    Ok(LoadgenReport {
+        requests,
+        ok,
+        errors,
+        elapsed_s,
+        throughput_rps: (ok + errors) as f64 / elapsed_s.max(f64::EPSILON),
+        p50_us: percentile_us(&latencies, 50.0),
+        p99_us: percentile_us(&latencies, 99.0),
+    })
+}
+
+/// Sweep worker counts × keep-alive against in-process servers on ephemeral
+/// loopback ports, one world shared across cells. The engine's own per-IP
+/// rate limit is raised far above the offered load (every loadgen client
+/// shares the loopback source IP; the paper's 30/min limit would otherwise
+/// throttle the benchmark, not the server).
+///
+/// # Errors
+/// Returns a description of the first world-build, bind, or run failure.
+pub fn run_matrix(
+    seed: u64,
+    worker_counts: &[usize],
+    requests: usize,
+    concurrency: usize,
+) -> Result<MatrixReport, String> {
+    let config = EngineConfig {
+        rate_limit_max: usize::MAX / 2,
+        ..EngineConfig::paper_defaults()
+    };
+    let world = ServedWorld::build(seed, config).map_err(|e| e.to_string())?;
+    let mut entries = Vec::new();
+    for &workers in worker_counts {
+        for keep_alive in [true, false] {
+            let server = SocketServer::start(
+                "127.0.0.1:0",
+                &world,
+                ServeConfig::new()
+                    .workers(workers)
+                    .keep_alive(keep_alive)
+                    .rate_limit(usize::MAX / 2, 60_000),
+            )
+            .map_err(|e| format!("bind failed: {e}"))?;
+            let cfg = LoadgenConfig::new()
+                .requests(requests)
+                .concurrency(concurrency)
+                .keep_alive(keep_alive);
+            let report = run(&server.local_addr().to_string(), &cfg)
+                .map_err(|e| format!("loadgen failed: {e}"))?;
+            server.shutdown();
+            entries.push(MatrixEntry {
+                workers,
+                keep_alive,
+                report,
+            });
+        }
+    }
+    Ok(MatrixReport {
+        seed,
+        requests,
+        concurrency,
+        entries,
+    })
+}

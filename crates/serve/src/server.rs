@@ -1,0 +1,489 @@
+//! The TCP front end: a bounded worker pool serving [`SearchService`] over
+//! real sockets, speaking the `geoserp-net` wire codec.
+//!
+//! Architecture: one accept thread feeds accepted connections into a bounded
+//! queue (`std::sync::mpsc::sync_channel`); `workers` threads drain it, each
+//! running a keep-alive connection loop with read/write timeouts and
+//! request-size limits. When the queue is full the accept thread sheds load
+//! with an inline `503` instead of letting connections pile up. Shutdown is
+//! graceful: in-flight requests finish, queued connections drain, then the
+//! workers exit.
+//!
+//! # Determinism contract
+//!
+//! The served page for a given `(query, geolocation header, day)` is
+//! byte-identical to what the simulated path produces, because the socket
+//! layer reconstructs exactly the [`RequestCtx`] the simulator would build:
+//!
+//! * `seq` mirrors the simulator's per-source formula
+//!   (`src_ip << 32 | counter`, counter starting at 0 per source);
+//! * `at` is pinned inside the configured virtual [`ServeConfig::day`]
+//!   (`day * DAY_MS + wall_elapsed % DAY_MS`) — engine page bytes depend on
+//!   time only through the day index;
+//! * every request is dispatched to datacenter 0 (`dst = addrs[0]`), the
+//!   socket-transport analogue of the paper's DNS pinning (§2.2).
+//!
+//! Wall time only enters rate-limit windows and metrics, never page bytes.
+
+use geoserp_engine::{ConfigError, EngineConfig, SearchEngine, SearchService};
+use geoserp_geo::{Seed, UsGeography};
+use geoserp_net::clock::SimInstant;
+use geoserp_net::{
+    encode_response, parse_request, RateLimitKey, RateLimiter, Request, RequestCtx, Response,
+    Server, Status, WireLimits,
+};
+use geoserp_obs::{Counter, ObsHub};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{IpAddr, Ipv4Addr, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Milliseconds per simulation day (the engine's time granularity).
+pub const DAY_MS: u64 = 86_400_000;
+
+/// Tunables for [`SocketServer::start`]. Build with [`ServeConfig::new`] and
+/// adjust with the fluent setters.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct ServeConfig {
+    /// Worker threads draining the accept queue.
+    pub workers: usize,
+    /// Accepted connections that may wait for a worker before the accept
+    /// thread starts shedding load with `503`s.
+    pub queue_depth: usize,
+    /// Serve multiple requests per connection.
+    pub keep_alive: bool,
+    /// Per-read socket timeout; also bounds how long an idle keep-alive
+    /// connection is held open.
+    pub read_timeout_ms: u64,
+    /// Per-write socket timeout.
+    pub write_timeout_ms: u64,
+    /// Wire-level size limits (head bytes, body bytes, header count).
+    pub limits: WireLimits,
+    /// Serve-layer per-IP rate limit: admitted requests per window.
+    pub rate_limit_max: usize,
+    /// Serve-layer rate-limit window, milliseconds.
+    pub rate_limit_window_ms: u64,
+    /// Virtual day this server lives in (engine results vary by day).
+    pub day: u32,
+}
+
+impl ServeConfig {
+    /// Defaults: 4 workers, queue of 64, keep-alive on, 5 s timeouts,
+    /// default wire limits, a permissive serve-layer rate limit
+    /// (100 000/min — the engine's own per-IP limiter is separate), day 0.
+    pub fn new() -> Self {
+        ServeConfig {
+            workers: 4,
+            queue_depth: 64,
+            keep_alive: true,
+            read_timeout_ms: 5_000,
+            write_timeout_ms: 5_000,
+            limits: WireLimits::new(),
+            rate_limit_max: 100_000,
+            rate_limit_window_ms: 60_000,
+            day: 0,
+        }
+    }
+
+    /// Set the worker-thread count (clamped to ≥ 1 at start).
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = n;
+        self
+    }
+
+    /// Set the accept-queue depth (clamped to ≥ 1 at start).
+    pub fn queue_depth(mut self, n: usize) -> Self {
+        self.queue_depth = n;
+        self
+    }
+
+    /// Enable or disable keep-alive.
+    pub fn keep_alive(mut self, on: bool) -> Self {
+        self.keep_alive = on;
+        self
+    }
+
+    /// Set the read timeout in milliseconds.
+    pub fn read_timeout_ms(mut self, ms: u64) -> Self {
+        self.read_timeout_ms = ms;
+        self
+    }
+
+    /// Set the write timeout in milliseconds.
+    pub fn write_timeout_ms(mut self, ms: u64) -> Self {
+        self.write_timeout_ms = ms;
+        self
+    }
+
+    /// Set the wire-level size limits.
+    pub fn limits(mut self, limits: WireLimits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// Set the serve-layer per-IP rate limit.
+    pub fn rate_limit(mut self, max: usize, window_ms: u64) -> Self {
+        self.rate_limit_max = max;
+        self.rate_limit_window_ms = window_ms;
+        self
+    }
+
+    /// Set the virtual day served.
+    pub fn day(mut self, day: u32) -> Self {
+        self.day = day;
+        self
+    }
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig::new()
+    }
+}
+
+/// A search world ready to put behind a socket: the engine wrapped in its
+/// [`SearchService`], the observability hub they share, and the datacenter
+/// addresses the service was registered with.
+///
+/// Seeding mirrors the simulated path exactly — same seed, same geography,
+/// corpus, engine, and `10.50.0.*` datacenter addresses as
+/// [`SearchService::install`] — which is what makes served pages
+/// byte-comparable to simulated ones.
+pub struct ServedWorld {
+    /// The service (engine + per-IP limiter + datacenter map).
+    pub service: Arc<SearchService>,
+    /// Hub shared by the engine and the socket layer (`/metrics` reads it).
+    pub hub: Arc<ObsHub>,
+    /// Datacenter addresses; the socket layer serves as `addrs[0]` (dc0).
+    pub addrs: Vec<Ipv4Addr>,
+}
+
+impl ServedWorld {
+    /// Generate the world for `seed` and wrap it for serving.
+    ///
+    /// # Errors
+    /// Propagates [`ConfigError`] from engine-config validation.
+    pub fn build(seed: u64, config: EngineConfig) -> Result<ServedWorld, ConfigError> {
+        let world_seed = Seed::new(seed);
+        let geo = UsGeography::generate(world_seed);
+        let corpus = Arc::new(geoserp_corpus::WebCorpus::generate(&geo, world_seed));
+        let hub = Arc::new(ObsHub::new());
+        let engine = Arc::new(
+            SearchEngine::builder(corpus, &geo, world_seed)
+                .config(config)
+                .obs(Arc::clone(&hub))
+                .build()?,
+        );
+        let n = engine.config().datacenters;
+        let addrs: Vec<Ipv4Addr> = (1..=n)
+            .map(|i| format!("10.50.0.{i}").parse().expect("valid address"))
+            .collect();
+        let service = Arc::new(SearchService::new(engine, &addrs));
+        Ok(ServedWorld {
+            service,
+            hub,
+            addrs,
+        })
+    }
+}
+
+/// Socket-layer counters (all registered on the shared hub, so `/metrics`
+/// and `geoserp run --metrics-out`-style snapshots see them).
+struct ServeMetrics {
+    connections: Counter,
+    requests: Counter,
+    responses: Counter,
+    bad_requests: Counter,
+    rate_limited: Counter,
+    rejected_busy: Counter,
+}
+
+impl ServeMetrics {
+    fn resolve(hub: &ObsHub) -> Self {
+        let m = hub.metrics();
+        ServeMetrics {
+            connections: m.counter("serve.connections"),
+            requests: m.counter("serve.requests"),
+            responses: m.counter("serve.responses"),
+            bad_requests: m.counter("serve.bad_requests"),
+            rate_limited: m.counter("serve.rate_limited"),
+            rejected_busy: m.counter("serve.rejected_busy"),
+        }
+    }
+}
+
+/// State shared by the accept thread and every worker.
+struct Shared {
+    service: Arc<SearchService>,
+    hub: Arc<ObsHub>,
+    dc0: Ipv4Addr,
+    config: ServeConfig,
+    limiter: RateLimiter,
+    seq_per_src: Mutex<HashMap<Ipv4Addr, u32>>,
+    started: Instant,
+    shutdown: AtomicBool,
+    metrics: ServeMetrics,
+}
+
+impl Shared {
+    /// Wall milliseconds since the server started (rate-limit windows and
+    /// the intra-day clock; never page bytes).
+    fn now_ms(&self) -> u64 {
+        self.started.elapsed().as_millis() as u64
+    }
+
+    /// The simulator's per-source sequence formula, mirrored.
+    fn next_seq(&self, src: Ipv4Addr) -> u64 {
+        let mut counters = self.seq_per_src.lock();
+        let c = counters.entry(src).or_insert(0);
+        let seq = ((u32::from_be_bytes(src.octets()) as u64) << 32) | *c as u64;
+        *c += 1;
+        seq
+    }
+
+    fn route(&self, src: Ipv4Addr, req: &Request) -> Response {
+        match req.path.as_str() {
+            "/healthz" => Response::ok("ok\n").with_header("Content-Type", "text/plain"),
+            "/metrics" => Response::ok(self.hub.snapshot().to_prometheus())
+                .with_header("Content-Type", "text/plain; version=0.0.4"),
+            _ => {
+                let now_ms = self.now_ms();
+                if !self.limiter.admit(src, SimInstant(now_ms)) {
+                    self.metrics.rate_limited.inc();
+                    return Response::status(Status::TooManyRequests)
+                        .with_header("X-Reason", "serve-layer rate limit");
+                }
+                let ctx = RequestCtx {
+                    src,
+                    dst: self.dc0,
+                    at: SimInstant(u64::from(self.config.day) * DAY_MS + now_ms % DAY_MS),
+                    seq: self.next_seq(src),
+                };
+                self.service.handle(&ctx, req)
+            }
+        }
+    }
+}
+
+/// Encode and write one response; falls back to a bare status if a header
+/// that reached us is unencodable (it came from us, so this is defensive).
+fn write_response(stream: &mut TcpStream, resp: &Response) -> std::io::Result<()> {
+    let bytes = encode_response(resp)
+        .or_else(|_| encode_response(&Response::status(resp.status)))
+        .expect("bare status responses always encode");
+    stream.write_all(&bytes)?;
+    stream.flush()
+}
+
+/// One connection's lifecycle: keep-alive parse/serve loop with timeouts.
+fn serve_connection(shared: &Shared, mut stream: TcpStream) {
+    shared.metrics.connections.inc();
+    let src = match stream.peer_addr() {
+        Ok(a) => match a.ip() {
+            IpAddr::V4(v4) => v4,
+            IpAddr::V6(_) => Ipv4Addr::UNSPECIFIED,
+        },
+        Err(_) => return,
+    };
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(
+        shared.config.read_timeout_ms.max(1),
+    )));
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(
+        shared.config.write_timeout_ms.max(1),
+    )));
+
+    let mut buf: Vec<u8> = Vec::with_capacity(4096);
+    let mut chunk = [0u8; 4096];
+    'conn: loop {
+        // Serve every complete request already buffered (pipelining).
+        loop {
+            match parse_request(&buf, &shared.config.limits) {
+                Ok(Some((req, used))) => {
+                    buf.drain(..used);
+                    shared.metrics.requests.inc();
+                    let close_requested = req
+                        .header("Connection")
+                        .is_some_and(|v| v.eq_ignore_ascii_case("close"));
+                    let resp = shared.route(src, &req);
+                    if write_response(&mut stream, &resp).is_err() {
+                        break 'conn;
+                    }
+                    shared.metrics.responses.inc();
+                    if !shared.config.keep_alive
+                        || close_requested
+                        || shared.shutdown.load(Ordering::Relaxed)
+                    {
+                        break 'conn;
+                    }
+                }
+                Ok(None) => break, // need more bytes
+                Err(e) => {
+                    shared.metrics.bad_requests.inc();
+                    let resp = Response::status(Status::BadRequest)
+                        .with_header("X-Serve-Error", e.to_string());
+                    let _ = write_response(&mut stream, &resp);
+                    break 'conn;
+                }
+            }
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                // EOF mid-request: best-effort 400, then close.
+                if !buf.is_empty() {
+                    shared.metrics.bad_requests.inc();
+                    let _ = write_response(
+                        &mut stream,
+                        &Response::status(Status::BadRequest)
+                            .with_header("X-Serve-Error", "connection closed mid-request"),
+                    );
+                }
+                break;
+            }
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            // Idle keep-alive timeout or a stalled sender: drop the
+            // connection (its half-request gets no reply — indistinguishable
+            // from a network partition, which clients must handle anyway).
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => break,
+            Err(_) => break,
+        }
+    }
+}
+
+/// Accept loop: feed the bounded queue, shed load inline when it is full.
+fn accept_loop(shared: Arc<Shared>, listener: TcpListener, tx: mpsc::SyncSender<TcpStream>) {
+    for conn in listener.incoming() {
+        if shared.shutdown.load(Ordering::Relaxed) {
+            break;
+        }
+        let Ok(stream) = conn else { continue };
+        match tx.try_send(stream) {
+            Ok(()) => {}
+            Err(mpsc::TrySendError::Full(mut stream)) => {
+                shared.metrics.rejected_busy.inc();
+                let _ = stream.set_write_timeout(Some(Duration::from_millis(
+                    shared.config.write_timeout_ms.max(1),
+                )));
+                let _ = write_response(
+                    &mut stream,
+                    &Response::status(Status::ServiceUnavailable)
+                        .with_header("X-Reason", "accept queue full"),
+                );
+            }
+            Err(mpsc::TrySendError::Disconnected(_)) => break,
+        }
+    }
+    // `tx` drops here; workers drain the queue and then exit.
+}
+
+/// A running socket server. Dropping it shuts it down gracefully.
+pub struct SocketServer {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl SocketServer {
+    /// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and start the
+    /// accept loop plus worker pool serving `world`.
+    ///
+    /// # Errors
+    /// Propagates bind/spawn I/O errors.
+    pub fn start(
+        addr: &str,
+        world: &ServedWorld,
+        config: ServeConfig,
+    ) -> std::io::Result<SocketServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let limiter = RateLimiter::new(
+            RateLimitKey::PerIp,
+            config.rate_limit_max.max(1),
+            config.rate_limit_window_ms.max(1),
+        );
+        let metrics = ServeMetrics::resolve(&world.hub);
+        let worker_count = config.workers.max(1);
+        let queue_depth = config.queue_depth.max(1);
+        let shared = Arc::new(Shared {
+            service: Arc::clone(&world.service),
+            hub: Arc::clone(&world.hub),
+            dc0: world.addrs[0],
+            config,
+            limiter,
+            seq_per_src: Mutex::new(HashMap::new()),
+            started: Instant::now(),
+            shutdown: AtomicBool::new(false),
+            metrics,
+        });
+
+        let (tx, rx) = mpsc::sync_channel::<TcpStream>(queue_depth);
+        let rx = Arc::new(Mutex::new(rx));
+        let mut workers = Vec::with_capacity(worker_count);
+        for i in 0..worker_count {
+            let shared = Arc::clone(&shared);
+            let rx = Arc::clone(&rx);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("geoserp-serve-{i}"))
+                    .spawn(move || loop {
+                        // Hold the receiver lock only while waiting; serve
+                        // with it released so workers drain in parallel.
+                        let next = rx.lock().recv();
+                        match next {
+                            Ok(stream) => serve_connection(&shared, stream),
+                            Err(_) => break, // accept loop gone, queue drained
+                        }
+                    })?,
+            );
+        }
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("geoserp-accept".into())
+                .spawn(move || accept_loop(shared, listener, tx))?
+        };
+        Ok(SocketServer {
+            shared,
+            local_addr,
+            accept: Some(accept),
+            workers,
+        })
+    }
+
+    /// The bound address (useful with an ephemeral `:0` bind).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stop accepting, drain queued connections, finish in-flight requests,
+    /// and join every thread.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if self.shared.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for SocketServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}

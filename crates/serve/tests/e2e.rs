@@ -1,0 +1,362 @@
+//! End-to-end socket tests: the determinism contract (a served page is
+//! byte-identical to the simulated path's page), hostile-input behavior over
+//! real connections, keep-alive, backpressure, rate limiting, observability
+//! endpoints, and graceful shutdown.
+
+use geoserp_engine::{EngineConfig, SearchEngine, SearchService, GEOLOCATION_HEADER, SEARCH_HOST};
+use geoserp_geo::{Seed, UsGeography};
+use geoserp_net::{
+    encode_request, ip, parse_response, Request, Response, SimNet, Status, WireLimits,
+};
+use geoserp_serve::{LoadgenConfig, ServeConfig, ServedWorld, SocketServer};
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+const SEED: u64 = 2015;
+
+fn world() -> ServedWorld {
+    ServedWorld::build(SEED, EngineConfig::paper_defaults()).unwrap()
+}
+
+/// The simulated reference: the same world seed behind a [`SimNet`], DNS
+/// pinned to datacenter 0 — mirroring how the socket server dispatches.
+fn sim_reference() -> (UsGeography, Arc<SimNet>) {
+    let world_seed = Seed::new(SEED);
+    let geo = UsGeography::generate(world_seed);
+    let corpus = Arc::new(geoserp_corpus::WebCorpus::generate(&geo, world_seed));
+    let net = Arc::new(SimNet::builder(Seed::new(7)).build());
+    let engine = Arc::new(
+        SearchEngine::builder(corpus, &geo, world_seed)
+            .config(EngineConfig::paper_defaults())
+            .obs(Arc::clone(net.obs()))
+            .build()
+            .unwrap(),
+    );
+    let addrs = SearchService::install(&net, engine);
+    net.dns().pin(SEARCH_HOST, addrs[0]);
+    (geo, net)
+}
+
+/// Send raw bytes, half-close, read the full reply.
+fn send_raw(addr: SocketAddr, bytes: &[u8]) -> Vec<u8> {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    // The server may reply and close before the client finishes writing
+    // (e.g. an oversized head gets its 400 mid-upload) — tolerate that.
+    let _ = stream.write_all(bytes);
+    let _ = stream.shutdown(Shutdown::Write);
+    let mut out = Vec::new();
+    stream.read_to_end(&mut out).ok();
+    out
+}
+
+/// Read exactly one response off an open connection.
+fn read_response(stream: &mut TcpStream) -> Option<Response> {
+    let limits = WireLimits::new().max_body_bytes(8 * 1024 * 1024);
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        if let Some((resp, used)) = parse_response(&buf, &limits).ok()? {
+            assert_eq!(used, buf.len(), "no trailing bytes after one response");
+            return Some(resp);
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) | Err(_) => return None,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+        }
+    }
+}
+
+/// One request over a fresh TCP connection.
+fn request_tcp(addr: SocketAddr, req: &Request) -> Response {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream.write_all(&encode_request(req).unwrap()).unwrap();
+    read_response(&mut stream).expect("server must reply")
+}
+
+fn search_req(geo: &UsGeography, q: &str) -> Request {
+    Request::get(SEARCH_HOST, "/search")
+        .with_query("q", q)
+        .with_header(
+            GEOLOCATION_HEADER,
+            geo.cuyahoga_districts[0].coord.to_gps_string(),
+        )
+        .with_header("User-Agent", "Mozilla/5.0 (iPhone; Safari 8)")
+}
+
+#[test]
+fn served_pages_are_byte_identical_to_the_sim_path() {
+    let (geo, net) = sim_reference();
+    let world = world();
+    let server = SocketServer::start("127.0.0.1:0", &world, ServeConfig::new()).unwrap();
+    let addr = server.local_addr();
+
+    // The simulated client and the TCP client share the loopback source
+    // address, so the mirrored sequence numbers line up request-for-request.
+    for query in ["Hospital", "starbuks", "Coffee"] {
+        let req = search_req(&geo, query);
+        let (sim_resp, _) = net.request(ip("127.0.0.1"), &req).unwrap();
+        let tcp_resp = request_tcp(addr, &req);
+        assert_eq!(
+            tcp_resp, sim_resp,
+            "query {query:?}: served response must equal the simulated one"
+        );
+        assert_eq!(tcp_resp.status, Status::Ok);
+        assert_eq!(tcp_resp.header("X-Datacenter"), Some("dc0"));
+        // Both pages parse to the same SERP, byte for byte.
+        assert_eq!(tcp_resp.body, sim_resp.body);
+        assert!(geoserp_serp::parse(&tcp_resp.body_text()).is_ok());
+    }
+    server.shutdown();
+}
+
+#[test]
+fn hostile_inputs_get_400s_and_never_kill_the_server() {
+    let (geo, _) = sim_reference();
+    let world = world();
+    let server = SocketServer::start(
+        "127.0.0.1:0",
+        &world,
+        ServeConfig::new().limits(WireLimits::new().max_head_bytes(4096)),
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    let mut oversized = b"GET / HTTP/1.1\r\nHost: h\r\nX-Pad: ".to_vec();
+    oversized.extend(std::iter::repeat_n(b'x', 8192));
+    oversized.extend_from_slice(b"\r\n\r\n");
+    let corpus: Vec<(&str, Vec<u8>)> = vec![
+        (
+            "unknown method",
+            b"BREW /pot HTTP/1.1\r\nHost: h\r\n\r\n".to_vec(),
+        ),
+        ("garbage bytes", b"\x00\xff\x13\x37garbage\r\n\r\n".to_vec()),
+        ("truncated request", b"GET /sea".to_vec()),
+        ("missing host", b"GET / HTTP/1.1\r\n\r\n".to_vec()),
+        ("oversized head", oversized),
+        (
+            "bad content length",
+            b"GET / HTTP/1.1\r\nHost: h\r\nContent-Length: ten\r\n\r\n".to_vec(),
+        ),
+    ];
+    for (label, bytes) in &corpus {
+        let reply = send_raw(addr, bytes);
+        assert!(!reply.is_empty(), "{label}: server must reply, not hang up");
+        let (resp, _) = parse_response(&reply, &WireLimits::default())
+            .unwrap_or_else(|e| panic!("{label}: unparseable reply: {e}"))
+            .unwrap_or_else(|| panic!("{label}: truncated reply"));
+        assert_eq!(resp.status, Status::BadRequest, "{label}");
+    }
+
+    // After the whole corpus, the server still serves good requests.
+    let resp = request_tcp(addr, &search_req(&geo, "Hospital"));
+    assert_eq!(resp.status, Status::Ok);
+    server.shutdown();
+}
+
+#[test]
+fn keep_alive_serves_many_requests_per_connection() {
+    let (geo, _) = sim_reference();
+    let world = world();
+    let server = SocketServer::start("127.0.0.1:0", &world, ServeConfig::new()).unwrap();
+
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    for query in ["Hospital", "Bank", "Park"] {
+        stream
+            .write_all(&encode_request(&search_req(&geo, query)).unwrap())
+            .unwrap();
+        let resp = read_response(&mut stream).expect("keep-alive reply");
+        assert_eq!(resp.status, Status::Ok, "{query}");
+    }
+    drop(stream);
+
+    // keep_alive(false): the server answers one request and closes.
+    let server2 =
+        SocketServer::start("127.0.0.1:0", &world, ServeConfig::new().keep_alive(false)).unwrap();
+    let mut stream = TcpStream::connect(server2.local_addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream
+        .write_all(&encode_request(&search_req(&geo, "Hospital")).unwrap())
+        .unwrap();
+    assert!(read_response(&mut stream).is_some());
+    stream
+        .write_all(&encode_request(&search_req(&geo, "Bank")).unwrap())
+        .ok();
+    assert!(
+        read_response(&mut stream).is_none(),
+        "without keep-alive the connection must close after one response"
+    );
+    server.shutdown();
+    server2.shutdown();
+}
+
+#[test]
+fn healthz_and_metrics_expose_the_shared_hub() {
+    let (geo, _) = sim_reference();
+    let world = world();
+    let server = SocketServer::start("127.0.0.1:0", &world, ServeConfig::new()).unwrap();
+    let addr = server.local_addr();
+
+    let health = request_tcp(addr, &Request::get(SEARCH_HOST, "/healthz"));
+    assert_eq!(health.status, Status::Ok);
+    assert_eq!(health.body_text(), "ok\n");
+
+    assert_eq!(
+        request_tcp(addr, &search_req(&geo, "Hospital")).status,
+        Status::Ok
+    );
+    let metrics = request_tcp(addr, &Request::get(SEARCH_HOST, "/metrics"));
+    assert_eq!(metrics.status, Status::Ok);
+    let text = metrics.body_text();
+    assert!(
+        text.contains("# TYPE geoserp_serve_requests counter"),
+        "{text}"
+    );
+    assert!(text.contains("geoserp_engine_queries 1"), "{text}");
+    server.shutdown();
+}
+
+#[test]
+fn serve_layer_rate_limit_returns_429() {
+    let (geo, _) = sim_reference();
+    let world = world();
+    let server = SocketServer::start(
+        "127.0.0.1:0",
+        &world,
+        ServeConfig::new().rate_limit(3, 60_000),
+    )
+    .unwrap();
+    let addr = server.local_addr();
+    for _ in 0..3 {
+        assert_eq!(
+            request_tcp(addr, &search_req(&geo, "Bank")).status,
+            Status::Ok
+        );
+    }
+    let resp = request_tcp(addr, &search_req(&geo, "Bank"));
+    assert_eq!(resp.status, Status::TooManyRequests);
+    assert_eq!(resp.header("X-Reason"), Some("serve-layer rate limit"));
+    // Probes are exempt: health stays green while search is throttled.
+    assert_eq!(
+        request_tcp(addr, &Request::get(SEARCH_HOST, "/healthz")).status,
+        Status::Ok
+    );
+    server.shutdown();
+}
+
+#[test]
+fn full_accept_queue_sheds_load_with_503() {
+    let world = world();
+    let server = SocketServer::start(
+        "127.0.0.1:0",
+        &world,
+        ServeConfig::new()
+            .workers(1)
+            .queue_depth(1)
+            .read_timeout_ms(3_000),
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    // Occupy the single worker with a connection that never completes a
+    // request, and fill the one queue slot with a second idle connection.
+    let stall_worker = TcpStream::connect(addr).unwrap();
+    stall_worker.set_nodelay(true).ok();
+    (&stall_worker).write_all(b"GET /sl").unwrap();
+    std::thread::sleep(Duration::from_millis(300));
+    let _fill_queue = TcpStream::connect(addr).unwrap();
+    std::thread::sleep(Duration::from_millis(300));
+
+    // Subsequent connections must be shed with an inline 503.
+    let mut shed = false;
+    for _ in 0..5 {
+        let mut probe = TcpStream::connect(addr).unwrap();
+        probe
+            .set_read_timeout(Some(Duration::from_millis(500)))
+            .unwrap();
+        if let Some(resp) = read_response(&mut probe) {
+            assert_eq!(resp.status, Status::ServiceUnavailable);
+            assert_eq!(resp.header("X-Reason"), Some("accept queue full"));
+            shed = true;
+            break;
+        }
+    }
+    assert!(
+        shed,
+        "expected at least one 503 while the pool was saturated"
+    );
+    drop(stall_worker);
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_drains_and_stops_accepting() {
+    let (geo, _) = sim_reference();
+    let world = world();
+    let server = SocketServer::start(
+        "127.0.0.1:0",
+        &world,
+        ServeConfig::new().read_timeout_ms(500),
+    )
+    .unwrap();
+    let addr = server.local_addr();
+    assert_eq!(
+        request_tcp(addr, &search_req(&geo, "Hospital")).status,
+        Status::Ok
+    );
+    server.shutdown();
+    // Every thread is joined by the time shutdown returns; a new connection
+    // must not be served.
+    let served_after = TcpStream::connect(addr).is_ok_and(|mut s| {
+        s.set_read_timeout(Some(Duration::from_millis(500))).ok();
+        s.write_all(&encode_request(&search_req(&geo, "Bank")).unwrap())
+            .is_ok()
+            && read_response(&mut s).is_some()
+    });
+    assert!(!served_after, "server answered after shutdown");
+}
+
+#[test]
+fn loadgen_measures_the_server() {
+    let report = geoserp_serve::loadgen::run_matrix(SEED, &[2], 60, 3).unwrap();
+    assert_eq!(report.entries.len(), 2, "keep-alive on and off");
+    for e in &report.entries {
+        assert_eq!(e.workers, 2);
+        assert_eq!(e.report.ok + e.report.errors, 60);
+        assert!(e.report.ok > 0, "some requests must succeed: {e:?}");
+        assert!(e.report.throughput_rps > 0.0);
+        assert!(e.report.p50_us > 0);
+        assert!(e.report.p99_us >= e.report.p50_us);
+    }
+    let json = report.to_json();
+    assert!(json.contains("\"throughput_rps\""), "{json}");
+
+    // Single-target mode against a live server.
+    let world = world();
+    let server = SocketServer::start(
+        "127.0.0.1:0",
+        &world,
+        ServeConfig::new().rate_limit(usize::MAX / 2, 60_000),
+    )
+    .unwrap();
+    let single = geoserp_serve::loadgen::run(
+        &server.local_addr().to_string(),
+        &LoadgenConfig::new().requests(20).concurrency(2),
+    )
+    .unwrap();
+    assert_eq!(single.requests, 20);
+    assert!(single.errors > 0 || single.ok > 0);
+    server.shutdown();
+}

@@ -15,7 +15,7 @@ use geoserp::prelude::*;
 use std::sync::Arc;
 
 fn main() {
-    let study = Study::builder().seed(2015).build();
+    let study = Study::builder().seed(2015).build().unwrap();
     let crawler = study.crawler();
 
     let cleveland = crawler

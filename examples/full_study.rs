@@ -41,7 +41,7 @@ fn main() {
         },
     );
 
-    let study = Study::builder().seed(2015).plan(plan).build();
+    let study = Study::builder().seed(2015).plan(plan).build().unwrap();
     let started = std::time::Instant::now();
     let dataset = study.run();
     println!(

@@ -17,7 +17,7 @@ use geoserp::metrics::jaccard;
 use geoserp::prelude::*;
 
 fn main() {
-    let study = Study::builder().seed(2015).build();
+    let study = Study::builder().seed(2015).build().unwrap();
     let crawler = study.crawler();
     let engine = crawler.engine();
     let metro = crawler.vantage().baseline(Granularity::County).coord;

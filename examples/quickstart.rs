@@ -13,7 +13,7 @@ use geoserp::prelude::*;
 fn main() {
     // A scaled-down version of the paper's plan: a few queries per category,
     // a few locations per granularity, 2 days per block.
-    let study = Study::builder().seed(2015).quick().build();
+    let study = Study::builder().seed(2015).quick().build().unwrap();
 
     println!("building the world and crawling (deterministic, seed 2015)…\n");
     let dataset = study.run();

@@ -26,7 +26,8 @@ fn measure(label: &str, config: EngineConfig) {
         .seed(2015)
         .engine_config(config)
         .plan(plan)
-        .build();
+        .build()
+        .unwrap();
     let ds = study.run();
     let idx = ObsIndex::new(&ds);
 

@@ -13,7 +13,7 @@
 use geoserp::prelude::*;
 
 fn main() {
-    let study = Study::builder().seed(2015).build();
+    let study = Study::builder().seed(2015).build().unwrap();
     println!("running the PlanetLab validation (50 machines, 20 controversial queries)…\n");
     let report = study.validate(50, 20);
 

@@ -17,7 +17,7 @@
 //!     locations_per_granularity: Some(2),
 //!     ..ExperimentPlan::quick()
 //! };
-//! let study = Study::builder().seed(2015).plan(plan).build();
+//! let study = Study::builder().seed(2015).plan(plan).build().unwrap();
 //! let dataset = study.run();
 //! assert!(!dataset.observations().is_empty());
 //! ```

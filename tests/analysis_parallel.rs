@@ -48,7 +48,7 @@ fn dataset(plan: &ExperimentPlan, seed: u64) -> Dataset {
 }
 
 fn report(ds: &Dataset, workers: Workers) -> String {
-    let options = AnalysisOptions { workers };
+    let options = AnalysisOptions::new().workers(workers);
     full_report_with_options(ds, None, &options)
 }
 
@@ -100,17 +100,16 @@ fn checkpoint_resumed_dataset_reports_identically() {
 
     let last: RefCell<Option<CrawlCheckpoint>> = RefCell::new(None);
     let sink = |c: &CrawlCheckpoint| *last.borrow_mut() = Some(c.clone());
-    let mut opts = CrawlOptions::new(CrawlBackend::WorkerPool);
-    opts.checkpoint_every = 4;
-    opts.on_checkpoint = Some(&sink);
-    opts.stop_after_rounds = Some(11);
+    let opts = CrawlOptions::new(CrawlBackend::WorkerPool)
+        .checkpoint_every(4)
+        .on_checkpoint(&sink)
+        .stop_after_rounds(11);
     Crawler::new(Seed::new(2015))
         .run_with_options(&plan, opts, |_| {})
         .expect("partial runs are valid");
     let ckpt = last.into_inner().expect("checkpoint written by round 11");
 
-    let mut opts = CrawlOptions::new(CrawlBackend::WorkerPool);
-    opts.resume = Some(ckpt);
+    let opts = CrawlOptions::new(CrawlBackend::WorkerPool).resume(ckpt);
     let resumed = Crawler::new(Seed::new(2015))
         .run_with_options(&plan, opts, |_| {})
         .expect("checkpoint resumes on a fresh world");

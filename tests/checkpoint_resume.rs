@@ -76,16 +76,15 @@ fn kill_and_resume(
 ) -> Option<Dataset> {
     let last: RefCell<Option<CrawlCheckpoint>> = RefCell::new(None);
     let sink = |c: &CrawlCheckpoint| *last.borrow_mut() = Some(c.clone());
-    let mut opts = CrawlOptions::new(kill_backend);
-    opts.checkpoint_every = every;
-    opts.on_checkpoint = Some(&sink);
-    opts.stop_after_rounds = Some(kill_round);
+    let opts = CrawlOptions::new(kill_backend)
+        .checkpoint_every(every)
+        .on_checkpoint(&sink)
+        .stop_after_rounds(kill_round);
     crawler(seed, drop, corrupt)
         .run_with_options(plan, opts, |_| {})
         .expect("partial runs are valid");
     let ckpt = last.into_inner()?;
-    let mut opts = CrawlOptions::new(resume_backend);
-    opts.resume = Some(ckpt);
+    let opts = CrawlOptions::new(resume_backend).resume(ckpt);
     Some(
         crawler(seed, drop, corrupt)
             .run_with_options(plan, opts, |_| {})
@@ -219,10 +218,10 @@ fn a_checkpoint_round_trips_through_disk_before_resume() {
 
     let last: RefCell<Option<CrawlCheckpoint>> = RefCell::new(None);
     let sink = |c: &CrawlCheckpoint| *last.borrow_mut() = Some(c.clone());
-    let mut opts = CrawlOptions::new(CrawlBackend::WorkerPool);
-    opts.checkpoint_every = 2;
-    opts.on_checkpoint = Some(&sink);
-    opts.stop_after_rounds = Some(6);
+    let opts = CrawlOptions::new(CrawlBackend::WorkerPool)
+        .checkpoint_every(2)
+        .on_checkpoint(&sink)
+        .stop_after_rounds(6);
     crawler(5, 0.10, 0.05)
         .run_with_options(&plan, opts, |_| {})
         .unwrap();

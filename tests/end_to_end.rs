@@ -14,7 +14,11 @@ fn small_plan() -> ExperimentPlan {
 
 #[test]
 fn full_pipeline_produces_complete_dataset() {
-    let study = Study::builder().seed(2015).plan(small_plan()).build();
+    let study = Study::builder()
+        .seed(2015)
+        .plan(small_plan())
+        .build()
+        .unwrap();
     let ds = study.run();
 
     // batch0 (4 local + 4 controversial) + batch1 (4 politicians) = 12 terms;
@@ -39,16 +43,26 @@ fn full_pipeline_produces_complete_dataset() {
 #[test]
 fn same_seed_same_dataset_different_seed_different() {
     let plan = small_plan();
-    let a = Study::builder().seed(42).plan(plan.clone()).build().run();
-    let b = Study::builder().seed(42).plan(plan.clone()).build().run();
-    let c = Study::builder().seed(43).plan(plan).build().run();
+    let a = Study::builder()
+        .seed(42)
+        .plan(plan.clone())
+        .build()
+        .unwrap()
+        .run();
+    let b = Study::builder()
+        .seed(42)
+        .plan(plan.clone())
+        .build()
+        .unwrap()
+        .run();
+    let c = Study::builder().seed(43).plan(plan).build().unwrap().run();
     assert_eq!(a.to_json(), b.to_json(), "reproducibility");
     assert_ne!(a.to_json(), c.to_json(), "seed sensitivity");
 }
 
 #[test]
 fn report_runs_over_collected_data() {
-    let study = Study::builder().seed(7).plan(small_plan()).build();
+    let study = Study::builder().seed(7).plan(small_plan()).build().unwrap();
     let ds = study.run();
     let report = study.report(&ds);
     assert!(report.contains("Fig. 2"));
@@ -59,7 +73,7 @@ fn report_runs_over_collected_data() {
 
 #[test]
 fn dataset_json_roundtrip_preserves_analysis_inputs() {
-    let study = Study::builder().seed(9).plan(small_plan()).build();
+    let study = Study::builder().seed(9).plan(small_plan()).build().unwrap();
     let ds = study.run();
     let json = ds.to_json();
     let back = Dataset::from_json(&json).expect("dataset deserializes");
@@ -76,7 +90,11 @@ fn dataset_json_roundtrip_preserves_analysis_inputs() {
 
 #[test]
 fn treatments_and_controls_pair_up_everywhere() {
-    let study = Study::builder().seed(11).plan(small_plan()).build();
+    let study = Study::builder()
+        .seed(11)
+        .plan(small_plan())
+        .build()
+        .unwrap();
     let ds = study.run();
     let idx = ObsIndex::new(&ds);
     for gran in idx.granularities() {

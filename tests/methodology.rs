@@ -17,7 +17,7 @@ fn tiny_plan() -> ExperimentPlan {
 
 #[test]
 fn rounds_run_in_lock_step_and_waits_are_eleven_minutes() {
-    let study = Study::builder().seed(5).plan(tiny_plan()).build();
+    let study = Study::builder().seed(5).plan(tiny_plan()).build().unwrap();
     let crawler = study.crawler();
     let _ds = crawler.run(&tiny_plan());
 
@@ -51,7 +51,7 @@ fn rounds_run_in_lock_step_and_waits_are_eleven_minutes() {
 
 #[test]
 fn all_traffic_hits_the_pinned_datacenter() {
-    let study = Study::builder().seed(5).plan(tiny_plan()).build();
+    let study = Study::builder().seed(5).plan(tiny_plan()).build().unwrap();
     let crawler = study.crawler();
     let _ds = crawler.run(&tiny_plan());
     let mut dsts = std::collections::HashSet::new();
@@ -69,7 +69,7 @@ fn all_traffic_hits_the_pinned_datacenter() {
 
 #[test]
 fn no_request_was_rate_limited_or_failed() {
-    let study = Study::builder().seed(5).plan(tiny_plan()).build();
+    let study = Study::builder().seed(5).plan(tiny_plan()).build().unwrap();
     let crawler = study.crawler();
     let ds = crawler.run(&tiny_plan());
     assert_eq!(ds.meta.failed_jobs, 0);
@@ -88,7 +88,7 @@ fn no_request_was_rate_limited_or_failed() {
 #[test]
 fn treatments_present_identical_fingerprints() {
     use geoserp::browser::Browser;
-    let study = Study::builder().seed(5).build();
+    let study = Study::builder().seed(5).build().unwrap();
     let crawler = study.crawler();
     let a = Browser::new(
         std::sync::Arc::clone(crawler.net()),
@@ -106,7 +106,7 @@ fn treatments_present_identical_fingerprints() {
 fn eleven_minute_wait_defeats_history_personalization() {
     // Direct engine-level check: a session's previous query influences
     // ranking inside the 10-minute window but not after 11 minutes.
-    let study = Study::builder().seed(5).build();
+    let study = Study::builder().seed(5).build().unwrap();
     let crawler = study.crawler();
     let engine = crawler.engine();
     let metro = crawler.vantage().baseline(Granularity::County).coord;

@@ -31,7 +31,12 @@ fn medium_dataset() -> Dataset {
         locations_per_granularity: Some(10),
         ..ExperimentPlan::paper_full()
     };
-    Study::builder().seed(2015).plan(plan).build().run()
+    Study::builder()
+        .seed(2015)
+        .plan(plan)
+        .build()
+        .unwrap()
+        .run()
 }
 
 struct Check {

@@ -15,7 +15,7 @@ fn medium_dataset() -> (Study, Dataset) {
         locations_per_granularity: Some(10),
         ..ExperimentPlan::paper_full()
     };
-    let study = Study::builder().seed(2015).plan(plan).build();
+    let study = Study::builder().seed(2015).plan(plan).build().unwrap();
     let ds = study.run();
     (study, ds)
 }
@@ -146,7 +146,7 @@ fn headline_shapes_hold() {
 
 #[test]
 fn validation_shape_holds() {
-    let study = Study::builder().seed(2015).build();
+    let study = Study::builder().seed(2015).build().unwrap();
     let r = study.validate(25, 8);
     // "94% of the search results received by the machines are identical."
     assert!(

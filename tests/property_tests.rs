@@ -145,7 +145,7 @@ proptest! {
 #[test]
 fn engine_is_replayable_for_random_queries() {
     use geoserp::prelude::*;
-    let study = Study::builder().seed(77).build();
+    let study = Study::builder().seed(77).build().unwrap();
     let crawler = study.crawler();
     let engine = crawler.engine();
     let metro = crawler.vantage().baseline(Granularity::County).coord;

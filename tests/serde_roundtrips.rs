@@ -46,7 +46,7 @@ fn geography_and_vantage_roundtrip() {
 
 #[test]
 fn validation_report_roundtrips() {
-    let study = Study::builder().seed(3).build();
+    let study = Study::builder().seed(3).build().unwrap();
     let report = study.validate(4, 2);
     let json = serde_json::to_string(&report).unwrap();
     let back: ValidationReport = serde_json::from_str(&json).unwrap();
@@ -92,18 +92,16 @@ fn corpus_roundtrips_and_is_equivalent_for_search() {
     let json = serde_json::to_string(&corpus).unwrap();
     let restored: WebCorpus = serde_json::from_str(&json).unwrap();
 
-    let engine_a = geoserp::engine::SearchEngine::new(
-        std::sync::Arc::new(corpus),
-        &geo,
-        EngineConfig::paper_defaults(),
-        Seed::new(5),
-    );
-    let engine_b = geoserp::engine::SearchEngine::new(
-        std::sync::Arc::new(restored),
-        &geo,
-        EngineConfig::paper_defaults(),
-        Seed::new(5),
-    );
+    let engine_a =
+        geoserp::engine::SearchEngine::builder(std::sync::Arc::new(corpus), &geo, Seed::new(5))
+            .config(EngineConfig::paper_defaults())
+            .build()
+            .unwrap();
+    let engine_b =
+        geoserp::engine::SearchEngine::builder(std::sync::Arc::new(restored), &geo, Seed::new(5))
+            .config(EngineConfig::paper_defaults())
+            .build()
+            .unwrap();
     let ctx = geoserp::engine::SearchContext {
         query: "Hospital".into(),
         gps: Some(geo.cuyahoga_districts[0].coord),
@@ -134,13 +132,14 @@ fn crawl_checkpoint_roundtrips() {
         .seed(21)
         .plan(plan.clone())
         .build()
+        .unwrap()
         .crawler();
     let last: RefCell<Option<CrawlCheckpoint>> = RefCell::new(None);
     let sink = |c: &CrawlCheckpoint| *last.borrow_mut() = Some(c.clone());
-    let mut opts = CrawlOptions::new(CrawlBackend::Serial);
-    opts.checkpoint_every = 2;
-    opts.on_checkpoint = Some(&sink);
-    opts.stop_after_rounds = Some(4);
+    let opts = CrawlOptions::new(CrawlBackend::Serial)
+        .checkpoint_every(2)
+        .on_checkpoint(&sink)
+        .stop_after_rounds(4);
     crawler.run_with_options(&plan, opts, |_| {}).unwrap();
     let ckpt = last.into_inner().expect("a checkpoint at round 4");
 
@@ -176,15 +175,16 @@ fn crawl_checkpoint_rejects_damaged_files_cleanly() {
         .seed(3)
         .plan(plan.clone())
         .build()
+        .unwrap()
         .crawler();
     use geoserp::crawler::{CrawlBackend, CrawlOptions};
     use std::cell::RefCell;
     let last: RefCell<Option<CrawlCheckpoint>> = RefCell::new(None);
     let sink = |c: &CrawlCheckpoint| *last.borrow_mut() = Some(c.clone());
-    let mut opts = CrawlOptions::new(CrawlBackend::Serial);
-    opts.checkpoint_every = 1;
-    opts.on_checkpoint = Some(&sink);
-    opts.stop_after_rounds = Some(1);
+    let opts = CrawlOptions::new(CrawlBackend::Serial)
+        .checkpoint_every(1)
+        .on_checkpoint(&sink)
+        .stop_after_rounds(1);
     crawler.run_with_options(&plan, opts, |_| {}).unwrap();
     let json = last.into_inner().unwrap().to_json();
 
