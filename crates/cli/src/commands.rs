@@ -120,6 +120,8 @@ COMMANDS:
     serve        serve the search engine over real TCP sockets (the same
                  engine the simulator runs; pages are byte-identical)
                    --addr A        bind address          [127.0.0.1:8080]
+                   --backend B     serving core: epoll (event loop) or
+                                   blocking (thread pool)  [epoll]
                    --workers N     worker threads        [4]
                    --keep-alive B  true|false            [true]
                    --max-body N    request body limit, bytes [1048576]
@@ -139,8 +141,10 @@ COMMANDS:
                    --concurrency C client threads        [4]
                    --keep-alive B  true|false            [true]
                    --query Q       search term           [Coffee]
-                   --matrix        sweep worker counts x keep-alive against
-                                   in-process servers on ephemeral ports
+                   --matrix        sweep backend x worker counts x keep-alive
+                                   against in-process servers on ephemeral
+                                   ports (engine result cache enabled so the
+                                   sweep measures serving mechanics)
                    --workers LIST  (matrix) comma-separated counts [1,4]
                    --seed N        (matrix) world seed   [2015]
                    --out FILE      also write the JSON report
@@ -599,6 +603,11 @@ fn serve_setup_from(
     use geoserp_core::serve::{ServeConfig, ServedWorld};
     let seed = args.get_u64("seed", 2015)?;
     let addr = args.get("addr").unwrap_or("127.0.0.1:8080").to_string();
+    let backend: geoserp_core::serve::ServeBackend = args
+        .get("backend")
+        .unwrap_or("epoll")
+        .parse()
+        .map_err(|e: String| CliError::Invalid(format!("--backend: {e}")))?;
     let workers = args.get_usize("workers", 4)?;
     let keep_alive = get_bool(args, "keep-alive", true)?;
     let max_body = args.get_usize("max-body", 1024 * 1024)?;
@@ -621,6 +630,7 @@ fn serve_setup_from(
     };
     let world = ServedWorld::build(seed, engine_config)?;
     let config = ServeConfig::new()
+        .backend(backend)
         .workers(workers)
         .keep_alive(keep_alive)
         .queue_depth(queue_depth)

@@ -67,6 +67,7 @@ fn dispatch(argv: &[String]) -> Result<String, CliError> {
                 argv,
                 &[
                     "addr",
+                    "backend",
                     "workers",
                     "keep-alive",
                     "max-body",

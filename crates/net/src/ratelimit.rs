@@ -29,7 +29,15 @@ pub struct RateLimiter {
     max_requests: usize,
     window_ms: u64,
     windows: Mutex<HashMap<u32, VecDeque<u64>>>,
+    /// `admit` calls until the next full sweep of expired windows.
+    sweep_countdown: Mutex<usize>,
 }
+
+/// Every this many `admit` calls, drop map entries whose window emptied.
+/// Without the sweep the map holds one entry per source *forever* — a
+/// long-lived server scanning many one-shot clients leaks an entry (key +
+/// empty deque) per client address.
+const SWEEP_EVERY: usize = 1024;
 
 impl RateLimiter {
     /// Allow at most `max_requests` per `window_ms` for each key.
@@ -41,6 +49,7 @@ impl RateLimiter {
             max_requests,
             window_ms,
             windows: Mutex::new(HashMap::new()),
+            sweep_countdown: Mutex::new(SWEEP_EVERY),
         }
     }
 
@@ -54,9 +63,15 @@ impl RateLimiter {
 
     /// Record a request at virtual time `now`; returns `true` if it is
     /// admitted, `false` if the source must be throttled (HTTP 429).
+    ///
+    /// Amortized O(1): each call prunes only its own key's window, and one
+    /// call in [`SWEEP_EVERY`] additionally evicts every map entry whose
+    /// window has fully expired, so tracked state is bounded by the set of
+    /// *recently active* sources rather than every source ever seen.
     pub fn admit(&self, src: Ipv4Addr, now: SimInstant) -> bool {
         let key = self.key_of(src);
         let mut windows = self.windows.lock();
+        self.maybe_sweep(&mut windows, now);
         let q = windows.entry(key).or_default();
         // An event at time t occupies the window while t + window_ms > now.
         while q
@@ -70,6 +85,24 @@ impl RateLimiter {
         }
         q.push_back(now.millis());
         true
+    }
+
+    fn maybe_sweep(&self, windows: &mut HashMap<u32, VecDeque<u64>>, now: SimInstant) {
+        let mut countdown = self.sweep_countdown.lock();
+        *countdown -= 1;
+        if *countdown > 0 {
+            return;
+        }
+        *countdown = SWEEP_EVERY;
+        windows.retain(|_, q| q.back().is_some_and(|&t| t + self.window_ms > now.millis()));
+        windows.shrink_to_fit();
+    }
+
+    /// Number of sources (keys) currently tracked, including ones whose
+    /// window has expired but has not been swept yet. Observability for
+    /// the leak regression test and `/metrics`-style introspection.
+    pub fn tracked_keys(&self) -> usize {
+        self.windows.lock().len()
     }
 
     /// Number of in-window requests currently charged to `src`.
@@ -144,5 +177,29 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn rejects_zero_limit() {
         RateLimiter::new(RateLimitKey::PerIp, 0, 1_000);
+    }
+
+    #[test]
+    fn expired_windows_are_evicted_not_leaked() {
+        let rl = RateLimiter::new(RateLimitKey::PerIp, 10, 1_000);
+        // A scan: more one-shot sources than one sweep interval, each seen
+        // exactly once at t=0.
+        let n = SWEEP_EVERY * 2;
+        for i in 0..n {
+            let octets = ((10 << 24) | i as u32).to_be_bytes();
+            assert!(rl.admit(Ipv4Addr::from(octets), SimInstant(0)));
+        }
+        assert!(rl.tracked_keys() >= n - 1, "all scanners tracked in-window");
+        // Long after every window expired, fresh traffic from one source
+        // must shrink the map back down instead of growing it forever.
+        let src = ip("192.0.2.7");
+        for t in 0..SWEEP_EVERY as u64 {
+            rl.admit(src, SimInstant(1_000_000 + t));
+        }
+        assert!(
+            rl.tracked_keys() <= 2,
+            "expired windows still tracked: {} keys",
+            rl.tracked_keys()
+        );
     }
 }

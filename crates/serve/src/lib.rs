@@ -3,12 +3,15 @@
 //!
 //! Everything else in geoserp runs against the in-process simulated network
 //! ([`geoserp_net::SimNet`]). This crate puts the *same* [`SearchService`]
-//! behind real TCP sockets: an accept loop feeding a bounded worker pool,
-//! keep-alive, read/write timeouts, request-size limits, a serve-layer
-//! per-IP rate limiter, `503` load-shedding when the accept queue fills,
-//! and graceful shutdown that drains in-flight connections. `/healthz`
-//! answers liveness probes and `/metrics` exposes the shared
-//! [`geoserp_obs::ObsHub`] in Prometheus text format.
+//! behind real TCP sockets, with two selectable serving cores
+//! ([`ServeBackend`]): the default readiness-based **epoll event loop**
+//! (nonblocking state machines, pooled buffers, a hashed timer wheel for
+//! idle/write deadlines) and the reference **blocking worker pool** (accept
+//! loop feeding a bounded queue). Both provide keep-alive, read/write
+//! timeouts, request-size limits, a serve-layer per-IP rate limiter, `503`
+//! load-shedding at the admission bound, and graceful shutdown that drains
+//! in-flight connections. `/healthz` answers liveness probes and `/metrics`
+//! exposes the shared [`geoserp_obs::ObsHub`] in Prometheus text format.
 //!
 //! Both transports speak the `geoserp-net` wire codec, and the socket layer
 //! reconstructs the simulator's request context (sequence numbers, virtual
@@ -28,8 +31,11 @@
 //! server.shutdown();
 //! ```
 
+pub mod bufpool;
+mod epoll;
 pub mod loadgen;
 pub mod server;
+pub mod timer;
 
 pub use loadgen::{LoadgenConfig, LoadgenReport, MatrixEntry, MatrixReport};
-pub use server::{ServeConfig, ServedWorld, SocketServer, DAY_MS};
+pub use server::{ServeBackend, ServeConfig, ServedWorld, SocketServer, DAY_MS};

@@ -32,6 +32,10 @@ pub struct LoadgenConfig {
     pub gps: String,
     /// Socket read/write timeout per request, milliseconds.
     pub timeout_ms: u64,
+    /// Client think time between requests, milliseconds, spent *holding*
+    /// the keep-alive connection (models real browsers: connections far
+    /// outnumber in-flight requests). 0 = closed-loop firehose.
+    pub think_ms: u64,
 }
 
 impl LoadgenConfig {
@@ -45,6 +49,7 @@ impl LoadgenConfig {
             query: "Coffee".to_string(),
             gps: "41.499300,-81.694400".to_string(),
             timeout_ms: 5_000,
+            think_ms: 0,
         }
     }
 
@@ -83,6 +88,12 @@ impl LoadgenConfig {
         self.timeout_ms = ms;
         self
     }
+
+    /// Set the between-request think time (connection stays open).
+    pub fn think_ms(mut self, ms: u64) -> Self {
+        self.think_ms = ms;
+        self
+    }
 }
 
 impl Default for LoadgenConfig {
@@ -110,13 +121,20 @@ pub struct LoadgenReport {
     pub p99_us: u64,
 }
 
-/// One cell of the worker-count × keep-alive sweep.
+/// One cell of the backend × worker-count × load-shape sweep.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct MatrixEntry {
+    /// Serving core for this cell (`"blocking"` or `"epoll"`).
+    pub backend: String,
     /// Server worker threads for this cell.
     pub workers: usize,
     /// Whether connections were reused.
     pub keep_alive: bool,
+    /// Client threads for this cell (the firehose cells use the sweep's
+    /// `concurrency`; the slow-client cells use `8 × workers`).
+    pub concurrency: usize,
+    /// Client think time between requests (connection held open).
+    pub think_ms: u64,
     /// The measured run.
     pub report: LoadgenReport,
 }
@@ -143,15 +161,18 @@ impl MatrixReport {
     /// A human-readable table of the sweep.
     pub fn to_table(&self) -> String {
         let mut out = format!(
-            "serve loadgen: {} requests x {} client threads per cell (seed {})\n\
-             workers  keep-alive  throughput_rps  p50_us  p99_us  errors\n",
+            "serve loadgen: {} requests x {} client threads per firehose cell (seed {})\n\
+             backend   workers  keep-alive  clients  think_ms  throughput_rps  p50_us  p99_us  errors\n",
             self.requests, self.concurrency, self.seed
         );
         for e in &self.entries {
             out.push_str(&format!(
-                "{:>7}  {:<10}  {:>14.0}  {:>6}  {:>6}  {:>6}\n",
+                "{:<8}  {:>7}  {:<10}  {:>7}  {:>8}  {:>14.0}  {:>6}  {:>6}  {:>6}\n",
+                e.backend,
                 e.workers,
                 e.keep_alive,
+                e.concurrency,
+                e.think_ms,
                 e.report.throughput_rps,
                 e.report.p50_us,
                 e.report.p99_us,
@@ -206,6 +227,7 @@ fn client_loop(
     n: usize,
     keep_alive: bool,
     timeout: Duration,
+    think: Duration,
 ) -> (Vec<u64>, usize, usize) {
     let connect = || -> std::io::Result<TcpStream> {
         let s = TcpStream::connect(addr)?;
@@ -217,7 +239,12 @@ fn client_loop(
     let mut latencies = Vec::with_capacity(n);
     let (mut ok, mut errors) = (0usize, 0usize);
     let mut conn: Option<TcpStream> = None;
-    for _ in 0..n {
+    for i in 0..n {
+        if i > 0 && !think.is_zero() {
+            // Think while holding the connection open: the idle-keep-alive
+            // load shape that separates the serving cores.
+            std::thread::sleep(think);
+        }
         let started = Instant::now();
         let outcome = (|| -> std::io::Result<Status> {
             if conn.is_none() {
@@ -247,13 +274,21 @@ fn client_loop(
     (latencies, ok, errors)
 }
 
-/// Percentile (nearest-rank on the sorted slice); 0 when empty.
+/// Percentile by the nearest-rank definition: the smallest value in the
+/// sorted sample such that at least `p`% of the sample is ≤ it, i.e. the
+/// element at rank `⌈(p/100)·N⌉` (1-based). 0 when empty.
+///
+/// The previous implementation rounded `(p/100)·(N−1)` to an index, which
+/// is neither nearest-rank nor linear interpolation: at N=4 it reported
+/// the *third* value as p50 (nearest-rank: the second) and could sit a
+/// full element too high on exactly the small samples CI benches run.
 fn percentile_us(sorted: &[u64], p: f64) -> u64 {
     if sorted.is_empty() {
         return 0;
     }
-    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
-    sorted[idx.min(sorted.len() - 1)]
+    let n = sorted.len();
+    let rank = ((p / 100.0) * n as f64).ceil() as usize;
+    sorted[rank.clamp(1, n) - 1]
 }
 
 /// Run one closed-loop load generation against `addr`.
@@ -270,6 +305,7 @@ pub fn run(addr: &str, cfg: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
     let requests = cfg.requests.max(1);
     let concurrency = cfg.concurrency.max(1).min(requests);
     let timeout = Duration::from_millis(cfg.timeout_ms.max(1));
+    let think = Duration::from_millis(cfg.think_ms);
 
     let started = Instant::now();
     let mut results = Vec::with_capacity(concurrency);
@@ -279,8 +315,9 @@ pub fn run(addr: &str, cfg: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
             // Spread the remainder so the shares sum to `requests`.
             let share = requests / concurrency + usize::from(i < requests % concurrency);
             let wire = &wire;
-            handles
-                .push(scope.spawn(move || client_loop(addr, wire, share, cfg.keep_alive, timeout)));
+            handles.push(
+                scope.spawn(move || client_loop(addr, wire, share, cfg.keep_alive, timeout, think)),
+            );
         }
         for h in handles {
             results.push(h.join().expect("loadgen client thread panicked"));
@@ -307,11 +344,15 @@ pub fn run(addr: &str, cfg: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
     })
 }
 
-/// Sweep worker counts × keep-alive against in-process servers on ephemeral
-/// loopback ports, one world shared across cells. The engine's own per-IP
-/// rate limit is raised far above the offered load (every loadgen client
-/// shares the loopback source IP; the paper's 30/min limit would otherwise
-/// throttle the benchmark, not the server).
+/// Sweep backend × worker counts × keep-alive against in-process servers on
+/// ephemeral loopback ports, one world shared across cells. The engine's
+/// own per-IP rate limit is raised far above the offered load (every
+/// loadgen client shares the loopback source IP; the paper's 30/min limit
+/// would otherwise throttle the benchmark, not the server), and the
+/// engine's result cache is enabled — applied identically to every cell —
+/// so the sweep measures *serving mechanics* (accept, parse, dispatch,
+/// write) rather than the ~300 µs single-core SERP pipeline that would
+/// otherwise dominate every cell equally.
 ///
 /// # Errors
 /// Returns a description of the first world-build, bind, or run failure.
@@ -323,33 +364,34 @@ pub fn run_matrix(
 ) -> Result<MatrixReport, String> {
     let config = EngineConfig {
         rate_limit_max: usize::MAX / 2,
-        ..EngineConfig::paper_defaults()
+        ..EngineConfig::with_result_cache(3_600_000)
     };
     let world = ServedWorld::build(seed, config).map_err(|e| e.to_string())?;
     let mut entries = Vec::new();
-    for &workers in worker_counts {
-        for keep_alive in [true, false] {
-            let server = SocketServer::start(
-                "127.0.0.1:0",
-                &world,
-                ServeConfig::new()
-                    .workers(workers)
-                    .keep_alive(keep_alive)
-                    .rate_limit(usize::MAX / 2, 60_000),
-            )
-            .map_err(|e| format!("bind failed: {e}"))?;
+    for backend in crate::ServeBackend::ALL {
+        for &workers in worker_counts {
+            // Firehose cells: zero think time, keep-alive on/off. On one
+            // core both backends saturate the CPU, so these mostly pin
+            // per-request overhead and connection-setup cost.
+            for keep_alive in [true, false] {
+                let cfg = LoadgenConfig::new()
+                    .requests(requests)
+                    .concurrency(concurrency)
+                    .keep_alive(keep_alive);
+                entries.push(run_cell(&world, backend, workers, &cfg)?);
+            }
+            // Slow-client cell: connections outnumber workers 8:1 and sit
+            // idle between requests while staying open — the C10K shape.
+            // The blocking core pins one worker per open connection, so it
+            // serves the clients in 8 sequential waves; the event loop
+            // multiplexes them all at once.
+            let clients = workers * 8;
             let cfg = LoadgenConfig::new()
-                .requests(requests)
-                .concurrency(concurrency)
-                .keep_alive(keep_alive);
-            let report = run(&server.local_addr().to_string(), &cfg)
-                .map_err(|e| format!("loadgen failed: {e}"))?;
-            server.shutdown();
-            entries.push(MatrixEntry {
-                workers,
-                keep_alive,
-                report,
-            });
+                .requests(clients * 5)
+                .concurrency(clients)
+                .keep_alive(true)
+                .think_ms(SLOW_CLIENT_THINK_MS);
+            entries.push(run_cell(&world, backend, workers, &cfg)?);
         }
     }
     Ok(MatrixReport {
@@ -358,4 +400,87 @@ pub fn run_matrix(
         concurrency,
         entries,
     })
+}
+
+/// Think time for the slow-client cells: long enough to dwarf the ~30 µs
+/// cached service time, short enough to keep the sweep fast.
+const SLOW_CLIENT_THINK_MS: u64 = 20;
+
+fn run_cell(
+    world: &ServedWorld,
+    backend: crate::ServeBackend,
+    workers: usize,
+    cfg: &LoadgenConfig,
+) -> Result<MatrixEntry, String> {
+    let server = SocketServer::start(
+        "127.0.0.1:0",
+        world,
+        ServeConfig::new()
+            .backend(backend)
+            .workers(workers)
+            .keep_alive(cfg.keep_alive)
+            .rate_limit(usize::MAX / 2, 60_000),
+    )
+    .map_err(|e| format!("bind failed: {e}"))?;
+    let report =
+        run(&server.local_addr().to_string(), cfg).map_err(|e| format!("loadgen failed: {e}"))?;
+    server.shutdown();
+    Ok(MatrixEntry {
+        backend: backend.to_string(),
+        workers,
+        keep_alive: cfg.keep_alive,
+        concurrency: cfg.concurrency,
+        think_ms: cfg.think_ms,
+        report,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::percentile_us;
+
+    #[test]
+    fn percentile_of_empty_is_zero() {
+        assert_eq!(percentile_us(&[], 50.0), 0);
+    }
+
+    #[test]
+    fn percentile_single_sample() {
+        assert_eq!(percentile_us(&[42], 50.0), 42);
+        assert_eq!(percentile_us(&[42], 99.0), 42);
+    }
+
+    #[test]
+    fn percentile_two_samples() {
+        // p50 rank = ceil(0.5·2) = 1 → the smaller value. The old
+        // round((p/100)·(N−1)) formula returned the *larger* one.
+        assert_eq!(percentile_us(&[10, 20], 50.0), 10);
+        assert_eq!(percentile_us(&[10, 20], 99.0), 20);
+    }
+
+    #[test]
+    fn percentile_four_samples() {
+        let s = [10, 20, 30, 40];
+        // p50 rank = ceil(2) = 2 → 20 (old formula said 30: a whole
+        // element high).
+        assert_eq!(percentile_us(&s, 50.0), 20);
+        assert_eq!(percentile_us(&s, 99.0), 40);
+    }
+
+    #[test]
+    fn percentile_five_samples() {
+        let s = [1, 2, 3, 4, 5];
+        assert_eq!(percentile_us(&s, 50.0), 3, "odd N: the true median");
+        assert_eq!(percentile_us(&s, 99.0), 5);
+    }
+
+    #[test]
+    fn percentile_hundred_samples() {
+        let s: Vec<u64> = (1..=100).collect();
+        // With N=100 the nearest rank is exactly p.
+        assert_eq!(percentile_us(&s, 50.0), 50);
+        assert_eq!(percentile_us(&s, 99.0), 99);
+        assert_eq!(percentile_us(&s, 100.0), 100);
+        assert_eq!(percentile_us(&s, 0.0), 1, "rank clamps to the minimum");
+    }
 }

@@ -1,13 +1,24 @@
-//! The TCP front end: a bounded worker pool serving [`SearchService`] over
-//! real sockets, speaking the `geoserp-net` wire codec.
+//! The TCP front end: one [`SearchService`] behind real sockets, speaking
+//! the `geoserp-net` wire codec, with two selectable serving cores.
 //!
-//! Architecture: one accept thread feeds accepted connections into a bounded
-//! queue (`std::sync::mpsc::sync_channel`); `workers` threads drain it, each
-//! running a keep-alive connection loop with read/write timeouts and
-//! request-size limits. When the queue is full the accept thread sheds load
-//! with an inline `503` instead of letting connections pile up. Shutdown is
-//! graceful: in-flight requests finish, queued connections drain, then the
-//! workers exit.
+//! # Backends
+//!
+//! * [`ServeBackend::Epoll`] (default) — a readiness-based event loop (see
+//!   [`crate::epoll`]): `workers` reactor threads, nonblocking
+//!   accept/read/write state machines driven by the incremental
+//!   [`parse_request`], pooled buffers, a hashed timer wheel for idle/write
+//!   deadlines, and bounded in-flight admission with off-the-accept-path
+//!   `503` shedding.
+//! * [`ServeBackend::Blocking`] — the reference implementation: one accept
+//!   thread feeds accepted connections into a bounded queue; `workers`
+//!   threads drain it, each running a blocking keep-alive connection loop
+//!   with read/write timeouts. Kept byte-for-byte compatible with the event
+//!   loop (the e2e suite runs every contract test against both).
+//!
+//! Both cores shed load with `503` when their admission bound fills, apply
+//! the serve-layer per-IP rate limit (`429`), reject IPv6 peers with a
+//! typed `400` (the determinism contract is IPv4-only), and drain
+//! gracefully on shutdown.
 //!
 //! # Determinism contract
 //!
@@ -16,7 +27,8 @@
 //! layer reconstructs exactly the [`RequestCtx`] the simulator would build:
 //!
 //! * `seq` mirrors the simulator's per-source formula
-//!   (`src_ip << 32 | counter`, counter starting at 0 per source);
+//!   (`src_ip << 32 | counter`, counter starting at 0 per source and
+//!   wrapping at `u32::MAX` like the simulator's);
 //! * `at` is pinned inside the configured virtual [`ServeConfig::day`]
 //!   (`day * DAY_MS + wall_elapsed % DAY_MS`) — engine page bytes depend on
 //!   time only through the day index;
@@ -25,6 +37,7 @@
 //!
 //! Wall time only enters rate-limit windows and metrics, never page bytes.
 
+use crate::epoll;
 use geoserp_engine::{ConfigError, EngineConfig, SearchEngine, SearchService};
 use geoserp_geo::{Seed, UsGeography};
 use geoserp_net::clock::SimInstant;
@@ -37,6 +50,7 @@ use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{IpAddr, Ipv4Addr, SocketAddr, TcpListener, TcpStream};
+use std::str::FromStr;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
@@ -45,22 +59,66 @@ use std::time::{Duration, Instant};
 /// Milliseconds per simulation day (the engine's time granularity).
 pub const DAY_MS: u64 = 86_400_000;
 
+/// Which serving core [`SocketServer::start`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeBackend {
+    /// Thread-per-connection worker pool behind a bounded accept queue
+    /// (the reference implementation).
+    Blocking,
+    /// Readiness-based epoll event loop (the default).
+    Epoll,
+}
+
+impl ServeBackend {
+    /// Every backend, for sweeps (benchmarks, differential tests).
+    pub const ALL: [ServeBackend; 2] = [ServeBackend::Blocking, ServeBackend::Epoll];
+}
+
+impl std::fmt::Display for ServeBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ServeBackend::Blocking => "blocking",
+            ServeBackend::Epoll => "epoll",
+        })
+    }
+}
+
+impl FromStr for ServeBackend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<ServeBackend, String> {
+        match s {
+            "blocking" => Ok(ServeBackend::Blocking),
+            "epoll" => Ok(ServeBackend::Epoll),
+            other => Err(format!(
+                "unknown backend {other:?} (expected \"blocking\" or \"epoll\")"
+            )),
+        }
+    }
+}
+
 /// Tunables for [`SocketServer::start`]. Build with [`ServeConfig::new`] and
 /// adjust with the fluent setters.
 #[derive(Debug, Clone)]
 #[non_exhaustive]
 pub struct ServeConfig {
-    /// Worker threads draining the accept queue.
+    /// Serving core to run.
+    pub backend: ServeBackend,
+    /// Blocking backend: worker threads draining the accept queue.
+    /// Epoll backend: event-loop (reactor) threads.
     pub workers: usize,
-    /// Accepted connections that may wait for a worker before the accept
-    /// thread starts shedding load with `503`s.
+    /// Admission bound. Blocking backend: accepted connections that may
+    /// wait for a worker before the accept thread sheds load with `503`s.
+    /// Epoll backend: open connections beyond `workers` admitted before
+    /// shedding (total in-flight bound is `workers + queue_depth`, the
+    /// blocking core's holding capacity).
     pub queue_depth: usize,
     /// Serve multiple requests per connection.
     pub keep_alive: bool,
     /// Per-read socket timeout; also bounds how long an idle keep-alive
     /// connection is held open.
     pub read_timeout_ms: u64,
-    /// Per-write socket timeout.
+    /// Per-write socket timeout (the write deadline in the event loop).
     pub write_timeout_ms: u64,
     /// Wire-level size limits (head bytes, body bytes, header count).
     pub limits: WireLimits,
@@ -73,11 +131,12 @@ pub struct ServeConfig {
 }
 
 impl ServeConfig {
-    /// Defaults: 4 workers, queue of 64, keep-alive on, 5 s timeouts,
-    /// default wire limits, a permissive serve-layer rate limit
+    /// Defaults: epoll backend, 4 workers, queue of 64, keep-alive on, 5 s
+    /// timeouts, default wire limits, a permissive serve-layer rate limit
     /// (100 000/min — the engine's own per-IP limiter is separate), day 0.
     pub fn new() -> Self {
         ServeConfig {
+            backend: ServeBackend::Epoll,
             workers: 4,
             queue_depth: 64,
             keep_alive: true,
@@ -90,13 +149,19 @@ impl ServeConfig {
         }
     }
 
+    /// Select the serving core.
+    pub fn backend(mut self, backend: ServeBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
     /// Set the worker-thread count (clamped to ≥ 1 at start).
     pub fn workers(mut self, n: usize) -> Self {
         self.workers = n;
         self
     }
 
-    /// Set the accept-queue depth (clamped to ≥ 1 at start).
+    /// Set the accept-queue depth / admission slack (clamped to ≥ 1).
     pub fn queue_depth(mut self, n: usize) -> Self {
         self.queue_depth = n;
         self
@@ -194,13 +259,13 @@ impl ServedWorld {
 
 /// Socket-layer counters (all registered on the shared hub, so `/metrics`
 /// and `geoserp run --metrics-out`-style snapshots see them).
-struct ServeMetrics {
-    connections: Counter,
-    requests: Counter,
-    responses: Counter,
-    bad_requests: Counter,
-    rate_limited: Counter,
-    rejected_busy: Counter,
+pub(crate) struct ServeMetrics {
+    pub(crate) connections: Counter,
+    pub(crate) requests: Counter,
+    pub(crate) responses: Counter,
+    pub(crate) bad_requests: Counter,
+    pub(crate) rate_limited: Counter,
+    pub(crate) rejected_busy: Counter,
 }
 
 impl ServeMetrics {
@@ -217,36 +282,65 @@ impl ServeMetrics {
     }
 }
 
-/// State shared by the accept thread and every worker.
-struct Shared {
-    service: Arc<SearchService>,
-    hub: Arc<ObsHub>,
-    dc0: Ipv4Addr,
-    config: ServeConfig,
-    limiter: RateLimiter,
-    seq_per_src: Mutex<HashMap<Ipv4Addr, u32>>,
-    started: Instant,
-    shutdown: AtomicBool,
-    metrics: ServeMetrics,
+/// Per-source request sequence counters, mirroring the simulator's formula.
+///
+/// The counter half wraps at `u32::MAX` (the simulator's counter is a
+/// `u32`, so the mirrored formula must wrap rather than panic in debug
+/// builds at the 2³²nd request from one source).
+pub(crate) struct SeqCounters(Mutex<HashMap<Ipv4Addr, u32>>);
+
+impl SeqCounters {
+    pub(crate) fn new() -> Self {
+        SeqCounters(Mutex::new(HashMap::new()))
+    }
+
+    /// Next sequence number for `src`: `src_ip << 32 | counter`.
+    pub(crate) fn next(&self, src: Ipv4Addr) -> u64 {
+        let mut counters = self.0.lock();
+        let c = counters.entry(src).or_insert(0);
+        let seq = ((u32::from_be_bytes(src.octets()) as u64) << 32) | *c as u64;
+        *c = c.wrapping_add(1);
+        seq
+    }
+
+    #[cfg(test)]
+    fn set(&self, src: Ipv4Addr, counter: u32) {
+        self.0.lock().insert(src, counter);
+    }
+}
+
+/// The `400` an IPv6 peer receives: the determinism contract (per-source
+/// sequence numbers, rate-limit keys) is defined over IPv4 addresses only.
+pub(crate) fn ipv6_reject_response() -> Response {
+    Response::status(Status::BadRequest).with_header("X-Reason", "ipv4-only determinism contract")
+}
+
+/// The `503` shed when the admission bound is full.
+pub(crate) fn shed_response() -> Response {
+    Response::status(Status::ServiceUnavailable).with_header("X-Reason", "accept queue full")
+}
+
+/// State shared by every serving thread of one server, either backend.
+pub(crate) struct Shared {
+    pub(crate) service: Arc<SearchService>,
+    pub(crate) hub: Arc<ObsHub>,
+    pub(crate) dc0: Ipv4Addr,
+    pub(crate) config: ServeConfig,
+    pub(crate) limiter: RateLimiter,
+    pub(crate) seq: SeqCounters,
+    pub(crate) started: Instant,
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) metrics: ServeMetrics,
 }
 
 impl Shared {
     /// Wall milliseconds since the server started (rate-limit windows and
     /// the intra-day clock; never page bytes).
-    fn now_ms(&self) -> u64 {
+    pub(crate) fn now_ms(&self) -> u64 {
         self.started.elapsed().as_millis() as u64
     }
 
-    /// The simulator's per-source sequence formula, mirrored.
-    fn next_seq(&self, src: Ipv4Addr) -> u64 {
-        let mut counters = self.seq_per_src.lock();
-        let c = counters.entry(src).or_insert(0);
-        let seq = ((u32::from_be_bytes(src.octets()) as u64) << 32) | *c as u64;
-        *c += 1;
-        seq
-    }
-
-    fn route(&self, src: Ipv4Addr, req: &Request) -> Response {
+    pub(crate) fn route(&self, src: Ipv4Addr, req: &Request) -> Response {
         match req.path.as_str() {
             "/healthz" => Response::ok("ok\n").with_header("Content-Type", "text/plain"),
             "/metrics" => Response::ok(self.hub.snapshot().to_prometheus())
@@ -262,7 +356,7 @@ impl Shared {
                     src,
                     dst: self.dc0,
                     at: SimInstant(u64::from(self.config.day) * DAY_MS + now_ms % DAY_MS),
-                    seq: self.next_seq(src),
+                    seq: self.seq.next(src),
                 };
                 self.service.handle(&ctx, req)
             }
@@ -270,23 +364,38 @@ impl Shared {
     }
 }
 
-/// Encode and write one response; falls back to a bare status if a header
-/// that reached us is unencodable (it came from us, so this is defensive).
-fn write_response(stream: &mut TcpStream, resp: &Response) -> std::io::Result<()> {
-    let bytes = encode_response(resp)
+/// Encode a response, falling back to a bare status if a header that
+/// reached us is unencodable (it came from us, so this is defensive).
+pub(crate) fn encode_or_bare(resp: &Response) -> Vec<u8> {
+    encode_response(resp)
         .or_else(|_| encode_response(&Response::status(resp.status)))
-        .expect("bare status responses always encode");
-    stream.write_all(&bytes)?;
+        .expect("bare status responses always encode")
+}
+
+/// Encode and write one response on a blocking stream.
+fn write_response(stream: &mut TcpStream, resp: &Response) -> std::io::Result<()> {
+    stream.write_all(&encode_or_bare(resp))?;
     stream.flush()
 }
 
-/// One connection's lifecycle: keep-alive parse/serve loop with timeouts.
+/// One blocking connection's lifecycle: keep-alive parse/serve loop with
+/// socket timeouts.
 fn serve_connection(shared: &Shared, mut stream: TcpStream) {
     shared.metrics.connections.inc();
     let src = match stream.peer_addr() {
         Ok(a) => match a.ip() {
             IpAddr::V4(v4) => v4,
-            IpAddr::V6(_) => Ipv4Addr::UNSPECIFIED,
+            IpAddr::V6(_) => {
+                // The determinism contract is IPv4-only: reject with a
+                // typed reason instead of silently collapsing every IPv6
+                // client onto one sequence counter and rate-limit bucket.
+                shared.metrics.bad_requests.inc();
+                let _ = stream.set_write_timeout(Some(Duration::from_millis(
+                    shared.config.write_timeout_ms.max(1),
+                )));
+                let _ = write_response(&mut stream, &ipv6_reject_response());
+                return;
+            }
         },
         Err(_) => return,
     };
@@ -355,7 +464,11 @@ fn serve_connection(shared: &Shared, mut stream: TcpStream) {
     }
 }
 
-/// Accept loop: feed the bounded queue, shed load inline when it is full.
+/// Blocking-core accept loop: feed the bounded queue, shed load when it is
+/// full. The shed write is **nonblocking best-effort**: a stalled or
+/// malicious peer must never hold the accept thread (one zero-window client
+/// with the old blocking `write_all` could freeze all accepts for the full
+/// write timeout).
 fn accept_loop(shared: Arc<Shared>, listener: TcpListener, tx: mpsc::SyncSender<TcpStream>) {
     for conn in listener.incoming() {
         if shared.shutdown.load(Ordering::Relaxed) {
@@ -364,21 +477,23 @@ fn accept_loop(shared: Arc<Shared>, listener: TcpListener, tx: mpsc::SyncSender<
         let Ok(stream) = conn else { continue };
         match tx.try_send(stream) {
             Ok(()) => {}
-            Err(mpsc::TrySendError::Full(mut stream)) => {
+            Err(mpsc::TrySendError::Full(stream)) => {
                 shared.metrics.rejected_busy.inc();
-                let _ = stream.set_write_timeout(Some(Duration::from_millis(
-                    shared.config.write_timeout_ms.max(1),
-                )));
-                let _ = write_response(
-                    &mut stream,
-                    &Response::status(Status::ServiceUnavailable)
-                        .with_header("X-Reason", "accept queue full"),
-                );
+                shed_nonblocking(stream);
             }
             Err(mpsc::TrySendError::Disconnected(_)) => break,
         }
     }
     // `tx` drops here; workers drain the queue and then exit.
+}
+
+/// Write the shed `503` without ever blocking: set the socket nonblocking,
+/// try the write once, close. Whatever the kernel buffer does not take is
+/// dropped — the peer sees a reset instead, which is still a refusal.
+pub(crate) fn shed_nonblocking(stream: TcpStream) {
+    if stream.set_nonblocking(true).is_ok() {
+        let _ = (&stream).write(&encode_or_bare(&shed_response()));
+    }
 }
 
 /// A running socket server. Dropping it shuts it down gracefully.
@@ -387,11 +502,13 @@ pub struct SocketServer {
     local_addr: SocketAddr,
     accept: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    /// Epoll backend: one waker per event loop, to interrupt their sleeps.
+    wakers: Vec<Arc<mio::Waker>>,
 }
 
 impl SocketServer {
     /// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and start the
-    /// accept loop plus worker pool serving `world`.
+    /// configured backend serving `world`.
     ///
     /// # Errors
     /// Propagates bind/spawn I/O errors.
@@ -408,6 +525,7 @@ impl SocketServer {
             config.rate_limit_window_ms.max(1),
         );
         let metrics = ServeMetrics::resolve(&world.hub);
+        let backend = config.backend;
         let worker_count = config.workers.max(1);
         let queue_depth = config.queue_depth.max(1);
         let shared = Arc::new(Shared {
@@ -416,44 +534,61 @@ impl SocketServer {
             dc0: world.addrs[0],
             config,
             limiter,
-            seq_per_src: Mutex::new(HashMap::new()),
+            seq: SeqCounters::new(),
             started: Instant::now(),
             shutdown: AtomicBool::new(false),
             metrics,
         });
 
-        let (tx, rx) = mpsc::sync_channel::<TcpStream>(queue_depth);
-        let rx = Arc::new(Mutex::new(rx));
-        let mut workers = Vec::with_capacity(worker_count);
-        for i in 0..worker_count {
-            let shared = Arc::clone(&shared);
-            let rx = Arc::clone(&rx);
-            workers.push(
-                std::thread::Builder::new()
-                    .name(format!("geoserp-serve-{i}"))
-                    .spawn(move || loop {
-                        // Hold the receiver lock only while waiting; serve
-                        // with it released so workers drain in parallel.
-                        let next = rx.lock().recv();
-                        match next {
-                            Ok(stream) => serve_connection(&shared, stream),
-                            Err(_) => break, // accept loop gone, queue drained
-                        }
-                    })?,
-            );
+        match backend {
+            ServeBackend::Epoll => {
+                let (workers, wakers) =
+                    epoll::start(Arc::clone(&shared), listener, worker_count, queue_depth)?;
+                Ok(SocketServer {
+                    shared,
+                    local_addr,
+                    accept: None,
+                    workers,
+                    wakers,
+                })
+            }
+            ServeBackend::Blocking => {
+                let (tx, rx) = mpsc::sync_channel::<TcpStream>(queue_depth);
+                let rx = Arc::new(Mutex::new(rx));
+                let mut workers = Vec::with_capacity(worker_count);
+                for i in 0..worker_count {
+                    let shared = Arc::clone(&shared);
+                    let rx = Arc::clone(&rx);
+                    workers.push(
+                        std::thread::Builder::new()
+                            .name(format!("geoserp-serve-{i}"))
+                            .spawn(move || loop {
+                                // Hold the receiver lock only while waiting;
+                                // serve with it released so workers drain in
+                                // parallel.
+                                let next = rx.lock().recv();
+                                match next {
+                                    Ok(stream) => serve_connection(&shared, stream),
+                                    Err(_) => break, // accept loop gone, queue drained
+                                }
+                            })?,
+                    );
+                }
+                let accept = {
+                    let shared = Arc::clone(&shared);
+                    std::thread::Builder::new()
+                        .name("geoserp-accept".into())
+                        .spawn(move || accept_loop(shared, listener, tx))?
+                };
+                Ok(SocketServer {
+                    shared,
+                    local_addr,
+                    accept: Some(accept),
+                    workers,
+                    wakers: Vec::new(),
+                })
+            }
         }
-        let accept = {
-            let shared = Arc::clone(&shared);
-            std::thread::Builder::new()
-                .name("geoserp-accept".into())
-                .spawn(move || accept_loop(shared, listener, tx))?
-        };
-        Ok(SocketServer {
-            shared,
-            local_addr,
-            accept: Some(accept),
-            workers,
-        })
     }
 
     /// The bound address (useful with an ephemeral `:0` bind).
@@ -461,8 +596,10 @@ impl SocketServer {
         self.local_addr
     }
 
-    /// Stop accepting, drain queued connections, finish in-flight requests,
-    /// and join every thread.
+    /// Stop accepting, drain queued/in-flight connections, and join every
+    /// thread. Idle keep-alive connections are closed promptly (the event
+    /// loop's drain path wakes and closes them; the blocking core bounds
+    /// them by its read timeout).
     pub fn shutdown(mut self) {
         self.stop();
     }
@@ -471,8 +608,15 @@ impl SocketServer {
         if self.shared.shutdown.swap(true, Ordering::SeqCst) {
             return;
         }
-        // Unblock the accept loop with a throwaway connection.
-        let _ = TcpStream::connect(self.local_addr);
+        if self.wakers.is_empty() {
+            // Blocking backend: unblock the accept loop with a throwaway
+            // connection.
+            let _ = TcpStream::connect(self.local_addr);
+        } else {
+            for waker in &self.wakers {
+                let _ = waker.wake();
+            }
+        }
         if let Some(h) = self.accept.take() {
             let _ = h.join();
         }
@@ -485,5 +629,52 @@ impl SocketServer {
 impl Drop for SocketServer {
     fn drop(&mut self) {
         self.stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seq_counter_wraps_instead_of_panicking() {
+        let seq = SeqCounters::new();
+        let src: Ipv4Addr = "10.1.2.3".parse().unwrap();
+        let ip_half = (u32::from_be_bytes(src.octets()) as u64) << 32;
+        seq.set(src, u32::MAX);
+        // The 2^32nd request carries counter u32::MAX …
+        assert_eq!(seq.next(src), ip_half | u64::from(u32::MAX));
+        // … and the next one wraps to 0 (debug builds used to panic here).
+        assert_eq!(seq.next(src), ip_half);
+        assert_eq!(seq.next(src), ip_half | 1);
+    }
+
+    #[test]
+    fn backend_parses_and_displays() {
+        assert_eq!(
+            "epoll".parse::<ServeBackend>().unwrap(),
+            ServeBackend::Epoll
+        );
+        assert_eq!(
+            "blocking".parse::<ServeBackend>().unwrap(),
+            ServeBackend::Blocking
+        );
+        assert!("kqueue".parse::<ServeBackend>().is_err());
+        for b in ServeBackend::ALL {
+            assert_eq!(b.to_string().parse::<ServeBackend>().unwrap(), b);
+        }
+    }
+
+    #[test]
+    fn reject_and_shed_responses_have_typed_reasons() {
+        let v6 = ipv6_reject_response();
+        assert_eq!(v6.status, Status::BadRequest);
+        assert_eq!(
+            v6.header("X-Reason"),
+            Some("ipv4-only determinism contract")
+        );
+        let shed = shed_response();
+        assert_eq!(shed.status, Status::ServiceUnavailable);
+        assert_eq!(shed.header("X-Reason"), Some("accept queue full"));
     }
 }

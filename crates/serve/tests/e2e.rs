@@ -1,18 +1,21 @@
 //! End-to-end socket tests: the determinism contract (a served page is
 //! byte-identical to the simulated path's page), hostile-input behavior over
 //! real connections, keep-alive, backpressure, rate limiting, observability
-//! endpoints, and graceful shutdown.
+//! endpoints, and graceful shutdown — every contract test runs against
+//! **both** serving cores ([`ServeBackend::Blocking`] and
+//! [`ServeBackend::Epoll`]), which is what licenses calling them
+//! interchangeable.
 
 use geoserp_engine::{EngineConfig, SearchEngine, SearchService, GEOLOCATION_HEADER, SEARCH_HOST};
 use geoserp_geo::{Seed, UsGeography};
 use geoserp_net::{
     encode_request, ip, parse_response, Request, Response, SimNet, Status, WireLimits,
 };
-use geoserp_serve::{LoadgenConfig, ServeConfig, ServedWorld, SocketServer};
+use geoserp_serve::{LoadgenConfig, ServeBackend, ServeConfig, ServedWorld, SocketServer};
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpStream};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 const SEED: u64 = 2015;
 
@@ -91,11 +94,11 @@ fn search_req(geo: &UsGeography, q: &str) -> Request {
         .with_header("User-Agent", "Mozilla/5.0 (iPhone; Safari 8)")
 }
 
-#[test]
-fn served_pages_are_byte_identical_to_the_sim_path() {
+fn byte_identity_contract(backend: ServeBackend) {
     let (geo, net) = sim_reference();
     let world = world();
-    let server = SocketServer::start("127.0.0.1:0", &world, ServeConfig::new()).unwrap();
+    let server =
+        SocketServer::start("127.0.0.1:0", &world, ServeConfig::new().backend(backend)).unwrap();
     let addr = server.local_addr();
 
     // The simulated client and the TCP client share the loopback source
@@ -106,7 +109,7 @@ fn served_pages_are_byte_identical_to_the_sim_path() {
         let tcp_resp = request_tcp(addr, &req);
         assert_eq!(
             tcp_resp, sim_resp,
-            "query {query:?}: served response must equal the simulated one"
+            "{backend}: query {query:?}: served response must equal the simulated one"
         );
         assert_eq!(tcp_resp.status, Status::Ok);
         assert_eq!(tcp_resp.header("X-Datacenter"), Some("dc0"));
@@ -118,13 +121,24 @@ fn served_pages_are_byte_identical_to_the_sim_path() {
 }
 
 #[test]
-fn hostile_inputs_get_400s_and_never_kill_the_server() {
+fn served_pages_are_byte_identical_to_the_sim_path_blocking() {
+    byte_identity_contract(ServeBackend::Blocking);
+}
+
+#[test]
+fn served_pages_are_byte_identical_to_the_sim_path_epoll() {
+    byte_identity_contract(ServeBackend::Epoll);
+}
+
+fn hostile_inputs_contract(backend: ServeBackend) {
     let (geo, _) = sim_reference();
     let world = world();
     let server = SocketServer::start(
         "127.0.0.1:0",
         &world,
-        ServeConfig::new().limits(WireLimits::new().max_head_bytes(4096)),
+        ServeConfig::new()
+            .backend(backend)
+            .limits(WireLimits::new().max_head_bytes(4096)),
     )
     .unwrap();
     let addr = server.local_addr();
@@ -148,24 +162,37 @@ fn hostile_inputs_get_400s_and_never_kill_the_server() {
     ];
     for (label, bytes) in &corpus {
         let reply = send_raw(addr, bytes);
-        assert!(!reply.is_empty(), "{label}: server must reply, not hang up");
+        assert!(
+            !reply.is_empty(),
+            "{backend}: {label}: server must reply, not hang up"
+        );
         let (resp, _) = parse_response(&reply, &WireLimits::default())
-            .unwrap_or_else(|e| panic!("{label}: unparseable reply: {e}"))
-            .unwrap_or_else(|| panic!("{label}: truncated reply"));
-        assert_eq!(resp.status, Status::BadRequest, "{label}");
+            .unwrap_or_else(|e| panic!("{backend}: {label}: unparseable reply: {e}"))
+            .unwrap_or_else(|| panic!("{backend}: {label}: truncated reply"));
+        assert_eq!(resp.status, Status::BadRequest, "{backend}: {label}");
     }
 
     // After the whole corpus, the server still serves good requests.
     let resp = request_tcp(addr, &search_req(&geo, "Hospital"));
-    assert_eq!(resp.status, Status::Ok);
+    assert_eq!(resp.status, Status::Ok, "{backend}");
     server.shutdown();
 }
 
 #[test]
-fn keep_alive_serves_many_requests_per_connection() {
+fn hostile_inputs_get_400s_and_never_kill_the_server_blocking() {
+    hostile_inputs_contract(ServeBackend::Blocking);
+}
+
+#[test]
+fn hostile_inputs_get_400s_and_never_kill_the_server_epoll() {
+    hostile_inputs_contract(ServeBackend::Epoll);
+}
+
+fn keep_alive_contract(backend: ServeBackend) {
     let (geo, _) = sim_reference();
     let world = world();
-    let server = SocketServer::start("127.0.0.1:0", &world, ServeConfig::new()).unwrap();
+    let server =
+        SocketServer::start("127.0.0.1:0", &world, ServeConfig::new().backend(backend)).unwrap();
 
     let mut stream = TcpStream::connect(server.local_addr()).unwrap();
     stream
@@ -176,13 +203,17 @@ fn keep_alive_serves_many_requests_per_connection() {
             .write_all(&encode_request(&search_req(&geo, query)).unwrap())
             .unwrap();
         let resp = read_response(&mut stream).expect("keep-alive reply");
-        assert_eq!(resp.status, Status::Ok, "{query}");
+        assert_eq!(resp.status, Status::Ok, "{backend}: {query}");
     }
     drop(stream);
 
     // keep_alive(false): the server answers one request and closes.
-    let server2 =
-        SocketServer::start("127.0.0.1:0", &world, ServeConfig::new().keep_alive(false)).unwrap();
+    let server2 = SocketServer::start(
+        "127.0.0.1:0",
+        &world,
+        ServeConfig::new().backend(backend).keep_alive(false),
+    )
+    .unwrap();
     let mut stream = TcpStream::connect(server2.local_addr()).unwrap();
     stream
         .set_read_timeout(Some(Duration::from_secs(10)))
@@ -190,79 +221,114 @@ fn keep_alive_serves_many_requests_per_connection() {
     stream
         .write_all(&encode_request(&search_req(&geo, "Hospital")).unwrap())
         .unwrap();
-    assert!(read_response(&mut stream).is_some());
+    assert!(read_response(&mut stream).is_some(), "{backend}");
     stream
         .write_all(&encode_request(&search_req(&geo, "Bank")).unwrap())
         .ok();
     assert!(
         read_response(&mut stream).is_none(),
-        "without keep-alive the connection must close after one response"
+        "{backend}: without keep-alive the connection must close after one response"
     );
     server.shutdown();
     server2.shutdown();
 }
 
 #[test]
-fn healthz_and_metrics_expose_the_shared_hub() {
+fn keep_alive_serves_many_requests_per_connection_blocking() {
+    keep_alive_contract(ServeBackend::Blocking);
+}
+
+#[test]
+fn keep_alive_serves_many_requests_per_connection_epoll() {
+    keep_alive_contract(ServeBackend::Epoll);
+}
+
+fn observability_contract(backend: ServeBackend) {
     let (geo, _) = sim_reference();
     let world = world();
-    let server = SocketServer::start("127.0.0.1:0", &world, ServeConfig::new()).unwrap();
+    let server =
+        SocketServer::start("127.0.0.1:0", &world, ServeConfig::new().backend(backend)).unwrap();
     let addr = server.local_addr();
 
     let health = request_tcp(addr, &Request::get(SEARCH_HOST, "/healthz"));
-    assert_eq!(health.status, Status::Ok);
+    assert_eq!(health.status, Status::Ok, "{backend}");
     assert_eq!(health.body_text(), "ok\n");
 
     assert_eq!(
         request_tcp(addr, &search_req(&geo, "Hospital")).status,
-        Status::Ok
+        Status::Ok,
+        "{backend}"
     );
     let metrics = request_tcp(addr, &Request::get(SEARCH_HOST, "/metrics"));
-    assert_eq!(metrics.status, Status::Ok);
+    assert_eq!(metrics.status, Status::Ok, "{backend}");
     let text = metrics.body_text();
     assert!(
         text.contains("# TYPE geoserp_serve_requests counter"),
-        "{text}"
+        "{backend}: {text}"
     );
-    assert!(text.contains("geoserp_engine_queries 1"), "{text}");
+    assert!(
+        text.contains("geoserp_engine_queries 1"),
+        "{backend}: {text}"
+    );
     server.shutdown();
 }
 
 #[test]
-fn serve_layer_rate_limit_returns_429() {
+fn healthz_and_metrics_expose_the_shared_hub_blocking() {
+    observability_contract(ServeBackend::Blocking);
+}
+
+#[test]
+fn healthz_and_metrics_expose_the_shared_hub_epoll() {
+    observability_contract(ServeBackend::Epoll);
+}
+
+fn rate_limit_contract(backend: ServeBackend) {
     let (geo, _) = sim_reference();
     let world = world();
     let server = SocketServer::start(
         "127.0.0.1:0",
         &world,
-        ServeConfig::new().rate_limit(3, 60_000),
+        ServeConfig::new().backend(backend).rate_limit(3, 60_000),
     )
     .unwrap();
     let addr = server.local_addr();
     for _ in 0..3 {
         assert_eq!(
             request_tcp(addr, &search_req(&geo, "Bank")).status,
-            Status::Ok
+            Status::Ok,
+            "{backend}"
         );
     }
     let resp = request_tcp(addr, &search_req(&geo, "Bank"));
-    assert_eq!(resp.status, Status::TooManyRequests);
+    assert_eq!(resp.status, Status::TooManyRequests, "{backend}");
     assert_eq!(resp.header("X-Reason"), Some("serve-layer rate limit"));
     // Probes are exempt: health stays green while search is throttled.
     assert_eq!(
         request_tcp(addr, &Request::get(SEARCH_HOST, "/healthz")).status,
-        Status::Ok
+        Status::Ok,
+        "{backend}"
     );
     server.shutdown();
 }
 
 #[test]
-fn full_accept_queue_sheds_load_with_503() {
+fn serve_layer_rate_limit_returns_429_blocking() {
+    rate_limit_contract(ServeBackend::Blocking);
+}
+
+#[test]
+fn serve_layer_rate_limit_returns_429_epoll() {
+    rate_limit_contract(ServeBackend::Epoll);
+}
+
+fn shed_503_contract(backend: ServeBackend) {
     let world = world();
     let server = SocketServer::start(
         "127.0.0.1:0",
         &world,
         ServeConfig::new()
+            .backend(backend)
             .workers(1)
             .queue_depth(1)
             .read_timeout_ms(3_000),
@@ -271,7 +337,8 @@ fn full_accept_queue_sheds_load_with_503() {
     let addr = server.local_addr();
 
     // Occupy the single worker with a connection that never completes a
-    // request, and fill the one queue slot with a second idle connection.
+    // request, and fill the one admission slot with a second idle
+    // connection.
     let stall_worker = TcpStream::connect(addr).unwrap();
     stall_worker.set_nodelay(true).ok();
     (&stall_worker).write_all(b"GET /sl").unwrap();
@@ -287,7 +354,7 @@ fn full_accept_queue_sheds_load_with_503() {
             .set_read_timeout(Some(Duration::from_millis(500)))
             .unwrap();
         if let Some(resp) = read_response(&mut probe) {
-            assert_eq!(resp.status, Status::ServiceUnavailable);
+            assert_eq!(resp.status, Status::ServiceUnavailable, "{backend}");
             assert_eq!(resp.header("X-Reason"), Some("accept queue full"));
             shed = true;
             break;
@@ -295,26 +362,142 @@ fn full_accept_queue_sheds_load_with_503() {
     }
     assert!(
         shed,
-        "expected at least one 503 while the pool was saturated"
+        "{backend}: expected at least one 503 while the pool was saturated"
     );
     drop(stall_worker);
     server.shutdown();
 }
 
 #[test]
-fn shutdown_drains_and_stops_accepting() {
+fn full_accept_queue_sheds_load_with_503_blocking() {
+    shed_503_contract(ServeBackend::Blocking);
+}
+
+#[test]
+fn full_accept_queue_sheds_load_with_503_epoll() {
+    shed_503_contract(ServeBackend::Epoll);
+}
+
+/// Regression: the accept path once wrote shed 503s with a *blocking*
+/// `write_all` under the write timeout — one peer refusing to read could
+/// stall all accepts for seconds. Saturate the server, then hit it with a
+/// storm of probes that never read their 503s: the whole storm must be
+/// refused promptly. (A true zero-window stall of a 60-byte write is not
+/// constructible over loopback — kernel buffers absorb it — so the test
+/// pins the observable symptom: accept latency stays bounded while shed
+/// targets sit on unread responses.)
+fn shed_storm_contract(backend: ServeBackend) {
+    let world = world();
+    let server = SocketServer::start(
+        "127.0.0.1:0",
+        &world,
+        ServeConfig::new()
+            .backend(backend)
+            .workers(1)
+            .queue_depth(1)
+            .read_timeout_ms(8_000)
+            .write_timeout_ms(8_000),
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    let stall_worker = TcpStream::connect(addr).unwrap();
+    (&stall_worker).write_all(b"GET /sl").unwrap();
+    let _fill_queue = TcpStream::connect(addr).unwrap();
+    std::thread::sleep(Duration::from_millis(300));
+
+    // 20 connections that will each be shed and never read the 503.
+    let started = Instant::now();
+    let mut deaf_probes = Vec::new();
+    for _ in 0..20 {
+        deaf_probes.push(TcpStream::connect(addr).unwrap());
+    }
+    // One more probe that does read: it must still get its refusal fast —
+    // far faster than even one 8 s write timeout, let alone twenty.
+    let mut probe = TcpStream::connect(addr).unwrap();
+    probe
+        .set_read_timeout(Some(Duration::from_secs(2)))
+        .unwrap();
+    let resp = read_response(&mut probe);
+    let elapsed = started.elapsed();
+    assert!(
+        resp.is_some_and(|r| r.status == Status::ServiceUnavailable),
+        "{backend}: trailing probe must be shed with a 503"
+    );
+    assert!(
+        elapsed < Duration::from_secs(3),
+        "{backend}: shed storm stalled the accept path for {elapsed:?}"
+    );
+    drop(deaf_probes);
+    drop(stall_worker);
+    server.shutdown();
+}
+
+#[test]
+fn shed_storm_never_stalls_accepts_blocking() {
+    shed_storm_contract(ServeBackend::Blocking);
+}
+
+#[test]
+fn shed_storm_never_stalls_accepts_epoll() {
+    shed_storm_contract(ServeBackend::Epoll);
+}
+
+/// The determinism contract is IPv4-only (sequence numbers and rate-limit
+/// keys are defined over `Ipv4Addr`): an IPv6 peer gets a typed 400, not a
+/// silent collapse onto `0.0.0.0`'s counters. Skipped when the host has no
+/// usable loopback IPv6.
+fn ipv6_contract(backend: ServeBackend) {
+    let world = world();
+    let Ok(server) = SocketServer::start("[::1]:0", &world, ServeConfig::new().backend(backend))
+    else {
+        eprintln!("skipping: cannot bind [::1] (no IPv6 loopback)");
+        return;
+    };
+    let addr = server.local_addr();
+    let Ok(mut stream) = TcpStream::connect(addr) else {
+        eprintln!("skipping: cannot connect to [::1] (no IPv6 loopback)");
+        return;
+    };
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    // The rejection is by peer address; it arrives whether or not a
+    // request is ever sent, so just read.
+    let resp = read_response(&mut stream).expect("server must reply before closing");
+    assert_eq!(resp.status, Status::BadRequest, "{backend}");
+    assert_eq!(
+        resp.header("X-Reason"),
+        Some("ipv4-only determinism contract"),
+        "{backend}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn ipv6_peers_get_a_typed_400_blocking() {
+    ipv6_contract(ServeBackend::Blocking);
+}
+
+#[test]
+fn ipv6_peers_get_a_typed_400_epoll() {
+    ipv6_contract(ServeBackend::Epoll);
+}
+
+fn shutdown_contract(backend: ServeBackend) {
     let (geo, _) = sim_reference();
     let world = world();
     let server = SocketServer::start(
         "127.0.0.1:0",
         &world,
-        ServeConfig::new().read_timeout_ms(500),
+        ServeConfig::new().backend(backend).read_timeout_ms(500),
     )
     .unwrap();
     let addr = server.local_addr();
     assert_eq!(
         request_tcp(addr, &search_req(&geo, "Hospital")).status,
-        Status::Ok
+        Status::Ok,
+        "{backend}"
     );
     server.shutdown();
     // Every thread is joined by the time shutdown returns; a new connection
@@ -325,16 +508,92 @@ fn shutdown_drains_and_stops_accepting() {
             .is_ok()
             && read_response(&mut s).is_some()
     });
-    assert!(!served_after, "server answered after shutdown");
+    assert!(!served_after, "{backend}: server answered after shutdown");
+}
+
+#[test]
+fn shutdown_drains_and_stops_accepting_blocking() {
+    shutdown_contract(ServeBackend::Blocking);
+}
+
+#[test]
+fn shutdown_drains_and_stops_accepting_epoll() {
+    shutdown_contract(ServeBackend::Epoll);
+}
+
+/// Regression: graceful shutdown used to wait out the read timeout for
+/// every idle keep-alive connection. The event loop's drain path closes
+/// idle connections the moment the shutdown waker fires, so shutdown
+/// latency is bounded by epsilon even with a 10 s read timeout and several
+/// parked connections.
+#[test]
+fn epoll_drain_closes_idle_keepalive_connections_promptly() {
+    let (geo, _) = sim_reference();
+    let world = world();
+    let server = SocketServer::start(
+        "127.0.0.1:0",
+        &world,
+        ServeConfig::new()
+            .backend(ServeBackend::Epoll)
+            .workers(2)
+            .read_timeout_ms(10_000),
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    // Three keep-alive connections, each completing one request, then
+    // parked idle.
+    let mut parked = Vec::new();
+    for query in ["Hospital", "Bank", "Park"] {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        stream
+            .write_all(&encode_request(&search_req(&geo, query)).unwrap())
+            .unwrap();
+        assert!(read_response(&mut stream).is_some(), "{query}");
+        parked.push(stream);
+    }
+
+    let started = Instant::now();
+    server.shutdown();
+    let elapsed = started.elapsed();
+    assert!(
+        elapsed < Duration::from_secs(2),
+        "drain with idle keep-alive connections took {elapsed:?} \
+         (read timeout was 10 s — idle conns must be closed by the drain \
+         path, not waited out)"
+    );
+    // The parked connections were really closed: reads see EOF.
+    for mut stream in parked {
+        stream
+            .set_read_timeout(Some(Duration::from_secs(2)))
+            .unwrap();
+        let mut buf = [0u8; 16];
+        assert_eq!(stream.read(&mut buf).unwrap_or(0), 0, "peer must see EOF");
+    }
 }
 
 #[test]
 fn loadgen_measures_the_server() {
     let report = geoserp_serve::loadgen::run_matrix(SEED, &[2], 60, 3).unwrap();
-    assert_eq!(report.entries.len(), 2, "keep-alive on and off");
+    assert_eq!(
+        report.entries.len(),
+        6,
+        "2 backends x (2 firehose cells + 1 slow-client cell)"
+    );
     for e in &report.entries {
         assert_eq!(e.workers, 2);
-        assert_eq!(e.report.ok + e.report.errors, 60);
+        assert!(e.backend == "blocking" || e.backend == "epoll", "{e:?}");
+        let expected = if e.think_ms > 0 {
+            assert_eq!(e.concurrency, 16, "slow-client cell: 8 clients/worker");
+            e.concurrency * 5
+        } else {
+            assert_eq!(e.concurrency, 3);
+            60
+        };
+        assert_eq!(e.report.ok + e.report.errors, expected);
         assert!(e.report.ok > 0, "some requests must succeed: {e:?}");
         assert!(e.report.throughput_rps > 0.0);
         assert!(e.report.p50_us > 0);
@@ -342,6 +601,7 @@ fn loadgen_measures_the_server() {
     }
     let json = report.to_json();
     assert!(json.contains("\"throughput_rps\""), "{json}");
+    assert!(json.contains("\"backend\""), "{json}");
 
     // Single-target mode against a live server.
     let world = world();

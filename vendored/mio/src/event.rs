@@ -1,0 +1,39 @@
+//! Event sources: anything an fd-backed type can do to join a [`Poll`].
+//!
+//! [`Poll`]: crate::Poll
+
+use crate::{Interest, Registry, Token};
+use std::io;
+
+pub use crate::Event;
+
+/// An fd-backed type that can be registered with a [`crate::Poll`].
+pub trait Source {
+    /// Add this source to the poller under `token`.
+    ///
+    /// # Errors
+    /// Propagates `epoll_ctl` failure.
+    fn register(
+        &mut self,
+        registry: &Registry,
+        token: Token,
+        interests: Interest,
+    ) -> io::Result<()>;
+
+    /// Update this source's token/interest on the poller.
+    ///
+    /// # Errors
+    /// Propagates `epoll_ctl` failure.
+    fn reregister(
+        &mut self,
+        registry: &Registry,
+        token: Token,
+        interests: Interest,
+    ) -> io::Result<()>;
+
+    /// Remove this source from the poller.
+    ///
+    /// # Errors
+    /// Propagates `epoll_ctl` failure.
+    fn deregister(&mut self, registry: &Registry) -> io::Result<()>;
+}

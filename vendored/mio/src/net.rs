@@ -1,0 +1,158 @@
+//! Nonblocking TCP types: thin wrappers over `std::net` with the sockets
+//! forced into nonblocking mode and wired into the reactor via
+//! [`event::Source`].
+//!
+//! [`event::Source`]: crate::event::Source
+
+use crate::{event, Interest, Registry, Token};
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr};
+use std::os::unix::io::AsRawFd;
+
+/// A nonblocking TCP listener.
+#[derive(Debug)]
+pub struct TcpListener {
+    inner: std::net::TcpListener,
+}
+
+impl TcpListener {
+    /// Bind `addr` and set the listener nonblocking.
+    ///
+    /// # Errors
+    /// Propagates bind / fcntl failure.
+    pub fn bind(addr: SocketAddr) -> io::Result<TcpListener> {
+        Self::from_std_checked(std::net::TcpListener::bind(addr)?)
+    }
+
+    /// Adopt an already bound std listener, forcing it nonblocking.
+    ///
+    /// # Errors
+    /// Propagates fcntl failure.
+    pub fn from_std_checked(inner: std::net::TcpListener) -> io::Result<TcpListener> {
+        inner.set_nonblocking(true)?;
+        Ok(TcpListener { inner })
+    }
+
+    /// Accept one pending connection; the stream comes back nonblocking.
+    ///
+    /// # Errors
+    /// `WouldBlock` when no connection is pending; otherwise the accept
+    /// error.
+    pub fn accept(&self) -> io::Result<(TcpStream, SocketAddr)> {
+        let (stream, peer) = self.inner.accept()?;
+        Ok((TcpStream::from_std_checked(stream)?, peer))
+    }
+
+    /// The bound address.
+    ///
+    /// # Errors
+    /// Propagates getsockname failure.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.inner.local_addr()
+    }
+}
+
+impl event::Source for TcpListener {
+    fn register(
+        &mut self,
+        registry: &Registry,
+        token: Token,
+        interests: Interest,
+    ) -> io::Result<()> {
+        registry.register_fd(self.inner.as_raw_fd(), token, interests)
+    }
+
+    fn reregister(
+        &mut self,
+        registry: &Registry,
+        token: Token,
+        interests: Interest,
+    ) -> io::Result<()> {
+        registry.reregister_fd(self.inner.as_raw_fd(), token, interests)
+    }
+
+    fn deregister(&mut self, registry: &Registry) -> io::Result<()> {
+        registry.deregister_fd(self.inner.as_raw_fd())
+    }
+}
+
+/// A nonblocking TCP stream.
+#[derive(Debug)]
+pub struct TcpStream {
+    inner: std::net::TcpStream,
+}
+
+impl TcpStream {
+    /// Adopt a std stream, forcing it nonblocking.
+    ///
+    /// # Errors
+    /// Propagates fcntl failure.
+    pub fn from_std_checked(inner: std::net::TcpStream) -> io::Result<TcpStream> {
+        inner.set_nonblocking(true)?;
+        Ok(TcpStream { inner })
+    }
+
+    /// The remote peer's address.
+    ///
+    /// # Errors
+    /// Propagates getpeername failure (e.g. on a reset connection).
+    pub fn peer_addr(&self) -> io::Result<SocketAddr> {
+        self.inner.peer_addr()
+    }
+
+    /// Enable/disable Nagle's algorithm.
+    ///
+    /// # Errors
+    /// Propagates setsockopt failure.
+    pub fn set_nodelay(&self, nodelay: bool) -> io::Result<()> {
+        self.inner.set_nodelay(nodelay)
+    }
+
+    /// Shut down one or both halves of the connection.
+    ///
+    /// # Errors
+    /// Propagates shutdown failure.
+    pub fn shutdown(&self, how: Shutdown) -> io::Result<()> {
+        self.inner.shutdown(how)
+    }
+}
+
+impl Read for TcpStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        self.inner.read(buf)
+    }
+}
+
+impl Write for TcpStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.inner.write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+impl event::Source for TcpStream {
+    fn register(
+        &mut self,
+        registry: &Registry,
+        token: Token,
+        interests: Interest,
+    ) -> io::Result<()> {
+        registry.register_fd(self.inner.as_raw_fd(), token, interests)
+    }
+
+    fn reregister(
+        &mut self,
+        registry: &Registry,
+        token: Token,
+        interests: Interest,
+    ) -> io::Result<()> {
+        registry.reregister_fd(self.inner.as_raw_fd(), token, interests)
+    }
+
+    fn deregister(&mut self, registry: &Registry) -> io::Result<()> {
+        registry.deregister_fd(self.inner.as_raw_fd())
+    }
+}

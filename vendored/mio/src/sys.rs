@@ -1,0 +1,194 @@
+//! Raw epoll / eventfd bindings, declared straight against the system libc
+//! (std already links it; no `libc` crate in the offline build).
+
+use crate::{Event, Interest, Token};
+use std::io;
+use std::os::unix::io::RawFd;
+use std::time::Duration;
+
+pub(crate) const EPOLLIN: u32 = 0x001;
+pub(crate) const EPOLLOUT: u32 = 0x004;
+pub(crate) const EPOLLERR: u32 = 0x008;
+pub(crate) const EPOLLHUP: u32 = 0x010;
+pub(crate) const EPOLLRDHUP: u32 = 0x2000;
+const EPOLLET: u32 = 1 << 31;
+
+const EPOLL_CTL_ADD: i32 = 1;
+const EPOLL_CTL_DEL: i32 = 2;
+const EPOLL_CTL_MOD: i32 = 3;
+const EPOLL_CLOEXEC: i32 = 0o2000000;
+
+const EFD_CLOEXEC: i32 = 0o2000000;
+const EFD_NONBLOCK: i32 = 0o4000;
+
+const EINTR: i32 = 4;
+
+/// `struct epoll_event`; packed on x86 ABIs, as in the kernel headers.
+#[repr(C)]
+#[cfg_attr(any(target_arch = "x86", target_arch = "x86_64"), repr(packed))]
+#[derive(Clone, Copy)]
+struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+extern "C" {
+    fn epoll_create1(flags: i32) -> i32;
+    fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+    fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+    fn eventfd(initval: u32, flags: i32) -> i32;
+    fn close(fd: i32) -> i32;
+    fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+    fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+}
+
+fn cvt(ret: i32) -> io::Result<i32> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+fn interests_to_epoll(interests: Interest) -> u32 {
+    let mut flags = EPOLLET | EPOLLRDHUP;
+    if interests.is_readable() {
+        flags |= EPOLLIN;
+    }
+    if interests.is_writable() {
+        flags |= EPOLLOUT;
+    }
+    flags
+}
+
+/// One epoll instance.
+pub(crate) struct Selector {
+    epfd: RawFd,
+}
+
+impl Selector {
+    pub(crate) fn new() -> io::Result<Selector> {
+        // Safety: plain syscall, no pointers.
+        let epfd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+        Ok(Selector { epfd })
+    }
+
+    fn ctl(&self, op: i32, fd: RawFd, event: Option<EpollEvent>) -> io::Result<()> {
+        let mut ev = event;
+        let ptr = ev
+            .as_mut()
+            .map_or(std::ptr::null_mut(), |e| e as *mut EpollEvent);
+        // Safety: `ptr` is null (DEL) or points at a live EpollEvent.
+        cvt(unsafe { epoll_ctl(self.epfd, op, fd, ptr) })?;
+        Ok(())
+    }
+
+    pub(crate) fn register(&self, fd: RawFd, token: Token, interests: Interest) -> io::Result<()> {
+        self.ctl(
+            EPOLL_CTL_ADD,
+            fd,
+            Some(EpollEvent {
+                events: interests_to_epoll(interests),
+                data: token.0 as u64,
+            }),
+        )
+    }
+
+    pub(crate) fn reregister(
+        &self,
+        fd: RawFd,
+        token: Token,
+        interests: Interest,
+    ) -> io::Result<()> {
+        self.ctl(
+            EPOLL_CTL_MOD,
+            fd,
+            Some(EpollEvent {
+                events: interests_to_epoll(interests),
+                data: token.0 as u64,
+            }),
+        )
+    }
+
+    pub(crate) fn deregister(&self, fd: RawFd) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, fd, None)
+    }
+
+    pub(crate) fn select(
+        &self,
+        out: &mut Vec<Event>,
+        capacity: usize,
+        timeout: Option<Duration>,
+    ) -> io::Result<()> {
+        let timeout_ms: i32 = match timeout {
+            None => -1,
+            // Round up so a 1ns timeout still sleeps ~1ms instead of spinning.
+            Some(d) => d
+                .as_millis()
+                .saturating_add(u128::from(d.subsec_nanos() % 1_000_000 != 0))
+                .min(i32::MAX as u128) as i32,
+        };
+        let mut raw: Vec<EpollEvent> = vec![EpollEvent { events: 0, data: 0 }; capacity];
+        let n = loop {
+            // Safety: `raw` outlives the call and holds `capacity` entries.
+            let ret =
+                unsafe { epoll_wait(self.epfd, raw.as_mut_ptr(), capacity as i32, timeout_ms) };
+            match cvt(ret) {
+                Ok(n) => break n as usize,
+                Err(e) if e.raw_os_error() == Some(EINTR) => continue,
+                Err(e) => return Err(e),
+            }
+        };
+        out.clear();
+        for ev in &raw[..n] {
+            // Copy fields out (the struct may be packed; plain loads would
+            // be misaligned references).
+            let (flags, data) = (ev.events, ev.data);
+            out.push(Event { flags, data });
+        }
+        Ok(())
+    }
+}
+
+impl Drop for Selector {
+    fn drop(&mut self) {
+        close_fd(self.epfd);
+    }
+}
+
+// Safety: epoll fds are safely usable from multiple threads.
+unsafe impl Send for Selector {}
+unsafe impl Sync for Selector {}
+
+pub(crate) fn eventfd_nonblocking() -> io::Result<RawFd> {
+    // Safety: plain syscall, no pointers.
+    cvt(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) })
+}
+
+pub(crate) fn eventfd_write(fd: RawFd, value: u64) -> io::Result<()> {
+    let buf = value.to_ne_bytes();
+    // Safety: `buf` is 8 live bytes, the size eventfd requires.
+    let n = unsafe { write(fd, buf.as_ptr(), buf.len()) };
+    if n < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(())
+    }
+}
+
+pub(crate) fn eventfd_read(fd: RawFd) -> io::Result<u64> {
+    let mut buf = [0u8; 8];
+    // Safety: `buf` is 8 live bytes, the size eventfd requires.
+    let n = unsafe { read(fd, buf.as_mut_ptr(), buf.len()) };
+    if n < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(u64::from_ne_bytes(buf))
+    }
+}
+
+pub(crate) fn close_fd(fd: RawFd) {
+    // Safety: plain syscall; double-close is the caller's responsibility
+    // and every call site owns its fd exclusively.
+    let _ = unsafe { close(fd) };
+}
