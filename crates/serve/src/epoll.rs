@@ -61,6 +61,9 @@ const WHEEL_SLOTS: usize = 256;
 const READ_CHUNK: usize = 16 * 1024;
 /// Soft cap on buffered request bytes before the pump interleaves
 /// processing with reading (bounds memory under a pipelining flood).
+/// Only honored while the parser is consuming: a single incomplete
+/// request larger than the cap must keep reading (bounded by the wire
+/// limits) or the pump would livelock.
 const READ_SOFT_CAP: usize = 64 * 1024;
 /// Nominal pooled buffer capacity.
 const BUF_CAPACITY: usize = 8 * 1024;
@@ -88,6 +91,10 @@ struct Conn {
     write_buf: Vec<u8>,
     /// Prefix of `write_buf` already written.
     written: usize,
+    /// End offsets in `write_buf` of queued *routed* responses, ascending
+    /// (`serve.responses` counts a response when its last byte reaches the
+    /// socket, matching the blocking core's count-after-write).
+    resp_ends: Vec<usize>,
     /// Generation of the most recently armed timer (stale wheel entries
     /// carry an older generation and are ignored).
     gen: u64,
@@ -98,6 +105,21 @@ struct Conn {
     wants_writable: bool,
     /// Peer sent EOF.
     eof: bool,
+}
+
+impl Conn {
+    /// Remove and count the queued responses whose bytes have fully
+    /// reached the socket.
+    fn take_flushed(&mut self) -> u64 {
+        let written = self.written;
+        let n = self
+            .resp_ends
+            .iter()
+            .take_while(|&&end| end <= written)
+            .count();
+        self.resp_ends.drain(..n);
+        n as u64
+    }
 }
 
 enum Flush {
@@ -266,13 +288,13 @@ impl EventLoop {
     /// (or the connection closes / stalls on write).
     fn pump(&mut self, key: usize) {
         loop {
-            self.process_requests(key);
+            let consumed = self.process_requests(key);
             self.finish_eof(key);
             match self.flush(key) {
                 Flush::Closed | Flush::Pending => return,
                 Flush::Flushed => {}
             }
-            match self.fill(key) {
+            match self.fill(key, consumed > 0) {
                 Fill::Closed => return,
                 Fill::Progress => continue,
                 Fill::Idle => {
@@ -284,8 +306,10 @@ impl EventLoop {
     }
 
     /// Parse and route every complete request in the read buffer,
-    /// appending encoded responses to the write buffer.
-    fn process_requests(&mut self, key: usize) {
+    /// appending encoded responses to the write buffer. Returns the
+    /// number of request bytes consumed (0 means the parser is waiting
+    /// for more bytes — [`Self::fill`] must then read past the soft cap).
+    fn process_requests(&mut self, key: usize) -> usize {
         let mut consumed = 0;
         loop {
             let (src, parse_res) = match self.conns.get_mut(key) {
@@ -304,11 +328,11 @@ impl EventLoop {
                         .is_some_and(|v| v.eq_ignore_ascii_case("close"));
                     let resp = self.shared.route(src, &req);
                     let bytes = encode_or_bare(&resp);
-                    self.shared.metrics.responses.inc();
                     let Some(c) = self.conns.get_mut(key) else {
                         break;
                     };
                     c.write_buf.extend_from_slice(&bytes);
+                    c.resp_ends.push(c.write_buf.len());
                     if !self.shared.config.keep_alive
                         || close_requested
                         || self.shared.shutdown.load(Ordering::Relaxed)
@@ -337,6 +361,7 @@ impl EventLoop {
                 c.read_buf.drain(..consumed);
             }
         }
+        consumed
     }
 
     /// After EOF: answer a trailing half-request with `400` (mirroring the
@@ -379,8 +404,15 @@ impl EventLoop {
                     return Flush::Closed;
                 }
                 Ok(n) => {
-                    if let Some(c) = self.conns.get_mut(key) {
-                        c.written += n;
+                    let flushed = match self.conns.get_mut(key) {
+                        Some(c) => {
+                            c.written += n;
+                            c.take_flushed()
+                        }
+                        None => 0,
+                    };
+                    if flushed > 0 {
+                        self.shared.metrics.responses.add(flushed);
                     }
                 }
                 Err(ref e) if e.kind() == ErrorKind::WouldBlock => {
@@ -402,6 +434,7 @@ impl EventLoop {
             };
             c.write_buf.clear();
             c.written = 0;
+            c.resp_ends.clear();
             c.close_after_flush
         };
         if close_now {
@@ -412,14 +445,31 @@ impl EventLoop {
         Flush::Flushed
     }
 
-    /// Read until `WouldBlock`, EOF, error, or the soft cap.
-    fn fill(&mut self, key: usize) -> Fill {
+    /// Read until `WouldBlock`, EOF, error, or a buffer cap.
+    ///
+    /// `parser_progressed` is whether the preceding parse pass consumed
+    /// bytes. If it did, the soft cap applies: pause at [`READ_SOFT_CAP`]
+    /// and let the pump process the buffered pipeline. If it did not, the
+    /// buffer holds one incomplete request — stopping at the soft cap
+    /// would livelock the pump (nothing to parse, nothing to flush,
+    /// nothing read), so reading continues to a hard cap instead. The
+    /// hard cap is unreachable by a request the wire limits accept: at
+    /// `max_head_bytes + max_body_bytes` buffered, `parse_request` must
+    /// either produce a request or a typed error, both of which make
+    /// progress.
+    fn fill(&mut self, key: usize, parser_progressed: bool) -> Fill {
+        let limits = &self.shared.config.limits;
+        let cap = if parser_progressed {
+            READ_SOFT_CAP
+        } else {
+            READ_SOFT_CAP + limits.max_head_bytes + limits.max_body_bytes
+        };
         let mut chunk = [0u8; READ_CHUNK];
         let mut progress = false;
         loop {
             let res = match self.conns.get_mut(key) {
                 Some(c) => {
-                    if c.read_buf.len() >= READ_SOFT_CAP {
+                    if c.read_buf.len() >= cap {
                         // Process what we have before buffering more.
                         return Fill::Progress;
                     }
@@ -516,6 +566,16 @@ impl EventLoop {
                     if self.draining {
                         continue; // dropping the socket refuses the peer
                     }
+                    // Mirror the blocking core's counting: the capacity
+                    // check stands in for its bounded accept queue, so shed
+                    // connections are never counted as `serve.connections`
+                    // (only connections a worker would have picked up are —
+                    // including IPv6 ones it then rejects).
+                    if self.open.load(Ordering::SeqCst) >= self.capacity {
+                        self.shared.metrics.rejected_busy.inc();
+                        best_effort_write(stream, &shed_response());
+                        continue;
+                    }
                     self.shared.metrics.connections.inc();
                     let src = match peer.ip() {
                         IpAddr::V4(v4) => v4,
@@ -525,11 +585,6 @@ impl EventLoop {
                             continue;
                         }
                     };
-                    if self.open.load(Ordering::SeqCst) >= self.capacity {
-                        self.shared.metrics.rejected_busy.inc();
-                        best_effort_write(stream, &shed_response());
-                        continue;
-                    }
                     self.open.fetch_add(1, Ordering::SeqCst);
                     let target = self.next_peer % self.peers.len();
                     self.next_peer = self.next_peer.wrapping_add(1);
@@ -559,6 +614,7 @@ impl EventLoop {
             read_buf: self.bufs.get(),
             write_buf: self.bufs.get(),
             written: 0,
+            resp_ends: Vec::new(),
             gen: 0,
             close_after_flush: false,
             wants_writable: false,

@@ -348,8 +348,10 @@ fn shed_503_contract(backend: ServeBackend) {
 
     // Subsequent connections must be shed with an inline 503.
     let mut shed = false;
+    let mut probes = 0u64;
     for _ in 0..5 {
         let mut probe = TcpStream::connect(addr).unwrap();
+        probes += 1;
         probe
             .set_read_timeout(Some(Duration::from_millis(500)))
             .unwrap();
@@ -366,6 +368,20 @@ fn shed_503_contract(backend: ServeBackend) {
     );
     drop(stall_worker);
     server.shutdown();
+
+    // Counting parity between the backends: every connect lands in exactly
+    // one of `serve.connections` (a worker would have picked it up) or
+    // `serve.rejected_busy` (shed). The epoll core once counted shed
+    // connections in both.
+    let m = world.hub.metrics();
+    let connections = m.counter("serve.connections").get();
+    let rejected = m.counter("serve.rejected_busy").get();
+    assert_eq!(
+        connections + rejected,
+        2 + probes, // stall_worker + fill_queue + probes
+        "{backend}: connects must be counted admitted xor shed \
+         (connections={connections}, rejected_busy={rejected})"
+    );
 }
 
 #[test]
@@ -441,6 +457,67 @@ fn shed_storm_never_stalls_accepts_blocking() {
 #[test]
 fn shed_storm_never_stalls_accepts_epoll() {
     shed_storm_contract(ServeBackend::Epoll);
+}
+
+/// Regression: the event loop's read soft cap (64 KiB) once applied even
+/// when the parser had consumed nothing — a single request larger than
+/// the cap (any body up to the 1 MiB default limit) livelocked its
+/// reactor thread: nothing complete to parse, nothing to flush, and
+/// `fill` refusing to read. A body over the cap must be read through and
+/// served, alone and pipelined behind a small request.
+fn large_body_contract(backend: ServeBackend) {
+    let world = world();
+    let server =
+        SocketServer::start("127.0.0.1:0", &world, ServeConfig::new().backend(backend)).unwrap();
+    let addr = server.local_addr();
+    let limits = WireLimits::new();
+
+    let body = vec![b'x'; 100 * 1024]; // > the 64 KiB soft cap, < max_body_bytes
+    let large = {
+        let mut bytes = format!(
+            "POST /healthz HTTP/1.1\r\nHost: {SEARCH_HOST}\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        )
+        .into_bytes();
+        bytes.extend_from_slice(&body);
+        bytes
+    };
+
+    let reply = send_raw(addr, &large);
+    assert!(
+        !reply.is_empty(),
+        "{backend}: a 100 KiB-body request must be answered, not livelocked"
+    );
+    let (resp, _) = parse_response(&reply, &limits).unwrap().unwrap();
+    assert_eq!(resp.status, Status::Ok, "{backend}");
+    assert_eq!(resp.body_text(), "ok\n", "{backend}");
+
+    // Pipelined: a small request followed by the large one in a single
+    // write, so the parser makes progress at the soft cap and then stalls
+    // on the large tail.
+    let mut pipelined =
+        format!("GET /healthz HTTP/1.1\r\nHost: {SEARCH_HOST}\r\n\r\n").into_bytes();
+    pipelined.extend_from_slice(&large);
+    let reply = send_raw(addr, &pipelined);
+    let (first, used) = parse_response(&reply, &limits)
+        .unwrap()
+        .unwrap_or_else(|| panic!("{backend}: first pipelined response truncated"));
+    assert_eq!(first.status, Status::Ok, "{backend}");
+    let (second, _) = parse_response(&reply[used..], &limits)
+        .unwrap()
+        .unwrap_or_else(|| panic!("{backend}: second pipelined response truncated"));
+    assert_eq!(second.status, Status::Ok, "{backend}");
+    server.shutdown();
+}
+
+#[test]
+fn bodies_larger_than_the_read_soft_cap_are_served_blocking() {
+    large_body_contract(ServeBackend::Blocking);
+}
+
+#[test]
+fn bodies_larger_than_the_read_soft_cap_are_served_epoll() {
+    large_body_contract(ServeBackend::Epoll);
 }
 
 /// The determinism contract is IPv4-only (sequence numbers and rate-limit
