@@ -131,9 +131,17 @@ COMMANDS:
                    --rate-limit N  serve-layer per-IP requests/min [100000]
                    --smoke         start, self-probe /healthz and /metrics,
                                    then exit (for CI)
+                 sharded topology (pages stay byte-identical to direct):
+                   --shards N      index shards behind a scatter-gather
+                                   router; 0 = single-process  [0]
+                   --replicas M    serve replicas per shard    [1]
+                   --hedge-ms MS   slow-replica hedge threshold [200]
                  the engine's own 30/min per-IP limit is raised for serving
                  (every TCP client behind one NAT would share it); use
                  --rate-limit to shed load at the socket layer instead
+    router       the sharded tier as a first-class command: `serve` with
+                 mandatory sharding; same flags, defaults --shards 2
+                 --replicas 2
     loadgen      closed-loop load generator; reports throughput + p50/p99
                    --addr A        target a running `geoserp serve`
                                    (omit to self-host a sweep; see --matrix)
@@ -589,18 +597,16 @@ fn get_bool(args: &ParsedArgs, flag: &str, default: bool) -> Result<bool, CliErr
     }
 }
 
-/// Build the socket-server pieces from `serve` flags.
+/// Parse the socket-layer flags shared by `serve` and `router` into a
+/// seed, a [`ServeConfig`], and the bind address. The engine's own per-IP
+/// limit models Google throttling distinct crawler machines; behind one
+/// socket every client shares an IP, so [`ServeConfig`] raises it by
+/// default (`engine_rate_limit_max`) and shedding moves to the
+/// serve-layer limiter.
 fn serve_setup_from(
     args: &ParsedArgs,
-) -> Result<
-    (
-        geoserp_core::serve::ServedWorld,
-        geoserp_core::serve::ServeConfig,
-        String,
-    ),
-    CliError,
-> {
-    use geoserp_core::serve::{ServeConfig, ServedWorld};
+) -> Result<(u64, geoserp_core::serve::ServeConfig, String), CliError> {
+    use geoserp_core::serve::ServeConfig;
     let seed = args.get_u64("seed", 2015)?;
     let addr = args.get("addr").unwrap_or("127.0.0.1:8080").to_string();
     let backend: geoserp_core::serve::ServeBackend = args
@@ -621,14 +627,6 @@ fn serve_setup_from(
             "--workers, --queue-depth, --rate-limit, and --max-body must be positive".into(),
         ));
     }
-    // The engine's own per-IP limit models Google throttling distinct
-    // crawler machines; behind one socket every client shares an IP, so
-    // serving raises it and shedding moves to the serve-layer limiter.
-    let engine_config = EngineConfig {
-        rate_limit_max: usize::MAX / 2,
-        ..EngineConfig::paper_defaults()
-    };
-    let world = ServedWorld::build(seed, engine_config)?;
     let config = ServeConfig::new()
         .backend(backend)
         .workers(workers)
@@ -637,30 +635,117 @@ fn serve_setup_from(
         .rate_limit(rate_limit, 60_000)
         .day(day)
         .limits(geoserp_core::net::WireLimits::new().max_body_bytes(max_body));
-    Ok((world, config, addr))
+    Ok((seed, config, addr))
+}
+
+/// Parse `--shards/--replicas/--hedge-ms`. `shards == 0` means "no
+/// router": plain single-process serving.
+fn topology_from(args: &ParsedArgs, default_shards: u64) -> Result<(u32, u32, u64), CliError> {
+    let shards = args.get_u64("shards", default_shards)?;
+    let shards = u32::try_from(shards)
+        .map_err(|_| CliError::Invalid(format!("--shards {shards}: too large")))?;
+    let replicas = args.get_u64("replicas", 1)?;
+    let replicas = u32::try_from(replicas)
+        .map_err(|_| CliError::Invalid(format!("--replicas {replicas}: too large")))?;
+    if replicas == 0 {
+        return Err(CliError::Invalid("--replicas must be positive".into()));
+    }
+    let hedge_ms = args.get_u64("hedge-ms", 200)?;
+    if hedge_ms == 0 {
+        return Err(CliError::Invalid("--hedge-ms must be positive".into()));
+    }
+    Ok((shards, replicas, hedge_ms))
 }
 
 /// `geoserp serve` — blocks until killed (or returns after a self-probe
-/// with `--smoke`).
+/// with `--smoke`). With `--shards N` it starts the full sharded topology
+/// (N shards × `--replicas` replicas plus the scatter-gather router) and
+/// serves through the router; pages stay byte-identical either way.
 pub fn cmd_serve(args: &ParsedArgs) -> Result<String, CliError> {
-    use geoserp_core::serve::SocketServer;
-    let (world, config, addr) = serve_setup_from(args)?;
-    let server = SocketServer::start(&addr, &world, config)?;
-    let local = server.local_addr();
-    if args.has("smoke") {
-        let mut out = format!("serving search.example.com on {local}\n");
-        for path in ["/healthz", "/metrics"] {
-            let body = http_get(&local.to_string(), path)?;
-            out.push_str(&format!("GET {path}: {} bytes\n", body.len()));
+    let (shards, replicas, hedge_ms) = topology_from(args, 0)?;
+    serve_blocking(args, shards, replicas, hedge_ms)
+}
+
+/// `geoserp router` — the sharded topology as a first-class command:
+/// like `serve --shards`, but sharding is mandatory (default 2 × 2).
+pub fn cmd_router(args: &ParsedArgs) -> Result<String, CliError> {
+    let (shards, replicas, hedge_ms) = topology_from(args, 2)?;
+    if shards == 0 {
+        return Err(CliError::Invalid(
+            "router needs --shards ≥ 1 (use `serve` for single-process)".into(),
+        ));
+    }
+    let replicas = if args.get("replicas").is_none() {
+        2
+    } else {
+        replicas
+    };
+    serve_blocking(args, shards, replicas, hedge_ms)
+}
+
+fn serve_blocking(
+    args: &ParsedArgs,
+    shards: u32,
+    replicas: u32,
+    hedge_ms: u64,
+) -> Result<String, CliError> {
+    use geoserp_core::serve::{ClusterConfig, ServedWorld, ShardedCluster, SocketServer};
+
+    let (seed, config, addr) = serve_setup_from(args)?;
+    if shards == 0 {
+        let world = ServedWorld::build(seed, config.engine_config(EngineConfig::paper_defaults()))?;
+        let server = SocketServer::start(&addr, &world, config)?;
+        let local = server.local_addr();
+        if args.has("smoke") {
+            let mut out = format!("serving search.example.com on {local}\n");
+            smoke_probe(&mut out, &local.to_string())?;
+            server.shutdown();
+            out.push_str("smoke ok, server drained\n");
+            return Ok(out);
         }
-        server.shutdown();
-        out.push_str("smoke ok, server drained\n");
-        return Ok(out);
+        eprintln!("geoserp: serving search.example.com on {local} (ctrl-c to stop)");
+        // Keep `server` alive while parked.
+        loop {
+            std::thread::park();
+        }
+    } else {
+        let cluster = ShardedCluster::start(
+            &addr,
+            seed,
+            EngineConfig::paper_defaults(),
+            ClusterConfig::new(shards, replicas)
+                .hedge_ms(hedge_ms)
+                .serve(config),
+        )?;
+        let local = cluster.router_addr();
+        if args.has("smoke") {
+            let mut out = format!(
+                "routing search.example.com on {local} ({shards} shards x {replicas} replicas)\n"
+            );
+            smoke_probe(&mut out, &local.to_string())?;
+            cluster.shutdown();
+            out.push_str("smoke ok, cluster drained\n");
+            return Ok(out);
+        }
+        eprintln!(
+            "geoserp: routing search.example.com on {local} \
+             ({shards} shards x {replicas} replicas, ctrl-c to stop)"
+        );
+        // Keep the cluster alive while parked.
+        loop {
+            std::thread::park();
+        }
     }
-    eprintln!("geoserp: serving search.example.com on {local} (ctrl-c to stop)");
-    loop {
-        std::thread::park();
+}
+
+/// Probe `/healthz` and `/metrics` on a freshly started server, appending
+/// one line per probe to `out`.
+fn smoke_probe(out: &mut String, addr: &str) -> Result<(), CliError> {
+    for path in ["/healthz", "/metrics"] {
+        let body = http_get(addr, path)?;
+        out.push_str(&format!("GET {path}: {} bytes\n", body.len()));
     }
+    Ok(())
 }
 
 /// Minimal client for the smoke probe: one request, returns the body.
@@ -1145,6 +1230,57 @@ mod tests {
         let out = cmd_compare(&p).unwrap();
         assert!(out.contains("## Figure 2"));
         assert!(out.contains("overall:"));
+    }
+
+    /// Parse a `serve`/`router` command line with the full flag grammar
+    /// `main` uses.
+    fn serve_args(s: &str) -> ParsedArgs {
+        parse(
+            &argv(s),
+            &[
+                "addr",
+                "backend",
+                "workers",
+                "keep-alive",
+                "max-body",
+                "seed",
+                "day",
+                "queue-depth",
+                "rate-limit",
+                "shards",
+                "replicas",
+                "hedge-ms",
+            ],
+            &["smoke"],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn sharded_smoke_probes_the_router() {
+        let out = cmd_serve(&serve_args(
+            "serve --addr 127.0.0.1:0 --shards 2 --replicas 2 --smoke",
+        ))
+        .unwrap();
+        assert!(out.contains("2 shards x 2 replicas"), "{out}");
+        assert!(out.contains("GET /healthz"), "{out}");
+        assert!(out.contains("smoke ok, cluster drained"), "{out}");
+    }
+
+    #[test]
+    fn router_defaults_to_two_by_two() {
+        let out = cmd_router(&serve_args("router --addr 127.0.0.1:0 --smoke")).unwrap();
+        assert!(out.contains("2 shards x 2 replicas"), "{out}");
+    }
+
+    #[test]
+    fn router_rejects_shardless_topologies() {
+        let err =
+            cmd_router(&serve_args("router --addr 127.0.0.1:0 --shards 0 --smoke")).unwrap_err();
+        assert!(err.to_string().contains("--shards"), "{err}");
+        let err =
+            cmd_serve(&serve_args("serve --addr 127.0.0.1:0 --replicas 0 --smoke")).unwrap_err();
+        assert!(err.to_string().contains("--replicas"), "{err}");
     }
 
     #[test]

@@ -7,8 +7,8 @@ mod args;
 mod commands;
 
 use commands::{
-    cmd_analyze, cmd_compare, cmd_export, cmd_loadgen, cmd_probe, cmd_report, cmd_run, cmd_serve,
-    cmd_validate, CliError, HELP,
+    cmd_analyze, cmd_compare, cmd_export, cmd_loadgen, cmd_probe, cmd_report, cmd_router, cmd_run,
+    cmd_serve, cmd_validate, CliError, HELP,
 };
 
 fn dispatch(argv: &[String]) -> Result<String, CliError> {
@@ -62,7 +62,7 @@ fn dispatch(argv: &[String]) -> Result<String, CliError> {
             let p = args::parse(argv, &["seed", "scale", "out"], &[])?;
             cmd_export(&p)
         }
-        "serve" => {
+        "serve" | "router" => {
             let p = args::parse(
                 argv,
                 &[
@@ -75,10 +75,17 @@ fn dispatch(argv: &[String]) -> Result<String, CliError> {
                     "day",
                     "queue-depth",
                     "rate-limit",
+                    "shards",
+                    "replicas",
+                    "hedge-ms",
                 ],
                 &["smoke"],
             )?;
-            cmd_serve(&p)
+            if command == "router" {
+                cmd_router(&p)
+            } else {
+                cmd_serve(&p)
+            }
         }
         "loadgen" => {
             let p = args::parse(

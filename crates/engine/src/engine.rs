@@ -7,6 +7,7 @@ use crate::history::SessionHistory;
 use crate::index::InvertedIndex;
 use crate::intent::{classify, QueryIntent};
 use crate::noise::NoiseModel;
+use crate::retriever::{LocalRetriever, Retriever};
 use crate::verticals::{select_maps, select_news, PlaceIndex};
 use geoserp_corpus::{tokenize, GeoScope, Page, PageId, WebCorpus};
 use geoserp_geo::{Coord, Seed, UsGeography};
@@ -50,7 +51,7 @@ impl SearchContext {
 pub struct SearchEngine {
     corpus: Arc<WebCorpus>,
     config: EngineConfig,
-    index: InvertedIndex,
+    retriever: Box<dyn Retriever>,
     place_index: PlaceIndex,
     geocoder: ReverseGeocoder,
     geoip: GeoIpDb,
@@ -98,6 +99,7 @@ pub struct SearchEngineBuilder<'g> {
     seed: Seed,
     config: EngineConfig,
     obs: Option<Arc<ObsHub>>,
+    retriever: Option<Box<dyn Retriever>>,
 }
 
 impl<'g> SearchEngineBuilder<'g> {
@@ -113,6 +115,14 @@ impl<'g> SearchEngineBuilder<'g> {
         self
     }
 
+    /// Use a caller-supplied candidate source instead of building a local
+    /// whole-corpus [`InvertedIndex`] — this is how the sharded router
+    /// reuses the entire ranking pipeline over remote retrieval.
+    pub fn retriever(mut self, retriever: Box<dyn Retriever>) -> Self {
+        self.retriever = Some(retriever);
+        self
+    }
+
     /// Validate the configuration and build the engine.
     ///
     /// # Errors
@@ -125,10 +135,12 @@ impl<'g> SearchEngineBuilder<'g> {
             seed,
             config,
             obs,
+            retriever,
         } = self;
         config.validate()?;
         let obs = obs.unwrap_or_else(|| Arc::new(ObsHub::new()));
-        let index = InvertedIndex::build(&corpus);
+        let retriever =
+            retriever.unwrap_or_else(|| Box::new(LocalRetriever(InvertedIndex::build(&corpus))));
         let place_index = PlaceIndex::build(&corpus);
         let geocoder = ReverseGeocoder::new(geo);
         let noise = NoiseModel::new(seed.derive("engine"), &config);
@@ -136,7 +148,7 @@ impl<'g> SearchEngineBuilder<'g> {
         Ok(SearchEngine {
             corpus,
             config,
-            index,
+            retriever,
             place_index,
             geocoder,
             geoip: GeoIpDb::new(),
@@ -166,6 +178,7 @@ impl SearchEngine {
             seed,
             config: EngineConfig::paper_defaults(),
             obs: None,
+            retriever: None,
         }
     }
 
@@ -192,7 +205,7 @@ impl SearchEngine {
     /// "Did you mean": spell-correct a query against the index vocabulary
     /// (None when the query needs no correction or none is plausible).
     pub fn suggest(&self, query: &str) -> Option<String> {
-        self.index.suggest(query)
+        self.retriever.suggest(query)
     }
 
     /// Resolve the location this request is personalized for.
@@ -304,7 +317,7 @@ impl SearchEngine {
         // encyclopedia page — only the tail churns, as in real engines.
         self.metrics.index_lookups.inc();
         let mut candidates =
-            self.index
+            self.retriever
                 .retrieve(&ctx.query, cfg.organic_count * 3, cfg.partial_match_score);
         candidates.retain(|c| {
             self.corpus.page(c.page).authority >= 0.9

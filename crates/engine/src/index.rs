@@ -31,8 +31,21 @@ impl InvertedIndex {
     /// Build the index (token set per page; multiplicity is ignored, titles
     /// already weight head terms by construction).
     pub fn build(corpus: &WebCorpus) -> Self {
+        Self::build_range(corpus, 0..corpus.pages.len() as u32)
+    }
+
+    /// Build an index over only the pages whose id falls in `range` — one
+    /// shard's slice of the corpus. Every page's tokens are indexed whole
+    /// within its owning shard, so shard-local full/partial classification
+    /// and matched-token counts agree exactly with the global index.
+    pub fn build_range(corpus: &WebCorpus, range: std::ops::Range<u32>) -> Self {
         let mut postings: HashMap<String, Vec<PageId>> = HashMap::new();
+        let mut page_count = 0usize;
         for page in &corpus.pages {
+            if !range.contains(&page.id.0) {
+                continue;
+            }
+            page_count += 1;
             let mut seen = std::collections::HashSet::new();
             for token in &page.tokens {
                 if seen.insert(token.as_str()) {
@@ -46,7 +59,7 @@ impl InvertedIndex {
         InvertedIndex {
             postings,
             vocabulary,
-            page_count: corpus.pages.len(),
+            page_count,
         }
     }
 
@@ -132,6 +145,104 @@ impl InvertedIndex {
         partial.truncate(deficit);
         out.extend(partial);
         out
+    }
+
+    /// Shard-local retrieval: the integer-only data a shard ships to the
+    /// router. Returns the AND-set page ids (id-ascending, like
+    /// [`InvertedIndex::retrieve`]'s full matches) and the top
+    /// `max_partials` partial matches as `(page, matched tokens)` ordered
+    /// by (count desc, id asc) — the same order `retrieve` sorts partials
+    /// in, since the lexical score is monotone in the matched count.
+    ///
+    /// `max_partials` must be at least the global deficit ceiling
+    /// (`min_candidates × 4`): the global top-deficit partials that live in
+    /// this shard are then always inside the returned prefix.
+    pub fn shard_retrieve(
+        &self,
+        query: &str,
+        max_partials: usize,
+    ) -> (Vec<PageId>, Vec<(PageId, usize)>) {
+        let tokens = tokenize(query);
+        if tokens.is_empty() {
+            return (Vec::new(), Vec::new());
+        }
+
+        let mut lists: Vec<&Vec<PageId>> = Vec::with_capacity(tokens.len());
+        for t in &tokens {
+            match self.postings.get(t) {
+                Some(l) => lists.push(l),
+                None => {
+                    lists.clear();
+                    break;
+                }
+            }
+        }
+        let mut fulls: Vec<PageId> = Vec::new();
+        if !lists.is_empty() {
+            lists.sort_by_key(|l| l.len());
+            let mut acc: Vec<PageId> = lists[0].clone();
+            for l in &lists[1..] {
+                let set: std::collections::HashSet<PageId> = l.iter().copied().collect();
+                acc.retain(|id| set.contains(id));
+                if acc.is_empty() {
+                    break;
+                }
+            }
+            fulls = acc;
+        }
+        fulls.sort();
+
+        let mut matched: HashMap<PageId, usize> = HashMap::new();
+        for t in &tokens {
+            if let Some(l) = self.postings.get(t) {
+                for &id in l {
+                    *matched.entry(id).or_insert(0) += 1;
+                }
+            }
+        }
+        let full_set: std::collections::HashSet<PageId> = fulls.iter().copied().collect();
+        let mut partials: Vec<(PageId, usize)> = matched
+            .into_iter()
+            .filter(|(id, n)| *n < tokens.len() && !full_set.contains(id))
+            .collect();
+        partials.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        partials.truncate(max_partials);
+        (fulls, partials)
+    }
+
+    /// Shard-local spell-correction data: per query token its local df,
+    /// and — for tokens unknown to this shard — every vocabulary word
+    /// within edit distance 2 as `(word, distance, local df)`. The router
+    /// sums dfs across shards (each page indexes in exactly one shard, so
+    /// the sum is the global df) and applies the same best-candidate
+    /// comparator [`InvertedIndex::suggest`] uses.
+    #[allow(clippy::type_complexity)]
+    pub fn spell_data(&self, query: &str) -> (Vec<u64>, Vec<Vec<(String, usize, u64)>>) {
+        let tokens = tokenize(query);
+        let mut dfs = Vec::with_capacity(tokens.len());
+        let mut corrections = Vec::with_capacity(tokens.len());
+        for token in &tokens {
+            let df = self.df(token);
+            dfs.push(df as u64);
+            if df > 0 {
+                corrections.push(Vec::new());
+                continue;
+            }
+            let mut cands = Vec::new();
+            for cand in &self.vocabulary {
+                if cand.len() > token.len() + 2 {
+                    break;
+                }
+                if cand.len() + 2 < token.len() {
+                    continue;
+                }
+                if let Some(d) = char_distance_within(token, cand, 2) {
+                    cands.push((cand.clone(), d, self.df(cand) as u64));
+                }
+            }
+            corrections.push(cands);
+        }
+        (dfs, corrections)
     }
 }
 

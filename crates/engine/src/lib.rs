@@ -45,7 +45,9 @@ pub mod history;
 pub mod index;
 pub mod intent;
 pub mod noise;
+pub mod retriever;
 pub mod service;
+pub mod shard;
 pub mod verticals;
 
 pub use config::{ConfigError, EngineConfig};
@@ -53,4 +55,5 @@ pub use engine::{SearchContext, SearchEngine, SearchEngineBuilder};
 pub use geoip::{GeoIpDb, ReverseGeocoder};
 pub use intent::{classify, QueryIntent};
 pub use noise::NoiseModel;
+pub use retriever::{LocalRetriever, Retriever};
 pub use service::{SearchService, GEOLOCATION_HEADER, SEARCH_HOST};

@@ -1,0 +1,36 @@
+//! The retrieval seam: everything above candidate retrieval (intent,
+//! verticals, noise, history, scoring, SERP composition) is ranking and
+//! runs in one process; everything below is retrieval and may be sharded
+//! across processes. [`SearchEngine`](crate::SearchEngine) talks to a
+//! [`Retriever`] and never to the index directly, so a router serving
+//! merged shard responses runs the *same* ranking code as the
+//! single-process engine — byte-identical pages are structural, not tested
+//! into existence.
+
+use crate::index::{Candidate, InvertedIndex};
+
+/// Source of ranked-ready candidates and spell corrections for the engine.
+pub trait Retriever: Send + Sync {
+    /// Retrieve candidates for a query; the contract is exactly
+    /// [`InvertedIndex::retrieve`]'s (full matches at `lexical = 1.0`
+    /// id-ascending, then partials by score desc / id asc up to the
+    /// deficit ceiling).
+    fn retrieve(&self, query: &str, min_candidates: usize, partial_score: f64) -> Vec<Candidate>;
+
+    /// "Did you mean" — the contract is [`InvertedIndex::suggest`]'s.
+    fn suggest(&self, query: &str) -> Option<String>;
+}
+
+/// The default retriever: an in-process [`InvertedIndex`] over the whole
+/// corpus.
+pub struct LocalRetriever(pub InvertedIndex);
+
+impl Retriever for LocalRetriever {
+    fn retrieve(&self, query: &str, min_candidates: usize, partial_score: f64) -> Vec<Candidate> {
+        self.0.retrieve(query, min_candidates, partial_score)
+    }
+
+    fn suggest(&self, query: &str) -> Option<String> {
+        self.0.suggest(query)
+    }
+}

@@ -1,0 +1,259 @@
+//! Scatter-gather merge for sharded retrieval.
+//!
+//! Shards ship integer-only responses ([`geoserp_net::shardmsg`]); the
+//! router reassembles them here with the *same expressions and comparators*
+//! [`InvertedIndex`](crate::index::InvertedIndex) uses, so the merged
+//! candidate list is equal — element for element — to what a single
+//! whole-corpus index would have returned. The proofs rest on one
+//! invariant: every page's tokens are indexed whole within its owning
+//! shard, so shard-local full/partial classification and matched counts
+//! are the global ones.
+//!
+//! The merge is deliberately robust to delivery artifacts: candidates are
+//! deduplicated by page id (a hedged request delivering one shard's
+//! response twice changes nothing) and sorted after concatenation (shard
+//! response order is immaterial) — both properties are proptested.
+
+use crate::index::Candidate;
+use geoserp_corpus::{tokenize, PageId};
+use geoserp_net::shardmsg::{ShardRetrieveResponse, ShardSuggestResponse};
+use std::collections::{HashMap, HashSet};
+
+/// The per-shard partials bound the router must request so that every
+/// shard's slice of the global top-deficit partials is inside its
+/// response: the global deficit is at most `min_candidates × 4`.
+pub fn max_partials(min_candidates: usize) -> usize {
+    min_candidates * 4
+}
+
+/// Merge shard retrieval responses into the exact candidate list
+/// [`InvertedIndex::retrieve`](crate::index::InvertedIndex::retrieve)
+/// produces over the whole corpus. `parts` must hold one response per
+/// shard (order immaterial; duplicates tolerated).
+pub fn merge_retrieve(
+    query: &str,
+    min_candidates: usize,
+    partial_score: f64,
+    parts: &[ShardRetrieveResponse],
+) -> Vec<Candidate> {
+    let tokens = tokenize(query);
+    if tokens.is_empty() {
+        return Vec::new();
+    }
+
+    // Full matches: the union of shard AND-sets is the global AND-set
+    // (a page carries all tokens iff its owning shard says so). Sorting
+    // by id after concatenation reproduces the global posting order and
+    // makes the merge commutative; dedup makes it idempotent.
+    let mut fulls: Vec<u32> = parts.iter().flat_map(|p| p.fulls.iter().copied()).collect();
+    fulls.sort_unstable();
+    fulls.dedup();
+    let mut out: Vec<Candidate> = fulls
+        .iter()
+        .map(|&id| Candidate {
+            page: PageId(id),
+            lexical: 1.0,
+        })
+        .collect();
+
+    // The single-process activation rule, verbatim (&& binds tighter).
+    if out.len() >= min_candidates || tokens.len() < 2 && !out.is_empty() {
+        return out;
+    }
+
+    let full_set: HashSet<u32> = fulls.iter().copied().collect();
+    let total = tokens.len() as f64;
+    let mut seen: HashMap<u32, u32> = HashMap::new();
+    for p in parts {
+        for &(id, n) in &p.partials {
+            if (n as usize) < tokens.len() && !full_set.contains(&id) {
+                seen.entry(id).or_insert(n);
+            }
+        }
+    }
+    let mut partial: Vec<Candidate> = seen
+        .into_iter()
+        .map(|(id, n)| Candidate {
+            page: PageId(id),
+            // The exact single-process expression — no score crossed the
+            // wire, so there is nothing to round-trip.
+            lexical: partial_score * f64::from(n) / total,
+        })
+        .collect();
+    partial.sort_by(|a, b| b.lexical.total_cmp(&a.lexical).then(a.page.cmp(&b.page)));
+    let deficit = min_candidates.saturating_sub(out.len()) * 4;
+    partial.truncate(deficit);
+    out.extend(partial);
+    out
+}
+
+/// Merge shard suggest responses into the exact correction
+/// [`InvertedIndex::suggest`](crate::index::InvertedIndex::suggest)
+/// produces. `parts` must hold exactly one response per shard (dfs are
+/// summed, so duplicates would inflate frequencies — the router keeps one
+/// winner per shard).
+pub fn merge_suggest(query: &str, parts: &[ShardSuggestResponse]) -> Option<String> {
+    let tokens = tokenize(query);
+    if tokens.is_empty() {
+        return None;
+    }
+    let mut corrected = Vec::with_capacity(tokens.len());
+    let mut changed = false;
+    for (i, token) in tokens.iter().enumerate() {
+        let global_df: u64 = parts
+            .iter()
+            .map(|p| p.token_dfs.get(i).copied().unwrap_or(0))
+            .sum();
+        if global_df > 0 {
+            corrected.push(token.clone());
+            continue;
+        }
+        // Candidate union with summed (= global) dfs. Distance is a string
+        // property, identical across shards.
+        let mut merged: HashMap<&str, (u32, u64)> = HashMap::new();
+        for p in parts {
+            if let Some(cands) = p.corrections.get(i) {
+                for c in cands {
+                    let entry = merged.entry(c.token.as_str()).or_insert((c.distance, 0));
+                    entry.1 += c.df;
+                }
+            }
+        }
+        // The single-process comparator: minimal distance, then maximal
+        // df, then lexicographic. A total order, so the HashMap's
+        // iteration order cannot influence the winner.
+        let mut best: Option<(u32, u64, &str)> = None;
+        for (cand, &(d, df)) in &merged {
+            let better = match &best {
+                None => true,
+                Some((bd, bdf, bc)) => {
+                    d < *bd || (d == *bd && (df > *bdf || (df == *bdf && cand < bc)))
+                }
+            };
+            if better {
+                best = Some((d, df, cand));
+            }
+        }
+        let (_, _, replacement) = best?;
+        corrected.push(replacement.to_string());
+        changed = true;
+    }
+    changed.then(|| corrected.join(" "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::InvertedIndex;
+    use geoserp_corpus::WebCorpus;
+    use geoserp_geo::{Seed, UsGeography};
+
+    fn corpus() -> WebCorpus {
+        let geo = UsGeography::generate(Seed::new(2015));
+        WebCorpus::generate(&geo, Seed::new(2015))
+    }
+
+    /// Contiguous balanced page-id ranges, mirroring the serve tier's plan.
+    fn ranges(total: u32, shards: u32) -> Vec<std::ops::Range<u32>> {
+        let base = total / shards;
+        let rem = total % shards;
+        let mut out = Vec::new();
+        let mut lo = 0;
+        for i in 0..shards {
+            let len = base + u32::from(i < rem);
+            out.push(lo..lo + len);
+            lo += len;
+        }
+        out
+    }
+
+    fn shard_parts(
+        c: &WebCorpus,
+        shards: u32,
+        query: &str,
+        min_candidates: usize,
+    ) -> (Vec<ShardRetrieveResponse>, Vec<ShardSuggestResponse>) {
+        let mut retrieves = Vec::new();
+        let mut suggests = Vec::new();
+        for range in ranges(c.pages.len() as u32, shards) {
+            let idx = InvertedIndex::build_range(c, range);
+            let (fulls, partials) = idx.shard_retrieve(query, max_partials(min_candidates));
+            retrieves.push(ShardRetrieveResponse {
+                fulls: fulls.into_iter().map(|p| p.0).collect(),
+                partials: partials.into_iter().map(|(p, n)| (p.0, n as u32)).collect(),
+            });
+            let (token_dfs, corrections) = idx.spell_data(query);
+            suggests.push(ShardSuggestResponse {
+                token_dfs,
+                corrections: corrections
+                    .into_iter()
+                    .map(|cands| {
+                        cands
+                            .into_iter()
+                            .map(|(token, d, df)| geoserp_net::shardmsg::SpellCandidate {
+                                token,
+                                distance: d as u32,
+                                df,
+                            })
+                            .collect()
+                    })
+                    .collect(),
+            });
+        }
+        (retrieves, suggests)
+    }
+
+    #[test]
+    fn merged_retrieval_equals_whole_corpus_retrieval() {
+        let c = corpus();
+        let whole = InvertedIndex::build(&c);
+        let queries = [
+            "Coffee",
+            "Elementary School",
+            "Starbucks",
+            "Gay Marriage",
+            "Joe Biden",
+            "Hospital near me",
+            "qqqxyzzy",
+            "",
+        ];
+        for shards in [1u32, 2, 3, 4, 7] {
+            for q in queries {
+                let reference = whole.retrieve(q, 36, 0.35);
+                let (parts, _) = shard_parts(&c, shards, q, 36);
+                let merged = merge_retrieve(q, 36, 0.35, &parts);
+                assert_eq!(merged, reference, "query {q:?} shards {shards}");
+            }
+        }
+    }
+
+    #[test]
+    fn merged_suggest_equals_whole_corpus_suggest() {
+        let c = corpus();
+        let whole = InvertedIndex::build(&c);
+        for shards in [1u32, 2, 4] {
+            for q in [
+                "starbuks",
+                "hospitel near me",
+                "school",
+                "qqqqqqqqqqqqqq",
+                "",
+            ] {
+                let reference = whole.suggest(q);
+                let (_, parts) = shard_parts(&c, shards, q, 36);
+                assert_eq!(merge_suggest(q, &parts), reference, "query {q:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn merge_is_commutative_and_idempotent() {
+        let c = corpus();
+        let (mut parts, _) = shard_parts(&c, 4, "Joe Biden", 36);
+        let reference = merge_retrieve("Joe Biden", 36, 0.35, &parts);
+        parts.reverse();
+        assert_eq!(merge_retrieve("Joe Biden", 36, 0.35, &parts), reference);
+        let doubled: Vec<_> = parts.iter().chain(parts.iter()).cloned().collect();
+        assert_eq!(merge_retrieve("Joe Biden", 36, 0.35, &doubled), reference);
+    }
+}

@@ -40,6 +40,7 @@ pub mod http;
 pub mod ratelimit;
 pub mod server;
 pub mod shaper;
+pub mod shardmsg;
 pub mod sim;
 pub mod trace;
 pub mod wire;
@@ -51,6 +52,10 @@ pub use http::{Method, Request, Response, Status};
 pub use ratelimit::{RateLimitKey, RateLimiter};
 pub use server::{RequestCtx, Server};
 pub use shaper::{ShaperConfig, TokenBucket};
+pub use shardmsg::{
+    ShardRetrieveRequest, ShardRetrieveResponse, ShardSuggestRequest, ShardSuggestResponse,
+    SpellCandidate, SHARD_RETRIEVE_PATH, SHARD_SUGGEST_PATH,
+};
 pub use sim::{NetError, SimNet, SimNetBuilder};
 pub use trace::{EventLog, NetEvent, NetEventKind};
 pub use wire::{

@@ -1,0 +1,103 @@
+//! Wire messages for the sharded search tier.
+//!
+//! A shard serves a page-id slice of the corpus and answers retrieval
+//! requests from the router with *integer-only* payloads: page ids, matched
+//! token counts, and document frequencies. No floating-point score ever
+//! crosses the wire — the router recomputes lexical scores with the exact
+//! expression the single-process engine uses, which is what makes the
+//! scatter-gather merge bit-identical by construction.
+
+use serde::{Deserialize, Serialize};
+
+/// Router → shard: retrieval for one query.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardRetrieveRequest {
+    /// The raw query (each side tokenizes with the shared tokenizer).
+    pub query: String,
+    /// Upper bound on partial matches the shard returns, ordered by
+    /// (matched-count desc, page id asc). The router passes the global
+    /// deficit ceiling so every shard's slice of the global top-k is
+    /// guaranteed to be inside its response.
+    pub max_partials: u32,
+}
+
+/// Shard → router: the shard-local retrieval result.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardRetrieveResponse {
+    /// Pages in this shard containing *every* query token, id-ascending.
+    pub fulls: Vec<u32>,
+    /// Partial matches `(page id, matched token count)`, the shard-local
+    /// top `max_partials` by (count desc, id asc).
+    pub partials: Vec<(u32, u32)>,
+}
+
+/// Router → shard: spell-correction data for one query.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardSuggestRequest {
+    /// The raw query.
+    pub query: String,
+}
+
+/// One shard-local spell-correction candidate for an unknown token.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpellCandidate {
+    /// The vocabulary token.
+    pub token: String,
+    /// Character edit distance from the query token (≤ 2).
+    pub distance: u32,
+    /// Shard-local document frequency of the candidate. The router sums
+    /// these across shards; because every page's tokens are indexed in
+    /// exactly one shard, the sum equals the global document frequency.
+    pub df: u64,
+}
+
+/// Shard → router: per-token dfs plus correction candidates.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardSuggestResponse {
+    /// Shard-local document frequency of each query token, in token order.
+    pub token_dfs: Vec<u64>,
+    /// For each query token, the shard-local candidates within edit
+    /// distance 2 (empty when the token is known to this shard — the
+    /// router only consults candidates for globally-unknown tokens).
+    pub corrections: Vec<Vec<SpellCandidate>>,
+}
+
+/// HTTP path a shard answers retrieval requests on (POST, JSON body).
+pub const SHARD_RETRIEVE_PATH: &str = "/shard/retrieve";
+
+/// HTTP path a shard answers suggest requests on (POST, JSON body).
+pub const SHARD_SUGGEST_PATH: &str = "/shard/suggest";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retrieve_roundtrips_through_json() {
+        let resp = ShardRetrieveResponse {
+            fulls: vec![1, 5, 9],
+            partials: vec![(2, 3), (7, 1)],
+        };
+        let json = serde_json::to_string(&resp).unwrap();
+        let back: ShardRetrieveResponse = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn suggest_roundtrips_through_json() {
+        let resp = ShardSuggestResponse {
+            token_dfs: vec![0, 12],
+            corrections: vec![
+                vec![SpellCandidate {
+                    token: "coffee".into(),
+                    distance: 1,
+                    df: 40,
+                }],
+                vec![],
+            ],
+        };
+        let json = serde_json::to_string(&resp).unwrap();
+        let back: ShardSuggestResponse = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, resp);
+    }
+}

@@ -20,6 +20,18 @@
 //! simulated path produces. The end-to-end loopback test asserts exactly
 //! that.
 //!
+//! # Sharded serving
+//!
+//! The same socket cores also power a multi-process topology
+//! ([`ShardedCluster`]): the corpus splits into contiguous index shards
+//! ([`topology::ShardPlan`]), each served by M replica processes
+//! ([`shard::ShardService`]), with a router front-end whose engine
+//! retrieves through a scatter-gather [`router::RemoteRetriever`]
+//! (consistent-hash replica placement, hedged requests on slow replicas,
+//! ring-order retries on dead ones). Routed pages stay byte-identical to
+//! the single-process server's — the differential battery in
+//! `tests/sharded_equivalence.rs` proves it cell by cell.
+//!
 //! [`SearchService`]: geoserp_engine::SearchService
 //!
 //! ```no_run
@@ -34,8 +46,14 @@
 pub mod bufpool;
 mod epoll;
 pub mod loadgen;
+pub mod router;
 pub mod server;
+pub mod shard;
 pub mod timer;
+pub mod topology;
 
 pub use loadgen::{LoadgenConfig, LoadgenReport, MatrixEntry, MatrixReport};
+pub use router::{ClusterConfig, DelayServer, RemoteRetriever, ShardedCluster};
 pub use server::{ServeBackend, ServeConfig, ServedWorld, SocketServer, DAY_MS};
+pub use shard::ShardService;
+pub use topology::{HashRing, ShardPlan};

@@ -7,6 +7,7 @@
 //! [`run_matrix`] sweeps worker counts × keep-alive against in-process
 //! servers on ephemeral ports and emits the `BENCH_serve.json` payload.
 
+use crate::router::{ClusterConfig, ShardedCluster};
 use crate::server::{ServeConfig, ServedWorld, SocketServer};
 use geoserp_engine::{EngineConfig, GEOLOCATION_HEADER, SEARCH_HOST};
 use geoserp_net::{encode_request, parse_response, Request, Status, WireLimits};
@@ -135,6 +136,11 @@ pub struct MatrixEntry {
     pub concurrency: usize,
     /// Client think time between requests (connection held open).
     pub think_ms: u64,
+    /// Index shards behind a router, 0 when the engine is served directly
+    /// (no router in the path).
+    pub shards: usize,
+    /// Replicas per shard, 0 when served directly.
+    pub replicas: usize,
     /// The measured run.
     pub report: LoadgenReport,
 }
@@ -162,17 +168,23 @@ impl MatrixReport {
     pub fn to_table(&self) -> String {
         let mut out = format!(
             "serve loadgen: {} requests x {} client threads per firehose cell (seed {})\n\
-             backend   workers  keep-alive  clients  think_ms  throughput_rps  p50_us  p99_us  errors\n",
+             backend   workers  keep-alive  clients  think_ms  shardsxreps  throughput_rps  p50_us  p99_us  errors\n",
             self.requests, self.concurrency, self.seed
         );
         for e in &self.entries {
+            let topology = if e.shards == 0 {
+                "direct".to_string()
+            } else {
+                format!("{}x{}", e.shards, e.replicas)
+            };
             out.push_str(&format!(
-                "{:<8}  {:>7}  {:<10}  {:>7}  {:>8}  {:>14.0}  {:>6}  {:>6}  {:>6}\n",
+                "{:<8}  {:>7}  {:<10}  {:>7}  {:>8}  {:>11}  {:>14.0}  {:>6}  {:>6}  {:>6}\n",
                 e.backend,
                 e.workers,
                 e.keep_alive,
                 e.concurrency,
                 e.think_ms,
+                topology,
                 e.report.throughput_rps,
                 e.report.p50_us,
                 e.report.p99_us,
@@ -362,11 +374,10 @@ pub fn run_matrix(
     requests: usize,
     concurrency: usize,
 ) -> Result<MatrixReport, String> {
-    let config = EngineConfig {
-        rate_limit_max: usize::MAX / 2,
-        ..EngineConfig::with_result_cache(3_600_000)
-    };
-    let world = ServedWorld::build(seed, config).map_err(|e| e.to_string())?;
+    // The engine per-IP limit bump lives on ServeConfig so every serving
+    // entry point shares it; the result cache is the bench-only addition.
+    let config = ServeConfig::new().engine_config(EngineConfig::with_result_cache(3_600_000));
+    let world = ServedWorld::build(seed, config.clone()).map_err(|e| e.to_string())?;
     let mut entries = Vec::new();
     for backend in crate::ServeBackend::ALL {
         for &workers in worker_counts {
@@ -393,6 +404,23 @@ pub fn run_matrix(
                 .think_ms(SLOW_CLIENT_THINK_MS);
             entries.push(run_cell(&world, backend, workers, &cfg)?);
         }
+    }
+    // Router cells: the same offered load through the sharded tier. The
+    // 1x1 cell against the direct epoll cell above is the router's
+    // scatter-gather overhead (two TCP hops per request) in isolation;
+    // wider topologies show fan-out cost and replica headroom.
+    for (shards, replicas) in [(1u32, 1u32), (2, 1), (2, 2)] {
+        let cfg = LoadgenConfig::new()
+            .requests(requests)
+            .concurrency(concurrency)
+            .keep_alive(true);
+        entries.push(run_router_cell(
+            seed,
+            config.clone(),
+            shards,
+            replicas,
+            &cfg,
+        )?);
     }
     Ok(MatrixReport {
         seed,
@@ -431,6 +459,41 @@ fn run_cell(
         keep_alive: cfg.keep_alive,
         concurrency: cfg.concurrency,
         think_ms: cfg.think_ms,
+        shards: 0,
+        replicas: 0,
+        report,
+    })
+}
+
+/// One cell measured through the sharded tier: a fresh `shards × replicas`
+/// cluster on loopback, loadgen pointed at its router.
+fn run_router_cell(
+    seed: u64,
+    engine: EngineConfig,
+    shards: u32,
+    replicas: u32,
+    cfg: &LoadgenConfig,
+) -> Result<MatrixEntry, String> {
+    let serve = ServeConfig::new().keep_alive(cfg.keep_alive);
+    let workers = serve.workers;
+    let cluster = ShardedCluster::start(
+        "127.0.0.1:0",
+        seed,
+        engine,
+        ClusterConfig::new(shards, replicas).serve(serve),
+    )
+    .map_err(|e| format!("cluster start failed: {e}"))?;
+    let report =
+        run(&cluster.router_addr().to_string(), cfg).map_err(|e| format!("loadgen failed: {e}"))?;
+    cluster.shutdown();
+    Ok(MatrixEntry {
+        backend: "router".to_string(),
+        workers,
+        keep_alive: cfg.keep_alive,
+        concurrency: cfg.concurrency,
+        think_ms: cfg.think_ms,
+        shards: shards as usize,
+        replicas: replicas as usize,
         report,
     })
 }

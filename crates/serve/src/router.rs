@@ -1,0 +1,634 @@
+//! The router: a full search front-end whose *retrieval tier* is remote.
+//!
+//! [`RemoteRetriever`] implements [`geoserp_engine::Retriever`] by
+//! scattering each retrieval (and each spell-suggest) to every shard over
+//! TCP, then merging the integer-only responses with
+//! [`geoserp_engine::shard`]'s exact-merge functions. The router owns the
+//! whole *ranking* tier — intent, verticals, noise, history, SERP
+//! composition — and runs it on the merged candidates with the very same
+//! engine code the single-process server uses. Byte-identity of routed
+//! pages is therefore structural: the only thing that has to be proven
+//! equal is retrieval, and the engine's merge tests prove it.
+//!
+//! # Replica placement and failure handling
+//!
+//! Each shard has `M` replicas on a consistent-hash ring
+//! ([`HashRing`]); requests walk the ring's successor order:
+//!
+//! * the **primary** (`order[0]`) is dialed first;
+//! * if it errors (dead replica: connection refused), the router counts a
+//!   `router.retries` and falls through the ring order sequentially;
+//! * if it is merely *slow* — no answer within
+//!   [`ClusterConfig::hedge_ms`] — the router counts `router.hedge_fired`
+//!   and races `order[1]` against it, taking whichever answers first;
+//! * only when every replica of a shard has failed does the router give
+//!   up on the shard: `router.shard_errors` counts it and the scatter
+//!   contributes an empty part (degraded results, never a crash).
+//!
+//! Because every `/search` makes exactly two scatters (retrieve, then the
+//! did-you-mean suggest), and ring placement is a pure function of the
+//! per-shard request counter, fault tests can replay the ring and predict
+//! `router.retries` / `router.hedge_fired` *exactly*.
+
+use crate::server::{ServeConfig, SocketServer, DAY_MS};
+use crate::shard::{retrieve_request, suggest_request, ShardService};
+use crate::topology::{HashRing, ShardPlan, DEFAULT_VNODES};
+use geoserp_engine::index::Candidate;
+use geoserp_engine::shard::{max_partials, merge_retrieve, merge_suggest};
+use geoserp_engine::{ConfigError, EngineConfig, Retriever, SearchEngine, SearchService};
+use geoserp_geo::{Seed, UsGeography};
+use geoserp_net::shardmsg::{
+    ShardRetrieveRequest, ShardRetrieveResponse, ShardSuggestRequest, ShardSuggestResponse,
+};
+use geoserp_net::{
+    encode_request, ip, parse_response, Request, RequestCtx, Response, Server, Status, WireLimits,
+};
+use geoserp_obs::{Counter, Histogram, ObsHub};
+use std::io::{Read, Write};
+use std::net::{Ipv4Addr, SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+/// Router-side counters and histograms (registered on the router's hub, so
+/// the router's `/metrics` endpoint exports them).
+struct RouterMetrics {
+    /// Shards scattered to, observed once per scatter.
+    fanout: Histogram,
+    /// Hedges launched because a primary exceeded the hedge threshold.
+    hedge_fired: Counter,
+    /// Errored attempts that were followed by a fallback attempt.
+    retries: Counter,
+    /// Scatters in which a shard produced no usable response at all.
+    shard_errors: Counter,
+}
+
+impl RouterMetrics {
+    fn resolve(hub: &ObsHub) -> RouterMetrics {
+        let m = hub.metrics();
+        RouterMetrics {
+            fanout: m.histogram("router.fanout"),
+            hedge_fired: m.counter("router.hedge_fired"),
+            retries: m.counter("router.retries"),
+            shard_errors: m.counter("router.shard_errors"),
+        }
+    }
+}
+
+/// One shard's replica set as the router sees it.
+struct ShardClient {
+    /// Replica socket addresses, indexed by replica id.
+    addrs: Vec<SocketAddr>,
+    /// Consistent-hash ring over `0..addrs.len()` replica ids.
+    ring: HashRing,
+    /// Per-shard request counter; the ring key for the next request.
+    counter: AtomicU64,
+    /// Wall latency of this shard's slice of each scatter, µs. The
+    /// `_wall_` marker keeps it out of deterministic snapshots.
+    latency: Histogram,
+}
+
+/// A [`Retriever`] that scatters to shard replicas over TCP and merges
+/// exactly. Plug into [`geoserp_engine::SearchEngineBuilder::retriever`].
+pub struct RemoteRetriever {
+    shards: Vec<ShardClient>,
+    hedge: Duration,
+    io_timeout: Duration,
+    limits: WireLimits,
+    metrics: RouterMetrics,
+}
+
+impl RemoteRetriever {
+    /// Build a retriever over `shard_addrs[shard][replica]` sockets.
+    /// `hedge_ms` is the slow-primary threshold; `io_timeout_ms` bounds
+    /// each attempt's socket reads and writes.
+    pub fn new(
+        shard_addrs: Vec<Vec<SocketAddr>>,
+        hedge_ms: u64,
+        io_timeout_ms: u64,
+        hub: &ObsHub,
+    ) -> RemoteRetriever {
+        let shards = shard_addrs
+            .into_iter()
+            .enumerate()
+            .map(|(i, addrs)| ShardClient {
+                ring: HashRing::new(addrs.len() as u32, DEFAULT_VNODES),
+                latency: hub
+                    .metrics()
+                    .histogram(&format!("router.shard{i}.latency_wall_us")),
+                addrs,
+                counter: AtomicU64::new(0),
+            })
+            .collect();
+        RemoteRetriever {
+            shards,
+            hedge: Duration::from_millis(hedge_ms.max(1)),
+            io_timeout: Duration::from_millis(io_timeout_ms.max(1)),
+            // Shard responses can carry thousands of posting ids; give
+            // them more body headroom than a public-facing parser would.
+            limits: WireLimits::new().max_body_bytes(8 * 1024 * 1024),
+            metrics: RouterMetrics::resolve(hub),
+        }
+    }
+
+    /// One shard call with hedging and ring-order retry. `None` means every
+    /// replica failed (already counted in `router.shard_errors`).
+    fn call(&self, client: &ShardClient, wire: &[u8]) -> Option<Response> {
+        let key = client.counter.fetch_add(1, Ordering::Relaxed);
+        let order: Vec<SocketAddr> = client
+            .ring
+            .order(key)
+            .into_iter()
+            .map(|r| client.addrs[r as usize])
+            .collect();
+        let (tx, rx) = mpsc::channel::<std::io::Result<Response>>();
+        let mut next = 0usize;
+        let mut outstanding = 0usize;
+        let launch = |next: &mut usize, outstanding: &mut usize| -> bool {
+            if *next >= order.len() {
+                return false;
+            }
+            let addr = order[*next];
+            *next += 1;
+            *outstanding += 1;
+            let tx = tx.clone();
+            let wire = wire.to_vec();
+            let timeout = self.io_timeout;
+            let limits = self.limits;
+            // Detached on purpose: a hedged-over slow primary may still be
+            // mid-read when the winner returns; its late send just fails.
+            std::thread::spawn(move || {
+                let _ = tx.send(attempt(addr, &wire, timeout, &limits));
+            });
+            true
+        };
+
+        launch(&mut next, &mut outstanding);
+        // Hedge window: a primary that neither answers nor errors within
+        // the threshold gets a second replica raced against it.
+        let mut pending = match rx.recv_timeout(self.hedge) {
+            Ok(r) => Some(r),
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                if launch(&mut next, &mut outstanding) {
+                    self.metrics.hedge_fired.inc();
+                }
+                None
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                unreachable!("router holds a live sender")
+            }
+        };
+        loop {
+            let result = match pending.take() {
+                Some(r) => r,
+                None => rx.recv().expect("router holds a live sender"),
+            };
+            match result {
+                Ok(resp) => return Some(resp),
+                Err(_) => {
+                    outstanding -= 1;
+                    if outstanding > 0 {
+                        // A hedge is still racing; let it decide.
+                        continue;
+                    }
+                    if launch(&mut next, &mut outstanding) {
+                        self.metrics.retries.inc();
+                    } else {
+                        self.metrics.shard_errors.inc();
+                        return None;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Scatter `req` to every shard in parallel; responses in shard order.
+    /// A shard that fails entirely (or answers garbage) contributes
+    /// `T::default()` — an empty part the merge treats as "no matches
+    /// here".
+    fn scatter<T: serde::Deserialize + Default>(&self, req: &Request) -> Vec<T> {
+        let wire = encode_request(req).expect("shard requests encode");
+        self.metrics.fanout.observe(self.shards.len() as u64);
+        let mut out = Vec::with_capacity(self.shards.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter()
+                .map(|client| {
+                    let wire = &wire;
+                    scope.spawn(move || {
+                        let started = Instant::now();
+                        let resp = self.call(client, wire);
+                        client.latency.observe(started.elapsed().as_micros() as u64);
+                        resp
+                    })
+                })
+                .collect();
+            for h in handles {
+                match h.join().expect("router scatter thread panicked") {
+                    None => out.push(T::default()), // counted in call()
+                    Some(resp) => {
+                        let parsed = (resp.status == Status::Ok)
+                            .then(|| crate::shard::parse_body::<T>(&resp.body).ok())
+                            .flatten();
+                        match parsed {
+                            Some(v) => out.push(v),
+                            None => {
+                                self.metrics.shard_errors.inc();
+                                out.push(T::default());
+                            }
+                        }
+                    }
+                }
+            }
+        });
+        out
+    }
+}
+
+impl Retriever for RemoteRetriever {
+    fn retrieve(&self, query: &str, min_candidates: usize, partial_score: f64) -> Vec<Candidate> {
+        let req = retrieve_request(&ShardRetrieveRequest {
+            query: query.to_string(),
+            max_partials: max_partials(min_candidates) as u32,
+        });
+        let parts: Vec<ShardRetrieveResponse> = self.scatter(&req);
+        merge_retrieve(query, min_candidates, partial_score, &parts)
+    }
+
+    fn suggest(&self, query: &str) -> Option<String> {
+        let req = suggest_request(&ShardSuggestRequest {
+            query: query.to_string(),
+        });
+        let parts: Vec<ShardSuggestResponse> = self.scatter(&req);
+        merge_suggest(query, &parts)
+    }
+}
+
+/// One TCP request/response exchange on a fresh connection.
+fn attempt(
+    addr: SocketAddr,
+    wire: &[u8],
+    timeout: Duration,
+    limits: &WireLimits,
+) -> std::io::Result<Response> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    stream.write_all(wire)?;
+    stream.flush()?;
+    let mut buf: Vec<u8> = Vec::with_capacity(4096);
+    let mut chunk = [0u8; 4096];
+    loop {
+        match parse_response(&buf, limits) {
+            Ok(Some((resp, _))) => return Ok(resp),
+            Ok(None) => {}
+            Err(e) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    e.to_string(),
+                ))
+            }
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed mid-response",
+            ));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    }
+}
+
+/// A [`Server`] wrapper that sleeps before delegating — the fault injector
+/// for slow-replica (hedge) tests.
+pub struct DelayServer {
+    inner: Arc<dyn Server>,
+    delay: Duration,
+}
+
+impl DelayServer {
+    /// Wrap `inner`, delaying every request by `delay_ms`.
+    pub fn new(inner: Arc<dyn Server>, delay_ms: u64) -> DelayServer {
+        DelayServer {
+            inner,
+            delay: Duration::from_millis(delay_ms),
+        }
+    }
+}
+
+impl Server for DelayServer {
+    fn handle(&self, ctx: &RequestCtx, req: &Request) -> Response {
+        std::thread::sleep(self.delay);
+        self.inner.handle(ctx, req)
+    }
+}
+
+/// Topology and timing knobs for [`ShardedCluster::start`].
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Index shards (clamped to ≥ 1).
+    pub shards: u32,
+    /// Replicas per shard (clamped to ≥ 1).
+    pub replicas: u32,
+    /// Slow-primary threshold before the router hedges, milliseconds.
+    pub hedge_ms: u64,
+    /// Socket-layer configuration, shared by the router and (with a
+    /// permissive per-IP limit — all its traffic is the router's one IP)
+    /// the shard servers.
+    pub serve: ServeConfig,
+    /// Fault injection: delay every request to `(shard, replica)` by the
+    /// given milliseconds.
+    pub slow_replica: Option<(u32, u32, u64)>,
+}
+
+impl ClusterConfig {
+    /// Defaults: `shards × replicas` topology, 200 ms hedge, default
+    /// [`ServeConfig`], no injected faults.
+    pub fn new(shards: u32, replicas: u32) -> ClusterConfig {
+        ClusterConfig {
+            shards: shards.max(1),
+            replicas: replicas.max(1),
+            hedge_ms: 200,
+            serve: ServeConfig::new(),
+            slow_replica: None,
+        }
+    }
+
+    /// Set the hedge threshold in milliseconds.
+    pub fn hedge_ms(mut self, ms: u64) -> ClusterConfig {
+        self.hedge_ms = ms;
+        self
+    }
+
+    /// Set the socket-layer configuration.
+    pub fn serve(mut self, serve: ServeConfig) -> ClusterConfig {
+        self.serve = serve;
+        self
+    }
+
+    /// Inject a fixed per-request delay into one replica.
+    pub fn slow_replica(mut self, shard: u32, replica: u32, delay_ms: u64) -> ClusterConfig {
+        self.slow_replica = Some((shard, replica, delay_ms));
+        self
+    }
+}
+
+/// A complete sharded serving topology on loopback: `shards × replicas`
+/// shard servers plus one router front-end, all on ephemeral ports.
+///
+/// The router's world is built exactly like
+/// [`ServedWorld::build`](crate::ServedWorld::build) — same seed-derived
+/// geography, corpus, noise model, and datacenter addresses — except its
+/// engine retrieves through a [`RemoteRetriever`]. That symmetry is the
+/// byte-identity contract.
+pub struct ShardedCluster {
+    router: Option<SocketServer>,
+    router_addr: SocketAddr,
+    /// Router-side hub: engine + serve + `router.*` metrics.
+    pub hub: Arc<ObsHub>,
+    /// Hub shared by every shard server (serve-layer metrics only).
+    pub shard_hub: Arc<ObsHub>,
+    /// `replicas[shard][replica]`; `None` once killed.
+    replicas: Vec<Vec<Option<SocketServer>>>,
+    addrs: Vec<Vec<SocketAddr>>,
+}
+
+impl ShardedCluster {
+    /// Build the world for `seed`, start every shard replica and the
+    /// router (bound to `addr`, e.g. `127.0.0.1:0`), and wire them up.
+    /// `engine` is the base engine config; the serve-tier overrides from
+    /// `cfg.serve` ([`ServeConfig::engine_config`]) are applied on top.
+    ///
+    /// # Errors
+    /// Propagates bind/spawn I/O errors; engine-config validation errors
+    /// surface as `InvalidInput`.
+    pub fn start(
+        addr: &str,
+        seed: u64,
+        engine: EngineConfig,
+        cfg: ClusterConfig,
+    ) -> std::io::Result<ShardedCluster> {
+        let world_seed = Seed::new(seed);
+        let geo = UsGeography::generate(world_seed);
+        let corpus = Arc::new(geoserp_corpus::WebCorpus::generate(&geo, world_seed));
+        let plan = ShardPlan::contiguous(corpus.pages.len() as u32, cfg.shards);
+
+        // Shard tier: one ShardService per shard, M socket servers each.
+        // All shard traffic originates from the router's single loopback
+        // IP, so the per-IP serve limiter must be permissive here.
+        let shard_hub = Arc::new(ObsHub::new());
+        let shard_serve = cfg.serve.clone().rate_limit(usize::MAX / 2, 60_000);
+        let dc0 = ip("10.50.0.1");
+        let mut replicas: Vec<Vec<Option<SocketServer>>> = Vec::new();
+        let mut addrs: Vec<Vec<SocketAddr>> = Vec::new();
+        for (s, range) in plan.ranges.iter().enumerate() {
+            let service: Arc<ShardService> = Arc::new(ShardService::build(&corpus, range.clone()));
+            let mut shard_replicas = Vec::new();
+            let mut shard_addrs = Vec::new();
+            for r in 0..cfg.replicas {
+                let mut svc: Arc<dyn Server> = Arc::clone(&service) as Arc<dyn Server>;
+                if let Some((fs, fr, delay_ms)) = cfg.slow_replica {
+                    if fs == s as u32 && fr == r {
+                        svc = Arc::new(DelayServer::new(svc, delay_ms));
+                    }
+                }
+                let server = SocketServer::start_service(
+                    "127.0.0.1:0",
+                    svc,
+                    Arc::clone(&shard_hub),
+                    dc0,
+                    shard_serve.clone(),
+                )?;
+                shard_addrs.push(server.local_addr());
+                shard_replicas.push(Some(server));
+            }
+            replicas.push(shard_replicas);
+            addrs.push(shard_addrs);
+        }
+
+        // Router tier: a full search world whose retrieval is remote.
+        let hub = Arc::new(ObsHub::new());
+        let retriever =
+            RemoteRetriever::new(addrs.clone(), cfg.hedge_ms, cfg.serve.read_timeout_ms, &hub);
+        let engine = Arc::new(
+            SearchEngine::builder(corpus, &geo, world_seed)
+                .config(cfg.serve.engine_config(engine))
+                .obs(Arc::clone(&hub))
+                .retriever(Box::new(retriever))
+                .build()
+                .map_err(|e: ConfigError| {
+                    std::io::Error::new(std::io::ErrorKind::InvalidInput, e.to_string())
+                })?,
+        );
+        let n = engine.config().datacenters;
+        let dc_addrs: Vec<Ipv4Addr> = (1..=n)
+            .map(|i| format!("10.50.0.{i}").parse().expect("valid address"))
+            .collect();
+        let service = Arc::new(SearchService::new(engine, &dc_addrs));
+        let router = SocketServer::start_service(
+            addr,
+            service as Arc<dyn Server>,
+            Arc::clone(&hub),
+            dc_addrs[0],
+            cfg.serve,
+        )?;
+        let router_addr = router.local_addr();
+        Ok(ShardedCluster {
+            router: Some(router),
+            router_addr,
+            hub,
+            shard_hub,
+            replicas,
+            addrs,
+        })
+    }
+
+    /// The router's bound address — where clients send `/search`.
+    pub fn router_addr(&self) -> SocketAddr {
+        self.router_addr
+    }
+
+    /// Replica socket addresses, `[shard][replica]`.
+    pub fn shard_addrs(&self) -> &[Vec<SocketAddr>] {
+        &self.addrs
+    }
+
+    /// Kill one replica: its server shuts down and later connects are
+    /// refused. Idempotent; out-of-range indices are a no-op.
+    pub fn kill_replica(&mut self, shard: usize, replica: usize) {
+        if let Some(server) = self
+            .replicas
+            .get_mut(shard)
+            .and_then(|rs| rs.get_mut(replica))
+            .and_then(Option::take)
+        {
+            server.shutdown();
+        }
+    }
+
+    /// Shut everything down: router first (stop new scatters), then the
+    /// shard replicas.
+    pub fn shutdown(mut self) {
+        if let Some(router) = self.router.take() {
+            router.shutdown();
+        }
+        for shard in self.replicas.drain(..) {
+            for server in shard.into_iter().flatten() {
+                server.shutdown();
+            }
+        }
+    }
+
+    /// The virtual day the cluster serves (for building reference worlds).
+    pub fn day_ms(day: u32) -> u64 {
+        u64::from(day) * DAY_MS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn canned(fulls: Vec<u32>) -> Arc<dyn Server> {
+        Arc::new(move |_ctx: &RequestCtx, _req: &Request| {
+            crate::shard::json_ok(&ShardRetrieveResponse {
+                fulls: fulls.clone(),
+                partials: vec![],
+            })
+        })
+    }
+
+    fn start_toy(svc: Arc<dyn Server>) -> SocketServer {
+        SocketServer::start_service(
+            "127.0.0.1:0",
+            svc,
+            Arc::new(ObsHub::new()),
+            ip("10.50.0.1"),
+            ServeConfig::new(),
+        )
+        .unwrap()
+    }
+
+    /// A refused-connection address: bind, read the port, drop the
+    /// listener.
+    fn dead_addr() -> SocketAddr {
+        let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        l.local_addr().unwrap()
+    }
+
+    fn toy_request() -> Request {
+        retrieve_request(&ShardRetrieveRequest {
+            query: "coffee".into(),
+            max_partials: 4,
+        })
+    }
+
+    #[test]
+    fn retries_past_a_dead_primary_in_ring_order() {
+        let live = start_toy(canned(vec![7]));
+        // Place the dead replica wherever the ring sends request 0 first.
+        let order = HashRing::new(2, DEFAULT_VNODES).order(0);
+        let mut addrs = vec![live.local_addr(); 2];
+        addrs[order[0] as usize] = dead_addr();
+        addrs[order[1] as usize] = live.local_addr();
+        let hub = ObsHub::new();
+        let retr = RemoteRetriever::new(vec![addrs], 5_000, 2_000, &hub);
+        let parts: Vec<ShardRetrieveResponse> = retr.scatter(&toy_request());
+        assert_eq!(parts[0].fulls, vec![7], "fallback replica answered");
+        let snap = hub.snapshot();
+        assert_eq!(snap.counters.get("router.retries"), Some(&1));
+        assert_eq!(snap.counters.get("router.hedge_fired"), Some(&0));
+        assert_eq!(snap.counters.get("router.shard_errors"), Some(&0));
+        live.shutdown();
+    }
+
+    #[test]
+    fn hedges_a_slow_primary_and_takes_the_fast_replica() {
+        let slow = start_toy(Arc::new(DelayServer::new(canned(vec![1]), 600)));
+        let fast = start_toy(canned(vec![2]));
+        let order = HashRing::new(2, DEFAULT_VNODES).order(0);
+        let mut addrs = vec![fast.local_addr(); 2];
+        addrs[order[0] as usize] = slow.local_addr();
+        addrs[order[1] as usize] = fast.local_addr();
+        let hub = ObsHub::new();
+        let retr = RemoteRetriever::new(vec![addrs], 60, 5_000, &hub);
+        let parts: Vec<ShardRetrieveResponse> = retr.scatter(&toy_request());
+        assert_eq!(parts[0].fulls, vec![2], "hedge won the race");
+        let snap = hub.snapshot();
+        assert_eq!(snap.counters.get("router.hedge_fired"), Some(&1));
+        assert_eq!(snap.counters.get("router.retries"), Some(&0));
+        slow.shutdown();
+        fast.shutdown();
+    }
+
+    #[test]
+    fn all_replicas_dead_degrades_to_an_empty_part() {
+        let hub = ObsHub::new();
+        let retr = RemoteRetriever::new(vec![vec![dead_addr(), dead_addr()]], 5_000, 1_000, &hub);
+        let parts: Vec<ShardRetrieveResponse> = retr.scatter(&toy_request());
+        assert_eq!(parts[0], ShardRetrieveResponse::default());
+        let snap = hub.snapshot();
+        assert_eq!(snap.counters.get("router.shard_errors"), Some(&1));
+        assert_eq!(
+            snap.counters.get("router.retries"),
+            Some(&1),
+            "the first failure fell through to the second replica"
+        );
+    }
+
+    #[test]
+    fn non_ok_shard_response_counts_as_a_shard_error() {
+        let broken: Arc<dyn Server> =
+            Arc::new(|_: &RequestCtx, _: &Request| Response::status(Status::InternalError));
+        let server = start_toy(broken);
+        let hub = ObsHub::new();
+        let retr = RemoteRetriever::new(vec![vec![server.local_addr()]], 5_000, 1_000, &hub);
+        let parts: Vec<ShardRetrieveResponse> = retr.scatter(&toy_request());
+        assert_eq!(parts[0], ShardRetrieveResponse::default());
+        assert_eq!(hub.snapshot().counters.get("router.shard_errors"), Some(&1));
+        server.shutdown();
+    }
+}

@@ -128,6 +128,12 @@ pub struct ServeConfig {
     pub rate_limit_window_ms: u64,
     /// Virtual day this server lives in (engine results vary by day).
     pub day: u32,
+    /// Engine per-IP rate-limit ceiling applied when building a world for
+    /// serving (see [`ServeConfig::engine_config`]). The engine's own
+    /// 30/min limit models Google throttling distinct crawler machines;
+    /// behind a socket every client shares one IP, so serving raises it
+    /// and shedding moves to the serve-layer limiter above.
+    pub engine_rate_limit_max: usize,
 }
 
 impl ServeConfig {
@@ -146,6 +152,7 @@ impl ServeConfig {
             rate_limit_max: 100_000,
             rate_limit_window_ms: 60_000,
             day: 0,
+            engine_rate_limit_max: usize::MAX / 2,
         }
     }
 
@@ -202,6 +209,22 @@ impl ServeConfig {
     pub fn day(mut self, day: u32) -> Self {
         self.day = day;
         self
+    }
+
+    /// Set the engine per-IP rate-limit ceiling used when serving.
+    pub fn engine_rate_limit_max(mut self, max: usize) -> Self {
+        self.engine_rate_limit_max = max;
+        self
+    }
+
+    /// Apply the serve-tier engine overrides to a base engine config: the
+    /// per-IP limit bump every serving entry point (CLI `serve`, loadgen
+    /// matrix, sharded cluster) must share, in one place.
+    pub fn engine_config(&self, base: EngineConfig) -> EngineConfig {
+        EngineConfig {
+            rate_limit_max: self.engine_rate_limit_max,
+            ..base
+        }
     }
 }
 
@@ -322,7 +345,7 @@ pub(crate) fn shed_response() -> Response {
 
 /// State shared by every serving thread of one server, either backend.
 pub(crate) struct Shared {
-    pub(crate) service: Arc<SearchService>,
+    pub(crate) service: Arc<dyn Server>,
     pub(crate) hub: Arc<ObsHub>,
     pub(crate) dc0: Ipv4Addr,
     pub(crate) config: ServeConfig,
@@ -517,6 +540,34 @@ impl SocketServer {
         world: &ServedWorld,
         config: ServeConfig,
     ) -> std::io::Result<SocketServer> {
+        let service: Arc<dyn Server> = Arc::clone(&world.service) as Arc<dyn Server>;
+        Self::start_service(
+            addr,
+            service,
+            Arc::clone(&world.hub),
+            world.addrs[0],
+            config,
+        )
+    }
+
+    /// Bind `addr` and serve an arbitrary [`Server`] — the generalization
+    /// the sharded tier uses to put shard services and the router behind
+    /// the very same backends (and the same `/healthz`, `/metrics`,
+    /// limiter, and sequence-counter front matter) as a search world.
+    ///
+    /// `dc0` is the datacenter address requests are attributed to (the
+    /// DNS-pinning analogue); services that ignore it may pass any
+    /// address.
+    ///
+    /// # Errors
+    /// Propagates bind/spawn I/O errors.
+    pub fn start_service(
+        addr: &str,
+        service: Arc<dyn Server>,
+        hub: Arc<ObsHub>,
+        dc0: Ipv4Addr,
+        config: ServeConfig,
+    ) -> std::io::Result<SocketServer> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let limiter = RateLimiter::new(
@@ -524,14 +575,14 @@ impl SocketServer {
             config.rate_limit_max.max(1),
             config.rate_limit_window_ms.max(1),
         );
-        let metrics = ServeMetrics::resolve(&world.hub);
+        let metrics = ServeMetrics::resolve(&hub);
         let backend = config.backend;
         let worker_count = config.workers.max(1);
         let queue_depth = config.queue_depth.max(1);
         let shared = Arc::new(Shared {
-            service: Arc::clone(&world.service),
-            hub: Arc::clone(&world.hub),
-            dc0: world.addrs[0],
+            service,
+            hub,
+            dc0,
             config,
             limiter,
             seq: SeqCounters::new(),

@@ -657,12 +657,29 @@ fn loadgen_measures_the_server() {
     let report = geoserp_serve::loadgen::run_matrix(SEED, &[2], 60, 3).unwrap();
     assert_eq!(
         report.entries.len(),
-        6,
-        "2 backends x (2 firehose cells + 1 slow-client cell)"
+        9,
+        "2 backends x (2 firehose cells + 1 slow-client cell) + 3 router cells"
+    );
+    assert_eq!(
+        report
+            .entries
+            .iter()
+            .filter(|e| e.backend == "router")
+            .map(|e| (e.shards, e.replicas))
+            .collect::<Vec<_>>(),
+        vec![(1, 1), (2, 1), (2, 2)],
+        "router cells sweep the topology"
     );
     for e in &report.entries {
+        if e.backend == "router" {
+            assert_eq!(e.concurrency, 3);
+            assert_eq!(e.report.ok + e.report.errors, 60);
+            assert!(e.report.ok > 0, "routed requests must succeed: {e:?}");
+            continue;
+        }
         assert_eq!(e.workers, 2);
         assert!(e.backend == "blocking" || e.backend == "epoll", "{e:?}");
+        assert_eq!((e.shards, e.replicas), (0, 0), "direct cells: no router");
         let expected = if e.think_ms > 0 {
             assert_eq!(e.concurrency, 16, "slow-client cell: 8 clients/worker");
             e.concurrency * 5

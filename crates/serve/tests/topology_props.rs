@@ -1,0 +1,199 @@
+//! Property tests for the sharded tier's placement and merge invariants:
+//! consistent-hash distribution stays near fair share, growing the replica
+//! set only moves keys *to* the newcomer, and the router's top-k merge is
+//! idempotent and commutative over shard response orderings (so hedged
+//! duplicate deliveries and scatter completion order can never change page
+//! bytes).
+
+use geoserp_engine::shard::{merge_retrieve, merge_suggest};
+use geoserp_net::shardmsg::{ShardRetrieveResponse, ShardSuggestResponse, SpellCandidate};
+use geoserp_serve::topology::{HashRing, ShardPlan, DEFAULT_VNODES};
+use proptest::prelude::*;
+
+/// Keys sampled per ring property. Placement is a pure function of the
+/// key, so a fixed dense key range is a fair sample.
+const KEYS: u64 = 2_000;
+
+/// Between one and four shard retrieval responses, each with ids confined
+/// to its own block of the id space — the disjointness real contiguous
+/// sharding guarantees (a page id exists in exactly one shard). The block
+/// offset is applied by position so permutations stay meaningful.
+fn arb_parts() -> impl Strategy<Value = Vec<ShardRetrieveResponse>> {
+    proptest::collection::vec(
+        (
+            proptest::collection::vec(0u32..300, 0..40),
+            proptest::collection::vec((0u32..300, 1u32..3), 0..60),
+        ),
+        1..5,
+    )
+    .prop_map(|raw| {
+        raw.into_iter()
+            .enumerate()
+            .map(|(shard, (fulls, partials))| {
+                let base = shard as u32 * 10_000;
+                ShardRetrieveResponse {
+                    fulls: fulls.into_iter().map(|id| base + id).collect(),
+                    partials: partials.into_iter().map(|(id, n)| (base + id, n)).collect(),
+                }
+            })
+            .collect()
+    })
+}
+
+/// Spell candidates whose distance is a pure function of the token — the
+/// consistency real shards guarantee (edit distance is a string property,
+/// identical everywhere the token occurs).
+fn arb_suggest_part() -> impl Strategy<Value = ShardSuggestResponse> {
+    (
+        proptest::collection::vec(0u64..5, 2..3),
+        proptest::collection::vec(
+            proptest::collection::vec(
+                (
+                    proptest::string::string_regex("[a-d]{1,6}").unwrap(),
+                    1u64..9,
+                ),
+                0..6,
+            ),
+            2..3,
+        ),
+    )
+        .prop_map(|(token_dfs, raw)| ShardSuggestResponse {
+            token_dfs,
+            corrections: raw
+                .into_iter()
+                .map(|cands| {
+                    cands
+                        .into_iter()
+                        .map(|(token, df)| SpellCandidate {
+                            distance: token.len() as u32 % 3,
+                            token,
+                            df,
+                        })
+                        .collect()
+                })
+                .collect(),
+        })
+}
+
+/// Rotate a slice by `k` — a cheap permutation that composes with
+/// `reverse` to cover orderings without needing a shuffle strategy.
+fn rotated<T: Clone>(parts: &[T], k: usize) -> Vec<T> {
+    let k = if parts.is_empty() { 0 } else { k % parts.len() };
+    parts[k..].iter().chain(&parts[..k]).cloned().collect()
+}
+
+proptest! {
+    /// Every replica's share of keys stays within a factor of 3 of fair
+    /// share — the load bound that justifies 128 vnodes.
+    #[test]
+    fn ring_distribution_is_within_3x_of_fair_share(replicas in 1u32..9) {
+        let ring = HashRing::new(replicas, DEFAULT_VNODES);
+        let mut counts = vec![0u64; replicas as usize];
+        for key in 0..KEYS {
+            counts[ring.pick(key) as usize] += 1;
+        }
+        let fair = KEYS as f64 / f64::from(replicas);
+        for (r, &c) in counts.iter().enumerate() {
+            let share = c as f64;
+            prop_assert!(
+                share >= fair / 3.0 && share <= fair * 3.0,
+                "replica {r}/{replicas}: {c} keys vs fair share {fair:.0}"
+            );
+        }
+    }
+
+    /// Minimal disruption: adding replica `n` to an `n`-replica ring only
+    /// moves keys *to* the newcomer — no key changes hands between
+    /// existing replicas.
+    #[test]
+    fn adding_a_replica_only_claims_keys_for_it(replicas in 1u32..8) {
+        let before = HashRing::new(replicas, DEFAULT_VNODES);
+        let after = HashRing::new(replicas + 1, DEFAULT_VNODES);
+        for key in 0..KEYS {
+            let (b, a) = (before.pick(key), after.pick(key));
+            prop_assert!(
+                a == b || a == replicas,
+                "key {key} moved from replica {b} to {a}, not to the new replica {replicas}"
+            );
+        }
+    }
+
+    /// The failover order is a permutation of all replicas starting at the
+    /// primary — every replica is eventually tried, none twice.
+    #[test]
+    fn failover_order_is_a_permutation_starting_at_the_primary(
+        replicas in 1u32..9,
+        key in 0u64..100_000,
+    ) {
+        let ring = HashRing::new(replicas, DEFAULT_VNODES);
+        let order = ring.order(key);
+        prop_assert_eq!(order[0], ring.pick(key));
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..replicas).collect::<Vec<_>>());
+    }
+
+    /// The shard plan covers every page exactly once, contiguously, with
+    /// shard sizes within one page of each other.
+    #[test]
+    fn shard_plan_partitions_the_id_space(total in 0u32..5_000, shards in 1u32..9) {
+        let plan = ShardPlan::contiguous(total, shards);
+        let mut next = 0u32;
+        for r in &plan.ranges {
+            prop_assert_eq!(r.start, next);
+            next = r.end;
+        }
+        prop_assert_eq!(next, total);
+        let sizes: Vec<u32> = plan.ranges.iter().map(|r| r.end - r.start).collect();
+        let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+        prop_assert!(max - min <= 1);
+    }
+
+    /// Top-k merge is commutative over shard orderings and idempotent
+    /// under duplicate delivery: reordered or doubly-delivered responses
+    /// produce the identical candidate list.
+    #[test]
+    fn retrieve_merge_is_order_invariant_and_idempotent(
+        parts in arb_parts(),
+        rot in 0usize..8,
+        min_candidates in 1usize..60,
+    ) {
+        let query = "alpha beta gamma";
+        let reference = merge_retrieve(query, min_candidates, 0.35, &parts);
+
+        let mut reversed = parts.clone();
+        reversed.reverse();
+        prop_assert_eq!(
+            merge_retrieve(query, min_candidates, 0.35, &reversed),
+            reference.clone(),
+            "reversed shard order changed the merge"
+        );
+        prop_assert_eq!(
+            merge_retrieve(query, min_candidates, 0.35, &rotated(&parts, rot)),
+            reference.clone(),
+            "rotated shard order changed the merge"
+        );
+        let doubled: Vec<_> = parts.iter().chain(parts.iter()).cloned().collect();
+        prop_assert_eq!(
+            merge_retrieve(query, min_candidates, 0.35, &doubled),
+            reference,
+            "duplicate delivery changed the merge"
+        );
+    }
+
+    /// Suggest merge is commutative over shard orderings: summed document
+    /// frequencies and the total-order comparator make the winner
+    /// independent of response arrival order.
+    #[test]
+    fn suggest_merge_is_order_invariant(
+        parts in proptest::collection::vec(arb_suggest_part(), 1..5),
+        rot in 0usize..8,
+    ) {
+        let query = "zz qq";
+        let reference = merge_suggest(query, &parts);
+        let mut reversed = parts.clone();
+        reversed.reverse();
+        prop_assert_eq!(merge_suggest(query, &reversed), reference.clone());
+        prop_assert_eq!(merge_suggest(query, &rotated(&parts, rot)), reference);
+    }
+}

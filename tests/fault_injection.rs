@@ -168,6 +168,205 @@ fn fault_matrix_hostile_corner() {
     check_fault_cell(0.30, 0.15);
 }
 
+// ---------------------------------------------------------------------------
+// Router fault injection: the sharded tier under killed and slow replicas.
+//
+// The contract mirrors the crawl-side battery above: faults must never
+// change page bytes (the router recovers via ring-order retries and
+// hedging), and the recovery metrics must account for every fault exactly.
+// Placement is a pure function of each shard's scatter counter, so the
+// tests replay the consistent-hash ring to predict `router.retries` and
+// `router.hedge_fired` to the request.
+// ---------------------------------------------------------------------------
+
+mod router_faults {
+    use geoserp::crawler::fnv1a64;
+    use geoserp::engine::{EngineConfig, GEOLOCATION_HEADER, SEARCH_HOST};
+    use geoserp::geo::{Seed, UsGeography};
+    use geoserp::net::{encode_request, parse_response, Request, Response, WireLimits};
+    use geoserp::serve::topology::DEFAULT_VNODES;
+    use geoserp::serve::{
+        ClusterConfig, HashRing, ServeConfig, ServedWorld, ShardedCluster, SocketServer,
+    };
+    use std::io::{Read, Write};
+    use std::net::{SocketAddr, TcpStream};
+    use std::time::Duration;
+
+    const SEED: u64 = 2015;
+
+    /// The replayed request sequence: three terms at two districts each.
+    fn request_sequence(geo: &UsGeography) -> Vec<Request> {
+        let mut reqs = Vec::new();
+        for term in ["Coffee", "Hospital", "starbuks"] {
+            for district in [0, 2] {
+                reqs.push(
+                    Request::get(SEARCH_HOST, "/search")
+                        .with_query("q", term)
+                        .with_header(
+                            GEOLOCATION_HEADER,
+                            geo.cuyahoga_districts[district].coord.to_gps_string(),
+                        )
+                        .with_header("User-Agent", "Mozilla/5.0 (iPhone; Safari 8)"),
+                );
+            }
+        }
+        reqs
+    }
+
+    fn request_tcp(addr: SocketAddr, req: &Request) -> Response {
+        let limits = WireLimits::new().max_body_bytes(8 * 1024 * 1024);
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        stream.write_all(&encode_request(req).unwrap()).unwrap();
+        let mut buf = Vec::new();
+        let mut chunk = [0u8; 4096];
+        loop {
+            if let Some((resp, _)) = parse_response(&buf, &limits).unwrap() {
+                return resp;
+            }
+            let n = stream.read(&mut chunk).expect("server must reply");
+            assert!(n > 0, "connection closed before a full response");
+            buf.extend_from_slice(&chunk[..n]);
+        }
+    }
+
+    fn replay(addr: SocketAddr, reqs: &[Request]) -> Vec<Response> {
+        reqs.iter().map(|r| request_tcp(addr, r)).collect()
+    }
+
+    /// The fault-free single-process reference pages for the sequence.
+    fn reference_pages(geo: &UsGeography) -> Vec<Response> {
+        let config = ServeConfig::new();
+        let world =
+            ServedWorld::build(SEED, config.engine_config(EngineConfig::paper_defaults())).unwrap();
+        let server = SocketServer::start("127.0.0.1:0", &world, config).unwrap();
+        let pages = replay(server.local_addr(), &request_sequence(geo));
+        server.shutdown();
+        pages
+    }
+
+    /// How many scatters in `keys` place `replica` as primary on a
+    /// 2-replica ring — the ring replay behind the exact accounting.
+    fn primary_hits(ring: &HashRing, keys: std::ops::Range<u64>, replica: u32) -> u64 {
+        keys.filter(|&k| ring.order(k)[0] == replica).count() as u64
+    }
+
+    #[test]
+    fn killed_replicas_recover_byte_identically_with_exact_retry_accounting() {
+        let geo = UsGeography::generate(Seed::new(SEED));
+        let reference = reference_pages(&geo);
+        let reqs = request_sequence(&geo);
+
+        // A large hedge threshold keeps hedging out of the picture: a dead
+        // replica's ECONNREFUSED arrives as an error long before 5 s, so
+        // every recovery must be a ring-order retry.
+        let mut cluster = ShardedCluster::start(
+            "127.0.0.1:0",
+            SEED,
+            EngineConfig::paper_defaults(),
+            ClusterConfig::new(2, 2).hedge_ms(5_000),
+        )
+        .unwrap();
+
+        // Warm up with live replicas, then kill one replica per shard
+        // mid-run (a different one per shard, so both shards recover).
+        let mut routed = replay(cluster.router_addr(), &reqs[..2]);
+        let warmup_scatters = cluster.hub.snapshot().histograms["router.fanout"].count;
+        cluster.kill_replica(0, 0);
+        cluster.kill_replica(1, 1);
+        routed.extend(replay(cluster.router_addr(), &reqs[2..]));
+
+        assert_eq!(routed.len(), reference.len());
+        for (i, (routed, reference)) in routed.iter().zip(&reference).enumerate() {
+            assert_eq!(
+                routed, reference,
+                "request {i}: page changed under killed replicas"
+            );
+        }
+
+        // Exact accounting: every post-kill scatter whose ring primary is
+        // the killed replica costs exactly one retry; nothing else does.
+        let snap = cluster.hub.snapshot();
+        let scatters = snap.histograms["router.fanout"].count;
+        let ring = HashRing::new(2, DEFAULT_VNODES);
+        let expected = primary_hits(&ring, warmup_scatters..scatters, 0)
+            + primary_hits(&ring, warmup_scatters..scatters, 1);
+        assert!(
+            expected > 0,
+            "fixture too small: no scatter hit a dead primary"
+        );
+        assert_eq!(snap.counters["router.retries"], expected);
+        assert_eq!(snap.counters["router.hedge_fired"], 0);
+        assert_eq!(snap.counters["router.shard_errors"], 0);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn slow_replicas_are_hedged_byte_identically_with_exact_hedge_accounting() {
+        let geo = UsGeography::generate(Seed::new(SEED));
+        let reference = reference_pages(&geo);
+        let reqs = request_sequence(&geo);
+
+        // Shard 0's replica 0 answers 500 ms late; the 80 ms hedge races a
+        // second replica whenever the slow one is the ring primary.
+        let cluster = ShardedCluster::start(
+            "127.0.0.1:0",
+            SEED,
+            EngineConfig::paper_defaults(),
+            ClusterConfig::new(2, 2)
+                .hedge_ms(80)
+                .slow_replica(0, 0, 500),
+        )
+        .unwrap();
+        let routed = replay(cluster.router_addr(), &reqs);
+
+        assert_eq!(routed.len(), reference.len());
+        for (i, (routed, reference)) in routed.iter().zip(&reference).enumerate() {
+            assert_eq!(
+                routed, reference,
+                "request {i}: page changed under a slow replica"
+            );
+        }
+
+        // Exact accounting: shard 0 hedges exactly when the slow replica is
+        // primary; shard 1 (no fault) and retries/errors stay at zero.
+        let snap = cluster.hub.snapshot();
+        let scatters = snap.histograms["router.fanout"].count;
+        let ring = HashRing::new(2, DEFAULT_VNODES);
+        let expected = primary_hits(&ring, 0..scatters, 0);
+        assert!(
+            expected > 0,
+            "fixture too small: slow replica never primary"
+        );
+        assert_eq!(snap.counters["router.hedge_fired"], expected);
+        assert_eq!(snap.counters["router.retries"], 0);
+        assert_eq!(snap.counters["router.shard_errors"], 0);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn fault_cells_share_the_equivalence_batterys_golden_page_bytes() {
+        // The fault tests' reference is drawn from the same engine as
+        // `tests/sharded_equivalence.rs`; a spot digest ties the two
+        // batteries to one golden corpus so neither can drift alone.
+        let geo = UsGeography::generate(Seed::new(SEED));
+        let reference = reference_pages(&geo);
+        let mut bytes = Vec::new();
+        for r in &reference {
+            bytes.extend_from_slice(&r.body);
+        }
+        assert!(
+            !bytes.is_empty() && fnv1a64(&bytes) != 0,
+            "reference pages must be non-empty"
+        );
+        for r in &reference {
+            assert!(geoserp::serp::parse(&r.body_text()).is_ok());
+        }
+    }
+}
+
 #[test]
 fn event_log_counts_are_windowed_not_lifetime() {
     // Regression for checkpoint-adjacent accounting: `EventLog` is a ring
