@@ -6,20 +6,35 @@
 //! datasets are byte-identical, and writes `BENCH_obs.json` with the
 //! overhead percentage against a 3% target. The target is recorded as
 //! `within_target` rather than enforced with an exit code: CI containers
-//! are noisy, and the tracked artifact is the trend.
+//! are noisy, and the tracked artifact is the trend (the
+//! `geoserp-bench check obs` gate compares reports across commits).
+//!
+//! A second cell measures *distributed tracing* on the serve path: the
+//! loadgen slow-client shape (8 keep-alive clients thinking 20 ms between
+//! requests) against a routed 2×2 cluster, with span recording on vs off
+//! (`ServeConfig::tracing`). A sequential probe first replays three fixed
+//! searches through each cluster and asserts the served pages are
+//! byte-identical with tracing on and off — trace contexts ride in a
+//! header next to the payload, never inside it.
 //!
 //! Output path defaults to `BENCH_obs.json`; override with the first CLI
 //! argument. `GEOSERP_SEED` selects the world seed as elsewhere.
 
 use geoserp_bench::{seed_from_env, Scale};
 use geoserp_core::crawler::CrawlBackend;
+use geoserp_core::engine::{GEOLOCATION_HEADER, SEARCH_HOST};
+use geoserp_core::net::{encode_request, parse_response, Request, WireLimits};
 use geoserp_core::obs::ObsHub;
 use geoserp_core::prelude::*;
+use geoserp_core::serve::{loadgen, ClusterConfig, LoadgenConfig, ServeConfig, ShardedCluster};
 use serde_json::json;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
 use std::time::Instant;
 
 const REPS: usize = 5;
+const ROUTED_REPS: usize = 3;
 const TARGET_PCT: f64 = 3.0;
 
 /// One timed quick-plan crawl under the given hub. Returns wall seconds,
@@ -35,6 +50,71 @@ fn timed_run(plan: &ExperimentPlan, seed: u64, obs: Arc<ObsHub>) -> (f64, String
     let started = Instant::now();
     let dataset = crawler.run_with_backend(plan, CrawlBackend::WorkerPool, |_| {});
     (started.elapsed().as_secs_f64(), dataset.to_json())
+}
+
+/// One probe request for the byte-identity check.
+fn probe_request(term: &str) -> Request {
+    Request::get(SEARCH_HOST, "/search")
+        .with_query("q", term)
+        .with_header(GEOLOCATION_HEADER, "41.499300,-81.694400")
+        .with_header("User-Agent", "geoserp-bench/0.1")
+}
+
+/// Sequential request over a fresh connection; returns the body bytes.
+fn fetch_body(addr: SocketAddr, req: &Request) -> Vec<u8> {
+    let limits = WireLimits::new().max_body_bytes(8 * 1024 * 1024);
+    let mut stream = TcpStream::connect(addr).expect("probe connect");
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+        .unwrap();
+    stream.write_all(&encode_request(req).unwrap()).unwrap();
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        if let Some((resp, _)) = parse_response(&buf, &limits).expect("probe parse") {
+            return resp.body.to_vec();
+        }
+        let n = stream.read(&mut chunk).expect("probe read");
+        assert!(n > 0, "probe connection closed early");
+        buf.extend_from_slice(&chunk[..n]);
+    }
+}
+
+/// One routed 2×2 cluster with tracing on or off: replay the fixed probe
+/// sequence (served page bytes), then time `ROUTED_REPS` slow-client
+/// loadgen runs. Returns (best wall seconds, probe pages, spans recorded).
+fn routed_cell(seed: u64, tracing: bool) -> (f64, Vec<Vec<u8>>, u64) {
+    let cluster = ShardedCluster::start(
+        "127.0.0.1:0",
+        seed,
+        EngineConfig::with_result_cache(3_600_000),
+        ClusterConfig::new(2, 2).serve(ServeConfig::new().tracing(tracing)),
+    )
+    .expect("routed cell cluster");
+    let addr = cluster.router_addr();
+    // Probe first: a sequential client right after startup keeps the
+    // request-sequence assignment (and thus the pages) deterministic.
+    let pages: Vec<Vec<u8>> = ["Coffee", "Hospital", "starbuks"]
+        .iter()
+        .map(|term| fetch_body(addr, &probe_request(term)))
+        .collect();
+    // The slow-client shape: 8 keep-alive connections, 20 ms think time —
+    // the cell where per-request serve-path work (and thus tracing cost)
+    // is visible rather than drowned by connection churn.
+    let cfg = LoadgenConfig::new()
+        .requests(40)
+        .concurrency(8)
+        .keep_alive(true)
+        .think_ms(20);
+    let mut best = f64::INFINITY;
+    for _ in 0..ROUTED_REPS {
+        let report = loadgen::run(&addr.to_string(), &cfg).expect("routed loadgen");
+        assert_eq!(report.errors, 0, "routed cell saw errors");
+        best = best.min(report.elapsed_s);
+    }
+    let spans = cluster.hub.spans().total_recorded();
+    cluster.shutdown();
+    (best, pages, spans)
 }
 
 fn main() {
@@ -78,6 +158,24 @@ fn main() {
          overhead {overhead_pct:+.2}% (target <{TARGET_PCT}%: {within_target})"
     );
 
+    // The routed tracing cell: span recording on vs off through a 2×2
+    // sharded cluster under the slow-client load shape.
+    let (routed_off_best, pages_off, _) = routed_cell(seed, false);
+    let (routed_on_best, pages_on, routed_spans) = routed_cell(seed, true);
+    let routed_byte_identical = pages_on == pages_off;
+    assert!(
+        routed_byte_identical,
+        "tracing changed served page bytes — trace context must stay in headers"
+    );
+    assert!(routed_spans > 0, "tracing-on routed cell recorded no spans");
+    let routed_overhead_pct = 100.0 * (routed_on_best - routed_off_best) / routed_off_best;
+    let routed_within_target = routed_overhead_pct < TARGET_PCT;
+    eprintln!(
+        "[obs-overhead] routed 2x2 best-of-{ROUTED_REPS}: tracing off {routed_off_best:.3}s  \
+         on {routed_on_best:.3}s  overhead {routed_overhead_pct:+.2}% \
+         (target <{TARGET_PCT}%: {routed_within_target})"
+    );
+
     let report = json!({
         "seed": seed,
         "scale": "medium",
@@ -91,6 +189,15 @@ fn main() {
         "byte_identical": byte_identical,
         "registered_counters": counters as u64,
         "spans_recorded": spans,
+        "routed_shards": 2u64,
+        "routed_replicas": 2u64,
+        "routed_reps": ROUTED_REPS as u64,
+        "routed_uninstrumented_best_s": routed_off_best,
+        "routed_instrumented_best_s": routed_on_best,
+        "routed_overhead_pct": routed_overhead_pct,
+        "routed_within_target": routed_within_target,
+        "routed_byte_identical": routed_byte_identical,
+        "routed_spans_recorded": routed_spans,
     });
     let rendered = serde_json::to_string_pretty(&report).expect("bench report serializes");
     std::fs::write(&out_path, rendered).expect("write bench report");

@@ -21,7 +21,8 @@
 //! binary (`geoserp-bench`) races the crawl backends into
 //! `BENCH_crawl.json`, and `analysis_scale` races the analysis pipeline
 //! (serial vs 2/4/8 pooled workers, byte-identity asserted before timing)
-//! into `BENCH_analysis.json`.
+//! into `BENCH_analysis.json`. `geoserp-bench check <serve|obs> <fresh>
+//! <baseline>` is the CI perf gate over those artifacts (see [`check`]).
 //!
 //! Run any of them with `cargo run --release -p geoserp-bench --bin figN`.
 //! Scale is controlled by `GEOSERP_SCALE`:
@@ -32,6 +33,8 @@
 //!   2 roles × 5 days/block), minutes of wall clock.
 //!
 //! Criterion performance benches live under `benches/`.
+
+pub mod check;
 
 use geoserp_core::prelude::*;
 

@@ -9,6 +9,11 @@
 //! `GEOSERP_BENCH_SCALES=quick,full` (comma-separated) to change. The
 //! output path defaults to `BENCH_crawl.json`; override with the first CLI
 //! argument. `GEOSERP_SEED` selects the world seed as elsewhere.
+//!
+//! A second mode is the CI perf gate: `geoserp-bench check <serve|obs>
+//! <fresh.json> <baseline.json>` compares a fresh bench report against the
+//! committed baseline and exits nonzero on regressions (see
+//! [`geoserp_bench::check`]).
 
 use geoserp_bench::{seed_from_env, Scale};
 use geoserp_core::crawler::CrawlBackend;
@@ -108,8 +113,13 @@ fn scales_from_env() -> Vec<Scale> {
 }
 
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("check") {
+        std::process::exit(geoserp_bench::check::run(&argv[1..]));
+    }
+    let out_path = argv
+        .first()
+        .cloned()
         .unwrap_or_else(|| "BENCH_crawl.json".to_string());
     let seed = seed_from_env();
     let entries: Vec<Value> = scales_from_env()

@@ -101,6 +101,9 @@ COMMANDS:
                    <file>          a metrics snapshot from
                                    `run --metrics-out FILE.json`, or a saved
                                    dataset (crawl counters from its metadata)
+                   <host:port>     a live server/router: fetches its
+                                   /metrics.json (includes the serve-stage
+                                   wall-clock histograms)
     compare      run a study and print the paper-vs-measured markdown
                  comparison with shape verdicts
                    --seed N / --scale S as above
@@ -131,6 +134,12 @@ COMMANDS:
                    --rate-limit N  serve-layer per-IP requests/min [100000]
                    --smoke         start, self-probe /healthz and /metrics,
                                    then exit (for CI)
+                   --no-tracing    disable distributed tracing (request
+                                   spans + per-stage histograms); served
+                                   pages are byte-identical either way
+                   --trace-out F   with --smoke: also trace one /search
+                                   and write the assembled Chrome trace
+                                   (router mode stitches every process)
                  sharded topology (pages stay byte-identical to direct):
                    --shards N      index shards behind a scatter-gather
                                    router; 0 = single-process  [0]
@@ -157,6 +166,15 @@ COMMANDS:
                    --seed N        (matrix) world seed   [2015]
                    --out FILE      also write the JSON report
                                    (BENCH_serve.json shape in matrix mode)
+                   --trace-out F   after the run, pull /spans from --addr
+                                   and write the assembled Chrome trace
+    trace        assemble per-process span logs into one Chrome trace
+                 (load in Perfetto or chrome://tracing)
+                   <src>           addr[,addr,...] of running servers —
+                                   each one's /spans collector endpoint is
+                                   pulled — or a directory of *.json span
+                                   dumps (one per process)
+                   --out FILE      write the trace here (default: stdout)
     help         this text
 
 Scales: quick (seconds, sanity only), medium (default), full (the paper's
@@ -446,14 +464,21 @@ pub fn cmd_analyze(args: &ParsedArgs) -> Result<String, CliError> {
     ))
 }
 
-/// `geoserp report <file>` — print the per-stage observability breakdown.
-/// Accepts either a metrics snapshot written by `run --metrics-out x.json`
-/// or a saved dataset (whose crawl counters live in its metadata).
+/// `geoserp report <file|addr>` — print the per-stage observability
+/// breakdown. Accepts a metrics snapshot written by `run --metrics-out
+/// x.json`, a saved dataset (whose crawl counters live in its metadata),
+/// or a live server's `host:port` (fetches `/metrics.json`, the full
+/// snapshot including the `_wall_`-marked serve-stage histograms).
 pub fn cmd_report(args: &ParsedArgs) -> Result<String, CliError> {
     let file = args.positional.first().ok_or_else(|| {
-        CliError::Invalid("report needs a metrics snapshot or dataset file".into())
+        CliError::Invalid("report needs a metrics snapshot, dataset file, or host:port".into())
     })?;
-    let json = std::fs::read_to_string(file)?;
+    let json = if file.parse::<std::net::SocketAddr>().is_ok() {
+        String::from_utf8(http_get(file, "/metrics.json")?)
+            .map_err(|e| CliError::Invalid(format!("{file}: /metrics.json not UTF-8: {e}")))?
+    } else {
+        std::fs::read_to_string(file)?
+    };
     if let Ok(snap) = geoserp_core::obs::MetricsSnapshot::from_json(&json) {
         return Ok(geoserp_core::obs::render_run_report(&snap));
     }
@@ -634,6 +659,7 @@ fn serve_setup_from(
         .queue_depth(queue_depth)
         .rate_limit(rate_limit, 60_000)
         .day(day)
+        .tracing(!args.has("no-tracing"))
         .limits(geoserp_core::net::WireLimits::new().max_body_bytes(max_body));
     Ok((seed, config, addr))
 }
@@ -699,6 +725,12 @@ fn serve_blocking(
         if args.has("smoke") {
             let mut out = format!("serving search.example.com on {local}\n");
             smoke_probe(&mut out, &local.to_string())?;
+            if let Some(file) = args.get("trace-out") {
+                trace_one_search(&local.to_string())?;
+                let doc = pull_spans(&local.to_string())?;
+                std::fs::write(file, geoserp_core::obs::assemble_chrome_trace(&[doc]))?;
+                out.push_str(&format!("(trace written to {file})\n"));
+            }
             server.shutdown();
             out.push_str("smoke ok, server drained\n");
             return Ok(out);
@@ -723,6 +755,11 @@ fn serve_blocking(
                 "routing search.example.com on {local} ({shards} shards x {replicas} replicas)\n"
             );
             smoke_probe(&mut out, &local.to_string())?;
+            if let Some(file) = args.get("trace-out") {
+                trace_one_search(&local.to_string())?;
+                std::fs::write(file, cluster.assemble_trace())?;
+                out.push_str(&format!("(trace written to {file})\n"));
+            }
             cluster.shutdown();
             out.push_str("smoke ok, cluster drained\n");
             return Ok(out);
@@ -750,10 +787,36 @@ fn smoke_probe(out: &mut String, addr: &str) -> Result<(), CliError> {
 
 /// Minimal client for the smoke probe: one request, returns the body.
 fn http_get(addr: &str, path: &str) -> Result<Vec<u8>, CliError> {
-    use geoserp_core::net::{encode_request, parse_response, Request, WireLimits};
+    http_request(
+        addr,
+        &geoserp_core::net::Request::get(geoserp_core::engine::SEARCH_HOST, path),
+    )
+}
+
+/// Issue one traced `/search` so the span logs have a request to show,
+/// then give the serve layer a beat to record the response's flush span.
+fn trace_one_search(addr: &str) -> Result<(), CliError> {
+    let req = geoserp_core::net::Request::get(geoserp_core::engine::SEARCH_HOST, "/search")
+        .with_query("q", "Coffee");
+    http_request(addr, &req)?;
+    std::thread::sleep(std::time::Duration::from_millis(150));
+    Ok(())
+}
+
+/// Pull one process's `/spans` collector document.
+fn pull_spans(addr: &str) -> Result<geoserp_core::obs::ProcessSpans, CliError> {
+    let body = http_get(addr, "/spans")?;
+    let text = String::from_utf8(body)
+        .map_err(|e| CliError::Invalid(format!("{addr}/spans: not UTF-8: {e}")))?;
+    geoserp_core::obs::parse_process_spans(&text)
+        .map_err(|e| CliError::Invalid(format!("{addr}/spans: {e}")))
+}
+
+fn http_request(addr: &str, req: &geoserp_core::net::Request) -> Result<Vec<u8>, CliError> {
+    use geoserp_core::net::{encode_request, parse_response, WireLimits};
     use std::io::{Read, Write};
-    let req = Request::get(geoserp_core::engine::SEARCH_HOST, path);
-    let wire = encode_request(&req).map_err(|e| CliError::Invalid(e.to_string()))?;
+    let path = &req.path;
+    let wire = encode_request(req).map_err(|e| CliError::Invalid(e.to_string()))?;
     let mut stream = std::net::TcpStream::connect(addr)?;
     stream.set_read_timeout(Some(std::time::Duration::from_secs(5)))?;
     stream.write_all(&wire)?;
@@ -793,6 +856,11 @@ pub fn cmd_loadgen(args: &ParsedArgs) -> Result<String, CliError> {
     }
 
     if args.has("matrix") || args.get("addr").is_none() {
+        if args.get("trace-out").is_some() {
+            return Err(CliError::Invalid(
+                "--trace-out needs --addr (a live server to pull /spans from)".into(),
+            ));
+        }
         let seed = args.get_u64("seed", 2015)?;
         let workers: Vec<usize> = args
             .get("workers")
@@ -845,7 +913,55 @@ pub fn cmd_loadgen(args: &ParsedArgs) -> Result<String, CliError> {
         )?;
         out.push_str(&format!("(report written to {file})\n"));
     }
+    if let Some(file) = args.get("trace-out") {
+        let doc = pull_spans(&addr)?;
+        std::fs::write(file, geoserp_core::obs::assemble_chrome_trace(&[doc]))?;
+        out.push_str(&format!("(trace written to {file})\n"));
+    }
     Ok(out)
+}
+
+/// `geoserp trace <src>` — assemble per-process span logs into one merged
+/// Chrome trace. `src` is either a comma-separated list of live server
+/// addresses (each one's `/spans` collector endpoint is pulled) or a
+/// directory of `*.json` span dumps, one per process.
+pub fn cmd_trace(args: &ParsedArgs) -> Result<String, CliError> {
+    let src = args.positional.first().ok_or_else(|| {
+        CliError::Invalid("trace needs addr[,addr,...] or a span-dump directory".into())
+    })?;
+    let mut docs = Vec::new();
+    if src.contains(':') {
+        for addr in src.split(',') {
+            docs.push(pull_spans(addr.trim())?);
+        }
+    } else {
+        let mut files: Vec<std::path::PathBuf> = std::fs::read_dir(src)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "json"))
+            .collect();
+        files.sort();
+        if files.is_empty() {
+            return Err(CliError::Invalid(format!("{src}: no *.json span dumps")));
+        }
+        for f in &files {
+            let text = std::fs::read_to_string(f)?;
+            docs.push(
+                geoserp_core::obs::parse_process_spans(&text)
+                    .map_err(|e| CliError::Invalid(format!("{}: {e}", f.display())))?,
+            );
+        }
+    }
+    let trace = geoserp_core::obs::assemble_chrome_trace(&docs);
+    match args.get("out") {
+        Some(file) => {
+            std::fs::write(file, &trace)?;
+            Ok(format!(
+                "assembled trace over {} process(es) written to {file}\n",
+                docs.len()
+            ))
+        }
+        None => Ok(trace),
+    }
 }
 
 fn write_exports(dataset: &Dataset, dir: &Path) -> Result<(), CliError> {
@@ -1082,6 +1198,30 @@ mod tests {
     }
 
     #[test]
+    fn report_pulls_stage_waterfall_from_a_live_server() {
+        use geoserp_core::serve::{ServeConfig, ServedWorld, SocketServer};
+        let config = ServeConfig::new();
+        let world = ServedWorld::build(
+            7,
+            config.engine_config(geoserp_core::engine::EngineConfig::paper_defaults()),
+        )
+        .unwrap();
+        let server = SocketServer::start("127.0.0.1:0", &world, config).unwrap();
+        let addr = server.local_addr().to_string();
+        trace_one_search(&addr).unwrap();
+
+        let p = parse(&argv(&format!("report {addr}")), &[], &[]).unwrap();
+        let report = cmd_report(&p).unwrap();
+        server.shutdown();
+        assert!(report.contains("[serve stages]"), "{report}");
+        // Single-process serving records every stage except merge (that
+        // one only exists router-side, after the scatter).
+        for stage in ["queue", "parse", "retrieve", "render", "flush"] {
+            assert!(report.contains(stage), "stage {stage} missing: {report}");
+        }
+    }
+
+    #[test]
     fn report_rejects_garbage_and_requires_a_file() {
         let p = parse(&argv("report"), &[], &[]).unwrap();
         assert!(matches!(cmd_report(&p), Err(CliError::Invalid(_))));
@@ -1250,8 +1390,9 @@ mod tests {
                 "shards",
                 "replicas",
                 "hedge-ms",
+                "trace-out",
             ],
-            &["smoke"],
+            &["smoke", "no-tracing"],
         )
         .unwrap()
     }
@@ -1271,6 +1412,104 @@ mod tests {
     fn router_defaults_to_two_by_two() {
         let out = cmd_router(&serve_args("router --addr 127.0.0.1:0 --smoke")).unwrap();
         assert!(out.contains("2 shards x 2 replicas"), "{out}");
+    }
+
+    #[test]
+    fn router_smoke_trace_out_stitches_every_process() {
+        let file = std::env::temp_dir().join(format!("geoserp-trace-{}.json", std::process::id()));
+        let files = file.to_string_lossy().to_string();
+        let out = cmd_router(&serve_args(&format!(
+            "router --addr 127.0.0.1:0 --smoke --trace-out {files}"
+        )))
+        .unwrap();
+        assert!(out.contains("trace written"), "{out}");
+        let trace = std::fs::read_to_string(&file).unwrap();
+        assert!(trace.contains("\"traceEvents\""), "not a chrome trace");
+        for name in ["router", "shard0.r0", "shard1.r1"] {
+            assert!(trace.contains(name), "process {name} missing: {trace:.300}");
+        }
+        assert!(trace.contains("request /search"), "{trace:.300}");
+        assert!(trace.contains("scatter retrieve"), "{trace:.300}");
+        std::fs::remove_file(&file).ok();
+    }
+
+    #[test]
+    fn trace_assembles_span_dumps_from_a_directory() {
+        use geoserp_core::obs::{trace, ObsHub};
+        use std::borrow::Cow;
+        let dir = std::env::temp_dir().join(format!("geoserp-spans-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let root = trace::TraceContext::root(1);
+        let router = std::sync::Arc::new(ObsHub::new());
+        trace::record_span_with(
+            &router,
+            &root,
+            Cow::Borrowed("scatter retrieve"),
+            "router.scatter",
+            2,
+            2,
+            vec![],
+            None,
+        );
+        let shard = std::sync::Arc::new(ObsHub::new());
+        let rpc = root.child("scatter retrieve").child("rpc s0.r0 #0");
+        trace::record_span_with(
+            &shard,
+            &rpc,
+            Cow::Borrowed("request /shard/retrieve"),
+            "serve.request",
+            0,
+            8,
+            vec![],
+            None,
+        );
+        std::fs::write(
+            dir.join("router.json"),
+            trace::process_spans_json("router", &router.spans().snapshot()),
+        )
+        .unwrap();
+        std::fs::write(
+            dir.join("shard0.r0.json"),
+            trace::process_spans_json("shard0.r0", &shard.spans().snapshot()),
+        )
+        .unwrap();
+
+        let out_file = dir.join("assembled.trace");
+        let p = parse(
+            &argv(&format!(
+                "trace {} --out {}",
+                dir.to_string_lossy(),
+                out_file.to_string_lossy()
+            )),
+            &["out"],
+            &[],
+        )
+        .unwrap();
+        let out = cmd_trace(&p).unwrap();
+        assert!(out.contains("2 process(es)"), "{out}");
+        let assembled = std::fs::read_to_string(&out_file).unwrap();
+        assert!(assembled.contains("\"traceEvents\""));
+        assert!(assembled.contains("scatter retrieve"));
+        assert!(assembled.contains("request /shard/retrieve"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn trace_requires_a_source_and_rejects_empty_dirs() {
+        let p = parse(&argv("trace"), &["out"], &[]).unwrap();
+        assert!(matches!(cmd_trace(&p), Err(CliError::Invalid(_))));
+        let dir = std::env::temp_dir().join(format!("geoserp-notraces-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = parse(
+            &argv(&format!("trace {}", dir.to_string_lossy())),
+            &["out"],
+            &[],
+        )
+        .unwrap();
+        let err = cmd_trace(&p).unwrap_err();
+        assert!(err.to_string().contains("span dumps"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -8,7 +8,7 @@ mod commands;
 
 use commands::{
     cmd_analyze, cmd_compare, cmd_export, cmd_loadgen, cmd_probe, cmd_report, cmd_router, cmd_run,
-    cmd_serve, cmd_validate, CliError, HELP,
+    cmd_serve, cmd_trace, cmd_validate, CliError, HELP,
 };
 
 fn dispatch(argv: &[String]) -> Result<String, CliError> {
@@ -78,8 +78,9 @@ fn dispatch(argv: &[String]) -> Result<String, CliError> {
                     "shards",
                     "replicas",
                     "hedge-ms",
+                    "trace-out",
                 ],
-                &["smoke"],
+                &["smoke", "no-tracing"],
             )?;
             if command == "router" {
                 cmd_router(&p)
@@ -99,10 +100,15 @@ fn dispatch(argv: &[String]) -> Result<String, CliError> {
                     "workers",
                     "seed",
                     "out",
+                    "trace-out",
                 ],
                 &["matrix"],
             )?;
             cmd_loadgen(&p)
+        }
+        "trace" => {
+            let p = args::parse(argv, &["out"], &[])?;
+            cmd_trace(&p)
         }
         "help" | "--help" | "-h" | "" => Ok(HELP.to_string()),
         other => Err(CliError::UnknownCommand(other.to_string())),

@@ -316,9 +316,14 @@ impl SearchEngine {
         // so staleness holes never delete a navigational target or an
         // encyclopedia page — only the tail churns, as in real engines.
         self.metrics.index_lookups.inc();
+        let retrieve_started = std::time::Instant::now();
         let mut candidates =
             self.retriever
                 .retrieve(&ctx.query, cfg.organic_count * 3, cfg.partial_match_score);
+        geoserp_obs::trace::record_stage(
+            geoserp_obs::trace::Stage::Retrieve,
+            Some(retrieve_started.elapsed().as_micros() as u64),
+        );
         candidates.retain(|c| {
             self.corpus.page(c.page).authority >= 0.9
                 || !self.noise.page_missing(ctx.datacenter, replica, c.page)

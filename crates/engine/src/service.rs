@@ -120,7 +120,13 @@ impl SearchService {
             page,
         };
         let page = self.engine.search(&sctx);
-        let mut resp = Response::ok(page.render())
+        let rendered = std::time::Instant::now();
+        let body = page.render();
+        geoserp_obs::trace::record_stage(
+            geoserp_obs::trace::Stage::Render,
+            Some(rendered.elapsed().as_micros() as u64),
+        );
+        let mut resp = Response::ok(body)
             .with_header("Content-Type", "text/x-serp")
             .with_header("X-Datacenter", format!("dc{datacenter}"));
         // "Did you mean" travels as a header; the mobile page renders it as

@@ -60,6 +60,7 @@ pub use sim::{NetError, SimNet, SimNetBuilder};
 pub use trace::{EventLog, NetEvent, NetEventKind};
 pub use wire::{
     encode_request, encode_response, parse_request, parse_response, WireError, WireLimits,
+    TRACE_HEADER,
 };
 
 /// Convenience: parse an IPv4 address, panicking on bad literals (for tests

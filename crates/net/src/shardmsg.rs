@@ -6,6 +6,12 @@
 //! crosses the wire — the router recomputes lexical scores with the exact
 //! expression the single-process engine uses, which is what makes the
 //! scatter-gather merge bit-identical by construction.
+//!
+//! Distributed-tracing contexts ride *next to* these DTOs, not inside
+//! them: the router stamps each shard RPC with the
+//! [`crate::wire::TRACE_HEADER`] header so the JSON bodies (and therefore
+//! the merge arithmetic and every golden digest over them) are identical
+//! with tracing on or off.
 
 use serde::{Deserialize, Serialize};
 

@@ -24,6 +24,16 @@ use crate::http::{urldecode, Method, Request, Response, Status};
 use bytes::Bytes;
 use std::fmt;
 
+/// Header carrying a distributed-tracing context between serve-tier
+/// processes (router → shard replica). The value is the deterministic
+/// codec of `geoserp_obs::trace::TraceContext::encode`:
+/// `{trace:016x}-{parent_span:016x}-{base_ms:x}` — token bytes only, so
+/// it passes [`encode_request`]'s header validation unchanged. The codec
+/// itself treats this as an ordinary application header; reserving the
+/// name here keeps every propagation site in the workspace on one
+/// spelling.
+pub const TRACE_HEADER: &str = "X-Geoserp-Trace";
+
 /// Hard bounds a parser enforces on incoming messages.
 ///
 /// The struct is `#[non_exhaustive]`: build it with [`WireLimits::new`] /
@@ -665,6 +675,20 @@ mod tests {
             encode_response(&response),
             Err(WireError::ReservedHeader(_))
         ));
+    }
+
+    #[test]
+    fn trace_header_roundtrips_through_the_codec() {
+        let req = Request::get("h", "/search")
+            .with_header(TRACE_HEADER, "00c0ffee00c0ffee-0123456789abcdef-2a");
+        let wire = encode_request(&req).unwrap();
+        let (back, used) = parse_request(&wire, &limits()).unwrap().unwrap();
+        assert_eq!(used, wire.len());
+        assert_eq!(back, req);
+        assert_eq!(
+            back.header(TRACE_HEADER),
+            Some("00c0ffee00c0ffee-0123456789abcdef-2a")
+        );
     }
 
     #[test]

@@ -18,6 +18,11 @@
 //! Chrome trace-event JSON ([`export::to_chrome_trace`]) loadable in
 //! Perfetto / `chrome://tracing`, and a human [`report::render_run_report`]
 //! per-stage breakdown table.
+//!
+//! The [`trace`] module extends the span log across process boundaries:
+//! deterministic [`TraceContext`]s propagate over the serve tier's wire
+//! protocol and [`assemble_chrome_trace`] stitches per-process span logs
+//! into one causally-linked, byte-stable Chrome trace.
 
 #![warn(missing_docs)]
 
@@ -25,6 +30,7 @@ pub mod export;
 pub mod registry;
 pub mod report;
 pub mod span;
+pub mod trace;
 
 pub use export::to_chrome_trace;
 pub use registry::{
@@ -32,6 +38,10 @@ pub use registry::{
 };
 pub use report::render_run_report;
 pub use span::{SpanLog, SpanRecord};
+pub use trace::{
+    assemble_chrome_trace, parse_process_spans, process_spans_json, ProcessSpans, Stage,
+    TraceContext,
+};
 
 /// Default capacity of the bounded span ring buffer.
 pub const DEFAULT_SPAN_CAPACITY: usize = 1 << 18;

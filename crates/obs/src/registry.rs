@@ -13,17 +13,25 @@ use std::sync::Arc;
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 
-/// Number of log2 buckets in a [`Histogram`]. Bucket 0 holds the value 0;
-/// bucket `i` (for `i >= 1`) holds values in `[2^(i-1), 2^i - 1]`. 42 buckets
-/// cover everything up to `2^41` (≈ 69 years of virtual milliseconds).
-pub const HISTOGRAM_BUCKETS: usize = 42;
+/// Number of buckets in a [`Histogram`]: log2 scale with **2 linear
+/// sub-steps per octave**, so relative resolution is ~50% everywhere
+/// instead of 2× — a 1.0 ms and a 1.9 ms serve stage no longer collapse
+/// into one bucket. Bucket 0 holds the value 0, bucket 1 holds the value
+/// 1; for `v >= 2` with `k = floor(log2 v)`, the octave `[2^k, 2^(k+1))`
+/// splits at `1.5 * 2^k` into buckets `2k` and `2k+1`. 126 buckets cover
+/// the full `u64` range.
+pub const HISTOGRAM_BUCKETS: usize = 126;
 
 fn bucket_index(value: u64) -> usize {
-    if value == 0 {
-        0
-    } else {
-        let idx = 64 - value.leading_zeros() as usize;
-        idx.min(HISTOGRAM_BUCKETS - 1)
+    match value {
+        0 => 0,
+        1 => 1,
+        v => {
+            let k = 63 - v.leading_zeros() as usize;
+            let half = (1u64 << k) + (1u64 << (k - 1));
+            let sub = usize::from(v >= half);
+            (2 * k + sub).min(HISTOGRAM_BUCKETS - 1)
+        }
     }
 }
 
@@ -31,10 +39,19 @@ fn bucket_index(value: u64) -> usize {
 fn bucket_upper_bound(i: usize) -> u64 {
     if i == 0 {
         0
-    } else if i >= 63 {
+    } else if i == 1 {
+        1
+    } else if i >= HISTOGRAM_BUCKETS - 1 {
         u64::MAX
     } else {
-        (1u64 << i) - 1
+        let k = i / 2;
+        if i.is_multiple_of(2) {
+            // Lower half-octave: [2^k, 1.5 * 2^k).
+            (1u64 << k) + (1u64 << (k - 1)) - 1
+        } else {
+            // Upper half-octave: [1.5 * 2^k, 2^(k+1)).
+            (1u64 << (k + 1)) - 1
+        }
     }
 }
 
@@ -126,8 +143,10 @@ struct HistogramCell {
     min: AtomicU64,
 }
 
-/// A log2-bucketed histogram of non-negative integer samples (typically
-/// latencies in virtual milliseconds). Observation is lock-free.
+/// A bucketed histogram of non-negative integer samples (typically
+/// latencies in virtual milliseconds or wall-clock microseconds), on a
+/// log2 scale with two linear sub-steps per octave (see
+/// [`HISTOGRAM_BUCKETS`]). Observation is lock-free.
 #[derive(Debug, Clone)]
 pub struct Histogram(Arc<HistogramCell>);
 
@@ -451,17 +470,37 @@ mod tests {
     use super::*;
 
     #[test]
-    fn bucket_indexing_is_log2() {
+    fn bucket_indexing_is_log2_with_two_linear_substeps() {
         assert_eq!(bucket_index(0), 0);
         assert_eq!(bucket_index(1), 1);
         assert_eq!(bucket_index(2), 2);
-        assert_eq!(bucket_index(3), 2);
-        assert_eq!(bucket_index(4), 3);
-        assert_eq!(bucket_index(1023), 10);
-        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(3), 3);
+        assert_eq!(bucket_index(4), 4);
+        assert_eq!(bucket_index(5), 4);
+        assert_eq!(bucket_index(6), 5);
+        assert_eq!(bucket_index(7), 5);
+        // 1.0 ms vs 1.9 ms (in µs) land in different buckets now.
+        assert_ne!(bucket_index(1000), bucket_index(1900));
+        assert_eq!(bucket_index(1023), 19);
+        assert_eq!(bucket_index(1024), 20);
+        assert_eq!(bucket_index(1535), 20);
+        assert_eq!(bucket_index(1536), 21);
         assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
         assert_eq!(bucket_upper_bound(1), 1);
-        assert_eq!(bucket_upper_bound(10), 1023);
+        assert_eq!(bucket_upper_bound(2), 2);
+        assert_eq!(bucket_upper_bound(3), 3);
+        assert_eq!(bucket_upper_bound(19), 1023);
+        assert_eq!(bucket_upper_bound(20), 1535);
+        assert_eq!(bucket_upper_bound(21), 2047);
+        assert_eq!(bucket_upper_bound(HISTOGRAM_BUCKETS - 1), u64::MAX);
+        // Every value maps into a bucket whose bound contains it.
+        for v in (0u64..4096).chain([u64::MAX / 2, u64::MAX]) {
+            let i = bucket_index(v);
+            assert!(v <= bucket_upper_bound(i), "v={v} i={i}");
+            if i > 0 {
+                assert!(v > bucket_upper_bound(i - 1), "v={v} i={i}");
+            }
+        }
     }
 
     #[test]

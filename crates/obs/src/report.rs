@@ -4,6 +4,7 @@
 use std::collections::BTreeMap;
 
 use crate::registry::{HistogramSnapshot, MetricsSnapshot};
+use crate::trace::Stage;
 
 /// Pipeline stage of a metric: the dotted prefix (`net.rtt_ms` → `net`).
 fn stage_of(name: &str) -> &str {
@@ -18,12 +19,24 @@ fn short_name(name: &str) -> &str {
     }
 }
 
+/// Unit label for the scatter-gather distribution metrics, which count
+/// things (shards, candidate docs) rather than time.
+fn router_unit(short: &str) -> &'static str {
+    match short {
+        "fanout" => "shards",
+        "merge_candidates" => "docs",
+        _ => "",
+    }
+}
+
 /// Render the per-stage breakdown table for a snapshot.
 ///
 /// Counters and gauges are grouped under their stage prefix (`engine`,
 /// `net`, `crawler`, `analysis`); histograms get a latency table with
-/// count / p50 / p90 / p99 / max. Wall-clock metrics (names with the
-/// `_wall_` marker) are rendered in their own clearly-labelled section.
+/// count / p50 / p90 / p99 / max. The `router.*` scatter-gather family
+/// and the `serve.stage.*` per-request waterfall get dedicated sections.
+/// Wall-clock metrics (names with the `_wall_` marker) are rendered in
+/// their own clearly-labelled section.
 pub fn render_run_report(snap: &MetricsSnapshot) -> String {
     let mut out = String::new();
     out.push_str("geoserp run report\n");
@@ -32,12 +45,18 @@ pub fn render_run_report(snap: &MetricsSnapshot) -> String {
     let det = snap.deterministic();
     let mut stages: BTreeMap<&str, Vec<(&str, String)>> = BTreeMap::new();
     for (name, value) in &det.counters {
+        if stage_of(name) == "router" {
+            continue; // rendered in the dedicated [router] section
+        }
         stages
             .entry(stage_of(name))
             .or_default()
             .push((short_name(name), value.to_string()));
     }
     for (name, value) in &det.gauges {
+        if stage_of(name) == "router" {
+            continue;
+        }
         stages
             .entry(stage_of(name))
             .or_default()
@@ -52,9 +71,49 @@ pub fn render_run_report(snap: &MetricsSnapshot) -> String {
         }
     }
 
-    let histograms: Vec<(&String, &HistogramSnapshot)> = det.histograms.iter().collect();
+    // Scatter-gather: counters plus distribution histograms whose samples
+    // are counts (shards per scatter, docs per merge), not latencies.
+    let router_counters: Vec<(&str, String)> = det
+        .counters
+        .iter()
+        .filter(|(k, _)| stage_of(k) == "router")
+        .map(|(k, v)| (short_name(k), v.to_string()))
+        .collect();
+    let router_hists: Vec<(&str, &HistogramSnapshot)> = det
+        .histograms
+        .iter()
+        .filter(|(k, _)| stage_of(k) == "router")
+        .map(|(k, h)| (short_name(k), h))
+        .collect();
+    if !router_counters.is_empty() || !router_hists.is_empty() {
+        out.push_str("\n[router] (scatter-gather)\n");
+        let width = router_counters
+            .iter()
+            .map(|(n, _)| n.len())
+            .chain(router_hists.iter().map(|(n, _)| n.len()))
+            .max()
+            .unwrap_or(0);
+        for (name, value) in &router_counters {
+            out.push_str(&format!("  {name:width$}  {value:>12}\n"));
+        }
+        for (name, h) in &router_hists {
+            out.push_str(&format!(
+                "  {name:width$}  n={} p50={} max={} {}\n",
+                h.count,
+                h.p50,
+                h.max,
+                router_unit(name)
+            ));
+        }
+    }
+
+    let histograms: Vec<(&String, &HistogramSnapshot)> = det
+        .histograms
+        .iter()
+        .filter(|(k, _)| stage_of(k) != "router")
+        .collect();
     if !histograms.is_empty() {
-        out.push_str("\n[latency] (virtual ms, log2 buckets)\n");
+        out.push_str("\n[latency] (virtual ms, log2 buckets, 2 linear sub-steps)\n");
         let width = histograms
             .iter()
             .map(|(n, _)| n.len())
@@ -73,6 +132,37 @@ pub fn render_run_report(snap: &MetricsSnapshot) -> String {
         }
     }
 
+    // Per-request serve waterfall, pipeline order (wall µs per stage).
+    let stage_rows: Vec<(&'static str, &HistogramSnapshot)> = Stage::ALL
+        .iter()
+        .filter_map(|s| {
+            snap.histograms
+                .get(s.histogram_name())
+                .map(|h| (s.name(), h))
+        })
+        .filter(|(_, h)| h.count > 0)
+        .collect();
+    if !stage_rows.is_empty() {
+        out.push_str("\n[serve stages] (wall us per request; excluded from digests)\n");
+        let width = stage_rows
+            .iter()
+            .map(|(n, _)| n.len())
+            .max()
+            .unwrap_or(0)
+            .max("stage".len());
+        out.push_str(&format!(
+            "  {:width$}  {:>8}  {:>8}  {:>8}  {:>8}  {:>8}\n",
+            "stage", "count", "p50", "p90", "p99", "max"
+        ));
+        for (name, h) in &stage_rows {
+            out.push_str(&format!(
+                "  {name:width$}  {:>8}  {:>8}  {:>8}  {:>8}  {:>8}\n",
+                h.count, h.p50, h.p90, h.p99, h.max
+            ));
+        }
+    }
+
+    let stage_name = |k: &str| Stage::ALL.iter().any(|s| s.histogram_name() == k);
     let wall: Vec<(String, String)> = snap
         .gauges
         .iter()
@@ -81,7 +171,7 @@ pub fn render_run_report(snap: &MetricsSnapshot) -> String {
         .chain(
             snap.histograms
                 .iter()
-                .filter(|(k, _)| k.contains(crate::registry::WALL_MARKER))
+                .filter(|(k, _)| k.contains(crate::registry::WALL_MARKER) && !stage_name(k))
                 .map(|(k, h)| {
                     (
                         k.clone(),
@@ -132,5 +222,42 @@ mod tests {
         assert!(text.contains("crawler.checkpoint_wall_us"));
         // Wall metrics stay out of the deterministic stage tables.
         assert!(!text.contains("[analysis]\n"));
+    }
+
+    #[test]
+    fn report_renders_router_family_and_serve_stage_waterfall() {
+        let reg = MetricsRegistry::new();
+        reg.counter("router.hedge_fired").add(2);
+        reg.counter("router.retries").add(1);
+        reg.counter("router.shard_errors").add(3);
+        let fanout = reg.histogram("router.fanout");
+        fanout.observe(2);
+        fanout.observe(2);
+        reg.histogram("router.merge_candidates").observe(17);
+        for s in Stage::ALL {
+            reg.histogram(s.histogram_name()).observe(250);
+        }
+
+        let text = render_run_report(&reg.snapshot());
+        assert!(text.contains("[router] (scatter-gather)"));
+        assert!(text.contains("hedge_fired"));
+        assert!(text.contains("retries"));
+        assert!(text.contains("shard_errors"));
+        assert!(text.contains("fanout"), "{text}");
+        assert!(text.contains("n=2 p50=2 max=2 shards"), "{text}");
+        assert!(text.contains("n=1 p50=17 max=17 docs"), "{text}");
+        // Router distributions are not latencies: out of the latency table.
+        assert!(!text.contains("router.fanout"), "{text}");
+        assert!(!text.contains("[latency]"), "{text}");
+
+        assert!(text.contains("[serve stages]"), "{text}");
+        let stage_section = text.split("[serve stages]").nth(1).unwrap();
+        let order: Vec<usize> = Stage::ALL
+            .iter()
+            .map(|s| stage_section.find(&format!("\n  {}", s.name())).unwrap())
+            .collect();
+        assert!(order.windows(2).all(|w| w[0] < w[1]), "pipeline order");
+        // Stage histograms render only in the waterfall, not [wall clock].
+        assert!(!text.contains("serve.stage.queue_wall_us"), "{text}");
     }
 }

@@ -38,6 +38,7 @@ use crate::bufpool::{BufferPool, Slab};
 use crate::server::{encode_or_bare, ipv6_reject_response, shed_response, Shared};
 use crate::timer::{TimerEntry, TimerWheel};
 use geoserp_net::{parse_request, Response, Status};
+use geoserp_obs::trace::{self, Stage, TraceContext};
 use mio::event::Source;
 use mio::net::{TcpListener, TcpStream};
 use mio::{Events, Interest, Poll, Token, Waker};
@@ -47,7 +48,7 @@ use std::net::{IpAddr, Ipv4Addr};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Token the per-loop waker fires with.
 const WAKER_KEY: usize = usize::MAX;
@@ -72,8 +73,10 @@ const MAX_POOLED: usize = 256;
 /// Events per poll call.
 const EVENTS_CAPACITY: usize = 256;
 
-/// A connection handed from the accept loop to its owning event loop.
-type Handoff = (TcpStream, Ipv4Addr);
+/// A connection handed from the accept loop to its owning event loop,
+/// stamped with its accept instant (the start of the first request's
+/// queue-wait stage).
+type Handoff = (TcpStream, Ipv4Addr, Instant);
 
 /// How another thread reaches one event loop.
 struct Injector {
@@ -91,10 +94,15 @@ struct Conn {
     write_buf: Vec<u8>,
     /// Prefix of `write_buf` already written.
     written: usize,
-    /// End offsets in `write_buf` of queued *routed* responses, ascending
+    /// Queued *routed* responses as `(end offset in write_buf, trace
+    /// context, queued-at instant)`, end offsets ascending
     /// (`serve.responses` counts a response when its last byte reaches the
-    /// socket, matching the blocking core's count-after-write).
-    resp_ends: Vec<usize>,
+    /// socket, matching the blocking core's count-after-write; the flush
+    /// stage span is recorded at the same point).
+    resp_ends: Vec<(usize, Option<TraceContext>, Instant)>,
+    /// Queue-wait clock for the request in flight: the accept instant,
+    /// reset each time a response is queued.
+    ready: Instant,
     /// Generation of the most recently armed timer (stale wheel entries
     /// carry an older generation and are ignored).
     gen: u64,
@@ -108,17 +116,24 @@ struct Conn {
 }
 
 impl Conn {
-    /// Remove and count the queued responses whose bytes have fully
-    /// reached the socket.
-    fn take_flushed(&mut self) -> u64 {
+    /// Remove the queued responses whose bytes have fully reached the
+    /// socket, yielding their trace contexts and queued-at instants.
+    /// Returns an empty (non-allocating) vec on the common nothing-
+    /// completed path.
+    fn take_flushed(&mut self) -> Vec<(Option<TraceContext>, Instant)> {
         let written = self.written;
         let n = self
             .resp_ends
             .iter()
-            .take_while(|&&end| end <= written)
+            .take_while(|(end, _, _)| *end <= written)
             .count();
-        self.resp_ends.drain(..n);
-        n as u64
+        if n == 0 {
+            return Vec::new();
+        }
+        self.resp_ends
+            .drain(..n)
+            .map(|(_, t, at)| (t, at))
+            .collect()
     }
 }
 
@@ -312,11 +327,17 @@ impl EventLoop {
     fn process_requests(&mut self, key: usize) -> usize {
         let mut consumed = 0;
         loop {
-            let (src, parse_res) = match self.conns.get_mut(key) {
-                Some(c) if !c.close_after_flush => (
-                    c.src,
-                    parse_request(&c.read_buf[consumed..], &self.shared.config.limits),
-                ),
+            let (src, ready, parse_res, parse_us) = match self.conns.get_mut(key) {
+                Some(c) if !c.close_after_flush => {
+                    let parse_started = Instant::now();
+                    let res = parse_request(&c.read_buf[consumed..], &self.shared.config.limits);
+                    (
+                        c.src,
+                        c.ready,
+                        res,
+                        parse_started.elapsed().as_micros() as u64,
+                    )
+                }
                 _ => break,
             };
             match parse_res {
@@ -326,13 +347,15 @@ impl EventLoop {
                     let close_requested = req
                         .header("Connection")
                         .is_some_and(|v| v.eq_ignore_ascii_case("close"));
-                    let resp = self.shared.route(src, &req);
-                    let bytes = encode_or_bare(&resp);
+                    let routed = self.shared.route(src, &req, ready, parse_us);
+                    let bytes = encode_or_bare(&routed.resp);
                     let Some(c) = self.conns.get_mut(key) else {
                         break;
                     };
                     c.write_buf.extend_from_slice(&bytes);
-                    c.resp_ends.push(c.write_buf.len());
+                    c.resp_ends
+                        .push((c.write_buf.len(), routed.trace, Instant::now()));
+                    c.ready = Instant::now();
                     if !self.shared.config.keep_alive
                         || close_requested
                         || self.shared.shutdown.load(Ordering::Relaxed)
@@ -409,10 +432,20 @@ impl EventLoop {
                             c.written += n;
                             c.take_flushed()
                         }
-                        None => 0,
+                        None => Vec::new(),
                     };
-                    if flushed > 0 {
-                        self.shared.metrics.responses.add(flushed);
+                    if !flushed.is_empty() {
+                        self.shared.metrics.responses.add(flushed.len() as u64);
+                        for (tctx, queued_at) in flushed {
+                            if let Some(tctx) = tctx {
+                                trace::record_stage_with(
+                                    &self.shared.hub,
+                                    &tctx,
+                                    Stage::Flush,
+                                    Some(queued_at.elapsed().as_micros() as u64),
+                                );
+                            }
+                        }
                     }
                 }
                 Err(ref e) if e.kind() == ErrorKind::WouldBlock => {
@@ -586,12 +619,16 @@ impl EventLoop {
                         }
                     };
                     self.open.fetch_add(1, Ordering::SeqCst);
+                    let accepted = Instant::now();
                     let target = self.next_peer % self.peers.len();
                     self.next_peer = self.next_peer.wrapping_add(1);
                     if target == self.index {
-                        self.adopt(stream, src);
+                        self.adopt(stream, src, accepted);
                     } else {
-                        self.peers[target].inbox.lock().push((stream, src));
+                        self.peers[target]
+                            .inbox
+                            .lock()
+                            .push((stream, src, accepted));
                         let _ = self.peers[target].waker.wake();
                     }
                 }
@@ -606,7 +643,7 @@ impl EventLoop {
 
     /// Take ownership of an admitted connection: register, arm the read
     /// deadline, and pump once (the socket may already hold a request).
-    fn adopt(&mut self, stream: TcpStream, src: Ipv4Addr) {
+    fn adopt(&mut self, stream: TcpStream, src: Ipv4Addr, accepted: Instant) {
         let _ = stream.set_nodelay(true);
         let conn = Conn {
             stream,
@@ -615,6 +652,7 @@ impl EventLoop {
             write_buf: self.bufs.get(),
             written: 0,
             resp_ends: Vec::new(),
+            ready: accepted,
             gen: 0,
             close_after_flush: false,
             wants_writable: false,
@@ -647,13 +685,13 @@ impl EventLoop {
             if batch.is_empty() {
                 return;
             }
-            for (stream, src) in batch {
+            for (stream, src, accepted) in batch {
                 if self.draining {
                     // Admitted before shutdown hit; refuse by close.
                     self.open.fetch_sub(1, Ordering::SeqCst);
                     continue;
                 }
-                self.adopt(stream, src);
+                self.adopt(stream, src, accepted);
             }
         }
     }

@@ -29,6 +29,19 @@
 //! did-you-mean suggest), and ring placement is a pure function of the
 //! per-shard request counter, fault tests can replay the ring and predict
 //! `router.retries` / `router.hedge_fired` *exactly*.
+//!
+//! # Distributed tracing
+//!
+//! When the router's request carries an active trace context (see
+//! [`geoserp_obs::trace`]), each scatter records a `router.scatter` span
+//! and each replica attempt a `router.rpc` span named
+//! `rpc s<shard>.r<replica> #<attempt>`. The attempt's trace context is
+//! derived with *that exact name* as the label and stamped onto the shard
+//! request as the [`TRACE_HEADER`] header, so the shard-side `request`
+//! span parents to the router-side rpc span by construction — including
+//! the losing arm of a hedge race, whose span is marked `outcome=lose`.
+//! [`ShardedCluster::assemble_trace`] stitches the router's and every
+//! replica's span log into one merged Chrome trace.
 
 use crate::server::{ServeConfig, SocketServer, DAY_MS};
 use crate::shard::{retrieve_request, suggest_request, ShardService};
@@ -42,8 +55,11 @@ use geoserp_net::shardmsg::{
 };
 use geoserp_net::{
     encode_request, ip, parse_response, Request, RequestCtx, Response, Server, Status, WireLimits,
+    TRACE_HEADER,
 };
+use geoserp_obs::trace::{self, assemble_chrome_trace, ProcessSpans, Stage, TraceContext};
 use geoserp_obs::{Counter, Histogram, ObsHub};
+use std::borrow::Cow;
 use std::io::{Read, Write};
 use std::net::{Ipv4Addr, SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -61,6 +77,8 @@ struct RouterMetrics {
     retries: Counter,
     /// Scatters in which a shard produced no usable response at all.
     shard_errors: Counter,
+    /// Candidates surviving the exact merge, observed once per retrieve.
+    merge_candidates: Histogram,
 }
 
 impl RouterMetrics {
@@ -71,6 +89,7 @@ impl RouterMetrics {
             hedge_fired: m.counter("router.hedge_fired"),
             retries: m.counter("router.retries"),
             shard_errors: m.counter("router.shard_errors"),
+            merge_candidates: m.histogram("router.merge_candidates"),
         }
     }
 }
@@ -88,6 +107,20 @@ struct ShardClient {
     latency: Histogram,
 }
 
+/// Bookkeeping for one replica attempt, kept until the race resolves so
+/// every arm's `router.rpc` span can be recorded with its outcome.
+struct AttemptInfo {
+    /// The rpc span's name — also the label the attempt's trace context
+    /// was derived with (see [`RemoteRetriever::call`]).
+    name: String,
+    /// Why this attempt was launched: `primary`, `hedge`, or `retry`.
+    kind: &'static str,
+    /// Launch instant, for the span's wall-clock annotation.
+    started: Instant,
+    /// The attempt resolved with an error before the race ended.
+    errored: bool,
+}
+
 /// A [`Retriever`] that scatters to shard replicas over TCP and merges
 /// exactly. Plug into [`geoserp_engine::SearchEngineBuilder::retriever`].
 pub struct RemoteRetriever {
@@ -96,6 +129,9 @@ pub struct RemoteRetriever {
     io_timeout: Duration,
     limits: WireLimits,
     metrics: RouterMetrics,
+    /// The router's hub — scatter/rpc spans are recorded here explicitly
+    /// because attempt threads don't inherit the thread-local trace stack.
+    hub: Arc<ObsHub>,
 }
 
 impl RemoteRetriever {
@@ -106,7 +142,7 @@ impl RemoteRetriever {
         shard_addrs: Vec<Vec<SocketAddr>>,
         hedge_ms: u64,
         io_timeout_ms: u64,
-        hub: &ObsHub,
+        hub: Arc<ObsHub>,
     ) -> RemoteRetriever {
         let shards = shard_addrs
             .into_iter()
@@ -127,49 +163,83 @@ impl RemoteRetriever {
             // Shard responses can carry thousands of posting ids; give
             // them more body headroom than a public-facing parser would.
             limits: WireLimits::new().max_body_bytes(8 * 1024 * 1024),
-            metrics: RouterMetrics::resolve(hub),
+            metrics: RouterMetrics::resolve(&hub),
+            hub,
         }
     }
 
     /// One shard call with hedging and ring-order retry. `None` means every
     /// replica failed (already counted in `router.shard_errors`).
-    fn call(&self, client: &ShardClient, wire: &[u8]) -> Option<Response> {
+    ///
+    /// With an active scatter context `sctx`, every attempt is recorded as
+    /// a `router.rpc` span once the race resolves, and each attempt's wire
+    /// is re-encoded with its own [`TRACE_HEADER`] so shard-side spans
+    /// link under the correct arm.
+    fn call(
+        &self,
+        shard: usize,
+        client: &ShardClient,
+        req: &Request,
+        wire: &[u8],
+        sctx: Option<TraceContext>,
+    ) -> Option<Response> {
         let key = client.counter.fetch_add(1, Ordering::Relaxed);
-        let order: Vec<SocketAddr> = client
-            .ring
-            .order(key)
-            .into_iter()
-            .map(|r| client.addrs[r as usize])
-            .collect();
-        let (tx, rx) = mpsc::channel::<std::io::Result<Response>>();
+        let order = client.ring.order(key);
+        let (tx, rx) = mpsc::channel::<(usize, std::io::Result<Response>)>();
+        let mut attempts: Vec<AttemptInfo> = Vec::new();
         let mut next = 0usize;
         let mut outstanding = 0usize;
-        let launch = |next: &mut usize, outstanding: &mut usize| -> bool {
+        let launch = |next: &mut usize,
+                      outstanding: &mut usize,
+                      attempts: &mut Vec<AttemptInfo>,
+                      kind: &'static str|
+         -> bool {
             if *next >= order.len() {
                 return false;
             }
-            let addr = order[*next];
+            let replica = order[*next];
+            let addr = client.addrs[replica as usize];
+            let no = *next;
             *next += 1;
             *outstanding += 1;
+            let name = format!("rpc s{shard}.r{replica} #{no}");
+            // The attempt context's label IS the rpc span's name — that
+            // equality is what parents the shard-side `request` span to
+            // this attempt's span in the assembled trace.
+            let wire = match sctx {
+                Some(c) => {
+                    let mut traced = req.clone();
+                    traced
+                        .headers
+                        .push((TRACE_HEADER.to_string(), c.child(&name).encode()));
+                    encode_request(&traced).expect("shard requests encode")
+                }
+                None => wire.to_vec(),
+            };
+            attempts.push(AttemptInfo {
+                name,
+                kind,
+                started: Instant::now(),
+                errored: false,
+            });
             let tx = tx.clone();
-            let wire = wire.to_vec();
             let timeout = self.io_timeout;
             let limits = self.limits;
             // Detached on purpose: a hedged-over slow primary may still be
             // mid-read when the winner returns; its late send just fails.
             std::thread::spawn(move || {
-                let _ = tx.send(attempt(addr, &wire, timeout, &limits));
+                let _ = tx.send((no, attempt(addr, &wire, timeout, &limits)));
             });
             true
         };
 
-        launch(&mut next, &mut outstanding);
+        launch(&mut next, &mut outstanding, &mut attempts, "primary");
         // Hedge window: a primary that neither answers nor errors within
         // the threshold gets a second replica raced against it.
         let mut pending = match rx.recv_timeout(self.hedge) {
             Ok(r) => Some(r),
             Err(mpsc::RecvTimeoutError::Timeout) => {
-                if launch(&mut next, &mut outstanding) {
+                if launch(&mut next, &mut outstanding, &mut attempts, "hedge") {
                     self.metrics.hedge_fired.inc();
                 }
                 None
@@ -179,22 +249,27 @@ impl RemoteRetriever {
             }
         };
         loop {
-            let result = match pending.take() {
+            let (no, result) = match pending.take() {
                 Some(r) => r,
                 None => rx.recv().expect("router holds a live sender"),
             };
             match result {
-                Ok(resp) => return Some(resp),
+                Ok(resp) => {
+                    self.record_attempts(sctx, &attempts, Some(no));
+                    return Some(resp);
+                }
                 Err(_) => {
+                    attempts[no].errored = true;
                     outstanding -= 1;
                     if outstanding > 0 {
                         // A hedge is still racing; let it decide.
                         continue;
                     }
-                    if launch(&mut next, &mut outstanding) {
+                    if launch(&mut next, &mut outstanding, &mut attempts, "retry") {
                         self.metrics.retries.inc();
                     } else {
                         self.metrics.shard_errors.inc();
+                        self.record_attempts(sctx, &attempts, None);
                         return None;
                     }
                 }
@@ -202,23 +277,71 @@ impl RemoteRetriever {
         }
     }
 
+    /// Record one `router.rpc` span per attempt with its race outcome:
+    /// `win` for the attempt whose response was taken, `error` for
+    /// attempts that failed, and `lose` for an arm still in flight when
+    /// the winner returned — the losing hedge arm.
+    fn record_attempts(
+        &self,
+        sctx: Option<TraceContext>,
+        attempts: &[AttemptInfo],
+        winner: Option<usize>,
+    ) {
+        let Some(ctx) = sctx else { return };
+        for (i, a) in attempts.iter().enumerate() {
+            let outcome = if winner == Some(i) {
+                "win"
+            } else if a.errored {
+                "error"
+            } else {
+                "lose"
+            };
+            trace::record_span_with(
+                &self.hub,
+                &ctx,
+                Cow::Owned(a.name.clone()),
+                "router.rpc",
+                trace::RPC_OFFSET_MS,
+                1,
+                vec![
+                    ("kind", a.kind.to_string()),
+                    ("outcome", outcome.to_string()),
+                ],
+                Some(a.started.elapsed().as_micros() as u64),
+            );
+        }
+    }
+
     /// Scatter `req` to every shard in parallel; responses in shard order.
     /// A shard that fails entirely (or answers garbage) contributes
     /// `T::default()` — an empty part the merge treats as "no matches
     /// here".
-    fn scatter<T: serde::Deserialize + Default>(&self, req: &Request) -> Vec<T> {
+    ///
+    /// `label` names the scatter's span (`scatter retrieve` /
+    /// `scatter suggest`) and scopes every attempt context beneath it.
+    fn scatter<T: serde::Deserialize + Default>(
+        &self,
+        req: &Request,
+        label: &'static str,
+    ) -> Vec<T> {
+        // Scoped threads don't inherit the thread-local trace stack, so
+        // the scatter context is captured here and handed to each slice.
+        let rctx = trace::current();
+        let sctx = rctx.map(|c| c.child(label));
         let wire = encode_request(req).expect("shard requests encode");
         self.metrics.fanout.observe(self.shards.len() as u64);
+        let started = Instant::now();
         let mut out = Vec::with_capacity(self.shards.len());
         std::thread::scope(|scope| {
             let handles: Vec<_> = self
                 .shards
                 .iter()
-                .map(|client| {
+                .enumerate()
+                .map(|(s, client)| {
                     let wire = &wire;
                     scope.spawn(move || {
                         let started = Instant::now();
-                        let resp = self.call(client, wire);
+                        let resp = self.call(s, client, req, wire, sctx);
                         client.latency.observe(started.elapsed().as_micros() as u64);
                         resp
                     })
@@ -242,6 +365,18 @@ impl RemoteRetriever {
                 }
             }
         });
+        if let Some(rc) = rctx {
+            trace::record_span_with(
+                &self.hub,
+                &rc,
+                Cow::Borrowed(label),
+                "router.scatter",
+                trace::RPC_OFFSET_MS,
+                Stage::Retrieve.dur_ms(),
+                vec![("shards", self.shards.len().to_string())],
+                Some(started.elapsed().as_micros() as u64),
+            );
+        }
         out
     }
 }
@@ -252,15 +387,21 @@ impl Retriever for RemoteRetriever {
             query: query.to_string(),
             max_partials: max_partials(min_candidates) as u32,
         });
-        let parts: Vec<ShardRetrieveResponse> = self.scatter(&req);
-        merge_retrieve(query, min_candidates, partial_score, &parts)
+        let parts: Vec<ShardRetrieveResponse> = self.scatter(&req, "scatter retrieve");
+        let started = Instant::now();
+        let merged = merge_retrieve(query, min_candidates, partial_score, &parts);
+        self.metrics.merge_candidates.observe(merged.len() as u64);
+        trace::record_stage(Stage::Merge, Some(started.elapsed().as_micros() as u64));
+        merged
     }
 
     fn suggest(&self, query: &str) -> Option<String> {
         let req = suggest_request(&ShardSuggestRequest {
             query: query.to_string(),
         });
-        let parts: Vec<ShardSuggestResponse> = self.scatter(&req);
+        // No merge stage here: the suggest merge is a handful of string
+        // compares, and the request's `merge` span ID is already taken.
+        let parts: Vec<ShardSuggestResponse> = self.scatter(&req, "scatter suggest");
         merge_suggest(query, &parts)
     }
 }
@@ -387,10 +528,12 @@ impl ClusterConfig {
 pub struct ShardedCluster {
     router: Option<SocketServer>,
     router_addr: SocketAddr,
-    /// Router-side hub: engine + serve + `router.*` metrics.
+    /// Router-side hub: engine + serve + `router.*` metrics and spans.
     pub hub: Arc<ObsHub>,
-    /// Hub shared by every shard server (serve-layer metrics only).
-    pub shard_hub: Arc<ObsHub>,
+    /// Per-replica hubs, `shard_hubs[shard][replica]` — each replica's
+    /// serve metrics and spans, under process name `shard<s>.r<r>`. Kept
+    /// here so a killed replica's spans survive for trace assembly.
+    pub shard_hubs: Vec<Vec<Arc<ObsHub>>>,
     /// `replicas[shard][replica]`; `None` once killed.
     replicas: Vec<Vec<Option<SocketServer>>>,
     addrs: Vec<Vec<SocketAddr>>,
@@ -418,14 +561,17 @@ impl ShardedCluster {
 
         // Shard tier: one ShardService per shard, M socket servers each.
         // All shard traffic originates from the router's single loopback
-        // IP, so the per-IP serve limiter must be permissive here.
-        let shard_hub = Arc::new(ObsHub::new());
+        // IP, so the per-IP serve limiter must be permissive here. Each
+        // replica gets its own hub so assembled traces can attribute
+        // spans to the exact process that recorded them.
         let shard_serve = cfg.serve.clone().rate_limit(usize::MAX / 2, 60_000);
         let dc0 = ip("10.50.0.1");
+        let mut shard_hubs: Vec<Vec<Arc<ObsHub>>> = Vec::new();
         let mut replicas: Vec<Vec<Option<SocketServer>>> = Vec::new();
         let mut addrs: Vec<Vec<SocketAddr>> = Vec::new();
         for (s, range) in plan.ranges.iter().enumerate() {
             let service: Arc<ShardService> = Arc::new(ShardService::build(&corpus, range.clone()));
+            let mut hubs = Vec::new();
             let mut shard_replicas = Vec::new();
             let mut shard_addrs = Vec::new();
             for r in 0..cfg.replicas {
@@ -435,24 +581,31 @@ impl ShardedCluster {
                         svc = Arc::new(DelayServer::new(svc, delay_ms));
                     }
                 }
+                let replica_hub = Arc::new(ObsHub::new());
                 let server = SocketServer::start_service(
                     "127.0.0.1:0",
                     svc,
-                    Arc::clone(&shard_hub),
+                    Arc::clone(&replica_hub),
                     dc0,
-                    shard_serve.clone(),
+                    shard_serve.clone().process(&format!("shard{s}.r{r}")),
                 )?;
                 shard_addrs.push(server.local_addr());
+                hubs.push(replica_hub);
                 shard_replicas.push(Some(server));
             }
+            shard_hubs.push(hubs);
             replicas.push(shard_replicas);
             addrs.push(shard_addrs);
         }
 
         // Router tier: a full search world whose retrieval is remote.
         let hub = Arc::new(ObsHub::new());
-        let retriever =
-            RemoteRetriever::new(addrs.clone(), cfg.hedge_ms, cfg.serve.read_timeout_ms, &hub);
+        let retriever = RemoteRetriever::new(
+            addrs.clone(),
+            cfg.hedge_ms,
+            cfg.serve.read_timeout_ms,
+            Arc::clone(&hub),
+        );
         let engine = Arc::new(
             SearchEngine::builder(corpus, &geo, world_seed)
                 .config(cfg.serve.engine_config(engine))
@@ -473,17 +626,37 @@ impl ShardedCluster {
             service as Arc<dyn Server>,
             Arc::clone(&hub),
             dc_addrs[0],
-            cfg.serve,
+            cfg.serve.process("router"),
         )?;
         let router_addr = router.local_addr();
         Ok(ShardedCluster {
             router: Some(router),
             router_addr,
             hub,
-            shard_hub,
+            shard_hubs,
             replicas,
             addrs,
         })
+    }
+
+    /// Assemble the cluster's span logs — the router's plus every shard
+    /// replica's — into one merged, deterministic Chrome trace. Reads the
+    /// hubs directly (equivalent to pulling each process's `/spans`
+    /// collector endpoint), so killed replicas are still represented.
+    pub fn assemble_trace(&self) -> String {
+        let mut procs = vec![ProcessSpans::from_records(
+            "router",
+            &self.hub.spans().snapshot(),
+        )];
+        for (s, hubs) in self.shard_hubs.iter().enumerate() {
+            for (r, hub) in hubs.iter().enumerate() {
+                procs.push(ProcessSpans::from_records(
+                    &format!("shard{s}.r{r}"),
+                    &hub.spans().snapshot(),
+                ));
+            }
+        }
+        assemble_chrome_trace(&procs)
     }
 
     /// The router's bound address — where clients send `/search`.
@@ -574,9 +747,9 @@ mod tests {
         let mut addrs = vec![live.local_addr(); 2];
         addrs[order[0] as usize] = dead_addr();
         addrs[order[1] as usize] = live.local_addr();
-        let hub = ObsHub::new();
-        let retr = RemoteRetriever::new(vec![addrs], 5_000, 2_000, &hub);
-        let parts: Vec<ShardRetrieveResponse> = retr.scatter(&toy_request());
+        let hub = Arc::new(ObsHub::new());
+        let retr = RemoteRetriever::new(vec![addrs], 5_000, 2_000, Arc::clone(&hub));
+        let parts: Vec<ShardRetrieveResponse> = retr.scatter(&toy_request(), "scatter retrieve");
         assert_eq!(parts[0].fulls, vec![7], "fallback replica answered");
         let snap = hub.snapshot();
         assert_eq!(snap.counters.get("router.retries"), Some(&1));
@@ -593,9 +766,9 @@ mod tests {
         let mut addrs = vec![fast.local_addr(); 2];
         addrs[order[0] as usize] = slow.local_addr();
         addrs[order[1] as usize] = fast.local_addr();
-        let hub = ObsHub::new();
-        let retr = RemoteRetriever::new(vec![addrs], 60, 5_000, &hub);
-        let parts: Vec<ShardRetrieveResponse> = retr.scatter(&toy_request());
+        let hub = Arc::new(ObsHub::new());
+        let retr = RemoteRetriever::new(vec![addrs], 60, 5_000, Arc::clone(&hub));
+        let parts: Vec<ShardRetrieveResponse> = retr.scatter(&toy_request(), "scatter retrieve");
         assert_eq!(parts[0].fulls, vec![2], "hedge won the race");
         let snap = hub.snapshot();
         assert_eq!(snap.counters.get("router.hedge_fired"), Some(&1));
@@ -606,9 +779,14 @@ mod tests {
 
     #[test]
     fn all_replicas_dead_degrades_to_an_empty_part() {
-        let hub = ObsHub::new();
-        let retr = RemoteRetriever::new(vec![vec![dead_addr(), dead_addr()]], 5_000, 1_000, &hub);
-        let parts: Vec<ShardRetrieveResponse> = retr.scatter(&toy_request());
+        let hub = Arc::new(ObsHub::new());
+        let retr = RemoteRetriever::new(
+            vec![vec![dead_addr(), dead_addr()]],
+            5_000,
+            1_000,
+            Arc::clone(&hub),
+        );
+        let parts: Vec<ShardRetrieveResponse> = retr.scatter(&toy_request(), "scatter retrieve");
         assert_eq!(parts[0], ShardRetrieveResponse::default());
         let snap = hub.snapshot();
         assert_eq!(snap.counters.get("router.shard_errors"), Some(&1));
@@ -624,9 +802,14 @@ mod tests {
         let broken: Arc<dyn Server> =
             Arc::new(|_: &RequestCtx, _: &Request| Response::status(Status::InternalError));
         let server = start_toy(broken);
-        let hub = ObsHub::new();
-        let retr = RemoteRetriever::new(vec![vec![server.local_addr()]], 5_000, 1_000, &hub);
-        let parts: Vec<ShardRetrieveResponse> = retr.scatter(&toy_request());
+        let hub = Arc::new(ObsHub::new());
+        let retr = RemoteRetriever::new(
+            vec![vec![server.local_addr()]],
+            5_000,
+            1_000,
+            Arc::clone(&hub),
+        );
+        let parts: Vec<ShardRetrieveResponse> = retr.scatter(&toy_request(), "scatter retrieve");
         assert_eq!(parts[0], ShardRetrieveResponse::default());
         assert_eq!(hub.snapshot().counters.get("router.shard_errors"), Some(&1));
         server.shutdown();

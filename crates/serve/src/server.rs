@@ -43,10 +43,12 @@ use geoserp_geo::{Seed, UsGeography};
 use geoserp_net::clock::SimInstant;
 use geoserp_net::{
     encode_response, parse_request, RateLimitKey, RateLimiter, Request, RequestCtx, Response,
-    Server, Status, WireLimits,
+    Server, Status, WireLimits, TRACE_HEADER,
 };
-use geoserp_obs::{Counter, ObsHub};
+use geoserp_obs::trace::{self, Stage, TraceContext};
+use geoserp_obs::{Counter, ObsHub, SpanRecord};
 use parking_lot::Mutex;
+use std::borrow::Cow;
 use std::collections::HashMap;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{IpAddr, Ipv4Addr, SocketAddr, TcpListener, TcpStream};
@@ -134,6 +136,14 @@ pub struct ServeConfig {
     /// behind a socket every client shares one IP, so serving raises it
     /// and shedding moves to the serve-layer limiter above.
     pub engine_rate_limit_max: usize,
+    /// Record distributed-tracing spans (request roots, per-stage spans,
+    /// `X-Geoserp-Trace` propagation). Off, the serve path records no
+    /// spans at all; served bytes are identical either way.
+    pub tracing: bool,
+    /// Process name this server publishes on its `/spans` collector
+    /// endpoint — the row label in an assembled cross-process trace
+    /// (`router`, `shard0.r1`, …).
+    pub process: String,
 }
 
 impl ServeConfig {
@@ -153,6 +163,8 @@ impl ServeConfig {
             rate_limit_window_ms: 60_000,
             day: 0,
             engine_rate_limit_max: usize::MAX / 2,
+            tracing: true,
+            process: "serve".to_string(),
         }
     }
 
@@ -214,6 +226,18 @@ impl ServeConfig {
     /// Set the engine per-IP rate-limit ceiling used when serving.
     pub fn engine_rate_limit_max(mut self, max: usize) -> Self {
         self.engine_rate_limit_max = max;
+        self
+    }
+
+    /// Enable or disable distributed-tracing span recording.
+    pub fn tracing(mut self, on: bool) -> Self {
+        self.tracing = on;
+        self
+    }
+
+    /// Set the process name published on `/spans`.
+    pub fn process(mut self, name: &str) -> Self {
+        self.process = name.to_string();
         self
     }
 
@@ -356,6 +380,20 @@ pub(crate) struct Shared {
     pub(crate) metrics: ServeMetrics,
 }
 
+/// The outcome of routing one request: the response plus, when the
+/// request was traced, the context the transport should attribute the
+/// response-flush stage span to (recorded *after* the bytes are written).
+pub(crate) struct Routed {
+    pub(crate) resp: Response,
+    pub(crate) trace: Option<TraceContext>,
+}
+
+impl Routed {
+    fn untraced(resp: Response) -> Routed {
+        Routed { resp, trace: None }
+    }
+}
+
 impl Shared {
     /// Wall milliseconds since the server started (rate-limit windows and
     /// the intra-day clock; never page bytes).
@@ -363,17 +401,46 @@ impl Shared {
         self.started.elapsed().as_millis() as u64
     }
 
-    pub(crate) fn route(&self, src: Ipv4Addr, req: &Request) -> Response {
+    /// Route one parsed request. `ready` is when the transport became
+    /// responsible for this request (connection accepted, or the previous
+    /// response finished on a keep-alive connection) and `parse_us` the
+    /// wall time the wire parse took — together they time the queue and
+    /// parse stages of a traced request.
+    pub(crate) fn route(
+        &self,
+        src: Ipv4Addr,
+        req: &Request,
+        ready: Instant,
+        parse_us: u64,
+    ) -> Routed {
         match req.path.as_str() {
-            "/healthz" => Response::ok("ok\n").with_header("Content-Type", "text/plain"),
-            "/metrics" => Response::ok(self.hub.snapshot().to_prometheus())
-                .with_header("Content-Type", "text/plain; version=0.0.4"),
+            "/healthz" => {
+                Routed::untraced(Response::ok("ok\n").with_header("Content-Type", "text/plain"))
+            }
+            "/metrics" => Routed::untraced(
+                Response::ok(self.hub.snapshot().to_prometheus())
+                    .with_header("Content-Type", "text/plain; version=0.0.4"),
+            ),
+            "/metrics.json" => Routed::untraced(
+                Response::ok(self.hub.snapshot().to_json())
+                    .with_header("Content-Type", "application/json"),
+            ),
+            "/spans" => Routed::untraced(
+                Response::ok(trace::process_spans_json(
+                    &self.config.process,
+                    &self.hub.spans().snapshot(),
+                ))
+                .with_header("Content-Type", "application/json"),
+            ),
             _ => {
+                let dispatched = Instant::now();
                 let now_ms = self.now_ms();
                 if !self.limiter.admit(src, SimInstant(now_ms)) {
                     self.metrics.rate_limited.inc();
-                    return Response::status(Status::TooManyRequests)
-                        .with_header("X-Reason", "serve-layer rate limit");
+                    return Routed::untraced(
+                        Response::status(Status::TooManyRequests)
+                            .with_header("X-Reason", "serve-layer rate limit"),
+                    );
                 }
                 let ctx = RequestCtx {
                     src,
@@ -381,7 +448,43 @@ impl Shared {
                     at: SimInstant(u64::from(self.config.day) * DAY_MS + now_ms % DAY_MS),
                     seq: self.seq.next(src),
                 };
-                self.service.handle(&ctx, req)
+                if !self.config.tracing || !self.hub.spans().is_enabled() {
+                    return Routed::untraced(self.service.handle(&ctx, req));
+                }
+                // Derive the deterministic trace context: a fresh root for
+                // an edge request, or a child of the caller's rpc span for
+                // a downstream hop carrying the propagation header.
+                let name = format!("request {}", req.path);
+                let (parent, tctx) = match req.header(TRACE_HEADER).and_then(TraceContext::parse) {
+                    Some(p) => (p.span, p.at_offset(trace::RPC_OFFSET_MS).child(&name)),
+                    None => (0, TraceContext::root(ctx.seq)),
+                };
+                let queue_us = dispatched
+                    .saturating_duration_since(ready)
+                    .as_micros()
+                    .saturating_sub(parse_us as u128) as u64;
+                trace::record_stage_with(&self.hub, &tctx, Stage::Queue, Some(queue_us));
+                trace::record_stage_with(&self.hub, &tctx, Stage::Parse, Some(parse_us));
+                let handle_started = Instant::now();
+                let resp = {
+                    let _g = trace::enter(tctx, Arc::clone(&self.hub));
+                    self.service.handle(&ctx, req)
+                };
+                self.hub.spans().record(SpanRecord {
+                    id: tctx.span,
+                    parent,
+                    name: Cow::Owned(name),
+                    cat: "serve.request",
+                    tid: 0,
+                    start_ms: tctx.base_ms,
+                    dur_ms: trace::REQUEST_DUR_MS,
+                    args: vec![("trace", tctx.trace_hex())],
+                    wall_us: Some(handle_started.elapsed().as_micros() as u64),
+                });
+                Routed {
+                    resp,
+                    trace: Some(tctx),
+                }
             }
         }
     }
@@ -402,8 +505,9 @@ fn write_response(stream: &mut TcpStream, resp: &Response) -> std::io::Result<()
 }
 
 /// One blocking connection's lifecycle: keep-alive parse/serve loop with
-/// socket timeouts.
-fn serve_connection(shared: &Shared, mut stream: TcpStream) {
+/// socket timeouts. `accepted` is when the listener handed us the stream —
+/// the start of the first request's queue-wait stage.
+fn serve_connection(shared: &Shared, mut stream: TcpStream, accepted: Instant) {
     shared.metrics.connections.inc();
     let src = match stream.peer_addr() {
         Ok(a) => match a.ip() {
@@ -432,21 +536,37 @@ fn serve_connection(shared: &Shared, mut stream: TcpStream) {
 
     let mut buf: Vec<u8> = Vec::with_capacity(4096);
     let mut chunk = [0u8; 4096];
+    // Queue-wait clock for the request in flight: starts at accept, then
+    // resets after each response (so on keep-alive connections it includes
+    // client idle time between requests — documented in the trace format).
+    let mut ready = accepted;
     'conn: loop {
         // Serve every complete request already buffered (pipelining).
         loop {
+            let parse_started = Instant::now();
             match parse_request(&buf, &shared.config.limits) {
                 Ok(Some((req, used))) => {
+                    let parse_us = parse_started.elapsed().as_micros() as u64;
                     buf.drain(..used);
                     shared.metrics.requests.inc();
                     let close_requested = req
                         .header("Connection")
                         .is_some_and(|v| v.eq_ignore_ascii_case("close"));
-                    let resp = shared.route(src, &req);
-                    if write_response(&mut stream, &resp).is_err() {
+                    let routed = shared.route(src, &req, ready, parse_us);
+                    let write_started = Instant::now();
+                    if write_response(&mut stream, &routed.resp).is_err() {
                         break 'conn;
                     }
+                    if let Some(tctx) = routed.trace {
+                        trace::record_stage_with(
+                            &shared.hub,
+                            &tctx,
+                            Stage::Flush,
+                            Some(write_started.elapsed().as_micros() as u64),
+                        );
+                    }
                     shared.metrics.responses.inc();
+                    ready = Instant::now();
                     if !shared.config.keep_alive
                         || close_requested
                         || shared.shutdown.load(Ordering::Relaxed)
@@ -492,15 +612,19 @@ fn serve_connection(shared: &Shared, mut stream: TcpStream) {
 /// malicious peer must never hold the accept thread (one zero-window client
 /// with the old blocking `write_all` could freeze all accepts for the full
 /// write timeout).
-fn accept_loop(shared: Arc<Shared>, listener: TcpListener, tx: mpsc::SyncSender<TcpStream>) {
+fn accept_loop(
+    shared: Arc<Shared>,
+    listener: TcpListener,
+    tx: mpsc::SyncSender<(TcpStream, Instant)>,
+) {
     for conn in listener.incoming() {
         if shared.shutdown.load(Ordering::Relaxed) {
             break;
         }
         let Ok(stream) = conn else { continue };
-        match tx.try_send(stream) {
+        match tx.try_send((stream, Instant::now())) {
             Ok(()) => {}
-            Err(mpsc::TrySendError::Full(stream)) => {
+            Err(mpsc::TrySendError::Full((stream, _))) => {
                 shared.metrics.rejected_busy.inc();
                 shed_nonblocking(stream);
             }
@@ -604,7 +728,7 @@ impl SocketServer {
                 })
             }
             ServeBackend::Blocking => {
-                let (tx, rx) = mpsc::sync_channel::<TcpStream>(queue_depth);
+                let (tx, rx) = mpsc::sync_channel::<(TcpStream, Instant)>(queue_depth);
                 let rx = Arc::new(Mutex::new(rx));
                 let mut workers = Vec::with_capacity(worker_count);
                 for i in 0..worker_count {
@@ -619,7 +743,9 @@ impl SocketServer {
                                 // parallel.
                                 let next = rx.lock().recv();
                                 match next {
-                                    Ok(stream) => serve_connection(&shared, stream),
+                                    Ok((stream, accepted)) => {
+                                        serve_connection(&shared, stream, accepted)
+                                    }
                                     Err(_) => break, // accept loop gone, queue drained
                                 }
                             })?,

@@ -23,7 +23,9 @@ use geoserp_net::shardmsg::{
     SpellCandidate, SHARD_RETRIEVE_PATH, SHARD_SUGGEST_PATH,
 };
 use geoserp_net::{Method, Request, RequestCtx, Response, Server, Status};
+use geoserp_obs::trace::{record_stage, Stage};
 use serde::Serialize;
+use std::time::Instant;
 
 /// Host name shard-internal requests are addressed to (never resolved —
 /// shard sockets are dialed by address).
@@ -74,16 +76,29 @@ impl ShardService {
 
 impl Server for ShardService {
     fn handle(&self, _ctx: &RequestCtx, req: &Request) -> Response {
+        // The serve layer enters the request's trace context before
+        // dispatching here, so the shard's index work lands in its span
+        // log as the `retrieve` stage of the shard-local request.
         match (req.method, req.path.as_str()) {
             (Method::Post, SHARD_RETRIEVE_PATH) => {
                 match parse_body::<ShardRetrieveRequest>(&req.body) {
-                    Ok(r) => json_ok(&self.retrieve(&r)),
+                    Ok(r) => {
+                        let started = Instant::now();
+                        let resp = self.retrieve(&r);
+                        record_stage(Stage::Retrieve, Some(started.elapsed().as_micros() as u64));
+                        json_ok(&resp)
+                    }
                     Err(e) => bad_body(&e),
                 }
             }
             (Method::Post, SHARD_SUGGEST_PATH) => {
                 match parse_body::<ShardSuggestRequest>(&req.body) {
-                    Ok(r) => json_ok(&self.suggest(&r)),
+                    Ok(r) => {
+                        let started = Instant::now();
+                        let resp = self.suggest(&r);
+                        record_stage(Stage::Retrieve, Some(started.elapsed().as_micros() as u64));
+                        json_ok(&resp)
+                    }
                     Err(e) => bad_body(&e),
                 }
             }
