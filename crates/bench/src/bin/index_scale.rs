@@ -1,0 +1,222 @@
+//! `index_scale` — compressed inverted-index scaling benchmark.
+//!
+//! For each corpus scale, generates the deterministic scaled world, builds
+//! both index backends, and measures: build time, resident posting bytes
+//! (compression ratio vs the exact HashMap baseline), and retrieval latency
+//! percentiles over the full 240-query corpus. Byte-identity of the
+//! compressed backend against exact — over every query's `retrieve`,
+//! `shard_retrieve`, and `suggest` surface — is asserted **before** any
+//! timing, so a run that diverged never reports a speedup.
+//!
+//! Per-query latency is the best of [`REPS`] calls (the run least disturbed
+//! by the host; every call does identical deterministic work), and the
+//! percentiles are taken across queries.
+//!
+//! Scales default to `1,4,16`; set `GEOSERP_INDEX_SCALES=1,8,64`
+//! (comma-separated positive integers) to change. Output defaults to
+//! `BENCH_index.json`; override with the first CLI argument. `GEOSERP_SEED`
+//! selects the world seed as elsewhere.
+
+use geoserp_bench::seed_from_env;
+use geoserp_core::corpus::WebCorpus;
+use geoserp_core::engine::index::SearchIndex;
+use geoserp_core::engine::{EngineConfig, IndexBackend};
+use geoserp_core::geo::{Seed, UsGeography};
+use serde_json::{json, Value};
+use std::time::Instant;
+
+/// Latency repetitions per query; the minimum is reported.
+const REPS: usize = 5;
+/// Index-build repetitions; the minimum is reported.
+const BUILD_REPS: usize = 2;
+
+/// The `p`-th percentile (0..=1) of an unsorted sample, in microseconds.
+fn percentile_us(samples: &mut [f64], p: f64) -> u64 {
+    assert!(!samples.is_empty());
+    samples.sort_by(f64::total_cmp);
+    let idx = ((samples.len() - 1) as f64 * p).round() as usize;
+    samples[idx].round() as u64
+}
+
+/// NaN-safe candidate comparison key (both backends compute the same float
+/// expressions, so even a NaN lexical score must agree bit for bit).
+fn bits(cands: &[geoserp_core::engine::index::Candidate]) -> Vec<(u32, u64)> {
+    cands
+        .iter()
+        .map(|c| (c.page.0, c.lexical.to_bits()))
+        .collect()
+}
+
+/// Assert the compressed backend is byte-identical to exact over every
+/// query surface, returning the query terms for the timing loops.
+fn assert_identity(corpus: &WebCorpus, exact: &SearchIndex, comp: &SearchIndex) -> Vec<String> {
+    let cfg = EngineConfig::paper_defaults();
+    let (min_c, ps) = (cfg.organic_count * 3, cfg.partial_match_score);
+    let terms: Vec<String> = corpus
+        .queries
+        .all()
+        .iter()
+        .map(|q| q.term.clone())
+        .collect();
+    for term in &terms {
+        assert_eq!(
+            bits(&comp.retrieve(term, min_c, ps)),
+            bits(&exact.retrieve(term, min_c, ps)),
+            "retrieve({term:?}) diverged between backends"
+        );
+        assert_eq!(
+            comp.shard_retrieve(term, usize::MAX),
+            exact.shard_retrieve(term, usize::MAX),
+            "shard_retrieve({term:?}) diverged between backends"
+        );
+        assert_eq!(
+            comp.suggest(term),
+            exact.suggest(term),
+            "suggest({term:?}) diverged between backends"
+        );
+    }
+    terms
+}
+
+/// Best-of-reps build wall clock for one backend, plus the built index.
+fn timed_build(corpus: &WebCorpus, backend: IndexBackend) -> (SearchIndex, f64) {
+    let mut best = f64::INFINITY;
+    let mut built = None;
+    for _ in 0..BUILD_REPS {
+        let started = Instant::now();
+        let index = SearchIndex::build(corpus, backend);
+        best = best.min(started.elapsed().as_secs_f64());
+        built = Some(index);
+    }
+    (built.expect("BUILD_REPS > 0"), best)
+}
+
+/// Per-query best-of-reps retrieval latency percentiles, in microseconds.
+fn latency_percentiles(index: &SearchIndex, terms: &[String]) -> (u64, u64) {
+    let cfg = EngineConfig::paper_defaults();
+    let (min_c, ps) = (cfg.organic_count * 3, cfg.partial_match_score);
+    let mut per_query: Vec<f64> = Vec::with_capacity(terms.len());
+    for term in terms {
+        let mut best = f64::INFINITY;
+        for _ in 0..REPS {
+            let started = Instant::now();
+            let cands = index.retrieve(term, min_c, ps);
+            let us = started.elapsed().as_secs_f64() * 1e6;
+            std::hint::black_box(cands);
+            best = best.min(us);
+        }
+        per_query.push(best);
+    }
+    (
+        percentile_us(&mut per_query, 0.50),
+        percentile_us(&mut per_query, 0.99),
+    )
+}
+
+fn bench_scale(geo: &UsGeography, seed: Seed, scale: u32) -> Value {
+    eprintln!("[geoserp-bench] index scale={scale} — generating…");
+    let started = Instant::now();
+    let corpus = WebCorpus::generate_scaled(geo, seed, scale);
+    let gen_s = started.elapsed().as_secs_f64();
+    let pages = corpus.pages.len();
+    eprintln!("[geoserp-bench]   {pages} pages in {gen_s:.2}s");
+
+    let (exact, exact_build_s) = timed_build(&corpus, IndexBackend::Exact);
+    let (comp, comp_build_s) = timed_build(&corpus, IndexBackend::Compressed);
+    let (exact_bytes, comp_bytes) = (exact.postings_bytes(), comp.postings_bytes());
+    let ratio = exact_bytes as f64 / comp_bytes as f64;
+    eprintln!(
+        "[geoserp-bench]   build: exact {exact_build_s:.3}s, compressed {comp_build_s:.3}s; \
+         postings {exact_bytes} -> {comp_bytes} bytes ({ratio:.2}x)"
+    );
+
+    // Byte-identity FIRST: the compressed backend must reproduce exact on
+    // every query surface before it is worth timing.
+    let terms = assert_identity(&corpus, &exact, &comp);
+    eprintln!(
+        "[geoserp-bench]   byte-identity: {} queries x retrieve/shard_retrieve/suggest",
+        terms.len()
+    );
+
+    let (exact_p50, exact_p99) = latency_percentiles(&exact, &terms);
+    let (comp_p50, comp_p99) = latency_percentiles(&comp, &terms);
+    eprintln!(
+        "[geoserp-bench]   retrieve p50/p99: exact {exact_p50}/{exact_p99} us, \
+         compressed {comp_p50}/{comp_p99} us\n"
+    );
+
+    json!({
+        "scale": scale,
+        "pages": pages as u64,
+        "gen_s": gen_s,
+        "byte_identical": true,
+        "build": json!({ "exact_s": exact_build_s, "compressed_s": comp_build_s }),
+        "bytes": json!({
+            "exact": exact_bytes as u64,
+            "compressed": comp_bytes as u64,
+            "ratio": ratio,
+        }),
+        "latency_us": json!({
+            "exact": json!({ "p50": exact_p50, "p99": exact_p99 }),
+            "compressed": json!({ "p50": comp_p50, "p99": comp_p99 }),
+        }),
+    })
+}
+
+fn scales_from_env() -> Vec<u32> {
+    let spec = std::env::var("GEOSERP_INDEX_SCALES").unwrap_or_else(|_| "1,4,16".into());
+    spec.split(',')
+        .map(|s| {
+            let n: u32 = s
+                .trim()
+                .parse()
+                .unwrap_or_else(|_| panic!("GEOSERP_INDEX_SCALES={spec}: expected integers"));
+            assert!(n > 0, "GEOSERP_INDEX_SCALES: scales must be positive");
+            n
+        })
+        .collect()
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_index.json".to_string());
+    let seed_value = seed_from_env();
+    let seed = Seed::new(seed_value);
+    let geo = UsGeography::generate(seed);
+    let entries: Vec<Value> = scales_from_env()
+        .into_iter()
+        .map(|scale| bench_scale(&geo, seed, scale))
+        .collect();
+
+    // Growth headline: corpus growth vs compressed-p99 growth between the
+    // smallest and largest scales. Sublinear means the index earns its keep.
+    // Small-scale p99s sit in single-digit µs — below scheduler-tick
+    // resolution — so the growth denominator is floored at the timing noise
+    // floor; the raw ratio is reported alongside for honesty.
+    const P99_NOISE_FLOOR_US: f64 = 50.0;
+    let pages = |e: &Value| e["pages"].as_u64().unwrap_or(0) as f64;
+    let p99 = |e: &Value| e["latency_us"]["compressed"]["p99"].as_u64().unwrap_or(0) as f64;
+    let (first, last) = (&entries[0], &entries[entries.len() - 1]);
+    let corpus_growth = pages(last) / pages(first).max(1.0);
+    let p99_growth = p99(last) / p99(first).max(P99_NOISE_FLOOR_US);
+    let p99_growth_raw = p99(last) / p99(first).max(1.0);
+
+    let report = json!({
+        "seed": seed_value,
+        "nproc": std::thread::available_parallelism().map(|n| n.get() as u64).unwrap_or(1),
+        "timing": format!("best of {REPS} per query, best of {BUILD_REPS} per build"),
+        "p99_noise_floor_us": P99_NOISE_FLOOR_US,
+        "scales": entries,
+        "corpus_growth": corpus_growth,
+        "p99_growth_compressed": p99_growth,
+        "p99_growth_compressed_raw": p99_growth_raw,
+        "sublinear": p99_growth < corpus_growth,
+    });
+    let rendered = serde_json::to_string_pretty(&report).expect("bench report serializes");
+    std::fs::write(&out_path, rendered).expect("write bench report");
+    eprintln!(
+        "[geoserp-bench] wrote {out_path} (corpus x{corpus_growth:.1}, \
+         compressed p99 x{p99_growth:.2})"
+    );
+}

@@ -25,6 +25,15 @@
 //!   machine, which is meaningful per report but noisy as a cross-run
 //!   gate.
 //!
+//! * **index** (`BENCH_index.json`): per scale, the `byte_identical` bit
+//!   must be true (correctness, not noise), the compressed backend's
+//!   retrieve p99 must stay within 125% of baseline plus a small absolute
+//!   slack (index queries are tens-of-µs; pure ratios would gate scheduler
+//!   jitter), and the compression ratio must not collapse below 80% of
+//!   baseline. The report's headline claims — ≥10× corpus growth and
+//!   sublinear p99 growth — are re-gated so the artifact cannot silently
+//!   stop demonstrating what the docs say it demonstrates.
+//!
 //! The tolerances are deliberately loose — the gate exists to catch a
 //! serve-path or tracing change that costs tens of percent, not to police
 //! single-digit drift on shared runners.
@@ -237,13 +246,97 @@ pub fn check_obs(fresh: &Value, baseline: &Value) -> Vec<Verdict> {
     out
 }
 
-/// Run the gate named by `argv` (`serve|obs <fresh> <baseline>`); returns
+/// Absolute p99 slack for the index gate, microseconds: below this scale,
+/// regressions are indistinguishable from scheduler jitter.
+const INDEX_P99_SLACK_US: f64 = 150.0;
+/// Compression ratio below this fraction of baseline fails.
+const MIN_RATIO_FRACTION: f64 = 0.8;
+/// The corpus growth the index artifact must keep demonstrating.
+const MIN_CORPUS_GROWTH: f64 = 10.0;
+
+/// Gate a fresh `BENCH_index.json` against the committed baseline.
+pub fn check_index(fresh: &Value, baseline: &Value) -> Vec<Verdict> {
+    let empty = Vec::new();
+    let fresh_scales = fresh["scales"].as_array().unwrap_or(&empty);
+    let base_scales = baseline["scales"].as_array().unwrap_or(&empty);
+    let mut out = Vec::new();
+    if base_scales.is_empty() {
+        out.push(fail("baseline has no scales".to_string()));
+        return out;
+    }
+    for base in base_scales {
+        let scale = int(base, "scale");
+        let key = format!("scale {scale}");
+        let Some(f) = fresh_scales.iter().find(|e| int(e, "scale") == scale) else {
+            out.push(fail(format!("[{key}] missing from fresh report")));
+            continue;
+        };
+
+        match f.get("byte_identical").and_then(Value::as_bool) {
+            Some(true) => out.push(pass(format!("[{key}] byte_identical: true"))),
+            _ => out.push(fail(format!(
+                "[{key}] byte_identical is not true — compressed diverged from exact"
+            ))),
+        }
+
+        let (fresh_p99, base_p99) = (
+            num(&f["latency_us"]["compressed"], "p99"),
+            num(&base["latency_us"]["compressed"], "p99"),
+        );
+        let ceiling = base_p99 * MAX_P99_RATIO + INDEX_P99_SLACK_US;
+        if base_p99 > 0.0 && fresh_p99 > ceiling {
+            out.push(fail(format!(
+                "[{key}] compressed p99 regressed: {base_p99:.0} -> {fresh_p99:.0} us \
+                 (ceiling {ceiling:.0})"
+            )));
+        } else {
+            out.push(pass(format!(
+                "[{key}] compressed p99 ok: {fresh_p99:.0} us (base {base_p99:.0})"
+            )));
+        }
+
+        let (fresh_ratio, base_ratio) = (num(&f["bytes"], "ratio"), num(&base["bytes"], "ratio"));
+        if base_ratio > 0.0 && fresh_ratio < base_ratio * MIN_RATIO_FRACTION {
+            out.push(fail(format!(
+                "[{key}] compression ratio collapsed: {base_ratio:.2}x -> {fresh_ratio:.2}x \
+                 (floor {:.2}x)",
+                base_ratio * MIN_RATIO_FRACTION
+            )));
+        } else {
+            out.push(pass(format!(
+                "[{key}] compression ratio ok: {fresh_ratio:.2}x (base {base_ratio:.2}x)"
+            )));
+        }
+    }
+
+    let growth = num(fresh, "corpus_growth");
+    if growth < MIN_CORPUS_GROWTH {
+        out.push(fail(format!(
+            "corpus_growth {growth:.1}x below the {MIN_CORPUS_GROWTH:.0}x the artifact must show"
+        )));
+    } else {
+        out.push(pass(format!("corpus_growth: {growth:.1}x")));
+    }
+    match fresh.get("sublinear").and_then(Value::as_bool) {
+        Some(true) => out.push(pass(format!(
+            "sublinear p99 growth: {:.2}x vs corpus {growth:.1}x",
+            num(fresh, "p99_growth_compressed")
+        ))),
+        _ => out.push(fail(format!(
+            "p99 growth {:.2}x is not sublinear in corpus growth {growth:.1}x",
+            num(fresh, "p99_growth_compressed")
+        ))),
+    }
+    out
+}
+
+/// Run the gate named by `argv` (`serve|obs|index <fresh> <baseline>`); returns
 /// the process exit code after printing every verdict.
 pub fn run(argv: &[String]) -> i32 {
     let (kind, fresh_path, base_path) = match argv {
         [k, f, b] => (k.as_str(), f, b),
         _ => {
-            eprintln!("usage: geoserp-bench check <serve|obs> <fresh.json> <baseline.json>");
+            eprintln!("usage: geoserp-bench check <serve|obs|index> <fresh.json> <baseline.json>");
             return 2;
         }
     };
@@ -261,8 +354,9 @@ pub fn run(argv: &[String]) -> i32 {
     let verdicts = match kind {
         "serve" => check_serve(&fresh, &baseline),
         "obs" => check_obs(&fresh, &baseline),
+        "index" => check_index(&fresh, &baseline),
         other => {
-            eprintln!("[bench-check] unknown report kind {other:?}: expected serve|obs");
+            eprintln!("[bench-check] unknown report kind {other:?}: expected serve|obs|index");
             return 2;
         }
     };
@@ -417,6 +511,128 @@ mod tests {
         });
         // Identity broken + instrumented wall clock past 125%.
         assert_eq!(failed(&check_obs(&bad, &base)), 2);
+    }
+
+    fn index_scale_entry(scale: u64, p99: u64, ratio: f64, identical: bool) -> Value {
+        let mut e = serde_json::Map::new();
+        e.insert("scale".into(), json!(scale));
+        e.insert("pages".into(), json!(scale * 12_000));
+        e.insert("byte_identical".into(), json!(identical));
+        e.insert(
+            "bytes".into(),
+            json!({ "exact": 1_000_000u64, "compressed": 300_000u64, "ratio": ratio }),
+        );
+        let mut lat = serde_json::Map::new();
+        lat.insert("exact".into(), json!({ "p50": 10u64, "p99": p99 * 3 }));
+        lat.insert("compressed".into(), json!({ "p50": 5u64, "p99": p99 }));
+        e.insert("latency_us".into(), Value::Object(lat));
+        Value::Object(e)
+    }
+
+    fn index_report(entries: Vec<Value>, growth: f64, sublinear: bool) -> Value {
+        let mut m = serde_json::Map::new();
+        m.insert("scales".into(), Value::Array(entries));
+        m.insert("corpus_growth".into(), json!(growth));
+        m.insert("p99_growth_compressed".into(), json!(2.0f64));
+        m.insert("sublinear".into(), json!(sublinear));
+        Value::Object(m)
+    }
+
+    #[test]
+    fn index_gate_passes_an_identical_report() {
+        let report = index_report(
+            vec![
+                index_scale_entry(1, 40, 3.0, true),
+                index_scale_entry(16, 90, 3.2, true),
+            ],
+            16.0,
+            true,
+        );
+        assert_eq!(failed(&check_index(&report, &report)), 0);
+    }
+
+    #[test]
+    fn index_gate_fails_on_identity_ratio_p99_and_headline_regressions() {
+        let base = index_report(
+            vec![
+                index_scale_entry(1, 40, 3.0, true),
+                index_scale_entry(16, 400, 3.2, true),
+            ],
+            16.0,
+            true,
+        );
+        // Broken identity fails even with perfect numbers.
+        let bad_identity = index_report(
+            vec![
+                index_scale_entry(1, 40, 3.0, false),
+                index_scale_entry(16, 400, 3.2, true),
+            ],
+            16.0,
+            true,
+        );
+        assert_eq!(failed(&check_index(&bad_identity, &base)), 1);
+        // p99 within ratio+slack passes; far past it fails.
+        let slower_ok = index_report(
+            vec![
+                index_scale_entry(1, 150, 3.0, true), // 40*1.25+150 = 200 ceiling
+                index_scale_entry(16, 500, 3.2, true),
+            ],
+            16.0,
+            true,
+        );
+        assert_eq!(failed(&check_index(&slower_ok, &base)), 0);
+        let slower_bad = index_report(
+            vec![
+                index_scale_entry(1, 40, 3.0, true),
+                index_scale_entry(16, 2_000, 3.2, true), // ceiling 650
+            ],
+            16.0,
+            true,
+        );
+        assert_eq!(failed(&check_index(&slower_bad, &base)), 1);
+        // Collapsed compression ratio fails.
+        let shallow = index_report(
+            vec![
+                index_scale_entry(1, 40, 1.5, true), // floor 2.4
+                index_scale_entry(16, 400, 3.2, true),
+            ],
+            16.0,
+            true,
+        );
+        assert_eq!(failed(&check_index(&shallow, &base)), 1);
+        // Lost headline claims fail: growth below 10x, or superlinear p99.
+        let small = index_report(
+            vec![
+                index_scale_entry(1, 40, 3.0, true),
+                index_scale_entry(16, 400, 3.2, true),
+            ],
+            4.0,
+            true,
+        );
+        assert_eq!(failed(&check_index(&small, &base)), 1);
+        let superlinear = index_report(
+            vec![
+                index_scale_entry(1, 40, 3.0, true),
+                index_scale_entry(16, 400, 3.2, true),
+            ],
+            16.0,
+            false,
+        );
+        assert_eq!(failed(&check_index(&superlinear, &base)), 1);
+    }
+
+    #[test]
+    fn index_gate_fails_when_a_baseline_scale_disappears() {
+        let base = index_report(
+            vec![
+                index_scale_entry(1, 40, 3.0, true),
+                index_scale_entry(16, 400, 3.2, true),
+            ],
+            16.0,
+            true,
+        );
+        let shrunk = index_report(vec![index_scale_entry(1, 40, 3.0, true)], 16.0, true);
+        assert_eq!(failed(&check_index(&shrunk, &base)), 1);
     }
 
     #[test]

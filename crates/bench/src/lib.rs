@@ -17,12 +17,15 @@
 //! | `demographics` | §3.2 — demographic correlations (the null result) |
 //! | `ablations` | DESIGN.md's design-choice ablations |
 //!
-//! Two throughput benchmarks write JSON artifacts instead: the default
+//! Three throughput benchmarks write JSON artifacts instead: the default
 //! binary (`geoserp-bench`) races the crawl backends into
-//! `BENCH_crawl.json`, and `analysis_scale` races the analysis pipeline
+//! `BENCH_crawl.json`, `analysis_scale` races the analysis pipeline
 //! (serial vs 2/4/8 pooled workers, byte-identity asserted before timing)
-//! into `BENCH_analysis.json`. `geoserp-bench check <serve|obs> <fresh>
-//! <baseline>` is the CI perf gate over those artifacts (see [`check`]).
+//! into `BENCH_analysis.json`, and `index_scale` races the exact vs
+//! compressed index backends across corpus scales (byte-identity asserted
+//! before timing) into `BENCH_index.json`. `geoserp-bench check
+//! <serve|obs|index> <fresh> <baseline>` is the CI perf gate over those
+//! artifacts (see [`check`]).
 //!
 //! Run any of them with `cargo run --release -p geoserp-bench --bin figN`.
 //! Scale is controlled by `GEOSERP_SCALE`:

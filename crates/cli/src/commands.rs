@@ -62,6 +62,9 @@ COMMANDS:
     run          run a study and print the full per-figure report
                    --seed N        world seed            [2015]
                    --scale S       quick|medium|full     [medium]
+                   --index I       retrieval backend: compressed (top-k
+                                   posting blocks) or exact (reference);
+                                   results are byte-identical [compressed]
                    --export DIR    also write dataset exports into DIR
                    --save FILE     also save the dataset as JSON
                    --quiet         suppress the live per-round progress line
@@ -132,6 +135,11 @@ COMMANDS:
                    --day D         virtual day served    [0]
                    --queue-depth N accept queue depth    [64]
                    --rate-limit N  serve-layer per-IP requests/min [100000]
+                   --index I       exact|compressed index backend; served
+                                   pages are byte-identical [compressed]
+                   --corpus-scale K  generate the world at K x the base
+                                   page count (deterministic; 1 = today's
+                                   world, byte-identical)  [1]
                    --smoke         start, self-probe /healthz and /metrics,
                                    then exit (for CI)
                    --no-tracing    disable distributed tracing (request
@@ -213,6 +221,28 @@ fn analysis_options_from(args: &ParsedArgs) -> Result<AnalysisOptions, CliError>
     Ok(options)
 }
 
+/// Parse `--index exact|compressed` (default: the engine's default
+/// backend, `compressed`).
+fn index_backend_from(args: &ParsedArgs) -> Result<IndexBackend, CliError> {
+    match args.get("index") {
+        None => Ok(IndexBackend::default()),
+        Some(s) => s
+            .parse()
+            .map_err(|e: String| CliError::Invalid(format!("--index: {e}"))),
+    }
+}
+
+/// Parse `--corpus-scale N` (default 1: the base world).
+fn corpus_scale_from(args: &ParsedArgs) -> Result<u32, CliError> {
+    let scale = args.get_u64("corpus-scale", 1)?;
+    let scale = u32::try_from(scale)
+        .map_err(|_| CliError::Invalid(format!("--corpus-scale {scale}: too large")))?;
+    if scale == 0 {
+        return Err(CliError::Invalid("--corpus-scale must be positive".into()));
+    }
+    Ok(scale)
+}
+
 fn study_from(args: &ParsedArgs) -> Result<Study, CliError> {
     let seed = args.get_u64("seed", 2015)?;
     let mut plan = plan_for(args.get("scale").unwrap_or("medium"))?;
@@ -233,6 +263,7 @@ fn study_from(args: &ParsedArgs) -> Result<Study, CliError> {
     Ok(Study::builder()
         .seed(seed)
         .plan(plan)
+        .engine_config(EngineConfig::with_index_backend(index_backend_from(args)?))
         .analysis_options(analysis_options_from(args)?)
         .build()?)
 }
@@ -718,8 +749,10 @@ fn serve_blocking(
     use geoserp_core::serve::{ClusterConfig, ServedWorld, ShardedCluster, SocketServer};
 
     let (seed, config, addr) = serve_setup_from(args)?;
+    let engine = EngineConfig::with_index_backend(index_backend_from(args)?);
+    let corpus_scale = corpus_scale_from(args)?;
     if shards == 0 {
-        let world = ServedWorld::build(seed, config.engine_config(EngineConfig::paper_defaults()))?;
+        let world = ServedWorld::build_scaled(seed, config.engine_config(engine), corpus_scale)?;
         let server = SocketServer::start(&addr, &world, config)?;
         let local = server.local_addr();
         if args.has("smoke") {
@@ -744,10 +777,11 @@ fn serve_blocking(
         let cluster = ShardedCluster::start(
             &addr,
             seed,
-            EngineConfig::paper_defaults(),
+            engine,
             ClusterConfig::new(shards, replicas)
                 .hedge_ms(hedge_ms)
-                .serve(config),
+                .serve(config)
+                .corpus_scale(corpus_scale),
         )?;
         let local = cluster.router_addr();
         if args.has("smoke") {
@@ -1391,10 +1425,35 @@ mod tests {
                 "replicas",
                 "hedge-ms",
                 "trace-out",
+                "index",
+                "corpus-scale",
             ],
             &["smoke", "no-tracing"],
         )
         .unwrap()
+    }
+
+    #[test]
+    fn serve_smoke_accepts_an_exact_index() {
+        let out = cmd_serve(&serve_args(
+            "serve --addr 127.0.0.1:0 --index exact --smoke",
+        ))
+        .unwrap();
+        assert!(out.contains("smoke ok"), "{out}");
+    }
+
+    #[test]
+    fn index_and_corpus_scale_flags_are_validated() {
+        let err = cmd_serve(&serve_args(
+            "serve --addr 127.0.0.1:0 --index turbo --smoke",
+        ))
+        .unwrap_err();
+        assert!(err.to_string().contains("turbo"), "{err}");
+        let err = cmd_serve(&serve_args(
+            "serve --addr 127.0.0.1:0 --corpus-scale 0 --smoke",
+        ))
+        .unwrap_err();
+        assert!(err.to_string().contains("corpus-scale"), "{err}");
     }
 
     #[test]

@@ -33,6 +33,7 @@ fn dispatch(argv: &[String]) -> Result<String, CliError> {
                     "metrics-out",
                     "trace-out",
                     "analysis-workers",
+                    "index",
                 ],
                 &["quiet"],
             )?;
@@ -79,6 +80,8 @@ fn dispatch(argv: &[String]) -> Result<String, CliError> {
                     "replicas",
                     "hedge-ms",
                     "trace-out",
+                    "index",
+                    "corpus-scale",
                 ],
                 &["smoke", "no-tracing"],
             )?;

@@ -62,6 +62,107 @@ impl WebCorpus {
         }
     }
 
+    /// Generate the corpus at `scale` times its base page count.
+    ///
+    /// `scale == 1` returns exactly [`WebCorpus::generate`]'s corpus —
+    /// byte-identical, because the tail generator draws from its own
+    /// derived seed (`"scale-tail"`) and the base generation path is not
+    /// touched. Larger scales append `(scale − 1) × base` deterministic
+    /// filler pages: plain web documents whose tokens are drawn from the
+    /// query corpus's own vocabulary (local terms, controversial terms,
+    /// roster names), so scaled posting lists grow where queries actually
+    /// land and top-k early termination is exercised for real. Places,
+    /// roster, queries, and topics are unchanged — scaling stresses the
+    /// *index*, not the study design.
+    pub fn generate_scaled(geo: &UsGeography, seed: Seed, scale: u32) -> Self {
+        let mut corpus = Self::generate(geo, seed);
+        if scale <= 1 {
+            return corpus;
+        }
+        let base_len = corpus.pages.len();
+        let tail_len = base_len * (scale as usize - 1);
+        let mut rng = seed.derive("scale-tail").rng();
+
+        // Vocabulary pool the tail draws from: every token queries can
+        // hit, plus generic filler so tail pages are not pure query soup.
+        let mut pool: Vec<String> = Vec::new();
+        for term in crate::queries::LOCAL_TERMS
+            .iter()
+            .chain(crate::queries::CONTROVERSIAL_TERMS.iter())
+        {
+            pool.extend(tokenize(term));
+        }
+        for pol in corpus.roster.all() {
+            pool.extend(tokenize(&pol.name));
+        }
+        for filler in [
+            "guide",
+            "review",
+            "best",
+            "near",
+            "top",
+            "local",
+            "deals",
+            "news",
+            "blog",
+            "forum",
+            "directory",
+            "compare",
+            "prices",
+            "open",
+            "hours",
+            "map",
+            "history",
+            "tips",
+            "faq",
+            "about",
+        ] {
+            pool.push(filler.to_string());
+        }
+        pool.sort();
+        pool.dedup();
+
+        let state_abbrevs: Vec<String> = geo
+            .states
+            .iter()
+            .filter_map(|s| s.region.state_abbrev.clone())
+            .collect();
+        for i in 0..tail_len {
+            let id = PageId(corpus.pages.len() as u32);
+            let n_tokens = 3 + rng.below(6);
+            let mut toks = Vec::with_capacity(n_tokens);
+            for _ in 0..n_tokens {
+                toks.push(pool[rng.below(pool.len())].clone());
+            }
+            let title = toks.join(" ");
+            // ~1024 tail domains so the per-domain cap stays meaningful.
+            let domain = format!("tail{}.example.com", i % 1024);
+            let url = format!("https://{domain}/p/{i}");
+            let geo_scope = if rng.chance(0.8) {
+                GeoScope::Global
+            } else {
+                GeoScope::State(state_abbrevs[rng.below(state_abbrevs.len())].clone())
+            };
+            let authority = rng.range_f64(0.05, 0.95);
+            corpus.pages.push(Page::new(
+                id,
+                url,
+                domain,
+                title,
+                toks,
+                authority,
+                geo_scope,
+                PageKind::Web,
+            ));
+        }
+        debug_assert!(corpus
+            .pages
+            .iter()
+            .enumerate()
+            .all(|(i, p)| p.id.0 as usize == i));
+        corpus
+    }
+
     /// The seed this corpus was generated from.
     pub fn seed(&self) -> Seed {
         Seed::new(self.seed_value)
@@ -465,5 +566,60 @@ mod tests {
             "pages = {}",
             c.pages.len()
         );
+    }
+
+    #[test]
+    fn scale_one_is_byte_identical_to_generate() {
+        let geo = UsGeography::generate(Seed::new(2015));
+        let base = WebCorpus::generate(&geo, Seed::new(2015));
+        let scaled = WebCorpus::generate_scaled(&geo, Seed::new(2015), 1);
+        assert_eq!(base.pages, scaled.pages);
+        assert_eq!(base.places, scaled.places);
+        assert_eq!(base.topics, scaled.topics);
+        // Scale 0 is clamped to the base world too.
+        let zero = WebCorpus::generate_scaled(&geo, Seed::new(2015), 0);
+        assert_eq!(base.pages.len(), zero.pages.len());
+    }
+
+    #[test]
+    fn scaled_generation_is_deterministic_and_dense() {
+        let geo = UsGeography::generate(Seed::new(7));
+        let a = WebCorpus::generate_scaled(&geo, Seed::new(7), 3);
+        let b = WebCorpus::generate_scaled(&geo, Seed::new(7), 3);
+        assert_eq!(a.pages, b.pages);
+        let base = WebCorpus::generate(&geo, Seed::new(7));
+        assert_eq!(a.pages.len(), base.pages.len() * 3);
+        for (i, p) in a.pages.iter().enumerate() {
+            assert_eq!(p.id.0 as usize, i);
+        }
+        // The base prefix is untouched by scaling.
+        assert_eq!(&a.pages[..base.pages.len()], &base.pages[..]);
+        assert_eq!(a.places, base.places);
+    }
+
+    #[test]
+    fn scaled_urls_stay_unique_corpus_wide() {
+        let geo = UsGeography::generate(Seed::new(7));
+        let c = WebCorpus::generate_scaled(&geo, Seed::new(7), 2);
+        let mut urls: Vec<&str> = c.pages.iter().map(|p| p.url.as_str()).collect();
+        let n = urls.len();
+        urls.sort_unstable();
+        urls.dedup();
+        assert_eq!(urls.len(), n, "{} duplicate URLs", n - urls.len());
+    }
+
+    #[test]
+    fn tail_pages_intersect_the_query_vocabulary() {
+        let geo = UsGeography::generate(Seed::new(2015));
+        let c = WebCorpus::generate_scaled(&geo, Seed::new(2015), 2);
+        let base_len = WebCorpus::generate(&geo, Seed::new(2015)).pages.len();
+        let tail = &c.pages[base_len..];
+        assert!(!tail.is_empty());
+        let coffee_hits = tail
+            .iter()
+            .filter(|p| p.tokens.iter().any(|t| t == "coffee"))
+            .count();
+        assert!(coffee_hits > 0, "tail never mentions a local term");
+        assert!(tail.iter().all(|p| p.kind == PageKind::Web));
     }
 }

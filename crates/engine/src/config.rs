@@ -105,6 +105,44 @@ pub enum MapsPolicy {
     Never,
 }
 
+/// Which inverted-index implementation the engine retrieves from.
+///
+/// Both backends are byte-identical on every retrieval surface (proven by
+/// `tests/index_equivalence.rs` and the differential tests in
+/// [`crate::index`]); they differ only in storage and per-query cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IndexBackend {
+    /// Exhaustive `HashMap<token, Vec<PageId>>` reference index.
+    Exact,
+    /// Delta/varint posting blocks with skip pointers and MaxScore-style
+    /// top-k early termination.
+    #[default]
+    Compressed,
+}
+
+impl std::str::FromStr for IndexBackend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "exact" => Ok(IndexBackend::Exact),
+            "compressed" => Ok(IndexBackend::Compressed),
+            other => Err(format!(
+                "unknown index backend '{other}' (expected 'exact' or 'compressed')"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for IndexBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            IndexBackend::Exact => "exact",
+            IndexBackend::Compressed => "compressed",
+        })
+    }
+}
+
 /// Full engine configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EngineConfig {
@@ -191,6 +229,12 @@ pub struct EngineConfig {
     pub rate_limit_max: usize,
     /// Rate-limit window in milliseconds.
     pub rate_limit_window_ms: u64,
+    /// Which inverted-index backend serves retrieval. Not serialized:
+    /// backends are byte-identical, so the choice is an operational knob
+    /// (like a socket backend), not part of a world's identity — and
+    /// checkpoints written before the knob existed stay readable.
+    #[serde(skip)]
+    pub index_backend: IndexBackend,
 }
 
 impl EngineConfig {
@@ -228,6 +272,15 @@ impl EngineConfig {
             datacenters: 3,
             rate_limit_max: 30,
             rate_limit_window_ms: 60_000,
+            index_backend: IndexBackend::default(),
+        }
+    }
+
+    /// Paper defaults retrieving through the chosen index backend.
+    pub fn with_index_backend(backend: IndexBackend) -> Self {
+        EngineConfig {
+            index_backend: backend,
+            ..Self::paper_defaults()
         }
     }
 
@@ -330,6 +383,37 @@ mod tests {
         assert_eq!(EngineConfig::noiseless().validate(), Ok(()));
         assert_eq!(EngineConfig::alternative_engine().validate(), Ok(()));
         assert_eq!(EngineConfig::with_result_cache(60_000).validate(), Ok(()));
+        assert_eq!(
+            EngineConfig::with_index_backend(IndexBackend::Exact).validate(),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn index_backend_parses_and_displays() {
+        assert_eq!("exact".parse::<IndexBackend>(), Ok(IndexBackend::Exact));
+        assert_eq!(
+            "compressed".parse::<IndexBackend>(),
+            Ok(IndexBackend::Compressed)
+        );
+        assert!("fast".parse::<IndexBackend>().is_err());
+        assert_eq!(IndexBackend::Exact.to_string(), "exact");
+        assert_eq!(IndexBackend::Compressed.to_string(), "compressed");
+        assert_eq!(IndexBackend::default(), IndexBackend::Compressed);
+    }
+
+    #[test]
+    fn index_backend_is_not_part_of_serialized_identity() {
+        // The backend is an operational knob: two configs differing only
+        // in backend serialize identically, and deserialization restores
+        // the default.
+        let exact = EngineConfig::with_index_backend(IndexBackend::Exact);
+        let compressed = EngineConfig::paper_defaults();
+        let a = serde_json::to_string(&exact).unwrap();
+        let b = serde_json::to_string(&compressed).unwrap();
+        assert_eq!(a, b);
+        let back: EngineConfig = serde_json::from_str(&a).unwrap();
+        assert_eq!(back.index_backend, IndexBackend::Compressed);
     }
 
     #[test]

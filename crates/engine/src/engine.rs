@@ -4,7 +4,7 @@
 use crate::config::{EngineConfig, LocationPrecedence, MapsPolicy};
 use crate::geoip::{GeoIpDb, ReverseGeocoder};
 use crate::history::SessionHistory;
-use crate::index::InvertedIndex;
+use crate::index::SearchIndex;
 use crate::intent::{classify, QueryIntent};
 use crate::noise::NoiseModel;
 use crate::retriever::{LocalRetriever, Retriever};
@@ -116,7 +116,7 @@ impl<'g> SearchEngineBuilder<'g> {
     }
 
     /// Use a caller-supplied candidate source instead of building a local
-    /// whole-corpus [`InvertedIndex`] — this is how the sharded router
+    /// whole-corpus [`SearchIndex`] — this is how the sharded router
     /// reuses the entire ranking pipeline over remote retrieval.
     pub fn retriever(mut self, retriever: Box<dyn Retriever>) -> Self {
         self.retriever = Some(retriever);
@@ -139,8 +139,12 @@ impl<'g> SearchEngineBuilder<'g> {
         } = self;
         config.validate()?;
         let obs = obs.unwrap_or_else(|| Arc::new(ObsHub::new()));
-        let retriever =
-            retriever.unwrap_or_else(|| Box::new(LocalRetriever(InvertedIndex::build(&corpus))));
+        let retriever = retriever.unwrap_or_else(|| {
+            Box::new(LocalRetriever(SearchIndex::build(
+                &corpus,
+                config.index_backend,
+            )))
+        });
         let place_index = PlaceIndex::build(&corpus);
         let geocoder = ReverseGeocoder::new(geo);
         let noise = NoiseModel::new(seed.derive("engine"), &config);

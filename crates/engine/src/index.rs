@@ -4,8 +4,29 @@
 //! engines fill thin result sets with partial matches, and the fallback is
 //! what puts "other people named James" on a politician's SERP — the
 //! ambiguity tail the paper observes for common names.
+//!
+//! Two interchangeable backends implement the same retrieval contract:
+//!
+//! * [`InvertedIndex`] — the exact reference: a `HashMap` of uncompressed
+//!   posting vectors, evaluated exhaustively. Simple, obviously correct,
+//!   linear in corpus size per query.
+//! * [`CompressedIndex`] — a sorted term dictionary over delta/varint
+//!   posting blocks ([`crate::postings`]) with skip pointers and max-score
+//!   metadata, evaluated document-at-a-time with MaxScore-style top-k
+//!   early termination.
+//!
+//! The two are **byte-identical** by contract, not merely "equivalent":
+//! every candidate list, partial score, tie-break, and spell suggestion the
+//! compressed backend produces reproduces the exact backend bit for bit.
+//! `tests/index_equivalence.rs` pins full served SERPs across corpus
+//! scales and topologies to a golden digest, and the in-crate differential
+//! tests below cover the retrieval layer directly. [`SearchIndex`]
+//! dispatches between them on [`IndexBackend`].
 
+use crate::config::IndexBackend;
+use crate::postings::{PostingCursor, PostingList};
 use geoserp_corpus::{tokenize, PageId, WebCorpus};
+use std::collections::BinaryHeap;
 use std::collections::HashMap;
 
 /// A retrieved candidate before ranking.
@@ -71,6 +92,15 @@ impl InvertedIndex {
     /// Document frequency of a token.
     pub fn df(&self, token: &str) -> usize {
         self.postings.get(token).map_or(0, Vec::len)
+    }
+
+    /// Bytes of raw posting storage (dictionary strings + 4-byte ids) —
+    /// the uncompressed baseline the bench's compression ratio divides by.
+    pub fn postings_bytes(&self) -> usize {
+        self.postings
+            .iter()
+            .map(|(t, l)| t.len() + l.len() * std::mem::size_of::<PageId>())
+            .sum()
     }
 
     /// Retrieve candidates for a query.
@@ -322,6 +352,499 @@ impl InvertedIndex {
     }
 }
 
+/// Compressed inverted index: sorted term dictionary over delta/varint
+/// posting blocks with skip pointers and block max-score metadata, queried
+/// document-at-a-time with MaxScore-style top-k early termination.
+///
+/// Byte-identical to [`InvertedIndex`] on every public method — the
+/// pruning machinery only ever skips work whose outcome is provably
+/// outside the returned prefix, and whenever the score function is not
+/// provably monotone in the matched-token count it falls back to
+/// exhaustive evaluation with the reference comparator.
+#[derive(Debug)]
+pub struct CompressedIndex {
+    /// Lexicographically sorted dictionary; `lists[i]` belongs to
+    /// `terms[i]`.
+    terms: Vec<String>,
+    lists: Vec<PostingList>,
+    /// Permutation of `terms` indices in (length, token) order — the
+    /// spell-correction scan order the exact backend's `vocabulary` uses.
+    len_order: Vec<u32>,
+    page_count: usize,
+}
+
+impl CompressedIndex {
+    /// Build over the whole corpus.
+    pub fn build(corpus: &WebCorpus) -> Self {
+        Self::build_range(corpus, 0..corpus.pages.len() as u32)
+    }
+
+    /// Build over the pages whose id falls in `range` (one shard's slice),
+    /// with the same per-page token-set semantics as
+    /// [`InvertedIndex::build_range`].
+    pub fn build_range(corpus: &WebCorpus, range: std::ops::Range<u32>) -> Self {
+        let mut postings: HashMap<String, Vec<u32>> = HashMap::new();
+        let mut page_count = 0usize;
+        for page in &corpus.pages {
+            if !range.contains(&page.id.0) {
+                continue;
+            }
+            page_count += 1;
+            let mut seen = std::collections::HashSet::new();
+            for token in &page.tokens {
+                if seen.insert(token.as_str()) {
+                    postings.entry(token.clone()).or_default().push(page.id.0);
+                }
+            }
+        }
+        let mut entries: Vec<(String, Vec<u32>)> = postings.into_iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut terms = Vec::with_capacity(entries.len());
+        let mut lists = Vec::with_capacity(entries.len());
+        for (term, ids) in entries {
+            terms.push(term);
+            // Pages are visited in id order, so ids are already strictly
+            // increasing.
+            lists.push(PostingList::build(&ids));
+        }
+        let mut len_order: Vec<u32> = (0..terms.len() as u32).collect();
+        len_order.sort_by(|&a, &b| {
+            let (a, b) = (&terms[a as usize], &terms[b as usize]);
+            a.len().cmp(&b.len()).then(a.cmp(b))
+        });
+        CompressedIndex {
+            terms,
+            lists,
+            len_order,
+            page_count,
+        }
+    }
+
+    /// Number of indexed pages.
+    pub fn page_count(&self) -> usize {
+        self.page_count
+    }
+
+    /// Document frequency of a token.
+    pub fn df(&self, token: &str) -> usize {
+        self.list(token).map_or(0, PostingList::len)
+    }
+
+    /// Bytes of compressed posting data plus skip tables plus dictionary —
+    /// the resident index cost the bench reports.
+    pub fn postings_bytes(&self) -> usize {
+        self.lists
+            .iter()
+            .map(PostingList::heap_bytes)
+            .sum::<usize>()
+            + self.terms.iter().map(String::len).sum::<usize>()
+    }
+
+    fn list(&self, token: &str) -> Option<&PostingList> {
+        self.terms
+            .binary_search_by(|t| t.as_str().cmp(token))
+            .ok()
+            .map(|i| &self.lists[i])
+    }
+
+    /// The AND set: ids containing every query token, ascending. Any token
+    /// absent from the dictionary empties the set (mirroring the exact
+    /// backend's `lists.clear()`). Leapfrog intersection: the rarest list
+    /// drives, the others are sought through their skip tables.
+    fn and_set(&self, tokens: &[String]) -> Vec<u32> {
+        let mut lists: Vec<&PostingList> = Vec::with_capacity(tokens.len());
+        for t in tokens {
+            match self.list(t) {
+                Some(l) => lists.push(l),
+                None => return Vec::new(),
+            }
+        }
+        let Some(min_at) = (0..lists.len()).min_by_key(|&i| lists[i].len()) else {
+            return Vec::new();
+        };
+        lists.swap(0, min_at);
+        let mut driver = lists[0].cursor();
+        let mut others: Vec<PostingCursor<'_>> = lists[1..].iter().map(|l| l.cursor()).collect();
+        let mut out = Vec::new();
+        'driver: while let Some(id) = driver.current() {
+            let mut bar = id;
+            for c in others.iter_mut() {
+                c.seek(id);
+                match c.current() {
+                    None => break 'driver,
+                    Some(at) => bar = bar.max(at),
+                }
+            }
+            if bar == id {
+                out.push(id);
+                driver.next();
+            } else {
+                // Some list has no posting below `bar`; leapfrog to it.
+                driver.seek(bar);
+            }
+        }
+        out
+    }
+
+    /// Top-`k` partial matches as `(id, matched-token count)` ordered by
+    /// (count desc, id asc) — exactly the prefix the exact backend's
+    /// sort-then-truncate keeps. MaxScore-style document-at-a-time
+    /// evaluation: one cursor per query-token occurrence (duplicate tokens
+    /// count with multiplicity, as the exact accumulation does); once the
+    /// heap holds `k` entries whose worst count is `θ`, the `θ` longest
+    /// lists become non-essential — a document found only in them cannot
+    /// beat the worst — and are only probed through their skip tables.
+    /// Because documents arrive in ascending id and ties break toward
+    /// smaller ids, a new document must *strictly* beat `θ` to enter, so
+    /// when `θ` reaches the best count any future partial could achieve
+    /// (`min(live lists, tokens−1)`) evaluation stops early.
+    fn top_partials(&self, tokens: &[String], k: usize) -> Vec<(u32, usize)> {
+        let l = tokens.len();
+        if l < 2 || k == 0 {
+            // A partial match requires count < l, impossible for l ≤ 1.
+            return Vec::new();
+        }
+        let mut cursors: Vec<PostingCursor<'_>> = tokens
+            .iter()
+            .filter_map(|t| self.list(t))
+            .filter(|pl| !pl.is_empty())
+            .map(PostingList::cursor)
+            .collect();
+        // Longest lists first: the non-essential prefix skips the big ones.
+        cursors.sort_by_key(|c| std::cmp::Reverse(c.len()));
+        let cap = l - 1;
+        // Min-heap on (count, Reverse(id)): the root is the worst kept
+        // entry — lowest count, then largest id.
+        let mut heap: BinaryHeap<std::cmp::Reverse<(usize, std::cmp::Reverse<u32>)>> =
+            BinaryHeap::new();
+        loop {
+            cursors.retain(|c| c.current().is_some());
+            let live = cursors.len();
+            if live == 0 {
+                break;
+            }
+            let theta = if heap.len() >= k {
+                heap.peek().map_or(0, |std::cmp::Reverse((c, _))| *c)
+            } else {
+                0
+            };
+            if theta >= cap.min(live) {
+                break;
+            }
+            let ness = theta; // theta < live here, so essentials exist
+            let pivot = cursors[ness..]
+                .iter()
+                .filter_map(PostingCursor::current)
+                .min()
+                .expect("essential cursors are live");
+            let mut count = 0usize;
+            for c in cursors[ness..].iter_mut() {
+                if c.current() == Some(pivot) {
+                    count += 1;
+                    c.next();
+                }
+            }
+            for c in cursors[..ness].iter_mut() {
+                c.seek(pivot);
+                if c.current() == Some(pivot) {
+                    count += 1;
+                    c.next();
+                }
+            }
+            // count == l means an AND match — never a partial. Ascending
+            // ids make count == theta a guaranteed tie-break loss.
+            if count < l && count > theta {
+                heap.push(std::cmp::Reverse((count, std::cmp::Reverse(pivot))));
+                if heap.len() > k {
+                    heap.pop();
+                }
+            }
+        }
+        let mut out: Vec<(u32, usize)> = heap
+            .into_iter()
+            .map(|std::cmp::Reverse((n, std::cmp::Reverse(id)))| (id, n))
+            .collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        out
+    }
+
+    /// Retrieve candidates for a query — byte-identical to
+    /// [`InvertedIndex::retrieve`], with top-k early termination standing
+    /// in for the exhaustive OR accumulation whenever the partial score is
+    /// strictly monotone in the matched-token count.
+    pub fn retrieve(
+        &self,
+        query: &str,
+        min_candidates: usize,
+        partial_score: f64,
+    ) -> Vec<Candidate> {
+        let tokens = tokenize(query);
+        if tokens.is_empty() {
+            return Vec::new();
+        }
+        let mut out: Vec<Candidate> = self
+            .and_set(&tokens)
+            .into_iter()
+            .map(|id| Candidate {
+                page: PageId(id),
+                lexical: 1.0,
+            })
+            .collect();
+        if out.len() >= min_candidates || tokens.len() < 2 && !out.is_empty() {
+            return out;
+        }
+        let total = tokens.len() as f64;
+        let deficit = min_candidates.saturating_sub(out.len()) * 4; // headroom for ranking
+                                                                    // Count-ordered top-k only equals score-ordered top-k when the
+                                                                    // score strictly increases with the count; degenerate scores
+                                                                    // (zero, negative, subnormal collapse, NaN) take the exhaustive
+                                                                    // path and the reference comparator decides.
+        let k = if count_score_strictly_monotone(partial_score, tokens.len()) {
+            deficit
+        } else {
+            usize::MAX
+        };
+        let mut partial: Vec<Candidate> = self
+            .top_partials(&tokens, k)
+            .into_iter()
+            .map(|(id, n)| Candidate {
+                page: PageId(id),
+                lexical: partial_score * n as f64 / total,
+            })
+            .collect();
+        partial.sort_by(|a, b| b.lexical.total_cmp(&a.lexical).then(a.page.cmp(&b.page)));
+        partial.truncate(deficit);
+        out.extend(partial);
+        out
+    }
+
+    /// Shard-local retrieval — byte-identical to
+    /// [`InvertedIndex::shard_retrieve`]. Partial ordering is by integer
+    /// matched-token count, so top-k pruning is unconditionally sound
+    /// here.
+    pub fn shard_retrieve(
+        &self,
+        query: &str,
+        max_partials: usize,
+    ) -> (Vec<PageId>, Vec<(PageId, usize)>) {
+        let tokens = tokenize(query);
+        if tokens.is_empty() {
+            return (Vec::new(), Vec::new());
+        }
+        let fulls: Vec<PageId> = self.and_set(&tokens).into_iter().map(PageId).collect();
+        let partials: Vec<(PageId, usize)> = self
+            .top_partials(&tokens, max_partials)
+            .into_iter()
+            .map(|(id, n)| (PageId(id), n))
+            .collect();
+        (fulls, partials)
+    }
+
+    /// Shard-local spell-correction data — byte-identical to
+    /// [`InvertedIndex::spell_data`] (the dictionary is scanned in the
+    /// same (length, token) order through `len_order`).
+    #[allow(clippy::type_complexity)]
+    pub fn spell_data(&self, query: &str) -> (Vec<u64>, Vec<Vec<(String, usize, u64)>>) {
+        let tokens = tokenize(query);
+        let mut dfs = Vec::with_capacity(tokens.len());
+        let mut corrections = Vec::with_capacity(tokens.len());
+        for token in &tokens {
+            let df = self.df(token);
+            dfs.push(df as u64);
+            if df > 0 {
+                corrections.push(Vec::new());
+                continue;
+            }
+            let mut cands = Vec::new();
+            for &ti in &self.len_order {
+                let cand = &self.terms[ti as usize];
+                if cand.len() > token.len() + 2 {
+                    break;
+                }
+                if cand.len() + 2 < token.len() {
+                    continue;
+                }
+                if let Some(d) = char_distance_within(token, cand, 2) {
+                    cands.push((cand.clone(), d, self.lists[ti as usize].len() as u64));
+                }
+            }
+            corrections.push(cands);
+        }
+        (dfs, corrections)
+    }
+
+    /// "Did you mean" — byte-identical to [`InvertedIndex::suggest`].
+    pub fn suggest(&self, query: &str) -> Option<String> {
+        let tokens = tokenize(query);
+        if tokens.is_empty() {
+            return None;
+        }
+        let mut corrected = Vec::with_capacity(tokens.len());
+        let mut changed = false;
+        for token in &tokens {
+            if self.df(token) > 0 {
+                corrected.push(token.clone());
+                continue;
+            }
+            let mut best: Option<(usize, usize, &String)> = None;
+            for &ti in &self.len_order {
+                let cand = &self.terms[ti as usize];
+                if cand.len() > token.len() + 2 {
+                    break;
+                }
+                if cand.len() + 2 < token.len() {
+                    continue;
+                }
+                if let Some(d) = char_distance_within(token, cand, 2) {
+                    let df = self.lists[ti as usize].len();
+                    let better = match &best {
+                        None => true,
+                        Some((bd, bdf, bc)) => {
+                            d < *bd || (d == *bd && (df > *bdf || (df == *bdf && cand < *bc)))
+                        }
+                    };
+                    if better {
+                        best = Some((d, df, cand));
+                    }
+                }
+            }
+            let (_, _, replacement) = best?;
+            corrected.push(replacement.clone());
+            changed = true;
+        }
+        changed.then(|| corrected.join(" "))
+    }
+}
+
+/// True when `partial_score × n / total` strictly increases with the
+/// matched count `n` over `1..total` — the precondition for replacing the
+/// exhaustive score sort with count-ordered top-k selection.
+fn count_score_strictly_monotone(partial_score: f64, total_tokens: usize) -> bool {
+    let total = total_tokens as f64;
+    let mut prev = None;
+    for n in 1..total_tokens {
+        let s = partial_score * n as f64 / total;
+        if let Some(p) = prev {
+            if s <= p {
+                return false;
+            }
+        }
+        if s.is_nan() {
+            return false;
+        }
+        prev = Some(s);
+    }
+    true
+}
+
+/// Backend-dispatching index: the exact reference or the compressed
+/// top-k engine, behind one retrieval surface. Built from
+/// [`IndexBackend`], which [`crate::EngineConfig`] carries and the CLI's
+/// `--index` flag selects.
+#[derive(Debug)]
+pub enum SearchIndex {
+    /// Exhaustive `HashMap` reference backend.
+    Exact(InvertedIndex),
+    /// Compressed posting blocks with top-k early termination.
+    Compressed(CompressedIndex),
+}
+
+impl SearchIndex {
+    /// Build the chosen backend over the whole corpus.
+    pub fn build(corpus: &WebCorpus, backend: IndexBackend) -> Self {
+        Self::build_range(corpus, 0..corpus.pages.len() as u32, backend)
+    }
+
+    /// Build the chosen backend over one shard's id range.
+    pub fn build_range(
+        corpus: &WebCorpus,
+        range: std::ops::Range<u32>,
+        backend: IndexBackend,
+    ) -> Self {
+        match backend {
+            IndexBackend::Exact => SearchIndex::Exact(InvertedIndex::build_range(corpus, range)),
+            IndexBackend::Compressed => {
+                SearchIndex::Compressed(CompressedIndex::build_range(corpus, range))
+            }
+        }
+    }
+
+    /// Which backend this index is.
+    pub fn backend(&self) -> IndexBackend {
+        match self {
+            SearchIndex::Exact(_) => IndexBackend::Exact,
+            SearchIndex::Compressed(_) => IndexBackend::Compressed,
+        }
+    }
+
+    /// Number of indexed pages.
+    pub fn page_count(&self) -> usize {
+        match self {
+            SearchIndex::Exact(i) => i.page_count(),
+            SearchIndex::Compressed(i) => i.page_count(),
+        }
+    }
+
+    /// Document frequency of a token.
+    pub fn df(&self, token: &str) -> usize {
+        match self {
+            SearchIndex::Exact(i) => i.df(token),
+            SearchIndex::Compressed(i) => i.df(token),
+        }
+    }
+
+    /// See [`InvertedIndex::retrieve`].
+    pub fn retrieve(
+        &self,
+        query: &str,
+        min_candidates: usize,
+        partial_score: f64,
+    ) -> Vec<Candidate> {
+        match self {
+            SearchIndex::Exact(i) => i.retrieve(query, min_candidates, partial_score),
+            SearchIndex::Compressed(i) => i.retrieve(query, min_candidates, partial_score),
+        }
+    }
+
+    /// See [`InvertedIndex::shard_retrieve`].
+    pub fn shard_retrieve(
+        &self,
+        query: &str,
+        max_partials: usize,
+    ) -> (Vec<PageId>, Vec<(PageId, usize)>) {
+        match self {
+            SearchIndex::Exact(i) => i.shard_retrieve(query, max_partials),
+            SearchIndex::Compressed(i) => i.shard_retrieve(query, max_partials),
+        }
+    }
+
+    /// See [`InvertedIndex::spell_data`].
+    #[allow(clippy::type_complexity)]
+    pub fn spell_data(&self, query: &str) -> (Vec<u64>, Vec<Vec<(String, usize, u64)>>) {
+        match self {
+            SearchIndex::Exact(i) => i.spell_data(query),
+            SearchIndex::Compressed(i) => i.spell_data(query),
+        }
+    }
+
+    /// See [`InvertedIndex::suggest`].
+    pub fn suggest(&self, query: &str) -> Option<String> {
+        match self {
+            SearchIndex::Exact(i) => i.suggest(query),
+            SearchIndex::Compressed(i) => i.suggest(query),
+        }
+    }
+
+    /// Resident posting-storage bytes (dictionary + postings + skip
+    /// metadata); the bench's compression-ratio numerator/denominator.
+    pub fn postings_bytes(&self) -> usize {
+        match self {
+            SearchIndex::Exact(i) => i.postings_bytes(),
+            SearchIndex::Compressed(i) => i.postings_bytes(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -451,5 +974,123 @@ mod tests {
             p.url == "https://www.starbucks.example.com/"
         });
         assert!(has_home);
+    }
+
+    /// Queries that exercise every retrieval regime: AND-rich, AND-thin
+    /// with OR fallback, single-token, misspelled, unknown, empty, and
+    /// duplicate-token.
+    const DIFF_QUERIES: &[&str] = &[
+        "Coffee",
+        "Elementary School",
+        "Starbucks",
+        "Gay Marriage",
+        "Joe Biden",
+        "Hospital near me",
+        "cheap gas",
+        "school school",
+        "starbuks",
+        "hospitel near me",
+        "qqqxyzzy",
+        "the",
+        "",
+        "!!!",
+    ];
+
+    #[test]
+    fn compressed_retrieve_is_byte_identical_to_exact() {
+        let c = corpus();
+        let exact = InvertedIndex::build(&c);
+        let comp = CompressedIndex::build(&c);
+        assert_eq!(exact.page_count(), comp.page_count());
+        for q in DIFF_QUERIES {
+            for (min_c, score) in [(36, 0.35), (0, 0.35), (5, 0.2), (500, 0.9)] {
+                assert_eq!(
+                    exact.retrieve(q, min_c, score),
+                    comp.retrieve(q, min_c, score),
+                    "retrieve({q:?}, {min_c}, {score})"
+                );
+            }
+        }
+    }
+
+    /// Bit-level view of a candidate list: `PartialEq` on `f64` treats
+    /// NaN ≠ NaN, but byte-identity is about the bits.
+    fn bits(cands: &[Candidate]) -> Vec<(PageId, u64)> {
+        cands
+            .iter()
+            .map(|c| (c.page, c.lexical.to_bits()))
+            .collect()
+    }
+
+    #[test]
+    fn compressed_retrieve_matches_exact_for_degenerate_scores() {
+        let c = corpus();
+        let exact = InvertedIndex::build(&c);
+        let comp = CompressedIndex::build(&c);
+        // Scores where count-order and score-order disagree (or collapse):
+        // the compressed backend must detect non-monotonicity and fall
+        // back to exhaustive evaluation.
+        for score in [0.0, -0.35, f64::MIN_POSITIVE, f64::NAN, f64::INFINITY] {
+            for q in ["Hospital near me", "Joe Biden", "Elementary School"] {
+                assert_eq!(
+                    bits(&exact.retrieve(q, 36, score)),
+                    bits(&comp.retrieve(q, 36, score)),
+                    "retrieve({q:?}, 36, {score})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn compressed_shard_retrieve_is_byte_identical_to_exact() {
+        let c = corpus();
+        let half = c.pages.len() as u32 / 2;
+        for range in [0..c.pages.len() as u32, 0..half, half..c.pages.len() as u32] {
+            let exact = InvertedIndex::build_range(&c, range.clone());
+            let comp = CompressedIndex::build_range(&c, range.clone());
+            for q in DIFF_QUERIES {
+                for max_p in [0, 1, 144, usize::MAX] {
+                    assert_eq!(
+                        exact.shard_retrieve(q, max_p),
+                        comp.shard_retrieve(q, max_p),
+                        "shard_retrieve({q:?}, {max_p}) over {range:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn compressed_spell_surface_is_byte_identical_to_exact() {
+        let c = corpus();
+        let exact = InvertedIndex::build(&c);
+        let comp = CompressedIndex::build(&c);
+        for q in DIFF_QUERIES {
+            assert_eq!(exact.spell_data(q), comp.spell_data(q), "spell_data({q:?})");
+            assert_eq!(exact.suggest(q), comp.suggest(q), "suggest({q:?})");
+        }
+    }
+
+    #[test]
+    fn search_index_dispatches_both_backends() {
+        let c = corpus();
+        let exact = SearchIndex::build(&c, IndexBackend::Exact);
+        let comp = SearchIndex::build(&c, IndexBackend::Compressed);
+        assert_eq!(exact.backend(), IndexBackend::Exact);
+        assert_eq!(comp.backend(), IndexBackend::Compressed);
+        assert_eq!(exact.page_count(), comp.page_count());
+        assert_eq!(exact.df("school"), comp.df("school"));
+        assert_eq!(
+            exact.retrieve("Coffee", 36, 0.35),
+            comp.retrieve("Coffee", 36, 0.35)
+        );
+        assert_eq!(exact.suggest("starbuks"), comp.suggest("starbuks"));
+        // Compression earns its name on this corpus.
+        assert!(
+            comp.postings_bytes() * 2 < exact.postings_bytes(),
+            "compressed {} vs raw {}",
+            comp.postings_bytes(),
+            exact.postings_bytes()
+        );
     }
 }

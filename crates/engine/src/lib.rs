@@ -45,14 +45,16 @@ pub mod history;
 pub mod index;
 pub mod intent;
 pub mod noise;
+pub mod postings;
 pub mod retriever;
 pub mod service;
 pub mod shard;
 pub mod verticals;
 
-pub use config::{ConfigError, EngineConfig};
+pub use config::{ConfigError, EngineConfig, IndexBackend};
 pub use engine::{SearchContext, SearchEngine, SearchEngineBuilder};
 pub use geoip::{GeoIpDb, ReverseGeocoder};
+pub use index::{CompressedIndex, SearchIndex};
 pub use intent::{classify, QueryIntent};
 pub use noise::NoiseModel;
 pub use retriever::{LocalRetriever, Retriever};

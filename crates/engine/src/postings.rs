@@ -1,0 +1,687 @@
+//! Compressed posting lists: the storage layer of the compressed inverted
+//! index.
+//!
+//! A [`PostingList`] holds one term's page ids as delta-encoded LEB128
+//! varints in blocks of [`BLOCK`] postings. Each block carries skip
+//! metadata ([`BlockMeta`]): its last id (the skip pointer), its byte
+//! offset, and its maximum term weight — the WAND/MaxScore upper bound.
+//! In this engine every full-token match contributes the same unit weight,
+//! so the per-block max is uniformly `1.0` and the classic sum-of-max-
+//! weights pruning bound specializes to a matched-token *count* bound; the
+//! metadata is kept (and property-tested) in its general form so a weighted
+//! scoring model slots in without a format change.
+//!
+//! The module also hosts the shared sorted-intersection kernel
+//! ([`intersect_sorted`]) used by the exactness-critical AND phases: the
+//! Maps vertical's `PlaceIndex` intersects plain slices through it, and the
+//! compressed index's [`PostingCursor`] intersection is the same leapfrog
+//! galloping scheme lifted onto skip-pointer cursors.
+//!
+//! Serialized lists ([`PostingList::to_bytes`]) decode via
+//! [`PostingList::from_bytes`], which validates *everything* — magic,
+//! lengths, offsets, monotonicity — and returns a typed [`CodecError`]
+//! instead of panicking on truncated or corrupted input. In-memory cursors
+//! only ever run over lists that passed that validation (or were built by
+//! [`PostingList::build`]), which is what keeps the hot path check-free.
+
+use std::fmt;
+
+/// Postings per block. 128 keeps blocks within two cache lines of skip
+/// metadata per 4 KiB of raw ids while making a block decode trivially
+/// cheap.
+pub const BLOCK: usize = 128;
+
+/// Serialized-posting-list magic: "GSPL" (geoserp posting list).
+const MAGIC: [u8; 4] = *b"GSPL";
+/// Serialization format version.
+const VERSION: u8 = 1;
+
+/// Why a serialized posting list was rejected by
+/// [`PostingList::from_bytes`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CodecError {
+    /// The buffer ended before the structure it promised.
+    Truncated {
+        /// What was being decoded when the bytes ran out.
+        context: &'static str,
+    },
+    /// The magic or version header is not a posting list this build reads.
+    BadHeader {
+        /// What was wrong with the header.
+        detail: &'static str,
+    },
+    /// A varint ran past its maximum width (corrupt continuation bits).
+    VarintOverflow {
+        /// Byte offset of the offending varint within the postings bytes.
+        offset: usize,
+    },
+    /// Decoded ids were not strictly increasing (corrupt delta).
+    NonMonotonic {
+        /// Index of the first out-of-order posting.
+        index: usize,
+    },
+    /// A block's metadata disagrees with its decoded contents.
+    BlockMismatch {
+        /// Index of the inconsistent block.
+        block: usize,
+        /// What disagreed.
+        detail: &'static str,
+    },
+    /// Declared counts/offsets are internally inconsistent.
+    Inconsistent {
+        /// What disagreed.
+        detail: &'static str,
+    },
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated { context } => {
+                write!(f, "posting bytes truncated while reading {context}")
+            }
+            CodecError::BadHeader { detail } => write!(f, "bad posting-list header: {detail}"),
+            CodecError::VarintOverflow { offset } => {
+                write!(f, "varint overflow at byte {offset}")
+            }
+            CodecError::NonMonotonic { index } => {
+                write!(f, "posting {index} is not strictly increasing")
+            }
+            CodecError::BlockMismatch { block, detail } => {
+                write!(f, "block {block} metadata mismatch: {detail}")
+            }
+            CodecError::Inconsistent { detail } => {
+                write!(f, "inconsistent posting-list structure: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Append `v` as an LEB128 varint (≤ 5 bytes for a u32).
+pub fn write_varint(out: &mut Vec<u8>, mut v: u32) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Decode an LEB128 varint at `pos`, returning `(value, next_pos)`.
+pub fn read_varint(bytes: &[u8], pos: usize) -> Result<(u32, usize), CodecError> {
+    let mut value: u32 = 0;
+    let mut shift = 0u32;
+    let mut at = pos;
+    loop {
+        let Some(&byte) = bytes.get(at) else {
+            return Err(CodecError::Truncated { context: "varint" });
+        };
+        let payload = u32::from(byte & 0x7f);
+        if shift >= 32 || (shift == 28 && payload > 0x0f) {
+            return Err(CodecError::VarintOverflow { offset: pos });
+        }
+        value |= payload << shift;
+        at += 1;
+        if byte & 0x80 == 0 {
+            return Ok((value, at));
+        }
+        shift += 7;
+    }
+}
+
+/// Per-block skip metadata: last id (the skip pointer), byte offset into
+/// the list's delta bytes, posting count, and the block's maximum term
+/// weight (the WAND upper-bound ingredient).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlockMeta {
+    /// Last (largest) id in the block — the skip pointer.
+    pub last_id: u32,
+    /// Byte offset of the block's first varint.
+    pub offset: u32,
+    /// Postings in the block (1..=[`BLOCK`]).
+    pub count: u16,
+    /// Maximum term weight over the block's postings.
+    pub max_weight: f32,
+}
+
+/// One term's compressed postings: delta/varint blocks plus a skip table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PostingList {
+    bytes: Vec<u8>,
+    blocks: Vec<BlockMeta>,
+    len: usize,
+    max_weight: f32,
+}
+
+impl PostingList {
+    /// Build from strictly increasing ids with uniform unit weights.
+    pub fn build(ids: &[u32]) -> PostingList {
+        Self::build_weighted(ids, &[])
+    }
+
+    /// Build from strictly increasing ids; `weights[i]` is the term weight
+    /// of posting `i` (empty ⇒ uniform `1.0`). Per-block max weights are
+    /// recorded as the pruning upper bound.
+    pub fn build_weighted(ids: &[u32], weights: &[f32]) -> PostingList {
+        debug_assert!(
+            ids.windows(2).all(|w| w[0] < w[1]),
+            "ids must be strictly increasing"
+        );
+        debug_assert!(weights.is_empty() || weights.len() == ids.len());
+        let mut bytes = Vec::with_capacity(ids.len());
+        let mut blocks = Vec::with_capacity(ids.len().div_ceil(BLOCK));
+        let mut max_weight = 0.0f32;
+        for (b, chunk) in ids.chunks(BLOCK).enumerate() {
+            let offset = bytes.len() as u32;
+            // First id of a block is absolute so a skip lands on a
+            // self-contained decode; the rest are gap-coded.
+            write_varint(&mut bytes, chunk[0]);
+            for w in chunk.windows(2) {
+                write_varint(&mut bytes, w[1] - w[0]);
+            }
+            let lo = b * BLOCK;
+            let block_max = if weights.is_empty() {
+                1.0
+            } else {
+                weights[lo..lo + chunk.len()]
+                    .iter()
+                    .copied()
+                    .fold(f32::MIN, f32::max)
+            };
+            max_weight = max_weight.max(block_max);
+            blocks.push(BlockMeta {
+                last_id: *chunk.last().expect("chunks are non-empty"),
+                offset,
+                count: chunk.len() as u16,
+                max_weight: block_max,
+            });
+        }
+        PostingList {
+            bytes,
+            blocks,
+            len: ids.len(),
+            max_weight: if ids.is_empty() { 0.0 } else { max_weight },
+        }
+    }
+
+    /// Total postings.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the list holds no postings.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Maximum term weight across the whole list (the list-level WAND
+    /// upper bound).
+    pub fn max_weight(&self) -> f32 {
+        self.max_weight
+    }
+
+    /// The skip table.
+    pub fn blocks(&self) -> &[BlockMeta] {
+        &self.blocks
+    }
+
+    /// Bytes of compressed posting data plus skip metadata — the resident
+    /// cost the bench reports.
+    pub fn heap_bytes(&self) -> usize {
+        self.bytes.len() + self.blocks.len() * std::mem::size_of::<BlockMeta>()
+    }
+
+    /// A cursor positioned on the first posting.
+    pub fn cursor(&self) -> PostingCursor<'_> {
+        let mut c = PostingCursor {
+            list: self,
+            block: 0,
+            buf: [0; BLOCK],
+            buf_len: 0,
+            pos: 0,
+        };
+        c.load_block(0);
+        c
+    }
+
+    /// Decode every posting (test/bench surface, not the query path).
+    pub fn decode_all(&self) -> Vec<u32> {
+        let mut out = Vec::with_capacity(self.len);
+        let mut c = self.cursor();
+        while let Some(id) = c.current() {
+            out.push(id);
+            c.next();
+        }
+        out
+    }
+
+    /// Serialize: header, skip table, then the delta bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(24 + self.blocks.len() * 14 + self.bytes.len());
+        out.extend_from_slice(&MAGIC);
+        out.push(VERSION);
+        out.extend_from_slice(&(self.len as u32).to_le_bytes());
+        out.extend_from_slice(&(self.blocks.len() as u32).to_le_bytes());
+        for b in &self.blocks {
+            out.extend_from_slice(&b.last_id.to_le_bytes());
+            out.extend_from_slice(&b.offset.to_le_bytes());
+            out.extend_from_slice(&b.count.to_le_bytes());
+            out.extend_from_slice(&b.max_weight.to_bits().to_le_bytes());
+        }
+        out.extend_from_slice(&(self.bytes.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.bytes);
+        out
+    }
+
+    /// Deserialize and fully validate. Truncated or corrupted input comes
+    /// back as a typed [`CodecError`]; a returned list is safe for the
+    /// check-free cursor path.
+    pub fn from_bytes(data: &[u8]) -> Result<PostingList, CodecError> {
+        let mut at = 0usize;
+        let take = |at: &mut usize, n: usize, context: &'static str| -> Result<usize, CodecError> {
+            let start = *at;
+            *at = at
+                .checked_add(n)
+                .filter(|&end| end <= data.len())
+                .ok_or(CodecError::Truncated { context })?;
+            Ok(start)
+        };
+        let s = take(&mut at, 4, "magic")?;
+        if data[s..s + 4] != MAGIC {
+            return Err(CodecError::BadHeader { detail: "magic" });
+        }
+        let s = take(&mut at, 1, "version")?;
+        if data[s] != VERSION {
+            return Err(CodecError::BadHeader { detail: "version" });
+        }
+        let s = take(&mut at, 4, "length")?;
+        let len = u32::from_le_bytes(data[s..s + 4].try_into().expect("4 bytes")) as usize;
+        let s = take(&mut at, 4, "block count")?;
+        let n_blocks = u32::from_le_bytes(data[s..s + 4].try_into().expect("4 bytes")) as usize;
+        if n_blocks != len.div_ceil(BLOCK) {
+            return Err(CodecError::Inconsistent {
+                detail: "block count does not match length",
+            });
+        }
+        let mut blocks = Vec::with_capacity(n_blocks);
+        for _ in 0..n_blocks {
+            let s = take(&mut at, 14, "block metadata")?;
+            blocks.push(BlockMeta {
+                last_id: u32::from_le_bytes(data[s..s + 4].try_into().expect("4 bytes")),
+                offset: u32::from_le_bytes(data[s + 4..s + 8].try_into().expect("4 bytes")),
+                count: u16::from_le_bytes(data[s + 8..s + 10].try_into().expect("2 bytes")),
+                max_weight: f32::from_bits(u32::from_le_bytes(
+                    data[s + 10..s + 14].try_into().expect("4 bytes"),
+                )),
+            });
+        }
+        let s = take(&mut at, 4, "postings size")?;
+        let n_bytes = u32::from_le_bytes(data[s..s + 4].try_into().expect("4 bytes")) as usize;
+        let s = take(&mut at, n_bytes, "postings bytes")?;
+        if at != data.len() {
+            return Err(CodecError::Inconsistent {
+                detail: "trailing bytes after postings",
+            });
+        }
+        let bytes = data[s..s + n_bytes].to_vec();
+
+        // Re-decode everything against the metadata: after this, cursors
+        // may trust blocks unconditionally.
+        let mut total = 0usize;
+        let mut prev_last: Option<u32> = None;
+        let mut expect_offset = 0usize;
+        let mut max_weight = 0.0f32;
+        for (bi, meta) in blocks.iter().enumerate() {
+            if meta.offset as usize != expect_offset {
+                return Err(CodecError::BlockMismatch {
+                    block: bi,
+                    detail: "offset",
+                });
+            }
+            let want = if bi + 1 == blocks.len() {
+                len - bi * BLOCK
+            } else {
+                BLOCK
+            };
+            if meta.count as usize != want || want == 0 {
+                return Err(CodecError::BlockMismatch {
+                    block: bi,
+                    detail: "count",
+                });
+            }
+            let mut pos = meta.offset as usize;
+            let mut prev: Option<u32> = None;
+            for k in 0..meta.count as usize {
+                let (v, next) = read_varint(&bytes, pos)?;
+                pos = next;
+                let id = match prev {
+                    None => v,
+                    Some(p) => p
+                        .checked_add(v)
+                        .ok_or(CodecError::NonMonotonic { index: total + k })?,
+                };
+                let increasing = match (k, prev_last, prev) {
+                    (0, None, _) => true,
+                    (0, Some(pl), _) => id > pl,
+                    (_, _, Some(p)) => id > p,
+                    _ => unreachable!("k > 0 implies a previous id"),
+                };
+                if !increasing {
+                    return Err(CodecError::NonMonotonic { index: total + k });
+                }
+                prev = Some(id);
+            }
+            if prev != Some(meta.last_id) {
+                return Err(CodecError::BlockMismatch {
+                    block: bi,
+                    detail: "last id",
+                });
+            }
+            prev_last = prev;
+            expect_offset = pos;
+            total += meta.count as usize;
+            max_weight = max_weight.max(meta.max_weight);
+        }
+        if total != len || expect_offset != bytes.len() {
+            return Err(CodecError::Inconsistent {
+                detail: "decoded size does not match header",
+            });
+        }
+        Ok(PostingList {
+            bytes,
+            blocks,
+            len,
+            max_weight: if len == 0 { 0.0 } else { max_weight },
+        })
+    }
+}
+
+/// A forward-only cursor over a [`PostingList`] with skip-pointer seeks.
+#[derive(Debug, Clone)]
+pub struct PostingCursor<'a> {
+    list: &'a PostingList,
+    block: usize,
+    buf: [u32; BLOCK],
+    buf_len: usize,
+    pos: usize,
+}
+
+impl<'a> PostingCursor<'a> {
+    fn load_block(&mut self, block: usize) {
+        self.block = block;
+        self.pos = 0;
+        let Some(meta) = self.list.blocks.get(block) else {
+            self.buf_len = 0;
+            return;
+        };
+        let mut at = meta.offset as usize;
+        let mut prev = 0u32;
+        for k in 0..meta.count as usize {
+            // Lists are validated at build/deserialize time, so decoding
+            // here cannot fail.
+            let (v, next) = read_varint(&self.list.bytes, at).expect("validated posting bytes");
+            at = next;
+            prev = if k == 0 { v } else { prev + v };
+            self.buf[k] = prev;
+        }
+        self.buf_len = meta.count as usize;
+    }
+
+    /// Total postings in the underlying list.
+    pub fn len(&self) -> usize {
+        self.list.len()
+    }
+
+    /// True when the underlying list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.list.is_empty()
+    }
+
+    /// List-level maximum term weight (the WAND upper bound).
+    pub fn max_weight(&self) -> f32 {
+        self.list.max_weight()
+    }
+
+    /// The posting under the cursor, or `None` once exhausted.
+    pub fn current(&self) -> Option<u32> {
+        (self.pos < self.buf_len).then(|| self.buf[self.pos])
+    }
+
+    /// Advance one posting.
+    pub fn next(&mut self) {
+        self.pos += 1;
+        if self.pos >= self.buf_len && self.block < self.list.blocks.len() {
+            let next = self.block + 1;
+            self.load_block(next);
+        }
+    }
+
+    /// Advance to the first posting `>= target` (no-op if already there).
+    /// Skips whole blocks through the skip table, then binary-searches the
+    /// decoded block.
+    pub fn seek(&mut self, target: u32) {
+        if let Some(cur) = self.current() {
+            if cur >= target {
+                return;
+            }
+        } else {
+            return;
+        }
+        // Current block cannot satisfy the target? Skip forward through
+        // block last-ids (they are increasing).
+        if self.list.blocks[self.block].last_id < target {
+            let rest = &self.list.blocks[self.block + 1..];
+            let skip = rest.partition_point(|b| b.last_id < target);
+            let dest = self.block + 1 + skip;
+            if dest >= self.list.blocks.len() {
+                self.block = self.list.blocks.len();
+                self.buf_len = 0;
+                self.pos = 0;
+                return;
+            }
+            self.load_block(dest);
+        }
+        let within = &self.buf[self.pos..self.buf_len];
+        self.pos += within.partition_point(|&id| id < target);
+    }
+}
+
+/// Intersect ascending, duplicate-free sorted lists: the shared kernel the
+/// Maps-vertical `PlaceIndex` and the compressed index's AND phase both
+/// rely on. The shortest list drives; the others are galloped, so the cost
+/// is `O(|shortest| · Σ log |other|)` instead of the old
+/// clone-plus-hash-set `O(Σ |list|)`.
+///
+/// Returns the intersection in ascending order. An empty `lists` slice
+/// intersects to the empty set.
+pub fn intersect_sorted<T: Copy + Ord>(lists: &[&[T]]) -> Vec<T> {
+    if lists.is_empty() {
+        return Vec::new();
+    }
+    let mut order: Vec<&[T]> = lists.to_vec();
+    order.sort_by_key(|l| l.len());
+    let (driver, rest) = order.split_first().expect("non-empty by guard");
+    let mut out = Vec::new();
+    let mut cursors = vec![0usize; rest.len()];
+    'driver: for &x in driver.iter() {
+        for (c, l) in cursors.iter_mut().zip(rest.iter()) {
+            *c += gallop(&l[*c..], x);
+            if *c >= l.len() {
+                break 'driver; // this list is exhausted: no further matches
+            }
+            if l[*c] != x {
+                continue 'driver;
+            }
+        }
+        out.push(x);
+    }
+    out
+}
+
+/// Index of the first element `>= target` in an ascending slice, found by
+/// doubling probes then a binary search of the bracketed range — sublinear
+/// when the target is near, logarithmic when it is far.
+fn gallop<T: Copy + Ord>(slice: &[T], target: T) -> usize {
+    let mut hi = 1usize;
+    while hi < slice.len() && slice[hi - 1] < target {
+        hi *= 2;
+    }
+    let lo = hi / 2;
+    let hi = hi.min(slice.len());
+    lo + slice[lo..hi].partition_point(|&x| x < target)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn list(ids: &[u32]) -> PostingList {
+        PostingList::build(ids)
+    }
+
+    #[test]
+    fn round_trip_small_and_multi_block() {
+        for n in [0usize, 1, 2, BLOCK - 1, BLOCK, BLOCK + 1, 3 * BLOCK + 17] {
+            let ids: Vec<u32> = (0..n as u32).map(|i| i * 3 + 7).collect();
+            let pl = list(&ids);
+            assert_eq!(pl.len(), n);
+            assert_eq!(pl.decode_all(), ids, "n = {n}");
+            let back = PostingList::from_bytes(&pl.to_bytes()).unwrap();
+            assert_eq!(back, pl, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn cursor_seek_lands_on_first_ge() {
+        let ids: Vec<u32> = (0..1000).map(|i| i * 5).collect();
+        let pl = list(&ids);
+        for target in [0u32, 1, 4, 5, 6, 630, 631, 2495, 4995, 4996, 10_000] {
+            let mut c = pl.cursor();
+            c.seek(target);
+            let expect = ids.iter().copied().find(|&id| id >= target);
+            assert_eq!(c.current(), expect, "target {target}");
+        }
+    }
+
+    #[test]
+    fn seek_is_monotone_across_blocks() {
+        let ids: Vec<u32> = (0..10 * BLOCK as u32).map(|i| i * 2).collect();
+        let pl = list(&ids);
+        let mut c = pl.cursor();
+        let mut step = 1u32;
+        let mut target = 0u32;
+        while c.current().is_some() {
+            c.seek(target);
+            if let Some(got) = c.current() {
+                assert!(got >= target);
+                assert!(!ids.contains(&target) || got == target);
+            }
+            target = target.saturating_add(step);
+            step = step.wrapping_mul(3).wrapping_add(1) % 257 + 1;
+        }
+    }
+
+    #[test]
+    fn truncated_bytes_are_typed_errors() {
+        let pl = list(&(0..500u32).collect::<Vec<_>>());
+        let bytes = pl.to_bytes();
+        assert!(PostingList::from_bytes(&bytes).is_ok());
+        for cut in [0, 3, 4, 5, 8, 12, 13, 20, bytes.len() - 1] {
+            let err = PostingList::from_bytes(&bytes[..cut]).unwrap_err();
+            let _ = err.to_string(); // all variants display
+        }
+    }
+
+    #[test]
+    fn corrupted_bytes_are_typed_errors() {
+        let pl = list(&(0..500u32).map(|i| i * 2).collect::<Vec<_>>());
+        let good = pl.to_bytes();
+        // Flip every byte position once; decoding must never panic, and
+        // (except for bits that cancel out, e.g. a weight) must error.
+        for i in 0..good.len() {
+            let mut bad = good.clone();
+            bad[i] ^= 0xff;
+            match PostingList::from_bytes(&bad) {
+                Ok(list) => assert_eq!(list.decode_all(), pl.decode_all()),
+                Err(e) => {
+                    let _ = e.to_string();
+                }
+            }
+        }
+        // Wrong magic and version are specific header errors.
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        assert_eq!(
+            PostingList::from_bytes(&bad).unwrap_err(),
+            CodecError::BadHeader { detail: "magic" }
+        );
+        let mut bad = good.clone();
+        bad[4] = VERSION + 1;
+        assert_eq!(
+            PostingList::from_bytes(&bad).unwrap_err(),
+            CodecError::BadHeader { detail: "version" }
+        );
+        // Trailing garbage is rejected.
+        let mut bad = good.clone();
+        bad.push(0);
+        assert_eq!(
+            PostingList::from_bytes(&bad).unwrap_err(),
+            CodecError::Inconsistent {
+                detail: "trailing bytes after postings"
+            }
+        );
+    }
+
+    #[test]
+    fn block_max_weights_cover_members() {
+        let ids: Vec<u32> = (0..400).collect();
+        let weights: Vec<f32> = ids.iter().map(|&i| (i % 37) as f32 / 36.0).collect();
+        let pl = PostingList::build_weighted(&ids, &weights);
+        for (b, meta) in pl.blocks().iter().enumerate() {
+            let lo = b * BLOCK;
+            let hi = (lo + meta.count as usize).min(ids.len());
+            for w in &weights[lo..hi] {
+                assert!(*w <= meta.max_weight, "block {b}");
+            }
+        }
+        assert!(pl.max_weight() >= 1.0 - 1.0 / 36.0);
+    }
+
+    #[test]
+    fn intersect_matches_reference() {
+        let a: Vec<u32> = (0..300).map(|i| i * 2).collect();
+        let b: Vec<u32> = (0..300).map(|i| i * 3).collect();
+        let c: Vec<u32> = (0..600).collect();
+        let got = intersect_sorted(&[&a, &b, &c]);
+        let expect: Vec<u32> = (0..600).filter(|i| i % 6 == 0).collect();
+        assert_eq!(got, expect);
+        assert!(intersect_sorted::<u32>(&[]).is_empty());
+        assert!(intersect_sorted(&[&a[..], &[]]).is_empty());
+        assert_eq!(intersect_sorted(&[&a[..]]), a);
+    }
+
+    #[test]
+    fn varint_round_trips_extremes() {
+        for v in [0u32, 1, 127, 128, 16_383, 16_384, u32::MAX - 1, u32::MAX] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v);
+            assert_eq!(read_varint(&buf, 0).unwrap(), (v, buf.len()));
+        }
+        // A 5-byte varint with excess high bits is an overflow, not a wrap.
+        let bad = [0xff, 0xff, 0xff, 0xff, 0x7f];
+        assert!(matches!(
+            read_varint(&bad, 0),
+            Err(CodecError::VarintOverflow { .. })
+        ));
+        assert!(matches!(
+            read_varint(&[0x80], 0),
+            Err(CodecError::Truncated { .. })
+        ));
+    }
+}

@@ -7,23 +7,24 @@
 //! single-process engine — byte-identical pages are structural, not tested
 //! into existence.
 
-use crate::index::{Candidate, InvertedIndex};
+use crate::index::{Candidate, SearchIndex};
 
 /// Source of ranked-ready candidates and spell corrections for the engine.
 pub trait Retriever: Send + Sync {
     /// Retrieve candidates for a query; the contract is exactly
-    /// [`InvertedIndex::retrieve`]'s (full matches at `lexical = 1.0`
-    /// id-ascending, then partials by score desc / id asc up to the
-    /// deficit ceiling).
+    /// [`crate::index::InvertedIndex::retrieve`]'s (full matches at
+    /// `lexical = 1.0` id-ascending, then partials by score desc / id asc
+    /// up to the deficit ceiling).
     fn retrieve(&self, query: &str, min_candidates: usize, partial_score: f64) -> Vec<Candidate>;
 
-    /// "Did you mean" — the contract is [`InvertedIndex::suggest`]'s.
+    /// "Did you mean" — the contract is
+    /// [`crate::index::InvertedIndex::suggest`]'s.
     fn suggest(&self, query: &str) -> Option<String>;
 }
 
-/// The default retriever: an in-process [`InvertedIndex`] over the whole
-/// corpus.
-pub struct LocalRetriever(pub InvertedIndex);
+/// The default retriever: an in-process [`SearchIndex`] (either backend)
+/// over the whole corpus.
+pub struct LocalRetriever(pub SearchIndex);
 
 impl Retriever for LocalRetriever {
     fn retrieve(&self, query: &str, min_candidates: usize, partial_score: f64) -> Vec<Candidate> {

@@ -1,0 +1,147 @@
+//! Hostile and degenerate inputs for both index backends: empty corpora,
+//! single-document corpora, a term present in every document, queries with
+//! more tokens than any posting list is long, and corrupted serialized
+//! posting blocks. Every case must return normally (typed errors for the
+//! codec, empty or well-formed results for retrieval) — never panic — and
+//! the compressed backend must stay byte-identical to exact throughout.
+
+use geoserp_corpus::{GeoScope, Page, PageId, PageKind, WebCorpus};
+use geoserp_engine::index::SearchIndex;
+use geoserp_engine::postings::{CodecError, PostingList};
+use geoserp_engine::IndexBackend;
+use geoserp_geo::{Seed, UsGeography};
+
+/// A corpus whose pages are exactly `docs` (dense ids, fixed metadata),
+/// with no places — the smallest world the index builders accept.
+fn corpus_of(docs: &[&[&str]]) -> WebCorpus {
+    let seed = Seed::new(11);
+    let geo = UsGeography::generate(seed);
+    let mut corpus = WebCorpus::generate(&geo, seed);
+    corpus.pages.clear();
+    corpus.places.clear();
+    for (i, tokens) in docs.iter().enumerate() {
+        corpus.pages.push(Page::new(
+            PageId(i as u32),
+            format!("https://tiny.example.com/{i}"),
+            "tiny.example.com".to_string(),
+            format!("doc {i}"),
+            tokens.iter().map(|t| t.to_string()).collect(),
+            0.5,
+            GeoScope::Global,
+            PageKind::Web,
+        ));
+    }
+    corpus
+}
+
+/// Assert both backends agree on every public surface for `query`.
+fn assert_backends_agree(corpus: &WebCorpus, query: &str) {
+    let exact = SearchIndex::build(corpus, IndexBackend::Exact);
+    let comp = SearchIndex::build(corpus, IndexBackend::Compressed);
+    for (min_candidates, partial_score) in [(0usize, 0.35f64), (36, 0.35), (500, 0.9)] {
+        assert_eq!(
+            comp.retrieve(query, min_candidates, partial_score),
+            exact.retrieve(query, min_candidates, partial_score),
+            "retrieve({query:?}, {min_candidates}, {partial_score}) diverged"
+        );
+    }
+    for max_partials in [0usize, 4, usize::MAX] {
+        assert_eq!(
+            comp.shard_retrieve(query, max_partials),
+            exact.shard_retrieve(query, max_partials),
+            "shard_retrieve({query:?}, {max_partials}) diverged"
+        );
+    }
+    assert_eq!(
+        comp.suggest(query),
+        exact.suggest(query),
+        "suggest({query:?}) diverged"
+    );
+}
+
+#[test]
+fn empty_corpus_retrieves_nothing_without_panicking() {
+    let corpus = corpus_of(&[]);
+    for query in ["coffee", "a b c d e", "", "!!!"] {
+        assert_backends_agree(&corpus, query);
+        let comp = SearchIndex::build(&corpus, IndexBackend::Compressed);
+        assert!(comp.retrieve(query, 36, 0.35).is_empty());
+        assert_eq!(comp.page_count(), 0);
+    }
+}
+
+#[test]
+fn single_document_corpus_round_trips() {
+    let corpus = corpus_of(&[&["lonely", "page"]]);
+    for query in ["lonely", "lonely page", "page missing", "missing"] {
+        assert_backends_agree(&corpus, query);
+    }
+    let comp = SearchIndex::build(&corpus, IndexBackend::Compressed);
+    let hits = comp.retrieve("lonely", 0, 0.35);
+    assert_eq!(hits.len(), 1);
+    assert_eq!(hits[0].page, PageId(0));
+}
+
+#[test]
+fn a_term_in_every_document_is_handled() {
+    // 300 docs — enough to span multiple 128-posting blocks — all sharing
+    // "common"; half also carry "rare".
+    let docs: Vec<Vec<&str>> = (0..300)
+        .map(|i| {
+            if i % 2 == 0 {
+                vec!["common", "rare"]
+            } else {
+                vec!["common"]
+            }
+        })
+        .collect();
+    let refs: Vec<&[&str]> = docs.iter().map(Vec::as_slice).collect();
+    let corpus = corpus_of(&refs);
+    for query in ["common", "common rare", "rare common rare", "common common"] {
+        assert_backends_agree(&corpus, query);
+    }
+    let comp = SearchIndex::build(&corpus, IndexBackend::Compressed);
+    assert_eq!(comp.df("common"), 300);
+    assert_eq!(comp.retrieve("common", 0, 0.35).len(), 300);
+}
+
+#[test]
+fn queries_longer_than_any_posting_list_do_not_panic() {
+    // Every posting list has length ≤ 3; the query carries 8 tokens, so no
+    // document can match them all and the partial-overlap path carries the
+    // whole result.
+    let corpus = corpus_of(&[&["alpha", "beta"], &["beta", "gamma", "delta"], &["delta"]]);
+    let long_query = "alpha beta gamma delta epsilon zeta eta theta";
+    assert_backends_agree(&corpus, long_query);
+    let comp = SearchIndex::build(&corpus, IndexBackend::Compressed);
+    let (fulls, partials) = comp.shard_retrieve(long_query, usize::MAX);
+    assert!(fulls.is_empty(), "no doc can match 8 tokens");
+    assert!(!partials.is_empty(), "partial overlaps must surface");
+}
+
+#[test]
+fn corrupted_posting_bytes_fail_with_typed_errors_not_panics() {
+    let list = PostingList::build(&[3, 9, 14, 200, 5_000, 70_000]);
+    let bytes = list.to_bytes();
+
+    // Every truncation point must produce a typed error, never a panic.
+    for cut in 0..bytes.len() {
+        let err =
+            PostingList::from_bytes(&bytes[..cut]).expect_err("truncated input must be rejected");
+        // The error formats — the Display impl is part of the typed surface.
+        let _ = err.to_string();
+    }
+
+    // A wrong magic number is a header error, not a decode error.
+    let mut bad_magic = bytes.clone();
+    bad_magic[0] ^= 0xff;
+    assert!(matches!(
+        PostingList::from_bytes(&bad_magic),
+        Err(CodecError::BadHeader { .. })
+    ));
+
+    // Trailing garbage is detected.
+    let mut padded = bytes;
+    padded.push(0);
+    assert!(PostingList::from_bytes(&padded).is_err());
+}

@@ -483,11 +483,15 @@ pub struct ClusterConfig {
     /// Fault injection: delay every request to `(shard, replica)` by the
     /// given milliseconds.
     pub slow_replica: Option<(u32, u32, u64)>,
+    /// Corpus scale factor for the cluster's world
+    /// ([`geoserp_corpus::WebCorpus::generate_scaled`]); 1 is the base
+    /// world.
+    pub corpus_scale: u32,
 }
 
 impl ClusterConfig {
     /// Defaults: `shards × replicas` topology, 200 ms hedge, default
-    /// [`ServeConfig`], no injected faults.
+    /// [`ServeConfig`], no injected faults, unscaled corpus.
     pub fn new(shards: u32, replicas: u32) -> ClusterConfig {
         ClusterConfig {
             shards: shards.max(1),
@@ -495,6 +499,7 @@ impl ClusterConfig {
             hedge_ms: 200,
             serve: ServeConfig::new(),
             slow_replica: None,
+            corpus_scale: 1,
         }
     }
 
@@ -513,6 +518,12 @@ impl ClusterConfig {
     /// Inject a fixed per-request delay into one replica.
     pub fn slow_replica(mut self, shard: u32, replica: u32, delay_ms: u64) -> ClusterConfig {
         self.slow_replica = Some((shard, replica, delay_ms));
+        self
+    }
+
+    /// Set the corpus scale factor (clamped to ≥ 1).
+    pub fn corpus_scale(mut self, scale: u32) -> ClusterConfig {
+        self.corpus_scale = scale.max(1);
         self
     }
 }
@@ -556,8 +567,16 @@ impl ShardedCluster {
     ) -> std::io::Result<ShardedCluster> {
         let world_seed = Seed::new(seed);
         let geo = UsGeography::generate(world_seed);
-        let corpus = Arc::new(geoserp_corpus::WebCorpus::generate(&geo, world_seed));
+        let corpus = Arc::new(geoserp_corpus::WebCorpus::generate_scaled(
+            &geo,
+            world_seed,
+            cfg.corpus_scale,
+        ));
         let plan = ShardPlan::contiguous(corpus.pages.len() as u32, cfg.shards);
+        // Shards index with the same backend the router's engine config
+        // names; captured here because `engine` moves into the router
+        // build below.
+        let index_backend = engine.index_backend;
 
         // Shard tier: one ShardService per shard, M socket servers each.
         // All shard traffic originates from the router's single loopback
@@ -570,7 +589,8 @@ impl ShardedCluster {
         let mut replicas: Vec<Vec<Option<SocketServer>>> = Vec::new();
         let mut addrs: Vec<Vec<SocketAddr>> = Vec::new();
         for (s, range) in plan.ranges.iter().enumerate() {
-            let service: Arc<ShardService> = Arc::new(ShardService::build(&corpus, range.clone()));
+            let service: Arc<ShardService> =
+                Arc::new(ShardService::build(&corpus, range.clone(), index_backend));
             let mut hubs = Vec::new();
             let mut shard_replicas = Vec::new();
             let mut shard_addrs = Vec::new();

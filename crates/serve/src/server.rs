@@ -281,9 +281,28 @@ impl ServedWorld {
     /// # Errors
     /// Propagates [`ConfigError`] from engine-config validation.
     pub fn build(seed: u64, config: EngineConfig) -> Result<ServedWorld, ConfigError> {
+        Self::build_scaled(seed, config, 1)
+    }
+
+    /// Like [`ServedWorld::build`], but over a corpus generated at
+    /// `corpus_scale` × the base page count
+    /// ([`geoserp_corpus::WebCorpus::generate_scaled`]). Scale 1 is the
+    /// unscaled world.
+    ///
+    /// # Errors
+    /// Propagates [`ConfigError`] from engine-config validation.
+    pub fn build_scaled(
+        seed: u64,
+        config: EngineConfig,
+        corpus_scale: u32,
+    ) -> Result<ServedWorld, ConfigError> {
         let world_seed = Seed::new(seed);
         let geo = UsGeography::generate(world_seed);
-        let corpus = Arc::new(geoserp_corpus::WebCorpus::generate(&geo, world_seed));
+        let corpus = Arc::new(geoserp_corpus::WebCorpus::generate_scaled(
+            &geo,
+            world_seed,
+            corpus_scale,
+        ));
         let hub = Arc::new(ObsHub::new());
         let engine = Arc::new(
             SearchEngine::builder(corpus, &geo, world_seed)

@@ -1,7 +1,8 @@
 //! The shard side of the sharded search tier.
 //!
 //! A [`ShardService`] owns one contiguous slice of the corpus as a
-//! range-restricted [`InvertedIndex`] and answers the two integer-only
+//! range-restricted [`SearchIndex`] (either backend) and answers the two
+//! integer-only
 //! internal endpoints the router scatters to
 //! ([`SHARD_RETRIEVE_PATH`], [`SHARD_SUGGEST_PATH`]). It is a plain
 //! [`geoserp_net::Server`], so it sits behind the very same socket
@@ -17,7 +18,8 @@
 
 use bytes::Bytes;
 use geoserp_corpus::WebCorpus;
-use geoserp_engine::index::InvertedIndex;
+use geoserp_engine::index::SearchIndex;
+use geoserp_engine::IndexBackend;
 use geoserp_net::shardmsg::{
     ShardRetrieveRequest, ShardRetrieveResponse, ShardSuggestRequest, ShardSuggestResponse,
     SpellCandidate, SHARD_RETRIEVE_PATH, SHARD_SUGGEST_PATH,
@@ -34,14 +36,19 @@ pub const SHARD_HOST: &str = "shard.internal";
 /// One shard: a range-restricted inverted index behind the internal wire
 /// endpoints.
 pub struct ShardService {
-    index: InvertedIndex,
+    index: SearchIndex,
 }
 
 impl ShardService {
-    /// Index the pages of `corpus` whose ids fall in `range`.
-    pub fn build(corpus: &WebCorpus, range: std::ops::Range<u32>) -> ShardService {
+    /// Index the pages of `corpus` whose ids fall in `range` with the
+    /// chosen index backend.
+    pub fn build(
+        corpus: &WebCorpus,
+        range: std::ops::Range<u32>,
+        backend: IndexBackend,
+    ) -> ShardService {
         ShardService {
-            index: InvertedIndex::build_range(corpus, range),
+            index: SearchIndex::build_range(corpus, range, backend),
         }
     }
 
@@ -176,7 +183,7 @@ mod tests {
     fn retrieve_endpoint_matches_direct_index_call() {
         let c = corpus();
         let half = c.pages.len() as u32 / 2;
-        let svc = ShardService::build(&c, 0..half);
+        let svc = ShardService::build(&c, 0..half, IndexBackend::default());
         let req = ShardRetrieveRequest {
             query: "Coffee".into(),
             max_partials: 144,
@@ -192,7 +199,7 @@ mod tests {
     #[test]
     fn suggest_endpoint_matches_direct_index_call() {
         let c = corpus();
-        let svc = ShardService::build(&c, 0..c.pages.len() as u32);
+        let svc = ShardService::build(&c, 0..c.pages.len() as u32, IndexBackend::default());
         let req = ShardSuggestRequest {
             query: "starbuks".into(),
         };
@@ -206,7 +213,7 @@ mod tests {
     #[test]
     fn malformed_body_is_a_typed_400() {
         let c = corpus();
-        let svc = ShardService::build(&c, 0..10);
+        let svc = ShardService::build(&c, 0..10, IndexBackend::default());
         let mut req = retrieve_request(&ShardRetrieveRequest {
             query: "x".into(),
             max_partials: 1,
@@ -220,7 +227,7 @@ mod tests {
     #[test]
     fn unknown_paths_and_gets_are_404() {
         let c = corpus();
-        let svc = ShardService::build(&c, 0..10);
+        let svc = ShardService::build(&c, 0..10, IndexBackend::default());
         let get = Request::get(SHARD_HOST, SHARD_RETRIEVE_PATH);
         assert_eq!(svc.handle(&ctx(), &get).status, Status::NotFound);
         let wrong = retrieve_request(&ShardRetrieveRequest {
