@@ -10,6 +10,7 @@ use crate::render::{f2, table};
 use geoserp_corpus::QueryCategory;
 use geoserp_crawler::Observation;
 use geoserp_geo::Granularity;
+use geoserp_serp::ResultType;
 use serde::Serialize;
 
 /// One Figure-4 row: per-term noise decomposed by result type.
@@ -146,6 +147,141 @@ pub fn fig7_personalization_by_type(idx: &ObsIndex<'_>) -> Vec<TypeBreakdownRow>
     out
 }
 
+/// One row of the per-component attribution table: how much of the mean
+/// edit distance one SERP component type accounts for, separately over the
+/// noise pairs (treatment vs simultaneous control) and the personalization
+/// pairs (treatments at different locations).
+#[derive(Debug, Clone, Serialize)]
+pub struct ComponentRow {
+    /// The component's result type.
+    pub rtype: ResultType,
+    /// Mean per-type edit distance over all noise pairs.
+    pub noise: f64,
+    /// Mean per-type edit distance over all personalization pairs.
+    pub personalization: f64,
+}
+
+/// The full-taxonomy generalization of Figures 4/7: per-component noise and
+/// personalization attribution, aggregated over every granularity and query
+/// category, plus the organic residual.
+#[derive(Debug, Clone, Serialize)]
+pub struct ComponentBreakdown {
+    /// One row per meta-result type, in [`ResultType::META`] order
+    /// (Maps and News first, then the rich components).
+    pub rows: Vec<ComponentRow>,
+    /// Mean total edit distance over noise pairs.
+    pub noise_total: f64,
+    /// Mean total edit distance over personalization pairs.
+    pub personalization_total: f64,
+    /// Mean residual (`total - sum(per-type)`, floored per pair) over
+    /// noise pairs — changes among organic links.
+    pub noise_residual: f64,
+    /// Mean residual over personalization pairs.
+    pub personalization_residual: f64,
+    /// Noise comparisons behind the means.
+    pub noise_pairs: usize,
+    /// Personalization comparisons behind the means.
+    pub personalization_pairs: usize,
+}
+
+/// Per-component attribution over the whole dataset. On a `Paper`-component
+/// dataset the four rich rows are exactly zero and the Maps/News rows carry
+/// the same per-pair values Figures 4 and 7 decompose — the taxonomy only
+/// widens, it never reweighs.
+pub fn component_attribution(idx: &ObsIndex<'_>) -> ComponentBreakdown {
+    const N: usize = ResultType::META.len();
+    let mut noise_sum = [0usize; N];
+    let mut pers_sum = [0usize; N];
+    let (mut noise_total, mut pers_total) = (0usize, 0usize);
+    let (mut noise_residual, mut pers_residual) = (0usize, 0usize);
+    let (mut noise_pairs, mut pers_pairs) = (0usize, 0usize);
+    for category in idx.categories() {
+        for gran in idx.granularities() {
+            idx.for_each_noise_pair(gran, category, |a, b| {
+                let (total, meta, residual) = idx.pair_attribution_meta(a, b);
+                noise_total += total;
+                noise_residual += residual;
+                for (acc, m) in noise_sum.iter_mut().zip(meta) {
+                    *acc += m;
+                }
+                noise_pairs += 1;
+            });
+            idx.for_each_treatment_pair(gran, category, |a, b| {
+                let (total, meta, residual) = idx.pair_attribution_meta(a, b);
+                pers_total += total;
+                pers_residual += residual;
+                for (acc, m) in pers_sum.iter_mut().zip(meta) {
+                    *acc += m;
+                }
+                pers_pairs += 1;
+            });
+        }
+    }
+    let nf = noise_pairs.max(1) as f64;
+    let pf = pers_pairs.max(1) as f64;
+    let rows = ResultType::META
+        .iter()
+        .enumerate()
+        .map(|(i, &rtype)| ComponentRow {
+            rtype,
+            noise: noise_sum[i] as f64 / nf,
+            personalization: pers_sum[i] as f64 / pf,
+        })
+        .collect();
+    ComponentBreakdown {
+        rows,
+        noise_total: noise_total as f64 / nf,
+        personalization_total: pers_total as f64 / pf,
+        noise_residual: noise_residual as f64 / nf,
+        personalization_residual: pers_residual as f64 / pf,
+        noise_pairs,
+        personalization_pairs: pers_pairs,
+    }
+}
+
+/// Render the per-component attribution as a text table.
+pub fn render_components(b: &ComponentBreakdown) -> String {
+    let share = |x: f64, total: f64| -> String {
+        if total == 0.0 {
+            "0%".to_string()
+        } else {
+            format!("{:.0}%", 100.0 * x / total)
+        }
+    };
+    let mut body: Vec<Vec<String>> = b
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.rtype.to_string(),
+                f2(r.noise),
+                share(r.noise, b.noise_total),
+                f2(r.personalization),
+                share(r.personalization, b.personalization_total),
+            ]
+        })
+        .collect();
+    body.push(vec![
+        "organic (residual)".to_string(),
+        f2(b.noise_residual),
+        share(b.noise_residual, b.noise_total),
+        f2(b.personalization_residual),
+        share(b.personalization_residual, b.personalization_total),
+    ]);
+    let mut out = table(
+        &["component", "noise edit", "noise%", "pers edit", "pers%"],
+        &body,
+    );
+    out.push_str(&format!(
+        "totals: noise {} over {} pairs, personalization {} over {} pairs\n",
+        f2(b.noise_total),
+        b.noise_pairs,
+        f2(b.personalization_total),
+        b.personalization_pairs,
+    ));
+    out
+}
+
 /// Render Figure 4 as a text table.
 pub fn render_fig4(rows: &[TypeNoiseRow]) -> String {
     let body: Vec<Vec<String>> = rows
@@ -264,6 +400,49 @@ mod tests {
     }
 
     #[test]
+    fn component_rows_cover_the_meta_taxonomy() {
+        let ds = dataset();
+        let idx = ObsIndex::new(&ds);
+        let b = component_attribution(&idx);
+        assert_eq!(b.rows.len(), ResultType::META.len());
+        assert_eq!(b.rows[0].rtype, ResultType::Maps);
+        assert_eq!(b.rows[1].rtype, ResultType::News);
+        assert!(b.noise_pairs > 0 && b.personalization_pairs > 0);
+        // Paper-component dataset: the four rich rows are exactly zero.
+        for r in &b.rows[2..] {
+            assert_eq!(r.noise, 0.0, "{}", r.rtype);
+            assert_eq!(r.personalization, 0.0, "{}", r.rtype);
+        }
+        // The per-pair floor makes the decomposition over-cover the total.
+        let noise_sum: f64 = b.rows.iter().map(|r| r.noise).sum::<f64>() + b.noise_residual;
+        assert!(
+            noise_sum >= b.noise_total - 1e-9,
+            "{noise_sum} vs {}",
+            b.noise_total
+        );
+    }
+
+    #[test]
+    fn component_maps_row_matches_the_pairwise_kernel() {
+        let ds = dataset();
+        let idx = ObsIndex::new(&ds);
+        let b = component_attribution(&idx);
+        // Recompute the personalization Maps mean straight from the
+        // two-label kernel; the taxonomy widening must not reweigh it.
+        let (mut maps, mut pairs) = (0usize, 0usize);
+        for category in idx.categories() {
+            for gran in idx.granularities() {
+                idx.for_each_treatment_pair(gran, category, |x, y| {
+                    maps += idx.pair_attribution(x, y).1;
+                    pairs += 1;
+                });
+            }
+        }
+        assert_eq!(pairs, b.personalization_pairs);
+        assert_eq!(maps as f64 / pairs as f64, b.rows[0].personalization);
+    }
+
+    #[test]
     fn renders_work() {
         let ds = dataset();
         let idx = ObsIndex::new(&ds);
@@ -275,5 +454,9 @@ mod tests {
         assert!(t4.contains("maps edit"));
         let t7 = render_fig7(&fig7_personalization_by_type(&idx));
         assert!(t7.contains("maps%"));
+        let tc = render_components(&component_attribution(&idx));
+        assert!(tc.contains("knowledge_panel"), "{tc}");
+        assert!(tc.contains("organic (residual)"), "{tc}");
+        assert!(tc.contains("totals: noise"), "{tc}");
     }
 }

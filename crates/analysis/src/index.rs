@@ -38,11 +38,15 @@ pub struct PairStat {
     pub jaccard: f64,
     /// Edit distance between the full URL lists.
     pub total: usize,
-    /// Edit distance between the Maps-typed sublists.
-    pub maps: usize,
-    /// Edit distance between the News-typed sublists.
-    pub news: usize,
-    /// `total - maps - news`, clamped at zero.
+    /// Edit distances of the type-filtered sublists, parallel to
+    /// [`ResultType::META`]: `meta[0]` is Maps, `meta[1]` is News, then the
+    /// rich components (local pack, answer box, knowledge panel, ads). On a
+    /// `Paper`-component dataset the rich entries are all zero, so the
+    /// Maps/News figures are unchanged bit for bit.
+    pub meta: [usize; ResultType::META.len()],
+    /// `total - maps - news`, clamped at zero — the legacy Figure-7
+    /// residual. The full-taxonomy residual is derived on demand as
+    /// `total - sum(meta)`.
     pub other: usize,
 }
 
@@ -123,12 +127,12 @@ impl PairStat {
             fill(a, &mut scratch.ids_a, None);
             fill(b, &mut scratch.ids_b, None);
             let total = edit_distance(&scratch.ids_a, &scratch.ids_b);
-            fill(a, &mut scratch.sub_a, Some(ResultType::Maps));
-            fill(b, &mut scratch.sub_b, Some(ResultType::Maps));
-            let maps = edit_distance(&scratch.sub_a, &scratch.sub_b);
-            fill(a, &mut scratch.sub_a, Some(ResultType::News));
-            fill(b, &mut scratch.sub_b, Some(ResultType::News));
-            let news = edit_distance(&scratch.sub_a, &scratch.sub_b);
+            let mut meta = [0usize; ResultType::META.len()];
+            for (slot, ty) in meta.iter_mut().zip(ResultType::META) {
+                fill(a, &mut scratch.sub_a, Some(ty));
+                fill(b, &mut scratch.sub_b, Some(ty));
+                *slot = edit_distance(&scratch.sub_a, &scratch.sub_b);
+            }
             let jaccard = sorted_jaccard(
                 &scratch.ids_a,
                 &scratch.ids_b,
@@ -138,9 +142,8 @@ impl PairStat {
             PairStat {
                 jaccard,
                 total,
-                maps,
-                news,
-                other: total.saturating_sub(maps + news),
+                meta,
+                other: total.saturating_sub(meta[0] + meta[1]),
             }
         })
     }
@@ -341,12 +344,34 @@ impl<'a> ObsIndex<'a> {
         b: &'a Observation,
     ) -> (usize, usize, usize, usize) {
         if let Some(s) = self.cached_stat(a, b) {
-            return (s.total, s.maps, s.news, s.other);
+            return (s.total, s.meta[0], s.meta[1], s.other);
         }
         let ta = self.typed(a);
         let tb = self.typed(b);
         let t = type_attribution(&ta, &tb, &ResultType::Maps, &ResultType::News);
         (t.total, t.maps, t.news, t.other)
+    }
+
+    /// Full-taxonomy attribution of a pair: `(total, per-type edit
+    /// distances parallel to [`ResultType::META`], residual)`, where the
+    /// residual is `total - sum(per-type)` floored at zero (the organic
+    /// remainder). Cached on the pooled path, recomputed from the typed
+    /// URL lists on the serial one — values are identical either way.
+    pub fn pair_attribution_meta(
+        &self,
+        a: &'a Observation,
+        b: &'a Observation,
+    ) -> (usize, [usize; ResultType::META.len()], usize) {
+        if let Some(s) = self.cached_stat(a, b) {
+            let residual = s.total.saturating_sub(s.meta.iter().sum());
+            return (s.total, s.meta, residual);
+        }
+        let ta = self.typed(a);
+        let tb = self.typed(b);
+        let m = geoserp_metrics::attribution_by(&ta, &tb, &ResultType::META);
+        let mut meta = [0usize; ResultType::META.len()];
+        meta.copy_from_slice(&m.by_type);
+        (m.total, meta, m.other)
     }
 
     /// The underlying dataset.

@@ -16,6 +16,7 @@
 //! | §3.2 — demographic correlations (the null result) | [`demographics::demographic_correlations`] |
 //! | §3.2 — "difficult to claim" made quantitative | [`significance::personalization_significance`] |
 //! | §3.2 — county-level location clustering | [`significance::fig8_clusters`] |
+//! | per-component attribution over the full SERP taxonomy | [`attribution::component_attribution`] |
 //!
 //! Two comparison disciplines, exactly as in §3:
 //!
@@ -41,7 +42,8 @@ pub mod render;
 pub mod significance;
 
 pub use attribution::{
-    fig4_noise_by_type, fig7_personalization_by_type, TypeBreakdownRow, TypeNoiseRow,
+    component_attribution, fig4_noise_by_type, fig7_personalization_by_type, ComponentBreakdown,
+    ComponentRow, TypeBreakdownRow, TypeNoiseRow,
 };
 pub use consistency::{fig8_consistency, Fig8Panel};
 pub use demographics::{demographic_correlations, DemographicsReport, FeatureCorrelation};

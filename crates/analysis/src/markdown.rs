@@ -5,7 +5,7 @@
 //! and a per-row verdict on whether the *shape* holds (orderings and
 //! factors, not absolute numbers).
 
-use crate::attribution::fig7_personalization_by_type;
+use crate::attribution::{component_attribution, fig7_personalization_by_type};
 use crate::index::ObsIndex;
 use crate::noise::fig2_noise;
 use crate::paper::{self, facts};
@@ -191,6 +191,33 @@ pub fn compare_with_paper(dataset: &Dataset) -> Comparison {
         detail: "other ≥ maps in every local cell".into(),
     });
 
+    // ---- Per-component attribution ------------------------------------------
+    let comp = component_attribution(&idx);
+    let _ = writeln!(md, "\n## Per-component attribution\n");
+    let _ = writeln!(
+        md,
+        "| component | noise edit | personalization edit |\n|---|---|---|"
+    );
+    for r in &comp.rows {
+        let _ = writeln!(
+            md,
+            "| {} | {:.2} | {:.2} |",
+            r.rtype, r.noise, r.personalization
+        );
+    }
+    let _ = writeln!(
+        md,
+        "| organic (residual) | {:.2} | {:.2} |",
+        comp.noise_residual, comp.personalization_residual
+    );
+    let _ = writeln!(
+        md,
+        "\ntotals: noise {:.2} over {} pairs, personalization {:.2} over {} \
+         pairs. On a paper-component dataset the rich rows (local pack, \
+         answer box, knowledge panel, ads) are exactly zero.",
+        comp.noise_total, comp.noise_pairs, comp.personalization_total, comp.personalization_pairs
+    );
+
     // ---- Verdicts -----------------------------------------------------------
     let _ = writeln!(md, "\n## Shape checks\n");
     for c in &checks {
@@ -230,6 +257,8 @@ mod tests {
         );
         assert!(cmp.markdown.contains("## Figure 2"));
         assert!(cmp.markdown.contains("## Figure 5"));
+        assert!(cmp.markdown.contains("## Per-component attribution"));
+        assert!(cmp.markdown.contains("| knowledge_panel | 0.00 | 0.00 |"));
         assert!(cmp.markdown.contains("✓"));
     }
 

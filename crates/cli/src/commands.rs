@@ -65,6 +65,11 @@ COMMANDS:
                    --index I       retrieval backend: compressed (top-k
                                    posting blocks) or exact (reference);
                                    results are byte-identical [compressed]
+                   --components C  SERP component set: paper (organic +
+                                   Maps + News, byte-identical to every
+                                   committed golden) or rich (adds local
+                                   pack, answer box, knowledge panel,
+                                   and ads)              [paper]
                    --export DIR    also write dataset exports into DIR
                    --save FILE     also save the dataset as JSON
                    --quiet         suppress the live per-round progress line
@@ -140,6 +145,9 @@ COMMANDS:
                    --corpus-scale K  generate the world at K x the base
                                    page count (deterministic; 1 = today's
                                    world, byte-identical)  [1]
+                   --components C  paper|rich SERP component set, as for
+                                   run; paper serves today's exact bytes
+                                   [paper]
                    --smoke         start, self-probe /healthz and /metrics,
                                    then exit (for CI)
                    --no-tracing    disable distributed tracing (request
@@ -232,6 +240,17 @@ fn index_backend_from(args: &ParsedArgs) -> Result<IndexBackend, CliError> {
     }
 }
 
+/// Parse `--components paper|rich` (default: the engine's default set,
+/// `paper` — byte-identical to every committed golden digest).
+fn components_from(args: &ParsedArgs) -> Result<ComponentSet, CliError> {
+    match args.get("components") {
+        None => Ok(ComponentSet::default()),
+        Some(s) => s
+            .parse()
+            .map_err(|e: String| CliError::Invalid(format!("--components: {e}"))),
+    }
+}
+
 /// Parse `--corpus-scale N` (default 1: the base world).
 fn corpus_scale_from(args: &ParsedArgs) -> Result<u32, CliError> {
     let scale = args.get_u64("corpus-scale", 1)?;
@@ -263,7 +282,10 @@ fn study_from(args: &ParsedArgs) -> Result<Study, CliError> {
     Ok(Study::builder()
         .seed(seed)
         .plan(plan)
-        .engine_config(EngineConfig::with_index_backend(index_backend_from(args)?))
+        .engine_config(
+            EngineConfig::with_index_backend(index_backend_from(args)?)
+                .components(components_from(args)?),
+        )
         .analysis_options(analysis_options_from(args)?)
         .build()?)
 }
@@ -749,7 +771,8 @@ fn serve_blocking(
     use geoserp_core::serve::{ClusterConfig, ServedWorld, ShardedCluster, SocketServer};
 
     let (seed, config, addr) = serve_setup_from(args)?;
-    let engine = EngineConfig::with_index_backend(index_backend_from(args)?);
+    let engine = EngineConfig::with_index_backend(index_backend_from(args)?)
+        .components(components_from(args)?);
     let corpus_scale = corpus_scale_from(args)?;
     if shards == 0 {
         let world = ServedWorld::build_scaled(seed, config.engine_config(engine), corpus_scale)?;
@@ -1134,6 +1157,8 @@ mod tests {
                 "metrics-out",
                 "trace-out",
                 "analysis-workers",
+                "index",
+                "components",
             ],
             &["quiet"],
         )
@@ -1427,6 +1452,7 @@ mod tests {
                 "trace-out",
                 "index",
                 "corpus-scale",
+                "components",
             ],
             &["smoke", "no-tracing"],
         )
@@ -1454,6 +1480,27 @@ mod tests {
         ))
         .unwrap_err();
         assert!(err.to_string().contains("corpus-scale"), "{err}");
+    }
+
+    #[test]
+    fn serve_smoke_accepts_the_rich_component_set() {
+        let out = cmd_serve(&serve_args(
+            "serve --addr 127.0.0.1:0 --components rich --smoke",
+        ))
+        .unwrap();
+        assert!(out.contains("smoke ok"), "{out}");
+    }
+
+    #[test]
+    fn components_flag_is_validated() {
+        let err = cmd_serve(&serve_args(
+            "serve --addr 127.0.0.1:0 --components full --smoke",
+        ))
+        .unwrap_err();
+        assert!(err.to_string().contains("--components"), "{err}");
+        assert!(err.to_string().contains("full"), "{err}");
+        let err = cmd_run(&run_args("run --scale quick --components full")).unwrap_err();
+        assert!(err.to_string().contains("--components"), "{err}");
     }
 
     #[test]

@@ -34,6 +34,7 @@ fn dispatch(argv: &[String]) -> Result<String, CliError> {
                     "trace-out",
                     "analysis-workers",
                     "index",
+                    "components",
                 ],
                 &["quiet"],
             )?;
@@ -82,6 +83,7 @@ fn dispatch(argv: &[String]) -> Result<String, CliError> {
                     "trace-out",
                     "index",
                     "corpus-scale",
+                    "components",
                 ],
                 &["smoke", "no-tracing"],
             )?;

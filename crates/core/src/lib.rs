@@ -39,7 +39,7 @@ pub mod prelude {
     pub use geoserp_analysis::{AnalysisOptions, ObsIndex, Workers};
     pub use geoserp_corpus::{Query, QueryCategory, WebCorpus};
     pub use geoserp_crawler::{Crawler, Dataset, ExperimentPlan, Role, ValidationReport};
-    pub use geoserp_engine::{EngineConfig, IndexBackend, SearchEngine};
+    pub use geoserp_engine::{ComponentSet, EngineConfig, IndexBackend, SearchEngine};
     pub use geoserp_geo::{Coord, Granularity, Location, Seed, UsGeography, VantagePoints};
     pub use geoserp_serp::{ResultType, SerpPage};
 }

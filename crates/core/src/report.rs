@@ -45,7 +45,7 @@ type Section<'a> = (&'a str, Box<dyn Fn() -> String + Send + Sync + 'a>);
 ///
 /// `Workers::Serial` reproduces the original single-threaded pipeline
 /// byte for byte; `Auto`/`Fixed(n)` additionally precompute the shared
-/// pairwise-comparison cache and fan the ten report sections out over a
+/// pairwise-comparison cache and fan the eleven report sections out over a
 /// deterministic worker pool. The differential battery in
 /// `tests/analysis_parallel.rs` asserts the outputs are identical.
 pub fn full_report_with_options(
@@ -133,6 +133,16 @@ pub fn full_report_with_options(
             Box::new(move || {
                 let mut s = timed(obs, "fig7_personalization_by_type", || {
                     attribution::render_fig7(&attribution::fig7_personalization_by_type(idx))
+                });
+                s.push('\n');
+                s
+            }),
+        ),
+        (
+            "---- per-component attribution (full SERP taxonomy) ----\n",
+            Box::new(move || {
+                let mut s = timed(obs, "component_attribution", || {
+                    attribution::render_components(&attribution::component_attribution(idx))
                 });
                 s.push('\n');
                 s
@@ -245,6 +255,9 @@ mod tests {
             "Fig. 6",
             "Fig. 7",
             "Fig. 8",
+            "per-component attribution",
+            "knowledge_panel",
+            "organic (residual)",
             "demographic correlations",
             "County (Cuyahoga)",
             "noise floor",

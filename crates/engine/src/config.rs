@@ -143,6 +143,46 @@ impl std::fmt::Display for IndexBackend {
     }
 }
 
+/// Which SERP component set the engine composes pages from.
+///
+/// `Paper` renders exactly the components the paper measured (organic,
+/// Maps, News) and is byte-identical to the pages this repo served before
+/// the knob existed — every committed golden page digest pins that. `Rich`
+/// additionally renders the full component taxonomy: local packs, answer
+/// boxes, knowledge panels, and ads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ComponentSet {
+    /// Organic + Maps + News, exactly as the paper observed.
+    #[default]
+    Paper,
+    /// The full taxonomy: adds local packs, answer boxes, knowledge
+    /// panels, and ads.
+    Rich,
+}
+
+impl std::str::FromStr for ComponentSet {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "paper" => Ok(ComponentSet::Paper),
+            "rich" => Ok(ComponentSet::Rich),
+            other => Err(format!(
+                "unknown component set '{other}' (expected 'paper' or 'rich')"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for ComponentSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ComponentSet::Paper => "paper",
+            ComponentSet::Rich => "rich",
+        })
+    }
+}
+
 /// Full engine configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EngineConfig {
@@ -235,6 +275,14 @@ pub struct EngineConfig {
     /// checkpoints written before the knob existed stay readable.
     #[serde(skip)]
     pub index_backend: IndexBackend,
+    /// Which SERP component set pages are composed from. Not serialized,
+    /// for the same reason as `index_backend`: the default (`Paper`) is
+    /// byte-identical to the pre-knob engine, the knob is operational, and
+    /// checkpoints written before it existed stay readable. A `Rich` world
+    /// is selected per run (`--components rich`), never baked into a
+    /// serialized config.
+    #[serde(skip)]
+    pub component_set: ComponentSet,
 }
 
 impl EngineConfig {
@@ -273,6 +321,7 @@ impl EngineConfig {
             rate_limit_max: 30,
             rate_limit_window_ms: 60_000,
             index_backend: IndexBackend::default(),
+            component_set: ComponentSet::default(),
         }
     }
 
@@ -282,6 +331,20 @@ impl EngineConfig {
             index_backend: backend,
             ..Self::paper_defaults()
         }
+    }
+
+    /// Paper defaults composing pages from the chosen component set.
+    pub fn with_component_set(components: ComponentSet) -> Self {
+        EngineConfig {
+            component_set: components,
+            ..Self::paper_defaults()
+        }
+    }
+
+    /// This configuration with a different component set (chainable).
+    pub fn components(mut self, components: ComponentSet) -> Self {
+        self.component_set = components;
+        self
     }
 
     /// An alternative engine profile — the paper's future work ("our
@@ -414,6 +477,40 @@ mod tests {
         assert_eq!(a, b);
         let back: EngineConfig = serde_json::from_str(&a).unwrap();
         assert_eq!(back.index_backend, IndexBackend::Compressed);
+    }
+
+    #[test]
+    fn component_set_parses_and_displays() {
+        assert_eq!("paper".parse::<ComponentSet>(), Ok(ComponentSet::Paper));
+        assert_eq!("rich".parse::<ComponentSet>(), Ok(ComponentSet::Rich));
+        assert!("full".parse::<ComponentSet>().is_err());
+        assert_eq!(ComponentSet::Paper.to_string(), "paper");
+        assert_eq!(ComponentSet::Rich.to_string(), "rich");
+        assert_eq!(ComponentSet::default(), ComponentSet::Paper);
+    }
+
+    #[test]
+    fn component_set_is_not_part_of_serialized_identity() {
+        // Same contract as the index backend: the component set is chosen
+        // per run, two configs differing only in it serialize identically,
+        // and deserialization restores the (Paper) default.
+        let rich = EngineConfig::with_component_set(ComponentSet::Rich);
+        let paper = EngineConfig::paper_defaults();
+        let a = serde_json::to_string(&rich).unwrap();
+        let b = serde_json::to_string(&paper).unwrap();
+        assert_eq!(a, b);
+        let back: EngineConfig = serde_json::from_str(&a).unwrap();
+        assert_eq!(back.component_set, ComponentSet::Paper);
+        assert_eq!(
+            EngineConfig::with_component_set(ComponentSet::Rich).validate(),
+            Ok(())
+        );
+        assert_eq!(
+            EngineConfig::paper_defaults()
+                .components(ComponentSet::Rich)
+                .component_set,
+            ComponentSet::Rich
+        );
     }
 
     #[test]

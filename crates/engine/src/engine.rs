@@ -1,14 +1,17 @@
 //! The core engine: retrieval → intent → verticals → geo-aware organic
 //! ranking → SERP composition.
 
-use crate::config::{EngineConfig, LocationPrecedence, MapsPolicy};
+use crate::config::{ComponentSet, EngineConfig, LocationPrecedence, MapsPolicy};
 use crate::geoip::{GeoIpDb, ReverseGeocoder};
 use crate::history::SessionHistory;
 use crate::index::SearchIndex;
 use crate::intent::{classify, QueryIntent};
 use crate::noise::NoiseModel;
 use crate::retriever::{LocalRetriever, Retriever};
-use crate::verticals::{select_maps, select_news, PlaceIndex};
+use crate::verticals::{
+    select_ads, select_answer_box, select_knowledge_panel, select_local_pack, select_maps,
+    select_news, ComponentSelection, PlaceIndex, ADS_FLICKER,
+};
 use geoserp_corpus::{tokenize, GeoScope, Page, PageId, WebCorpus};
 use geoserp_geo::{Coord, Seed, UsGeography};
 use geoserp_obs::{Counter, ObsHub};
@@ -382,6 +385,57 @@ impl SearchEngine {
             }
         };
 
+        // Rich components, selected before organic scoring so their URLs
+        // join the consumed set. Everything here is gated on the Rich
+        // component set: a Paper engine takes none of these branches (and
+        // draws none of their noise), so its pages stay byte-identical to
+        // the pre-knob engine.
+        let rich = cfg.component_set == ComponentSet::Rich;
+        let answer: Option<ComponentSelection> = if rich {
+            intent
+                .navigational
+                .map(|nav| select_answer_box(&self.corpus, nav))
+        } else {
+            None
+        };
+        let local_pack: Option<ComponentSelection> = if rich && intent.local {
+            location.and_then(|user| {
+                let taken: Vec<&str> = maps
+                    .iter()
+                    .flat_map(|m| m.urls.iter().map(String::as_str))
+                    .collect();
+                select_local_pack(&self.corpus, &self.place_index, &ctx.query, user, &taken)
+            })
+        } else {
+            None
+        };
+        let panel: Option<ComponentSelection> = if rich {
+            select_knowledge_panel(&self.corpus, &ctx.query, &cand_pairs)
+        } else {
+            None
+        };
+        let ads: Vec<ComponentSelection> =
+            if rich && !self.noise.ads_suppressed(ctx.seq, ADS_FLICKER) {
+                let taken: Vec<&str> = maps
+                    .iter()
+                    .flat_map(|m| m.urls.iter().map(String::as_str))
+                    .chain(
+                        local_pack
+                            .iter()
+                            .flat_map(|p| p.urls.iter().map(String::as_str)),
+                    )
+                    .collect();
+                select_ads(
+                    &self.corpus,
+                    &self.place_index,
+                    &ctx.query,
+                    intent.local,
+                    &taken,
+                )
+            } else {
+                Vec::new()
+            };
+
         // URLs consumed by meta-cards are excluded from organics.
         let mut consumed: HashSet<&str> = HashSet::new();
         if let Some(m) = &maps {
@@ -389,6 +443,14 @@ impl SearchEngine {
         }
         if let Some(n) = &news {
             consumed.extend(n.urls.iter().map(String::as_str));
+        }
+        for sel in answer
+            .iter()
+            .chain(local_pack.iter())
+            .chain(panel.iter())
+            .chain(ads.iter())
+        {
+            consumed.extend(sel.urls.iter().map(String::as_str));
         }
 
         // History boost terms (cookie-borne, 10-minute window).
@@ -473,12 +535,19 @@ impl SearchEngine {
             format!("dc{}", ctx.datacenter),
             reported,
         );
-        let (maps, news) = if ctx.page == 0 {
-            (maps, news)
+        let (maps, news, answer, local_pack, panel, ads) = if ctx.page == 0 {
+            (maps, news, answer, local_pack, panel, ads)
         } else {
-            (None, None) // deeper pages carry no meta-cards
+            // Deeper pages carry no meta-cards.
+            (None, None, None, None, None, Vec::new())
         };
+        // The answer box is a header-class card: pinned above everything,
+        // rank 0 in the extracted list.
+        if let Some(a) = &answer {
+            page.push_card(a.card.clone());
+        }
         let maps_after = 1.min(organic.len());
+        let pack_after = 2.min(organic.len());
         let news_after = 3.min(organic.len());
         for (i, p) in organic.iter().enumerate() {
             if i == maps_after {
@@ -486,9 +555,19 @@ impl SearchEngine {
                     page.push_card(m.card.clone());
                 }
             }
+            if i == pack_after {
+                if let Some(lp) = &local_pack {
+                    page.push_card(lp.card.clone());
+                }
+            }
             if i == news_after {
                 if let Some(n) = &news {
                     page.push_card(n.card.clone());
+                }
+            }
+            for ad in &ads {
+                if ad.card.slot == Some(i as u32) {
+                    page.push_card(ad.card.clone());
                 }
             }
             page.push_card(Card::single(CardType::Organic, &p.url, &p.title));
@@ -499,10 +578,24 @@ impl SearchEngine {
                 page.push_card(m.card.clone());
             }
         }
+        if organic.len() <= pack_after {
+            if let Some(lp) = &local_pack {
+                page.push_card(lp.card.clone());
+            }
+        }
         if organic.len() <= news_after {
             if let Some(n) = &news {
                 page.push_card(n.card.clone());
             }
+        }
+        for ad in &ads {
+            if ad.card.slot.is_some_and(|s| s as usize >= organic.len()) {
+                page.push_card(ad.card.clone());
+            }
+        }
+        // The knowledge panel is a footer-class card: always last.
+        if let Some(k) = &panel {
+            page.push_card(k.card.clone());
         }
         page
     }
@@ -618,6 +711,104 @@ mod tests {
         let page = engine.search(&ctx("Gun Control", Some(metro), 3));
         assert!(page.has_card(geoserp_serp::CardType::News));
         assert!(!page.has_card(geoserp_serp::CardType::Maps));
+    }
+
+    fn rich_engine() -> (UsGeography, Arc<WebCorpus>, SearchEngine) {
+        let geo = UsGeography::generate(Seed::new(2015));
+        let corpus = Arc::new(WebCorpus::generate(&geo, Seed::new(2015)));
+        let engine = SearchEngine::builder(Arc::clone(&corpus), &geo, Seed::new(2015))
+            .config(EngineConfig::with_component_set(ComponentSet::Rich))
+            .build()
+            .unwrap();
+        (geo, corpus, engine)
+    }
+
+    #[test]
+    fn rich_pages_carry_the_new_components() {
+        use geoserp_serp::CardType;
+        let (geo, corpus, engine) = rich_engine();
+        let metro = geo.cuyahoga_districts[0].coord;
+
+        // Local query: local pack (distance-driven) and, most requests, ads.
+        let mut packs = 0;
+        let mut ads = 0;
+        for seq in 0..10 {
+            let page = engine.search(&ctx("Hospital", Some(metro), 500 + seq));
+            packs += usize::from(page.has_card(CardType::LocalPack));
+            ads += usize::from(page.has_card(CardType::Ads));
+        }
+        assert!(packs >= 6, "local pack on local queries: {packs}/10");
+        assert!(ads >= 4, "ads on local queries: {ads}/10");
+
+        // Navigational query: answer box pinned to rank 0.
+        let brand = engine.search(&ctx("Starbucks", Some(metro), 42));
+        assert!(brand.has_card(CardType::AnswerBox));
+        let first = &brand.extract_results()[0];
+        assert_eq!(first.rank, 0);
+        assert_eq!(first.rtype, geoserp_serp::ResultType::AnswerBox);
+
+        // Entity query: knowledge panel, rendered as the last card.
+        let name = corpus.roster.all()[0].name.clone();
+        let entity = engine.search(&ctx(&name, Some(metro), 43));
+        assert!(entity.has_card(CardType::KnowledgePanel), "query {name:?}");
+        assert_eq!(
+            entity.cards.last().unwrap().ctype,
+            CardType::KnowledgePanel,
+            "knowledge panel is footer-positioned"
+        );
+    }
+
+    #[test]
+    fn rich_pages_roundtrip_through_the_strict_parser() {
+        let (geo, corpus, engine) = rich_engine();
+        let metro = geo.cuyahoga_districts[0].coord;
+        let name = corpus.roster.all()[0].name.clone();
+        for (i, q) in ["Hospital", "Starbucks", "Gun Control", name.as_str()]
+            .iter()
+            .enumerate()
+        {
+            let page = engine.search(&ctx(q, Some(metro), 700 + i as u64));
+            let parsed = geoserp_serp::parse(&page.render()).expect("rich page parses strictly");
+            assert_eq!(parsed, page, "{q}: render⇄parse roundtrip");
+        }
+    }
+
+    #[test]
+    fn rich_ads_carry_their_interleave_slots() {
+        use geoserp_serp::CardType;
+        let (geo, _, engine) = rich_engine();
+        let metro = geo.cuyahoga_districts[0].coord;
+        let mut saw_ad = false;
+        for seq in 0..20 {
+            let page = engine.search(&ctx("Coffee", Some(metro), 900 + seq));
+            for card in page.cards.iter().filter(|c| c.ctype == CardType::Ads) {
+                saw_ad = true;
+                let slot = card.slot.expect("every ads card carries a slot");
+                assert!(crate::verticals::AD_SLOTS.contains(&slot), "slot {slot}");
+            }
+        }
+        assert!(saw_ad, "no ad rendered in 20 requests");
+    }
+
+    #[test]
+    fn paper_engine_never_renders_rich_components() {
+        use geoserp_serp::CardType;
+        let (geo, engine) = engine();
+        let metro = geo.cuyahoga_districts[0].coord;
+        for q in ["Hospital", "Starbucks", "Gun Control", "Joe Biden"] {
+            for seq in 0..5 {
+                let page = engine.search(&ctx(q, Some(metro), 1000 + seq));
+                for t in [
+                    CardType::LocalPack,
+                    CardType::AnswerBox,
+                    CardType::KnowledgePanel,
+                    CardType::Ads,
+                    CardType::Unknown,
+                ] {
+                    assert!(!page.has_card(t), "{q}: paper page carries {t:?}");
+                }
+            }
+        }
     }
 
     #[test]

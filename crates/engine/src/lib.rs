@@ -51,7 +51,7 @@ pub mod service;
 pub mod shard;
 pub mod verticals;
 
-pub use config::{ConfigError, EngineConfig, IndexBackend};
+pub use config::{ComponentSet, ConfigError, EngineConfig, IndexBackend};
 pub use engine::{SearchContext, SearchEngine, SearchEngineBuilder};
 pub use geoip::{GeoIpDb, ReverseGeocoder};
 pub use index::{CompressedIndex, SearchIndex};

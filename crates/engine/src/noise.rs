@@ -144,6 +144,19 @@ impl NoiseModel {
         rng.unit() < self.maps_suppress
     }
 
+    /// Whether this request's ad auction came back empty (rich component
+    /// set only — budget pacing randomizes ad delivery per request, the ads
+    /// analogue of Maps suppression). Drawn under a fresh label, so
+    /// enabling it cannot perturb any pre-existing draw: the `Paper`
+    /// component set never calls this and its pages stay byte-identical.
+    pub fn ads_suppressed(&self, seq: u64, rate: f64) -> bool {
+        if !self.enabled || rate <= 0.0 {
+            return false;
+        }
+        let mut rng = self.seed.derive_idx("ads-suppress", seq).rng();
+        rng.unit() < rate
+    }
+
     /// Stable per-page salt in `[1, 1.12]` used to break exact score ties
     /// *deterministically across requests* (so tied tails don't reshuffle on
     /// every request; only pairs within the request-jitter band can flip).
@@ -178,6 +191,7 @@ mod tests {
         assert_eq!(m.tiebreak(1, PageId(5)), 1.0);
         assert_eq!(m.maps_threshold_multiplier(1), 1.0);
         assert!(!m.maps_suppressed(1));
+        assert!(!m.ads_suppressed(1, 0.9));
     }
 
     #[test]
@@ -249,6 +263,26 @@ mod tests {
         let hits = (0..10_000).filter(|&s| m.maps_suppressed(s)).count();
         // cfg.maps_suppress = 0.15 → expect ~1500.
         assert!((1_100..1_900).contains(&hits), "{hits}");
+    }
+
+    #[test]
+    fn ads_suppression_rate_is_roughly_the_requested_one() {
+        let m = model(true);
+        let hits = (0..10_000u64).filter(|&s| m.ads_suppressed(s, 0.2)).count();
+        assert!((1_500..2_500).contains(&hits), "{hits}");
+        assert_eq!(
+            (0..10_000u64).filter(|&s| m.ads_suppressed(s, 0.0)).count(),
+            0
+        );
+        // Independent of the Maps-suppression draw: the two must not be
+        // perfectly correlated (fresh label, fresh stream).
+        let both = (0..10_000u64)
+            .filter(|&s| m.ads_suppressed(s, 0.15) && m.maps_suppressed(s))
+            .count();
+        let ads = (0..10_000u64)
+            .filter(|&s| m.ads_suppressed(s, 0.15))
+            .count();
+        assert_ne!(both, ads, "ads draw must not mirror the maps draw");
     }
 
     #[test]

@@ -220,6 +220,151 @@ pub fn select_news(
     Some(NewsSelection { card, urls })
 }
 
+// ---- Rich components (ComponentSet::Rich only) ----
+//
+// Tuning knobs for the rich set are constants, not `EngineConfig` fields:
+// the component set is an operational page-composition mode (like the index
+// backend), and keeping its knobs out of the serialized config keeps every
+// committed checkpoint, plan, and report byte-stable.
+
+/// Max establishments in a local pack.
+pub const LOCAL_PACK_SIZE: usize = 3;
+/// Radius (km) a local-pack establishment must fall within. Much tighter
+/// than the Maps card's effective radius (~200 km): the pack answers
+/// "what is *nearest*", not "what is most prominent nearby" — and wide
+/// enough that establishments remain after the Maps card takes the most
+/// prominent ones.
+pub const LOCAL_PACK_RADIUS_KM: f64 = 30.0;
+/// Max ads interleaved into one page.
+pub const ADS_MAX: usize = 2;
+/// The fixed organic slots ads are interleaved at (in auction order).
+pub const AD_SLOTS: [u32; 2] = [2, 6];
+/// Per-request probability the ad auction delivers nothing (budget
+/// pacing — the ads analogue of Maps suppression).
+pub const ADS_FLICKER: f64 = 0.2;
+/// Bid a winning ad must clear.
+pub const AD_BID_THRESHOLD: f64 = 0.35;
+/// Bid multiplier for queries without local (commercial) intent.
+pub const AD_NONLOCAL_MULTIPLIER: f64 = 0.55;
+
+/// A selected rich-component card plus its consumed URLs.
+#[derive(Debug, Clone)]
+pub struct ComponentSelection {
+    /// The card.
+    pub card: Card,
+    /// The urls.
+    pub urls: Vec<String>,
+}
+
+/// Select the local pack: the establishments matching the query, ranked by
+/// pure distance from the user (nearest first) — deliberately distinct
+/// from the Maps card, which ranks by prominence × distance decay.
+/// Establishments already shown in the Maps card (`exclude`) are skipped,
+/// so the two components never duplicate a link.
+pub fn select_local_pack(
+    corpus: &WebCorpus,
+    index: &PlaceIndex,
+    query: &str,
+    user: Coord,
+    exclude: &[&str],
+) -> Option<ComponentSelection> {
+    let mut matches = index.retrieve_near(query, user, LOCAL_PACK_RADIUS_KM);
+    matches.retain(|(i, _)| !exclude.contains(&corpus.places[*i].url.as_str()));
+    if matches.is_empty() {
+        return None;
+    }
+    matches.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+    let mut card = Card::new(CardType::LocalPack);
+    let mut urls = Vec::new();
+    for (i, _) in matches.into_iter().take(LOCAL_PACK_SIZE) {
+        let place = &corpus.places[i];
+        card.push(place.url.clone(), place.name.clone());
+        urls.push(place.url.clone());
+    }
+    Some(ComponentSelection { card, urls })
+}
+
+/// Select the answer box for a navigational query: the navigational
+/// target, pinned above the organics (rank 0 in the extracted list).
+pub fn select_answer_box(corpus: &WebCorpus, nav: geoserp_corpus::PageId) -> ComponentSelection {
+    let page = corpus.page(nav);
+    ComponentSelection {
+        card: Card::single(CardType::AnswerBox, &page.url, &page.title),
+        urls: vec![page.url.clone()],
+    }
+}
+
+/// Select the knowledge panel for an entity query: when the query names a
+/// politician from the roster, the best candidate page (highest authority,
+/// then lowest id) becomes the panel's entity link, rendered in the page
+/// footer. Entity panels are query-driven, not location-driven — the
+/// stable end of the per-component attribution spectrum.
+pub fn select_knowledge_panel(
+    corpus: &WebCorpus,
+    query: &str,
+    candidates: &[(geoserp_corpus::PageId, f64)],
+) -> Option<ComponentSelection> {
+    let politician = corpus.roster.by_name(query)?;
+    let best = candidates
+        .iter()
+        .map(|&(id, _)| corpus.page(id))
+        .max_by(|a, b| a.authority.total_cmp(&b.authority).then(b.id.cmp(&a.id)))?;
+    let mut card = Card::new(CardType::KnowledgePanel);
+    card.push(best.url.clone(), politician.name.clone());
+    Some(ComponentSelection {
+        urls: vec![best.url.clone()],
+        card,
+    })
+}
+
+/// Run the ad auction: establishments matching the query bid
+/// `prominence × page authority × category multiplier` (full price under
+/// local/commercial intent, discounted otherwise — the query-category half
+/// of the auction). Winners clearing [`AD_BID_THRESHOLD`] take the fixed
+/// [`AD_SLOTS`] in bid order, one single-link ads card per slot. The
+/// auction itself is location-blind; geography only leaks in through
+/// `exclude` (links already consumed by Maps or the local pack never run).
+pub fn select_ads(
+    corpus: &WebCorpus,
+    index: &PlaceIndex,
+    query: &str,
+    local_intent: bool,
+    exclude: &[&str],
+) -> Vec<ComponentSelection> {
+    let category_multiplier = if local_intent {
+        1.0
+    } else {
+        AD_NONLOCAL_MULTIPLIER
+    };
+    let mut bids: Vec<(f64, &Place)> = index
+        .retrieve(query)
+        .into_iter()
+        .map(|i| &corpus.places[i])
+        .filter(|p| !exclude.contains(&p.url.as_str()))
+        .map(|p| {
+            let authority = corpus.page(p.page_id).authority;
+            (
+                p.prominence * (0.25 + 0.75 * authority) * category_multiplier,
+                p,
+            )
+        })
+        .collect();
+    bids.retain(|(bid, _)| *bid >= AD_BID_THRESHOLD);
+    bids.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.id.cmp(&b.1.id)));
+    bids.iter()
+        .take(ADS_MAX)
+        .zip(AD_SLOTS)
+        .map(|((_, place), slot)| {
+            let mut card = Card::ad(slot);
+            card.push(place.url.clone(), place.name.clone());
+            ComponentSelection {
+                card,
+                urls: vec![place.url.clone()],
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -158,6 +158,51 @@ pub fn attribution<U: Eq + Hash + Clone, L: Eq>(
     }
 }
 
+/// Edit-distance decomposition over an arbitrary list of type labels — the
+/// generalization of [`attribution`] to the full SERP component taxonomy.
+///
+/// `by_type[i]` is the edit distance between the pages filtered to
+/// `labels[i]` (the same per-type filtering as [`attribution`], just over N
+/// labels instead of two); `other` is the remainder of the overall distance
+/// after subtracting every per-type distance, floored at zero. With
+/// `labels == [maps, news]` the `total` and per-type values are identical
+/// to [`attribution`]'s.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MultiTypeBreakdown {
+    /// Edit distance between the unfiltered lists.
+    pub total: usize,
+    /// Per-label edit distances, parallel to the `labels` argument.
+    pub by_type: Vec<usize>,
+    /// `total - sum(by_type)`, floored at zero.
+    pub other: usize,
+}
+
+/// Compute the per-type breakdown for one page pair over N type labels.
+pub fn attribution_by<U: Eq + Hash + Clone, L: Eq>(
+    a: &[(U, L)],
+    b: &[(U, L)],
+    labels: &[L],
+) -> MultiTypeBreakdown {
+    let urls = |page: &[(U, L)]| -> Vec<U> { page.iter().map(|(u, _)| u.clone()).collect() };
+    let of = |page: &[(U, L)], label: &L| -> Vec<U> {
+        page.iter()
+            .filter(|(_, l)| l == label)
+            .map(|(u, _)| u.clone())
+            .collect()
+    };
+    let total = edit_distance(&urls(a), &urls(b));
+    let by_type: Vec<usize> = labels
+        .iter()
+        .map(|label| edit_distance(&of(a, label), &of(b, label)))
+        .collect();
+    let other = total.saturating_sub(by_type.iter().sum());
+    MultiTypeBreakdown {
+        total,
+        by_type,
+        other,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -256,6 +301,42 @@ mod tests {
         let t = attribution(&a, &a, &L::Maps, &L::News);
         assert_eq!(t.total, 0);
         assert_eq!(t.maps_fraction(), 0.0);
+    }
+
+    #[test]
+    fn attribution_by_matches_the_two_label_kernel() {
+        let a = vec![
+            ("o1", L::Org),
+            ("m1", L::Maps),
+            ("m2", L::Maps),
+            ("n1", L::News),
+        ];
+        let b = vec![
+            ("o2", L::Org),
+            ("m3", L::Maps),
+            ("m2", L::Maps),
+            ("n1", L::News),
+        ];
+        let two = attribution(&a, &b, &L::Maps, &L::News);
+        let multi = attribution_by(&a, &b, &[L::Maps, L::News]);
+        assert_eq!(multi.total, two.total);
+        assert_eq!(multi.by_type, vec![two.maps, two.news]);
+        assert_eq!(multi.other, two.other);
+    }
+
+    #[test]
+    fn attribution_by_floors_the_residual() {
+        // Per-type distances over-count relative to the joint alignment:
+        // swapping a Maps and a News link is one transposition overall but
+        // contributes to both sublist distances.
+        let a = vec![("m1", L::Maps), ("n1", L::News)];
+        let b = vec![("n1", L::News), ("m1", L::Maps)];
+        let multi = attribution_by(&a, &b, &[L::Maps, L::News]);
+        assert_eq!(multi.by_type, vec![0, 0], "sublists are unchanged");
+        assert_eq!(multi.other, multi.total, "residual absorbs the swap");
+        let empty = attribution_by::<&str, L>(&[], &[], &[L::Maps, L::News]);
+        assert_eq!(empty.total, 0);
+        assert_eq!(empty.other, 0);
     }
 
     #[test]

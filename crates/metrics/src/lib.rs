@@ -26,7 +26,8 @@ pub mod inference;
 pub mod stats;
 
 pub use compare::{
-    attribution, edit_distance, jaccard, levenshtein, PageComparison, TypeBreakdown,
+    attribution, attribution_by, edit_distance, jaccard, levenshtein, MultiTypeBreakdown,
+    PageComparison, TypeBreakdown,
 };
 pub use inference::{
     bootstrap_mean_ci, kendall_tau, permutation_test, ConfidenceInterval, PermutationTest,

@@ -7,24 +7,37 @@
 //! the rule *"extract the first link from each card, except for Maps and News
 //! cards where we extract all links"*, yielding 12–22 links per page.
 //!
-//! This crate owns all three pieces:
+//! This crate owns all the pieces:
 //!
-//! * the typed card model ([`SerpPage`], [`Card`], [`CardType`]);
+//! * the typed card model ([`SerpPage`], [`Card`], [`CardType`]) covering
+//!   the full rich-component taxonomy (local packs, answer boxes, knowledge
+//!   panels, ads) alongside the paper's organic/Maps/News trio;
+//! * the component-parser registry ([`registry`]): one [`ComponentSpec`]
+//!   per card type — wire name, position class, extraction rule, and a
+//!   `parse_fn`/`render_fn` pair — so new components are registered, not
+//!   hardcoded into `match` arms;
 //! * a compact HTML-like wire format ([`SerpPage::render`]) emitted by the
 //!   simulated engine — including the footer where "Google Search reports
 //!   the user's precise location", which the paper used for validation;
 //! * a strict parser ([`parse`]) implementing the paper's extraction rule
 //!   and producing the flat, ordered URL list ([`SerpResult`]) that the
-//!   Jaccard/edit-distance metrics compare.
+//!   Jaccard/edit-distance metrics compare, plus a lenient variant
+//!   ([`parse_lenient`]) that types unregistered cards as
+//!   [`CardType::Unknown`] instead of failing.
 //!
-//! The parser is strict on structure (a corrupted response fails loudly so
-//! the crawler can retry) but tolerant of content (any UTF-8 title/URL).
+//! The strict parser is strict on structure (a corrupted response fails
+//! loudly so the crawler can retry) but tolerant of content (any UTF-8
+//! title/URL).
 
 pub mod markup;
 pub mod model;
+pub mod registry;
 
-pub use markup::{parse, ParseError};
+pub use markup::{parse, parse_lenient, parse_with, ParseError, ParseMode};
 pub use model::{Card, CardType, ResultType, SerpPage, SerpResult};
+pub use registry::{
+    CardDraft, ComponentRegistry, ComponentSpec, ExtractionRule, PositionClass, MAX_AD_SLOT,
+};
 
 #[cfg(test)]
 mod roundtrip_tests {

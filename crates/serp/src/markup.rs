@@ -1,10 +1,13 @@
 //! The wire format: a compact, line-oriented, HTML-like markup for mobile
-//! SERPs, and its strict parser.
+//! SERPs, and its parser.
 //!
 //! Format (one element per line):
 //!
 //! ```text
 //! <serp q="starbucks" gps="41.499300,-81.694400" dc="dc1">
+//! <card type="answer_box">
+//! <r url="https://…" title="Starbucks — Official Site"/>
+//! </card>
 //! <card type="organic">
 //! <r url="https://…" title="Starbucks — Official Site"/>
 //! </card>
@@ -12,20 +15,34 @@
 //! <r url="https://…" title="Starbucks – Lakeview"/>
 //! <r url="https://…" title="Starbucks – Downtown"/>
 //! </card>
+//! <card type="ads" slot="2">
+//! <r url="https://…" title="Coffee Makers — Sponsored"/>
+//! </card>
 //! <footer location="Cleveland, OH"/>
 //! </serp>
 //! ```
 //!
-//! Attribute values are escaped (`&quot; &amp; &lt; &gt;`). The parser is
-//! strict: structural damage (the fault injector's single-bit corruption,
-//! truncation, attribute loss) yields a [`ParseError`] rather than a silently
+//! Attribute values are escaped (`&quot; &amp; &lt; &gt;`). Per-card
+//! parsing and rendering dispatch through the component registry
+//! ([`crate::registry`]): each card type's `parse_fn` validates its draft
+//! (slot attributes, non-empty packs) and its `render_fn` owns its wire
+//! bytes, with card position classes enforced as non-decreasing down the
+//! page.
+//!
+//! The default parser is **strict**: structural damage (the fault
+//! injector's single-bit corruption, truncation, attribute loss) and
+//! unregistered card types yield a [`ParseError`] rather than a silently
 //! wrong page, so the crawler knows to retry — mirroring how a real scraper
-//! fails on mangled HTML.
+//! fails on mangled HTML. The **lenient** parser ([`parse_lenient`])
+//! instead types unregistered cards as [`CardType::Unknown`], for consumers
+//! pointed at pages richer than their registry.
 
-use crate::model::{Card, CardType, SerpPage};
+use crate::model::{Card, SerpPage};
+use crate::registry::{CardDraft, ComponentRegistry, ComponentSpec};
 use std::fmt;
 
 /// Why a SERP body failed to parse.
+#[non_exhaustive]
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ParseError {
     /// The body didn't start with a `<serp …>` header.
@@ -42,16 +59,23 @@ pub enum ParseError {
         /// 1-based offending line.
         line: usize,
     },
-    /// `<r …/>` outside any open card, or `</card>` without `<card>`.
+    /// `<r …/>` outside any open card, `</card>` without `<card>`, or a
+    /// card out of position-class order.
     StructureViolation {
         /// 1-based offending line.
         line: usize,
     },
     /// The body ended before `</serp>`.
     Truncated,
-    /// An unknown card type.
+    /// An unknown card type (strict mode only).
     BadCardType {
         /// 1-based offending line.
+        line: usize,
+    },
+    /// A component that must carry entries (local pack, answer box,
+    /// knowledge panel, ads) was empty.
+    EmptyComponent {
+        /// 1-based line of the card's opening element.
         line: usize,
     },
 }
@@ -69,13 +93,27 @@ impl fmt::Display for ParseError {
             }
             ParseError::Truncated => write!(f, "body truncated before </serp>"),
             ParseError::BadCardType { line } => write!(f, "line {line}: unknown card type"),
+            ParseError::EmptyComponent { line } => {
+                write!(f, "line {line}: component requires at least one entry")
+            }
         }
     }
 }
 
 impl std::error::Error for ParseError {}
 
-fn escape(s: &str) -> String {
+/// How the parser treats a card type with no registered spec.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseMode {
+    /// Unregistered card types are a hard [`ParseError::BadCardType`] —
+    /// the fault-injection contract.
+    Strict,
+    /// Unregistered card types parse through the [`CardType::Unknown`]
+    /// spec: typed, entries preserved, no links extracted.
+    Lenient,
+}
+
+pub(crate) fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for ch in s.chars() {
         match ch {
@@ -116,17 +154,23 @@ fn unescape(s: &str) -> String {
 }
 
 /// Extract `name="…"` from a tag line. Values must not contain raw quotes
-/// (they are escaped at render time).
+/// (they are escaped at render time). The needle is anchored on the
+/// preceding space so an attribute whose name merely *ends* in `name`
+/// (e.g. `src_url=` vs `url=`) cannot shadow it; every rendered attribute
+/// follows a space (after `<serp`, `<card`, `<r`, `<footer`, or a prior
+/// attribute's closing quote).
 fn attr(line: &str, name: &str) -> Option<String> {
-    let needle = format!("{name}=\"");
+    let needle = format!(" {name}=\"");
     let start = line.find(&needle)? + needle.len();
     let end = line[start..].find('"')? + start;
     Some(unescape(&line[start..end]))
 }
 
 impl SerpPage {
-    /// Render to the wire format.
+    /// Render to the wire format, dispatching each card to its registry
+    /// spec's `render_fn`.
     pub fn render(&self) -> String {
+        let registry = ComponentRegistry::builtin();
         // Pre-size: ~96 bytes per entry is typical.
         let entries: usize = self.cards.iter().map(|c| c.entries.len()).sum();
         let mut out = String::with_capacity(128 + entries * 96);
@@ -142,17 +186,10 @@ impl SerpPage {
         out.push_str(&escape(&self.datacenter));
         out.push_str("\">\n");
         for card in &self.cards {
-            out.push_str("<card type=\"");
-            out.push_str(card.ctype.wire_name());
-            out.push_str("\">\n");
-            for (url, title) in &card.entries {
-                out.push_str("<r url=\"");
-                out.push_str(&escape(url));
-                out.push_str("\" title=\"");
-                out.push_str(&escape(title));
-                out.push_str("\"/>\n");
-            }
-            out.push_str("</card>\n");
+            let spec = registry
+                .spec(card.ctype)
+                .expect("builtin registry covers every card type");
+            (spec.render_fn)(spec, card, &mut out);
         }
         out.push_str("<footer location=\"");
         out.push_str(&escape(&self.reported_location));
@@ -161,8 +198,28 @@ impl SerpPage {
     }
 }
 
-/// Parse a wire-format body back into a [`SerpPage`].
+/// Parse a wire-format body back into a [`SerpPage`], strictly, against the
+/// built-in registry.
 pub fn parse(body: &str) -> Result<SerpPage, ParseError> {
+    parse_with(body, ComponentRegistry::builtin(), ParseMode::Strict)
+}
+
+/// Parse leniently against the built-in registry: unregistered card types
+/// become typed [`CardType::Unknown`](crate::CardType::Unknown) cards.
+pub fn parse_lenient(body: &str) -> Result<SerpPage, ParseError> {
+    parse_with(body, ComponentRegistry::builtin(), ParseMode::Lenient)
+}
+
+/// Parse against an explicit registry and mode.
+///
+/// In [`ParseMode::Lenient`], the registry must have a spec for
+/// [`CardType::Unknown`](crate::CardType::Unknown) (the built-in one does);
+/// without it, unregistered card types fall back to the strict error.
+pub fn parse_with(
+    body: &str,
+    registry: &ComponentRegistry,
+    mode: ParseMode,
+) -> Result<SerpPage, ParseError> {
     let mut lines = body.lines().enumerate();
 
     let (_, header) = lines.next().ok_or(ParseError::MissingHeader)?;
@@ -177,24 +234,43 @@ pub fn parse(body: &str) -> Result<SerpPage, ParseError> {
     })?;
 
     let mut page = SerpPage::new(query, gps.as_deref(), datacenter, String::new());
-    let mut open_card: Option<Card> = None;
+    let mut open: Option<(&ComponentSpec, CardDraft)> = None;
+    let mut position_floor: u8 = 0;
     let mut saw_footer = false;
     let mut closed = false;
 
     for (idx, line) in lines {
         let lineno = idx + 1;
         if line.starts_with("<card ") {
-            if open_card.is_some() {
+            if open.is_some() {
                 return Err(ParseError::StructureViolation { line: lineno });
             }
             let t = attr(line, "type").ok_or(ParseError::BadAttribute {
                 line: lineno,
                 attr: "type",
             })?;
-            let ctype = CardType::from_wire(&t).ok_or(ParseError::BadCardType { line: lineno })?;
-            open_card = Some(Card::new(ctype));
+            let spec = match registry.by_wire(&t) {
+                Some(spec) => spec,
+                None => match mode {
+                    ParseMode::Lenient => registry
+                        .spec(crate::CardType::Unknown)
+                        .ok_or(ParseError::BadCardType { line: lineno })?,
+                    ParseMode::Strict => {
+                        return Err(ParseError::BadCardType { line: lineno });
+                    }
+                },
+            };
+            open = Some((
+                spec,
+                CardDraft {
+                    wire_type: t,
+                    slot: attr(line, "slot"),
+                    entries: Vec::new(),
+                    line: lineno,
+                },
+            ));
         } else if line.starts_with("<r ") {
-            let card = open_card
+            let (_, draft) = open
                 .as_mut()
                 .ok_or(ParseError::StructureViolation { line: lineno })?;
             let url = attr(line, "url").ok_or(ParseError::BadAttribute {
@@ -205,14 +281,23 @@ pub fn parse(body: &str) -> Result<SerpPage, ParseError> {
                 line: lineno,
                 attr: "title",
             })?;
-            card.push(url, title);
+            draft.entries.push((url, title));
         } else if line == "</card>" {
-            let card = open_card
+            let (spec, draft) = open
                 .take()
                 .ok_or(ParseError::StructureViolation { line: lineno })?;
+            // Position classes must be non-decreasing down the page: a
+            // header card after a main card (or anything after a footer
+            // card) is structural damage.
+            let rank = spec.position.rank();
+            if rank < position_floor {
+                return Err(ParseError::StructureViolation { line: lineno });
+            }
+            position_floor = rank;
+            let card: Card = (spec.parse_fn)(spec, draft)?;
             page.push_card(card);
         } else if line.starts_with("<footer ") {
-            if open_card.is_some() {
+            if open.is_some() {
                 return Err(ParseError::StructureViolation { line: lineno });
             }
             page.reported_location = attr(line, "location").ok_or(ParseError::BadAttribute {
@@ -221,7 +306,7 @@ pub fn parse(body: &str) -> Result<SerpPage, ParseError> {
             })?;
             saw_footer = true;
         } else if line == "</serp>" {
-            if open_card.is_some() || !saw_footer {
+            if open.is_some() || !saw_footer {
                 return Err(ParseError::StructureViolation { line: lineno });
             }
             closed = true;
@@ -254,10 +339,42 @@ mod tests {
         p
     }
 
+    fn rich_sample() -> SerpPage {
+        let mut p = SerpPage::new("kfc", Some("40.1,-82.2"), "dc2", "Columbus, OH");
+        p.push_card(Card::single(CardType::AnswerBox, "https://kfc/", "KFC"));
+        p.push_card(Card::single(CardType::Organic, "https://a/", "A"));
+        let mut pack = Card::new(CardType::LocalPack);
+        pack.push("https://l1/", "KFC east");
+        pack.push("https://l2/", "KFC west");
+        p.push_card(pack);
+        let mut ad = Card::ad(2);
+        ad.push("https://ad1/", "Fried chicken — Sponsored");
+        p.push_card(ad);
+        p.push_card(Card::single(
+            CardType::KnowledgePanel,
+            "https://kg/kfc",
+            "KFC (restaurant chain)",
+        ));
+        p
+    }
+
     #[test]
     fn roundtrip() {
         let p = sample();
         assert_eq!(parse(&p.render()).unwrap(), p);
+    }
+
+    #[test]
+    fn rich_roundtrip_preserves_slots_and_types() {
+        let p = rich_sample();
+        let parsed = parse(&p.render()).unwrap();
+        assert_eq!(parsed, p);
+        let ad = parsed
+            .cards
+            .iter()
+            .find(|c| c.ctype == CardType::Ads)
+            .unwrap();
+        assert_eq!(ad.slot, Some(2));
     }
 
     #[test]
@@ -274,6 +391,16 @@ mod tests {
         assert_eq!(unescape("a&amp;&quot;&lt;&gt;"), r#"a&"<>"#);
         assert_eq!(unescape("lone & ampersand"), "lone & ampersand");
         assert_eq!(unescape("&bogus;"), "&bogus;");
+    }
+
+    #[test]
+    fn attr_is_anchored_on_a_preceding_space() {
+        // A decoy attribute whose name ends in "url" must not shadow the
+        // real one — the old substring match returned "evil" here.
+        let line = r#"<r src_url="evil" url="good" title="t"/>"#;
+        assert_eq!(attr(line, "url").as_deref(), Some("good"));
+        assert_eq!(attr(line, "src_url").as_deref(), Some("evil"));
+        assert_eq!(attr(line, "rl"), None);
     }
 
     #[test]
@@ -302,11 +429,54 @@ mod tests {
     }
 
     #[test]
-    fn unknown_card_type_rejected() {
-        let body = "<serp q=\"x\" dc=\"d\">\n<card type=\"ads\">\n</card>\n<footer location=\"l\"/>\n</serp>\n";
+    fn unknown_card_type_rejected_in_strict_mode() {
+        let body = "<serp q=\"x\" dc=\"d\">\n<card type=\"carousel\">\n</card>\n<footer location=\"l\"/>\n</serp>\n";
         assert!(matches!(
             parse(body),
             Err(ParseError::BadCardType { line: 2 })
+        ));
+    }
+
+    #[test]
+    fn unknown_card_type_is_typed_in_lenient_mode() {
+        let body = "<serp q=\"x\" dc=\"d\">\n<card type=\"carousel\">\n<r url=\"u\" title=\"t\"/>\n</card>\n<footer location=\"l\"/>\n</serp>\n";
+        let page = parse_lenient(body).unwrap();
+        assert_eq!(page.cards.len(), 1);
+        assert_eq!(page.cards[0].ctype, CardType::Unknown);
+        assert_eq!(page.cards[0].entries.len(), 1);
+        // Unknown components are skipped by extraction, not guessed at.
+        assert_eq!(page.result_count(), 0);
+    }
+
+    #[test]
+    fn lenient_mode_without_an_unknown_spec_still_fails_typed() {
+        let body = "<serp q=\"x\" dc=\"d\">\n<card type=\"carousel\">\n</card>\n<footer location=\"l\"/>\n</serp>\n";
+        let empty = ComponentRegistry::empty();
+        assert!(matches!(
+            parse_with(body, &empty, ParseMode::Lenient),
+            Err(ParseError::BadCardType { line: 2 })
+        ));
+    }
+
+    #[test]
+    fn ads_without_slot_rejected() {
+        let body = "<serp q=\"x\" dc=\"d\">\n<card type=\"ads\">\n<r url=\"u\" title=\"t\"/>\n</card>\n<footer location=\"l\"/>\n</serp>\n";
+        assert!(matches!(
+            parse(body),
+            Err(ParseError::BadAttribute {
+                line: 2,
+                attr: "slot"
+            })
+        ));
+    }
+
+    #[test]
+    fn cards_out_of_position_order_rejected() {
+        // An answer box (header class) after an organic (main class).
+        let body = "<serp q=\"x\" dc=\"d\">\n<card type=\"organic\">\n<r url=\"u\" title=\"t\"/>\n</card>\n<card type=\"answer_box\">\n<r url=\"a\" title=\"b\"/>\n</card>\n<footer location=\"l\"/>\n</serp>\n";
+        assert!(matches!(
+            parse(body),
+            Err(ParseError::StructureViolation { line: 7 })
         ));
     }
 

@@ -1,10 +1,13 @@
 //! Typed model of a mobile SERP.
 
+use crate::registry::{ComponentRegistry, ExtractionRule};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The type of an extracted search result — the dimension along which the
-/// paper attributes noise and personalization (Figures 4 and 7).
+/// paper attributes noise and personalization (Figures 4 and 7), extended
+/// past the paper's Maps/News pair to the full component taxonomy.
+#[non_exhaustive]
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum ResultType {
     /// A "typical" organic result.
@@ -13,11 +16,42 @@ pub enum ResultType {
     Maps,
     /// A link inside an "In the News" meta-card.
     News,
+    /// A link inside a local pack (distance-ranked establishments).
+    LocalPack,
+    /// The link carried by an answer box pinned above the organics.
+    AnswerBox,
+    /// The entity link carried by a footer knowledge panel.
+    KnowledgePanel,
+    /// A link inside an ads card.
+    Ads,
+    /// A link inside a component this parser has no spec for.
+    Unknown,
 }
 
 impl ResultType {
-    /// All types, organic first.
-    pub const ALL: [ResultType; 3] = [ResultType::Organic, ResultType::Maps, ResultType::News];
+    /// The full taxonomy, organic first.
+    pub const ALL: [ResultType; 8] = [
+        ResultType::Organic,
+        ResultType::Maps,
+        ResultType::News,
+        ResultType::LocalPack,
+        ResultType::AnswerBox,
+        ResultType::KnowledgePanel,
+        ResultType::Ads,
+        ResultType::Unknown,
+    ];
+
+    /// The meta-component types: every link-bearing type except plain
+    /// organic results. This is the axis the per-component attribution
+    /// decomposes over (Maps and News first — the paper's original pair).
+    pub const META: [ResultType; 6] = [
+        ResultType::Maps,
+        ResultType::News,
+        ResultType::LocalPack,
+        ResultType::AnswerBox,
+        ResultType::KnowledgePanel,
+        ResultType::Ads,
+    ];
 }
 
 impl fmt::Display for ResultType {
@@ -26,11 +60,20 @@ impl fmt::Display for ResultType {
             ResultType::Organic => "organic",
             ResultType::Maps => "maps",
             ResultType::News => "news",
+            ResultType::LocalPack => "local_pack",
+            ResultType::AnswerBox => "answer_box",
+            ResultType::KnowledgePanel => "knowledge_panel",
+            ResultType::Ads => "ads",
+            ResultType::Unknown => "unknown",
         })
     }
 }
 
-/// The type of a card on the SERP.
+/// The type of a card on the SERP. All per-type behavior (wire name,
+/// extraction rule, position class, result type) lives in the card's
+/// [`ComponentSpec`](crate::registry::ComponentSpec) in the built-in
+/// registry; the methods here are lookups into it.
+#[non_exhaustive]
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum CardType {
     /// Organic.
@@ -39,38 +82,59 @@ pub enum CardType {
     Maps,
     /// News.
     News,
+    /// Local pack: distance-ranked nearby establishments.
+    LocalPack,
+    /// Answer box pinned above the organic results.
+    AnswerBox,
+    /// Knowledge panel pinned below the organic results.
+    KnowledgePanel,
+    /// Ads interleaved at a fixed organic slot.
+    Ads,
+    /// A card type the lenient parser had no spec for.
+    Unknown,
 }
 
 impl CardType {
+    /// Every card type, in registry order.
+    pub const ALL: [CardType; 8] = [
+        CardType::Organic,
+        CardType::Maps,
+        CardType::News,
+        CardType::LocalPack,
+        CardType::AnswerBox,
+        CardType::KnowledgePanel,
+        CardType::Ads,
+        CardType::Unknown,
+    ];
+
+    /// This card type's spec in the built-in registry.
+    pub(crate) fn builtin_spec(self) -> &'static crate::registry::ComponentSpec {
+        ComponentRegistry::builtin()
+            .spec(self)
+            .expect("builtin registry covers every card type")
+    }
+
     /// The result type of links extracted from this card.
     pub fn result_type(self) -> ResultType {
-        match self {
-            CardType::Organic => ResultType::Organic,
-            CardType::Maps => ResultType::Maps,
-            CardType::News => ResultType::News,
-        }
+        self.builtin_spec().rtype
     }
 
-    /// True for meta-cards whose *every* link is extracted (Maps, News).
+    /// True for meta-cards whose *every* link is extracted (Maps, News,
+    /// local packs, ads).
     pub fn extract_all_links(self) -> bool {
-        matches!(self, CardType::Maps | CardType::News)
+        self.builtin_spec().extraction == ExtractionRule::AllLinks
     }
 
-    pub(crate) fn wire_name(self) -> &'static str {
-        match self {
-            CardType::Organic => "organic",
-            CardType::Maps => "maps",
-            CardType::News => "news",
-        }
+    /// The `type="…"` attribute value this card renders with.
+    pub fn wire_name(self) -> &'static str {
+        self.builtin_spec().wire_name
     }
 
-    pub(crate) fn from_wire(s: &str) -> Option<CardType> {
-        match s {
-            "organic" => Some(CardType::Organic),
-            "maps" => Some(CardType::Maps),
-            "news" => Some(CardType::News),
-            _ => None,
-        }
+    /// The card type registered for a wire name, if any.
+    pub fn from_wire(s: &str) -> Option<CardType> {
+        ComponentRegistry::builtin()
+            .by_wire(s)
+            .map(|spec| spec.ctype)
     }
 }
 
@@ -82,6 +146,9 @@ pub struct Card {
     /// `(url, title)` entries in display order. Never empty on a rendered
     /// page.
     pub entries: Vec<(String, String)>,
+    /// The organic slot an ads card is interleaved at. `None` for every
+    /// other card type (and never rendered for them).
+    pub slot: Option<u32>,
 }
 
 impl Card {
@@ -90,6 +157,7 @@ impl Card {
         Card {
             ctype,
             entries: Vec::new(),
+            slot: None,
         }
     }
 
@@ -100,18 +168,25 @@ impl Card {
         c
     }
 
+    /// An empty ads card carrying its interleave slot.
+    pub fn ad(slot: u32) -> Self {
+        let mut c = Card::new(CardType::Ads);
+        c.slot = Some(slot);
+        c
+    }
+
     /// Append an entry.
     pub fn push(&mut self, url: impl Into<String>, title: impl Into<String>) {
         self.entries.push((url.into(), title.into()));
     }
 
-    /// Number of links this card contributes under the paper's extraction
-    /// rule.
+    /// Number of links this card contributes under the extraction rule in
+    /// its registry spec.
     pub fn extracted_len(&self) -> usize {
-        if self.ctype.extract_all_links() {
-            self.entries.len()
-        } else {
-            usize::from(!self.entries.is_empty())
+        match self.ctype.builtin_spec().extraction {
+            ExtractionRule::AllLinks => self.entries.len(),
+            ExtractionRule::FirstLink => 1.min(self.entries.len()),
+            ExtractionRule::NoLinks => 0,
         }
     }
 }
@@ -169,22 +244,24 @@ impl SerpPage {
         self.cards.push(card);
     }
 
-    /// Apply the paper's extraction rule: first link of each card, all links
-    /// of Maps and News cards; ranks assigned in page order.
+    /// Apply the extraction rule of each card's registry spec: first link
+    /// of first-link cards, all links of all-links cards, nothing from
+    /// no-links cards; ranks assigned in page order.
     pub fn extract_results(&self) -> Vec<SerpResult> {
         let mut out = Vec::new();
         for card in &self.cards {
-            let take = if card.ctype.extract_all_links() {
-                card.entries.len()
-            } else {
-                1.min(card.entries.len())
+            let spec = card.ctype.builtin_spec();
+            let take = match spec.extraction {
+                ExtractionRule::AllLinks => card.entries.len(),
+                ExtractionRule::FirstLink => 1.min(card.entries.len()),
+                ExtractionRule::NoLinks => 0,
             };
             for (url, title) in card.entries.iter().take(take) {
                 out.push(SerpResult {
                     rank: out.len(),
                     url: url.clone(),
                     title: title.clone(),
-                    rtype: card.ctype.result_type(),
+                    rtype: spec.rtype,
                 });
             }
         }
@@ -265,6 +342,33 @@ mod tests {
     }
 
     #[test]
+    fn rich_components_follow_their_extraction_rules() {
+        let mut p = SerpPage::new("kfc", None, "dc0", "USA");
+        p.push_card(Card::single(CardType::AnswerBox, "a1", "answer"));
+        let mut pack = Card::new(CardType::LocalPack);
+        pack.push("l1", "near");
+        pack.push("l2", "nearer");
+        p.push_card(pack);
+        let mut ad = Card::ad(2);
+        ad.push("ad1", "sponsored");
+        p.push_card(ad);
+        let mut unk = Card::new(CardType::Unknown);
+        unk.push("x1", "mystery");
+        p.push_card(unk);
+        p.push_card(Card::single(CardType::KnowledgePanel, "k1", "entity"));
+
+        let res = p.extract_results();
+        let urls: Vec<&str> = res.iter().map(|r| r.url.as_str()).collect();
+        // The unknown card contributes nothing; everything else extracts.
+        assert_eq!(urls, vec!["a1", "l1", "l2", "ad1", "k1"]);
+        assert_eq!(res[0].rtype, ResultType::AnswerBox);
+        assert_eq!(res[1].rtype, ResultType::LocalPack);
+        assert_eq!(res[3].rtype, ResultType::Ads);
+        assert_eq!(res[4].rtype, ResultType::KnowledgePanel);
+        assert_eq!(p.result_count(), 5);
+    }
+
+    #[test]
     fn has_card_lookup() {
         let p = page();
         assert!(p.has_card(CardType::Maps));
@@ -276,10 +380,19 @@ mod tests {
 
     #[test]
     fn card_type_wire_roundtrip() {
-        for t in [CardType::Organic, CardType::Maps, CardType::News] {
+        for t in CardType::ALL {
             assert_eq!(CardType::from_wire(t.wire_name()), Some(t));
         }
         assert_eq!(CardType::from_wire("bogus"), None);
+    }
+
+    #[test]
+    fn meta_types_exclude_organic_and_unknown() {
+        assert!(!ResultType::META.contains(&ResultType::Organic));
+        assert!(!ResultType::META.contains(&ResultType::Unknown));
+        for t in ResultType::META {
+            assert!(ResultType::ALL.contains(&t));
+        }
     }
 
     #[test]

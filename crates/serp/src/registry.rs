@@ -1,0 +1,437 @@
+//! The component-parser registry: one [`ComponentSpec`] per card type.
+//!
+//! A SERP is a sequence of typed, position-specified components (the
+//! WebSearcher decomposition). Each component declares, in one place:
+//!
+//! * its **wire name** (`<card type="…">`),
+//! * its **position class** — header, main, or footer — which the parser
+//!   enforces as a non-decreasing order down the page,
+//! * its **extraction rule** — first link, all links, or no links — which
+//!   drives [`SerpPage::extract_results`](crate::SerpPage::extract_results),
+//! * the [`ResultType`] its extracted links carry into the analysis, and
+//! * a `parse_fn`/`render_fn` pair: the render side owns the card's exact
+//!   wire bytes, the parse side validates a collected [`CardDraft`] (slot
+//!   attributes, non-empty packs) into a typed [`Card`].
+//!
+//! The strict parser rejects unregistered card types (`BadCardType`), which
+//! preserves the fault-injection contract: structural damage fails loudly.
+//! The lenient parser instead funnels unregistered types through the
+//! [`CardType::Unknown`] spec, so a scraper pointed at a richer page than it
+//! knows about degrades gracefully instead of dying.
+
+use crate::markup::ParseError;
+use crate::model::{Card, CardType, ResultType};
+use std::sync::OnceLock;
+
+/// Where on the page a component may appear. The parser enforces that card
+/// position classes are non-decreasing down the page (header cards first,
+/// footer cards last).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PositionClass {
+    /// Pinned above the organic results (answer boxes).
+    Header,
+    /// The main result column.
+    Main,
+    /// Pinned below the organic results (knowledge panels).
+    Footer,
+}
+
+impl PositionClass {
+    /// Ordering rank down the page.
+    pub fn rank(self) -> u8 {
+        match self {
+            PositionClass::Header => 0,
+            PositionClass::Main => 1,
+            PositionClass::Footer => 2,
+        }
+    }
+}
+
+/// How many of a card's links the paper's extraction rule takes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExtractionRule {
+    /// Only the first link (organic results, answer boxes).
+    FirstLink,
+    /// Every link (Maps, News, local packs, ads).
+    AllLinks,
+    /// No links at all (unknown components are skipped, not guessed at).
+    NoLinks,
+}
+
+/// The raw material the parser collects for one card before the component's
+/// `parse_fn` turns it into a typed [`Card`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CardDraft {
+    /// The raw `type="…"` attribute value.
+    pub wire_type: String,
+    /// The raw `slot="…"` attribute value, if present.
+    pub slot: Option<String>,
+    /// `(url, title)` entries in wire order.
+    pub entries: Vec<(String, String)>,
+    /// 1-based line of the opening `<card …>` element.
+    pub line: usize,
+}
+
+/// Validates a collected [`CardDraft`] into a typed [`Card`].
+pub type ParseFn = fn(&ComponentSpec, CardDraft) -> Result<Card, ParseError>;
+
+/// Appends a card's exact wire bytes (including the trailing newline of its
+/// `</card>` line) to the output buffer.
+pub type RenderFn = fn(&ComponentSpec, &Card, &mut String);
+
+/// Everything the format knows about one component type.
+pub struct ComponentSpec {
+    /// The card type this spec parses and renders.
+    pub ctype: CardType,
+    /// The `type="…"` attribute value on the wire.
+    pub wire_name: &'static str,
+    /// Where on the page this component may appear.
+    pub position: PositionClass,
+    /// How its links are extracted.
+    pub extraction: ExtractionRule,
+    /// The result type its extracted links carry.
+    pub rtype: ResultType,
+    /// The parse half of the pair.
+    pub parse_fn: ParseFn,
+    /// The render half of the pair.
+    pub render_fn: RenderFn,
+}
+
+impl std::fmt::Debug for ComponentSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ComponentSpec")
+            .field("ctype", &self.ctype)
+            .field("wire_name", &self.wire_name)
+            .field("position", &self.position)
+            .field("extraction", &self.extraction)
+            .field("rtype", &self.rtype)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The highest `slot="…"` value an ads card may carry: slots index organic
+/// positions, and the engine never renders more than ~24 results per page.
+pub const MAX_AD_SLOT: u32 = 24;
+
+/// A set of registered component specs, looked up by wire name (parsing) or
+/// card type (rendering, extraction).
+pub struct ComponentRegistry {
+    specs: Vec<ComponentSpec>,
+}
+
+impl ComponentRegistry {
+    /// An empty registry. Useful for tests that exercise dispatch; real
+    /// callers want [`ComponentRegistry::builtin`].
+    pub fn empty() -> Self {
+        ComponentRegistry { specs: Vec::new() }
+    }
+
+    /// Register a spec.
+    ///
+    /// # Panics
+    ///
+    /// If the wire name or card type is already registered — duplicate
+    /// registration is a programming error, not a runtime condition.
+    pub fn register(&mut self, spec: ComponentSpec) {
+        assert!(
+            self.by_wire(spec.wire_name).is_none(),
+            "wire name {:?} registered twice",
+            spec.wire_name
+        );
+        assert!(
+            self.spec(spec.ctype).is_none(),
+            "card type {:?} registered twice",
+            spec.ctype
+        );
+        self.specs.push(spec);
+    }
+
+    /// Look up the spec that parses `<card type="name">`.
+    pub fn by_wire(&self, name: &str) -> Option<&ComponentSpec> {
+        self.specs.iter().find(|s| s.wire_name == name)
+    }
+
+    /// Look up the spec for a card type.
+    pub fn spec(&self, ctype: CardType) -> Option<&ComponentSpec> {
+        self.specs.iter().find(|s| s.ctype == ctype)
+    }
+
+    /// Every registered spec, in registration order.
+    pub fn specs(&self) -> &[ComponentSpec] {
+        &self.specs
+    }
+
+    /// The built-in registry covering the full component taxonomy. Covers
+    /// every [`CardType`] variant, including [`CardType::Unknown`] (the
+    /// lenient parser's fallback spec).
+    pub fn builtin() -> &'static ComponentRegistry {
+        static BUILTIN: OnceLock<ComponentRegistry> = OnceLock::new();
+        BUILTIN.get_or_init(|| {
+            let mut r = ComponentRegistry::empty();
+            r.register(ComponentSpec {
+                ctype: CardType::Organic,
+                wire_name: "organic",
+                position: PositionClass::Main,
+                extraction: ExtractionRule::FirstLink,
+                rtype: ResultType::Organic,
+                parse_fn: parse_plain,
+                render_fn: render_plain,
+            });
+            r.register(ComponentSpec {
+                ctype: CardType::Maps,
+                wire_name: "maps",
+                position: PositionClass::Main,
+                extraction: ExtractionRule::AllLinks,
+                rtype: ResultType::Maps,
+                parse_fn: parse_plain,
+                render_fn: render_plain,
+            });
+            r.register(ComponentSpec {
+                ctype: CardType::News,
+                wire_name: "news",
+                position: PositionClass::Main,
+                extraction: ExtractionRule::AllLinks,
+                rtype: ResultType::News,
+                parse_fn: parse_plain,
+                render_fn: render_plain,
+            });
+            r.register(ComponentSpec {
+                ctype: CardType::LocalPack,
+                wire_name: "local_pack",
+                position: PositionClass::Main,
+                extraction: ExtractionRule::AllLinks,
+                rtype: ResultType::LocalPack,
+                parse_fn: parse_nonempty,
+                render_fn: render_plain,
+            });
+            r.register(ComponentSpec {
+                ctype: CardType::AnswerBox,
+                wire_name: "answer_box",
+                position: PositionClass::Header,
+                extraction: ExtractionRule::FirstLink,
+                rtype: ResultType::AnswerBox,
+                parse_fn: parse_nonempty,
+                render_fn: render_plain,
+            });
+            r.register(ComponentSpec {
+                ctype: CardType::KnowledgePanel,
+                wire_name: "knowledge_panel",
+                position: PositionClass::Footer,
+                extraction: ExtractionRule::FirstLink,
+                rtype: ResultType::KnowledgePanel,
+                parse_fn: parse_nonempty,
+                render_fn: render_plain,
+            });
+            r.register(ComponentSpec {
+                ctype: CardType::Ads,
+                wire_name: "ads",
+                position: PositionClass::Main,
+                extraction: ExtractionRule::AllLinks,
+                rtype: ResultType::Ads,
+                parse_fn: parse_ads,
+                render_fn: render_slotted,
+            });
+            r.register(ComponentSpec {
+                ctype: CardType::Unknown,
+                wire_name: "unknown",
+                position: PositionClass::Main,
+                extraction: ExtractionRule::NoLinks,
+                rtype: ResultType::Unknown,
+                parse_fn: parse_unknown,
+                render_fn: render_plain,
+            });
+            r
+        })
+    }
+}
+
+/// The permissive default: any entries (including none — the original
+/// three-type parser accepted empty cards, and the fault batteries rely on
+/// that behavior being stable), no slot attribute semantics.
+fn parse_plain(spec: &ComponentSpec, draft: CardDraft) -> Result<Card, ParseError> {
+    let mut card = Card::new(spec.ctype);
+    card.entries = draft.entries;
+    Ok(card)
+}
+
+/// Like [`parse_plain`], but an empty card is structural damage: a local
+/// pack, answer box, or knowledge panel with nothing in it was truncated.
+fn parse_nonempty(spec: &ComponentSpec, draft: CardDraft) -> Result<Card, ParseError> {
+    if draft.entries.is_empty() {
+        return Err(ParseError::EmptyComponent { line: draft.line });
+    }
+    parse_plain(spec, draft)
+}
+
+/// Ads carry a mandatory, range-checked `slot="…"` attribute naming the
+/// organic position they are interleaved at.
+fn parse_ads(spec: &ComponentSpec, draft: CardDraft) -> Result<Card, ParseError> {
+    let bad = ParseError::BadAttribute {
+        line: draft.line,
+        attr: "slot",
+    };
+    let slot: u32 = draft
+        .slot
+        .as_deref()
+        .and_then(|s| s.parse().ok())
+        .ok_or(bad.clone())?;
+    if slot > MAX_AD_SLOT {
+        return Err(bad);
+    }
+    if draft.entries.is_empty() {
+        return Err(ParseError::EmptyComponent { line: draft.line });
+    }
+    let mut card = Card::new(spec.ctype);
+    card.entries = draft.entries;
+    card.slot = Some(slot);
+    Ok(card)
+}
+
+/// The lenient parser's fallback: keep the entries (so the card is visible
+/// to `has_card`/debugging) but extract nothing — an unknown component is
+/// skipped, not guessed at.
+fn parse_unknown(spec: &ComponentSpec, draft: CardDraft) -> Result<Card, ParseError> {
+    parse_plain(spec, draft)
+}
+
+/// The card wire bytes every original component renders: open tag, one
+/// `<r …/>` line per entry, close tag. Must stay byte-identical — the
+/// committed golden page digests pin this.
+fn render_plain(spec: &ComponentSpec, card: &Card, out: &mut String) {
+    out.push_str("<card type=\"");
+    out.push_str(spec.wire_name);
+    out.push_str("\">\n");
+    render_entries(card, out);
+    out.push_str("</card>\n");
+}
+
+/// Ads render their slot attribute after the type.
+fn render_slotted(spec: &ComponentSpec, card: &Card, out: &mut String) {
+    out.push_str("<card type=\"");
+    out.push_str(spec.wire_name);
+    out.push('"');
+    if let Some(slot) = card.slot {
+        out.push_str(" slot=\"");
+        out.push_str(&slot.to_string());
+        out.push('"');
+    }
+    out.push_str(">\n");
+    render_entries(card, out);
+    out.push_str("</card>\n");
+}
+
+fn render_entries(card: &Card, out: &mut String) {
+    for (url, title) in &card.entries {
+        out.push_str("<r url=\"");
+        out.push_str(&crate::markup::escape(url));
+        out.push_str("\" title=\"");
+        out.push_str(&crate::markup::escape(title));
+        out.push_str("\"/>\n");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_covers_every_card_type() {
+        let reg = ComponentRegistry::builtin();
+        for t in CardType::ALL {
+            let spec = reg
+                .spec(t)
+                .expect("builtin registry covers every card type");
+            assert_eq!(spec.ctype, t);
+            assert_eq!(
+                reg.by_wire(spec.wire_name).unwrap().ctype,
+                t,
+                "wire lookup must invert type lookup"
+            );
+        }
+        assert_eq!(reg.specs().len(), CardType::ALL.len());
+    }
+
+    #[test]
+    fn extraction_rules_match_result_types() {
+        let reg = ComponentRegistry::builtin();
+        // Every spec with NoLinks extraction must not claim a link-bearing
+        // result type in the analysis.
+        for spec in reg.specs() {
+            if spec.extraction == ExtractionRule::NoLinks {
+                assert_eq!(spec.rtype, ResultType::Unknown);
+            }
+        }
+        assert_eq!(
+            reg.spec(CardType::Organic).unwrap().extraction,
+            ExtractionRule::FirstLink
+        );
+        assert_eq!(
+            reg.spec(CardType::Maps).unwrap().extraction,
+            ExtractionRule::AllLinks
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn duplicate_wire_name_panics() {
+        let mut r = ComponentRegistry::empty();
+        let spec = || ComponentSpec {
+            ctype: CardType::Organic,
+            wire_name: "organic",
+            position: PositionClass::Main,
+            extraction: ExtractionRule::FirstLink,
+            rtype: ResultType::Organic,
+            parse_fn: parse_plain,
+            render_fn: render_plain,
+        };
+        r.register(spec());
+        r.register(spec());
+    }
+
+    #[test]
+    fn ads_parse_validates_slot() {
+        let reg = ComponentRegistry::builtin();
+        let spec = reg.spec(CardType::Ads).unwrap();
+        let draft = |slot: Option<&str>, entries: usize| CardDraft {
+            wire_type: "ads".into(),
+            slot: slot.map(str::to_owned),
+            entries: (0..entries)
+                .map(|i| (format!("u{i}"), format!("t{i}")))
+                .collect(),
+            line: 7,
+        };
+        let ok = (spec.parse_fn)(spec, draft(Some("3"), 2)).unwrap();
+        assert_eq!(ok.slot, Some(3));
+        assert!(matches!(
+            (spec.parse_fn)(spec, draft(None, 2)),
+            Err(ParseError::BadAttribute {
+                line: 7,
+                attr: "slot"
+            })
+        ));
+        assert!(matches!(
+            (spec.parse_fn)(spec, draft(Some("99"), 2)),
+            Err(ParseError::BadAttribute {
+                line: 7,
+                attr: "slot"
+            })
+        ));
+        assert!(matches!(
+            (spec.parse_fn)(spec, draft(Some("x"), 2)),
+            Err(ParseError::BadAttribute {
+                line: 7,
+                attr: "slot"
+            })
+        ));
+        assert!(matches!(
+            (spec.parse_fn)(spec, draft(Some("3"), 0)),
+            Err(ParseError::EmptyComponent { line: 7 })
+        ));
+    }
+
+    #[test]
+    fn position_ranks_are_ordered() {
+        assert!(PositionClass::Header.rank() < PositionClass::Main.rank());
+        assert!(PositionClass::Main.rank() < PositionClass::Footer.rank());
+    }
+}

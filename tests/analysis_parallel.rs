@@ -18,7 +18,7 @@ use std::cell::RefCell;
 /// FNV-1a digest of the serial quick-plan report. If this moves, analysis
 /// output changed for every consumer — figure values, table layout, or
 /// significance seeds. Update it only for an intentional analysis change.
-const QUICK_REPORT_DIGEST: u64 = 0x41c0_9678_45b5_59ca;
+const QUICK_REPORT_DIGEST: u64 = 0x5467_fdd2_5aa6_1844;
 
 /// The CLI's `--scale quick` plan (2 days × 6 queries/category × 6
 /// locations/granularity), seed 2015 — the fixture the golden digest pins.
@@ -147,8 +147,8 @@ fn instrumented_parallel_report_matches_and_records_pool_metrics() {
     );
     assert_eq!(
         snap.counters.get("pool.analysis.figures.tasks").copied(),
-        Some(10),
-        "per-figure fan-out must cover all ten report sections"
+        Some(11),
+        "per-figure fan-out must cover all eleven report sections"
     );
     assert_eq!(
         snap.gauges.get("pool.analysis.figures.workers").copied(),

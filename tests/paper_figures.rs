@@ -10,7 +10,10 @@
 use geoserp::analysis::paper::{
     facts, fig2_reference, fig5_reference, ReferenceCell, FIG5_PERSONALIZATION,
 };
-use geoserp::analysis::{fig2_noise, fig5_personalization, fig7_personalization_by_type, ObsIndex};
+use geoserp::analysis::{
+    component_attribution, fig2_noise, fig4_noise_by_type, fig5_personalization,
+    fig7_personalization_by_type, ObsIndex,
+};
 use geoserp::prelude::*;
 
 const GRANULARITIES: [Granularity; 3] = [
@@ -207,4 +210,63 @@ fn measured_figures_reproduce_the_reference_tables() {
         checks.len(),
         failures.join("\n")
     );
+}
+
+/// The taxonomy widening must be a pure superset on Paper data: the four
+/// rich component rows are exactly zero, and the widened per-pair kernel
+/// reproduces the legacy Maps/News attribution (and through it Figures 4
+/// and 7) bit for bit.
+#[test]
+fn per_component_rows_reduce_to_maps_news_on_paper_data() {
+    let plan = ExperimentPlan {
+        days: 2,
+        queries_per_category: Some(6),
+        locations_per_granularity: Some(6),
+        ..ExperimentPlan::paper_full()
+    };
+    let ds = Study::builder()
+        .seed(2015)
+        .plan(plan)
+        .build()
+        .unwrap()
+        .run();
+    let idx = ObsIndex::new(&ds);
+
+    let comp = component_attribution(&idx);
+    assert_eq!(comp.rows.len(), ResultType::META.len());
+    assert_eq!(comp.rows[0].rtype, ResultType::Maps);
+    assert_eq!(comp.rows[1].rtype, ResultType::News);
+    for r in &comp.rows[2..] {
+        assert_eq!(r.noise, 0.0, "paper data has no {} noise", r.rtype);
+        assert_eq!(
+            r.personalization, 0.0,
+            "paper data has no {} personalization",
+            r.rtype
+        );
+    }
+
+    // Pair-by-pair bit-identity between the legacy two-label kernel and
+    // the widened one, over every comparison discipline.
+    for g in GRANULARITIES {
+        for c in CATEGORIES {
+            let check = |a: &_, b: &_| {
+                let (t, m, n, o) = idx.pair_attribution(a, b);
+                let (t_meta, meta, residual) = idx.pair_attribution_meta(a, b);
+                assert_eq!((t, m, n), (t_meta, meta[0], meta[1]));
+                assert_eq!(meta[2..], [0, 0, 0, 0], "rich sublists are empty");
+                assert_eq!(residual, o, "residuals coincide when rich is zero");
+            };
+            idx.for_each_noise_pair(g, c, &check);
+            idx.for_each_treatment_pair(g, c, check);
+        }
+    }
+
+    // And the figures built on that kernel still cover their cells.
+    let fig4 = fig4_noise_by_type(&idx, QueryCategory::Local, Granularity::County);
+    assert_eq!(fig4.len(), 6);
+    let fig7 = fig7_personalization_by_type(&idx);
+    assert_eq!(fig7.len(), 9);
+    for r in &fig7 {
+        assert!(r.pairs > 0);
+    }
 }

@@ -2,7 +2,7 @@
 //! arbitrary inputs, not just the paper's fixtures.
 
 use geoserp::metrics::{edit_distance, jaccard};
-use geoserp::serp::{parse, Card, CardType, SerpPage};
+use geoserp::serp::{parse, Card, CardType, ComponentRegistry, SerpPage, MAX_AD_SLOT};
 use proptest::prelude::*;
 
 /// Arbitrary printable-ish strings including the characters the markup
@@ -11,17 +11,41 @@ fn wild_text() -> impl Strategy<Value = String> {
     proptest::string::string_regex("[ -~éß❤\"&<>]{0,40}").unwrap()
 }
 
+/// A card's position-class rank from the builtin registry (header 0,
+/// main 1, footer 2).
+fn registry_rank(ctype: CardType) -> u8 {
+    ComponentRegistry::builtin()
+        .spec(ctype)
+        .expect("builtin registry covers every card type")
+        .position
+        .rank()
+}
+
+/// Arbitrary cards over the FULL component taxonomy: the legacy trio plus
+/// the rich components and the typed `Unknown`. Ads carry a registry-valid
+/// slot; every card carries at least one entry (the nonempty-component
+/// parse contract).
 fn arb_card() -> impl Strategy<Value = Card> {
     (
         prop_oneof![
             Just(CardType::Organic),
             Just(CardType::Maps),
-            Just(CardType::News)
+            Just(CardType::News),
+            Just(CardType::LocalPack),
+            Just(CardType::AnswerBox),
+            Just(CardType::KnowledgePanel),
+            Just(CardType::Ads),
+            Just(CardType::Unknown),
         ],
+        0u32..MAX_AD_SLOT + 1,
         proptest::collection::vec((wild_text(), wild_text()), 1..5),
     )
-        .prop_map(|(ctype, entries)| {
-            let mut c = Card::new(ctype);
+        .prop_map(|(ctype, slot, entries)| {
+            let mut c = if ctype == CardType::Ads {
+                Card::ad(slot)
+            } else {
+                Card::new(ctype)
+            };
             for (u, t) in entries {
                 c.push(u, t);
             }
@@ -36,7 +60,11 @@ fn arb_page() -> impl Strategy<Value = SerpPage> {
         wild_text(),
         proptest::collection::vec(arb_card(), 0..8),
     )
-        .prop_map(|(query, gps, loc, cards)| {
+        .prop_map(|(query, gps, loc, mut cards)| {
+            // The parser enforces non-decreasing position classes down the
+            // page; a stable sort makes any draw registry-valid while
+            // preserving relative order within a class.
+            cards.sort_by_key(|c| registry_rank(c.ctype));
             let mut p = SerpPage::new(query, gps.as_deref(), "dc1", loc);
             for c in cards {
                 p.push_card(c);
@@ -136,6 +164,127 @@ proptest! {
         for &v in d.values() {
             prop_assert!((0.0..=1.0).contains(&v));
         }
+    }
+}
+
+/// A hand-built rich page exercising every new component on the wire.
+const RICH_BODY: &str = concat!(
+    "<serp q=\"coffee\" gps=\"41.500000,-81.700000\" dc=\"dc1\">\n",
+    "<card type=\"answer_box\">\n",
+    "<r url=\"https://starbucks.example/\" title=\"Starbucks\"/>\n",
+    "</card>\n",
+    "<card type=\"local_pack\">\n",
+    "<r url=\"https://a.example/\" title=\"Cafe A\"/>\n",
+    "<r url=\"https://b.example/\" title=\"Cafe B\"/>\n",
+    "</card>\n",
+    "<card type=\"ads\" slot=\"2\">\n",
+    "<r url=\"https://ad.example/\" title=\"Ad\"/>\n",
+    "</card>\n",
+    "<card type=\"knowledge_panel\">\n",
+    "<r url=\"https://gov.example/\" title=\"Gov\"/>\n",
+    "</card>\n",
+    "<footer location=\"Cleveland, OH\"/>\n",
+    "</serp>\n",
+);
+
+/// Hostile corpus for the rich components: every structural mutation of a
+/// valid rich page yields a *typed* [`geoserp::serp::ParseError`] — never a
+/// panic, never a silently wrong page.
+#[test]
+fn hostile_rich_markup_yields_typed_errors() {
+    use geoserp::serp::{parse_lenient, ParseError};
+
+    let page = parse(RICH_BODY).expect("corpus anchor parses strictly");
+    for ty in [
+        CardType::AnswerBox,
+        CardType::LocalPack,
+        CardType::Ads,
+        CardType::KnowledgePanel,
+    ] {
+        assert!(page.has_card(ty), "{ty:?}");
+    }
+
+    // Unregistered card type: hard error in strict mode, typed Unknown
+    // (contributing no links) in lenient mode.
+    let carousel = RICH_BODY.replace("knowledge_panel", "carousel");
+    assert!(matches!(
+        parse(&carousel),
+        Err(ParseError::BadCardType { .. })
+    ));
+    let lenient = parse_lenient(&carousel).expect("lenient mode types unknown cards");
+    assert!(lenient.has_card(CardType::Unknown));
+    assert_eq!(
+        lenient.result_count(),
+        page.result_count() - 1,
+        "unknown cards contribute no extracted links"
+    );
+
+    // Empty components are rejected with the card's opening line.
+    let empty_pack = RICH_BODY
+        .replace("<r url=\"https://a.example/\" title=\"Cafe A\"/>\n", "")
+        .replace("<r url=\"https://b.example/\" title=\"Cafe B\"/>\n", "");
+    assert!(matches!(
+        parse(&empty_pack),
+        Err(ParseError::EmptyComponent { line: 5 })
+    ));
+
+    // Ads slot validation: out of range, non-numeric, and missing all land
+    // on the same typed error.
+    for bad in [
+        RICH_BODY.replace("slot=\"2\"", "slot=\"25\""),
+        RICH_BODY.replace("slot=\"2\"", "slot=\"two\""),
+        RICH_BODY.replace(" slot=\"2\"", ""),
+    ] {
+        assert!(
+            matches!(
+                parse(&bad),
+                Err(ParseError::BadAttribute { attr: "slot", .. })
+            ),
+            "{bad:?}"
+        );
+    }
+
+    // Cards out of position-class order are a structure violation.
+    let reordered = RICH_BODY.replace(
+        concat!(
+            "<card type=\"answer_box\">\n",
+            "<r url=\"https://starbucks.example/\" title=\"Starbucks\"/>\n",
+            "</card>\n",
+            "<card type=\"local_pack\">\n",
+        ),
+        concat!(
+            "<card type=\"local_pack\">\n",
+            "<r url=\"https://starbucks.example/\" title=\"Starbucks\"/>\n",
+            "</card>\n",
+            "<card type=\"answer_box\">\n",
+        ),
+    );
+    assert!(matches!(
+        parse(&reordered),
+        Err(ParseError::StructureViolation { .. })
+    ));
+
+    // Every line-boundary truncation fails typed; every char-boundary
+    // truncation (the fault injector's output) at worst fails typed —
+    // neither parser may panic.
+    let lines: Vec<&str> = RICH_BODY.lines().collect();
+    for keep in 0..lines.len() {
+        let prefix = lines[..keep].join("\n");
+        assert!(parse(&prefix).is_err(), "prefix of {keep} lines parsed");
+    }
+    for (pos, _) in RICH_BODY.char_indices() {
+        let _ = parse(&RICH_BODY[..pos]);
+        let _ = parse_lenient(&RICH_BODY[..pos]);
+    }
+
+    // Single-bit flips over the whole body: no panics in either mode.
+    let bytes = RICH_BODY.as_bytes();
+    for i in 0..bytes.len() {
+        let mut mutated = bytes.to_vec();
+        mutated[i] ^= 1;
+        let mangled = String::from_utf8_lossy(&mutated).into_owned();
+        let _ = parse(&mangled);
+        let _ = parse_lenient(&mangled);
     }
 }
 
